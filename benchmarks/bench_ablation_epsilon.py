@@ -1,0 +1,58 @@
+"""Ablation — bandwidth (ε) sensitivity (DESIGN.md §5).
+
+Footnote 2 sets ε ≈ diameter/100.  This bench sweeps the divisor over
+{10, 100, 1000} (ε ×10, ×1, ×0.1) plus the nn-spacing and Silverman
+alternatives, evaluating each sample under the *same* reference loss
+kernel.  The claim under test: the method is robust — every reasonable
+bandwidth still beats uniform sampling — while extreme bandwidths
+degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from repro.core import GaussianKernel, LossEvaluator, VASSampler
+from repro.core.epsilon import (
+    epsilon_from_diameter,
+    epsilon_from_nn_spacing,
+    epsilon_silverman,
+)
+from repro.data import GeolifeGenerator
+from repro.sampling import UniformSampler
+
+from conftest import print_table
+
+
+def test_epsilon_sensitivity(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    k = profile.sample_sizes[1]
+    reference_eps = epsilon_from_diameter(data.xy)
+    evaluator = LossEvaluator(data.xy, GaussianKernel(reference_eps),
+                              n_probes=profile.loss_probes, rng=profile.seed)
+
+    benchmark(lambda: epsilon_from_diameter(data.xy))
+
+    candidates = {
+        "diameter/10": epsilon_from_diameter(data.xy, divisor=10),
+        "diameter/100 (paper)": reference_eps,
+        "diameter/1000": epsilon_from_diameter(data.xy, divisor=1000),
+        "nn-spacing": epsilon_from_nn_spacing(data.xy, rng=profile.seed),
+        "silverman": epsilon_silverman(data.xy),
+    }
+    uniform = UniformSampler(rng=profile.seed).sample(data.xy, k)
+    uniform_llr = evaluator.log_loss_ratio(uniform.points)
+
+    rows = [["epsilon rule", "epsilon", "log-loss-ratio"]]
+    llrs = {}
+    for name, eps in candidates.items():
+        sample = VASSampler(rng=profile.seed, epsilon=eps).sample(data.xy, k)
+        llr = evaluator.log_loss_ratio(sample.points)
+        llrs[name] = llr
+        rows.append([name, f"{eps:.4f}", f"{llr:.2f}"])
+    rows.append(["(uniform baseline)", "-", f"{uniform_llr:.2f}"])
+    print_table("Bandwidth sensitivity", rows,
+                "footnote 2: eps = diameter/100; robustness expected")
+
+    assert llrs["diameter/100 (paper)"] < uniform_llr
+    # Order-of-magnitude perturbations still beat uniform.
+    assert llrs["diameter/10"] < uniform_llr
+    assert llrs["diameter/1000"] < uniform_llr + 0.5

@@ -1,0 +1,64 @@
+"""FIG10 bench — runtime ablation of the Interchange inner loop.
+
+Regenerates the No-ES / ES / ES+Loc runtime comparison at a small and a
+large K, plus the eviction-rule control from DESIGN.md §5: replacing
+the max-responsibility eviction with *random* eviction, which keeps
+O(K) cost but destroys sample quality — evidence the rule, not just the
+speed, matters.  Benchmarks the ES inner loop at K = 100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GaussianKernel, run_interchange
+from repro.core.epsilon import epsilon_from_diameter
+from repro.core.responsibility import CandidateSet
+from repro.data import GeolifeGenerator, PointStream
+from repro.experiments import fig10_ablation
+from repro.rng import as_generator
+
+from conftest import print_table
+
+
+def _random_eviction_objective(points: np.ndarray, k: int,
+                               kernel: GaussianKernel, seed: int) -> float:
+    """Interchange with random eviction instead of max-responsibility."""
+    gen = as_generator(seed)
+    cs = CandidateSet(k, kernel)
+    for i, pt in enumerate(points):
+        if not cs.is_full:
+            cs.fill(i, pt)
+            continue
+        row = kernel.similarity_to(pt, cs.points)
+        slot = int(gen.integers(0, len(cs)))
+        # Accept unconditionally: same O(K) work per tuple, no rule.
+        cs.replace(slot, i, pt, row)
+    return cs.objective()
+
+
+def test_fig10_ablation(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    kernel = GaussianKernel(epsilon_from_diameter(data.xy))
+    stream = PointStream(data.xy, chunk_size=4096, shuffle_seed=profile.seed)
+
+    benchmark(lambda: run_interchange(stream.factory(), 100, kernel,
+                                      strategy="es", rng=profile.seed))
+
+    result = fig10_ablation.run(profile)
+    print_table("Fig 10: strategy runtimes",
+                result.rows(),
+                "paper: ES fastest at K=100; ES+Loc fastest at K=5000")
+    assert result.runtimes[(result.small_k, "no-es")] > \
+        result.runtimes[(result.small_k, "es")]
+
+    # Eviction-rule control: random eviction must be far worse.
+    sub = data.xy[:10_000]
+    principled = run_interchange(
+        lambda: iter([sub]), 100, kernel, rng=profile.seed
+    ).objective
+    random_evict = _random_eviction_objective(sub, 100, kernel,
+                                              seed=profile.seed)
+    print(f"\nEviction-rule control: max-responsibility objective = "
+          f"{principled:.4f}, random eviction = {random_evict:.4f}")
+    assert principled < random_evict

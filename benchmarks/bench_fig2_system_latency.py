@@ -1,0 +1,31 @@
+"""FIG2 bench — visualization latency vs dataset size.
+
+Regenerates the Fig 2 table: measured raster renderer plus the
+calibrated Tableau-like/MathGL-like models at the paper's dataset
+sizes.  The benchmarked operation is one 200K-point render — the unit
+of work whose linear scaling the figure is about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig2_system_latency
+from repro.viz import ScatterRenderer, Viewport
+
+from conftest import print_table
+
+
+def test_fig2_table(benchmark):
+    gen = np.random.default_rng(0)
+    pts = gen.random((200_000, 2))
+    renderer = ScatterRenderer(width=400, height=400)
+    viewport = Viewport(0.0, 0.0, 1.0, 1.0)
+
+    benchmark(lambda: renderer.render(pts, viewport=viewport))
+
+    result = fig2_system_latency.run(repeats=2)
+    print_table("Fig 2: viz time (seconds) vs dataset size",
+                result.rows(),
+                "paper: Tableau >4 min at 50M; >2 s interactive limit by 1M")
+    assert float(result.measured_model.predict(10_000_000)) > 2.0

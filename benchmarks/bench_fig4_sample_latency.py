@@ -1,0 +1,29 @@
+"""FIG4 bench — plot production time vs sample size per dataset.
+
+Regenerates the Fig 4 table (Geolife-like and SPLOM) and benchmarks an
+80K-point Geolife render, the midpoint of the measured curve.
+"""
+
+from __future__ import annotations
+
+from repro.data import GeolifeGenerator
+from repro.experiments import fig4_sample_latency
+from repro.viz import ScatterRenderer, Viewport
+
+from conftest import print_table
+
+
+def test_fig4_table(benchmark):
+    data = GeolifeGenerator(seed=0).generate(80_000).xy
+    renderer = ScatterRenderer(width=400, height=400)
+    viewport = Viewport.fit(data)
+
+    benchmark(lambda: renderer.render(data, viewport=viewport))
+
+    result = fig4_sample_latency.run(repeats=2)
+    print_table("Fig 4: viz time vs sample size (Geolife, SPLOM)",
+                result.rows(),
+                "paper: latency linear in sample size on both datasets")
+    for name in result.datasets:
+        secs = result.measured_seconds[name]
+        assert secs[-1] > secs[0]  # grows with size

@@ -1,0 +1,33 @@
+"""FIG7 bench — loss vs user-success correlation.
+
+Regenerates the Fig 7 scatter (log-loss-ratio vs regression success per
+method/size) with its Spearman coefficient, and benchmarks the
+Monte-Carlo loss evaluation — the measurement at the figure's core.
+"""
+
+from __future__ import annotations
+
+from repro.core import GaussianKernel, LossEvaluator
+from repro.core.epsilon import epsilon_from_diameter
+from repro.data import GeolifeGenerator
+from repro.experiments import fig7_loss_correlation
+from repro.tasks import build_method_sample
+
+from conftest import print_table
+
+
+def test_fig7_correlation(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    eps = epsilon_from_diameter(data.xy)
+    evaluator = LossEvaluator(data.xy, GaussianKernel(eps),
+                              n_probes=profile.loss_probes, rng=profile.seed)
+    sample = build_method_sample("vas", data.xy, profile.sample_sizes[1],
+                                 seed=profile.seed, epsilon=eps)
+
+    benchmark(lambda: evaluator.log_loss_ratio(sample.points))
+
+    result = fig7_loss_correlation.run(profile)
+    print_table("Fig 7: log-loss-ratio vs regression success",
+                result.rows(),
+                "paper: Spearman rho = -0.85 (p = 5.2e-4)")
+    assert result.spearman <= -0.5

@@ -1,0 +1,35 @@
+"""FIG8 bench — visualization time vs error.
+
+Regenerates both panes of Fig 8: loss at equal time budgets (VAS wins
+every rung) and the speed-up factor (how many more points uniform
+sampling needs to match VAS's loss).  Benchmarks one full VAS build at
+the middle ladder rung — the offline cost being traded for the online
+win.
+"""
+
+from __future__ import annotations
+
+from repro.core import VASSampler
+from repro.core.epsilon import epsilon_from_diameter
+from repro.data import GeolifeGenerator
+from repro.experiments import fig8_time_vs_error
+
+from conftest import print_table
+
+
+def test_fig8_time_vs_error(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    eps = epsilon_from_diameter(data.xy)
+    k = profile.sample_sizes[1]
+
+    benchmark(lambda: VASSampler(rng=profile.seed, epsilon=eps)
+              .sample(data.xy, k))
+
+    result = fig8_time_vs_error.run(profile)
+    print_table("Fig 8: time vs error (log-loss-ratio per method)",
+                result.rows(),
+                "paper: VAS reaches equal quality up to 400x faster")
+    for size in result.sizes:
+        assert result.loss[("vas", size)] <= result.loss[("uniform", size)] + 1e-9
+    # The speed-up factor must be substantial at the smallest rung.
+    assert result.speedup_vs_uniform[result.sizes[0]] >= 2.0

@@ -1,0 +1,32 @@
+"""FIG9 bench — Interchange convergence (processing time vs objective).
+
+Regenerates the convergence traces at two sample sizes and benchmarks
+one full single-pass Interchange run at the small size.
+"""
+
+from __future__ import annotations
+
+from repro.core import GaussianKernel, run_interchange
+from repro.core.epsilon import epsilon_from_diameter
+from repro.data import GeolifeGenerator, PointStream
+from repro.experiments import fig9_convergence
+
+from conftest import print_table
+
+
+def test_fig9_convergence(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    kernel = GaussianKernel(epsilon_from_diameter(data.xy))
+    stream = PointStream(data.xy, chunk_size=4096, shuffle_seed=profile.seed)
+
+    benchmark(lambda: run_interchange(stream.factory(),
+                                      profile.sample_sizes[0],
+                                      kernel, rng=profile.seed))
+
+    result = fig9_convergence.run(profile)
+    print_table("Fig 9: Interchange convergence traces",
+                result.rows()[:18],
+                "paper: steep early improvement, gradual tail")
+    for size, trace in result.traces.items():
+        objs = [t.objective for t in trace]
+        assert objs[-1] <= objs[0]

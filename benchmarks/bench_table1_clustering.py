@@ -1,0 +1,45 @@
+"""TAB1c bench — the clustering user study (Table I(c)).
+
+Regenerates the four-method success table over the paper's four
+Gaussian datasets and benchmarks the visual cluster counter, the
+perception primitive every answer goes through.
+"""
+
+from __future__ import annotations
+
+from repro.data import clustering_datasets
+from repro.tasks import (
+    StudyConfig,
+    build_method_sample,
+    count_visual_clusters,
+    make_clustering_question,
+    run_clustering_study,
+)
+
+from conftest import print_table
+
+
+def test_table1c_clustering(benchmark, profile):
+    datasets = [
+        (name, mix.generate(profile.mixture_rows), mix.n_clusters)
+        for name, mix in clustering_datasets(profile.seed)
+    ]
+    name, pts, true_k = datasets[2]
+    question = make_clustering_question(pts, true_k)
+    sample = build_method_sample("vas+density", pts,
+                                 profile.sample_sizes[1], seed=profile.seed)
+
+    benchmark(lambda: count_visual_clusters(sample.points, sample.weights,
+                                            question.viewport))
+
+    config = StudyConfig(sample_sizes=profile.sample_sizes,
+                         n_observers=profile.n_observers,
+                         seed=profile.seed, n_sample_draws=2)
+    table = run_clustering_study(datasets, config)
+    print_table(
+        "Table I(c): clustering success",
+        table.rows(),
+        "paper averages: uniform .821, strat .561, VAS .722, VAS+d .887",
+    )
+    assert table.average("vas+density") > table.average("stratified")
+    assert table.average("vas+density") > table.average("vas")

@@ -1,0 +1,36 @@
+"""TAB1b bench — the density-estimation user study (Table I(b)).
+
+Regenerates the four-method success table (including VAS with §V
+density embedding) and benchmarks the density-embedding second pass —
+the extra work that turns VAS's worst task into its best.
+"""
+
+from __future__ import annotations
+
+from repro.core import VASSampler, density_weights
+from repro.data import GeolifeGenerator
+from repro.sampling import iter_chunks
+from repro.tasks import StudyConfig, run_density_study
+
+from conftest import print_table
+
+
+def test_table1b_density(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    base = VASSampler(rng=profile.seed).sample(data.xy,
+                                               profile.sample_sizes[1])
+
+    benchmark(lambda: density_weights(base.points,
+                                      iter_chunks(data.xy, 65536)))
+
+    config = StudyConfig(sample_sizes=profile.sample_sizes,
+                         n_observers=profile.n_observers,
+                         seed=profile.seed, n_sample_draws=2)
+    table = run_density_study(data.xy, config)
+    print_table(
+        "Table I(b): density-estimation success",
+        table.rows(),
+        "paper averages: uniform .531, strat .637, VAS .395, VAS+d .735",
+    )
+    assert table.average("vas+density") > table.average("vas")
+    assert table.average("vas+density") > table.average("uniform") - 0.02

@@ -1,0 +1,43 @@
+"""TAB1a bench — the regression user study (Table I(a)).
+
+Regenerates the uniform/stratified/VAS success table on Geolife-like
+data and benchmarks the per-cell unit of work: scoring one observer
+panel on one sample.
+"""
+
+from __future__ import annotations
+
+from repro.data import GeolifeGenerator
+from repro.rng import as_generator, spawn
+from repro.tasks import (
+    Observer,
+    StudyConfig,
+    build_method_sample,
+    make_regression_questions,
+    run_regression_study,
+    score_regression,
+)
+
+from conftest import print_table
+
+
+def test_table1a_regression(benchmark, profile):
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    questions = make_regression_questions(data.xy, n_questions=6,
+                                          rng=profile.seed)
+    sample = build_method_sample("vas", data.xy, profile.sample_sizes[1],
+                                 seed=profile.seed)
+    observers = [Observer(rng=r)
+                 for r in spawn(as_generator(profile.seed), 8)]
+
+    benchmark(lambda: score_regression(observers, questions, sample.points))
+
+    config = StudyConfig(sample_sizes=profile.sample_sizes,
+                         n_observers=profile.n_observers,
+                         seed=profile.seed, n_sample_draws=2)
+    table = run_regression_study(data.xy, config)
+    print_table("Table I(a): regression success",
+                table.rows(),
+                "paper averages: uniform .319, stratified .378, VAS .734")
+    assert table.average("vas") > table.average("stratified")
+    assert table.average("vas") > table.average("uniform")

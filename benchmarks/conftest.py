@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper (see
+DESIGN.md §4).  The drivers embed the paper's qualitative findings as
+assertions, so ``pytest benchmarks/ --benchmark-only`` doubles as a
+shape-regression run; the printed tables are the measured counterparts
+of the paper's artefacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import QUICK, format_table
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return QUICK
+
+
+def print_table(title: str, rows: list[list[str]], note: str = "") -> None:
+    """Emit a formatted experiment table into the benchmark output."""
+    print()
+    print(format_table(rows, title=title))
+    if note:
+        print(f"   [{note}]")

@@ -1,0 +1,89 @@
+"""Fig 1 reproduction: stratified sampling vs VAS, overview and zoom.
+
+The paper's opening figure: at overview zoom the two samples look
+similar, but zooming into a sparse corridor shows stratified sampling
+lost the structure while VAS kept it.  This script renders the four
+panes as PNGs and prints the visible-point counts and pixel coverage
+inside the zoom window.
+
+Run:  python examples/geolife_zoom.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import StratifiedSampler, VASSampler
+from repro.data import GeolifeGenerator
+from repro.viz import Figure, ScatterRenderer, Viewport
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+N_ROWS = 300_000
+SAMPLE_SIZE = 5_000
+
+
+def pick_sparse_zoom(data: np.ndarray, overview: Viewport,
+                     factor: float = 10.0) -> Viewport:
+    """Find a zoom window over a sparse-but-structured region.
+
+    Scans candidate windows and picks the one whose data count is
+    closest to the 15th percentile of non-empty windows — sparse
+    structure, not empty space.
+    """
+    gen = np.random.default_rng(7)
+    candidates = []
+    for _ in range(200):
+        cx = overview.xmin + gen.random() * overview.width
+        cy = overview.ymin + gen.random() * overview.height
+        window = overview.zoom((cx, cy), factor)
+        count = int(window.contains(data).sum())
+        if count > 50:
+            candidates.append((count, window))
+    candidates.sort(key=lambda t: t[0])
+    return candidates[max(1, len(candidates) * 15 // 100)][1]
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    print(f"Generating {N_ROWS:,} rows ...")
+    data = GeolifeGenerator(seed=0).generate(N_ROWS)
+    overview = Viewport.fit(data.xy)
+
+    print(f"Building {SAMPLE_SIZE:,}-point samples ...")
+    # The paper's Fig 1 uses a fine stratified grid (316x316 for 100K);
+    # scale the grid to the sample size.
+    grid = int(np.sqrt(SAMPLE_SIZE)) * 2
+    stratified = StratifiedSampler(grid_shape=(grid, grid),
+                                   rng=0).sample(data.xy, SAMPLE_SIZE)
+    vas = VASSampler(rng=0).sample(data.xy, SAMPLE_SIZE)
+
+    zoom = pick_sparse_zoom(data.xy, overview)
+    renderer = ScatterRenderer(width=400, height=400)
+
+    panes = [
+        ("fig1a_stratified_overview", stratified.points, overview),
+        ("fig1b_stratified_zoom", stratified.points, zoom),
+        ("fig1c_vas_overview", vas.points, overview),
+        ("fig1d_vas_zoom", vas.points, zoom),
+    ]
+    for name, points, viewport in panes:
+        path = os.path.join(OUT_DIR, f"{name}.png")
+        Figure(width=400, height=400, viewport=viewport,
+               point_radius=1).scatter(points).save(path)
+        visible = int(viewport.contains(points).sum())
+        coverage = renderer.coverage(points, viewport)
+        print(f"  {name}: {visible:5d} visible points, "
+              f"{coverage * 100:5.2f}% pixel coverage -> {path}")
+
+    strat_zoom = int(zoom.contains(stratified.points).sum())
+    vas_zoom = int(zoom.contains(vas.points).sum())
+    print(f"\nZoomed-in visible points: stratified={strat_zoom}, "
+          f"VAS={vas_zoom}")
+    print("VAS retains the sparse structure that stratified sampling "
+          "thins out (the paper's Fig 1(d) vs 1(b)).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-build-isolation
+--no-use-pep517`` falls back to ``setup.py develop``, which needs only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23"],
+    python_requires=">=3.10",
+)

@@ -1,0 +1,34 @@
+"""repro — a from-scratch reproduction of *Visualization-Aware Sampling
+for Very Large Databases* (Park, Cafarella, Mozafari; ICDE 2016).
+
+The package implements the VAS sampling algorithm and every substrate
+its evaluation depends on: baseline samplers, spatial indexes, a mini
+column-store, a raster scatter-plot renderer, dataset generators, a
+simulated user-study harness and a latency cost model.
+
+Quickstart::
+
+    import numpy as np
+    from repro import VASSampler
+    from repro.data import GeolifeGenerator
+
+    data = GeolifeGenerator(seed=0).generate(200_000)
+    sample = VASSampler(rng=0).sample(data.xy, k=2_000)
+    print(sample.points.shape)
+"""
+
+from .core import VASSampler
+from .core.density import embed_density
+from .sampling import SampleResult, Sampler, StratifiedSampler, UniformSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SampleResult",
+    "Sampler",
+    "StratifiedSampler",
+    "UniformSampler",
+    "VASSampler",
+    "embed_density",
+    "__version__",
+]

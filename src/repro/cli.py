@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four commands cover the library's end-to-end flows without writing
+Python:
+
+* ``sample``   — draw a sample from a CSV of x,y rows (any method);
+* ``render``   — rasterise a CSV of points into a PNG;
+* ``loss``     — compare methods' log-loss-ratios on a dataset;
+* ``demo``     — generate a Geolife-like dataset CSV to play with.
+
+CSV handling is deliberately minimal (numpy ``loadtxt``/``savetxt``
+with a header row), enough for piping between the commands::
+
+    python -m repro.cli demo --rows 50000 --out data.csv
+    python -m repro.cli sample data.csv --method vas -k 2000 --out sample.csv
+    python -m repro.cli render sample.csv --out sample.png
+    python -m repro.cli loss data.csv -k 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import GaussianKernel, LossEvaluator, VASSampler
+from .core.epsilon import epsilon_from_diameter
+from .data import GeolifeGenerator
+from .errors import ReproError
+from .sampling import StratifiedSampler, UniformSampler
+from .tasks.study import build_method_sample
+from .viz import Figure
+
+
+def _load_xy(path: str) -> np.ndarray:
+    """Load an (N, >=2) CSV; the first two columns are x and y."""
+    data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    if data.shape[1] < 2:
+        raise ReproError(f"{path}: expected at least two columns")
+    return data[:, :2]
+
+
+def _save_xy(path: str, points: np.ndarray,
+             weights: np.ndarray | None = None) -> None:
+    if weights is None:
+        np.savetxt(path, points, delimiter=",", header="x,y", comments="")
+    else:
+        out = np.column_stack([points, weights])
+        np.savetxt(path, out, delimiter=",", header="x,y,weight",
+                   comments="")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    data = GeolifeGenerator(seed=args.seed).generate(args.rows)
+    out = np.column_stack([data.xy, data.altitude])
+    np.savetxt(args.out, out, delimiter=",",
+               header="longitude,latitude,altitude", comments="")
+    print(f"wrote {args.rows:,} rows to {args.out}")
+    return 0
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    xy = _load_xy(args.input)
+    result = build_method_sample(args.method, xy, args.k, seed=args.seed)
+    _save_xy(args.out, result.points, result.weights)
+    objective = result.metadata.get("objective")
+    extra = f", objective={objective:.4f}" if objective is not None else ""
+    print(f"{args.method}: {len(result):,} of {len(xy):,} rows "
+          f"-> {args.out}{extra}")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    raw = np.loadtxt(args.input, delimiter=",", skiprows=1, ndmin=2)
+    points = raw[:, :2]
+    weights = raw[:, 2] if (args.use_weights and raw.shape[1] > 2) else None
+    fig = Figure(width=args.size, height=args.size,
+                 point_radius=args.radius)
+    fig.scatter(points, weights=weights)
+    fig.save(args.out)
+    print(f"rendered {len(points):,} points "
+          f"({fig.last_render_seconds * 1e3:.0f} ms) -> {args.out}")
+    return 0
+
+
+def cmd_loss(args: argparse.Namespace) -> int:
+    xy = _load_xy(args.input)
+    eps = epsilon_from_diameter(xy)
+    evaluator = LossEvaluator(xy, GaussianKernel(eps),
+                              n_probes=args.probes, rng=args.seed)
+    print(f"epsilon = {eps:.6g} (diameter/100); "
+          f"{args.probes} Monte-Carlo probes")
+    print(f"{'method':<12} {'log-loss-ratio':>15}")
+    for method in ("uniform", "stratified", "vas"):
+        sample = build_method_sample(method, xy, args.k, seed=args.seed)
+        llr = evaluator.log_loss_ratio(sample.points)
+        print(f"{method:<12} {llr:>15.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Visualization-aware sampling toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="generate a Geolife-like CSV")
+    p.add_argument("--rows", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="geolife_demo.csv")
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("sample", help="draw a sample from a CSV")
+    p.add_argument("input")
+    p.add_argument("--method", default="vas",
+                   choices=["uniform", "stratified", "vas", "vas+density"])
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="sample.csv")
+    p.set_defaults(fn=cmd_sample)
+
+    p = sub.add_parser("render", help="rasterise a CSV into a PNG")
+    p.add_argument("input")
+    p.add_argument("--size", type=int, default=500)
+    p.add_argument("--radius", type=int, default=1)
+    p.add_argument("--use-weights", action="store_true",
+                   help="scale marker area with a third CSV column")
+    p.add_argument("--out", default="plot.png")
+    p.set_defaults(fn=cmd_render)
+
+    p = sub.add_parser("loss", help="compare methods' visualization loss")
+    p.add_argument("input")
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("--probes", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_loss)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""The paper's contribution: the VAS problem, its loss, and its solvers.
+
+Public surface:
+
+* :class:`VASSampler` — the high-level sampler (Interchange under the
+  shared :class:`~repro.sampling.Sampler` interface);
+* :func:`run_interchange` — the raw Algorithm 1 driver with tracing;
+* kernels (:func:`make_kernel`, :class:`GaussianKernel`, ...) and the
+  footnote-2 bandwidth heuristic (:func:`select_epsilon`);
+* the Monte-Carlo loss (:class:`LossEvaluator`, :func:`log_loss_ratio`);
+* exact solvers for Table II (:func:`solve_branch_and_bound`,
+  :func:`solve_brute_force`);
+* the §V density embedding (:func:`embed_density`,
+  :func:`density_weights`) and the greedy submodular baseline
+  (:class:`GreedySampler`).
+"""
+
+from .batch import BatchESProcessor, run_batch_interchange
+from .density import density_weights, embed_density
+from .maintenance import SampleMaintainer
+from .mip import MipModel, build_mip, solve_with_branch_and_bound, to_lp_format
+from .epsilon import (
+    PAPER_DIVISOR,
+    epsilon_from_diameter,
+    epsilon_from_nn_spacing,
+    epsilon_silverman,
+    select_epsilon,
+)
+from .exact import ExactResult, solve_branch_and_bound, solve_brute_force
+from .greedy import GreedySampler
+from .interchange import InterchangeResult, TracePoint, run_interchange
+from .kernel import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    LaplaceKernel,
+    kernel_names,
+    make_kernel,
+)
+from .loss import (
+    DEFAULT_DOMAIN_RADIUS,
+    DEFAULT_PROBES,
+    LossEstimate,
+    LossEvaluator,
+    estimate_loss,
+    log_loss_ratio,
+    point_losses,
+    sample_domain_probes,
+)
+from .responsibility import CandidateSet
+from .strategies import (
+    ESLocStrategy,
+    ESStrategy,
+    NoESStrategy,
+    ReplacementStrategy,
+    make_strategy,
+    strategy_names,
+)
+from .vas import DEFAULT_LOC_THRESHOLD, VASSampler
+
+__all__ = [
+    "BatchESProcessor",
+    "CandidateSet",
+    "MipModel",
+    "SampleMaintainer",
+    "build_mip",
+    "run_batch_interchange",
+    "to_lp_format",
+    "CauchyKernel",
+    "DEFAULT_DOMAIN_RADIUS",
+    "DEFAULT_LOC_THRESHOLD",
+    "DEFAULT_PROBES",
+    "EpanechnikovKernel",
+    "ESLocStrategy",
+    "ESStrategy",
+    "ExactResult",
+    "GaussianKernel",
+    "GreedySampler",
+    "InterchangeResult",
+    "Kernel",
+    "LaplaceKernel",
+    "LossEstimate",
+    "LossEvaluator",
+    "NoESStrategy",
+    "PAPER_DIVISOR",
+    "ReplacementStrategy",
+    "TracePoint",
+    "VASSampler",
+    "density_weights",
+    "embed_density",
+    "epsilon_from_diameter",
+    "epsilon_from_nn_spacing",
+    "epsilon_silverman",
+    "estimate_loss",
+    "kernel_names",
+    "log_loss_ratio",
+    "make_kernel",
+    "make_strategy",
+    "point_losses",
+    "run_interchange",
+    "sample_domain_probes",
+    "select_epsilon",
+    "solve_branch_and_bound",
+    "solve_brute_force",
+    "strategy_names",
+]

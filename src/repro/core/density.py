@@ -1,0 +1,69 @@
+"""Density embedding — the §V extension of VAS.
+
+Plain VAS spreads sample points to cover structure, which deliberately
+*discards* density information; the paper's fix is a second streaming
+pass that attaches a counter to every sampled point and increments the
+counter of the nearest sample point for each scanned tuple.  The
+resulting per-sample-point weights drive density-proportional marker
+sizes (or jitter) at render time, and they turn VAS from the worst to
+the best method on the density-estimation and clustering user tasks
+(Table I b, c).
+
+The nearest-neighbour tests use the from-scratch
+:class:`~repro.index.KDTree`, giving the ``O(N log K)`` second pass the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import EmptyDatasetError
+from ..geometry import as_points
+from ..index import KDTree
+from ..sampling.base import SampleResult
+
+
+def density_weights(sample_points: np.ndarray,
+                    chunks: Iterable[np.ndarray]) -> np.ndarray:
+    """Count, per sample point, the dataset rows it is nearest to.
+
+    Parameters
+    ----------
+    sample_points:
+        ``(K, 2)`` sample produced by any sampler.
+    chunks:
+        A stream over the *original* dataset (the second pass).
+
+    Returns
+    -------
+    ``(K,)`` float64 counts summing to the number of streamed rows.
+    """
+    sample_points = as_points(sample_points)
+    if len(sample_points) == 0:
+        raise EmptyDatasetError("density_weights needs a non-empty sample")
+    tree = KDTree(sample_points)
+    counts = np.zeros(len(sample_points), dtype=np.float64)
+    for chunk in chunks:
+        pts = as_points(chunk)
+        if len(pts) == 0:
+            continue
+        nearest = tree.nearest_ids(pts)
+        counts += np.bincount(nearest, minlength=len(sample_points))
+    return counts
+
+
+def embed_density(result: SampleResult,
+                  chunks: Iterable[np.ndarray]) -> SampleResult:
+    """Return a copy of ``result`` with §V density weights attached.
+
+    The input result is unchanged; the returned one carries ``weights``
+    and a ``method`` suffixed with ``"+density"`` so experiment tables
+    can distinguish "VAS" from "VAS w/ density".
+    """
+    weights = density_weights(result.points, chunks)
+    out = result.with_weights(weights)
+    out.method = f"{result.method}+density" if result.method else "+density"
+    return out

@@ -1,0 +1,96 @@
+"""Bandwidth (ε) selection.
+
+Footnote 2 of the paper: "In our experiments, we set
+ε ≈ max(‖x_i − x_j‖)/100 but there is a theory on how to choose the
+optimal value for ε as the only unknown parameter."
+
+This module implements that heuristic plus two alternatives used by the
+ε-sensitivity ablation:
+
+* ``diameter`` — the paper's rule, ``diameter / divisor`` (divisor 100);
+* ``nn``       — median nearest-neighbour spacing of a subsample,
+  scaled; adapts to local density rather than global extent;
+* ``silverman`` — Silverman's rule-of-thumb bandwidth per axis,
+  combined geometrically; the classical KDE default.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError, EmptyDatasetError
+from ..geometry import as_points, max_pairwise_distance, pairwise_sq_dists
+from ..rng import as_generator
+
+#: The divisor in the paper's footnote-2 heuristic.
+PAPER_DIVISOR = 100.0
+
+
+def epsilon_from_diameter(points: np.ndarray, divisor: float = PAPER_DIVISOR,
+                          rng: int | np.random.Generator | None = None) -> float:
+    """The paper's heuristic: dataset diameter divided by ``divisor``."""
+    if divisor <= 0:
+        raise ConfigurationError(f"divisor must be positive, got {divisor}")
+    diameter = max_pairwise_distance(points, rng=as_generator(rng))
+    if diameter <= 0:
+        # All points coincide; any positive bandwidth behaves the same.
+        return 1.0
+    return diameter / divisor
+
+
+def epsilon_from_nn_spacing(points: np.ndarray, scale: float = 10.0,
+                            sample_cap: int = 1024,
+                            rng: int | np.random.Generator | None = None) -> float:
+    """Median nearest-neighbour distance of a subsample, times ``scale``."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    pts = as_points(points)
+    if len(pts) < 2:
+        raise EmptyDatasetError("nn-spacing bandwidth needs at least 2 points")
+    gen = as_generator(rng)
+    if len(pts) > sample_cap:
+        idx = gen.choice(len(pts), size=sample_cap, replace=False)
+        pts = pts[idx]
+    d2 = pairwise_sq_dists(pts)
+    np.fill_diagonal(d2, np.inf)
+    nn = np.sqrt(d2.min(axis=1))
+    med = float(np.median(nn[np.isfinite(nn)]))
+    if med <= 0:
+        return epsilon_from_diameter(points, rng=gen)
+    return med * scale
+
+
+def epsilon_silverman(points: np.ndarray) -> float:
+    """Silverman's rule-of-thumb bandwidth, combined across both axes.
+
+    ``h_j = 1.06 σ_j n^{-1/5}`` per axis; the returned ε is the
+    geometric mean of the two axis bandwidths.
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if n < 2:
+        raise EmptyDatasetError("silverman bandwidth needs at least 2 points")
+    sigmas = pts.std(axis=0, ddof=1)
+    sigmas = np.where(sigmas > 0, sigmas, 1e-12)
+    hs = 1.06 * sigmas * n ** (-0.2)
+    return float(math.sqrt(hs[0] * hs[1]))
+
+
+_METHODS = {
+    "diameter": epsilon_from_diameter,
+    "nn": epsilon_from_nn_spacing,
+    "silverman": epsilon_silverman,
+}
+
+
+def select_epsilon(points: np.ndarray, method: str = "diameter", **kwargs) -> float:
+    """Dispatch ε selection by method name (default: the paper's rule)."""
+    try:
+        fn = _METHODS[method]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown epsilon method {method!r}; expected one of {sorted(_METHODS)}"
+        ) from None
+    return float(fn(points, **kwargs))

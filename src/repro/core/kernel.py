@@ -1,0 +1,187 @@
+"""Proximity (kernel) functions κ and κ̃ from §III of the paper.
+
+The loss formulation uses a proximity function ``κ(x, s)`` that decays
+with distance; the paper works with the Gaussian
+``κ(x, s) = exp(-‖x-s‖²/(2ε²))`` and notes that after the Taylor-
+expansion step the pairwise term ``κ̃(s_i, s_j)`` is *again* a Gaussian
+(with a constant factor that does not affect the argmin), so "it is
+sufficient to use any proximity function directly in place of κ̃".
+Accordingly a :class:`Kernel` here plays both roles.
+
+The paper further requires the proximity function to be a *decreasing
+convex* function of distance and exploits *locality*: the Gaussian is
+1.12e-7 at distance 4ε, so pairs farther than a few ε can be ignored
+(§IV-B "Speed-Up using the Locality of Proximity function").  Each
+kernel therefore reports a :meth:`Kernel.cutoff_radius` for a given
+tolerance, which the ES+Loc strategy feeds to its spatial index.
+
+Kernels implemented (all with bandwidth ``epsilon``):
+
+================  ===========================================  =========
+name              κ̃(d)                                          support
+================  ===========================================  =========
+``gaussian``      ``exp(-d² / (2 ε²))``                         infinite
+``laplace``       ``exp(-d / ε)``                               infinite
+``cauchy``        ``1 / (1 + d²/ε²)``                           infinite
+``epanechnikov``  ``max(0, 1 - d²/ε²)``                         ``d < ε``
+================  ===========================================  =========
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import as_points, pairwise_sq_dists, sq_dists_to
+
+
+class Kernel(abc.ABC):
+    """A proximity function of squared distance with bandwidth ``epsilon``."""
+
+    #: registry name, e.g. ``"gaussian"``
+    name: str = "abstract"
+
+    def __init__(self, epsilon: float) -> None:
+        if not (epsilon > 0) or not math.isfinite(epsilon):
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    # -- the kernel profile ------------------------------------------------
+    @abc.abstractmethod
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        """Kernel value for an array of *squared* distances."""
+
+    @abc.abstractmethod
+    def cutoff_radius(self, tolerance: float = 1e-6) -> float:
+        """Distance beyond which the kernel value is below ``tolerance``.
+
+        ``inf`` tolerance handling: tolerance must be in (0, 1); values
+        >= 1 would make the cutoff zero and are rejected.
+        """
+
+    # -- vectorised evaluation -----------------------------------------------
+    def similarity_to(self, point: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """κ̃ between one ``point`` and each row of ``points`` → ``(N,)``."""
+        pts = as_points(points)
+        if len(pts) == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._profile(sq_dists_to(pts, np.asarray(point, dtype=np.float64)))
+
+    def similarity_matrix(self, a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+        """κ̃ between rows of ``a`` and rows of ``b`` → ``(len(a), len(b))``."""
+        a = as_points(a)
+        if b is None:
+            d2 = pairwise_sq_dists(a)
+        else:
+            d2 = pairwise_sq_dists(a, as_points(b))
+        return self._profile(d2)
+
+    def from_sq_dists(self, sq_dists: np.ndarray) -> np.ndarray:
+        """Kernel value for precomputed squared distances."""
+        return self._profile(np.asarray(sq_dists, dtype=np.float64))
+
+    def pairwise_objective(self, points: np.ndarray) -> float:
+        """The VAS optimisation objective ``Σ_{i<j} κ̃(s_i, s_j)``."""
+        pts = as_points(points)
+        n = len(pts)
+        if n < 2:
+            return 0.0
+        sim = self.similarity_matrix(pts)
+        # Sum of strict upper triangle = (total - diagonal) / 2.
+        return float((sim.sum() - np.trace(sim)) / 2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self.epsilon!r})"
+
+    @staticmethod
+    def _check_tolerance(tolerance: float) -> float:
+        if not (0.0 < tolerance < 1.0):
+            raise ConfigurationError(
+                f"tolerance must be in (0, 1), got {tolerance}"
+            )
+        return float(tolerance)
+
+
+class GaussianKernel(Kernel):
+    """``exp(-d² / (2 ε²))`` — the paper's kernel."""
+
+    name = "gaussian"
+
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        return np.exp(-sq_dists / (2.0 * self.epsilon * self.epsilon))
+
+    def cutoff_radius(self, tolerance: float = 1e-6) -> float:
+        tolerance = self._check_tolerance(tolerance)
+        return self.epsilon * math.sqrt(-2.0 * math.log(tolerance))
+
+
+class LaplaceKernel(Kernel):
+    """``exp(-d / ε)`` — heavier tail, still decreasing convex."""
+
+    name = "laplace"
+
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        return np.exp(-np.sqrt(sq_dists) / self.epsilon)
+
+    def cutoff_radius(self, tolerance: float = 1e-6) -> float:
+        tolerance = self._check_tolerance(tolerance)
+        return -self.epsilon * math.log(tolerance)
+
+
+class CauchyKernel(Kernel):
+    """``1 / (1 + d²/ε²)`` — polynomial tail."""
+
+    name = "cauchy"
+
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + sq_dists / (self.epsilon * self.epsilon))
+
+    def cutoff_radius(self, tolerance: float = 1e-6) -> float:
+        tolerance = self._check_tolerance(tolerance)
+        return self.epsilon * math.sqrt(1.0 / tolerance - 1.0)
+
+
+class EpanechnikovKernel(Kernel):
+    """``max(0, 1 - d²/ε²)`` — compact support, exact locality."""
+
+    name = "epanechnikov"
+
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - sq_dists / (self.epsilon * self.epsilon))
+
+    def cutoff_radius(self, tolerance: float = 1e-6) -> float:
+        self._check_tolerance(tolerance)
+        return self.epsilon
+
+
+_KERNELS: dict[str, type[Kernel]] = {
+    GaussianKernel.name: GaussianKernel,
+    LaplaceKernel.name: LaplaceKernel,
+    CauchyKernel.name: CauchyKernel,
+    EpanechnikovKernel.name: EpanechnikovKernel,
+}
+
+
+def kernel_names() -> list[str]:
+    """Names of all registered kernel families."""
+    return sorted(_KERNELS)
+
+
+def make_kernel(name: str, epsilon: float) -> Kernel:
+    """Instantiate a kernel by registry name.
+
+    Raises
+    ------
+    ConfigurationError
+        For an unknown name (the message lists valid ones).
+    """
+    try:
+        cls = _KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; expected one of {kernel_names()}"
+        ) from None
+    return cls(epsilon)

@@ -1,0 +1,150 @@
+"""Incremental sample maintenance under appends (§II-B).
+
+"A sample can also be periodically updated when new data arrives
+[28]."  The paper leaves the mechanism implicit; the natural one falls
+out of Interchange being a streaming hill-climber: *feed only the new
+tuples* through Expand/Shrink against the existing sample.  The result
+is exactly what a fresh Interchange pass over (old data ∪ new data)
+would produce if it happened to visit the old data first — each new
+tuple enters iff it lowers the objective.
+
+Density counters (§V) are maintained alongside: every appended tuple
+increments its nearest sample point's counter; when a sample point is
+evicted, its counter mass is transferred to the nearest survivor (the
+Voronoi cells merge, to first order).
+
+:class:`SampleMaintainer` wraps this lifecycle for a deployment that
+keeps a sample fresh as the base table grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, EmptyDatasetError
+from ..geometry import as_points
+from ..index import KDTree
+from ..sampling.base import SampleResult
+from .kernel import Kernel
+from .responsibility import CandidateSet
+from .strategies import ESStrategy
+
+
+class SampleMaintainer:
+    """Keeps a VAS sample (optionally with §V weights) fresh on appends.
+
+    Parameters
+    ----------
+    initial:
+        The offline-built sample to maintain.  When it carries weights,
+        they are maintained too.
+    kernel:
+        The κ̃ the sample was built with (same bandwidth!).
+    next_source_id:
+        Row id to assign to the first appended tuple (defaults to one
+        past the largest id in ``initial``).
+    """
+
+    def __init__(self, initial: SampleResult, kernel: Kernel,
+                 next_source_id: int | None = None) -> None:
+        if len(initial) == 0:
+            raise EmptyDatasetError("cannot maintain an empty sample")
+        self.kernel = kernel
+        self._set = CandidateSet(len(initial), kernel)
+        for sid, pt in zip(initial.indices, initial.points):
+            self._set.fill(int(sid), pt)
+        self._strategy = ESStrategy(self._set)
+        if initial.weights is not None:
+            self._weights: np.ndarray | None = initial.weights.copy()
+        else:
+            self._weights = None
+        if next_source_id is None:
+            next_source_id = int(initial.indices.max()) + 1
+        if next_source_id < 0:
+            raise ConfigurationError(
+                f"next_source_id must be >= 0, got {next_source_id}"
+            )
+        self._next_id = next_source_id
+        self.appended = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def sample(self) -> SampleResult:
+        """The current sample as a fresh :class:`SampleResult`."""
+        order = np.argsort(self._set.source_ids)
+        return SampleResult(
+            points=self._set.points[order].copy(),
+            indices=self._set.source_ids[order].copy(),
+            weights=(self._weights[order].copy()
+                     if self._weights is not None else None),
+            method="vas+density" if self._weights is not None else "vas",
+            metadata={"objective": self._set.objective(),
+                      "appended": self.appended},
+        )
+
+    @property
+    def objective(self) -> float:
+        return self._set.objective()
+
+    # -- appends ---------------------------------------------------------------
+    def append(self, new_points: np.ndarray) -> int:
+        """Feed appended tuples through Interchange; returns acceptances.
+
+        Weight bookkeeping happens per accepted eviction, so the §V
+        counters remain a partition of *all* rows seen (old + new).
+        """
+        pts = as_points(new_points)
+        if len(pts) == 0:
+            return 0
+        accepted = 0
+        for pt in pts:
+            source_id = self._next_id
+            self._next_id += 1
+            self.appended += 1
+            if self._weights is None:
+                if self._strategy.process(source_id, pt):
+                    accepted += 1
+                continue
+            accepted += self._append_weighted(source_id, pt)
+        return accepted
+
+    def _append_weighted(self, source_id: int, pt: np.ndarray) -> int:
+        """One weighted append: maintain counters through the swap."""
+        cs = self._set
+        assert self._weights is not None
+        row = self.kernel.similarity_to(pt, cs.points)
+        slot = cs.expanded_max_slot(row, float(row.sum()))
+        if slot >= len(cs):
+            # Rejected: the new tuple lands in some survivor's cell.
+            nearest = int(np.argmin(
+                np.einsum("ij,ij->i", cs.points - pt, cs.points - pt)
+            ))
+            self._weights[nearest] += 1.0
+            return 0
+        evicted_weight = float(self._weights[slot])
+        cs.replace(slot, source_id, pt, row)
+        # The new member starts with its own mass; the evictee's mass
+        # moves to the nearest survivor (cells merge, first order).
+        self._weights[slot] = 1.0
+        others = np.delete(np.arange(len(cs)), slot)
+        evicted_pt = pt  # old coords gone; approximate by new location
+        diffs = cs.points[others] - evicted_pt[None, :]
+        nearest = int(others[np.argmin(np.einsum("ij,ij->i", diffs, diffs))])
+        self._weights[nearest] += evicted_weight
+        return 1
+
+    def rebuild_weights(self, chunks) -> None:
+        """Exact §V recount over a full scan (first-order drift flush).
+
+        ``chunks`` must stream the *entire* current dataset (base +
+        appends).  Uses the k-d tree exactly like the offline pass.
+        """
+        tree = KDTree(self._set.points)
+        counts = np.zeros(len(self._set), dtype=np.float64)
+        for chunk in chunks:
+            pts = as_points(chunk)
+            if len(pts) == 0:
+                continue
+            nearest = tree.nearest_ids(pts)
+            counts += np.bincount(nearest, minlength=len(self._set))
+        self._weights = counts

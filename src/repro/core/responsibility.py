@@ -1,0 +1,153 @@
+"""Responsibility bookkeeping (Definition 2 of the paper).
+
+The *responsibility* of an element ``s_i`` of the candidate set ``S``
+is ``rsp_S(s_i) = ½ Σ_{j≠i} κ̃(s_i, s_j)`` — its share of the pairwise
+optimisation objective.  The Expand/Shrink trick of Algorithm 1 rests
+on a simple identity: replacing ``s_i`` by a new tuple ``t`` lowers the
+objective **iff** in the expanded set ``S ∪ {t}`` the responsibility of
+``t`` is smaller than that of ``s_i`` (Theorem 2).
+
+:class:`CandidateSet` maintains the candidate sample with per-element
+responsibilities stored as *full* sums ``Σ_{j≠i} κ̃(s_i, s_j)`` (the ½
+factor cancels in every comparison, and full sums make the objective
+recoverable as ``responsibilities.sum() / 2``).
+
+The set has fixed capacity ``K`` and supports exactly the operations
+the Interchange strategies need:
+
+* :meth:`fill` — append a point while below capacity, updating sums;
+* :meth:`replace` — swap slot ``j`` for a new point given the kernel
+  row of the new point (O(K) with one extra kernel row for the evictee);
+* :meth:`objective` — current ``Σ_{i<j} κ̃`` value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .kernel import Kernel
+
+
+class CandidateSet:
+    """The mutable sample-candidate set used by Interchange.
+
+    Parameters
+    ----------
+    capacity:
+        Target sample size K.
+    kernel:
+        The proximity function κ̃.
+    """
+
+    def __init__(self, capacity: int, kernel: Kernel) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.kernel = kernel
+        self._points = np.empty((capacity, 2), dtype=np.float64)
+        self._responsibilities = np.zeros(capacity, dtype=np.float64)
+        self._source_ids = np.full(capacity, -1, dtype=np.int64)
+        self._size = 0
+
+    # -- views --------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    @property
+    def points(self) -> np.ndarray:
+        """``(size, 2)`` view of the current candidate coordinates."""
+        return self._points[:self._size]
+
+    @property
+    def responsibilities(self) -> np.ndarray:
+        """``(size,)`` view of full responsibility sums ``Σ_{j≠i} κ̃``."""
+        return self._responsibilities[:self._size]
+
+    @property
+    def source_ids(self) -> np.ndarray:
+        """``(size,)`` row ids of each candidate in the original dataset."""
+        return self._source_ids[:self._size]
+
+    def objective(self) -> float:
+        """Current optimisation objective ``Σ_{i<j} κ̃(s_i, s_j)``."""
+        return float(self.responsibilities.sum() / 2.0)
+
+    def recompute(self) -> None:
+        """Rebuild all responsibilities from scratch (O(K²)).
+
+        Used by tests to validate incremental updates, and by the
+        ES+Loc strategy to periodically flush accumulated cutoff error.
+        """
+        pts = self.points
+        if len(pts) == 0:
+            return
+        sim = self.kernel.similarity_matrix(pts)
+        np.fill_diagonal(sim, 0.0)
+        self._responsibilities[:self._size] = sim.sum(axis=1)
+
+    # -- mutation -----------------------------------------------------------
+    def fill(self, source_id: int, point: np.ndarray) -> np.ndarray:
+        """Append a point while below capacity.
+
+        Returns the kernel row of the new point against the *previous*
+        members (length ``size - 1`` after the append), so callers that
+        maintain a spatial index can reuse it.
+        """
+        if self.is_full:
+            raise ConfigurationError("fill() on a full CandidateSet")
+        idx = self._size
+        pt = np.asarray(point, dtype=np.float64)
+        row = self.kernel.similarity_to(pt, self._points[:idx])
+        self._responsibilities[:idx] += row
+        self._responsibilities[idx] = row.sum()
+        self._points[idx] = pt
+        self._source_ids[idx] = source_id
+        self._size += 1
+        return row
+
+    def expanded_max_slot(self, new_row: np.ndarray, new_rsp: float) -> int:
+        """Slot index of the maximum responsibility in the expanded set.
+
+        ``new_row`` is κ̃ of the incoming point against the current
+        members and ``new_rsp`` its sum.  Returns ``size`` (one past the
+        end) when the incoming point itself has the largest
+        responsibility — i.e. the replacement should be rejected.
+
+        Ties are broken in favour of the incoming point (reject), so a
+        point exactly as responsible as the worst member does not churn
+        the set; this matches "if no element exists whose responsibility
+        is larger than that of t, then t is removed" in Theorem 2.
+        """
+        expanded = self.responsibilities + new_row
+        j = int(np.argmax(expanded))
+        if expanded[j] > new_rsp:
+            return j
+        return self._size
+
+    def replace(self, slot: int, source_id: int, point: np.ndarray,
+                new_row: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Swap ``slot`` for ``point`` given the point's kernel row.
+
+        ``new_row`` must be κ̃(point, members) *including* the entry for
+        the evicted slot.  Returns ``(old_point, evict_row)`` where
+        ``evict_row`` is the kernel row of the evicted member (callers
+        with spatial indexes need the old coordinates to de-index).
+        """
+        if not (0 <= slot < self._size):
+            raise ConfigurationError(f"slot {slot} out of range [0, {self._size})")
+        old_point = self._points[slot].copy()
+        evict_row = self.kernel.similarity_to(old_point, self.points)
+        evict_row[slot] = 0.0  # no self-term
+        rsp = self.responsibilities
+        rsp += new_row - evict_row
+        # The new member's responsibility: its row sum minus the term
+        # against the member it replaced.
+        rsp[slot] = float(new_row.sum() - new_row[slot])
+        self._points[slot] = np.asarray(point, dtype=np.float64)
+        self._source_ids[slot] = source_id
+        return old_point, evict_row

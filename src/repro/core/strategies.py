@@ -1,0 +1,258 @@
+"""Acceleration strategies for the Interchange inner loop (§IV-B, Fig 10).
+
+The paper benchmarks three implementations of the valid-replacement
+test that runs once per scanned tuple:
+
+* **No-ES** (:class:`NoESStrategy`): recompute responsibilities from
+  scratch and compare candidate swaps — O(K²) kernel evaluations per
+  tuple.
+* **ES** (:class:`ESStrategy`): the Expand/Shrink trick of Algorithm 1 —
+  O(K) kernel evaluations per tuple, with incrementally maintained
+  responsibilities.
+* **ES+Loc** (:class:`ESLocStrategy`): Expand/Shrink restricted to the
+  members within the kernel's locality cutoff of the incoming tuple,
+  found through a dynamic spatial index (R-tree, as in the paper, or a
+  uniform grid) — roughly O(neighbourhood) per tuple.
+
+All three expose a single method, :meth:`ReplacementStrategy.process`,
+which offers one tuple to a :class:`~repro.core.responsibility.CandidateSet`
+and mutates it when the replacement lowers the objective.  ES and No-ES
+make identical decisions (they are exact); ES+Loc may differ within the
+cutoff tolerance.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..index import GridIndex, RTree
+from .kernel import Kernel
+from .responsibility import CandidateSet
+
+
+class ReplacementStrategy(abc.ABC):
+    """Processes stream tuples against a :class:`CandidateSet`."""
+
+    name: str = "abstract"
+
+    def __init__(self, candidate_set: CandidateSet) -> None:
+        self.set = candidate_set
+        self.kernel: Kernel = candidate_set.kernel
+        self.replacements = 0
+        self.processed = 0
+
+    @abc.abstractmethod
+    def process(self, source_id: int, point: np.ndarray) -> bool:
+        """Offer one tuple; return ``True`` when it entered the set."""
+
+    def finalize(self) -> None:
+        """Hook run after a full pass (ES+Loc flushes drift here)."""
+
+
+class ESStrategy(ReplacementStrategy):
+    """Exact Expand/Shrink — Algorithm 1 with O(K) work per tuple."""
+
+    name = "es"
+
+    def process(self, source_id: int, point: np.ndarray) -> bool:
+        self.processed += 1
+        cs = self.set
+        if not cs.is_full:
+            cs.fill(source_id, point)
+            self.replacements += 1
+            return True
+        pt = np.asarray(point, dtype=np.float64)
+        row = self.kernel.similarity_to(pt, cs.points)
+        slot = cs.expanded_max_slot(row, float(row.sum()))
+        if slot >= len(cs):
+            return False
+        cs.replace(slot, source_id, pt, row)
+        self.replacements += 1
+        return True
+
+
+class NoESStrategy(ReplacementStrategy):
+    """Baseline without Expand/Shrink — O(K²) work per tuple.
+
+    For every incoming tuple the full pairwise similarity matrix of the
+    candidate set is recomputed, responsibilities are derived from it,
+    and the best swap is tested — the "most basic configuration that
+    ... compares the responsibility when a new point is switched with
+    another one in the sample" from §VI-D.  Decisions are identical to
+    :class:`ESStrategy`; only the cost differs.
+    """
+
+    name = "no-es"
+
+    def process(self, source_id: int, point: np.ndarray) -> bool:
+        self.processed += 1
+        cs = self.set
+        if not cs.is_full:
+            cs.fill(source_id, point)
+            cs.recompute()  # deliberate full recompute, the No-ES way
+            self.replacements += 1
+            return True
+        pt = np.asarray(point, dtype=np.float64)
+        # From-scratch responsibilities: the defining inefficiency.
+        sim = self.kernel.similarity_matrix(cs.points)
+        np.fill_diagonal(sim, 0.0)
+        responsibilities = sim.sum(axis=1)
+        row = self.kernel.similarity_to(pt, cs.points)
+        new_rsp = float(row.sum())
+        expanded = responsibilities + row
+        slot = int(np.argmax(expanded))
+        if expanded[slot] <= new_rsp:
+            return False
+        cs.replace(slot, source_id, pt, row)
+        cs.recompute()
+        self.replacements += 1
+        return True
+
+
+class ESLocStrategy(ReplacementStrategy):
+    """Expand/Shrink with a locality cutoff backed by a spatial index.
+
+    Parameters
+    ----------
+    candidate_set:
+        The set to maintain.
+    tolerance:
+        Kernel values below this are treated as zero; the cutoff radius
+        is ``kernel.cutoff_radius(tolerance)``.  The paper's example:
+        the Gaussian is 1.12e-7 at distance 4ε.
+    index_kind:
+        ``"rtree"`` (as in the paper) or ``"grid"``.
+    recompute_every:
+        Exact responsibility rebuild period (in accepted replacements)
+        to flush accumulated truncation drift; 0 disables.
+    """
+
+    name = "es+loc"
+
+    def __init__(self, candidate_set: CandidateSet, tolerance: float = 1e-6,
+                 index_kind: str = "rtree", recompute_every: int = 0) -> None:
+        super().__init__(candidate_set)
+        self.cutoff = self.kernel.cutoff_radius(tolerance)
+        if index_kind == "rtree":
+            self._index: RTree | GridIndex = RTree(max_entries=16)
+        elif index_kind == "grid":
+            self._index = GridIndex(cell_size=max(self.cutoff / 2.0, 1e-12))
+        else:
+            raise ConfigurationError(
+                f"index_kind must be 'rtree' or 'grid', got {index_kind!r}"
+            )
+        self.index_kind = index_kind
+        if recompute_every < 0:
+            raise ConfigurationError(
+                f"recompute_every must be >= 0, got {recompute_every}"
+            )
+        self.recompute_every = int(recompute_every)
+        self._since_recompute = 0
+
+    # -- index plumbing ----------------------------------------------------
+    def _index_insert(self, slot: int, x: float, y: float) -> None:
+        self._index.insert(slot, x, y)
+
+    def _index_remove(self, slot: int, x: float, y: float) -> None:
+        if isinstance(self._index, RTree):
+            self._index.remove(slot, x, y)
+        else:
+            self._index.remove(slot)
+
+    def _neighbors(self, x: float, y: float) -> list[int]:
+        return self._index.query_radius(x, y, self.cutoff)
+
+    # -- core --------------------------------------------------------------
+    def process(self, source_id: int, point: np.ndarray) -> bool:
+        self.processed += 1
+        cs = self.set
+        pt = np.asarray(point, dtype=np.float64)
+        if not cs.is_full:
+            slot = len(cs)
+            cs.fill(source_id, pt)
+            self._index_insert(slot, float(pt[0]), float(pt[1]))
+            self.replacements += 1
+            return True
+
+        neighbors = self._neighbors(float(pt[0]), float(pt[1]))
+        # Sparse kernel row: zero outside the cutoff neighbourhood.
+        row = np.zeros(len(cs), dtype=np.float64)
+        if neighbors:
+            nb = np.asarray(neighbors, dtype=np.int64)
+            row[nb] = self.kernel.similarity_to(pt, cs.points[nb])
+        new_rsp = float(row.sum())
+
+        slot = cs.expanded_max_slot(row, new_rsp)
+        if slot >= len(cs):
+            return False
+
+        old_point = cs.points[slot].copy()
+        # Sparse eviction row via the evictee's own neighbourhood.
+        evict_neighbors = self._neighbors(float(old_point[0]), float(old_point[1]))
+        evict_row = np.zeros(len(cs), dtype=np.float64)
+        if evict_neighbors:
+            enb = np.asarray(
+                [n for n in evict_neighbors if n != slot], dtype=np.int64
+            )
+            if len(enb):
+                evict_row[enb] = self.kernel.similarity_to(old_point, cs.points[enb])
+
+        self._apply_replace(slot, source_id, pt, row, evict_row)
+        self._index_remove(slot, float(old_point[0]), float(old_point[1]))
+        self._index_insert(slot, float(pt[0]), float(pt[1]))
+        self.replacements += 1
+
+        self._since_recompute += 1
+        if self.recompute_every and self._since_recompute >= self.recompute_every:
+            cs.recompute()
+            self._since_recompute = 0
+        return True
+
+    def _apply_replace(self, slot: int, source_id: int, pt: np.ndarray,
+                       row: np.ndarray, evict_row: np.ndarray) -> None:
+        """Sparse version of :meth:`CandidateSet.replace`.
+
+        Bypasses the dense O(K) eviction-row computation inside
+        ``CandidateSet.replace`` — the whole point of ES+Loc is that
+        both rows only touch the cutoff neighbourhoods.
+        """
+        cs = self.set
+        rsp = cs.responsibilities
+        rsp += row - evict_row
+        rsp[slot] = float(row.sum() - row[slot])
+        cs.points[slot] = pt
+        cs.source_ids[slot] = source_id
+
+    def finalize(self) -> None:
+        """Flush truncation drift with one exact recompute."""
+        self.set.recompute()
+
+
+_STRATEGIES = {
+    ESStrategy.name: ESStrategy,
+    NoESStrategy.name: NoESStrategy,
+    ESLocStrategy.name: ESLocStrategy,
+}
+
+
+def make_strategy(name: str, candidate_set: CandidateSet,
+                  **kwargs) -> ReplacementStrategy:
+    """Instantiate a replacement strategy by name.
+
+    ``kwargs`` are forwarded (only ES+Loc takes any).
+    """
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; expected one of {sorted(_STRATEGIES)}"
+        ) from None
+    return cls(candidate_set, **kwargs)
+
+
+def strategy_names() -> list[str]:
+    """Names of all registered strategies."""
+    return sorted(_STRATEGIES)

@@ -1,0 +1,207 @@
+"""The public VAS sampler — the paper's primary contribution, wrapped
+in the shared :class:`~repro.sampling.Sampler` interface.
+
+Typical use::
+
+    from repro import VASSampler
+
+    sampler = VASSampler(rng=0)
+    result = sampler.sample(points, k=1000)          # one-shot
+    result = sampler.sample_with_density(points, k=1000)  # §V extension
+
+Configuration mirrors the knobs the paper discusses:
+
+* ``kernel`` / ``epsilon`` — the proximity function; by default a
+  Gaussian with the footnote-2 bandwidth (diameter / 100), chosen per
+  dataset at sampling time;
+* ``strategy`` — ``"auto"`` picks ES for small K and ES+Loc for large K
+  (the Fig 10 conclusion: the R-tree only pays for itself beyond ~10K
+  samples, so ``auto`` switches on ``loc_threshold``);
+* ``max_passes`` — Interchange keeps scanning until a pass makes no
+  replacement, up to this bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError, EmptyDatasetError
+from ..geometry import as_points
+from ..rng import as_generator
+from ..sampling.base import Sampler, SampleResult, iter_chunks, validate_sample_size
+from .density import embed_density
+from .epsilon import select_epsilon
+from .interchange import InterchangeResult, run_interchange
+from .kernel import Kernel, make_kernel
+
+#: ``strategy="auto"`` switches from ES to ES+Loc at this sample size.
+DEFAULT_LOC_THRESHOLD = 2000
+
+
+class VASSampler(Sampler):
+    """Visualization-Aware Sampling via the Interchange algorithm.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel family name (``"gaussian"`` — the paper's choice — or
+        any of :func:`repro.core.kernel.kernel_names`), or a ready
+        :class:`Kernel` instance with its bandwidth fixed.
+    epsilon:
+        Bandwidth; ``None`` selects the paper's diameter/100 heuristic
+        per dataset.  Ignored when ``kernel`` is an instance.
+    strategy:
+        ``"auto"``, ``"es"``, ``"es+loc"`` or ``"no-es"``.
+    max_passes:
+        Scan budget for Interchange (early-stops on convergence).
+    chunk_size:
+        Chunking for the one-shot path and internal streams.
+    loc_threshold:
+        K at which ``"auto"`` switches to ES+Loc.
+    loc_tolerance:
+        Kernel-locality truncation tolerance for ES+Loc.
+    rng:
+        Seed/generator for the shuffled scan order (the random start).
+    """
+
+    name = "vas"
+
+    def __init__(
+        self,
+        kernel: str | Kernel = "gaussian",
+        epsilon: float | None = None,
+        strategy: str = "auto",
+        max_passes: int = 2,
+        chunk_size: int = 8192,
+        loc_threshold: int = DEFAULT_LOC_THRESHOLD,
+        loc_tolerance: float = 1e-6,
+        rng: int | np.random.Generator | None = None,
+        trace_every: int = 0,
+    ) -> None:
+        if strategy not in ("auto", "es", "es+loc", "no-es"):
+            raise ConfigurationError(
+                f"strategy must be one of auto/es/es+loc/no-es, got {strategy!r}"
+            )
+        if max_passes < 1:
+            raise ConfigurationError(f"max_passes must be >= 1, got {max_passes}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._kernel_spec = kernel
+        self.epsilon = epsilon
+        self.strategy = strategy
+        self.max_passes = int(max_passes)
+        self.chunk_size = int(chunk_size)
+        self.loc_threshold = int(loc_threshold)
+        self.loc_tolerance = float(loc_tolerance)
+        self._rng = as_generator(rng)
+        self.trace_every = int(trace_every)
+        #: Populated after each run, for Fig 9-style inspection.
+        self.last_run: InterchangeResult | None = None
+
+    # -- kernel resolution --------------------------------------------------
+    def resolve_kernel(self, points: np.ndarray) -> Kernel:
+        """The κ̃ instance used for a given dataset.
+
+        An explicit :class:`Kernel` is passed through; otherwise the
+        family name plus ``epsilon`` (or the footnote-2 heuristic on
+        ``points``) builds one.
+        """
+        if isinstance(self._kernel_spec, Kernel):
+            return self._kernel_spec
+        eps = self.epsilon
+        if eps is None:
+            eps = select_epsilon(points, method="diameter", rng=self._rng)
+        return make_kernel(self._kernel_spec, eps)
+
+    def _resolve_strategy(self, k: int) -> tuple[str, dict]:
+        if self.strategy == "auto":
+            chosen = "es+loc" if k >= self.loc_threshold else "es"
+        else:
+            chosen = self.strategy
+        kwargs: dict = {}
+        if chosen == "es+loc":
+            kwargs["tolerance"] = self.loc_tolerance
+        return chosen, kwargs
+
+    # -- sampling -------------------------------------------------------------
+    def sample(self, points: np.ndarray, k: int) -> SampleResult:
+        pts = as_points(points)
+        k = validate_sample_size(k)
+        if len(pts) == 0:
+            raise EmptyDatasetError("VAS received no points")
+        if k >= len(pts):
+            idx = np.arange(len(pts), dtype=np.int64)
+            return SampleResult(points=pts[idx], indices=idx, method=self.name)
+
+        kernel = self.resolve_kernel(pts)
+        strategy, strategy_kwargs = self._resolve_strategy(k)
+        run = run_interchange(
+            chunks_factory=lambda: iter_chunks(pts, self.chunk_size),
+            k=k,
+            kernel=kernel,
+            strategy=strategy,
+            max_passes=self.max_passes,
+            trace_every=self.trace_every,
+            rng=self._rng,
+            strategy_kwargs=strategy_kwargs,
+        )
+        self.last_run = run
+        order = np.argsort(run.source_ids)
+        return SampleResult(
+            points=run.points[order],
+            indices=run.source_ids[order],
+            method=self.name,
+            metadata={
+                "objective": run.objective,
+                "strategy": run.strategy,
+                "passes": run.passes,
+                "replacements": run.replacements,
+                "epsilon": kernel.epsilon,
+                "kernel": kernel.name,
+            },
+        )
+
+    def sample_stream(self, chunks: Iterable[np.ndarray], k: int) -> SampleResult:
+        """Streaming VAS over a non-repeatable stream.
+
+        A non-repeatable stream permits a single pass, and the kernel
+        bandwidth cannot be chosen from the full data upfront — so an
+        explicit ``epsilon`` (or kernel instance) is required here.
+        """
+        if not isinstance(self._kernel_spec, Kernel) and self.epsilon is None:
+            raise ConfigurationError(
+                "streaming VAS needs an explicit epsilon or kernel instance "
+                "(the diameter heuristic requires seeing all data first)"
+            )
+        k = validate_sample_size(k)
+        kernel = (self._kernel_spec if isinstance(self._kernel_spec, Kernel)
+                  else make_kernel(self._kernel_spec, float(self.epsilon)))
+        strategy, strategy_kwargs = self._resolve_strategy(k)
+        materialized = iter(chunks)
+        run = run_interchange(
+            chunks_factory=lambda: materialized,
+            k=k,
+            kernel=kernel,
+            strategy=strategy,
+            max_passes=1,
+            trace_every=self.trace_every,
+            rng=self._rng,
+            strategy_kwargs=strategy_kwargs,
+        )
+        self.last_run = run
+        order = np.argsort(run.source_ids)
+        return SampleResult(
+            points=run.points[order],
+            indices=run.source_ids[order],
+            method=self.name,
+            metadata={"objective": run.objective, "strategy": run.strategy},
+        )
+
+    # -- §V ---------------------------------------------------------------------
+    def sample_with_density(self, points: np.ndarray, k: int) -> SampleResult:
+        """VAS followed by the density-embedding second pass (§V)."""
+        base = self.sample(points, k)
+        pts = as_points(points)
+        return embed_density(base, iter_chunks(pts, self.chunk_size))

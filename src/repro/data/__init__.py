@@ -1,0 +1,32 @@
+"""Dataset substrate: Geolife-like GPS data, SPLOM, Gaussian mixtures.
+
+Each generator is seeded and deterministic, standing in for the
+datasets the paper evaluates on (see DESIGN.md §2 for the substitution
+rationale).
+"""
+
+from .gaussians import GaussianMixture, MixtureComponent, clustering_datasets
+from .geolife import (
+    BEIJING_LAT,
+    BEIJING_LON,
+    GeolifeData,
+    GeolifeGenerator,
+    altitude_at,
+)
+from .splom import SPLOM_COLUMNS, SplomData, SplomGenerator
+from .streams import PointStream
+
+__all__ = [
+    "BEIJING_LAT",
+    "BEIJING_LON",
+    "GaussianMixture",
+    "GeolifeData",
+    "GeolifeGenerator",
+    "MixtureComponent",
+    "PointStream",
+    "SPLOM_COLUMNS",
+    "SplomData",
+    "SplomGenerator",
+    "altitude_at",
+    "clustering_datasets",
+]

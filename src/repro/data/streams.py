@@ -1,0 +1,67 @@
+"""Chunked streaming over datasets.
+
+The paper's architecture (Fig 3) runs samplers against table scans; a
+:class:`PointStream` models that: a re-iterable source of ``(n_i, 2)``
+chunks with a known total length, plus helpers to shuffle scan order
+and to cap the number of rows (for time-boxed benchmark runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import as_points
+from ..rng import as_generator
+
+
+class PointStream:
+    """A re-iterable chunked view over an in-memory point array.
+
+    Parameters
+    ----------
+    points:
+        The backing ``(N, 2)`` array.
+    chunk_size:
+        Rows per chunk.
+    shuffle_seed:
+        When not ``None``, iteration follows a fixed random permutation
+        of the rows (drawn once, so every pass sees the same order —
+        matching an RDBMS scan over a shuffled clustering order).
+    limit:
+        Optional cap on total rows yielded.
+    """
+
+    def __init__(self, points: np.ndarray, chunk_size: int = 65536,
+                 shuffle_seed: int | None = None,
+                 limit: int | None = None) -> None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._points = as_points(points)
+        self.chunk_size = int(chunk_size)
+        if limit is not None and limit < 0:
+            raise ConfigurationError(f"limit must be >= 0, got {limit}")
+        self._limit = limit
+        if shuffle_seed is None:
+            self._order = None
+        else:
+            self._order = as_generator(shuffle_seed).permutation(len(self._points))
+
+    def __len__(self) -> int:
+        n = len(self._points)
+        if self._limit is not None:
+            n = min(n, self._limit)
+        return n
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        n = len(self)
+        source = (self._points if self._order is None
+                  else self._points[self._order])
+        for start in range(0, n, self.chunk_size):
+            yield source[start:min(start + self.chunk_size, n)]
+
+    def factory(self) -> Callable[[], Iterator[np.ndarray]]:
+        """A zero-arg callable yielding a fresh pass (for Interchange)."""
+        return self.__iter__

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-hierarchy mirrors the package layout: sampling, storage, index,
+visualization and experiment errors each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or invoked with invalid parameters."""
+
+
+class SamplingError(ReproError):
+    """Base class for sampler failures."""
+
+
+class SampleSizeError(SamplingError):
+    """Requested sample size is invalid (non-positive or > population)."""
+
+    def __init__(self, requested: int, available: int | None = None) -> None:
+        self.requested = requested
+        self.available = available
+        if available is None:
+            message = f"invalid sample size: {requested}"
+        else:
+            message = (
+                f"invalid sample size: requested {requested}, "
+                f"but only {available} rows are available"
+            )
+        super().__init__(message)
+
+
+class EmptyDatasetError(SamplingError):
+    """An operation that needs at least one data point received none."""
+
+
+class StorageError(ReproError):
+    """Base class for the mini column-store errors."""
+
+
+class SchemaError(StorageError):
+    """Schema mismatch: unknown column, wrong dtype, or wrong arity."""
+
+
+class TableNotFoundError(StorageError):
+    """A named table does not exist in the :class:`~repro.storage.Database`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"table not found: {name!r}")
+
+
+class SampleNotFoundError(StorageError):
+    """No pre-built sample satisfies the requested constraints."""
+
+
+class IndexError_(ReproError):
+    """Base class for spatial-index errors (named to avoid shadowing)."""
+
+
+class VisualizationError(ReproError):
+    """Base class for rendering failures."""
+
+
+class CanvasSizeError(VisualizationError):
+    """A canvas was requested with non-positive width or height."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,39 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a result object with a
+``rows()`` method (formatted table) and embeds the paper's qualitative
+findings as assertions, so the benchmark suite doubles as a shape
+regression test.  See DESIGN.md §4 for the experiment index.
+"""
+
+from . import (
+    fig1_qualitative,
+    fig2_system_latency,
+    fig4_sample_latency,
+    fig7_loss_correlation,
+    fig8_time_vs_error,
+    fig9_convergence,
+    fig10_ablation,
+    table1_user_study,
+    table2_exact_vs_approx,
+)
+from .common import FULL, QUICK, ExperimentProfile, format_table, get_profile
+from .report import generate_report
+
+__all__ = [
+    "ExperimentProfile",
+    "fig1_qualitative",
+    "FULL",
+    "QUICK",
+    "fig2_system_latency",
+    "fig4_sample_latency",
+    "fig7_loss_correlation",
+    "fig8_time_vs_error",
+    "fig9_convergence",
+    "fig10_ablation",
+    "format_table",
+    "generate_report",
+    "get_profile",
+    "table1_user_study",
+    "table2_exact_vs_approx",
+]

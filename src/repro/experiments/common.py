@@ -1,0 +1,86 @@
+"""Shared configuration for the experiment drivers.
+
+Every table/figure driver pulls its dataset sizes, sample sizes and
+seeds from here so benchmarks, tests and the EXPERIMENTS.md generator
+agree on one configuration.  Two profiles are provided:
+
+* ``quick``  — seconds-scale, used by the test suite and CI-style runs;
+* ``full``   — minutes-scale, used to regenerate EXPERIMENTS.md.
+
+The paper runs at 24.4M–1B rows; both profiles are scaled-down
+laptop-size versions with identical *structure* (see DESIGN.md §4 for
+the shape expectations that must survive the scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Sizing knobs shared across experiments."""
+
+    name: str
+    #: Rows of the Geolife-like dataset experiments sample from.
+    geolife_rows: int
+    #: Rows per clustering-task mixture dataset.
+    mixture_rows: int
+    #: Sample-size ladder for the user study and loss experiments.
+    sample_sizes: tuple[int, ...]
+    #: Observer panel size per question.
+    n_observers: int
+    #: Monte-Carlo probes for the loss integral.
+    loss_probes: int
+    #: Master seed.
+    seed: int = 20160516
+
+
+QUICK = ExperimentProfile(
+    name="quick",
+    geolife_rows=30_000,
+    mixture_rows=8_000,
+    sample_sizes=(100, 500, 2_000),
+    n_observers=8,
+    loss_probes=300,
+)
+
+FULL = ExperimentProfile(
+    name="full",
+    geolife_rows=200_000,
+    mixture_rows=40_000,
+    sample_sizes=(100, 1_000, 10_000, 50_000),
+    n_observers=40,
+    loss_probes=1_000,
+)
+
+_PROFILES = {p.name: p for p in (QUICK, FULL)}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    """Look up a profile by name (``quick`` or ``full``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}"
+        ) from None
+
+
+def format_table(rows: list[list[str]], title: str = "") -> str:
+    """Render rows as a fixed-width text table (for reports/benches)."""
+    if not rows:
+        return title
+    widths = [max(len(str(row[i])) for row in rows if i < len(row))
+              for i in range(max(len(r) for r in rows))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        cells = [str(cell).ljust(widths[j]) for j, cell in enumerate(row)]
+        lines.append("  ".join(cells).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

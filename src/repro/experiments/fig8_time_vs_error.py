@@ -1,0 +1,142 @@
+"""FIG8 — visualization time vs error for the three sampling methods.
+
+Fig 8(a): for samples matched on *visualization time* (i.e. equal point
+count, since time is linear in points), VAS has a lower loss than
+stratified and uniform sampling at every budget.  Fig 8(b): read the
+other way, to reach a fixed loss the competing methods need far more
+points — the paper's headline "up to 400× fewer data points / faster".
+
+The reproduction computes, per method and sample size, the
+log-loss-ratio and the predicted visualization time under the
+calibrated Tableau-like cost model, then derives the speed-up factor:
+how many times more points uniform sampling needs to match VAS's
+error at each VAS ladder rung (by interpolating the uniform
+loss-vs-size curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.epsilon import epsilon_from_diameter
+from ..core.kernel import GaussianKernel
+from ..core.loss import LossEvaluator
+from ..data.geolife import GeolifeGenerator
+from ..perf.cost_model import TABLEAU_LIKE, LinearCostModel
+from ..rng import as_generator
+from ..tasks.study import build_method_sample
+from .common import ExperimentProfile, QUICK
+
+METHODS = ("uniform", "stratified", "vas")
+
+
+@dataclass
+class Fig8Result:
+    """Loss and predicted time per (method, size), plus speed-ups."""
+
+    sizes: tuple[int, ...]
+    loss: dict[tuple[str, int], float]
+    viz_seconds: dict[int, float]
+    #: Per VAS rung: equivalent uniform size and the resulting factor.
+    speedup_vs_uniform: dict[int, float]
+    cost_model: LinearCostModel
+
+    def rows(self) -> list[list[str]]:
+        out = [["K", "viz time (model)"] + [f"llr {m}" for m in METHODS]
+               + ["uniform points for same llr", "speed-up"]]
+        for size in self.sizes:
+            row = [f"{size:,}", f"{self.viz_seconds[size]:.2f}s"]
+            row += [f"{self.loss[(m, size)]:.2f}" for m in METHODS]
+            factor = self.speedup_vs_uniform.get(size)
+            if factor is None:
+                row += ["-", "-"]
+            else:
+                row += [f"{int(size * factor):,}", f"{factor:.0f}x"]
+            out.append(row)
+        return out
+
+
+def _interp_size_for_loss(target_loss: float, sizes: np.ndarray,
+                          losses: np.ndarray) -> float | None:
+    """Size at which a method's loss curve reaches ``target_loss``.
+
+    Loss decreases with size; log-interpolates between rungs.  ``None``
+    when even the largest measured size has not reached the target
+    (the factor is then a lower bound the caller reports differently).
+    """
+    if target_loss >= losses[0]:
+        return float(sizes[0])
+    if target_loss < losses[-1]:
+        return None
+    # losses descending in size; walk the bracketing rung.
+    for i in range(len(sizes) - 1):
+        hi_loss, lo_loss = losses[i], losses[i + 1]
+        if lo_loss <= target_loss <= hi_loss:
+            if hi_loss == lo_loss:
+                return float(sizes[i])
+            frac = (hi_loss - target_loss) / (hi_loss - lo_loss)
+            log_size = (np.log(sizes[i]) * (1 - frac)
+                        + np.log(sizes[i + 1]) * frac)
+            return float(np.exp(log_size))
+    return None
+
+
+def run(profile: ExperimentProfile = QUICK,
+        cost_model: LinearCostModel = TABLEAU_LIKE) -> Fig8Result:
+    """Compute Fig 8 and assert VAS's dominance at every budget."""
+    gen = as_generator(profile.seed)
+    data = GeolifeGenerator(seed=profile.seed).generate(profile.geolife_rows)
+    epsilon = epsilon_from_diameter(data.xy)
+    evaluator = LossEvaluator(data.xy, GaussianKernel(epsilon),
+                              n_probes=profile.loss_probes, rng=gen)
+
+    sizes = profile.sample_sizes
+    loss: dict[tuple[str, int], float] = {}
+    for method in METHODS:
+        for size in sizes:
+            sample = build_method_sample(method, data.xy, size,
+                                         seed=profile.seed, epsilon=epsilon)
+            loss[(method, size)] = evaluator.log_loss_ratio(sample.points)
+
+    # Fig 8(a): at equal time (= equal size), VAS must have lowest loss.
+    for size in sizes:
+        assert loss[("vas", size)] <= loss[("uniform", size)] + 1e-9, (
+            f"VAS should not lose to uniform at K={size}"
+        )
+        assert loss[("vas", size)] <= loss[("stratified", size)] + 1e-9, (
+            f"VAS should not lose to stratified at K={size}"
+        )
+
+    # Fig 8(b): extend the uniform curve far enough to find crossings.
+    probe_sizes = list(sizes)
+    extra = int(sizes[-1] * 4)
+    if extra < len(data.xy):
+        probe_sizes.append(extra)
+    uniform_losses = []
+    for size in probe_sizes:
+        if ("uniform", size) in loss:
+            uniform_losses.append(loss[("uniform", size)])
+        else:
+            sample = build_method_sample("uniform", data.xy, size,
+                                         seed=profile.seed, epsilon=epsilon)
+            uniform_losses.append(evaluator.log_loss_ratio(sample.points))
+
+    speedups: dict[int, float] = {}
+    u_sizes = np.asarray(probe_sizes, dtype=np.float64)
+    u_losses = np.asarray(uniform_losses, dtype=np.float64)
+    for size in sizes:
+        needed = _interp_size_for_loss(loss[("vas", size)], u_sizes, u_losses)
+        if needed is None:
+            # Even 4x the largest rung was not enough: report that as
+            # the (conservative) boundary factor.
+            speedups[size] = float(probe_sizes[-1]) / size
+        else:
+            speedups[size] = needed / size
+
+    viz_seconds = {size: float(cost_model.predict(size)) for size in sizes}
+    return Fig8Result(
+        sizes=sizes, loss=loss, viz_seconds=viz_seconds,
+        speedup_vs_uniform=speedups, cost_model=cost_model,
+    )

@@ -1,0 +1,18 @@
+"""Spatial index substrate: grid, k-d tree and R-tree, all from scratch.
+
+These structures back three parts of the reproduction:
+
+* :class:`GridIndex` — constant-time neighbourhood probes for the
+  Monte-Carlo loss domain test and a lightweight ES+Loc alternative;
+* :class:`KDTree` — nearest-neighbour search for the density-embedding
+  second pass (§V of the paper);
+* :class:`RTree` — the dynamic proximity index the paper uses to
+  accelerate Expand/Shrink via kernel locality (§IV-B).
+"""
+
+from .bbox import BBox
+from .grid import GridIndex, choose_cell_size
+from .kdtree import KDTree
+from .rtree import RTree
+
+__all__ = ["BBox", "GridIndex", "KDTree", "RTree", "choose_cell_size"]

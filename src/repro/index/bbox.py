@@ -1,0 +1,129 @@
+"""Axis-aligned bounding rectangles used by the R-tree.
+
+A :class:`BBox` is an immutable 2-D rectangle ``[xmin, xmax] x
+[ymin, ymax]``.  Degenerate rectangles (points) are allowed; an
+inverted rectangle (min > max) is rejected at construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned 2-D rectangle."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ConfigurationError(
+                f"inverted bbox: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_point(cls, x: float, y: float) -> "BBox":
+        """A degenerate rectangle covering exactly one point."""
+        return cls(x, y, x, y)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "BBox":
+        """The tight bounds of an ``(N, 2)`` array of points."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.size == 0:
+            raise ConfigurationError("cannot bound an empty point set")
+        return cls(
+            float(pts[:, 0].min()), float(pts[:, 1].min()),
+            float(pts[:, 0].max()), float(pts[:, 1].max()),
+        )
+
+    @classmethod
+    def union_all(cls, boxes: "list[BBox]") -> "BBox":
+        """Smallest rectangle containing every box in ``boxes``."""
+        if not boxes:
+            raise ConfigurationError("cannot union an empty list of boxes")
+        return cls(
+            min(b.xmin for b in boxes), min(b.ymin for b in boxes),
+            max(b.xmax for b in boxes), max(b.ymax for b in boxes),
+        )
+
+    # -- geometry --------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest rectangle containing both ``self`` and ``other``."""
+        return BBox(
+            min(self.xmin, other.xmin), min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax), max(self.ymax, other.ymax),
+        )
+
+    def enlargement(self, other: "BBox") -> float:
+        """Area growth needed for ``self`` to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def intersects(self, other: "BBox") -> bool:
+        """True when the rectangles share at least a boundary point."""
+        return not (
+            other.xmin > self.xmax or other.xmax < self.xmin
+            or other.ymin > self.ymax or other.ymax < self.ymin
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside or on the boundary."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_box(self, other: "BBox") -> bool:
+        """True when ``other`` lies completely within ``self``."""
+        return (
+            self.xmin <= other.xmin and other.xmax <= self.xmax
+            and self.ymin <= other.ymin and other.ymax <= self.ymax
+        )
+
+    def min_sq_dist_to_point(self, x: float, y: float) -> float:
+        """Squared distance from ``(x, y)`` to the nearest point of the box.
+
+        Zero when the point is inside.  This is the classic MINDIST used
+        for best-first nearest-neighbour search over R-trees.
+        """
+        dx = max(self.xmin - x, 0.0, x - self.xmax)
+        dy = max(self.ymin - y, 0.0, y - self.ymax)
+        return dx * dx + dy * dy
+
+    def expanded(self, margin: float) -> "BBox":
+        """A copy grown by ``margin`` on every side (``margin >= 0``)."""
+        if margin < 0:
+            raise ConfigurationError(f"margin must be non-negative, got {margin}")
+        return BBox(self.xmin - margin, self.ymin - margin,
+                    self.xmax + margin, self.ymax + margin)
+
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal."""
+        return math.hypot(self.width, self.height)

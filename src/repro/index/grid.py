@@ -1,0 +1,180 @@
+"""Uniform grid index over 2-D points.
+
+The grid index bins points into equally sized rectangular cells.  It
+supports three operations the rest of the package needs:
+
+* ``query_radius`` — ids of points within a Euclidean radius of a probe
+  (used by the ES+Loc Interchange strategy and by the Monte-Carlo loss
+  domain test);
+* ``query_bbox`` — ids of points inside a rectangle (used by zooming);
+* ``cell_counts`` — per-cell population (used by the stratified
+  sampler and the density-estimation task).
+
+The index is dynamic: points can be added one at a time (the streaming
+Interchange inserts and removes candidate sample points as it scans)
+and removed by id.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import as_points
+
+
+class GridIndex:
+    """A uniform-cell spatial hash for 2-D points.
+
+    Parameters
+    ----------
+    cell_size:
+        Edge length of each square cell.  Queries of radius ``r`` probe
+        ``ceil(r / cell_size)`` rings of neighbouring cells, so the cell
+        size should be of the same order as the typical query radius.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if not (cell_size > 0) or not math.isfinite(cell_size):
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = float(cell_size)
+        self._cells: dict[tuple[int, int], dict[int, tuple[float, float]]] = (
+            defaultdict(dict)
+        )
+        self._locations: dict[int, tuple[int, int]] = {}
+
+    # -- bookkeeping -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._locations
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (int(math.floor(x / self.cell_size)),
+                int(math.floor(y / self.cell_size)))
+
+    # -- mutation ----------------------------------------------------------
+    def insert(self, point_id: int, x: float, y: float) -> None:
+        """Insert a point under ``point_id``; the id must be fresh."""
+        if point_id in self._locations:
+            raise ConfigurationError(f"duplicate point id: {point_id}")
+        key = self._key(x, y)
+        self._cells[key][point_id] = (float(x), float(y))
+        self._locations[point_id] = key
+
+    def insert_many(self, ids: np.ndarray, points: np.ndarray) -> None:
+        """Bulk-insert ``points[i]`` under ``ids[i]``."""
+        pts = as_points(points)
+        if len(ids) != len(pts):
+            raise ConfigurationError(
+                f"ids/points length mismatch: {len(ids)} vs {len(pts)}"
+            )
+        for pid, (x, y) in zip(ids, pts):
+            self.insert(int(pid), float(x), float(y))
+
+    def remove(self, point_id: int) -> None:
+        """Remove a point by id; raises ``KeyError`` if absent."""
+        key = self._locations.pop(point_id)
+        cell = self._cells[key]
+        del cell[point_id]
+        if not cell:
+            del self._cells[key]
+
+    # -- queries -----------------------------------------------------------
+    def query_radius(self, x: float, y: float, radius: float) -> list[int]:
+        """Ids of points with ``‖p - (x,y)‖ <= radius``."""
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        reach = int(math.ceil(radius / self.cell_size))
+        cx, cy = self._key(x, y)
+        r2 = radius * radius
+        hits: list[int] = []
+        for ix in range(cx - reach, cx + reach + 1):
+            for iy in range(cy - reach, cy + reach + 1):
+                cell = self._cells.get((ix, iy))
+                if not cell:
+                    continue
+                for pid, (px, py) in cell.items():
+                    dx = px - x
+                    dy = py - y
+                    if dx * dx + dy * dy <= r2:
+                        hits.append(pid)
+        return hits
+
+    def count_within_radius(self, x: float, y: float, radius: float) -> int:
+        """Cheaper variant of :meth:`query_radius` returning only a count."""
+        return len(self.query_radius(x, y, radius))
+
+    def any_within_radius(self, x: float, y: float, radius: float) -> bool:
+        """True as soon as one point lies within ``radius`` of the probe.
+
+        Short-circuits, which makes the Monte-Carlo loss domain test
+        (``is this random point inside the data region?``) fast.
+        """
+        reach = int(math.ceil(radius / self.cell_size))
+        cx, cy = self._key(x, y)
+        r2 = radius * radius
+        for ix in range(cx - reach, cx + reach + 1):
+            for iy in range(cy - reach, cy + reach + 1):
+                cell = self._cells.get((ix, iy))
+                if not cell:
+                    continue
+                for px, py in cell.values():
+                    dx = px - x
+                    dy = py - y
+                    if dx * dx + dy * dy <= r2:
+                        return True
+        return False
+
+    def query_bbox(self, xmin: float, ymin: float,
+                   xmax: float, ymax: float) -> list[int]:
+        """Ids of points inside the closed rectangle."""
+        if xmin > xmax or ymin > ymax:
+            raise ConfigurationError("inverted query rectangle")
+        kx0, ky0 = self._key(xmin, ymin)
+        kx1, ky1 = self._key(xmax, ymax)
+        hits: list[int] = []
+        for ix in range(kx0, kx1 + 1):
+            for iy in range(ky0, ky1 + 1):
+                cell = self._cells.get((ix, iy))
+                if not cell:
+                    continue
+                for pid, (px, py) in cell.items():
+                    if xmin <= px <= xmax and ymin <= py <= ymax:
+                        hits.append(pid)
+        return hits
+
+    def points_of(self, ids: list[int]) -> np.ndarray:
+        """Coordinates for the given ids as an ``(len(ids), 2)`` array."""
+        out = np.empty((len(ids), 2), dtype=np.float64)
+        for row, pid in enumerate(ids):
+            key = self._locations[pid]
+            out[row] = self._cells[key][pid]
+        return out
+
+    def cell_counts(self) -> dict[tuple[int, int], int]:
+        """Population of every non-empty cell, keyed by cell coordinates."""
+        return {key: len(cell) for key, cell in self._cells.items()}
+
+
+def choose_cell_size(points: np.ndarray, target_per_cell: float = 8.0) -> float:
+    """Pick a cell size so the average occupied cell holds ``target_per_cell``.
+
+    A heuristic for building a :class:`GridIndex` over a static dataset:
+    with N points spread over the bounding-box area A, a cell edge of
+    ``sqrt(A * target / N)`` yields roughly ``target`` points per cell.
+    """
+    pts = as_points(points)
+    if len(pts) == 0:
+        raise ConfigurationError("cannot size a grid for an empty dataset")
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    width = max(hi[0] - lo[0], 1e-12)
+    height = max(hi[1] - lo[1], 1e-12)
+    area = width * height
+    edge = math.sqrt(area * target_per_cell / max(len(pts), 1))
+    return max(edge, 1e-12)

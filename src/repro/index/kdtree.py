@@ -1,0 +1,192 @@
+"""A k-d tree over 2-D points, built from scratch.
+
+The paper's density-embedding pass (§V) attaches a counter to every
+sampled point and, while re-scanning the dataset, increments the
+counter of the *nearest* sampled point.  It notes that a k-d tree makes
+each nearest-neighbour test ``O(log K)``.  This module provides that
+structure: a static, median-split k-d tree with nearest-neighbour,
+k-nearest-neighbour and radius queries.
+
+The tree is array-based (no per-node Python objects for the points):
+``_index`` stores a permutation of input row ids, and each internal
+node records its split dimension/value and child slots.  Queries use an
+explicit stack rather than recursion so deep trees cannot hit the
+interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import ConfigurationError, EmptyDatasetError
+from ..geometry import as_points
+
+_LEAF_SIZE = 16
+
+
+class KDTree:
+    """Static 2-D k-d tree supporting NN / kNN / radius queries.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 2)`` array.  The tree stores a copy; query results refer
+        to row indices of this array.
+    leaf_size:
+        Maximum number of points per leaf before splitting stops.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
+        pts = as_points(points)
+        if len(pts) == 0:
+            raise EmptyDatasetError("KDTree requires at least one point")
+        if pts.shape[1] != 2:
+            raise ConfigurationError(
+                f"KDTree supports 2-D points, got dimension {pts.shape[1]}"
+            )
+        if leaf_size < 1:
+            raise ConfigurationError(f"leaf_size must be >= 1, got {leaf_size}")
+        self._points = pts.copy()
+        self._leaf_size = int(leaf_size)
+        self._index = np.arange(len(pts), dtype=np.int64)
+        # Node arrays, grown as the tree is built.  A node is a leaf when
+        # split_dim == -1; then [start, end) indexes into self._index.
+        self._split_dim: list[int] = []
+        self._split_val: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._start: list[int] = []
+        self._end: list[int] = []
+        self._root = self._build(0, len(pts))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The (copied) point array the tree was built over."""
+        return self._points
+
+    # -- construction ------------------------------------------------------
+    def _new_node(self) -> int:
+        self._split_dim.append(-1)
+        self._split_val.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._start.append(0)
+        self._end.append(0)
+        return len(self._split_dim) - 1
+
+    def _build(self, start: int, end: int) -> int:
+        """Build the subtree over ``self._index[start:end]``; return node id."""
+        node = self._new_node()
+        count = end - start
+        if count <= self._leaf_size:
+            self._start[node] = start
+            self._end[node] = end
+            return node
+        ids = self._index[start:end]
+        block = self._points[ids]
+        # Split the wider dimension at its median for balanced depth.
+        spans = block.max(axis=0) - block.min(axis=0)
+        dim = int(np.argmax(spans))
+        order = np.argsort(block[:, dim], kind="stable")
+        self._index[start:end] = ids[order]
+        mid = start + count // 2
+        split_val = float(self._points[self._index[mid], dim])
+        self._split_dim[node] = dim
+        self._split_val[node] = split_val
+        left = self._build(start, mid)
+        right = self._build(mid, end)
+        self._left[node] = left
+        self._right[node] = right
+        return node
+
+    # -- queries -------------------------------------------------------------
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """Row id and distance of the nearest stored point to ``(x, y)``."""
+        idx, dist = self.k_nearest(x, y, 1)
+        return int(idx[0]), float(dist[0])
+
+    def k_nearest(self, x: float, y: float, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest stored points to ``(x, y)``.
+
+        Returns ``(ids, dists)`` sorted by increasing distance.  ``k``
+        is clamped to the tree size.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        k = min(k, len(self._points))
+        q = np.array([x, y], dtype=np.float64)
+        # Max-heap of (-dist2, id) holding current best k.
+        best: list[tuple[float, int]] = []
+        # Stack of (node, min possible dist2 to node region).
+        stack: list[tuple[int, float]] = [(self._root, 0.0)]
+        while stack:
+            node, min_d2 = stack.pop()
+            if len(best) == k and min_d2 >= -best[0][0]:
+                continue
+            dim = self._split_dim[node]
+            if dim == -1:  # leaf
+                ids = self._index[self._start[node]:self._end[node]]
+                diffs = self._points[ids] - q[None, :]
+                d2s = np.einsum("ij,ij->i", diffs, diffs)
+                for pid, d2 in zip(ids, d2s):
+                    if len(best) < k:
+                        heapq.heappush(best, (-float(d2), int(pid)))
+                    elif d2 < -best[0][0]:
+                        heapq.heapreplace(best, (-float(d2), int(pid)))
+                continue
+            split = self._split_val[node]
+            delta = q[dim] - split
+            near, far = ((self._left[node], self._right[node]) if delta < 0
+                         else (self._right[node], self._left[node]))
+            far_d2 = max(min_d2, delta * delta)
+            stack.append((far, far_d2))
+            stack.append((near, min_d2))
+        best.sort(key=lambda t: -t[0])
+        ids_arr = np.array([pid for _, pid in best], dtype=np.int64)
+        dists = np.sqrt(np.array([-d2 for d2, _ in best], dtype=np.float64))
+        return ids_arr, dists
+
+    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Row ids of stored points within ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        q = np.array([x, y], dtype=np.float64)
+        r2 = radius * radius
+        hits: list[int] = []
+        stack: list[tuple[int, float]] = [(self._root, 0.0)]
+        while stack:
+            node, min_d2 = stack.pop()
+            if min_d2 > r2:
+                continue
+            dim = self._split_dim[node]
+            if dim == -1:
+                ids = self._index[self._start[node]:self._end[node]]
+                diffs = self._points[ids] - q[None, :]
+                d2s = np.einsum("ij,ij->i", diffs, diffs)
+                hits.extend(int(pid) for pid, d2 in zip(ids, d2s) if d2 <= r2)
+                continue
+            split = self._split_val[node]
+            delta = q[dim] - split
+            near, far = ((self._left[node], self._right[node]) if delta < 0
+                         else (self._right[node], self._left[node]))
+            stack.append((near, min_d2))
+            stack.append((far, max(min_d2, delta * delta)))
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def nearest_ids(self, queries: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`nearest`: nearest row id per query row.
+
+        This is the work-horse of the density-embedding second pass:
+        the dataset is streamed through in chunks, and each chunk is
+        assigned to its nearest sample point.
+        """
+        qs = as_points(queries)
+        out = np.empty(len(qs), dtype=np.int64)
+        for i, (x, y) in enumerate(qs):
+            out[i] = self.nearest(float(x), float(y))[0]
+        return out

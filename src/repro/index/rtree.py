@@ -1,0 +1,465 @@
+"""An R-tree over 2-D points, built from scratch.
+
+The paper accelerates the Expand/Shrink inner loop of Interchange by
+exploiting kernel locality: when a new tuple arrives, only sample
+points within a cutoff radius contribute non-negligible kernel mass,
+and "for a proximity check, our implementation used R-tree" (§IV-B).
+The candidate sample set mutates constantly (one insert and one delete
+per accepted replacement), so this R-tree is fully dynamic:
+
+* Guttman-style insertion with quadratic node split;
+* deletion with tree condensation and re-insertion of orphans;
+* radius and rectangle queries;
+* best-first nearest-neighbour search;
+* an STR (sort-tile-recursive) bulk loader for static datasets.
+
+Entries are ``(point_id, x, y)``; ids are caller-chosen and unique.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import as_points
+from .bbox import BBox
+
+
+class _Node:
+    """One R-tree node; leaves hold point entries, internals hold children."""
+
+    __slots__ = ("leaf", "entries", "children", "bbox", "parent")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.entries: list[tuple[int, float, float]] = []  # leaves only
+        self.children: list["_Node"] = []                  # internals only
+        self.bbox: BBox | None = None
+        self.parent: "_Node | None" = None
+
+    def recompute_bbox(self) -> None:
+        if self.leaf:
+            if not self.entries:
+                self.bbox = None
+                return
+            xs = [e[1] for e in self.entries]
+            ys = [e[2] for e in self.entries]
+            self.bbox = BBox(min(xs), min(ys), max(xs), max(ys))
+        else:
+            boxes = [c.bbox for c in self.children if c.bbox is not None]
+            self.bbox = BBox.union_all(boxes) if boxes else None
+
+
+class RTree:
+    """Dynamic 2-D R-tree keyed by integer point ids.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity M; a node splits when it would exceed this.
+    min_entries:
+        Minimum fill m (default ``ceil(M * 0.4)``); a node underflows
+        and is condensed when it drops below this.
+    """
+
+    def __init__(self, max_entries: int = 16, min_entries: int | None = None) -> None:
+        if max_entries < 4:
+            raise ConfigurationError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.min_entries = (int(min_entries) if min_entries is not None
+                            else max(2, math.ceil(max_entries * 0.4)))
+        if not (2 <= self.min_entries <= self.max_entries // 2):
+            raise ConfigurationError(
+                f"min_entries must be in [2, max_entries/2], got {self.min_entries}"
+            )
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self._ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._ids
+
+    # -- bulk load ---------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, ids: np.ndarray, points: np.ndarray,
+                  max_entries: int = 16) -> "RTree":
+        """Build a packed tree with sort-tile-recursive (STR) loading.
+
+        STR sorts points by x, slices them into vertical strips of
+        ``ceil(sqrt(N / M))`` columns, sorts each strip by y, and packs
+        runs of M points into leaves; the process repeats one level up
+        until a single root remains.
+        """
+        pts = as_points(points)
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) != len(pts):
+            raise ConfigurationError(
+                f"ids/points length mismatch: {len(ids)} vs {len(pts)}"
+            )
+        tree = cls(max_entries=max_entries)
+        if len(pts) == 0:
+            return tree
+        if len(set(ids.tolist())) != len(ids):
+            raise ConfigurationError("bulk_load ids must be unique")
+
+        m = tree.max_entries
+        order = np.argsort(pts[:, 0], kind="stable")
+        leaf_count = math.ceil(len(pts) / m)
+        strip_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        per_strip = math.ceil(len(pts) / strip_count)
+
+        leaves: list[_Node] = []
+        for s in range(strip_count):
+            strip = order[s * per_strip:(s + 1) * per_strip]
+            if len(strip) == 0:
+                continue
+            strip = strip[np.argsort(pts[strip, 1], kind="stable")]
+            for start in range(0, len(strip), m):
+                run = strip[start:start + m]
+                node = _Node(leaf=True)
+                node.entries = [
+                    (int(ids[i]), float(pts[i, 0]), float(pts[i, 1])) for i in run
+                ]
+                node.recompute_bbox()
+                leaves.append(node)
+
+        level = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start in range(0, len(level), m):
+                parent = _Node(leaf=False)
+                parent.children = level[start:start + m]
+                for child in parent.children:
+                    child.parent = parent
+                parent.recompute_bbox()
+                parents.append(parent)
+            level = parents
+
+        tree._root = level[0]
+        tree._size = len(pts)
+        tree._ids = set(int(i) for i in ids)
+        return tree
+
+    # -- insertion ---------------------------------------------------------
+    def insert(self, point_id: int, x: float, y: float) -> None:
+        """Insert ``(x, y)`` under a fresh ``point_id``."""
+        if point_id in self._ids:
+            raise ConfigurationError(f"duplicate point id: {point_id}")
+        self._ids.add(point_id)
+        self._size += 1
+        self._insert_entry((int(point_id), float(x), float(y)))
+
+    def _insert_entry(self, entry: tuple[int, float, float]) -> None:
+        leaf = self._choose_leaf(self._root, entry[1], entry[2])
+        leaf.entries.append(entry)
+        self._adjust_upward(leaf)
+
+    def _choose_leaf(self, node: _Node, x: float, y: float) -> _Node:
+        while not node.leaf:
+            probe = BBox.from_point(x, y)
+            best = None
+            best_key: tuple[float, float] | None = None
+            for child in node.children:
+                assert child.bbox is not None
+                key = (child.bbox.enlargement(probe), child.bbox.area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = child
+            assert best is not None
+            node = best
+        return node
+
+    def _adjust_upward(self, node: _Node) -> None:
+        """Recompute boxes and split overfull nodes up to the root."""
+        while node is not None:
+            node.recompute_bbox()
+            overfull = (len(node.entries) if node.leaf
+                        else len(node.children)) > self.max_entries
+            if overfull:
+                self._split(node)
+                # _split reattaches both halves; restart from the parent,
+                # which recompute happens on the next loop iteration.
+                node = node.parent if node.parent is not None else None
+                continue
+            node = node.parent
+        # Root bbox may still be stale when no split occurred at the top.
+        self._root.recompute_bbox()
+
+    def _split(self, node: _Node) -> None:
+        """Quadratic split of an overfull node (Guttman 1984)."""
+        items: list
+        boxes: list[BBox]
+        if node.leaf:
+            items = node.entries
+            boxes = [BBox.from_point(e[1], e[2]) for e in items]
+        else:
+            items = node.children
+            boxes = [c.bbox for c in items]  # type: ignore[misc]
+
+        # Pick the pair of seeds wasting the most area together.
+        worst = -1.0
+        seed_a, seed_b = 0, 1
+        for i, j in itertools.combinations(range(len(items)), 2):
+            waste = boxes[i].union(boxes[j]).area - boxes[i].area - boxes[j].area
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+
+        group_a = [seed_a]
+        group_b = [seed_b]
+        box_a = boxes[seed_a]
+        box_b = boxes[seed_b]
+        rest = [k for k in range(len(items)) if k not in (seed_a, seed_b)]
+        remaining = len(rest)
+        for k in sorted(
+            rest,
+            key=lambda k: -abs(box_a.enlargement(boxes[k]) - box_b.enlargement(boxes[k])),
+        ):
+            # Force assignment when one group must take all leftovers to
+            # reach minimum fill.
+            if len(group_a) + remaining <= self.min_entries:
+                target = "a"
+            elif len(group_b) + remaining <= self.min_entries:
+                target = "b"
+            else:
+                grow_a = box_a.enlargement(boxes[k])
+                grow_b = box_b.enlargement(boxes[k])
+                if grow_a < grow_b:
+                    target = "a"
+                elif grow_b < grow_a:
+                    target = "b"
+                else:
+                    target = "a" if box_a.area <= box_b.area else "b"
+            if target == "a":
+                group_a.append(k)
+                box_a = box_a.union(boxes[k])
+            else:
+                group_b.append(k)
+                box_b = box_b.union(boxes[k])
+            remaining -= 1
+
+        sibling = _Node(leaf=node.leaf)
+        if node.leaf:
+            all_entries = list(items)
+            node.entries = [all_entries[k] for k in group_a]
+            sibling.entries = [all_entries[k] for k in group_b]
+        else:
+            all_children = list(items)
+            node.children = [all_children[k] for k in group_a]
+            sibling.children = [all_children[k] for k in group_b]
+            for child in sibling.children:
+                child.parent = sibling
+        node.recompute_bbox()
+        sibling.recompute_bbox()
+
+        if node.parent is None:
+            new_root = _Node(leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_bbox()
+            self._root = new_root
+        else:
+            parent = node.parent
+            sibling.parent = parent
+            parent.children.append(sibling)
+            parent.recompute_bbox()
+
+    # -- deletion ------------------------------------------------------------
+    def remove(self, point_id: int, x: float, y: float) -> None:
+        """Remove the entry for ``point_id`` located at ``(x, y)``.
+
+        The coordinates guide the search; a ``KeyError`` is raised when
+        the id is not present at that location.
+        """
+        if point_id not in self._ids:
+            raise KeyError(point_id)
+        leaf = self._find_leaf(self._root, point_id, x, y)
+        if leaf is None:
+            raise KeyError(point_id)
+        leaf.entries = [e for e in leaf.entries if e[0] != point_id]
+        self._ids.discard(point_id)
+        self._size -= 1
+        self._condense(leaf)
+
+    def _find_leaf(self, node: _Node, point_id: int,
+                   x: float, y: float) -> _Node | None:
+        if node.bbox is None or not node.bbox.contains_point(x, y):
+            return None
+        if node.leaf:
+            for e in node.entries:
+                if e[0] == point_id:
+                    return node
+            return None
+        for child in node.children:
+            found = self._find_leaf(child, point_id, x, y)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        """Remove underfull nodes up the tree; reinsert orphaned entries."""
+        orphans: list[tuple[int, float, float]] = []
+        while node.parent is not None:
+            parent = node.parent
+            count = len(node.entries) if node.leaf else len(node.children)
+            if count < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend(self._collect_entries(node))
+            else:
+                node.recompute_bbox()
+            node = parent
+        self._root.recompute_bbox()
+        # Collapse a root with a single internal child.
+        while not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        if not self._root.leaf and not self._root.children:
+            self._root = _Node(leaf=True)
+        for entry in orphans:
+            self._insert_entry(entry)
+
+    def _collect_entries(self, node: _Node) -> list[tuple[int, float, float]]:
+        if node.leaf:
+            return list(node.entries)
+        out: list[tuple[int, float, float]] = []
+        for child in node.children:
+            out.extend(self._collect_entries(child))
+        return out
+
+    # -- queries ---------------------------------------------------------------
+    def query_radius(self, x: float, y: float, radius: float) -> list[int]:
+        """Ids of points within Euclidean ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        r2 = radius * radius
+        hits: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bbox is None or node.bbox.min_sq_dist_to_point(x, y) > r2:
+                continue
+            if node.leaf:
+                for pid, px, py in node.entries:
+                    dx = px - x
+                    dy = py - y
+                    if dx * dx + dy * dy <= r2:
+                        hits.append(pid)
+            else:
+                stack.extend(node.children)
+        return hits
+
+    def query_bbox(self, box: BBox) -> list[int]:
+        """Ids of points inside ``box`` (closed boundaries)."""
+        hits: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bbox is None or not node.bbox.intersects(box):
+                continue
+            if node.leaf:
+                hits.extend(
+                    pid for pid, px, py in node.entries
+                    if box.contains_point(px, py)
+                )
+            else:
+                stack.extend(node.children)
+        return hits
+
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """Best-first nearest neighbour: ``(id, distance)``."""
+        if self._size == 0:
+            raise KeyError("nearest() on an empty RTree")
+        counter = itertools.count()  # tie-breaker for the heap
+        heap: list[tuple[float, int, object]] = []
+        heapq.heappush(heap, (0.0, next(counter), self._root))
+        while heap:
+            d2, _, item = heapq.heappop(heap)
+            if isinstance(item, _Node):
+                if item.leaf:
+                    for pid, px, py in item.entries:
+                        dx = px - x
+                        dy = py - y
+                        heapq.heappush(heap, (dx * dx + dy * dy, next(counter),
+                                              ("point", pid)))
+                else:
+                    for child in item.children:
+                        if child.bbox is not None:
+                            heapq.heappush(
+                                heap,
+                                (child.bbox.min_sq_dist_to_point(x, y),
+                                 next(counter), child),
+                            )
+            else:
+                _, pid = item  # type: ignore[misc]
+                return int(pid), math.sqrt(d2)
+        raise KeyError("nearest() exhausted a non-empty RTree")  # pragma: no cover
+
+    # -- diagnostics -------------------------------------------------------------
+    def height(self) -> int:
+        """Tree height: 1 for a lone leaf root."""
+        h = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self, enforce_min_fill: bool = False) -> None:
+        """Raise ``AssertionError`` when structural invariants are violated.
+
+        Always checked: every node's bbox covers its contents, parent
+        links are consistent, max fill is respected, and the entry
+        count equals ``len(self)``.  ``enforce_min_fill`` additionally
+        requires Guttman's minimum fill factor — valid for trees built
+        purely by insertion, but STR bulk loading legitimately leaves
+        one underfull node per level (the last run of each tiling).
+        """
+        count = self._check_node(self._root, is_root=True,
+                                 enforce_min_fill=enforce_min_fill)
+        assert count == self._size, f"size mismatch: {count} != {self._size}"
+
+    def _check_node(self, node: _Node, is_root: bool,
+                    enforce_min_fill: bool) -> int:
+        if node.leaf:
+            if node.entries:
+                assert node.bbox is not None
+                for pid, px, py in node.entries:
+                    assert node.bbox.contains_point(px, py), (
+                        f"leaf bbox {node.bbox} misses entry ({px}, {py})"
+                    )
+            if not is_root:
+                if enforce_min_fill:
+                    assert len(node.entries) >= self.min_entries, (
+                        f"underfull leaf: {len(node.entries)}"
+                    )
+                assert len(node.entries) <= self.max_entries, (
+                    f"overfull leaf: {len(node.entries)}"
+                )
+            return len(node.entries)
+        assert node.children, "internal node with no children"
+        if not is_root and enforce_min_fill:
+            assert len(node.children) >= self.min_entries, (
+                f"underfull internal node: {len(node.children)}"
+            )
+        assert len(node.children) <= self.max_entries, (
+            f"overfull internal node: {len(node.children)}"
+        )
+        total = 0
+        assert node.bbox is not None
+        for child in node.children:
+            assert child.parent is node, "broken parent link"
+            assert child.bbox is not None
+            assert node.bbox.contains_box(child.bbox), (
+                f"node bbox {node.bbox} misses child bbox {child.bbox}"
+            )
+            total += self._check_node(child, is_root=False,
+                                      enforce_min_fill=enforce_min_fill)
+        return total

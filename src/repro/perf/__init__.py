@@ -1,0 +1,23 @@
+"""Latency substrate: timers and visualization-time cost models."""
+
+from .cost_model import (
+    INTERACTIVE_LIMIT_SECONDS,
+    LinearCostModel,
+    MATHGL_LIKE,
+    TABLEAU_LIKE,
+    fit_linear_model,
+    measure_renderer,
+)
+from .timer import Timer, TimingResult, time_callable
+
+__all__ = [
+    "INTERACTIVE_LIMIT_SECONDS",
+    "LinearCostModel",
+    "MATHGL_LIKE",
+    "TABLEAU_LIKE",
+    "Timer",
+    "TimingResult",
+    "fit_linear_model",
+    "measure_renderer",
+    "time_callable",
+]

@@ -1,0 +1,127 @@
+"""Visualization-latency cost models (Fig 2 and Fig 4 substrate).
+
+The paper's premise is that scatter-plot production time is **linear in
+the number of rendered points** (Fig 2/4 show this for Tableau and
+MathGL).  We cannot run those products offline, so this module provides
+
+* :class:`LinearCostModel` — ``time(n) = overhead + rate · n``;
+* calibrated constants for a *Tableau-like* and a *MathGL-like* system,
+  back-solved from the paper's published readings (Tableau: > 4 minutes
+  at 50M in-memory tuples, ~7 s at 1M; MathGL: ~2 s at 1M including SSD
+  load — both crossing the 2-second interactive limit by 1M points);
+* :func:`fit_linear_model` — least-squares calibration from measured
+  (size, seconds) pairs, used to fit a model to *our own* renderer so
+  the Fig 2/4 reproductions report a measured system next to the two
+  calibrated ones;
+* :func:`measure_renderer` — time :class:`~repro.viz.ScatterRenderer`
+  on synthetic point sets of growing size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import as_generator
+from ..viz.scatter import ScatterRenderer, Viewport
+from .timer import time_callable
+
+#: HCI interactive-latency limit cited throughout the paper (seconds).
+INTERACTIVE_LIMIT_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class LinearCostModel:
+    """``predict(n) = overhead_seconds + seconds_per_point * n``."""
+
+    name: str
+    seconds_per_point: float
+    overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_point <= 0:
+            raise ConfigurationError(
+                f"seconds_per_point must be positive, got {self.seconds_per_point}"
+            )
+        if self.overhead_seconds < 0:
+            raise ConfigurationError(
+                f"overhead_seconds must be >= 0, got {self.overhead_seconds}"
+            )
+
+    def predict(self, n_points: int | np.ndarray) -> np.ndarray | float:
+        """Predicted seconds to visualize ``n_points``."""
+        return self.overhead_seconds + self.seconds_per_point * np.asarray(
+            n_points, dtype=np.float64
+        )
+
+    def points_within(self, time_budget_seconds: float) -> int:
+        """Largest point count whose prediction fits the budget."""
+        if time_budget_seconds <= self.overhead_seconds:
+            return 0
+        return int(
+            (time_budget_seconds - self.overhead_seconds) / self.seconds_per_point
+        )
+
+
+#: Back-solved from Fig 2/4: >4 min at 50M (in-memory), ~7 s at 1M.
+TABLEAU_LIKE = LinearCostModel(
+    name="tableau-like", seconds_per_point=5.2e-6, overhead_seconds=1.5
+)
+
+#: Back-solved from Fig 2/4: ~2 s at 1M including load, linear growth.
+MATHGL_LIKE = LinearCostModel(
+    name="mathgl-like", seconds_per_point=2.1e-6, overhead_seconds=0.3
+)
+
+
+def fit_linear_model(name: str, sizes: np.ndarray,
+                     seconds: np.ndarray) -> LinearCostModel:
+    """Least-squares fit of a :class:`LinearCostModel` to measurements.
+
+    A negative fitted intercept is clamped to zero (tiny point counts
+    can produce one through measurement noise).
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    seconds = np.asarray(seconds, dtype=np.float64)
+    if len(sizes) < 2 or len(sizes) != len(seconds):
+        raise ConfigurationError(
+            "need at least two (size, seconds) pairs of equal length"
+        )
+    rate, intercept = np.polyfit(sizes, seconds, deg=1)
+    if rate <= 0:
+        raise ConfigurationError(
+            f"fitted rate must be positive, got {rate:g} "
+            "(timings are not increasing with size)"
+        )
+    return LinearCostModel(
+        name=name,
+        seconds_per_point=float(rate),
+        overhead_seconds=float(max(intercept, 0.0)),
+    )
+
+
+def measure_renderer(sizes: list[int], width: int = 400, height: int = 400,
+                     repeats: int = 3,
+                     rng: int | np.random.Generator | None = 0
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Median render seconds of our raster renderer per point count.
+
+    Returns ``(sizes, seconds)`` arrays ready for
+    :func:`fit_linear_model`.
+    """
+    if not sizes or any(s < 1 for s in sizes):
+        raise ConfigurationError(f"sizes must be positive, got {sizes}")
+    gen = as_generator(rng)
+    renderer = ScatterRenderer(width=width, height=height)
+    viewport = Viewport(0.0, 0.0, 1.0, 1.0)
+    out = np.empty(len(sizes), dtype=np.float64)
+    for i, n in enumerate(sizes):
+        pts = gen.random((n, 2))
+        timing = time_callable(
+            lambda p=pts: renderer.render(p, viewport=viewport),
+            repeats=repeats, warmup=1,
+        )
+        out[i] = timing.median
+    return np.asarray(sizes, dtype=np.float64), out

@@ -1,0 +1,78 @@
+"""Timing utilities for the latency experiments.
+
+Wall-clock measurement with monotonic clocks, repeat-and-aggregate
+helpers, and a context-manager :class:`Timer` — the plumbing under the
+Fig 2/4/9/10 experiments.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Usage::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingResult:
+    """Aggregate of repeated timings of one callable."""
+
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3,
+                  warmup: int = 1) -> TimingResult:
+    """Time ``fn`` over ``repeats`` runs after ``warmup`` discarded runs."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    result = TimingResult()
+    for _ in range(repeats):
+        with Timer() as t:
+            fn()
+        result.samples.append(t.elapsed)
+    return result

@@ -1,0 +1,29 @@
+"""Baseline samplers the paper compares VAS against.
+
+* :class:`UniformSampler` — simple random sampling (one-shot and
+  single-pass reservoir streaming);
+* :class:`StratifiedSampler` — grid-binned stratified sampling with the
+  paper's balanced (water-filling) per-bin allocation;
+* :class:`ReservoirR` / :class:`ReservoirL` — the underlying reservoir
+  algorithms, exposed for reuse.
+
+The VAS sampler itself lives in :mod:`repro.core` and implements the
+same :class:`Sampler` interface.
+"""
+
+from .base import Sampler, SampleResult, iter_chunks, validate_sample_size
+from .reservoir import ReservoirL, ReservoirR
+from .stratified import StratifiedSampler, balanced_allocation
+from .uniform import UniformSampler
+
+__all__ = [
+    "Sampler",
+    "SampleResult",
+    "UniformSampler",
+    "StratifiedSampler",
+    "ReservoirL",
+    "ReservoirR",
+    "balanced_allocation",
+    "iter_chunks",
+    "validate_sample_size",
+]

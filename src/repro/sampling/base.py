@@ -1,0 +1,139 @@
+"""Sampler interface shared by every sampling method in the package.
+
+The paper compares three samplers — uniform random, grid-stratified,
+and VAS — plus VAS with density embedding.  All of them implement the
+same contract so the experiment drivers can iterate over them
+uniformly:
+
+* :meth:`Sampler.sample` — one-shot: take an ``(N, 2)`` array, return a
+  :class:`SampleResult` of exactly ``k`` rows (or all rows when
+  ``k >= N``);
+* :meth:`Sampler.sample_stream` — streaming: consume an iterable of
+  chunks, which is how a sampler would run against a table scan in the
+  architecture of Fig 3.
+
+A :class:`SampleResult` carries the selected coordinates, the row
+indices into the original dataset (when the source was indexable), and
+optional per-point ``weights`` (used by density embedding, §V).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import SampleSizeError
+from ..geometry import as_points
+
+
+@dataclass
+class SampleResult:
+    """The outcome of drawing one sample.
+
+    Attributes
+    ----------
+    points:
+        ``(K, 2)`` array of selected coordinates.
+    indices:
+        ``(K,)`` int64 row ids into the source dataset; ``-1`` for
+        points whose provenance was lost (never the case for the
+        built-in samplers).
+    weights:
+        Optional ``(K,)`` float64 density weights — the §V counters,
+        where ``weights[i]`` is the number of original rows whose
+        nearest sample point is ``points[i]``.  ``None`` unless density
+        embedding ran.
+    method:
+        Name of the producing sampler (for reports).
+    """
+
+    points: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+    method: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = as_points(self.points)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if len(self.points) != len(self.indices):
+            raise ValueError(
+                f"points/indices length mismatch: "
+                f"{len(self.points)} vs {len(self.indices)}"
+            )
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if len(self.weights) != len(self.points):
+                raise ValueError(
+                    f"weights length mismatch: {len(self.weights)} vs "
+                    f"{len(self.points)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    def with_weights(self, weights: np.ndarray) -> "SampleResult":
+        """A copy of this result carrying density weights."""
+        return SampleResult(
+            points=self.points,
+            indices=self.indices,
+            weights=weights,
+            method=self.method,
+            metadata=dict(self.metadata),
+        )
+
+
+def validate_sample_size(k: int) -> int:
+    """Check that a requested sample size is a positive integer."""
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool):
+        raise SampleSizeError(k)
+    if k <= 0:
+        raise SampleSizeError(int(k))
+    return int(k)
+
+
+class Sampler(abc.ABC):
+    """Abstract base class for all sampling methods."""
+
+    #: Human-readable identifier used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, points: np.ndarray, k: int) -> SampleResult:
+        """Draw a sample of ``min(k, N)`` rows from an in-memory dataset."""
+
+    def sample_stream(self, chunks: Iterable[np.ndarray], k: int) -> SampleResult:
+        """Draw a sample from a stream of ``(n_i, 2)`` chunks.
+
+        The default implementation materialises the stream; one-pass
+        samplers override this with a true streaming algorithm.
+        """
+        collected = [as_points(c) for c in chunks]
+        if collected:
+            data = np.concatenate(collected, axis=0)
+        else:
+            data = np.empty((0, 2), dtype=np.float64)
+        return self.sample(data, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def iter_chunks(points: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
+    """Yield successive ``chunk_size`` slices of ``points``.
+
+    A convenience for exercising the streaming interfaces in tests and
+    benchmarks without a full table scan.
+    """
+    pts = as_points(points)
+    if chunk_size <= 0:
+        raise SampleSizeError(chunk_size)
+    for start in range(0, len(pts), chunk_size):
+        yield pts[start:start + chunk_size]

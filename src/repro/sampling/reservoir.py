@@ -1,0 +1,153 @@
+"""Reservoir sampling: Algorithms R and L.
+
+The paper implements its uniform baseline as "the single-pass reservoir
+method for simple random sampling" (§VI-B1) and its stratified baseline
+as one reservoir per bin.  Two classic variants are provided:
+
+* **Algorithm R** (Vitter 1985): O(N) — every arriving item draws one
+  random integer.
+* **Algorithm L** (Li 1994): O(K (1 + log(N/K))) — skips ahead
+  geometrically between replacements, which is much faster when the
+  stream dwarfs the reservoir.
+
+Both maintain identical guarantees: after consuming a stream of N
+items, every size-K subset is equally likely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..rng import as_generator
+from .base import validate_sample_size
+
+
+class ReservoirR:
+    """Classic Algorithm R reservoir over (index, point) pairs.
+
+    Feed items with :meth:`offer`; read the current reservoir with
+    :attr:`indices` / :attr:`points`.
+    """
+
+    def __init__(self, k: int, rng: int | np.random.Generator | None = None) -> None:
+        self.k = validate_sample_size(k)
+        self._rng = as_generator(rng)
+        self._indices: list[int] = []
+        self._points: list[np.ndarray] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Total number of items offered so far."""
+        return self._seen
+
+    def offer(self, index: int, point: np.ndarray) -> None:
+        """Offer one stream item to the reservoir."""
+        self._seen += 1
+        if len(self._indices) < self.k:
+            self._indices.append(index)
+            self._points.append(np.asarray(point, dtype=np.float64))
+            return
+        j = int(self._rng.integers(0, self._seen))
+        if j < self.k:
+            self._indices[j] = index
+            self._points[j] = np.asarray(point, dtype=np.float64)
+
+    def offer_chunk(self, start_index: int, chunk: np.ndarray) -> None:
+        """Offer a contiguous chunk whose rows are indexed from ``start_index``."""
+        for offset, row in enumerate(np.asarray(chunk, dtype=np.float64)):
+            self.offer(start_index + offset, row)
+
+    @property
+    def indices(self) -> np.ndarray:
+        return np.array(self._indices, dtype=np.int64)
+
+    @property
+    def points(self) -> np.ndarray:
+        if not self._points:
+            return np.empty((0, 2), dtype=np.float64)
+        return np.stack(self._points, axis=0)
+
+
+class ReservoirL:
+    """Algorithm L: skip-ahead reservoir sampling.
+
+    After the reservoir fills, the algorithm draws a geometric skip and
+    fast-forwards over that many stream items without touching the RNG
+    for each one.  ``offer_chunk`` exploits this by slicing chunks,
+    making the per-item cost effectively zero for large streams.
+    """
+
+    def __init__(self, k: int, rng: int | np.random.Generator | None = None) -> None:
+        self.k = validate_sample_size(k)
+        self._rng = as_generator(rng)
+        self._indices: list[int] = []
+        self._points: list[np.ndarray] = []
+        self._seen = 0
+        self._w = 1.0
+        self._next_replace = -1  # absolute stream position of next replacement
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def _draw_skip(self) -> None:
+        """Advance the W state and schedule the next replacement position."""
+        u = self._rng.random()
+        self._w *= math.exp(math.log(max(u, 1e-300)) / self.k)
+        u2 = self._rng.random()
+        skip = int(math.floor(math.log(max(u2, 1e-300)) /
+                              math.log(max(1.0 - self._w, 1e-300)))) if self._w < 1.0 else 0
+        self._next_replace = self._seen + skip + 1
+
+    def offer(self, index: int, point: np.ndarray) -> None:
+        """Offer one stream item (slow path; prefer :meth:`offer_chunk`)."""
+        self._seen += 1
+        if len(self._indices) < self.k:
+            self._indices.append(index)
+            self._points.append(np.asarray(point, dtype=np.float64))
+            if len(self._indices) == self.k:
+                self._draw_skip()
+            return
+        if self._seen == self._next_replace:
+            slot = int(self._rng.integers(0, self.k))
+            self._indices[slot] = index
+            self._points[slot] = np.asarray(point, dtype=np.float64)
+            self._draw_skip()
+
+    def offer_chunk(self, start_index: int, chunk: np.ndarray) -> None:
+        """Offer a chunk, fast-forwarding through skipped items."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        n = len(chunk)
+        pos = 0
+        # Fill phase.
+        while pos < n and len(self._indices) < self.k:
+            self.offer(start_index + pos, chunk[pos])
+            pos += 1
+        # Skip phase: jump directly to scheduled replacement positions.
+        while pos < n:
+            if self._next_replace <= self._seen:  # pragma: no cover - safety
+                self._draw_skip()
+            jump = self._next_replace - self._seen - 1
+            if pos + jump >= n:
+                self._seen += n - pos
+                return
+            pos += jump
+            self._seen += jump + 1
+            slot = int(self._rng.integers(0, self.k))
+            self._indices[slot] = start_index + pos
+            self._points[slot] = chunk[pos]
+            self._draw_skip()
+            pos += 1
+
+    @property
+    def indices(self) -> np.ndarray:
+        return np.array(self._indices, dtype=np.int64)
+
+    @property
+    def points(self) -> np.ndarray:
+        if not self._points:
+            return np.empty((0, 2), dtype=np.float64)
+        return np.stack(self._points, axis=0)

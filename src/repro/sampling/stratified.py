@@ -1,0 +1,238 @@
+"""Grid-stratified sampling — the paper's second baseline.
+
+"Stratified sampling divides a domain into non-overlapping bins and
+performs uniform random sampling for each bin.  Here, the number of the
+data points to draw for each bin is determined in the most balanced
+way." (§VI-B1)
+
+The balanced allocation is a water-filling: every bin receives the same
+quota unless it has fewer points than the quota, in which case its
+slack is redistributed among the remaining bins.  With two bins and a
+budget of 100, a bin holding only 10 points yields the paper's worked
+example: 90 from the first bin and 10 from the second.
+
+The paper uses a 100-bin grid for the user study (10×10) and a 316×316
+grid for Fig 1; the grid shape is a constructor parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import as_points
+from ..rng import as_generator
+from .base import Sampler, SampleResult, validate_sample_size
+from .reservoir import ReservoirL
+
+
+def balanced_allocation(counts: np.ndarray, budget: int) -> np.ndarray:
+    """Water-filling allocation of ``budget`` draws across strata.
+
+    Parameters
+    ----------
+    counts:
+        ``(B,)`` population of each stratum.
+    budget:
+        Total number of draws, ``budget >= 0``.
+
+    Returns
+    -------
+    ``(B,)`` int64 allocation with ``alloc <= counts`` elementwise and
+    ``alloc.sum() == min(budget, counts.sum())``.  The allocation is the
+    most balanced one: it maximises the minimum quota, i.e. it is the
+    unique solution of ``alloc_b = min(counts_b, t)`` for a common water
+    level ``t`` (with leftover units spread one-per-bin among the bins
+    that still have capacity, largest remaining capacity first for
+    determinism).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if np.any(counts < 0):
+        raise ConfigurationError("stratum counts must be non-negative")
+    if budget < 0:
+        raise ConfigurationError(f"budget must be non-negative, got {budget}")
+    total = int(counts.sum())
+    budget = min(int(budget), total)
+    alloc = np.zeros_like(counts)
+    if budget == 0:
+        return alloc
+
+    remaining = budget
+    active = counts > 0
+    while remaining > 0 and np.any(active):
+        share = remaining // int(active.sum())
+        if share == 0:
+            break
+        take = np.minimum(counts[active] - alloc[active], share)
+        alloc[active] += take
+        remaining -= int(take.sum())
+        active = alloc < counts
+    # Distribute the sub-|active| remainder one unit at a time, to the
+    # bins with the most remaining capacity first (deterministic).
+    if remaining > 0:
+        capacity = counts - alloc
+        order = np.argsort(-capacity, kind="stable")
+        for b in order:
+            if remaining == 0:
+                break
+            if capacity[b] > 0:
+                alloc[b] += 1
+                remaining -= 1
+    return alloc
+
+
+class StratifiedSampler(Sampler):
+    """Stratified sampling over a uniform grid of bins.
+
+    Parameters
+    ----------
+    grid_shape:
+        ``(nx, ny)`` bins along x and y.  The paper's user study uses
+        ``(10, 10)``; its Fig 1 rendering uses ``(316, 316)``.
+    rng:
+        Seed or generator for the per-bin uniform draws.
+    bounds:
+        Optional ``(xmin, ymin, xmax, ymax)`` fixing the binning domain;
+        by default the data bounds are used.  Fixed bounds matter for
+        the streaming path, where data bounds are unknown upfront.
+    """
+
+    name = "stratified"
+
+    def __init__(self, grid_shape: tuple[int, int] = (10, 10),
+                 rng: int | np.random.Generator | None = None,
+                 bounds: tuple[float, float, float, float] | None = None) -> None:
+        nx, ny = grid_shape
+        if nx < 1 or ny < 1:
+            raise ConfigurationError(f"grid_shape must be >= (1, 1), got {grid_shape}")
+        self.grid_shape = (int(nx), int(ny))
+        self._rng = as_generator(rng)
+        if bounds is not None:
+            xmin, ymin, xmax, ymax = bounds
+            if xmin >= xmax or ymin >= ymax:
+                raise ConfigurationError(f"degenerate bounds: {bounds}")
+        self.bounds = bounds
+
+    # -- binning -----------------------------------------------------------
+    def _resolve_bounds(self, pts: np.ndarray) -> tuple[float, float, float, float]:
+        if self.bounds is not None:
+            return self.bounds
+        xmin, ymin = pts.min(axis=0)
+        xmax, ymax = pts.max(axis=0)
+        if xmin == xmax:
+            xmax = xmin + 1.0
+        if ymin == ymax:
+            ymax = ymin + 1.0
+        return float(xmin), float(ymin), float(xmax), float(ymax)
+
+    def bin_ids(self, pts: np.ndarray,
+                bounds: tuple[float, float, float, float]) -> np.ndarray:
+        """Flat bin index in ``[0, nx*ny)`` for every row of ``pts``.
+
+        Points outside fixed ``bounds`` are clamped into the border bins,
+        matching how a dashboard would bucket out-of-range values.
+        """
+        nx, ny = self.grid_shape
+        xmin, ymin, xmax, ymax = bounds
+        fx = (pts[:, 0] - xmin) / (xmax - xmin)
+        fy = (pts[:, 1] - ymin) / (ymax - ymin)
+        ix = np.clip((fx * nx).astype(np.int64), 0, nx - 1)
+        iy = np.clip((fy * ny).astype(np.int64), 0, ny - 1)
+        return ix * ny + iy
+
+    # -- one-shot ------------------------------------------------------------
+    def sample(self, points: np.ndarray, k: int) -> SampleResult:
+        pts = as_points(points)
+        k = validate_sample_size(k)
+        n = len(pts)
+        if n == 0:
+            return SampleResult(points=pts, indices=np.empty(0, dtype=np.int64),
+                                method=self.name)
+        if k >= n:
+            idx = np.arange(n, dtype=np.int64)
+            return SampleResult(points=pts[idx], indices=idx, method=self.name)
+
+        bounds = self._resolve_bounds(pts)
+        bins = self.bin_ids(pts, bounds)
+        n_bins = self.grid_shape[0] * self.grid_shape[1]
+        counts = np.bincount(bins, minlength=n_bins)
+        alloc = balanced_allocation(counts, k)
+
+        chosen: list[np.ndarray] = []
+        for b in np.nonzero(alloc)[0]:
+            members = np.nonzero(bins == b)[0]
+            take = int(alloc[b])
+            if take >= len(members):
+                chosen.append(members)
+            else:
+                chosen.append(self._rng.choice(members, size=take, replace=False))
+        idx = np.sort(np.concatenate(chosen)).astype(np.int64)
+        return SampleResult(points=pts[idx], indices=idx, method=self.name,
+                            metadata={"grid_shape": self.grid_shape,
+                                      "bounds": bounds})
+
+    # -- streaming --------------------------------------------------------------
+    def sample_stream(self, chunks: Iterable[np.ndarray], k: int) -> SampleResult:
+        """One-pass stratified sampling with per-bin reservoirs.
+
+        Requires fixed ``bounds`` (the binning must be known before the
+        data is seen).  Each bin runs an Algorithm L reservoir with a
+        capacity of the balanced per-bin quota assuming all bins fill;
+        after the pass, the balanced allocation is recomputed from the
+        true bin counts and overfull reservoirs are trimmed.
+        """
+        if self.bounds is None:
+            raise ConfigurationError(
+                "streaming stratified sampling requires fixed bounds"
+            )
+        k = validate_sample_size(k)
+        nx, ny = self.grid_shape
+        n_bins = nx * ny
+        # Reservoir capacity: generous quota so that trimming (never
+        # growing) suffices after the true counts are known.
+        quota = max(1, -(-k // max(n_bins, 1)) * 4)
+        reservoirs: dict[int, ReservoirL] = {}
+        seen = np.zeros(n_bins, dtype=np.int64)
+        offset = 0
+        for chunk in chunks:
+            chunk = as_points(chunk)
+            bins = self.bin_ids(chunk, self.bounds)
+            for row, b in enumerate(bins):
+                b = int(b)
+                seen[b] += 1
+                res = reservoirs.get(b)
+                if res is None:
+                    res = ReservoirL(quota, rng=self._rng)
+                    reservoirs[b] = res
+                res.offer(offset + row, chunk[row])
+            offset += len(chunk)
+
+        alloc = balanced_allocation(seen, k)
+        indices: list[np.ndarray] = []
+        points: list[np.ndarray] = []
+        for b, res in reservoirs.items():
+            take = int(alloc[b])
+            if take == 0:
+                continue
+            ids = res.indices
+            pts = res.points
+            if take < len(ids):
+                keep = self._rng.choice(len(ids), size=take, replace=False)
+                ids = ids[keep]
+                pts = pts[keep]
+            indices.append(ids)
+            points.append(pts)
+        if indices:
+            idx = np.concatenate(indices)
+            pts_all = np.concatenate(points, axis=0)
+            order = np.argsort(idx)
+            idx = idx[order]
+            pts_all = pts_all[order]
+        else:
+            idx = np.empty(0, dtype=np.int64)
+            pts_all = np.empty((0, 2), dtype=np.float64)
+        return SampleResult(points=pts_all, indices=idx, method=self.name,
+                            metadata={"grid_shape": self.grid_shape,
+                                      "bounds": self.bounds})

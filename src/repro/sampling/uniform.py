@@ -1,0 +1,62 @@
+"""Uniform random sampling — the paper's first baseline.
+
+"The uniform random sampling method chooses K data points purely at
+random, and as a result, tends to choose more data points from dense
+areas.  We implemented the single-pass reservoir method for simple
+random sampling." (§VI-B1)
+
+The one-shot path uses ``Generator.choice`` without replacement, which
+is exactly equivalent in distribution; the streaming path uses
+Algorithm L reservoir sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..geometry import as_points
+from ..rng import as_generator
+from .base import Sampler, SampleResult, validate_sample_size
+from .reservoir import ReservoirL
+
+
+class UniformSampler(Sampler):
+    """Simple random sampling without replacement.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator controlling the draw.
+    """
+
+    name = "uniform"
+
+    def __init__(self, rng: int | np.random.Generator | None = None) -> None:
+        self._rng = as_generator(rng)
+
+    def sample(self, points: np.ndarray, k: int) -> SampleResult:
+        pts = as_points(points)
+        k = validate_sample_size(k)
+        n = len(pts)
+        if k >= n:
+            idx = np.arange(n, dtype=np.int64)
+        else:
+            idx = np.sort(self._rng.choice(n, size=k, replace=False)).astype(np.int64)
+        return SampleResult(points=pts[idx], indices=idx, method=self.name)
+
+    def sample_stream(self, chunks: Iterable[np.ndarray], k: int) -> SampleResult:
+        k = validate_sample_size(k)
+        reservoir = ReservoirL(k, rng=self._rng)
+        offset = 0
+        for chunk in chunks:
+            chunk = as_points(chunk)
+            reservoir.offer_chunk(offset, chunk)
+            offset += len(chunk)
+        order = np.argsort(reservoir.indices)
+        return SampleResult(
+            points=reservoir.points[order],
+            indices=reservoir.indices[order],
+            method=self.name,
+        )

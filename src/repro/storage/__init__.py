@@ -1,0 +1,43 @@
+"""Storage substrate: the mini column-store RDBMS of the Fig 3 model.
+
+Tables with typed columns, a predicate algebra for zoom filters,
+chunked scans for samplers, and a :class:`SampleStore` implementing the
+paper's offline-sample + latency-budget deployment (§II-B, §II-D).
+"""
+
+from .column import Column, ColumnType, FLOAT64, INT64, STRING
+from .database import Database
+from .predicates import (
+    And,
+    Between,
+    Compare,
+    Not,
+    Or,
+    Predicate,
+    viewport_predicate,
+)
+from .query import VizQuery, VizResult
+from .samples import SampleKey, SampleStore, points_for_budget
+from .table import Table
+
+__all__ = [
+    "And",
+    "Between",
+    "Column",
+    "ColumnType",
+    "Compare",
+    "Database",
+    "FLOAT64",
+    "INT64",
+    "Not",
+    "Or",
+    "Predicate",
+    "SampleKey",
+    "SampleStore",
+    "STRING",
+    "Table",
+    "VizQuery",
+    "VizResult",
+    "points_for_budget",
+    "viewport_predicate",
+]

@@ -1,0 +1,111 @@
+"""Typed columns over numpy arrays.
+
+The storage substrate is a miniature in-memory column store — the
+"dedicated RDBMS" of the paper's Fig 3 architecture.  A
+:class:`Column` wraps one numpy array with a declared logical type and
+validates on construction, so schema errors surface at load time rather
+than mid-query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchemaError
+
+#: Logical type → acceptable numpy kinds.
+_TYPE_KINDS = {
+    "float64": ("f",),
+    "int64": ("i", "u"),
+    "str": ("U", "O"),
+}
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A logical column type: ``float64``, ``int64`` or ``str``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _TYPE_KINDS:
+            raise SchemaError(
+                f"unknown column type {self.name!r}; "
+                f"expected one of {sorted(_TYPE_KINDS)}"
+            )
+
+    def coerce(self, values: np.ndarray) -> np.ndarray:
+        """Coerce raw values to this type's canonical dtype."""
+        arr = np.asarray(values)
+        if self.name == "float64":
+            return arr.astype(np.float64, copy=False)
+        if self.name == "int64":
+            if arr.dtype.kind == "f" and not np.all(arr == np.floor(arr)):
+                raise SchemaError("non-integral values in int64 column")
+            return arr.astype(np.int64, copy=False)
+        return arr.astype(str, copy=False)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("float64", "int64")
+
+
+FLOAT64 = ColumnType("float64")
+INT64 = ColumnType("int64")
+STRING = ColumnType("str")
+
+
+class Column:
+    """One named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name (non-empty).
+    ctype:
+        The logical :class:`ColumnType`.
+    values:
+        Raw values; coerced and validated.
+    """
+
+    def __init__(self, name: str, ctype: ColumnType, values: np.ndarray) -> None:
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        self.ctype = ctype
+        self._values = ctype.coerce(values)
+        if self._values.ndim != 1:
+            raise SchemaError(
+                f"column {name!r} must be 1-D, got shape {self._values.shape}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The backing array (treat as read-only)."""
+        return self._values
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """A new column with the given rows."""
+        return Column(self.name, self.ctype, self._values[indices])
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """A new column over ``values[start:stop]``."""
+        return Column(self.name, self.ctype, self._values[start:stop])
+
+    def min(self) -> float:
+        if not self.ctype.is_numeric:
+            raise SchemaError(f"min() on non-numeric column {self.name!r}")
+        return float(self._values.min())
+
+    def max(self) -> float:
+        if not self.ctype.is_numeric:
+            raise SchemaError(f"max() on non-numeric column {self.name!r}")
+        return float(self._values.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Column({self.name!r}, {self.ctype.name}, n={len(self)})"

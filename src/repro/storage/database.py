@@ -1,0 +1,129 @@
+"""The database: named tables plus the sample store.
+
+Ties the storage substrate together into the Fig 3 architecture: a
+:class:`Database` owns base tables, builds samples offline with any
+:class:`~repro.sampling.Sampler`, and answers visualization queries
+from the stored samples within a latency budget.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchemaError, TableNotFoundError
+from ..sampling.base import Sampler, SampleResult
+from ..core.density import embed_density
+from .query import VizQuery, VizResult
+from .samples import SampleStore
+from .table import Table
+
+
+class Database:
+    """An in-memory database of tables and pre-built samples."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self.samples = SampleStore()
+
+    # -- table management -------------------------------------------------
+    def create_table(self, table: Table) -> None:
+        """Register a table; names are unique."""
+        if table.name in self._tables:
+            raise SchemaError(f"table already exists: {table.name!r}")
+        self._tables[table.name] = table
+
+    def create_table_from_arrays(self, name: str, arrays) -> Table:
+        """Convenience: build and register a table from arrays."""
+        table = Table.from_arrays(name, arrays)
+        self.create_table(table)
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError(name)
+        del self._tables[name]
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- offline sample builds ------------------------------------------------
+    def build_sample(self, table_name: str, x_column: str, y_column: str,
+                     sampler: Sampler, size: int,
+                     with_density: bool = False,
+                     chunk_size: int = 65536) -> SampleResult:
+        """Run one offline sampling pass and register the result.
+
+        ``with_density`` adds the §V second pass (a second scan).
+        """
+        table = self.table(table_name)
+        result = sampler.sample(table.xy(x_column, y_column), size)
+        if with_density:
+            result = embed_density(
+                result, table.scan(x_column, y_column, chunk_size=chunk_size)
+            )
+        self.samples.add(table_name, x_column, y_column, result)
+        return result
+
+    def build_sample_ladder(self, table_name: str, x_column: str,
+                            y_column: str, sampler: Sampler,
+                            sizes: Sequence[int],
+                            with_density: bool = False) -> list[SampleResult]:
+        """Build the multi-size ladder the §II-D selection rule needs."""
+        return [
+            self.build_sample(table_name, x_column, y_column, sampler,
+                              size, with_density=with_density)
+            for size in sizes
+        ]
+
+    # -- query answering ----------------------------------------------------------
+    def execute(self, query: VizQuery) -> VizResult:
+        """Answer a visualization query from the stored samples.
+
+        Resolution order: the query's explicit ``max_points`` wins;
+        otherwise a ``time_budget_seconds`` plus rate converts to a
+        point budget; otherwise the largest stored sample is returned.
+        The viewport filter (zoom) applies after sample selection —
+        precisely the interaction pattern of Fig 1, where one stored
+        sample must serve every zoom level.
+        """
+        self.table(query.table)  # raises early on unknown table
+        if query.max_points is not None:
+            sample = self.samples.for_point_budget(
+                query.table, query.x_column, query.y_column,
+                query.method, query.max_points,
+            )
+        elif query.time_budget_seconds is not None:
+            sample = self.samples.for_time_budget(
+                query.table, query.x_column, query.y_column,
+                query.method, query.time_budget_seconds,
+                query.seconds_per_point,
+                query.fixed_overhead_seconds,
+            )
+        else:
+            big = 2**62
+            sample = self.samples.for_point_budget(
+                query.table, query.x_column, query.y_column,
+                query.method, big,
+            )
+        points = sample.points
+        weights = sample.weights
+        if query.viewport is not None:
+            mask = query.viewport.contains(points)
+            points = points[mask]
+            weights = weights[mask] if weights is not None else None
+        return VizResult(
+            points=points,
+            weights=weights,
+            method=sample.method,
+            sample_size=len(sample),
+            returned_rows=len(points),
+        )

@@ -1,0 +1,120 @@
+"""Filter predicates over table rows.
+
+Visualization queries filter on continuous ranges (the zoom window maps
+to a conjunction of two between-predicates — exactly the workload §III
+says uniform/stratified sampling serves poorly).  The predicate algebra
+here covers what those queries need: range, comparison, equality, and
+boolean combinators, each compiling to a vectorised boolean mask.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .table import Table
+
+
+class Predicate(abc.ABC):
+    """A row filter; evaluates to a boolean mask over a table."""
+
+    @abc.abstractmethod
+    def mask(self, table: "Table") -> np.ndarray:
+        """``(len(table),)`` boolean mask of matching rows."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class Between(Predicate):
+    """``lo <= column <= hi`` (closed interval)."""
+
+    def __init__(self, column: str, lo: float, hi: float) -> None:
+        if lo > hi:
+            raise SchemaError(f"between bounds inverted: [{lo}, {hi}]")
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+
+    def mask(self, table: "Table") -> np.ndarray:
+        values = table.column(self.column).values
+        return (values >= self.lo) & (values <= self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Between({self.column!r}, {self.lo}, {self.hi})"
+
+
+class Compare(Predicate):
+    """``column <op> value`` for op in <, <=, >, >=, ==, !=."""
+
+    _OPS = {
+        "<": np.less, "<=": np.less_equal,
+        ">": np.greater, ">=": np.greater_equal,
+        "==": np.equal, "!=": np.not_equal,
+    }
+
+    def __init__(self, column: str, op: str, value) -> None:
+        if op not in self._OPS:
+            raise SchemaError(
+                f"unknown operator {op!r}; expected one of {sorted(self._OPS)}"
+            )
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def mask(self, table: "Table") -> np.ndarray:
+        values = table.column(self.column).values
+        return self._OPS[self.op](values, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Compare({self.column!r} {self.op} {self.value!r})"
+
+
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return self.left.mask(table) & self.right.mask(table)
+
+
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return self.left.mask(table) | self.right.mask(table)
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~self.inner.mask(table)
+
+
+def viewport_predicate(x_column: str, y_column: str,
+                       xmin: float, ymin: float,
+                       xmax: float, ymax: float) -> Predicate:
+    """The zoom-window filter: two conjunctive between-predicates."""
+    return Between(x_column, xmin, xmax) & Between(y_column, ymin, ymax)

@@ -1,0 +1,76 @@
+"""Visualization queries and their results.
+
+A :class:`VizQuery` is the tool-generated request of Fig 3: which table
+and column pair to plot, an optional zoom window, and a latency or
+point budget that the database converts into a stored-sample choice
+(§II-B, §II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..viz.scatter import Viewport
+
+
+@dataclass
+class VizQuery:
+    """A scatter/map-plot request against the database.
+
+    Attributes
+    ----------
+    table / x_column / y_column:
+        What to plot.
+    method:
+        Which sample family to serve from (``"vas"``, ``"uniform"``,
+        ``"stratified"``, ``"vas+density"``, ...).
+    viewport:
+        Optional zoom window applied to the returned rows.
+    time_budget_seconds / seconds_per_point / fixed_overhead_seconds:
+        The §II-D latency contract: budget and calibrated rendering
+        rate.  Ignored when ``max_points`` is given.
+    max_points:
+        Explicit point budget (overrides the time budget).
+    """
+
+    table: str
+    x_column: str
+    y_column: str
+    method: str = "vas"
+    viewport: Viewport | None = None
+    time_budget_seconds: float | None = None
+    seconds_per_point: float = 1e-6
+    fixed_overhead_seconds: float = 0.0
+    max_points: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.time_budget_seconds is not None and self.time_budget_seconds < 0:
+            raise ConfigurationError(
+                f"time budget must be >= 0, got {self.time_budget_seconds}"
+            )
+        if self.max_points is not None and self.max_points < 0:
+            raise ConfigurationError(
+                f"max_points must be >= 0, got {self.max_points}"
+            )
+        if self.seconds_per_point <= 0:
+            raise ConfigurationError(
+                f"seconds_per_point must be positive, got {self.seconds_per_point}"
+            )
+
+
+@dataclass
+class VizResult:
+    """Rows returned to the visualization tool.
+
+    ``sample_size`` is the size of the stored sample that served the
+    query; ``returned_rows`` is after the viewport filter.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray | None
+    method: str
+    sample_size: int
+    returned_rows: int

@@ -1,0 +1,145 @@
+"""The sample store: pre-built samples and latency-driven selection.
+
+§II-B and §II-D of the paper describe the deployment model: samples are
+built **offline** at several sizes and stored in the database; at query
+time "VAS chooses an appropriate sample size by converting the
+specified time bound into the number of tuples that can likely be
+processed within that time bound".  :class:`SampleStore` implements
+both halves:
+
+* registration of samples keyed by (table, x column, y column, method),
+  several sizes per key;
+* :meth:`SampleStore.for_time_budget` — pick the largest stored sample
+  whose predicted visualization time fits the budget, given a
+  seconds-per-point rate (calibrated by :mod:`repro.perf.cost_model`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, SampleNotFoundError
+from ..sampling.base import SampleResult
+
+
+def points_for_budget(time_budget_seconds: float,
+                      seconds_per_point: float,
+                      fixed_overhead_seconds: float = 0.0) -> int:
+    """Convert a latency budget into a point budget (the §II-D rule).
+
+    ``max(0, (budget - overhead) / rate)``, floored to an int.
+    """
+    if time_budget_seconds < 0:
+        raise ConfigurationError(
+            f"time budget must be >= 0, got {time_budget_seconds}"
+        )
+    if seconds_per_point <= 0:
+        raise ConfigurationError(
+            f"seconds_per_point must be positive, got {seconds_per_point}"
+        )
+    usable = time_budget_seconds - fixed_overhead_seconds
+    if usable <= 0:
+        return 0
+    return int(usable / seconds_per_point)
+
+
+@dataclass(frozen=True)
+class SampleKey:
+    """Identifies a family of samples: table, column pair and method."""
+
+    table: str
+    x_column: str
+    y_column: str
+    method: str
+
+
+@dataclass
+class _SizeLadder:
+    """Samples of one key ordered by size, for bisect selection."""
+
+    sizes: list[int] = field(default_factory=list)
+    samples: dict[int, SampleResult] = field(default_factory=dict)
+
+    def add(self, result: SampleResult) -> None:
+        size = len(result)
+        if size in self.samples:
+            # Replacing an existing rung is allowed (rebuilds).
+            self.samples[size] = result
+            return
+        bisect.insort(self.sizes, size)
+        self.samples[size] = result
+
+    def largest_at_most(self, max_size: int) -> SampleResult | None:
+        idx = bisect.bisect_right(self.sizes, max_size)
+        if idx == 0:
+            return None
+        return self.samples[self.sizes[idx - 1]]
+
+    def smallest(self) -> SampleResult | None:
+        if not self.sizes:
+            return None
+        return self.samples[self.sizes[0]]
+
+
+class SampleStore:
+    """Registry of offline-built samples, the RDBMS-side half of VAS."""
+
+    def __init__(self) -> None:
+        self._ladders: dict[SampleKey, _SizeLadder] = {}
+
+    def __len__(self) -> int:
+        return sum(len(ladder.sizes) for ladder in self._ladders.values())
+
+    def add(self, table: str, x_column: str, y_column: str,
+            result: SampleResult) -> None:
+        """Register one built sample under its table/columns/method."""
+        key = SampleKey(table, x_column, y_column, result.method)
+        self._ladders.setdefault(key, _SizeLadder()).add(result)
+
+    def sizes(self, table: str, x_column: str, y_column: str,
+              method: str) -> list[int]:
+        """Stored sizes for a key (empty when nothing is registered)."""
+        ladder = self._ladders.get(SampleKey(table, x_column, y_column, method))
+        return list(ladder.sizes) if ladder else []
+
+    def get(self, table: str, x_column: str, y_column: str,
+            method: str, size: int) -> SampleResult:
+        """The exact stored sample, or :class:`SampleNotFoundError`."""
+        ladder = self._ladders.get(SampleKey(table, x_column, y_column, method))
+        if ladder is None or size not in ladder.samples:
+            raise SampleNotFoundError(
+                f"no {method!r} sample of size {size} for "
+                f"{table}.({x_column}, {y_column})"
+            )
+        return ladder.samples[size]
+
+    def for_point_budget(self, table: str, x_column: str, y_column: str,
+                         method: str, max_points: int) -> SampleResult:
+        """Largest stored sample with at most ``max_points`` rows.
+
+        Falls back to the smallest stored sample when even it exceeds
+        the budget (an over-budget plot beats no plot — the same choice
+        a dashboard makes), and raises when nothing is stored at all.
+        """
+        ladder = self._ladders.get(SampleKey(table, x_column, y_column, method))
+        if ladder is None or not ladder.sizes:
+            raise SampleNotFoundError(
+                f"no {method!r} samples for {table}.({x_column}, {y_column})"
+            )
+        chosen = ladder.largest_at_most(max_points)
+        if chosen is None:
+            chosen = ladder.smallest()
+        assert chosen is not None
+        return chosen
+
+    def for_time_budget(self, table: str, x_column: str, y_column: str,
+                        method: str, time_budget_seconds: float,
+                        seconds_per_point: float,
+                        fixed_overhead_seconds: float = 0.0) -> SampleResult:
+        """The §II-D rule end-to-end: budget → points → stored sample."""
+        max_points = points_for_budget(
+            time_budget_seconds, seconds_per_point, fixed_overhead_seconds
+        )
+        return self.for_point_budget(table, x_column, y_column, method,
+                                     max_points)

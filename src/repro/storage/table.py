@@ -1,0 +1,143 @@
+"""Tables: named collections of equal-length columns.
+
+A :class:`Table` supports exactly the operations the paper's
+visualization workload issues against the RDBMS (Fig 3): projection,
+predicate filtering, chunked scans (what samplers consume), and
+extraction of an ``(N, 2)`` coordinate pair for plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import Column, ColumnType, FLOAT64, INT64, STRING
+from .predicates import Predicate
+
+
+def _infer_type(values: np.ndarray) -> ColumnType:
+    arr = np.asarray(values)
+    if arr.dtype.kind == "f":
+        return FLOAT64
+    if arr.dtype.kind in ("i", "u"):
+        return INT64
+    if arr.dtype.kind in ("U", "S", "O"):
+        return STRING
+    raise SchemaError(f"cannot infer a column type for dtype {arr.dtype}")
+
+
+class Table:
+    """An immutable, in-memory, column-oriented table.
+
+    Construct from :class:`Column` objects or via :meth:`from_arrays`.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise SchemaError(f"column lengths differ: {sorted(lengths)}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names: {names}")
+        self.name = name
+        self._columns = {c.name: c for c in columns}
+        self._order = names
+        self._length = lengths.pop()
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_arrays(cls, name: str,
+                    arrays: Mapping[str, np.ndarray]) -> "Table":
+        """Build a table from a ``{column: array}`` mapping.
+
+        Column types are inferred from dtypes.
+        """
+        columns = [
+            Column(col_name, _infer_type(values), np.asarray(values))
+            for col_name, values in arrays.items()
+        ]
+        return cls(name, columns)
+
+    # -- metadata -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._order)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns are {self._order}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    # -- relational operations --------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Table":
+        """A table with only the given columns (in the given order)."""
+        return Table(self.name, [self.column(n) for n in names])
+
+    def filter(self, predicate: Predicate) -> "Table":
+        """Rows matching ``predicate``."""
+        mask = predicate.mask(self)
+        indices = np.nonzero(mask)[0]
+        return self.take(indices)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """A table with the given row subset (by position)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table(self.name, [self._columns[n].take(indices)
+                                 for n in self._order])
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        return Table(self.name, [self._columns[c].slice(0, n)
+                                 for c in self._order])
+
+    # -- scans ----------------------------------------------------------------
+    def scan(self, x_column: str, y_column: str,
+             chunk_size: int = 65536) -> Iterator[np.ndarray]:
+        """Chunked scan yielding ``(n_i, 2)`` coordinate chunks.
+
+        This is the stream samplers consume: the paper's offline
+        sampling pass is exactly one such scan.
+        """
+        if chunk_size < 1:
+            raise SchemaError(f"chunk_size must be >= 1, got {chunk_size}")
+        xs = self.column(x_column).values
+        ys = self.column(y_column).values
+        if not (self.column(x_column).ctype.is_numeric
+                and self.column(y_column).ctype.is_numeric):
+            raise SchemaError("scan requires numeric x/y columns")
+        for start in range(0, self._length, chunk_size):
+            stop = min(start + chunk_size, self._length)
+            yield np.stack(
+                [xs[start:stop].astype(np.float64),
+                 ys[start:stop].astype(np.float64)], axis=1,
+            )
+
+    def xy(self, x_column: str, y_column: str) -> np.ndarray:
+        """The full ``(N, 2)`` coordinate projection."""
+        xs = self.column(x_column).values.astype(np.float64)
+        ys = self.column(y_column).values.astype(np.float64)
+        return np.stack([xs, ys], axis=1)
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """A ``{column: array}`` copy of the table contents."""
+        return {n: self._columns[n].values.copy() for n in self._order}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={self._length}, cols={self._order})"

@@ -1,0 +1,68 @@
+"""Simulated user-study substrate (Table I of the paper).
+
+A perception-model :class:`Observer` answers the paper's three task
+types — regression, density estimation, clustering — from rendered
+samples alone; :mod:`repro.tasks.study` assembles the methods × sizes
+success tables.
+"""
+
+from .clustering import (
+    ClusteringQuestion,
+    answer_clustering,
+    count_visual_clusters,
+    make_clustering_question,
+    score_clustering,
+)
+from .density_task import (
+    DensityQuestion,
+    answer_density,
+    make_density_questions,
+    score_density,
+)
+from .observer import Observer, PerceptionParams
+from .regression import (
+    NOT_SURE,
+    RegressionQuestion,
+    answer_regression,
+    make_regression_questions,
+    score_regression,
+)
+from .study import (
+    DEFAULT_OBSERVERS,
+    DENSITY_METHODS,
+    REGRESSION_METHODS,
+    StudyConfig,
+    StudyTable,
+    build_method_sample,
+    run_clustering_study,
+    run_density_study,
+    run_regression_study,
+)
+
+__all__ = [
+    "ClusteringQuestion",
+    "DEFAULT_OBSERVERS",
+    "DENSITY_METHODS",
+    "DensityQuestion",
+    "NOT_SURE",
+    "Observer",
+    "PerceptionParams",
+    "REGRESSION_METHODS",
+    "RegressionQuestion",
+    "StudyConfig",
+    "StudyTable",
+    "answer_clustering",
+    "answer_density",
+    "answer_regression",
+    "build_method_sample",
+    "count_visual_clusters",
+    "make_clustering_question",
+    "make_density_questions",
+    "make_regression_questions",
+    "run_clustering_study",
+    "run_density_study",
+    "run_regression_study",
+    "score_clustering",
+    "score_density",
+    "score_regression",
+]

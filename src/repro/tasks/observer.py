@@ -1,0 +1,201 @@
+"""The simulated plot observer.
+
+The paper's Table I comes from a Mechanical-Turk study: 40 workers per
+question answer multiple-choice questions *from a rendered sample
+alone*.  We replace the crowd with a programmatic observer that models
+what a person can extract from a scatter plot:
+
+* only points inside the zoomed viewport are usable (**visibility**);
+* a value can only be read near a visible point — beyond a perceptual
+  radius (a fraction of the viewport diagonal) the honest answer is
+  "I'm not sure" (**acuity**), which the study scored as incorrect
+  unless the guess happened to be right;
+* readings carry noise, and observers occasionally lapse and answer at
+  random (**noise**), which keeps success rates off the 0/1 rails just
+  as human data is.
+
+What this measures is exactly what the study measured: whether the
+sample retains enough *visible structure in the zoomed region* to
+answer the question.  The observer is deliberately method-blind — it
+sees points (and §V marker sizes via weights), never the sampler name.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import as_points
+from ..rng import as_generator
+from ..viz.scatter import Viewport
+
+
+@dataclass
+class PerceptionParams:
+    """Tunable perception model.
+
+    Attributes
+    ----------
+    acuity_fraction:
+        Perceptual radius as a fraction of the viewport diagonal: the
+        farthest a visible point can be from a probed location while
+        still informing a read-off.
+    reading_noise:
+        Relative noise applied to read-off values (regression).
+    counting_noise:
+        Lognormal sigma of perceived-count noise (density tasks).
+        Human numerosity estimation has a Weber fraction around
+        0.2–0.4: dot counts within ~1.5x of each other are hard to
+        rank, which is exactly why near-equalised samples (plain VAS)
+        fail the density task in the paper.
+    lapse_rate:
+        Probability of ignoring the evidence and answering uniformly at
+        random (attention lapses; the Turk study filtered the worst
+        offenders with trapdoor questions, so this is small).
+    k_nearest:
+        Number of nearby visible points combined in a read-off.
+    """
+
+    acuity_fraction: float = 0.08
+    reading_noise: float = 0.10
+    counting_noise: float = 0.35
+    lapse_rate: float = 0.04
+    k_nearest: int = 3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.acuity_fraction <= 1.0):
+            raise ConfigurationError(
+                f"acuity_fraction must be in (0, 1], got {self.acuity_fraction}"
+            )
+        if self.reading_noise < 0:
+            raise ConfigurationError(
+                f"reading_noise must be >= 0, got {self.reading_noise}"
+            )
+        if self.counting_noise < 0:
+            raise ConfigurationError(
+                f"counting_noise must be >= 0, got {self.counting_noise}"
+            )
+        if not (0.0 <= self.lapse_rate < 1.0):
+            raise ConfigurationError(
+                f"lapse_rate must be in [0, 1), got {self.lapse_rate}"
+            )
+        if self.k_nearest < 1:
+            raise ConfigurationError(
+                f"k_nearest must be >= 1, got {self.k_nearest}"
+            )
+
+
+class Observer:
+    """One simulated study participant.
+
+    Parameters
+    ----------
+    params:
+        The perception model.
+    rng:
+        Independent stream per participant (spawned by the study
+        runner), so 40 observers give a distribution, not 40 copies.
+    """
+
+    def __init__(self, params: PerceptionParams | None = None,
+                 rng: int | np.random.Generator | None = None) -> None:
+        self.params = params or PerceptionParams()
+        self._rng = as_generator(rng)
+
+    # -- shared perception primitives ------------------------------------------
+    def visible(self, points: np.ndarray, viewport: Viewport) -> np.ndarray:
+        """Indices of sample points the observer can see in the window."""
+        pts = as_points(points)
+        return np.nonzero(viewport.contains(pts))[0]
+
+    def perceptual_radius(self, viewport: Viewport) -> float:
+        """Absolute acuity radius for a given zoom window."""
+        diagonal = math.hypot(viewport.width, viewport.height)
+        return self.params.acuity_fraction * diagonal
+
+    def lapses(self) -> bool:
+        """True when this answer is an attention lapse (random pick)."""
+        return self._rng.random() < self.params.lapse_rate
+
+    def pick_random(self, n_choices: int) -> int:
+        """A uniform random choice among ``n_choices`` options."""
+        return int(self._rng.integers(0, n_choices))
+
+    def read_value(self, location: tuple[float, float],
+                   points: np.ndarray, values: np.ndarray,
+                   viewport: Viewport) -> float | None:
+        """Read a value off the plot at ``location``.
+
+        Inverse-distance-weighted average of the values of the
+        ``k_nearest`` visible points.  ``None`` ("I'm not sure") when
+        the window holds no visible point at all, or — probabilistically
+        — when even the nearest visible point is far beyond the
+        perceptual radius: people hedge rather than extrapolate across
+        the whole window.  Reads from far points are additionally noisy
+        in *value* simply because the read point's value genuinely
+        differs from the probed location's (spatial extrapolation error
+        is inherited from the data, not modelled).
+        """
+        pts = as_points(points)
+        values = np.asarray(values, dtype=np.float64)
+        vis = self.visible(pts, viewport)
+        if len(vis) == 0:
+            return None
+        loc = np.asarray(location, dtype=np.float64)
+        diffs = pts[vis] - loc[None, :]
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        order = np.argsort(dists)[:self.params.k_nearest]
+        chosen = vis[order]
+        d = dists[order]
+
+        radius = self.perceptual_radius(viewport)
+        diagonal = math.hypot(viewport.width, viewport.height)
+        nearest = float(d[0])
+        if nearest > radius:
+            # Hedging probability ramps from 0 at the acuity radius to
+            # ~certain once the nearest ink is half a window away.
+            hedge = min(0.95, (nearest - radius) / (0.5 * diagonal))
+            if self._rng.random() < hedge:
+                return None
+
+        w = 1.0 / np.maximum(d, radius * 1e-3)
+        estimate = float(np.average(values[chosen], weights=w))
+        span = float(values[chosen].max() - values[chosen].min())
+        scale = max(abs(estimate) * 0.2, span, 1e-9)
+        noise = self._rng.normal(scale=self.params.reading_noise * scale)
+        return estimate + noise
+
+    def perceived_mass(self, center: tuple[float, float], radius: float,
+                       points: np.ndarray,
+                       weights: np.ndarray | None,
+                       viewport: Viewport) -> float:
+        """How much 'ink' the observer sees within ``radius`` of a marker.
+
+        Plain samples: the count of visible points (every dot is one
+        unit of ink).  §V weighted samples: the summed weights — larger
+        markers read as more mass, which is precisely the density-
+        embedding visualization contract.  Multiplicative noise models
+        imprecise visual counting.
+        """
+        pts = as_points(points)
+        vis = self.visible(pts, viewport)
+        if len(vis) == 0:
+            return 0.0
+        loc = np.asarray(center, dtype=np.float64)
+        diffs = pts[vis] - loc[None, :]
+        dists2 = np.einsum("ij,ij->i", diffs, diffs)
+        inside = dists2 <= radius * radius
+        if weights is None:
+            mass = float(np.count_nonzero(inside))
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            mass = float(w[vis][inside].sum())
+        if mass <= 0.0:
+            return 0.0
+        # Lognormal numerosity noise: multiplicative, scale-free, never
+        # negative — masses within ~1 sigma of each other rank randomly.
+        factor = math.exp(self._rng.normal(scale=self.params.counting_noise))
+        return mass * factor

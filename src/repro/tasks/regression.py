@@ -1,0 +1,145 @@
+"""The regression user task (Table I(a), Fig 5).
+
+"We asked the users to estimate the altitude at a specified latitude
+and longitude ... a list of four possible choices: the correct answer,
+two false answers, and 'I'm not sure'.  For each test visualization, we
+zoomed into six randomly-chosen regions and picked a different test
+location for each region."
+
+The simulation mirrors that protocol: query locations are data points
+of the full dataset (so the question is answerable), zoom windows
+surround them, false answers are offset by a multiple of the local
+altitude scale, and the observer answers from the sample alone via
+:meth:`Observer.read_value`.  Scoring counts exact correct choices;
+"I'm not sure" is never correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.geolife import altitude_at
+from ..errors import ConfigurationError
+from ..geometry import as_points
+from ..rng import as_generator
+from ..viz.scatter import Viewport
+from .observer import Observer
+
+#: Answer index meaning "I'm not sure".
+NOT_SURE = -1
+
+
+@dataclass
+class RegressionQuestion:
+    """One zoomed regression question.
+
+    ``choices`` holds the candidate altitudes; ``correct`` indexes it.
+    """
+
+    location: tuple[float, float]
+    viewport: Viewport
+    choices: tuple[float, ...]
+    correct: int
+
+
+def make_regression_questions(
+    data_xy: np.ndarray,
+    n_questions: int = 6,
+    zoom_factor: float = 8.0,
+    false_offset: float = 0.35,
+    rng: int | np.random.Generator | None = None,
+) -> list[RegressionQuestion]:
+    """Build the paper's six zoomed questions over a Geolife-like dataset.
+
+    The paper zooms into "six randomly-chosen regions": regions are
+    drawn uniformly over the *plot area* (not over the data mass — that
+    is precisely what makes sparse structure matter), rejecting empty
+    windows, and the query location is the data point nearest the
+    window centre, so the question is always answerable from the full
+    data.  The two false answers are the truth ±``false_offset`` of the
+    dataset's altitude spread — distinguishable by anyone who can read
+    a nearby point, as in Fig 5.
+    """
+    pts = as_points(data_xy)
+    if len(pts) == 0:
+        raise ConfigurationError("regression questions need data points")
+    if n_questions < 1:
+        raise ConfigurationError(f"n_questions must be >= 1, got {n_questions}")
+    gen = as_generator(rng)
+    overview = Viewport.fit(pts)
+    alt_all = altitude_at(pts)
+    spread = float(alt_all.max() - alt_all.min()) or 1.0
+
+    questions: list[RegressionQuestion] = []
+    attempts = 0
+    while len(questions) < n_questions:
+        attempts += 1
+        if attempts > 500 * n_questions:
+            raise ConfigurationError(
+                "could not place regression questions; dataset too sparse"
+            )
+        center = np.array([
+            overview.xmin + gen.random() * overview.width,
+            overview.ymin + gen.random() * overview.height,
+        ])
+        window = overview.zoom((float(center[0]), float(center[1])),
+                               zoom_factor)
+        inside = np.nonzero(window.contains(pts))[0]
+        if len(inside) == 0:
+            continue  # an empty window has nothing to ask about
+        diffs = pts[inside] - center[None, :]
+        anchor = inside[int(np.argmin(np.einsum("ij,ij->i", diffs, diffs)))]
+        loc = (float(pts[anchor, 0]), float(pts[anchor, 1]))
+        viewport = overview.zoom(loc, zoom_factor)
+        truth = float(altitude_at(np.asarray([loc]))[0])
+        low = truth - false_offset * spread
+        high = truth + false_offset * spread
+        options = [truth, low, high]
+        order = gen.permutation(3)
+        choices = tuple(options[i] for i in order)
+        correct = int(np.nonzero(order == 0)[0][0])
+        questions.append(RegressionQuestion(
+            location=loc, viewport=viewport,
+            choices=choices, correct=correct,
+        ))
+    return questions
+
+
+def answer_regression(observer: Observer, question: RegressionQuestion,
+                      sample_points: np.ndarray) -> int:
+    """One observer's answer index (or :data:`NOT_SURE`).
+
+    The observer reads the altitude surface off the sampled points
+    (sample altitudes are looked up from the shared ground-truth
+    surface — the plot colour-encodes them, as in Fig 5) and picks the
+    closest choice.
+    """
+    if observer.lapses():
+        return observer.pick_random(len(question.choices))
+    sample_points = as_points(sample_points)
+    values = altitude_at(sample_points) if len(sample_points) else np.empty(0)
+    estimate = observer.read_value(
+        question.location, sample_points, values, question.viewport
+    )
+    if estimate is None:
+        return NOT_SURE
+    diffs = [abs(estimate - c) for c in question.choices]
+    return int(np.argmin(diffs))
+
+
+def score_regression(observers: list[Observer],
+                     questions: list[RegressionQuestion],
+                     sample_points: np.ndarray) -> float:
+    """Mean success over observers × questions (the Table I(a) cell)."""
+    if not observers or not questions:
+        raise ConfigurationError("need at least one observer and question")
+    correct = 0
+    total = 0
+    for question in questions:
+        for observer in observers:
+            answer = answer_regression(observer, question, sample_points)
+            correct += int(answer == question.correct)
+            total += 1
+    return correct / total

@@ -1,0 +1,224 @@
+"""The user-study runner: methods × sample sizes → success table.
+
+Reproduces the protocol around Table I: for every sampling method and
+sample size, build the sample, pose the task questions to a panel of
+independent observers, and average success.  One
+:class:`StudyTable` per task, with the same rows/columns the paper
+prints.
+
+Method names match the paper's columns: ``uniform``, ``stratified``,
+``vas``, and ``vas+density`` (density embedding applies to the VAS
+sample, §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.density import embed_density
+from ..core.epsilon import epsilon_from_diameter
+from ..core.vas import VASSampler
+from ..errors import ConfigurationError
+from ..geometry import as_points
+from ..rng import as_generator, spawn
+from ..sampling.base import SampleResult, iter_chunks
+from ..sampling.stratified import StratifiedSampler
+from ..sampling.uniform import UniformSampler
+from .clustering import make_clustering_question, score_clustering
+from .density_task import make_density_questions, score_density
+from .observer import Observer, PerceptionParams
+from .regression import make_regression_questions, score_regression
+
+#: Paper's panel size per question package.
+DEFAULT_OBSERVERS = 40
+
+#: Method columns of Table I.
+REGRESSION_METHODS = ("uniform", "stratified", "vas")
+DENSITY_METHODS = ("uniform", "stratified", "vas", "vas+density")
+
+
+@dataclass
+class StudyConfig:
+    """Shared knobs of a study run."""
+
+    sample_sizes: tuple[int, ...] = (100, 1000, 10000)
+    n_observers: int = DEFAULT_OBSERVERS
+    seed: int = 0
+    perception: PerceptionParams = field(default_factory=PerceptionParams)
+    stratified_grid: tuple[int, int] = (10, 10)
+    #: Independent sample builds averaged per cell.  One draw matches
+    #: the paper's protocol; more draws smooth out single-draw luck
+    #: (e.g. uniform sampling happening to catch a sparse cluster).
+    n_sample_draws: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.sample_sizes:
+            raise ConfigurationError("sample_sizes must be non-empty")
+        if self.n_observers < 1:
+            raise ConfigurationError(
+                f"n_observers must be >= 1, got {self.n_observers}"
+            )
+        if self.n_sample_draws < 1:
+            raise ConfigurationError(
+                f"n_sample_draws must be >= 1, got {self.n_sample_draws}"
+            )
+
+
+@dataclass
+class StudyTable:
+    """Success rates indexed by (method, sample size) — one Table I pane."""
+
+    task: str
+    methods: tuple[str, ...]
+    sizes: tuple[int, ...]
+    success: dict[tuple[str, int], float] = field(default_factory=dict)
+
+    def set(self, method: str, size: int, value: float) -> None:
+        self.success[(method, size)] = value
+
+    def get(self, method: str, size: int) -> float:
+        return self.success[(method, size)]
+
+    def average(self, method: str) -> float:
+        """Column average (the paper's 'Average' row)."""
+        vals = [self.success[(method, s)] for s in self.sizes]
+        return float(np.mean(vals))
+
+    def rows(self) -> list[list[str]]:
+        """Formatted rows: header, one per size, then the average row."""
+        header = ["Sample size"] + [m for m in self.methods]
+        out = [header]
+        for size in self.sizes:
+            out.append([f"{size:,}"] + [
+                f"{self.success[(m, size)]:.3f}" for m in self.methods
+            ])
+        out.append(["Average"] + [f"{self.average(m):.3f}"
+                                  for m in self.methods])
+        return out
+
+
+def build_method_sample(method: str, data_xy: np.ndarray, k: int,
+                        seed: int,
+                        stratified_grid: tuple[int, int] = (10, 10),
+                        epsilon: float | None = None) -> SampleResult:
+    """Build one method's sample, with §V weights for ``vas+density``."""
+    pts = as_points(data_xy)
+    if method == "uniform":
+        return UniformSampler(rng=seed).sample(pts, k)
+    if method == "stratified":
+        return StratifiedSampler(grid_shape=stratified_grid,
+                                 rng=seed).sample(pts, k)
+    eps = epsilon if epsilon is not None else epsilon_from_diameter(pts)
+    if method == "vas":
+        return VASSampler(rng=seed, epsilon=eps).sample(pts, k)
+    if method == "vas+density":
+        base = VASSampler(rng=seed, epsilon=eps).sample(pts, k)
+        return embed_density(base, iter_chunks(pts, 65536))
+    raise ConfigurationError(
+        f"unknown method {method!r}; expected one of "
+        f"{DENSITY_METHODS}"
+    )
+
+
+def _make_observers(config: StudyConfig,
+                    rng: np.random.Generator) -> list[Observer]:
+    return [Observer(params=config.perception, rng=r)
+            for r in spawn(rng, config.n_observers)]
+
+
+def run_regression_study(data_xy: np.ndarray,
+                         config: StudyConfig | None = None,
+                         methods: tuple[str, ...] = REGRESSION_METHODS,
+                         n_questions: int = 6) -> StudyTable:
+    """Table I(a): regression success for methods × sizes."""
+    config = config or StudyConfig()
+    gen = as_generator(config.seed)
+    pts = as_points(data_xy)
+    questions = make_regression_questions(pts, n_questions=n_questions,
+                                          rng=gen)
+    epsilon = epsilon_from_diameter(pts)
+    table = StudyTable(task="regression", methods=methods,
+                       sizes=config.sample_sizes)
+    for method in methods:
+        for size in config.sample_sizes:
+            scores = []
+            for draw in range(config.n_sample_draws):
+                sample = build_method_sample(
+                    method, pts, size, seed=config.seed + draw,
+                    stratified_grid=config.stratified_grid, epsilon=epsilon,
+                )
+                observers = _make_observers(
+                    config, as_generator(config.seed + size + draw)
+                )
+                scores.append(
+                    score_regression(observers, questions, sample.points)
+                )
+            table.set(method, size, float(np.mean(scores)))
+    return table
+
+
+def run_density_study(data_xy: np.ndarray,
+                      config: StudyConfig | None = None,
+                      methods: tuple[str, ...] = DENSITY_METHODS,
+                      n_questions: int = 5) -> StudyTable:
+    """Table I(b): density-estimation success for methods × sizes."""
+    config = config or StudyConfig()
+    gen = as_generator(config.seed)
+    pts = as_points(data_xy)
+    questions = make_density_questions(pts, n_questions=n_questions, rng=gen)
+    epsilon = epsilon_from_diameter(pts)
+    table = StudyTable(task="density", methods=methods,
+                       sizes=config.sample_sizes)
+    for method in methods:
+        for size in config.sample_sizes:
+            scores = []
+            for draw in range(config.n_sample_draws):
+                sample = build_method_sample(
+                    method, pts, size, seed=config.seed + draw,
+                    stratified_grid=config.stratified_grid, epsilon=epsilon,
+                )
+                observers = _make_observers(
+                    config, as_generator(config.seed + size + draw)
+                )
+                scores.append(score_density(observers, questions,
+                                            sample.points, sample.weights))
+            table.set(method, size, float(np.mean(scores)))
+    return table
+
+
+def run_clustering_study(datasets: list[tuple[str, np.ndarray, int]],
+                         config: StudyConfig | None = None,
+                         methods: tuple[str, ...] = DENSITY_METHODS
+                         ) -> StudyTable:
+    """Table I(c): clustering success for methods × sizes.
+
+    ``datasets`` holds ``(name, points, true_cluster_count)`` triples —
+    the paper's four Gaussian datasets (see
+    :func:`repro.data.clustering_datasets`).
+    """
+    config = config or StudyConfig()
+    if not datasets:
+        raise ConfigurationError("clustering study needs datasets")
+    table = StudyTable(task="clustering", methods=methods,
+                       sizes=config.sample_sizes)
+    for method in methods:
+        for size in config.sample_sizes:
+            scores = []
+            for draw in range(config.n_sample_draws):
+                bundle = []
+                for name, pts, true_k in datasets:
+                    pts = as_points(pts)
+                    question = make_clustering_question(pts, true_k)
+                    sample = build_method_sample(
+                        method, pts, size, seed=config.seed + draw,
+                        stratified_grid=config.stratified_grid,
+                    )
+                    bundle.append((question, sample.points, sample.weights))
+                observers = _make_observers(
+                    config, as_generator(config.seed + size + draw)
+                )
+                scores.append(score_clustering(observers, bundle))
+            table.set(method, size, float(np.mean(scores)))
+    return table

@@ -1,0 +1,35 @@
+"""Rendering substrate: a from-scratch raster scatter-plot pipeline.
+
+Stands in for the Tableau/MathGL/matplotlib layer of the paper's
+architecture (Fig 3): numpy rasterisation, built-in colormaps, §V
+density-proportional markers, and a pure-Python PNG encoder.
+"""
+
+from .axes import draw_cross, draw_frame, nice_ticks
+from .canvas import BLACK, WHITE, Canvas
+from .colormap import Colormap, colormap_names
+from .figure import Figure
+from .markers import disc_offsets, jitter_offsets, radius_for_weight
+from .png import decode_png_header, decode_png_pixels, encode_png, write_png
+from .scatter import ScatterRenderer, Viewport
+
+__all__ = [
+    "BLACK",
+    "Canvas",
+    "Colormap",
+    "Figure",
+    "ScatterRenderer",
+    "Viewport",
+    "WHITE",
+    "colormap_names",
+    "decode_png_header",
+    "decode_png_pixels",
+    "disc_offsets",
+    "draw_cross",
+    "draw_frame",
+    "encode_png",
+    "jitter_offsets",
+    "nice_ticks",
+    "radius_for_weight",
+    "write_png",
+]

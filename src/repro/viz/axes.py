@@ -1,0 +1,85 @@
+"""Axes decoration: ticks, frame and margins for figures.
+
+Kept deliberately small — the experiments consume raw canvases, and the
+examples add a frame and tick marks so the PNGs read as plots.  Tick
+positions use the classic "nice numbers" rule (powers of 10 times
+1, 2 or 5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .canvas import BLACK, Canvas
+from .scatter import Viewport
+
+
+def nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+    """About ``target`` round tick positions covering ``[lo, hi]``."""
+    if not (hi > lo):
+        raise ConfigurationError(f"need hi > lo, got [{lo}, {hi}]")
+    if target < 2:
+        raise ConfigurationError(f"target must be >= 2, got {target}")
+    span = hi - lo
+    raw_step = span / (target - 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    residual = raw_step / magnitude
+    if residual < 1.5:
+        step = magnitude
+    elif residual < 3.5:
+        step = 2.0 * magnitude
+    elif residual < 7.5:
+        step = 5.0 * magnitude
+    else:
+        step = 10.0 * magnitude
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * span:
+        ticks.append(round(value, 12))
+        value += step
+    return ticks
+
+
+def draw_frame(canvas: Canvas, viewport: Viewport,
+               tick_length: int = 4, tick_target: int = 5) -> None:
+    """Draw a plot frame with tick marks onto ``canvas`` in place.
+
+    The frame hugs the canvas border; ticks are placed at nice data
+    values projected through the viewport.
+    """
+    h, w = canvas.height, canvas.width
+    canvas.draw_rect_outline(0, 0, h - 1, w - 1, BLACK)
+
+    for tick in nice_ticks(viewport.xmin, viewport.xmax, tick_target):
+        frac = (tick - viewport.xmin) / viewport.width
+        col = int(frac * (w - 1))
+        canvas.draw_vline(col, h - 1 - tick_length, h - 1, BLACK)
+    for tick in nice_ticks(viewport.ymin, viewport.ymax, tick_target):
+        frac = (tick - viewport.ymin) / viewport.height
+        row = int((1.0 - frac) * (h - 1))
+        canvas.draw_hline(row, 0, tick_length, BLACK)
+
+
+def draw_cross(canvas: Canvas, viewport: Viewport,
+               x: float, y: float, size: int = 6,
+               color: tuple[int, int, int, int] = (200, 30, 30, 255)) -> None:
+    """Draw an 'X' marker at data position ``(x, y)``.
+
+    Used by the user-study figures: the regression task marks the query
+    location with an X (Fig 5), and the density task marks candidate
+    regions (Fig 6).
+    """
+    if size < 1:
+        raise ConfigurationError(f"size must be >= 1, got {size}")
+    fx = (x - viewport.xmin) / viewport.width
+    fy = (y - viewport.ymin) / viewport.height
+    col = int(fx * (canvas.width - 1))
+    row = int((1.0 - fy) * (canvas.height - 1))
+    offsets = np.arange(-size, size + 1)
+    rows = np.concatenate([row + offsets, row + offsets])
+    cols = np.concatenate([col + offsets, col - offsets])
+    canvas.blend_pixels(rows, cols, color)

@@ -1,0 +1,122 @@
+"""RGBA raster canvas backing the scatter renderer.
+
+A :class:`Canvas` is an ``(H, W, 4)`` uint8 buffer with source-over
+alpha compositing, the only blend mode a scatter plot needs.  Pixel
+coordinates follow image convention: row 0 at the top, ``(row, col)``
+indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CanvasSizeError, VisualizationError
+
+WHITE = (255, 255, 255, 255)
+BLACK = (0, 0, 0, 255)
+
+
+class Canvas:
+    """A fixed-size RGBA image buffer.
+
+    Parameters
+    ----------
+    width / height:
+        Pixel dimensions, both >= 1.
+    background:
+        RGBA fill color (default opaque white).
+    """
+
+    def __init__(self, width: int, height: int,
+                 background: tuple[int, int, int, int] = WHITE) -> None:
+        if width < 1 or height < 1:
+            raise CanvasSizeError(f"canvas must be >= 1x1, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self._buffer = np.empty((self.height, self.width, 4), dtype=np.uint8)
+        self._buffer[:, :] = np.asarray(background, dtype=np.uint8)
+
+    @property
+    def pixels(self) -> np.ndarray:
+        """The live ``(H, W, 4)`` buffer (mutations show in the output)."""
+        return self._buffer
+
+    def to_rgb(self) -> np.ndarray:
+        """An ``(H, W, 3)`` copy with alpha dropped (assumes opaque bg)."""
+        return self._buffer[:, :, :3].copy()
+
+    # -- drawing ------------------------------------------------------------
+    def blend_pixels(self, rows: np.ndarray, cols: np.ndarray,
+                     color: tuple[int, int, int, int]) -> None:
+        """Source-over blend ``color`` into the given pixel positions.
+
+        Out-of-bounds positions are clipped away.  Duplicate positions
+        blend once (last-write on duplicates is acceptable for point
+        clouds; per-point accumulation is done a level up when needed).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise VisualizationError("rows/cols shape mismatch")
+        keep = ((rows >= 0) & (rows < self.height)
+                & (cols >= 0) & (cols < self.width))
+        rows = rows[keep]
+        cols = cols[keep]
+        if len(rows) == 0:
+            return
+        src = np.asarray(color, dtype=np.float64)
+        alpha = src[3] / 255.0
+        dst = self._buffer[rows, cols].astype(np.float64)
+        blended = dst.copy()
+        blended[:, :3] = src[:3] * alpha + dst[:, :3] * (1.0 - alpha)
+        blended[:, 3] = np.minimum(255.0, src[3] + dst[:, 3] * (1.0 - alpha))
+        self._buffer[rows, cols] = np.round(blended).astype(np.uint8)
+
+    def blend_pixels_colors(self, rows: np.ndarray, cols: np.ndarray,
+                            colors: np.ndarray, alpha: float = 1.0) -> None:
+        """Blend per-pixel RGB ``colors`` with a shared ``alpha``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        colors = np.asarray(colors, dtype=np.float64)
+        if not (0.0 <= alpha <= 1.0):
+            raise VisualizationError(f"alpha must be in [0, 1], got {alpha}")
+        keep = ((rows >= 0) & (rows < self.height)
+                & (cols >= 0) & (cols < self.width))
+        rows = rows[keep]
+        cols = cols[keep]
+        colors = colors[keep]
+        if len(rows) == 0:
+            return
+        dst = self._buffer[rows, cols].astype(np.float64)
+        dst[:, :3] = colors * alpha + dst[:, :3] * (1.0 - alpha)
+        dst[:, 3] = np.minimum(255.0, 255.0 * alpha + dst[:, 3] * (1.0 - alpha))
+        self._buffer[rows, cols] = np.round(dst).astype(np.uint8)
+
+    def draw_rect_outline(self, row0: int, col0: int, row1: int, col1: int,
+                          color: tuple[int, int, int, int] = BLACK) -> None:
+        """A 1-pixel rectangle outline (used for axes boxes and markers)."""
+        row0, row1 = sorted((int(row0), int(row1)))
+        col0, col1 = sorted((int(col0), int(col1)))
+        rows = np.concatenate([
+            np.full(col1 - col0 + 1, row0), np.full(col1 - col0 + 1, row1),
+            np.arange(row0, row1 + 1), np.arange(row0, row1 + 1),
+        ])
+        cols = np.concatenate([
+            np.arange(col0, col1 + 1), np.arange(col0, col1 + 1),
+            np.full(row1 - row0 + 1, col0), np.full(row1 - row0 + 1, col1),
+        ])
+        self.blend_pixels(rows, cols, color)
+
+    def draw_hline(self, row: int, col0: int, col1: int,
+                   color: tuple[int, int, int, int] = BLACK) -> None:
+        """A horizontal 1-pixel line segment."""
+        col0, col1 = sorted((int(col0), int(col1)))
+        cols = np.arange(col0, col1 + 1)
+        self.blend_pixels(np.full(len(cols), int(row)), cols, color)
+
+    def draw_vline(self, col: int, row0: int, row1: int,
+                   color: tuple[int, int, int, int] = BLACK) -> None:
+        """A vertical 1-pixel line segment."""
+        row0, row1 = sorted((int(row0), int(row1)))
+        rows = np.arange(row0, row1 + 1)
+        self.blend_pixels(rows, np.full(len(rows), int(col)), color)

@@ -1,0 +1,90 @@
+"""Colormaps for the scatter renderer.
+
+The map plots in the paper colour-encode altitude (Fig 1), so the
+renderer needs continuous colormaps.  Three are built in from anchor
+tables with linear interpolation:
+
+* ``viridis``  — perceptually uniform default (anchor points sampled
+  from the published colormap);
+* ``terrain``  — green→brown→white, natural for altitude maps;
+* ``gray``     — for monochrome density plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+# Anchor rows: fraction in [0, 1], then R, G, B in [0, 255].
+_ANCHORS: dict[str, list[tuple[float, int, int, int]]] = {
+    "viridis": [
+        (0.00, 68, 1, 84),
+        (0.14, 71, 45, 123),
+        (0.29, 59, 82, 139),
+        (0.43, 44, 113, 142),
+        (0.57, 33, 144, 140),
+        (0.71, 39, 173, 129),
+        (0.86, 92, 200, 99),
+        (1.00, 253, 231, 37),
+    ],
+    "terrain": [
+        (0.00, 42, 111, 59),
+        (0.25, 114, 160, 74),
+        (0.50, 199, 186, 109),
+        (0.75, 146, 103, 66),
+        (1.00, 245, 245, 245),
+    ],
+    "gray": [
+        (0.00, 20, 20, 20),
+        (1.00, 235, 235, 235),
+    ],
+}
+
+
+class Colormap:
+    """Piecewise-linear colormap over RGB anchors.
+
+    Call the instance with values in any range after :meth:`scaled`,
+    or with fractions in [0, 1] directly via :meth:`rgb`.
+    """
+
+    def __init__(self, name: str) -> None:
+        try:
+            anchors = _ANCHORS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown colormap {name!r}; expected one of {sorted(_ANCHORS)}"
+            ) from None
+        self.name = name
+        table = np.asarray(anchors, dtype=np.float64)
+        self._fracs = table[:, 0]
+        self._rgb = table[:, 1:4]
+
+    def rgb(self, fractions: np.ndarray) -> np.ndarray:
+        """Map fractions in [0, 1] to ``(..., 3)`` uint8 colors."""
+        f = np.clip(np.asarray(fractions, dtype=np.float64), 0.0, 1.0)
+        out = np.empty(f.shape + (3,), dtype=np.float64)
+        for channel in range(3):
+            out[..., channel] = np.interp(f, self._fracs, self._rgb[:, channel])
+        return np.round(out).astype(np.uint8)
+
+    def map_values(self, values: np.ndarray,
+                   vmin: float | None = None,
+                   vmax: float | None = None) -> np.ndarray:
+        """Map raw values to colors, normalising by [vmin, vmax].
+
+        Defaults to the observed min/max; a constant column maps to the
+        colormap midpoint.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        lo = float(np.min(vals)) if vmin is None else float(vmin)
+        hi = float(np.max(vals)) if vmax is None else float(vmax)
+        if hi <= lo:
+            return self.rgb(np.full(vals.shape, 0.5))
+        return self.rgb((vals - lo) / (hi - lo))
+
+
+def colormap_names() -> list[str]:
+    """Registered colormap names."""
+    return sorted(_ANCHORS)

@@ -1,0 +1,94 @@
+"""Figure assembly: scatter + frame → PNG bytes or file.
+
+:class:`Figure` is the highest-level entry point of the rendering
+substrate — the two-line path from a sample to a saved plot::
+
+    fig = Figure(width=600, height=600)
+    fig.scatter(sample.points, values=altitudes)
+    fig.save("plot.png")
+
+It also reports its own render time, which the Fig 2/4 latency
+experiments consume directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import VisualizationError
+from .axes import draw_frame
+from .canvas import Canvas
+from .png import encode_png, write_png
+from .scatter import ScatterRenderer, Viewport
+
+
+class Figure:
+    """A single-axes scatter figure.
+
+    Parameters mirror :class:`ScatterRenderer`; ``frame`` toggles the
+    axes box and tick marks.
+    """
+
+    def __init__(self, width: int = 400, height: int = 400,
+                 viewport: Viewport | None = None,
+                 point_radius: int = 1, colormap: str = "viridis",
+                 alpha: float = 1.0, frame: bool = True) -> None:
+        self.renderer = ScatterRenderer(
+            width=width, height=height, viewport=viewport,
+            point_radius=point_radius, colormap=colormap, alpha=alpha,
+        )
+        self.frame = bool(frame)
+        self._canvas: Canvas | None = None
+        self._viewport: Viewport | None = viewport
+        #: Seconds spent in the last :meth:`scatter` call.
+        self.last_render_seconds: float = 0.0
+
+    # -- plotting -----------------------------------------------------------
+    def scatter(self, points: np.ndarray,
+                values: np.ndarray | None = None,
+                weights: np.ndarray | None = None,
+                viewport: Viewport | None = None) -> "Figure":
+        """Render a point layer; returns ``self`` for chaining."""
+        vp = viewport or self._viewport
+        if vp is None:
+            vp = Viewport.fit(points)
+        started = time.perf_counter()
+        self._canvas = self.renderer.render(
+            points, values=values, weights=weights,
+            viewport=vp, canvas=self._canvas,
+        )
+        self.last_render_seconds = time.perf_counter() - started
+        self._viewport = vp
+        return self
+
+    @property
+    def canvas(self) -> Canvas:
+        """The drawn canvas; raises until :meth:`scatter` has run."""
+        if self._canvas is None:
+            raise VisualizationError("nothing drawn yet: call scatter() first")
+        return self._canvas
+
+    @property
+    def viewport(self) -> Viewport:
+        """The resolved data window of the drawn layers."""
+        if self._viewport is None:
+            raise VisualizationError("no viewport yet: call scatter() first")
+        return self._viewport
+
+    # -- output ----------------------------------------------------------------
+    def finish(self) -> Canvas:
+        """Apply the frame decoration and return the canvas."""
+        canvas = self.canvas
+        if self.frame:
+            draw_frame(canvas, self.viewport)
+        return canvas
+
+    def to_png_bytes(self) -> bytes:
+        """Encode the finished figure as PNG bytes."""
+        return encode_png(self.finish().pixels)
+
+    def save(self, path: str) -> None:
+        """Write the finished figure to ``path`` as a PNG."""
+        write_png(path, self.finish().pixels)

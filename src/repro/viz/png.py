@@ -1,0 +1,115 @@
+"""Minimal pure-Python PNG encoder (stdlib ``zlib`` only).
+
+The environment has no matplotlib/Pillow, so the rendering substrate
+writes its own PNGs: 8-bit RGB or RGBA, non-interlaced, one IDAT
+chunk.  That is everything a scatter-plot figure needs, and the files
+open in any viewer.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..errors import VisualizationError
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    """One PNG chunk: length, tag, payload, CRC over tag+payload."""
+    return (struct.pack(">I", len(payload)) + tag + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF))
+
+
+def encode_png(image: np.ndarray, compress_level: int = 6) -> bytes:
+    """Encode an ``(H, W, 3|4)`` uint8 array as a PNG byte string.
+
+    Parameters
+    ----------
+    image:
+        Row-major image; channel 3 (if present) is alpha.
+    compress_level:
+        zlib level 0–9.
+    """
+    arr = np.asarray(image)
+    if arr.dtype != np.uint8:
+        raise VisualizationError(f"image must be uint8, got {arr.dtype}")
+    if arr.ndim != 3 or arr.shape[2] not in (3, 4):
+        raise VisualizationError(
+            f"image must have shape (H, W, 3) or (H, W, 4), got {arr.shape}"
+        )
+    if not (0 <= compress_level <= 9):
+        raise VisualizationError(
+            f"compress_level must be in [0, 9], got {compress_level}"
+        )
+    height, width, channels = arr.shape
+    color_type = 2 if channels == 3 else 6
+
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    # Filter byte 0 (None) before every scanline.
+    raw = np.empty((height, 1 + width * channels), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = arr.reshape(height, width * channels)
+    compressed = zlib.compress(raw.tobytes(), compress_level)
+
+    return (_SIGNATURE
+            + _chunk(b"IHDR", header)
+            + _chunk(b"IDAT", compressed)
+            + _chunk(b"IEND", b""))
+
+
+def write_png(path: str, image: np.ndarray, compress_level: int = 6) -> None:
+    """Encode ``image`` and write it to ``path``."""
+    data = encode_png(image, compress_level=compress_level)
+    with open(path, "wb") as f:
+        f.write(data)
+
+
+def decode_png_header(data: bytes) -> tuple[int, int, int]:
+    """Parse ``(width, height, channels)`` from PNG bytes.
+
+    Only what the tests need to round-trip our own encoder; rejects
+    non-PNG input loudly.
+    """
+    if data[:8] != _SIGNATURE:
+        raise VisualizationError("not a PNG: bad signature")
+    if data[12:16] != b"IHDR":
+        raise VisualizationError("not a PNG: missing IHDR")
+    width, height = struct.unpack(">II", data[16:24])
+    color_type = data[25]
+    channels = {0: 1, 2: 3, 3: 1, 4: 2, 6: 4}.get(color_type)
+    if channels is None:
+        raise VisualizationError(f"unsupported color type {color_type}")
+    return width, height, channels
+
+
+def decode_png_pixels(data: bytes) -> np.ndarray:
+    """Fully decode a PNG produced by :func:`encode_png`.
+
+    Supports only what our encoder emits (8-bit RGB/RGBA, filter 0,
+    single IDAT) — sufficient for round-trip tests.
+    """
+    width, height, channels = decode_png_header(data)
+    if channels not in (3, 4):
+        raise VisualizationError("decode supports RGB/RGBA only")
+    # Collect IDAT payloads.
+    offset = 8
+    idat = b""
+    while offset < len(data):
+        (length,) = struct.unpack(">I", data[offset:offset + 4])
+        tag = data[offset + 4:offset + 8]
+        payload = data[offset + 8:offset + 8 + length]
+        if tag == b"IDAT":
+            idat += payload
+        offset += 12 + length
+        if tag == b"IEND":
+            break
+    raw = np.frombuffer(zlib.decompress(idat), dtype=np.uint8)
+    stride = 1 + width * channels
+    raw = raw.reshape(height, stride)
+    if np.any(raw[:, 0] != 0):
+        raise VisualizationError("decode supports filter type 0 only")
+    return raw[:, 1:].reshape(height, width, channels).copy()

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GeolifeGenerator
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def blob_points() -> np.ndarray:
+    """A small two-blob dataset: 400 dense + 40 sparse points."""
+    gen = np.random.default_rng(7)
+    dense = gen.normal(loc=(0.0, 0.0), scale=0.2, size=(400, 2))
+    sparse = gen.normal(loc=(3.0, 3.0), scale=0.6, size=(40, 2))
+    return np.concatenate([dense, sparse], axis=0)
+
+
+@pytest.fixture(scope="session")
+def geolife_small() -> np.ndarray:
+    """A 20k-row Geolife-like dataset shared across tests."""
+    return GeolifeGenerator(seed=0).generate(20_000).xy
+
+
+@pytest.fixture(scope="session")
+def grid_points() -> np.ndarray:
+    """A deterministic 10x10 lattice in the unit square."""
+    xs = np.linspace(0.05, 0.95, 10)
+    gx, gy = np.meshgrid(xs, xs)
+    return np.stack([gx.ravel(), gy.ravel()], axis=1)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.batch (batched Expand/Shrink)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel
+from repro.core.batch import BatchESProcessor, run_batch_interchange
+from repro.core.responsibility import CandidateSet
+from repro.core.strategies import ESStrategy
+from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.sampling import iter_chunks
+
+
+def sequential_es(points: np.ndarray, k: int, eps: float) -> CandidateSet:
+    cs = CandidateSet(k, GaussianKernel(eps))
+    strat = ESStrategy(cs)
+    for i, pt in enumerate(points):
+        strat.process(i, pt)
+    return cs
+
+
+class TestBatchCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_objective_matches_sequential(self, seed):
+        """Batched decisions must match sequential ES tuple-for-tuple
+        (acceptances are processed in stream order in both)."""
+        gen = np.random.default_rng(seed)
+        pts = gen.normal(size=(600, 2))
+        k, eps = 25, 0.4
+        seq = sequential_es(pts, k, eps)
+        cs = CandidateSet(k, GaussianKernel(eps))
+        proc = BatchESProcessor(cs)
+        for start in range(0, len(pts), 128):
+            proc.process_chunk(start, pts[start:start + 128])
+        assert np.array_equal(np.sort(cs.source_ids),
+                              np.sort(seq.source_ids))
+        assert cs.objective() == pytest.approx(seq.objective(), rel=1e-9)
+
+    def test_bulk_rejections_dominate_near_convergence(self):
+        gen = np.random.default_rng(3)
+        pts = gen.normal(size=(2000, 2))
+        cs = CandidateSet(30, GaussianKernel(0.3))
+        proc = BatchESProcessor(cs)
+        proc.process_chunk(0, pts)
+        # Second pass over the same data: almost everything rejected in
+        # bulk (the set is near a local optimum for this stream).
+        before = proc.bulk_rejected
+        proc.process_chunk(0, pts)
+        assert proc.bulk_rejected - before > len(pts) * 0.8
+
+    def test_responsibilities_consistent(self):
+        gen = np.random.default_rng(4)
+        pts = gen.normal(size=(500, 2))
+        cs = CandidateSet(20, GaussianKernel(0.5))
+        proc = BatchESProcessor(cs)
+        proc.process_chunk(0, pts)
+        incremental = cs.responsibilities.copy()
+        cs.recompute()
+        assert np.allclose(incremental, cs.responsibilities,
+                           rtol=1e-6, atol=1e-9)
+
+    def test_empty_chunk(self):
+        cs = CandidateSet(5, GaussianKernel(1.0))
+        proc = BatchESProcessor(cs)
+        assert proc.process_chunk(0, np.empty((0, 2))) == 0
+
+    def test_fill_phase(self):
+        gen = np.random.default_rng(5)
+        pts = gen.normal(size=(3, 2))
+        cs = CandidateSet(10, GaussianKernel(1.0))
+        proc = BatchESProcessor(cs)
+        proc.process_chunk(0, pts)
+        assert len(cs) == 3
+
+    def test_validation(self):
+        cs = CandidateSet(5, GaussianKernel(1.0))
+        with pytest.raises(ConfigurationError):
+            BatchESProcessor(cs, rescreen_limit=0)
+
+
+class TestRunBatchInterchange:
+    def test_driver(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        cs, proc = run_batch_interchange(
+            lambda: iter_chunks(blob_points, 100), 20, kernel, max_passes=3
+        )
+        assert len(cs) == 20
+        assert proc.replacements >= 20
+
+    def test_empty_stream(self):
+        with pytest.raises(EmptyDatasetError):
+            run_batch_interchange(lambda: iter([]), 5, GaussianKernel(1.0))
+
+    def test_matches_unshuffled_sequential_driver(self, blob_points):
+        from repro.core import run_interchange
+
+        kernel = GaussianKernel(0.3)
+        cs, _ = run_batch_interchange(
+            lambda: iter_chunks(blob_points, 64), 15, kernel, max_passes=2
+        )
+        seq = run_interchange(
+            lambda: iter_chunks(blob_points, 64), 15, kernel,
+            max_passes=2, shuffle_within_chunks=False,
+        )
+        assert np.array_equal(np.sort(cs.source_ids),
+                              np.sort(seq.source_ids))

@@ -1,0 +1,69 @@
+"""Tests for repro.core.density (the §V density embedding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import density_weights, embed_density
+from repro.errors import EmptyDatasetError
+from repro.sampling import SampleResult, iter_chunks
+
+
+class TestDensityWeights:
+    def test_counts_sum_to_n(self, blob_points):
+        sample = blob_points[::10]
+        w = density_weights(sample, iter_chunks(blob_points, 64))
+        assert w.sum() == pytest.approx(len(blob_points))
+
+    def test_every_row_assigned_to_nearest(self):
+        sample = np.array([[0.0, 0.0], [10.0, 10.0]])
+        data = np.array([[1.0, 1.0], [0.5, 0.0], [9.0, 9.5], [10.0, 10.1]])
+        w = density_weights(sample, iter_chunks(data, 2))
+        assert w.tolist() == [2.0, 2.0]
+
+    def test_dense_region_gets_more_weight(self):
+        gen = np.random.default_rng(0)
+        dense = gen.normal((0, 0), 0.1, size=(900, 2))
+        sparse = gen.normal((5, 5), 0.1, size=(100, 2))
+        data = np.concatenate([dense, sparse])
+        sample = np.array([[0.0, 0.0], [5.0, 5.0]])
+        w = density_weights(sample, iter_chunks(data, 128))
+        assert w[0] == pytest.approx(900)
+        assert w[1] == pytest.approx(100)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            density_weights(np.empty((0, 2)), iter([]))
+
+    def test_empty_stream_gives_zero_weights(self):
+        w = density_weights(np.zeros((3, 2)), iter([]))
+        assert w.tolist() == [0.0, 0.0, 0.0]
+
+    def test_empty_chunks_skipped(self):
+        sample = np.array([[0.0, 0.0]])
+        chunks = [np.empty((0, 2)), np.array([[1.0, 1.0]])]
+        w = density_weights(sample, iter(chunks))
+        assert w[0] == 1.0
+
+
+class TestEmbedDensity:
+    def test_method_suffix(self, blob_points):
+        base = SampleResult(points=blob_points[:20],
+                            indices=np.arange(20), method="vas")
+        out = embed_density(base, iter_chunks(blob_points, 100))
+        assert out.method == "vas+density"
+        assert out.weights is not None
+        assert base.weights is None  # input untouched
+
+    def test_weights_length(self, blob_points):
+        base = SampleResult(points=blob_points[:15],
+                            indices=np.arange(15), method="uniform")
+        out = embed_density(base, iter_chunks(blob_points, 100))
+        assert len(out.weights) == 15
+        assert out.weights.sum() == pytest.approx(len(blob_points))
+
+    def test_no_method_name(self, blob_points):
+        base = SampleResult(points=blob_points[:5], indices=np.arange(5))
+        out = embed_density(base, iter_chunks(blob_points, 100))
+        assert out.method == "+density"

@@ -1,0 +1,93 @@
+"""Tests for repro.core.epsilon (bandwidth selection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    epsilon_from_diameter,
+    epsilon_from_nn_spacing,
+    epsilon_silverman,
+    select_epsilon,
+)
+from repro.errors import ConfigurationError, EmptyDatasetError
+
+
+class TestDiameterRule:
+    def test_paper_rule(self):
+        """ε ≈ diameter / 100 (footnote 2)."""
+        pts = np.array([[0.0, 0.0], [100.0, 0.0]])
+        assert epsilon_from_diameter(pts) == pytest.approx(1.0)
+
+    def test_custom_divisor(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert epsilon_from_diameter(pts, divisor=10) == pytest.approx(1.0)
+
+    def test_bad_divisor(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_from_diameter(np.zeros((2, 2)), divisor=0)
+
+    def test_coincident_points_fallback(self):
+        pts = np.ones((10, 2))
+        assert epsilon_from_diameter(pts) == 1.0
+
+    def test_scales_with_data(self):
+        pts = np.random.default_rng(0).random((500, 2))
+        small = epsilon_from_diameter(pts)
+        large = epsilon_from_diameter(pts * 1000)
+        assert large == pytest.approx(small * 1000, rel=0.05)
+
+
+class TestNNSpacing:
+    def test_lattice_spacing(self):
+        """On a unit-step lattice the NN distance is exactly 1."""
+        xs = np.arange(10.0)
+        gx, gy = np.meshgrid(xs, xs)
+        pts = np.stack([gx.ravel(), gy.ravel()], axis=1)
+        eps = epsilon_from_nn_spacing(pts, scale=1.0)
+        assert eps == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(EmptyDatasetError):
+            epsilon_from_nn_spacing(np.zeros((1, 2)))
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_from_nn_spacing(np.zeros((5, 2)), scale=0)
+
+    def test_duplicates_fall_back_to_diameter(self):
+        pts = np.concatenate([np.zeros((50, 2)), np.ones((50, 2))])
+        eps = epsilon_from_nn_spacing(pts)
+        assert eps > 0
+
+
+class TestSilverman:
+    def test_positive(self):
+        pts = np.random.default_rng(1).normal(size=(1000, 2))
+        assert epsilon_silverman(pts) > 0
+
+    def test_shrinks_with_n(self):
+        gen = np.random.default_rng(2)
+        small_n = epsilon_silverman(gen.normal(size=(100, 2)))
+        large_n = epsilon_silverman(gen.normal(size=(10000, 2)))
+        assert large_n < small_n
+
+    def test_needs_two_points(self):
+        with pytest.raises(EmptyDatasetError):
+            epsilon_silverman(np.zeros((1, 2)))
+
+
+class TestSelectEpsilon:
+    def test_default_is_diameter(self, blob_points):
+        assert select_epsilon(blob_points) == pytest.approx(
+            epsilon_from_diameter(blob_points), rel=0.05
+        )
+
+    def test_dispatch(self, blob_points):
+        for method in ("diameter", "nn", "silverman"):
+            assert select_epsilon(blob_points, method=method) > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            select_epsilon(np.zeros((5, 2)), method="magic")

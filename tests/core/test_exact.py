@@ -1,0 +1,133 @@
+"""Tests for repro.core.exact (brute force and branch-and-bound)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianKernel,
+    LaplaceKernel,
+    solve_branch_and_bound,
+    solve_brute_force,
+)
+from repro.core.exact import greedy_incumbent
+from repro.errors import ConfigurationError, EmptyDatasetError
+
+
+class TestBruteForce:
+    def test_finds_known_optimum(self):
+        """Three clustered + two far points, K=2: pick the two far apart."""
+        pts = np.array([
+            [0.0, 0.0], [0.1, 0.0], [0.0, 0.1],  # clump
+            [10.0, 10.0], [-10.0, 10.0],
+        ])
+        # Bandwidth large enough that the candidate pair distances do
+        # not all underflow to identical ~0 kernel values.
+        res = solve_brute_force(pts, 2, GaussianKernel(5.0))
+        assert set(res.indices.tolist()) == {3, 4}
+
+    def test_node_count(self):
+        pts = np.random.default_rng(0).normal(size=(8, 2))
+        res = solve_brute_force(pts, 3, GaussianKernel(1.0))
+        assert res.nodes_explored == 56  # C(8,3)
+
+    def test_validation(self):
+        with pytest.raises(EmptyDatasetError):
+            solve_brute_force(np.empty((0, 2)), 1, GaussianKernel(1.0))
+        with pytest.raises(ConfigurationError):
+            solve_brute_force(np.zeros((3, 2)), 4, GaussianKernel(1.0))
+        with pytest.raises(ConfigurationError):
+            solve_brute_force(np.zeros((3, 2)), 0, GaussianKernel(1.0))
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_brute_force(self, seed):
+        gen = np.random.default_rng(seed)
+        pts = gen.normal(size=(14, 2))
+        kernel = GaussianKernel(0.8)
+        bb = solve_branch_and_bound(pts, 5, kernel)
+        bf = solve_brute_force(pts, 5, kernel)
+        assert bb.objective == pytest.approx(bf.objective, abs=1e-12)
+
+    def test_matches_brute_force_other_kernel(self):
+        pts = np.random.default_rng(5).normal(size=(12, 2))
+        kernel = LaplaceKernel(0.5)
+        bb = solve_branch_and_bound(pts, 4, kernel)
+        bf = solve_brute_force(pts, 4, kernel)
+        assert bb.objective == pytest.approx(bf.objective, abs=1e-12)
+
+    def test_prunes_vs_brute_force(self):
+        """B&B must explore far fewer nodes than exhaustive enumeration."""
+        pts = np.random.default_rng(6).normal(size=(20, 2)) * 3
+        kernel = GaussianKernel(0.5)
+        bb = solve_branch_and_bound(pts, 6, kernel)
+        total = sum(1 for _ in itertools.combinations(range(20), 6))
+        assert bb.nodes_explored < total / 2
+
+    def test_k_equals_n(self):
+        pts = np.random.default_rng(7).normal(size=(6, 2))
+        kernel = GaussianKernel(1.0)
+        res = solve_branch_and_bound(pts, 6, kernel)
+        assert sorted(res.indices.tolist()) == list(range(6))
+        assert res.objective == pytest.approx(
+            kernel.pairwise_objective(pts), rel=1e-9
+        )
+
+    def test_k_one(self):
+        pts = np.random.default_rng(8).normal(size=(10, 2))
+        res = solve_branch_and_bound(pts, 1, GaussianKernel(1.0))
+        assert res.objective == 0.0
+        assert len(res.indices) == 1
+
+    def test_node_limit(self):
+        pts = np.random.default_rng(9).normal(size=(30, 2)) * 0.01
+        with pytest.raises(RuntimeError):
+            solve_branch_and_bound(pts, 10, GaussianKernel(1.0),
+                                   node_limit=10)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_optimality_fuzz(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(6, 12))
+        k = int(gen.integers(2, min(5, n)))
+        pts = gen.normal(size=(n, 2)) * float(gen.random() * 3 + 0.1)
+        kernel = GaussianKernel(float(gen.random() * 2 + 0.05))
+        bb = solve_branch_and_bound(pts, k, kernel)
+        bf = solve_brute_force(pts, k, kernel)
+        assert bb.objective == pytest.approx(bf.objective, abs=1e-10)
+
+
+class TestGreedyIncumbent:
+    def test_valid_subset(self):
+        pts = np.random.default_rng(10).normal(size=(15, 2))
+        kernel = GaussianKernel(0.7)
+        sim = kernel.similarity_matrix(pts)
+        np.fill_diagonal(sim, 0.0)
+        chosen, obj = greedy_incumbent(sim, 6)
+        assert len(set(chosen)) == 6
+        idx = np.asarray(chosen)
+        block = sim[np.ix_(idx, idx)]
+        assert obj == pytest.approx(float(block.sum() / 2.0), rel=1e-9)
+
+    def test_k_one(self):
+        sim = np.zeros((5, 5))
+        chosen, obj = greedy_incumbent(sim, 1)
+        assert len(chosen) == 1
+        assert obj == 0.0
+
+    def test_upper_bounds_optimum(self):
+        """Greedy is feasible, so its objective >= the optimum."""
+        pts = np.random.default_rng(11).normal(size=(12, 2))
+        kernel = GaussianKernel(0.6)
+        sim = kernel.similarity_matrix(pts)
+        np.fill_diagonal(sim, 0.0)
+        _, greedy_obj = greedy_incumbent(sim, 4)
+        opt = solve_brute_force(pts, 4, kernel).objective
+        assert greedy_obj >= opt - 1e-12

@@ -1,0 +1,62 @@
+"""Tests for repro.core.greedy (the submodular greedy baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, GreedySampler, solve_brute_force
+from repro.errors import ConfigurationError, EmptyDatasetError
+
+
+class TestGreedySampler:
+    def test_basic(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        r = GreedySampler(kernel, rng=0).sample(blob_points, 30)
+        assert len(r) == 30
+        assert r.method == "greedy"
+        assert np.allclose(r.points, blob_points[r.indices])
+
+    def test_k_geq_n(self, blob_points):
+        r = GreedySampler(GaussianKernel(0.3), rng=0).sample(blob_points,
+                                                             10**6)
+        assert len(r) == len(blob_points)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            GreedySampler(GaussianKernel(1.0), rng=0).sample(
+                np.empty((0, 2)), 3
+            )
+
+    def test_bad_candidate_cap(self):
+        with pytest.raises(ConfigurationError):
+            GreedySampler(GaussianKernel(1.0), candidate_cap=1)
+
+    def test_near_optimal_on_small_instance(self):
+        """Greedy's objective should be within 2x of the optimum
+        (empirically it is usually within a few percent)."""
+        gen = np.random.default_rng(0)
+        pts = gen.normal(size=(16, 2))
+        kernel = GaussianKernel(0.6)
+        greedy = GreedySampler(kernel, rng=1).sample(pts, 5)
+        greedy_obj = kernel.pairwise_objective(greedy.points)
+        opt = solve_brute_force(pts, 5, kernel).objective
+        assert greedy_obj <= max(opt * 2.0, opt + 0.2)
+
+    def test_beats_random_on_skewed_data(self, geolife_small):
+        from repro.core.epsilon import epsilon_from_diameter
+
+        sub = geolife_small[:5000]
+        kernel = GaussianKernel(epsilon_from_diameter(sub))
+        greedy = GreedySampler(kernel, rng=0).sample(sub, 150)
+        rand_idx = np.random.default_rng(0).choice(len(sub), 150,
+                                                   replace=False)
+        assert (kernel.pairwise_objective(greedy.points)
+                < kernel.pairwise_objective(sub[rand_idx]) * 0.6)
+
+    def test_candidate_cap_applies(self):
+        pts = np.random.default_rng(1).normal(size=(5000, 2))
+        kernel = GaussianKernel(0.5)
+        r = GreedySampler(kernel, candidate_cap=500, rng=2).sample(pts, 50)
+        assert len(r) == 50
+        assert len(set(r.indices.tolist())) == 50

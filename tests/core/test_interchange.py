@@ -1,0 +1,140 @@
+"""Tests for repro.core.interchange (Algorithm 1 driver)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, run_interchange
+from repro.errors import EmptyDatasetError
+from repro.sampling import iter_chunks
+
+
+def chunks_factory(points: np.ndarray, size: int = 64):
+    return lambda: iter_chunks(points, size)
+
+
+class TestBasicRun:
+    def test_result_shape(self, blob_points):
+        result = run_interchange(chunks_factory(blob_points), 25,
+                                 GaussianKernel(0.3), rng=0)
+        assert result.points.shape == (25, 2)
+        assert result.source_ids.shape == (25,)
+        assert result.tuples_processed == len(blob_points)
+        assert result.strategy == "es"
+        assert result.passes == 1
+
+    def test_source_ids_valid(self, blob_points):
+        result = run_interchange(chunks_factory(blob_points), 30,
+                                 GaussianKernel(0.3), rng=1)
+        assert np.all(result.source_ids >= 0)
+        assert np.all(result.source_ids < len(blob_points))
+        assert len(set(result.source_ids.tolist())) == 30
+        # Each sampled point must be the dataset row its id claims.
+        for sid, pt in zip(result.source_ids, result.points):
+            assert np.allclose(blob_points[sid], pt)
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            run_interchange(lambda: iter([]), 5, GaussianKernel(1.0))
+
+    def test_objective_matches_kernel(self, blob_points):
+        kernel = GaussianKernel(0.4)
+        result = run_interchange(chunks_factory(blob_points), 20, kernel,
+                                 rng=2)
+        assert result.objective == pytest.approx(
+            kernel.pairwise_objective(result.points), rel=1e-6
+        )
+
+
+class TestMultiplePasses:
+    def test_more_passes_never_worse(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        one = run_interchange(chunks_factory(blob_points), 20, kernel,
+                              max_passes=1, rng=3)
+        four = run_interchange(chunks_factory(blob_points), 20, kernel,
+                               max_passes=4, rng=3)
+        assert four.objective <= one.objective + 1e-9
+
+    def test_early_stop_on_convergence(self):
+        """On a tiny dataset Interchange converges before the pass cap."""
+        pts = np.random.default_rng(4).normal(size=(30, 2))
+        result = run_interchange(chunks_factory(pts), 5, GaussianKernel(0.5),
+                                 max_passes=50, rng=4)
+        assert result.passes < 50
+
+    def test_converged_state_is_local_optimum(self):
+        """After convergence, no single swap with any dataset point may
+        lower the objective (the definition of Interchange's fixpoint)."""
+        gen = np.random.default_rng(5)
+        pts = gen.normal(size=(60, 2))
+        kernel = GaussianKernel(0.5)
+        result = run_interchange(chunks_factory(pts), 6, kernel,
+                                 max_passes=60, rng=5)
+        sample = result.points
+        base = kernel.pairwise_objective(sample)
+        in_sample = set(result.source_ids.tolist())
+        for cand_id in range(len(pts)):
+            if cand_id in in_sample:
+                continue
+            for slot in range(len(sample)):
+                trial = sample.copy()
+                trial[slot] = pts[cand_id]
+                assert kernel.pairwise_objective(trial) >= base - 1e-9
+
+
+class TestTracing:
+    def test_no_trace_by_default(self, blob_points):
+        result = run_interchange(chunks_factory(blob_points), 10,
+                                 GaussianKernel(0.3), rng=6)
+        assert result.trace == []
+
+    def test_trace_recorded(self, blob_points):
+        result = run_interchange(chunks_factory(blob_points), 10,
+                                 GaussianKernel(0.3), rng=6,
+                                 trace_every=100)
+        assert len(result.trace) >= 2
+        processed = [t.tuples_processed for t in result.trace]
+        assert processed == sorted(processed)
+        assert result.trace[-1].tuples_processed == result.tuples_processed
+
+    def test_trace_objectives_finite(self, blob_points):
+        result = run_interchange(chunks_factory(blob_points), 10,
+                                 GaussianKernel(0.3), rng=7,
+                                 trace_every=50)
+        for t in result.trace:
+            assert np.isfinite(t.objective)
+            assert t.elapsed_seconds >= 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        a = run_interchange(chunks_factory(blob_points), 15, kernel, rng=42)
+        b = run_interchange(chunks_factory(blob_points), 15, kernel, rng=42)
+        assert np.array_equal(a.source_ids, b.source_ids)
+
+    def test_no_shuffle_is_deterministic_without_seed(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        a = run_interchange(chunks_factory(blob_points), 15, kernel,
+                            shuffle_within_chunks=False)
+        b = run_interchange(chunks_factory(blob_points), 15, kernel,
+                            shuffle_within_chunks=False)
+        assert np.array_equal(a.source_ids, b.source_ids)
+
+
+class TestQuality:
+    def test_beats_random_on_skewed_data(self, geolife_small):
+        """The headline: Interchange's objective is far below a random
+        subset's objective on density-skewed data."""
+        from repro.core.epsilon import epsilon_from_diameter
+
+        sub = geolife_small[:8000]
+        eps = epsilon_from_diameter(sub)
+        kernel = GaussianKernel(eps)
+        result = run_interchange(chunks_factory(sub, 1024), 200, kernel,
+                                 rng=8)
+        random_idx = np.random.default_rng(8).choice(len(sub), 200,
+                                                     replace=False)
+        random_obj = kernel.pairwise_objective(sub[random_idx])
+        assert result.objective < random_obj * 0.5

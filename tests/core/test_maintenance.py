@@ -1,0 +1,118 @@
+"""Tests for repro.core.maintenance (incremental sample updates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, VASSampler
+from repro.core.maintenance import SampleMaintainer
+from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.sampling import SampleResult, iter_chunks
+
+
+@pytest.fixture()
+def base_sample(blob_points):
+    sampler = VASSampler(kernel=GaussianKernel(0.3), rng=0)
+    return sampler.sample(blob_points, 30), GaussianKernel(0.3)
+
+
+class TestLifecycle:
+    def test_initial_state(self, base_sample):
+        sample, kernel = base_sample
+        m = SampleMaintainer(sample, kernel)
+        out = m.sample
+        assert len(out) == len(sample)
+        assert np.array_equal(np.sort(out.indices), np.sort(sample.indices))
+        assert m.appended == 0
+
+    def test_empty_initial_rejected(self, blob_points):
+        empty = SampleResult(points=np.empty((0, 2)),
+                             indices=np.empty(0, dtype=np.int64))
+        with pytest.raises(EmptyDatasetError):
+            SampleMaintainer(empty, GaussianKernel(1.0))
+
+    def test_bad_next_id(self, base_sample):
+        sample, kernel = base_sample
+        with pytest.raises(ConfigurationError):
+            SampleMaintainer(sample, kernel, next_source_id=-1)
+
+    def test_append_empty_noop(self, base_sample):
+        sample, kernel = base_sample
+        m = SampleMaintainer(sample, kernel)
+        assert m.append(np.empty((0, 2))) == 0
+
+
+class TestAppendBehaviour:
+    def test_objective_never_increases(self, base_sample, blob_points):
+        sample, kernel = base_sample
+        m = SampleMaintainer(sample, kernel)
+        gen = np.random.default_rng(1)
+        before = m.objective
+        # Appending duplicates of existing dense-area data should not
+        # raise the objective; appends only happen on improvement.
+        m.append(gen.normal(scale=0.2, size=(200, 2)))
+        assert m.objective <= before + 1e-9
+
+    def test_new_region_gets_covered(self, base_sample):
+        """Appended data in an empty region must pull sample points in —
+        the whole reason to maintain the sample."""
+        sample, kernel = base_sample
+        m = SampleMaintainer(sample, kernel)
+        gen = np.random.default_rng(2)
+        new_region = gen.normal(loc=(10.0, 10.0), scale=0.3, size=(300, 2))
+        accepted = m.append(new_region)
+        assert accepted > 0
+        out = m.sample
+        in_new = (out.points[:, 0] > 8.0).sum()
+        assert in_new >= 1
+
+    def test_appended_ids_sequential(self, base_sample):
+        sample, kernel = base_sample
+        m = SampleMaintainer(sample, kernel, next_source_id=10_000)
+        gen = np.random.default_rng(3)
+        m.append(gen.normal(loc=(10, 10), scale=0.1, size=(50, 2)))
+        new_ids = m.sample.indices[m.sample.indices >= 10_000]
+        assert len(new_ids) > 0
+        assert np.all(new_ids < 10_050)
+
+
+class TestWeightedMaintenance:
+    def test_weights_stay_a_partition(self, blob_points):
+        sampler = VASSampler(kernel=GaussianKernel(0.3), rng=0)
+        base = sampler.sample_with_density(blob_points, 25)
+        m = SampleMaintainer(base, GaussianKernel(0.3))
+        gen = np.random.default_rng(4)
+        extra = gen.normal(loc=(5, 5), scale=0.5, size=(120, 2))
+        m.append(extra)
+        out = m.sample
+        assert out.method == "vas+density"
+        # Every original and appended row is counted exactly once.
+        assert out.weights.sum() == pytest.approx(
+            len(blob_points) + len(extra)
+        )
+
+    def test_rebuild_weights_exact(self, blob_points):
+        sampler = VASSampler(kernel=GaussianKernel(0.3), rng=0)
+        base = sampler.sample_with_density(blob_points, 25)
+        m = SampleMaintainer(base, GaussianKernel(0.3))
+        gen = np.random.default_rng(5)
+        extra = gen.normal(loc=(5, 5), scale=0.5, size=(80, 2))
+        m.append(extra)
+        all_data = np.concatenate([blob_points, extra])
+        m.rebuild_weights(iter_chunks(all_data, 100))
+        out = m.sample
+        assert out.weights.sum() == pytest.approx(len(all_data))
+        # Rebuilt counters must match a from-scratch density pass.
+        from repro.core import density_weights
+        expected = density_weights(m.sample.points,
+                                   iter_chunks(all_data, 100))
+        got = m.sample.weights
+        assert np.allclose(np.sort(got), np.sort(expected))
+
+    def test_unweighted_stays_unweighted(self, base_sample):
+        sample, kernel = base_sample
+        m = SampleMaintainer(sample, kernel)
+        m.append(np.random.default_rng(6).normal(size=(50, 2)))
+        assert m.sample.weights is None
+        assert m.sample.method == "vas"

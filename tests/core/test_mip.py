@@ -1,0 +1,108 @@
+"""Tests for repro.core.mip (MIP formulation + LP exporter)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel
+from repro.core.mip import (
+    build_mip,
+    solve_with_branch_and_bound,
+    to_lp_format,
+)
+from repro.errors import ConfigurationError, EmptyDatasetError
+
+
+@pytest.fixture()
+def small_instance():
+    gen = np.random.default_rng(0)
+    pts = gen.normal(size=(10, 2))
+    return pts, GaussianKernel(0.8)
+
+
+class TestBuildMip:
+    def test_dimensions(self, small_instance):
+        pts, kernel = small_instance
+        model = build_mip(pts, 4, kernel)
+        assert model.n == 10
+        assert model.k == 4
+        assert 0 < model.n_pair_variables <= 45  # C(10,2)
+
+    def test_threshold_sparsifies(self, small_instance):
+        pts, kernel = small_instance
+        dense = build_mip(pts, 4, kernel, pair_threshold=0.0)
+        sparse = build_mip(pts, 4, kernel, pair_threshold=0.5)
+        assert sparse.n_pair_variables < dense.n_pair_variables
+
+    def test_coefficients_match_kernel(self, small_instance):
+        pts, kernel = small_instance
+        model = build_mip(pts, 3, kernel)
+        sim = kernel.similarity_matrix(pts)
+        for (i, j), coef in model.objective_terms.items():
+            assert i < j
+            assert coef == pytest.approx(float(sim[i, j]))
+
+    def test_validation(self, small_instance):
+        pts, kernel = small_instance
+        with pytest.raises(EmptyDatasetError):
+            build_mip(np.empty((0, 2)), 1, kernel)
+        with pytest.raises(ConfigurationError):
+            build_mip(pts, 0, kernel)
+        with pytest.raises(ConfigurationError):
+            build_mip(pts, 11, kernel)
+        with pytest.raises(ConfigurationError):
+            build_mip(pts, 3, kernel, pair_threshold=-1)
+
+    def test_objective_at(self, small_instance):
+        pts, kernel = small_instance
+        model = build_mip(pts, 3, kernel)
+        sel = np.zeros(10, dtype=np.int8)
+        sel[[0, 1, 2]] = 1
+        expected = kernel.pairwise_objective(pts[:3])
+        assert model.objective_at(sel) == pytest.approx(expected, rel=1e-9)
+
+
+class TestLpFormat:
+    def test_sections_present(self, small_instance):
+        pts, kernel = small_instance
+        lp = to_lp_format(build_mip(pts, 4, kernel))
+        for section in ("Minimize", "Subject To", "Bounds", "Binary", "End"):
+            assert section in lp
+
+    def test_cardinality_constraint(self, small_instance):
+        pts, kernel = small_instance
+        lp = to_lp_format(build_mip(pts, 4, kernel))
+        card_line = next(l for l in lp.splitlines() if "card:" in l)
+        assert card_line.strip().endswith("= 4")
+        assert card_line.count("x_") == 10
+
+    def test_mccormick_constraints(self, small_instance):
+        pts, kernel = small_instance
+        model = build_mip(pts, 4, kernel)
+        lp = to_lp_format(model)
+        mc_lines = [l for l in lp.splitlines() if l.startswith(" mc_")]
+        assert len(mc_lines) == model.n_pair_variables
+        assert all(l.endswith(">= -1") for l in mc_lines)
+
+    def test_all_binaries_declared(self, small_instance):
+        pts, kernel = small_instance
+        lp = to_lp_format(build_mip(pts, 4, kernel))
+        binary_section = lp.split("Binary")[1]
+        for i in range(10):
+            assert f"x_{i}" in binary_section
+
+
+class TestFormulationConsistency:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_model_agrees_with_exact_solver(self, seed):
+        gen = np.random.default_rng(seed)
+        pts = gen.normal(size=(12, 2))
+        kernel = GaussianKernel(0.6)
+        model, selection, objective = solve_with_branch_and_bound(
+            pts, 4, kernel
+        )
+        assert selection.sum() == 4
+        assert model.objective_at(selection) == pytest.approx(
+            objective, rel=1e-6, abs=1e-9
+        )

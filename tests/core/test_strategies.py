@@ -1,0 +1,176 @@
+"""Tests for repro.core.strategies — including ES ≡ No-ES equivalence
+and ES+Loc approximation quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, make_strategy, strategy_names
+from repro.core.responsibility import CandidateSet
+from repro.core.strategies import ESLocStrategy, ESStrategy, NoESStrategy
+from repro.errors import ConfigurationError
+
+
+def run_stream(strategy_name: str, points: np.ndarray, k: int,
+               eps: float = 0.5, **kwargs):
+    cs = CandidateSet(k, GaussianKernel(eps))
+    strat = make_strategy(strategy_name, cs, **kwargs)
+    for i, pt in enumerate(points):
+        strat.process(i, pt)
+    strat.finalize()
+    return cs, strat
+
+
+class TestRegistry:
+    def test_names(self):
+        assert strategy_names() == ["es", "es+loc", "no-es"]
+
+    def test_unknown(self):
+        cs = CandidateSet(3, GaussianKernel(1.0))
+        with pytest.raises(ConfigurationError):
+            make_strategy("turbo", cs)
+
+
+class TestESStrategy:
+    def test_fills_then_replaces(self):
+        gen = np.random.default_rng(0)
+        pts = gen.normal(size=(200, 2))
+        cs, strat = run_stream("es", pts, 20)
+        assert len(cs) == 20
+        assert strat.processed == 200
+        assert strat.replacements >= 20  # at least the fill phase
+
+    def test_replacements_never_increase_objective(self):
+        """Every accepted replacement must lower Σκ̃ (Theorem 2)."""
+        gen = np.random.default_rng(1)
+        pts = gen.normal(size=(300, 2))
+        cs = CandidateSet(15, GaussianKernel(0.5))
+        strat = ESStrategy(cs)
+        last_objective = None
+        for i, pt in enumerate(pts):
+            was_full = cs.is_full
+            changed = strat.process(i, pt)
+            obj = cs.objective()
+            if was_full and changed:
+                assert obj < last_objective + 1e-12
+            last_objective = obj
+
+    def test_responsibilities_stay_consistent(self):
+        gen = np.random.default_rng(2)
+        pts = gen.normal(size=(500, 2))
+        cs, _ = run_stream("es", pts, 25)
+        incremental = cs.responsibilities.copy()
+        cs.recompute()
+        assert np.allclose(incremental, cs.responsibilities,
+                           rtol=1e-6, atol=1e-9)
+
+    def test_stream_smaller_than_k(self):
+        pts = np.random.default_rng(3).normal(size=(5, 2))
+        cs, _ = run_stream("es", pts, 10)
+        assert len(cs) == 5
+
+
+class TestNoESEquivalence:
+    def test_same_decisions_as_es(self):
+        """No-ES is the same algorithm at O(K²) cost: identical samples."""
+        gen = np.random.default_rng(4)
+        pts = gen.normal(size=(150, 2))
+        cs_es, _ = run_stream("es", pts, 12)
+        cs_no, _ = run_stream("no-es", pts, 12)
+        assert np.allclose(cs_es.points, cs_no.points)
+        assert np.array_equal(cs_es.source_ids, cs_no.source_ids)
+
+    def test_objective_equal(self):
+        gen = np.random.default_rng(5)
+        pts = gen.normal(size=(100, 2))
+        cs_es, _ = run_stream("es", pts, 8)
+        cs_no, _ = run_stream("no-es", pts, 8)
+        assert cs_es.objective() == pytest.approx(cs_no.objective(), rel=1e-9)
+
+
+class TestESLoc:
+    @pytest.mark.parametrize("index_kind", ["rtree", "grid"])
+    def test_close_to_exact_objective(self, index_kind):
+        gen = np.random.default_rng(6)
+        pts = gen.normal(size=(400, 2))
+        cs_es, _ = run_stream("es", pts, 30, eps=0.3)
+        cs_loc, _ = run_stream("es+loc", pts, 30, eps=0.3,
+                               index_kind=index_kind, tolerance=1e-9)
+        # With a tight tolerance the truncation is negligible; the
+        # objectives should agree closely (paths may diverge slightly
+        # because a single different decision cascades).
+        assert cs_loc.objective() <= cs_es.objective() * 1.5 + 1e-6
+
+    def test_identical_with_huge_cutoff(self):
+        """With tolerance so small the cutoff covers all data, ES+Loc
+        must make literally identical decisions to ES."""
+        gen = np.random.default_rng(7)
+        pts = gen.normal(size=(120, 2))
+        cs_es, _ = run_stream("es", pts, 10, eps=5.0)
+        cs_loc, _ = run_stream("es+loc", pts, 10, eps=5.0,
+                               index_kind="grid", tolerance=1e-12)
+        assert np.array_equal(cs_es.source_ids, cs_loc.source_ids)
+
+    def test_bad_index_kind(self):
+        cs = CandidateSet(3, GaussianKernel(1.0))
+        with pytest.raises(ConfigurationError):
+            ESLocStrategy(cs, index_kind="quadtree")
+
+    def test_bad_recompute_every(self):
+        cs = CandidateSet(3, GaussianKernel(1.0))
+        with pytest.raises(ConfigurationError):
+            ESLocStrategy(cs, recompute_every=-1)
+
+    def test_periodic_recompute_bounds_drift(self):
+        gen = np.random.default_rng(8)
+        pts = gen.normal(size=(500, 2))
+        cs = CandidateSet(40, GaussianKernel(0.2))
+        strat = ESLocStrategy(cs, tolerance=1e-4, recompute_every=50)
+        for i, pt in enumerate(pts):
+            strat.process(i, pt)
+        drifted = cs.responsibilities.copy()
+        cs.recompute()
+        assert np.allclose(drifted, cs.responsibilities, atol=1e-2)
+
+    def test_finalize_flushes_drift(self):
+        gen = np.random.default_rng(9)
+        pts = gen.normal(size=(300, 2))
+        cs, strat = run_stream("es+loc", pts, 20, eps=0.2, tolerance=1e-3)
+        after_finalize = cs.responsibilities.copy()
+        cs.recompute()
+        assert np.allclose(after_finalize, cs.responsibilities, atol=1e-12)
+
+    def test_index_tracks_set(self):
+        """After processing, the spatial index holds exactly the set."""
+        gen = np.random.default_rng(10)
+        pts = gen.normal(size=(250, 2))
+        cs = CandidateSet(15, GaussianKernel(0.5))
+        strat = ESLocStrategy(cs, index_kind="rtree")
+        for i, pt in enumerate(pts):
+            strat.process(i, pt)
+        hits = strat._index.query_radius(0.0, 0.0, 1e6)
+        assert sorted(hits) == list(range(15))
+        got = strat._index  # every slot's coordinates must match
+        for slot in range(15):
+            x, y = cs.points[slot]
+            assert slot in [h for h in got.query_radius(x, y, 1e-9)]
+
+
+class TestSpreadBehaviour:
+    """The algorithmic point of VAS: samples spread out."""
+
+    def test_es_sample_more_spread_than_random(self):
+        gen = np.random.default_rng(11)
+        dense = gen.normal(scale=0.05, size=(900, 2))
+        sparse = gen.normal(loc=(2, 2), scale=0.3, size=(100, 2))
+        pts = np.concatenate([dense, sparse])
+        gen.shuffle(pts, axis=0)
+        k = 40
+        cs, _ = run_stream("es", pts, k, eps=0.2)
+        # Count sample points in the sparse blob: VAS should represent
+        # it far beyond its 10% share.
+        n_sparse = int((cs.points[:, 0] > 1.0).sum())
+        assert n_sparse >= k * 0.25, (
+            f"VAS kept only {n_sparse}/{k} points in the sparse region"
+        )

@@ -1,0 +1,147 @@
+"""Tests for repro.core.vas (the public VASSampler API)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, VASSampler
+from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.sampling import iter_chunks
+
+
+class TestConfiguration:
+    def test_bad_strategy(self):
+        with pytest.raises(ConfigurationError):
+            VASSampler(strategy="magic")
+
+    def test_bad_passes(self):
+        with pytest.raises(ConfigurationError):
+            VASSampler(max_passes=0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            VASSampler(chunk_size=0)
+
+    def test_kernel_instance_passthrough(self, blob_points):
+        kernel = GaussianKernel(0.35)
+        sampler = VASSampler(kernel=kernel)
+        assert sampler.resolve_kernel(blob_points) is kernel
+
+    def test_kernel_by_name_with_epsilon(self, blob_points):
+        sampler = VASSampler(kernel="laplace", epsilon=0.2)
+        k = sampler.resolve_kernel(blob_points)
+        assert k.name == "laplace"
+        assert k.epsilon == 0.2
+
+    def test_auto_epsilon_uses_diameter_rule(self, blob_points):
+        from repro.core.epsilon import epsilon_from_diameter
+
+        sampler = VASSampler(rng=0)
+        k = sampler.resolve_kernel(blob_points)
+        assert k.epsilon == pytest.approx(
+            epsilon_from_diameter(blob_points), rel=0.1
+        )
+
+
+class TestSample:
+    def test_basic(self, blob_points):
+        r = VASSampler(rng=0).sample(blob_points, 50)
+        assert len(r) == 50
+        assert r.method == "vas"
+        assert r.metadata["strategy"] == "es"
+        assert r.metadata["passes"] >= 1
+        assert np.allclose(r.points, blob_points[r.indices])
+
+    def test_k_geq_n(self, blob_points):
+        r = VASSampler(rng=0).sample(blob_points, 10**6)
+        assert len(r) == len(blob_points)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            VASSampler(rng=0).sample(np.empty((0, 2)), 5)
+
+    def test_bad_k(self, blob_points):
+        from repro.errors import SampleSizeError
+        with pytest.raises(SampleSizeError):
+            VASSampler(rng=0).sample(blob_points, -3)
+
+    def test_auto_strategy_switches(self, geolife_small):
+        sub = geolife_small[:5000]
+        small = VASSampler(rng=0, loc_threshold=400).sample(sub, 100)
+        large = VASSampler(rng=0, loc_threshold=400).sample(sub, 500)
+        assert small.metadata["strategy"] == "es"
+        assert large.metadata["strategy"] == "es+loc"
+
+    def test_explicit_strategy_respected(self, blob_points):
+        r = VASSampler(rng=0, strategy="no-es").sample(blob_points, 20)
+        assert r.metadata["strategy"] == "no-es"
+
+    def test_reproducible(self, blob_points):
+        a = VASSampler(rng=5).sample(blob_points, 30)
+        b = VASSampler(rng=5).sample(blob_points, 30)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_last_run_populated(self, blob_points):
+        sampler = VASSampler(rng=0, trace_every=100)
+        sampler.sample(blob_points, 20)
+        assert sampler.last_run is not None
+        assert len(sampler.last_run.trace) >= 1
+
+    def test_objective_in_metadata(self, blob_points):
+        r = VASSampler(rng=0).sample(blob_points, 25)
+        kernel = GaussianKernel(r.metadata["epsilon"])
+        assert r.metadata["objective"] == pytest.approx(
+            kernel.pairwise_objective(r.points), rel=1e-6
+        )
+
+
+class TestSampleStream:
+    def test_requires_epsilon(self, blob_points):
+        sampler = VASSampler(rng=0)  # no epsilon
+        with pytest.raises(ConfigurationError):
+            sampler.sample_stream(iter_chunks(blob_points, 64), 10)
+
+    def test_stream_with_epsilon(self, blob_points):
+        sampler = VASSampler(rng=0, epsilon=0.3)
+        r = sampler.sample_stream(iter_chunks(blob_points, 64), 25)
+        assert len(r) == 25
+        assert np.all(r.indices < len(blob_points))
+
+    def test_stream_with_kernel_instance(self, blob_points):
+        sampler = VASSampler(kernel=GaussianKernel(0.3), rng=0)
+        r = sampler.sample_stream(iter_chunks(blob_points, 64), 25)
+        assert len(r) == 25
+
+
+class TestSampleWithDensity:
+    def test_weights_present_and_sum(self, blob_points):
+        r = VASSampler(rng=0).sample_with_density(blob_points, 30)
+        assert r.method == "vas+density"
+        assert r.weights is not None
+        assert r.weights.sum() == pytest.approx(len(blob_points))
+
+    def test_dense_blob_dominates_weights(self, blob_points):
+        """90% of blob_points sit in the dense blob near the origin, so
+        the summed weight there must dominate even though the sampled
+        *points* are spread evenly."""
+        r = VASSampler(rng=1).sample_with_density(blob_points, 40)
+        near_origin = np.sqrt((r.points ** 2).sum(axis=1)) < 1.5
+        assert near_origin.any()
+        w_dense = float(r.weights[near_origin].sum())
+        assert w_dense > 0.7 * len(blob_points)
+
+
+class TestCoverageBehaviour:
+    def test_covers_sparse_region_better_than_uniform(self, geolife_small):
+        """Fig 1's zoom story, quantified with pixel coverage."""
+        from repro.sampling import UniformSampler
+        from repro.viz import ScatterRenderer, Viewport
+
+        sub = geolife_small[:10000]
+        k = 400
+        vas = VASSampler(rng=0).sample(sub, k)
+        uni = UniformSampler(rng=0).sample(sub, k)
+        renderer = ScatterRenderer(width=200, height=200)
+        vp = Viewport.fit(sub)
+        assert renderer.coverage(vas.points, vp) > renderer.coverage(uni.points, vp)

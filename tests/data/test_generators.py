@@ -1,0 +1,210 @@
+"""Tests for the dataset generators (Geolife-like, SPLOM, mixtures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BEIJING_LAT,
+    BEIJING_LON,
+    GaussianMixture,
+    GeolifeGenerator,
+    MixtureComponent,
+    PointStream,
+    SplomGenerator,
+    altitude_at,
+    clustering_datasets,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGeolife:
+    def test_exact_count(self):
+        data = GeolifeGenerator(seed=0).generate(12345)
+        assert len(data) == 12345
+        assert data.xy.shape == (12345, 2)
+        assert data.altitude.shape == (12345,)
+
+    def test_within_beijing_box(self):
+        data = GeolifeGenerator(seed=1).generate(5000)
+        assert data.xy[:, 0].min() >= BEIJING_LON[0]
+        assert data.xy[:, 0].max() <= BEIJING_LON[1]
+        assert data.xy[:, 1].min() >= BEIJING_LAT[0]
+        assert data.xy[:, 1].max() <= BEIJING_LAT[1]
+
+    def test_deterministic(self):
+        a = GeolifeGenerator(seed=7).generate(2000)
+        b = GeolifeGenerator(seed=7).generate(2000)
+        assert np.allclose(a.xy, b.xy)
+        assert np.allclose(a.altitude, b.altitude)
+
+    def test_seeds_differ(self):
+        a = GeolifeGenerator(seed=1).generate(1000)
+        b = GeolifeGenerator(seed=2).generate(1000)
+        assert not np.allclose(a.xy, b.xy)
+
+    def test_density_skew(self):
+        """Urban core must be far denser than the periphery — the
+        property VAS exploits."""
+        data = GeolifeGenerator(seed=3).generate(30000)
+        core = ((np.abs(data.xy[:, 0] - 116.40) < 0.15)
+                & (np.abs(data.xy[:, 1] - 39.90) < 0.15))
+        core_frac = core.mean()
+        core_area_frac = (0.3 * 0.3) / (
+            (BEIJING_LON[1] - BEIJING_LON[0])
+            * (BEIJING_LAT[1] - BEIJING_LAT[0])
+        )
+        assert core_frac > 5 * core_area_frac
+
+    def test_altitude_matches_surface(self):
+        data = GeolifeGenerator(seed=4, noise_std_m=0.0).generate(1000)
+        assert np.allclose(data.altitude, altitude_at(data.xy))
+
+    def test_altitude_noise(self):
+        data = GeolifeGenerator(seed=4, noise_std_m=10.0).generate(5000)
+        resid = data.altitude - altitude_at(data.xy)
+        assert 8.0 < resid.std() < 12.0
+
+    def test_columns_dict(self):
+        data = GeolifeGenerator(seed=5).generate(100)
+        cols = data.columns
+        assert set(cols) == {"longitude", "latitude", "altitude"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeolifeGenerator(trajectory_length=0)
+        with pytest.raises(ConfigurationError):
+            GeolifeGenerator(corridor_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            GeolifeGenerator().generate(0)
+
+    def test_stream_chunks(self):
+        chunks = list(GeolifeGenerator(seed=6).stream(1000, chunk_size=300))
+        assert [len(c) for c in chunks] == [300, 300, 300, 100]
+
+
+class TestAltitudeSurface:
+    def test_deterministic(self):
+        xy = np.array([[116.4, 39.9], [116.0, 40.4]])
+        assert np.allclose(altitude_at(xy), altitude_at(xy))
+
+    def test_mountains_higher_than_city(self):
+        city = altitude_at(np.array([[116.40, 39.90]]))[0]
+        mountains = altitude_at(np.array([[115.97, 40.45]]))[0]
+        assert mountains > city + 100
+
+
+class TestSplom:
+    def test_shape(self):
+        data = SplomGenerator(seed=0).generate(5000)
+        assert data.values.shape == (5000, 5)
+        assert len(data) == 5000
+
+    def test_column_access(self):
+        data = SplomGenerator(seed=1).generate(1000)
+        assert data.column("a").shape == (1000,)
+        with pytest.raises(ConfigurationError):
+            data.column("z")
+
+    def test_pair_projection(self):
+        data = SplomGenerator(seed=2).generate(500)
+        xy = data.pair("a", "c")
+        assert xy.shape == (500, 2)
+        assert np.allclose(xy[:, 0], data.column("a"))
+
+    def test_correlation_structure(self):
+        """Columns a and b are positively correlated by construction."""
+        data = SplomGenerator(seed=3, heavy_tail_fraction=0.0).generate(20000)
+        corr = np.corrcoef(data.column("a"), data.column("b"))[0, 1]
+        assert 0.2 < corr < 0.5
+
+    def test_heavy_tail(self):
+        tailed = SplomGenerator(seed=4, heavy_tail_fraction=0.2).generate(20000)
+        clean = SplomGenerator(seed=4, heavy_tail_fraction=0.0).generate(20000)
+        assert tailed.column("a").std() > clean.column("a").std()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SplomGenerator(heavy_tail_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            SplomGenerator().generate(0)
+
+
+class TestMixtures:
+    def test_component_counts(self):
+        sets = clustering_datasets(0)
+        assert len(sets) == 4
+        assert [mix.n_clusters for _, mix in sets] == [1, 1, 2, 2]
+
+    def test_generate_shape(self):
+        _, mix = clustering_datasets(0)[2]
+        pts = mix.generate(3000)
+        assert pts.shape == (3000, 2)
+
+    def test_two_cluster_separated(self):
+        _, mix = clustering_datasets(0)[2]
+        pts = mix.generate(5000)
+        left = pts[pts[:, 0] < 0]
+        right = pts[pts[:, 0] >= 0]
+        assert len(left) > 500 and len(right) > 500
+        assert abs(left[:, 0].mean() - right[:, 0].mean()) > 2.0
+
+    def test_weights_respected(self):
+        mix = GaussianMixture([
+            MixtureComponent((0, 0), ((0.1, 0), (0, 0.1)), weight=0.9),
+            MixtureComponent((10, 10), ((0.1, 0), (0, 0.1)), weight=0.1),
+        ], seed=0)
+        pts = mix.generate(10000)
+        far = (pts[:, 0] > 5).mean()
+        assert 0.07 < far < 0.13
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMixture([], seed=0)
+        with pytest.raises(ConfigurationError):
+            GaussianMixture(
+                [MixtureComponent((0, 0), ((1, 0), (0, 1)), weight=0.0)]
+            )
+        mix = clustering_datasets(0)[0][1]
+        with pytest.raises(ConfigurationError):
+            mix.generate(0)
+
+
+class TestPointStream:
+    def test_iteration_covers_data(self, blob_points):
+        stream = PointStream(blob_points, chunk_size=100)
+        total = np.concatenate(list(stream))
+        assert np.allclose(total, blob_points)
+        assert len(stream) == len(blob_points)
+
+    def test_reiterable(self, blob_points):
+        stream = PointStream(blob_points, chunk_size=64)
+        a = np.concatenate(list(stream))
+        b = np.concatenate(list(stream))
+        assert np.allclose(a, b)
+
+    def test_shuffle_fixed_across_passes(self, blob_points):
+        stream = PointStream(blob_points, chunk_size=64, shuffle_seed=5)
+        a = np.concatenate(list(stream))
+        b = np.concatenate(list(stream))
+        assert np.allclose(a, b)
+        assert not np.allclose(a, blob_points)  # actually shuffled
+        assert np.allclose(np.sort(a, axis=0), np.sort(blob_points, axis=0))
+
+    def test_limit(self, blob_points):
+        stream = PointStream(blob_points, chunk_size=64, limit=100)
+        assert len(stream) == 100
+        assert sum(len(c) for c in stream) == 100
+
+    def test_factory(self, blob_points):
+        stream = PointStream(blob_points, chunk_size=128)
+        factory = stream.factory()
+        assert np.allclose(np.concatenate(list(factory())),
+                           np.concatenate(list(factory())))
+
+    def test_validation(self, blob_points):
+        with pytest.raises(ConfigurationError):
+            PointStream(blob_points, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            PointStream(blob_points, limit=-1)

@@ -1,0 +1,99 @@
+"""Tests for the experiment scaffolding (profiles, tables, spearman)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import FULL, QUICK, format_table, get_profile
+from repro.experiments.fig7_loss_correlation import spearman_rho
+from repro.experiments.fig8_time_vs_error import _interp_size_for_loss
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("quick") is QUICK
+        assert get_profile("full") is FULL
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("mega")
+
+    def test_full_larger_than_quick(self):
+        assert FULL.geolife_rows > QUICK.geolife_rows
+        assert FULL.n_observers > QUICK.n_observers
+        assert FULL.loss_probes >= QUICK.loss_probes
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table([["a", "bb"], ["ccc", "d"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1]
+        assert "-" in lines[2]  # separator after header
+
+    def test_empty(self):
+        assert format_table([], title="x") == "x"
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(x, x * 10) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(x, -x) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        gen = np.random.default_rng(0)
+        x = gen.random(30)
+        assert spearman_rho(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        gen = np.random.default_rng(1)
+        x = gen.random(50)
+        y = gen.random(50)
+        ours = spearman_rho(x, y)
+        theirs = scipy_stats.spearmanr(x, y).statistic
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_ties_average_ranks(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        x = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+        y = np.array([5.0, 4.0, 4.0, 2.0, 1.0, 2.0])
+        assert spearman_rho(x, y) == pytest.approx(
+            scipy_stats.spearmanr(x, y).statistic, abs=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rho(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            spearman_rho(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestLossInterpolation:
+    def test_exact_rung(self):
+        sizes = np.array([100.0, 1000.0, 10000.0])
+        losses = np.array([3.0, 2.0, 1.0])
+        assert _interp_size_for_loss(2.0, sizes, losses) == pytest.approx(1000.0)
+
+    def test_between_rungs_log_interp(self):
+        sizes = np.array([100.0, 10000.0])
+        losses = np.array([3.0, 1.0])
+        mid = _interp_size_for_loss(2.0, sizes, losses)
+        assert mid == pytest.approx(1000.0, rel=0.01)
+
+    def test_target_above_first(self):
+        sizes = np.array([100.0, 1000.0])
+        losses = np.array([3.0, 1.0])
+        assert _interp_size_for_loss(5.0, sizes, losses) == 100.0
+
+    def test_target_below_reach(self):
+        sizes = np.array([100.0, 1000.0])
+        losses = np.array([3.0, 1.0])
+        assert _interp_size_for_loss(0.5, sizes, losses) is None

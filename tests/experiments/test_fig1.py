@@ -1,0 +1,35 @@
+"""Tests for the Fig 1 qualitative driver."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments import QUICK, fig1_qualitative
+from repro.viz import decode_png_header
+
+TINY = dataclasses.replace(
+    QUICK, name="tiny-fig1", geolife_rows=12_000,
+    sample_sizes=(100, 400), n_observers=4, loss_probes=100,
+)
+
+
+class TestFig1Driver:
+    def test_run_asserts_and_reports(self):
+        result = fig1_qualitative.run(TINY, sample_size=400,
+                                      n_zoom_windows=4)
+        assert result.n_zoom_windows >= 1
+        assert (result.zoom_visible_points["vas"]
+                > result.zoom_visible_points["stratified"])
+        rows = result.rows()
+        assert rows[0] == ["Metric", "stratified", "vas"]
+        assert len(rows) == 4
+
+    def test_render_panes_are_pngs(self):
+        panes = fig1_qualitative.render_panes(TINY, sample_size=200)
+        assert set(panes) == {
+            "stratified_overview", "stratified_zoom",
+            "vas_overview", "vas_zoom",
+        }
+        for data in panes.values():
+            w, h, _ = decode_png_header(data)
+            assert (w, h) == (300, 300)

@@ -1,0 +1,150 @@
+"""Tests for repro.index.grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.index import GridIndex, choose_cell_size
+
+
+def brute_radius(points: np.ndarray, x: float, y: float,
+                 radius: float) -> set[int]:
+    d2 = np.sum((points - np.array([x, y])) ** 2, axis=1)
+    return set(np.nonzero(d2 <= radius * radius)[0].tolist())
+
+
+class TestConstruction:
+    def test_bad_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(0.0)
+        with pytest.raises(ConfigurationError):
+            GridIndex(-1.0)
+        with pytest.raises(ConfigurationError):
+            GridIndex(float("nan"))
+
+    def test_duplicate_id_rejected(self):
+        g = GridIndex(1.0)
+        g.insert(1, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            g.insert(1, 1.0, 1.0)
+
+    def test_insert_many_length_mismatch(self):
+        g = GridIndex(1.0)
+        with pytest.raises(ConfigurationError):
+            g.insert_many(np.array([1, 2]), np.zeros((3, 2)))
+
+
+class TestMutation:
+    def test_len_and_contains(self):
+        g = GridIndex(1.0)
+        g.insert(5, 0.1, 0.2)
+        assert len(g) == 1
+        assert 5 in g
+        assert 6 not in g
+
+    def test_remove(self):
+        g = GridIndex(1.0)
+        g.insert(5, 0.1, 0.2)
+        g.remove(5)
+        assert len(g) == 0
+        with pytest.raises(KeyError):
+            g.remove(5)
+
+    def test_reinsert_after_remove(self):
+        g = GridIndex(1.0)
+        g.insert(5, 0.1, 0.2)
+        g.remove(5)
+        g.insert(5, 1.0, 1.0)
+        assert g.query_radius(1.0, 1.0, 0.01) == [5]
+
+
+class TestQueries:
+    def test_radius_matches_brute_force(self):
+        gen = np.random.default_rng(0)
+        pts = gen.random((200, 2)) * 10
+        g = GridIndex(0.7)
+        g.insert_many(np.arange(200), pts)
+        for _ in range(20):
+            x, y = gen.random(2) * 10
+            r = gen.random() * 3
+            assert set(g.query_radius(x, y, r)) == brute_radius(pts, x, y, r)
+
+    def test_negative_radius_rejected(self):
+        g = GridIndex(1.0)
+        with pytest.raises(ConfigurationError):
+            g.query_radius(0, 0, -1)
+
+    def test_bbox_query(self):
+        g = GridIndex(0.5)
+        pts = np.array([[0.1, 0.1], [0.9, 0.9], [2.0, 2.0]])
+        g.insert_many(np.arange(3), pts)
+        assert sorted(g.query_bbox(0.0, 0.0, 1.0, 1.0)) == [0, 1]
+
+    def test_bbox_inverted_rejected(self):
+        g = GridIndex(1.0)
+        with pytest.raises(ConfigurationError):
+            g.query_bbox(1, 0, 0, 1)
+
+    def test_any_within_radius(self):
+        g = GridIndex(1.0)
+        g.insert(0, 5.0, 5.0)
+        assert g.any_within_radius(5.2, 5.0, 0.5)
+        assert not g.any_within_radius(8.0, 8.0, 0.5)
+
+    def test_count_within_radius(self):
+        g = GridIndex(1.0)
+        for i in range(5):
+            g.insert(i, 0.0, float(i) * 0.1)
+        assert g.count_within_radius(0.0, 0.0, 0.25) == 3
+
+    def test_points_of(self):
+        g = GridIndex(1.0)
+        g.insert(3, 1.5, 2.5)
+        out = g.points_of([3])
+        assert np.allclose(out, [[1.5, 2.5]])
+
+    def test_cell_counts(self):
+        g = GridIndex(1.0)
+        g.insert(0, 0.1, 0.1)
+        g.insert(1, 0.2, 0.2)
+        g.insert(2, 5.0, 5.0)
+        counts = g.cell_counts()
+        assert sorted(counts.values()) == [1, 2]
+
+    def test_negative_coordinates(self):
+        g = GridIndex(1.0)
+        g.insert(0, -3.7, -2.2)
+        assert g.query_radius(-3.7, -2.2, 0.1) == [0]
+
+    @given(st.lists(st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+                    min_size=1, max_size=60, unique=True),
+           st.floats(0.1, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_radius_property(self, coords, radius):
+        pts = np.asarray(coords)
+        g = GridIndex(1.3)
+        g.insert_many(np.arange(len(pts)), pts)
+        x, y = pts[0]
+        assert set(g.query_radius(x, y, radius)) == brute_radius(
+            pts, float(x), float(y), radius
+        )
+
+
+class TestChooseCellSize:
+    def test_positive(self):
+        pts = np.random.default_rng(1).random((500, 2))
+        assert choose_cell_size(pts) > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            choose_cell_size(np.empty((0, 2)))
+
+    def test_target_density_rough(self):
+        pts = np.random.default_rng(2).random((1000, 2))
+        edge = choose_cell_size(pts, target_per_cell=10.0)
+        expected_cells = 1.0 / (edge * edge)
+        assert 50 <= expected_cells <= 200  # ~100 cells for 1000 pts

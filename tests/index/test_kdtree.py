@@ -1,0 +1,143 @@
+"""Tests for repro.index.kdtree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.index import KDTree
+
+
+def brute_nearest(points: np.ndarray, x: float, y: float) -> tuple[int, float]:
+    d2 = np.sum((points - np.array([x, y])) ** 2, axis=1)
+    i = int(np.argmin(d2))
+    return i, float(np.sqrt(d2[i]))
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            KDTree(np.empty((0, 2)))
+
+    def test_bad_leaf_size(self):
+        with pytest.raises(ConfigurationError):
+            KDTree(np.zeros((3, 2)), leaf_size=0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KDTree(np.zeros((3, 3)))
+
+    def test_len(self):
+        assert len(KDTree(np.random.default_rng(0).random((37, 2)))) == 37
+
+    def test_points_copied(self):
+        src = np.random.default_rng(0).random((10, 2))
+        tree = KDTree(src)
+        src[0] = [99, 99]
+        assert tree.points[0, 0] != 99
+
+
+class TestNearest:
+    def test_exact_hit(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        idx, dist = KDTree(pts).nearest(1.0, 1.0)
+        assert idx == 1
+        assert dist == pytest.approx(0.0)
+
+    def test_matches_brute_force(self):
+        gen = np.random.default_rng(3)
+        pts = gen.random((300, 2))
+        tree = KDTree(pts, leaf_size=4)
+        for _ in range(50):
+            x, y = gen.random(2)
+            bi, bd = brute_nearest(pts, x, y)
+            ti, td = tree.nearest(x, y)
+            assert td == pytest.approx(bd, abs=1e-12)
+            # Ties may pick a different index, but distance must match.
+            assert np.isclose(
+                np.sqrt(np.sum((pts[ti] - [x, y]) ** 2)), bd, atol=1e-12
+            )
+
+    def test_single_point_tree(self):
+        idx, dist = KDTree(np.array([[5.0, 5.0]])).nearest(0.0, 0.0)
+        assert idx == 0
+        assert dist == pytest.approx(np.sqrt(50.0))
+
+
+class TestKNearest:
+    def test_sorted_by_distance(self):
+        pts = np.random.default_rng(4).random((100, 2))
+        ids, dists = KDTree(pts).k_nearest(0.5, 0.5, 10)
+        assert len(ids) == 10
+        assert np.all(np.diff(dists) >= -1e-12)
+
+    def test_k_clamped_to_size(self):
+        pts = np.random.default_rng(5).random((5, 2))
+        ids, dists = KDTree(pts).k_nearest(0.5, 0.5, 50)
+        assert len(ids) == 5
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KDTree(np.zeros((3, 2))).k_nearest(0, 0, 0)
+
+    def test_matches_brute_force(self):
+        gen = np.random.default_rng(6)
+        pts = gen.random((150, 2))
+        tree = KDTree(pts, leaf_size=3)
+        d2 = np.sum((pts - [0.3, 0.7]) ** 2, axis=1)
+        expect = np.sort(np.sqrt(d2))[:7]
+        _, dists = tree.k_nearest(0.3, 0.7, 7)
+        assert np.allclose(dists, expect, atol=1e-12)
+
+
+class TestQueryRadius:
+    def test_matches_brute_force(self):
+        gen = np.random.default_rng(7)
+        pts = gen.random((200, 2)) * 4
+        tree = KDTree(pts, leaf_size=5)
+        for _ in range(20):
+            x, y = gen.random(2) * 4
+            r = gen.random()
+            d2 = np.sum((pts - [x, y]) ** 2, axis=1)
+            expect = set(np.nonzero(d2 <= r * r)[0].tolist())
+            got = set(tree.query_radius(x, y, r).tolist())
+            assert got == expect
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KDTree(np.zeros((2, 2))).query_radius(0, 0, -0.1)
+
+    def test_zero_radius_exact_point(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert KDTree(pts).query_radius(1.0, 1.0, 0.0).tolist() == [0]
+
+
+class TestNearestIds:
+    def test_vector_form(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        tree = KDTree(pts)
+        ids = tree.nearest_ids(np.array([[1.0, 1.0], [9.0, 9.0], [0.1, 0.0]]))
+        assert ids.tolist() == [0, 1, 0]
+
+    @given(st.integers(2, 40), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_every_query_assigned_to_true_nearest(self, n, q):
+        gen = np.random.default_rng(n * 100 + q)
+        pts = gen.random((n, 2))
+        queries = gen.random((q, 2))
+        tree = KDTree(pts, leaf_size=2)
+        ids = tree.nearest_ids(queries)
+        for query, got in zip(queries, ids):
+            bi, bd = brute_nearest(pts, float(query[0]), float(query[1]))
+            got_d = float(np.sqrt(np.sum((pts[got] - query) ** 2)))
+            assert got_d == pytest.approx(bd, abs=1e-12)
+
+    def test_duplicate_points_handled(self):
+        pts = np.array([[1.0, 1.0]] * 5 + [[2.0, 2.0]])
+        tree = KDTree(pts)
+        idx, dist = tree.nearest(1.0, 1.0)
+        assert dist == pytest.approx(0.0)
+        assert 0 <= idx < 5

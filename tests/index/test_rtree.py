@@ -1,0 +1,224 @@
+"""Tests for repro.index.rtree — including structural-invariant fuzzing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.index import BBox, RTree
+
+
+def brute_radius(points: dict[int, tuple[float, float]], x: float, y: float,
+                 radius: float) -> set[int]:
+    out = set()
+    for pid, (px, py) in points.items():
+        if (px - x) ** 2 + (py - y) ** 2 <= radius * radius:
+            out.add(pid)
+    return out
+
+
+class TestConstruction:
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=2)
+
+    def test_bad_min_entries(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=16, min_entries=1)
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=16, min_entries=9)
+
+    def test_duplicate_id_rejected(self):
+        t = RTree()
+        t.insert(1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            t.insert(1, 1, 1)
+
+
+class TestInsertQuery:
+    def test_basic_radius(self):
+        t = RTree(max_entries=4)
+        t.insert(0, 0.0, 0.0)
+        t.insert(1, 1.0, 0.0)
+        t.insert(2, 5.0, 5.0)
+        assert sorted(t.query_radius(0.0, 0.0, 1.5)) == [0, 1]
+
+    def test_many_inserts_match_brute_force(self):
+        gen = np.random.default_rng(0)
+        t = RTree(max_entries=8)
+        points = {}
+        for i in range(400):
+            x, y = gen.random(2) * 10
+            t.insert(i, float(x), float(y))
+            points[i] = (float(x), float(y))
+        t.check_invariants(enforce_min_fill=True)
+        for _ in range(25):
+            x, y = gen.random(2) * 10
+            r = gen.random() * 2
+            assert set(t.query_radius(x, y, r)) == brute_radius(points, x, y, r)
+
+    def test_bbox_query(self):
+        t = RTree(max_entries=4)
+        for i, (x, y) in enumerate([(0.5, 0.5), (1.5, 1.5), (3.0, 3.0)]):
+            t.insert(i, x, y)
+        assert sorted(t.query_bbox(BBox(0, 0, 2, 2))) == [0, 1]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTree().query_radius(0, 0, -1)
+
+    def test_duplicate_coordinates_distinct_ids(self):
+        t = RTree(max_entries=4)
+        for i in range(20):
+            t.insert(i, 1.0, 1.0)
+        assert sorted(t.query_radius(1.0, 1.0, 0.1)) == list(range(20))
+        t.check_invariants(enforce_min_fill=True)
+
+
+class TestNearest:
+    def test_empty_raises(self):
+        with pytest.raises(KeyError):
+            RTree().nearest(0, 0)
+
+    def test_matches_brute_force(self):
+        gen = np.random.default_rng(1)
+        pts = gen.random((200, 2)) * 5
+        t = RTree(max_entries=6)
+        for i, (x, y) in enumerate(pts):
+            t.insert(i, float(x), float(y))
+        for _ in range(30):
+            qx, qy = gen.random(2) * 5
+            pid, dist = t.nearest(qx, qy)
+            d2 = np.sum((pts - [qx, qy]) ** 2, axis=1)
+            assert dist == pytest.approx(float(np.sqrt(d2.min())), abs=1e-12)
+
+
+class TestRemove:
+    def test_remove_then_query(self):
+        t = RTree(max_entries=4)
+        t.insert(0, 0.0, 0.0)
+        t.insert(1, 1.0, 1.0)
+        t.remove(0, 0.0, 0.0)
+        assert t.query_radius(0.0, 0.0, 0.5) == []
+        assert len(t) == 1
+
+    def test_remove_missing_raises(self):
+        t = RTree()
+        with pytest.raises(KeyError):
+            t.remove(3, 0.0, 0.0)
+
+    def test_mass_removal_keeps_invariants(self):
+        gen = np.random.default_rng(2)
+        t = RTree(max_entries=6)
+        coords = {}
+        for i in range(300):
+            x, y = gen.random(2) * 8
+            coords[i] = (float(x), float(y))
+            t.insert(i, *coords[i])
+        order = gen.permutation(300)
+        for count, i in enumerate(order[:250]):
+            t.remove(int(i), *coords[int(i)])
+            del coords[int(i)]
+            if count % 50 == 0:
+                t.check_invariants()
+        t.check_invariants()
+        assert len(t) == 50
+        x, y = 4.0, 4.0
+        assert set(t.query_radius(x, y, 2.0)) == brute_radius(coords, x, y, 2.0)
+
+    def test_churn_insert_remove_cycle(self):
+        """The ES+Loc usage pattern: remove one, insert one, repeatedly."""
+        gen = np.random.default_rng(3)
+        t = RTree(max_entries=8)
+        coords = {}
+        for i in range(100):
+            x, y = gen.random(2)
+            coords[i] = (float(x), float(y))
+            t.insert(i, *coords[i])
+        next_id = 100
+        for step in range(500):
+            victim = int(gen.choice(list(coords)))
+            t.remove(victim, *coords[victim])
+            del coords[victim]
+            x, y = gen.random(2)
+            coords[next_id] = (float(x), float(y))
+            t.insert(next_id, x, y)
+            next_id += 1
+            if step % 100 == 0:
+                t.check_invariants()
+        t.check_invariants()
+        assert len(t) == 100
+
+
+class TestBulkLoad:
+    def test_matches_incremental(self):
+        gen = np.random.default_rng(4)
+        pts = gen.random((500, 2)) * 10
+        ids = np.arange(500)
+        bulk = RTree.bulk_load(ids, pts, max_entries=8)
+        bulk.check_invariants()
+        assert len(bulk) == 500
+        for _ in range(20):
+            x, y = gen.random(2) * 10
+            r = gen.random()
+            expect = brute_radius(
+                {i: (float(px), float(py)) for i, (px, py) in enumerate(pts)},
+                x, y, r,
+            )
+            assert set(bulk.query_radius(x, y, r)) == expect
+
+    def test_empty_bulk_load(self):
+        t = RTree.bulk_load(np.array([], dtype=np.int64), np.empty((0, 2)))
+        assert len(t) == 0
+        assert t.query_radius(0, 0, 1) == []
+
+    def test_bulk_load_height_packed(self):
+        pts = np.random.default_rng(5).random((1000, 2))
+        t = RTree.bulk_load(np.arange(1000), pts, max_entries=16)
+        # ceil(log_16(63 leaves)) + 1: a packed tree is shallow.
+        assert t.height() <= 4
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTree.bulk_load(np.array([1, 1]), np.zeros((2, 2)))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTree.bulk_load(np.array([1, 2, 3]), np.zeros((2, 2)))
+
+    def test_bulk_load_then_mutate(self):
+        pts = np.random.default_rng(6).random((64, 2))
+        t = RTree.bulk_load(np.arange(64), pts, max_entries=4)
+        t.insert(100, 0.5, 0.5)
+        t.remove(0, float(pts[0, 0]), float(pts[0, 1]))
+        t.check_invariants()
+        assert len(t) == 64
+
+
+class TestPropertyFuzz:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["insert", "remove"]),
+                  st.floats(0, 10), st.floats(0, 10)),
+        min_size=1, max_size=120,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_random_workload_invariants(self, ops):
+        t = RTree(max_entries=4)
+        coords: dict[int, tuple[float, float]] = {}
+        next_id = 0
+        for op, x, y in ops:
+            if op == "insert" or not coords:
+                t.insert(next_id, x, y)
+                coords[next_id] = (x, y)
+                next_id += 1
+            else:
+                victim = next(iter(coords))
+                t.remove(victim, *coords[victim])
+                del coords[victim]
+        t.check_invariants()
+        assert len(t) == len(coords)
+        got = set(t.query_radius(5.0, 5.0, 100.0))
+        assert got == set(coords)

@@ -1,0 +1,125 @@
+"""Tests for repro.perf (timers and cost models)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import (
+    INTERACTIVE_LIMIT_SECONDS,
+    LinearCostModel,
+    MATHGL_LIKE,
+    TABLEAU_LIKE,
+    Timer,
+    fit_linear_model,
+    measure_renderer,
+    time_callable,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 0.5
+
+    def test_time_callable_aggregates(self):
+        result = time_callable(lambda: sum(range(1000)), repeats=5, warmup=1)
+        assert len(result.samples) == 5
+        assert result.minimum <= result.median <= result.maximum
+        assert result.mean > 0
+
+    def test_time_callable_validation(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, warmup=-1)
+
+
+class TestLinearCostModel:
+    def test_predict(self):
+        m = LinearCostModel("m", seconds_per_point=1e-6,
+                            overhead_seconds=1.0)
+        assert m.predict(1_000_000) == pytest.approx(2.0)
+
+    def test_predict_vectorised(self):
+        m = LinearCostModel("m", seconds_per_point=1e-6)
+        out = m.predict(np.array([1, 2]) * 10**6)
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_points_within(self):
+        m = LinearCostModel("m", seconds_per_point=1e-3,
+                            overhead_seconds=0.5)
+        assert m.points_within(1.5) == 1000
+        assert m.points_within(0.4) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearCostModel("m", seconds_per_point=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearCostModel("m", seconds_per_point=1e-6,
+                            overhead_seconds=-1)
+
+
+class TestCalibratedModels:
+    def test_tableau_matches_paper_reading(self):
+        """Paper: >4 minutes for a 50M-tuple scatter plot."""
+        assert float(TABLEAU_LIKE.predict(50_000_000)) > 240.0
+
+    def test_both_systems_non_interactive_at_1m(self):
+        """Paper Fig 4: both systems exceed the 2 s limit by 1M points."""
+        for model in (TABLEAU_LIKE, MATHGL_LIKE):
+            assert float(model.predict(1_000_000)) > INTERACTIVE_LIMIT_SECONDS
+
+    def test_mathgl_faster_than_tableau(self):
+        for n in (10**6, 10**7, 10**8):
+            assert float(MATHGL_LIKE.predict(n)) < float(TABLEAU_LIKE.predict(n))
+
+
+class TestFitLinearModel:
+    def test_recovers_known_line(self):
+        sizes = np.array([1e4, 1e5, 1e6])
+        secs = 0.5 + sizes * 2e-6
+        m = fit_linear_model("fit", sizes, secs)
+        assert m.seconds_per_point == pytest.approx(2e-6, rel=1e-6)
+        assert m.overhead_seconds == pytest.approx(0.5, rel=1e-6)
+
+    def test_negative_intercept_clamped(self):
+        sizes = np.array([100.0, 200.0])
+        secs = np.array([0.000, 0.002])  # implies negative intercept
+        m = fit_linear_model("fit", sizes, secs)
+        assert m.overhead_seconds == 0.0
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear_model("bad", np.array([100.0, 200.0]),
+                             np.array([2.0, 1.0]))
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear_model("bad", np.array([100.0]), np.array([1.0]))
+
+
+class TestMeasureRenderer:
+    def test_returns_increasing_times(self):
+        sizes, secs = measure_renderer([2000, 50_000], repeats=2, rng=0)
+        assert len(secs) == 2
+        assert secs[1] > secs[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            measure_renderer([])
+        with pytest.raises(ConfigurationError):
+            measure_renderer([0, 100])
+
+    def test_fit_pipeline(self):
+        """measure → fit must produce a usable linear model."""
+        sizes, secs = measure_renderer([2000, 20_000, 60_000],
+                                       repeats=2, rng=1)
+        model = fit_linear_model("ours", sizes, secs)
+        assert model.seconds_per_point > 0
+        predicted = float(model.predict(40_000))
+        assert secs[0] < predicted < secs[2] * 2

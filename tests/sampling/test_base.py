@@ -1,0 +1,70 @@
+"""Tests for repro.sampling.base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SampleSizeError
+from repro.sampling import SampleResult, iter_chunks, validate_sample_size
+
+
+class TestSampleResult:
+    def test_basic(self):
+        r = SampleResult(points=np.zeros((3, 2)), indices=np.arange(3))
+        assert len(r) == 3
+        assert r.size == 3
+        assert r.weights is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SampleResult(points=np.zeros((3, 2)), indices=np.arange(2))
+
+    def test_weights_mismatch(self):
+        with pytest.raises(ValueError):
+            SampleResult(points=np.zeros((3, 2)), indices=np.arange(3),
+                         weights=np.ones(2))
+
+    def test_with_weights(self):
+        r = SampleResult(points=np.zeros((3, 2)), indices=np.arange(3),
+                         method="vas", metadata={"a": 1})
+        r2 = r.with_weights(np.ones(3))
+        assert r2.weights is not None
+        assert r.weights is None  # original untouched
+        assert r2.method == "vas"
+        assert r2.metadata == {"a": 1}
+
+    def test_indices_cast_to_int64(self):
+        r = SampleResult(points=np.zeros((2, 2)),
+                         indices=np.array([0.0, 1.0]))
+        assert r.indices.dtype == np.int64
+
+
+class TestValidateSampleSize:
+    def test_valid(self):
+        assert validate_sample_size(5) == 5
+        assert validate_sample_size(np.int64(7)) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_invalid(self, bad):
+        with pytest.raises(SampleSizeError):
+            validate_sample_size(bad)
+
+
+class TestIterChunks:
+    def test_covers_all_rows(self):
+        pts = np.arange(20).reshape(10, 2).astype(float)
+        chunks = list(iter_chunks(pts, 3))
+        assert sum(len(c) for c in chunks) == 10
+        assert np.allclose(np.concatenate(chunks), pts)
+
+    def test_chunk_sizes(self):
+        chunks = list(iter_chunks(np.zeros((10, 2)), 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(SampleSizeError):
+            list(iter_chunks(np.zeros((4, 2)), 0))
+
+    def test_empty_input(self):
+        assert list(iter_chunks(np.empty((0, 2)), 5)) == []

@@ -1,0 +1,108 @@
+"""Tests for reservoir sampling (Algorithms R and L).
+
+Beyond the API contract, both algorithms are checked for statistical
+uniformity: over many runs each stream item must appear in the
+reservoir with probability ≈ K/N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SampleSizeError
+from repro.sampling import ReservoirL, ReservoirR
+
+
+@pytest.mark.parametrize("cls", [ReservoirR, ReservoirL])
+class TestReservoirContract:
+    def test_bad_k(self, cls):
+        with pytest.raises(SampleSizeError):
+            cls(0)
+
+    def test_fill_phase_keeps_everything(self, cls):
+        res = cls(10, rng=0)
+        for i in range(7):
+            res.offer(i, np.array([float(i), 0.0]))
+        assert sorted(res.indices.tolist()) == list(range(7))
+        assert res.seen == 7
+
+    def test_reservoir_size_capped(self, cls):
+        res = cls(5, rng=0)
+        for i in range(100):
+            res.offer(i, np.array([float(i), 0.0]))
+        assert len(res.indices) == 5
+        assert res.seen == 100
+
+    def test_indices_are_subset_of_stream(self, cls):
+        res = cls(8, rng=1)
+        for i in range(50):
+            res.offer(i, np.array([float(i), float(i)]))
+        assert set(res.indices.tolist()) <= set(range(50))
+
+    def test_points_match_indices(self, cls):
+        res = cls(6, rng=2)
+        for i in range(40):
+            res.offer(i, np.array([float(i), float(2 * i)]))
+        for idx, pt in zip(res.indices, res.points):
+            assert pt[0] == float(idx)
+            assert pt[1] == float(2 * idx)
+
+    def test_empty_reservoir_points_shape(self, cls):
+        res = cls(3, rng=0)
+        assert res.points.shape == (0, 2)
+
+    def test_offer_chunk_equivalent_coverage(self, cls):
+        res = cls(4, rng=3)
+        chunk = np.arange(60).reshape(30, 2).astype(float)
+        res.offer_chunk(0, chunk)
+        assert res.seen == 30
+        assert len(res.indices) == 4
+        for idx, pt in zip(res.indices, res.points):
+            assert np.allclose(pt, chunk[idx])
+
+
+@pytest.mark.parametrize("cls", [ReservoirR, ReservoirL])
+def test_uniformity(cls):
+    """Each of N=40 items should be kept with probability K/N = 0.25."""
+    n, k, runs = 40, 10, 800
+    hits = np.zeros(n)
+    for seed in range(runs):
+        res = cls(k, rng=seed)
+        res.offer_chunk(0, np.zeros((n, 2)))
+        hits[res.indices] += 1
+    freq = hits / runs
+    expected = k / n
+    # 4-sigma binomial band.
+    sigma = np.sqrt(expected * (1 - expected) / runs)
+    assert np.all(np.abs(freq - expected) < 4.5 * sigma), (
+        f"non-uniform inclusion: {freq.min():.3f}..{freq.max():.3f} "
+        f"vs {expected:.3f}"
+    )
+
+
+def test_algorithm_l_chunked_matches_itemwise_distribution():
+    """Chunked fast path must keep the same inclusion distribution."""
+    n, k, runs = 60, 6, 600
+    hits_item = np.zeros(n)
+    hits_chunk = np.zeros(n)
+    for seed in range(runs):
+        a = ReservoirL(k, rng=seed)
+        for i in range(n):
+            a.offer(i, np.zeros(2))
+        hits_item[a.indices] += 1
+        b = ReservoirL(k, rng=seed + runs)
+        b.offer_chunk(0, np.zeros((n, 2)))
+        hits_chunk[b.indices] += 1
+    # Means of both inclusion profiles should agree within noise.
+    assert abs(hits_item.mean() - hits_chunk.mean()) < 1e-9
+    sigma = np.sqrt((k / n) * (1 - k / n) / runs)
+    assert np.all(np.abs(hits_chunk / runs - k / n) < 5 * sigma)
+
+
+def test_algorithm_l_skips_are_fast():
+    """Algorithm L must not draw per-item randomness after fill."""
+    res = ReservoirL(4, rng=0)
+    big_chunk = np.zeros((200_000, 2))
+    res.offer_chunk(0, big_chunk)  # would be slow if O(N) RNG calls
+    assert res.seen == 200_000

@@ -1,0 +1,150 @@
+"""Tests for repro.sampling.stratified — including the paper's worked
+allocation example."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sampling import StratifiedSampler, balanced_allocation, iter_chunks
+
+
+class TestBalancedAllocation:
+    def test_paper_example(self):
+        """'if the second bin only has 10 available data points, then we
+        sample 90 data points from the first bin, and 10 from the
+        second' (§VI-B1)."""
+        alloc = balanced_allocation(np.array([1000, 10]), 100)
+        assert alloc.tolist() == [90, 10]
+
+    def test_even_split(self):
+        alloc = balanced_allocation(np.array([500, 500]), 100)
+        assert alloc.tolist() == [50, 50]
+
+    def test_budget_exceeds_population(self):
+        alloc = balanced_allocation(np.array([5, 3]), 100)
+        assert alloc.tolist() == [5, 3]
+
+    def test_zero_budget(self):
+        assert balanced_allocation(np.array([5, 3]), 0).tolist() == [0, 0]
+
+    def test_empty_bins_get_nothing(self):
+        alloc = balanced_allocation(np.array([0, 10, 0]), 6)
+        assert alloc.tolist() == [0, 6, 0]
+
+    def test_remainder_distributed(self):
+        alloc = balanced_allocation(np.array([10, 10, 10]), 10)
+        assert alloc.sum() == 10
+        assert alloc.max() - alloc.min() <= 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balanced_allocation(np.array([5]), -1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balanced_allocation(np.array([-5]), 1)
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=30),
+           st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_properties(self, counts, budget):
+        counts = np.asarray(counts)
+        alloc = balanced_allocation(counts, budget)
+        # Never exceeds capacity.
+        assert np.all(alloc <= counts)
+        # Spends exactly min(budget, total).
+        assert alloc.sum() == min(budget, counts.sum())
+        # Water-filling balance: a bin below another's allocation must
+        # be fully used (you can't owe a smaller bin while a bigger
+        # allocation exists elsewhere).
+        for i in range(len(counts)):
+            for j in range(len(counts)):
+                if alloc[i] < alloc[j] - 1:
+                    assert alloc[i] == counts[i]
+
+
+class TestStratifiedSampler:
+    def test_size(self, geolife_small):
+        r = StratifiedSampler(rng=0).sample(geolife_small, 200)
+        assert len(r) == 200
+        assert r.method == "stratified"
+
+    def test_k_geq_n(self, blob_points):
+        r = StratifiedSampler(rng=0).sample(blob_points, 10**6)
+        assert len(r) == len(blob_points)
+
+    def test_indices_unique(self, geolife_small):
+        r = StratifiedSampler(rng=1).sample(geolife_small, 300)
+        assert len(set(r.indices.tolist())) == 300
+
+    def test_points_match_indices(self, geolife_small):
+        r = StratifiedSampler(rng=2).sample(geolife_small, 100)
+        assert np.allclose(r.points, geolife_small[r.indices])
+
+    def test_bad_grid(self):
+        with pytest.raises(ConfigurationError):
+            StratifiedSampler(grid_shape=(0, 5))
+
+    def test_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            StratifiedSampler(bounds=(1, 0, 0, 1))
+
+    def test_flattens_density_vs_uniform(self):
+        """The defining behaviour: per-bin counts are balanced even when
+        data density is skewed 9:1."""
+        gen = np.random.default_rng(0)
+        dense = gen.random((9000, 2)) * 0.5          # left half, dense
+        sparse = gen.random((1000, 2)) * 0.5 + 0.5   # right half, sparse
+        pts = np.concatenate([dense, sparse])
+        sampler = StratifiedSampler(grid_shape=(2, 1), rng=1,
+                                    bounds=(0, 0, 1, 1))
+        r = sampler.sample(pts, 1000)
+        left = int((r.points[:, 0] < 0.5).sum())
+        assert 450 <= left <= 550  # balanced, not ~900
+
+    def test_grid_metadata(self, blob_points):
+        r = StratifiedSampler(grid_shape=(4, 4), rng=0).sample(blob_points, 50)
+        assert r.metadata["grid_shape"] == (4, 4)
+
+    def test_single_bin_degenerates_to_uniform_size(self, blob_points):
+        r = StratifiedSampler(grid_shape=(1, 1), rng=0).sample(blob_points, 77)
+        assert len(r) == 77
+
+    def test_constant_column_handled(self):
+        pts = np.stack([np.zeros(100), np.linspace(0, 1, 100)], axis=1)
+        r = StratifiedSampler(rng=0).sample(pts, 20)
+        assert len(r) == 20
+
+
+class TestStratifiedStreaming:
+    def test_requires_bounds(self, blob_points):
+        sampler = StratifiedSampler(rng=0)
+        with pytest.raises(ConfigurationError):
+            sampler.sample_stream(iter_chunks(blob_points, 50), 20)
+
+    def test_stream_size_and_validity(self, geolife_small):
+        lo = geolife_small.min(axis=0)
+        hi = geolife_small.max(axis=0)
+        sampler = StratifiedSampler(
+            grid_shape=(5, 5), rng=0,
+            bounds=(float(lo[0]), float(lo[1]), float(hi[0]), float(hi[1])),
+        )
+        r = sampler.sample_stream(iter_chunks(geolife_small, 512), 200)
+        assert len(r) == 200
+        assert np.allclose(r.points, geolife_small[r.indices])
+
+    def test_stream_balances_bins(self):
+        gen = np.random.default_rng(1)
+        dense = gen.random((9000, 2)) * np.array([0.5, 1.0])
+        sparse = gen.random((1000, 2)) * np.array([0.5, 1.0]) + np.array([0.5, 0.0])
+        pts = np.concatenate([dense, sparse])
+        gen.shuffle(pts, axis=0)
+        sampler = StratifiedSampler(grid_shape=(2, 1), rng=2,
+                                    bounds=(0, 0, 1, 1))
+        r = sampler.sample_stream(iter_chunks(pts, 777), 800)
+        left = int((r.points[:, 0] < 0.5).sum())
+        assert 340 <= left <= 460  # ~400 each side

@@ -1,0 +1,78 @@
+"""Tests for repro.sampling.uniform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SampleSizeError
+from repro.sampling import UniformSampler, iter_chunks
+
+
+class TestOneShot:
+    def test_size(self, blob_points):
+        r = UniformSampler(rng=0).sample(blob_points, 50)
+        assert len(r) == 50
+        assert r.method == "uniform"
+
+    def test_k_geq_n_returns_all(self, blob_points):
+        r = UniformSampler(rng=0).sample(blob_points, 10_000)
+        assert len(r) == len(blob_points)
+        assert np.array_equal(r.indices, np.arange(len(blob_points)))
+
+    def test_indices_unique_and_sorted(self, blob_points):
+        r = UniformSampler(rng=1).sample(blob_points, 100)
+        assert len(set(r.indices.tolist())) == 100
+        assert np.all(np.diff(r.indices) > 0)
+
+    def test_points_match_indices(self, blob_points):
+        r = UniformSampler(rng=2).sample(blob_points, 30)
+        assert np.allclose(r.points, blob_points[r.indices])
+
+    def test_reproducible(self, blob_points):
+        a = UniformSampler(rng=3).sample(blob_points, 40)
+        b = UniformSampler(rng=3).sample(blob_points, 40)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_bad_k(self, blob_points):
+        with pytest.raises(SampleSizeError):
+            UniformSampler(rng=0).sample(blob_points, 0)
+
+    def test_density_proportionality(self):
+        """Uniform sampling draws ~10x more from a 10x denser blob."""
+        gen = np.random.default_rng(0)
+        dense = gen.normal((0, 0), 0.1, size=(9000, 2))
+        sparse = gen.normal((5, 5), 0.1, size=(1000, 2))
+        pts = np.concatenate([dense, sparse])
+        r = UniformSampler(rng=1).sample(pts, 500)
+        n_dense = int((r.indices < 9000).sum())
+        assert 400 <= n_dense <= 490  # expectation 450
+
+
+class TestStreaming:
+    def test_stream_size(self, blob_points):
+        chunks = iter_chunks(blob_points, 64)
+        r = UniformSampler(rng=0).sample_stream(chunks, 50)
+        assert len(r) == 50
+
+    def test_stream_indices_valid(self, blob_points):
+        r = UniformSampler(rng=1).sample_stream(iter_chunks(blob_points, 100), 60)
+        assert np.all(r.indices >= 0)
+        assert np.all(r.indices < len(blob_points))
+        assert np.allclose(r.points, blob_points[r.indices])
+
+    def test_stream_smaller_than_k(self, blob_points):
+        r = UniformSampler(rng=2).sample_stream(iter_chunks(blob_points[:10], 4), 50)
+        assert len(r) == 10
+
+    def test_stream_uniformity(self):
+        """Streamed inclusion probability matches K/N."""
+        n, k, runs = 50, 10, 400
+        pts = np.zeros((n, 2))
+        hits = np.zeros(n)
+        for seed in range(runs):
+            r = UniformSampler(rng=seed).sample_stream(iter_chunks(pts, 7), k)
+            hits[r.indices] += 1
+        freq = hits / runs
+        sigma = np.sqrt(0.2 * 0.8 / runs)
+        assert np.all(np.abs(freq - 0.2) < 5 * sigma)

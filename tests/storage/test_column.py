@@ -1,0 +1,68 @@
+"""Tests for repro.storage.column."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Column, FLOAT64, INT64, STRING
+from repro.storage.column import ColumnType
+
+
+class TestColumnType:
+    def test_known_types(self):
+        assert FLOAT64.is_numeric
+        assert INT64.is_numeric
+        assert not STRING.is_numeric
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            ColumnType("decimal")
+
+    def test_float_coerce(self):
+        out = FLOAT64.coerce(np.array([1, 2, 3]))
+        assert out.dtype == np.float64
+
+    def test_int_coerce_from_integral_floats(self):
+        out = INT64.coerce(np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_int_coerce_rejects_fractional(self):
+        with pytest.raises(SchemaError):
+            INT64.coerce(np.array([1.5]))
+
+    def test_str_coerce(self):
+        out = STRING.coerce(np.array(["a", "b"]))
+        assert out.dtype.kind == "U"
+
+
+class TestColumn:
+    def test_basic(self):
+        c = Column("x", FLOAT64, np.arange(5))
+        assert len(c) == 5
+        assert c.min() == 0.0
+        assert c.max() == 4.0
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", FLOAT64, np.arange(3))
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", FLOAT64, np.zeros((2, 2)))
+
+    def test_take(self):
+        c = Column("x", FLOAT64, np.arange(10))
+        sub = c.take(np.array([1, 3, 5]))
+        assert sub.values.tolist() == [1.0, 3.0, 5.0]
+        assert sub.name == "x"
+
+    def test_slice(self):
+        c = Column("x", INT64, np.arange(10))
+        assert c.slice(2, 5).values.tolist() == [2, 3, 4]
+
+    def test_min_on_string_rejected(self):
+        c = Column("s", STRING, np.array(["a", "b"]))
+        with pytest.raises(SchemaError):
+            c.min()

@@ -1,0 +1,184 @@
+"""Tests for the SampleStore, Database and VizQuery — the §II-B/§II-D
+deployment machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UniformSampler, VASSampler
+from repro.errors import (
+    ConfigurationError,
+    SampleNotFoundError,
+    SchemaError,
+    TableNotFoundError,
+)
+from repro.sampling import SampleResult
+from repro.storage import (
+    Database,
+    SampleStore,
+    Table,
+    VizQuery,
+    points_for_budget,
+)
+from repro.viz import Viewport
+
+
+def make_result(k: int, method: str = "vas") -> SampleResult:
+    gen = np.random.default_rng(k)
+    return SampleResult(points=gen.random((k, 2)),
+                        indices=np.arange(k), method=method)
+
+
+class TestPointsForBudget:
+    def test_basic(self):
+        assert points_for_budget(1.0, 1e-3) == 1000
+
+    def test_overhead(self):
+        assert points_for_budget(1.0, 1e-3, fixed_overhead_seconds=0.5) == 500
+
+    def test_budget_below_overhead(self):
+        assert points_for_budget(0.1, 1e-3, fixed_overhead_seconds=0.5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            points_for_budget(-1.0, 1e-3)
+        with pytest.raises(ConfigurationError):
+            points_for_budget(1.0, 0.0)
+
+
+class TestSampleStore:
+    def test_add_and_get(self):
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(100))
+        assert len(store) == 1
+        assert len(store.get("t", "x", "y", "vas", 100)) == 100
+
+    def test_get_missing(self):
+        store = SampleStore()
+        with pytest.raises(SampleNotFoundError):
+            store.get("t", "x", "y", "vas", 50)
+
+    def test_sizes_ladder(self):
+        store = SampleStore()
+        for k in (1000, 10, 100):
+            store.add("t", "x", "y", make_result(k))
+        assert store.sizes("t", "x", "y", "vas") == [10, 100, 1000]
+
+    def test_point_budget_picks_largest_fitting(self):
+        store = SampleStore()
+        for k in (10, 100, 1000):
+            store.add("t", "x", "y", make_result(k))
+        assert len(store.for_point_budget("t", "x", "y", "vas", 500)) == 100
+        assert len(store.for_point_budget("t", "x", "y", "vas", 1000)) == 1000
+
+    def test_point_budget_falls_back_to_smallest(self):
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(100))
+        assert len(store.for_point_budget("t", "x", "y", "vas", 5)) == 100
+
+    def test_point_budget_missing_key(self):
+        store = SampleStore()
+        with pytest.raises(SampleNotFoundError):
+            store.for_point_budget("t", "x", "y", "vas", 10)
+
+    def test_time_budget_end_to_end(self):
+        store = SampleStore()
+        for k in (10, 100, 1000):
+            store.add("t", "x", "y", make_result(k))
+        # 0.12 s at 1 ms/point = 120 points → the 100-sample.
+        out = store.for_time_budget("t", "x", "y", "vas", 0.12, 1e-3)
+        assert len(out) == 100
+
+    def test_methods_are_separate_ladders(self):
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(100, "vas"))
+        store.add("t", "x", "y", make_result(200, "uniform"))
+        assert store.sizes("t", "x", "y", "vas") == [100]
+        assert store.sizes("t", "x", "y", "uniform") == [200]
+
+    def test_replace_same_size(self):
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(100))
+        store.add("t", "x", "y", make_result(100))
+        assert store.sizes("t", "x", "y", "vas") == [100]
+
+
+class TestDatabase:
+    @pytest.fixture()
+    def db(self, geolife_small) -> Database:
+        db = Database()
+        db.create_table_from_arrays("geo", {
+            "lon": geolife_small[:, 0],
+            "lat": geolife_small[:, 1],
+        })
+        return db
+
+    def test_table_management(self, db):
+        assert db.table_names == ["geo"]
+        assert len(db.table("geo")) > 0
+        with pytest.raises(TableNotFoundError):
+            db.table("nope")
+        with pytest.raises(SchemaError):
+            db.create_table(Table.from_arrays("geo", {"x": np.arange(3)}))
+        db.drop_table("geo")
+        with pytest.raises(TableNotFoundError):
+            db.drop_table("geo")
+
+    def test_build_sample_registers(self, db):
+        r = db.build_sample("geo", "lon", "lat", UniformSampler(rng=0), 200)
+        assert len(r) == 200
+        assert db.samples.sizes("geo", "lon", "lat", "uniform") == [200]
+
+    def test_build_ladder(self, db):
+        db.build_sample_ladder("geo", "lon", "lat", UniformSampler(rng=0),
+                               [50, 100, 200])
+        assert db.samples.sizes("geo", "lon", "lat", "uniform") == [50, 100, 200]
+
+    def test_build_with_density(self, db):
+        r = db.build_sample("geo", "lon", "lat",
+                            VASSampler(rng=0, epsilon=0.02), 100,
+                            with_density=True)
+        assert r.method == "vas+density"
+        assert r.weights.sum() == pytest.approx(len(db.table("geo")))
+
+    def test_execute_with_max_points(self, db):
+        db.build_sample_ladder("geo", "lon", "lat", UniformSampler(rng=0),
+                               [50, 100, 200])
+        out = db.execute(VizQuery("geo", "lon", "lat", method="uniform",
+                                  max_points=120))
+        assert out.sample_size == 100
+
+    def test_execute_with_time_budget(self, db):
+        db.build_sample_ladder("geo", "lon", "lat", UniformSampler(rng=0),
+                               [50, 100, 200])
+        out = db.execute(VizQuery("geo", "lon", "lat", method="uniform",
+                                  time_budget_seconds=0.15,
+                                  seconds_per_point=1e-3))
+        assert out.sample_size == 100
+
+    def test_execute_default_largest(self, db):
+        db.build_sample_ladder("geo", "lon", "lat", UniformSampler(rng=0),
+                               [50, 200])
+        out = db.execute(VizQuery("geo", "lon", "lat", method="uniform"))
+        assert out.sample_size == 200
+
+    def test_execute_viewport_filters(self, db, geolife_small):
+        db.build_sample("geo", "lon", "lat", UniformSampler(rng=0), 500)
+        vp = Viewport(116.3, 39.8, 116.5, 40.0)
+        out = db.execute(VizQuery("geo", "lon", "lat", method="uniform",
+                                  viewport=vp))
+        assert out.returned_rows <= 500
+        assert np.all(vp.contains(out.points))
+
+    def test_execute_unknown_table(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.execute(VizQuery("nope", "lon", "lat"))
+
+    def test_query_validation(self):
+        with pytest.raises(ConfigurationError):
+            VizQuery("t", "x", "y", time_budget_seconds=-1)
+        with pytest.raises(ConfigurationError):
+            VizQuery("t", "x", "y", max_points=-5)
+        with pytest.raises(ConfigurationError):
+            VizQuery("t", "x", "y", seconds_per_point=0)

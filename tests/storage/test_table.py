@@ -1,0 +1,123 @@
+"""Tests for repro.storage.table and predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import (
+    Between,
+    Compare,
+    Table,
+    viewport_predicate,
+)
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_arrays("logs", {
+        "time": np.arange(100, dtype=np.float64),
+        "latency": np.arange(100, dtype=np.float64) * 2.0,
+        "host": np.array([f"h{i % 3}" for i in range(100)]),
+    })
+
+
+class TestConstruction:
+    def test_from_arrays_infers_types(self, table):
+        assert table.column("time").ctype.name == "float64"
+        assert table.column("host").ctype.name == "str"
+        assert len(table) == 100
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Table.from_arrays("", {"x": np.arange(3)})
+
+    def test_no_columns(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_unequal_lengths(self):
+        with pytest.raises(SchemaError):
+            Table.from_arrays("t", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_duplicate_names(self):
+        from repro.storage import Column, FLOAT64
+        cols = [Column("x", FLOAT64, np.arange(3)),
+                Column("x", FLOAT64, np.arange(3))]
+        with pytest.raises(SchemaError):
+            Table("t", cols)
+
+    def test_unknown_column_lookup(self, table):
+        with pytest.raises(SchemaError):
+            table.column("nope")
+        assert table.has_column("time")
+        assert not table.has_column("nope")
+
+
+class TestRelationalOps:
+    def test_project(self, table):
+        sub = table.project(["latency", "time"])
+        assert sub.column_names == ["latency", "time"]
+        assert len(sub) == 100
+
+    def test_filter_between(self, table):
+        out = table.filter(Between("time", 10, 19))
+        assert len(out) == 10
+        assert out.column("time").min() == 10.0
+
+    def test_filter_compare(self, table):
+        out = table.filter(Compare("latency", ">=", 100.0))
+        assert len(out) == 50
+
+    def test_filter_and_or_not(self, table):
+        p = (Between("time", 0, 49) & Compare("latency", ">", 40.0))
+        assert len(table.filter(p)) == 29  # times 21..49
+        q = Between("time", 0, 4) | Between("time", 95, 99)
+        assert len(table.filter(q)) == 10
+        assert len(table.filter(~Between("time", 0, 49))) == 50
+
+    def test_between_inverted_rejected(self):
+        with pytest.raises(SchemaError):
+            Between("x", 5, 1)
+
+    def test_compare_unknown_op(self):
+        with pytest.raises(SchemaError):
+            Compare("x", "~", 1)
+
+    def test_viewport_predicate(self, table):
+        p = viewport_predicate("time", "latency", 0, 0, 10, 10)
+        out = table.filter(p)
+        # latency = 2*time, so latency <= 10 means time <= 5.
+        assert len(out) == 6
+
+    def test_take_and_head(self, table):
+        assert len(table.head(7)) == 7
+        sub = table.take(np.array([5, 1]))
+        assert sub.column("time").values.tolist() == [5.0, 1.0]
+
+
+class TestScans:
+    def test_scan_chunks(self, table):
+        chunks = list(table.scan("time", "latency", chunk_size=30))
+        assert [len(c) for c in chunks] == [30, 30, 30, 10]
+        assert chunks[0].shape[1] == 2
+
+    def test_scan_matches_xy(self, table):
+        xy = table.xy("time", "latency")
+        stacked = np.concatenate(list(table.scan("time", "latency", 17)))
+        assert np.allclose(xy, stacked)
+
+    def test_scan_string_rejected(self, table):
+        with pytest.raises(SchemaError):
+            list(table.scan("time", "host"))
+
+    def test_scan_bad_chunk_size(self, table):
+        with pytest.raises(SchemaError):
+            list(table.scan("time", "latency", chunk_size=0))
+
+    def test_to_arrays_roundtrip(self, table):
+        arrays = table.to_arrays()
+        again = Table.from_arrays("copy", arrays)
+        assert np.allclose(again.xy("time", "latency"),
+                           table.xy("time", "latency"))

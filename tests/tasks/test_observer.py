@@ -1,0 +1,142 @@
+"""Tests for the perception model (repro.tasks.observer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tasks import Observer, PerceptionParams
+from repro.viz import Viewport
+
+
+class TestPerceptionParams:
+    def test_defaults_valid(self):
+        PerceptionParams()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"acuity_fraction": 0.0},
+        {"acuity_fraction": 1.5},
+        {"reading_noise": -0.1},
+        {"counting_noise": -0.1},
+        {"lapse_rate": 1.0},
+        {"k_nearest": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PerceptionParams(**kwargs)
+
+
+class TestVisibility:
+    def test_only_in_viewport(self):
+        obs = Observer(rng=0)
+        pts = np.array([[0.5, 0.5], [2.0, 2.0], [0.1, 0.9]])
+        vis = obs.visible(pts, Viewport(0, 0, 1, 1))
+        assert vis.tolist() == [0, 2]
+
+    def test_perceptual_radius_scales_with_viewport(self):
+        obs = Observer(rng=0)
+        small = obs.perceptual_radius(Viewport(0, 0, 1, 1))
+        large = obs.perceptual_radius(Viewport(0, 0, 10, 10))
+        assert large == pytest.approx(small * 10)
+
+
+class TestReadValue:
+    def test_reads_nearby_point(self):
+        obs = Observer(PerceptionParams(reading_noise=0.0, lapse_rate=0.0),
+                       rng=0)
+        pts = np.array([[0.5, 0.5]])
+        values = np.array([42.0])
+        out = obs.read_value((0.5, 0.5), pts, values, Viewport(0, 0, 1, 1))
+        assert out == pytest.approx(42.0, rel=0.01)
+
+    def test_none_when_window_empty(self):
+        obs = Observer(rng=0)
+        pts = np.array([[5.0, 5.0]])
+        out = obs.read_value((0.5, 0.5), pts, np.array([1.0]),
+                             Viewport(0, 0, 1, 1))
+        assert out is None
+
+    def test_far_point_sometimes_hedged(self):
+        """With the only visible point far away, many observers say
+        'not sure' (None)."""
+        params = PerceptionParams(lapse_rate=0.0)
+        pts = np.array([[0.95, 0.95]])
+        values = np.array([10.0])
+        hedges = 0
+        for seed in range(200):
+            obs = Observer(params, rng=seed)
+            out = obs.read_value((0.05, 0.05), pts, values,
+                                 Viewport(0, 0, 1, 1))
+            hedges += out is None
+        assert 50 <= hedges <= 195
+
+    def test_idw_weighting(self):
+        """The estimate leans toward the closest point's value."""
+        params = PerceptionParams(reading_noise=0.0, lapse_rate=0.0,
+                                  k_nearest=2)
+        obs = Observer(params, rng=0)
+        pts = np.array([[0.50, 0.50], [0.60, 0.60]])
+        values = np.array([0.0, 100.0])
+        out = obs.read_value((0.51, 0.51), pts, values, Viewport(0, 0, 1, 1))
+        assert out is not None
+        assert out < 50.0
+
+
+class TestPerceivedMass:
+    def test_counts_points_in_radius(self):
+        obs = Observer(PerceptionParams(counting_noise=0.0, lapse_rate=0.0),
+                       rng=0)
+        pts = np.array([[0.5, 0.5], [0.52, 0.5], [0.9, 0.9]])
+        mass = obs.perceived_mass((0.5, 0.5), 0.1, pts, None,
+                                  Viewport(0, 0, 1, 1))
+        assert mass == pytest.approx(2.0)
+
+    def test_weights_used_when_present(self):
+        obs = Observer(PerceptionParams(counting_noise=0.0, lapse_rate=0.0),
+                       rng=0)
+        pts = np.array([[0.5, 0.5]])
+        w = np.array([1000.0])
+        mass = obs.perceived_mass((0.5, 0.5), 0.1, pts, w,
+                                  Viewport(0, 0, 1, 1))
+        assert mass == pytest.approx(1000.0)
+
+    def test_zero_when_nothing_visible(self):
+        obs = Observer(rng=0)
+        pts = np.array([[5.0, 5.0]])
+        assert obs.perceived_mass((0.5, 0.5), 0.1, pts, None,
+                                  Viewport(0, 0, 1, 1)) == 0.0
+
+    def test_counting_noise_blurs_close_ratios(self):
+        """With Weber-style noise, masses 10 and 12 should rank wrongly
+        a substantial fraction of the time, masses 10 and 100 rarely."""
+        params = PerceptionParams(counting_noise=0.35, lapse_rate=0.0)
+        vp = Viewport(0, 0, 1, 1)
+        near = np.array([[0.2, 0.2]] * 10 + [[0.8, 0.8]] * 12)
+        far = np.array([[0.2, 0.2]] * 10 + [[0.8, 0.8]] * 100)
+        close_wrong = 0
+        far_wrong = 0
+        for seed in range(300):
+            obs = Observer(params, rng=seed)
+            a = obs.perceived_mass((0.2, 0.2), 0.05, near, None, vp)
+            b = obs.perceived_mass((0.8, 0.8), 0.05, near, None, vp)
+            close_wrong += a >= b
+            obs2 = Observer(params, rng=seed + 1000)
+            c = obs2.perceived_mass((0.2, 0.2), 0.05, far, None, vp)
+            d = obs2.perceived_mass((0.8, 0.8), 0.05, far, None, vp)
+            far_wrong += c >= d
+        assert close_wrong > 60       # 10 vs 12: often confused
+        assert far_wrong < close_wrong / 2  # 10 vs 100: rarely confused
+
+
+class TestLapse:
+    def test_lapse_rate_frequency(self):
+        params = PerceptionParams(lapse_rate=0.3)
+        lapses = sum(Observer(params, rng=s).lapses() for s in range(500))
+        assert 100 <= lapses <= 200
+
+    def test_pick_random_in_range(self):
+        obs = Observer(rng=0)
+        picks = {obs.pick_random(4) for _ in range(100)}
+        assert picks <= {0, 1, 2, 3}
+        assert len(picks) >= 3

@@ -1,0 +1,206 @@
+"""Tests for the three user tasks and the study runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GeolifeGenerator, clustering_datasets
+from repro.errors import ConfigurationError
+from repro.rng import as_generator, spawn
+from repro.tasks import (
+    NOT_SURE,
+    Observer,
+    PerceptionParams,
+    StudyConfig,
+    answer_clustering,
+    answer_density,
+    answer_regression,
+    build_method_sample,
+    count_visual_clusters,
+    make_clustering_question,
+    make_density_questions,
+    make_regression_questions,
+    run_regression_study,
+    score_regression,
+)
+from repro.viz import Viewport
+
+
+@pytest.fixture(scope="module")
+def geolife_xy() -> np.ndarray:
+    return GeolifeGenerator(seed=11).generate(15000).xy
+
+
+class TestRegressionQuestions:
+    def test_count_and_fields(self, geolife_xy):
+        qs = make_regression_questions(geolife_xy, n_questions=4, rng=0)
+        assert len(qs) == 4
+        for q in qs:
+            assert len(q.choices) == 3
+            assert 0 <= q.correct < 3
+            assert q.viewport.contains(np.asarray([q.location])).all()
+
+    def test_correct_choice_is_truth(self, geolife_xy):
+        from repro.data import altitude_at
+
+        qs = make_regression_questions(geolife_xy, n_questions=3, rng=1)
+        for q in qs:
+            truth = altitude_at(np.asarray([q.location]))[0]
+            assert q.choices[q.correct] == pytest.approx(truth)
+
+    def test_false_answers_distinct(self, geolife_xy):
+        qs = make_regression_questions(geolife_xy, n_questions=3, rng=2)
+        for q in qs:
+            assert len(set(q.choices)) == 3
+
+    def test_deterministic(self, geolife_xy):
+        a = make_regression_questions(geolife_xy, n_questions=3, rng=9)
+        b = make_regression_questions(geolife_xy, n_questions=3, rng=9)
+        assert [q.location for q in a] == [q.location for q in b]
+
+    def test_validation(self, geolife_xy):
+        with pytest.raises(ConfigurationError):
+            make_regression_questions(np.empty((0, 2)))
+        with pytest.raises(ConfigurationError):
+            make_regression_questions(geolife_xy, n_questions=0)
+
+
+class TestAnswerRegression:
+    def test_full_data_high_success(self, geolife_xy):
+        """With the whole dataset visible, observers should ace it."""
+        qs = make_regression_questions(geolife_xy, n_questions=4, rng=3)
+        params = PerceptionParams(lapse_rate=0.0, reading_noise=0.02)
+        observers = [Observer(params, rng=r)
+                     for r in spawn(as_generator(0), 10)]
+        score = score_regression(observers, qs, geolife_xy)
+        assert score > 0.8
+
+    def test_empty_sample_not_sure(self, geolife_xy):
+        qs = make_regression_questions(geolife_xy, n_questions=2, rng=4)
+        obs = Observer(PerceptionParams(lapse_rate=0.0), rng=0)
+        answer = answer_regression(obs, qs[0], np.empty((0, 2)))
+        assert answer == NOT_SURE
+
+    def test_score_validation(self, geolife_xy):
+        qs = make_regression_questions(geolife_xy, n_questions=2, rng=5)
+        with pytest.raises(ConfigurationError):
+            score_regression([], qs, geolife_xy)
+
+
+class TestDensityQuestions:
+    def test_structure(self, geolife_xy):
+        qs = make_density_questions(geolife_xy, n_questions=3, rng=0)
+        assert len(qs) == 3
+        for q in qs:
+            assert len(q.markers) == 4
+            assert q.densest != q.sparsest
+            assert q.marker_radius > 0
+
+    def test_ground_truth_ordering(self, geolife_xy):
+        """The densest marker must truly have the most data around it."""
+        qs = make_density_questions(geolife_xy, n_questions=2, rng=1)
+        for q in qs:
+            counts = []
+            for mx, my in q.markers:
+                d2 = np.sum((geolife_xy - [mx, my]) ** 2, axis=1)
+                counts.append(int((d2 <= q.marker_radius ** 2).sum()))
+            assert int(np.argmax(counts)) == q.densest
+            assert int(np.argmin(counts)) == q.sparsest
+
+    def test_answers_with_full_data(self, geolife_xy):
+        qs = make_density_questions(geolife_xy, n_questions=2, rng=2)
+        params = PerceptionParams(lapse_rate=0.0, counting_noise=0.0)
+        obs = Observer(params, rng=0)
+        for q in qs:
+            densest, sparsest = answer_density(obs, q, geolife_xy, None)
+            assert densest == q.densest
+            assert sparsest == q.sparsest
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_density_questions(np.zeros((2, 2)), n_markers=4)
+
+
+class TestClustering:
+    def test_question_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_clustering_question(np.empty((0, 2)), 1)
+        with pytest.raises(ConfigurationError):
+            make_clustering_question(np.zeros((5, 2)), 0)
+
+    def test_count_two_blobs(self):
+        gen = np.random.default_rng(0)
+        blob1 = gen.normal((-3, 0), 0.4, size=(500, 2))
+        blob2 = gen.normal((3, 0), 0.4, size=(500, 2))
+        pts = np.concatenate([blob1, blob2])
+        vp = Viewport.fit(pts)
+        assert count_visual_clusters(pts, None, vp) == 2
+
+    def test_count_one_blob(self):
+        gen = np.random.default_rng(1)
+        pts = gen.normal((0, 0), 1.0, size=(1000, 2))
+        vp = Viewport.fit(pts)
+        assert count_visual_clusters(pts, None, vp) == 1
+
+    def test_empty_points(self):
+        vp = Viewport(0, 0, 1, 1)
+        assert count_visual_clusters(np.empty((0, 2)), None, vp) == 0
+
+    def test_weights_sharpen_detection(self):
+        """A faint minority blob is recovered through §V weights."""
+        gen = np.random.default_rng(2)
+        major = gen.normal((0, 0), 1.0, size=(60, 2))
+        minor = gen.normal((6, 6), 0.4, size=(6, 2))
+        pts = np.concatenate([major, minor])
+        weights = np.concatenate([np.full(60, 10.0), np.full(6, 300.0)])
+        vp = Viewport.fit(pts)
+        weighted = count_visual_clusters(pts, weights, vp)
+        assert weighted == 2
+
+    def test_answer_clamped_to_choices(self):
+        gen = np.random.default_rng(3)
+        pts = gen.random((400, 2)) * 10  # uniform speckle
+        q = make_clustering_question(pts, 1)
+        obs = Observer(rng=0)
+        answer = answer_clustering(obs, q, pts, None)
+        assert answer in q.choices
+
+
+class TestStudyRunner:
+    def test_regression_study_table_shape(self, geolife_xy):
+        cfg = StudyConfig(sample_sizes=(100, 500), n_observers=4, seed=1)
+        table = run_regression_study(geolife_xy, cfg)
+        rows = table.rows()
+        assert rows[0] == ["Sample size", "uniform", "stratified", "vas"]
+        assert len(rows) == 4  # header + 2 sizes + average
+        for method in table.methods:
+            for size in table.sizes:
+                assert 0.0 <= table.get(method, size) <= 1.0
+
+    def test_study_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(sample_sizes=())
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_observers=0)
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_sample_draws=0)
+
+    def test_build_method_sample_all_methods(self, geolife_xy):
+        for method in ("uniform", "stratified", "vas", "vas+density"):
+            r = build_method_sample(method, geolife_xy[:3000], 50, seed=0)
+            assert len(r) == 50
+            if method == "vas+density":
+                assert r.weights is not None
+
+    def test_build_unknown_method(self, geolife_xy):
+        with pytest.raises(ConfigurationError):
+            build_method_sample("magic", geolife_xy, 10, seed=0)
+
+    def test_average_row(self):
+        from repro.tasks import StudyTable
+
+        t = StudyTable(task="x", methods=("a",), sizes=(1, 2))
+        t.set("a", 1, 0.4)
+        t.set("a", 2, 0.6)
+        assert t.average("a") == pytest.approx(0.5)

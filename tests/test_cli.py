@@ -1,0 +1,85 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.viz import decode_png_header
+
+
+@pytest.fixture()
+def demo_csv(tmp_path):
+    path = tmp_path / "demo.csv"
+    code = main(["demo", "--rows", "3000", "--seed", "1",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestDemo:
+    def test_writes_csv(self, demo_csv):
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        assert data.shape == (3000, 3)
+        header = demo_csv.read_text().splitlines()[0]
+        assert header == "longitude,latitude,altitude"
+
+
+class TestSample:
+    @pytest.mark.parametrize("method", ["uniform", "stratified", "vas"])
+    def test_methods(self, demo_csv, tmp_path, method, capsys):
+        out = tmp_path / "s.csv"
+        code = main(["sample", str(demo_csv), "--method", method,
+                     "-k", "200", "--out", str(out)])
+        assert code == 0
+        sample = np.loadtxt(out, delimiter=",", skiprows=1)
+        assert sample.shape == (200, 2)
+        assert method in capsys.readouterr().out
+
+    def test_density_adds_weight_column(self, demo_csv, tmp_path):
+        out = tmp_path / "sd.csv"
+        main(["sample", str(demo_csv), "--method", "vas+density",
+              "-k", "100", "--out", str(out)])
+        sample = np.loadtxt(out, delimiter=",", skiprows=1)
+        assert sample.shape == (100, 3)
+        assert sample[:, 2].sum() == pytest.approx(3000)
+
+
+class TestRender:
+    def test_renders_png(self, demo_csv, tmp_path):
+        png = tmp_path / "out.png"
+        code = main(["render", str(demo_csv), "--size", "120",
+                     "--out", str(png)])
+        assert code == 0
+        w, h, _ = decode_png_header(png.read_bytes())
+        assert (w, h) == (120, 120)
+
+    def test_render_with_weights(self, demo_csv, tmp_path):
+        sample_csv = tmp_path / "sw.csv"
+        main(["sample", str(demo_csv), "--method", "vas+density",
+              "-k", "100", "--out", str(sample_csv)])
+        png = tmp_path / "weighted.png"
+        code = main(["render", str(sample_csv), "--use-weights",
+                     "--size", "100", "--out", str(png)])
+        assert code == 0
+        assert png.stat().st_size > 100
+
+
+class TestLoss:
+    def test_prints_three_methods(self, demo_csv, capsys):
+        code = main(["loss", str(demo_csv), "-k", "150",
+                     "--probes", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for method in ("uniform", "stratified", "vas"):
+            assert method in out
+
+
+class TestErrors:
+    def test_bad_csv_returns_error_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x\n1\n2\n")
+        code = main(["sample", str(bad), "-k", "10"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError,
+        errors.SamplingError,
+        errors.SampleSizeError,
+        errors.EmptyDatasetError,
+        errors.StorageError,
+        errors.SchemaError,
+        errors.TableNotFoundError,
+        errors.SampleNotFoundError,
+        errors.VisualizationError,
+        errors.CanvasSizeError,
+        errors.ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        if exc is errors.TableNotFoundError:
+            instance = exc("t")
+        elif exc is errors.SampleSizeError:
+            instance = exc(0)
+        else:
+            instance = exc("boom")
+        assert isinstance(instance, errors.ReproError)
+
+    def test_sample_size_error_message(self):
+        e = errors.SampleSizeError(500, available=100)
+        assert "500" in str(e)
+        assert "100" in str(e)
+
+    def test_sample_size_error_without_available(self):
+        assert "invalid sample size" in str(errors.SampleSizeError(-3))
+
+    def test_table_not_found_names_table(self):
+        e = errors.TableNotFoundError("users")
+        assert e.name == "users"
+        assert "users" in str(e)
+
+    def test_catch_all_pattern(self):
+        """Library callers can catch ReproError for any library failure."""
+        from repro.core import GaussianKernel
+
+        with pytest.raises(errors.ReproError):
+            GaussianKernel(-1.0)

@@ -1,0 +1,129 @@
+"""Tests for repro.geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.geometry import (
+    as_points,
+    bounding_box,
+    max_pairwise_distance,
+    pairwise_sq_dists,
+    sq_dists_to,
+)
+
+
+class TestAsPoints:
+    def test_list_of_pairs(self):
+        out = as_points([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_single_point_promoted(self):
+        out = as_points([1.0, 2.0])
+        assert out.shape == (1, 2)
+
+    def test_empty_1d_becomes_empty_2d(self):
+        out = as_points(np.array([]))
+        assert out.shape == (0, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_contiguous(self):
+        strided = np.zeros((10, 4))[:, ::2]
+        out = as_points(strided)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_int_input_cast_to_float(self):
+        out = as_points(np.array([[1, 2]], dtype=np.int32))
+        assert out.dtype == np.float64
+
+
+class TestPairwiseSqDists:
+    def test_self_distances_zero_diagonal(self):
+        pts = np.random.default_rng(0).normal(size=(20, 2))
+        d2 = pairwise_sq_dists(pts)
+        assert np.allclose(np.diag(d2), 0.0, atol=1e-9)
+
+    def test_symmetry(self):
+        pts = np.random.default_rng(1).normal(size=(15, 2))
+        d2 = pairwise_sq_dists(pts)
+        assert np.allclose(d2, d2.T, atol=1e-9)
+
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d2 = pairwise_sq_dists(a)
+        assert d2[0, 1] == pytest.approx(25.0)
+
+    def test_two_sets(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0], [0.0, 2.0]])
+        d2 = pairwise_sq_dists(a, b)
+        assert d2.shape == (1, 2)
+        assert d2[0, 0] == pytest.approx(1.0)
+        assert d2[0, 1] == pytest.approx(4.0)
+
+    def test_never_negative(self):
+        # Round-off can push the quadratic form negative; we clip.
+        pts = np.full((50, 2), 1e8) + np.random.default_rng(2).normal(size=(50, 2))
+        d2 = pairwise_sq_dists(pts)
+        assert (d2 >= 0).all()
+
+    @given(hnp.arrays(np.float64, (5, 2),
+                      elements=st.floats(-100, 100)))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive(self, pts):
+        d2 = pairwise_sq_dists(pts)
+        for i in range(5):
+            for j in range(5):
+                naive = float(np.sum((pts[i] - pts[j]) ** 2))
+                assert d2[i, j] == pytest.approx(naive, abs=1e-6)
+
+
+class TestSqDistsTo:
+    def test_matches_pairwise(self):
+        pts = np.random.default_rng(3).normal(size=(30, 2))
+        target = np.array([0.5, -0.5])
+        d2 = sq_dists_to(pts, target)
+        full = pairwise_sq_dists(pts, target[None, :])[:, 0]
+        assert np.allclose(d2, full)
+
+
+class TestMaxPairwiseDistance:
+    def test_two_points(self):
+        assert max_pairwise_distance(
+            np.array([[0.0, 0.0], [3.0, 4.0]])
+        ) == pytest.approx(5.0)
+
+    def test_single_point_zero(self):
+        assert max_pairwise_distance(np.array([[1.0, 1.0]])) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            max_pairwise_distance(np.empty((0, 2)))
+
+    def test_subsampled_estimate_close(self):
+        pts = np.random.default_rng(4).normal(size=(10_000, 2))
+        exact_corners = max_pairwise_distance(pts, sample_cap=10_000)
+        approx = max_pairwise_distance(pts, sample_cap=500)
+        assert approx <= exact_corners * 1.01
+        assert approx >= exact_corners * 0.5
+
+
+class TestBoundingBox:
+    def test_bounds(self):
+        pts = np.array([[0.0, 5.0], [2.0, -1.0], [1.0, 3.0]])
+        lo, hi = bounding_box(pts)
+        assert np.allclose(lo, [0.0, -1.0])
+        assert np.allclose(hi, [2.0, 5.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            bounding_box(np.empty((0, 2)))

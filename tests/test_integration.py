@@ -1,0 +1,127 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test exercises a full pipeline a real deployment would run, not a
+single module: generator → sampler → database → query → renderer →
+observer.  These are the tests that catch interface drift between
+subpackages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import StratifiedSampler, UniformSampler, VASSampler
+from repro.core import (
+    GaussianKernel,
+    LossEvaluator,
+    SampleMaintainer,
+    embed_density,
+)
+from repro.core.epsilon import epsilon_from_diameter
+from repro.data import GeolifeGenerator, PointStream
+from repro.sampling import iter_chunks
+from repro.storage import Database, VizQuery
+from repro.tasks import Observer, make_regression_questions, score_regression
+from repro.rng import as_generator, spawn
+from repro.viz import Figure, Viewport, decode_png_pixels
+
+
+@pytest.fixture(scope="module")
+def geolife():
+    return GeolifeGenerator(seed=42).generate(25_000)
+
+
+class TestOfflineOnlinePipeline:
+    """The full Fig 3 lifecycle: build offline, query online, render."""
+
+    def test_ladder_query_render(self, geolife):
+        db = Database()
+        db.create_table_from_arrays("geo", geolife.columns)
+        db.build_sample_ladder("geo", "longitude", "latitude",
+                               VASSampler(rng=0), [200, 1000],
+                               with_density=True)
+
+        query = VizQuery("geo", "longitude", "latitude",
+                         method="vas+density", max_points=500)
+        result = db.execute(query)
+        assert result.sample_size == 200
+
+        fig = Figure(width=200, height=200)
+        fig.scatter(result.points, weights=result.weights)
+        png = fig.to_png_bytes()
+        pixels = decode_png_pixels(png)
+        painted = int((pixels[:, :, :3] < 250).any(axis=2).sum())
+        assert painted > 100  # something visible was drawn
+
+    def test_zoomed_query_matches_manual_filter(self, geolife):
+        db = Database()
+        db.create_table_from_arrays("geo", geolife.columns)
+        db.build_sample("geo", "longitude", "latitude",
+                        UniformSampler(rng=1), 2000)
+        vp = Viewport(116.3, 39.8, 116.55, 40.05)
+        out = db.execute(VizQuery("geo", "longitude", "latitude",
+                                  method="uniform", viewport=vp))
+        stored = db.samples.get("geo", "longitude", "latitude",
+                                "uniform", 2000)
+        expected = stored.points[vp.contains(stored.points)]
+        assert np.allclose(np.sort(out.points, axis=0),
+                           np.sort(expected, axis=0))
+
+
+class TestSamplerObserverLoop:
+    """Samples from every method must flow into the study machinery."""
+
+    def test_all_methods_scoreable(self, geolife):
+        questions = make_regression_questions(geolife.xy, n_questions=3,
+                                              rng=0)
+        observers = [Observer(rng=r) for r in spawn(as_generator(1), 5)]
+        for sampler in (UniformSampler(rng=0),
+                        StratifiedSampler(rng=0),
+                        VASSampler(rng=0)):
+            sample = sampler.sample(geolife.xy, 400)
+            score = score_regression(observers, questions, sample.points)
+            assert 0.0 <= score <= 1.0
+
+
+class TestStreamingConsistency:
+    """One-shot and streaming paths of a sampler agree statistically."""
+
+    def test_vas_stream_vs_oneshot_loss(self, geolife):
+        eps = epsilon_from_diameter(geolife.xy)
+        evaluator = LossEvaluator(geolife.xy, GaussianKernel(eps),
+                                  n_probes=200, rng=3)
+        oneshot = VASSampler(rng=0, epsilon=eps).sample(geolife.xy, 300)
+        stream = PointStream(geolife.xy, chunk_size=4096, shuffle_seed=5)
+        streamed = VASSampler(rng=0, epsilon=eps).sample_stream(iter(stream),
+                                                                300)
+        llr_one = evaluator.log_loss_ratio(oneshot.points)
+        llr_stream = evaluator.log_loss_ratio(streamed.points)
+        assert abs(llr_one - llr_stream) < 0.5
+
+
+class TestMaintenanceLifecycle:
+    """Offline build → appends → §V recount → query-able result."""
+
+    def test_grow_dataset_and_requery(self, geolife):
+        eps = epsilon_from_diameter(geolife.xy)
+        kernel = GaussianKernel(eps)
+        base = VASSampler(kernel=kernel, rng=0).sample(geolife.xy, 250)
+        base = embed_density(base, iter_chunks(geolife.xy, 8192))
+
+        maintainer = SampleMaintainer(base, kernel,
+                                      next_source_id=len(geolife.xy))
+        new_data = GeolifeGenerator(seed=99).generate(5_000).xy
+        maintainer.append(new_data)
+
+        all_data = np.concatenate([geolife.xy, new_data])
+        maintainer.rebuild_weights(iter_chunks(all_data, 8192))
+        refreshed = maintainer.sample
+        assert refreshed.weights.sum() == pytest.approx(len(all_data))
+
+        evaluator = LossEvaluator(all_data, kernel, n_probes=200, rng=7)
+        llr_maintained = evaluator.log_loss_ratio(refreshed.points)
+        llr_uniform = evaluator.log_loss_ratio(
+            UniformSampler(rng=0).sample(all_data, 250).points
+        )
+        assert llr_maintained < llr_uniform

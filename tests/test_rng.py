@@ -1,0 +1,51 @@
+"""Tests for repro.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(as_generator(0), 7)
+        assert len(children) == 7
+
+    def test_children_independent(self):
+        children = spawn(as_generator(0), 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_parent_seed(self):
+        a = spawn(as_generator(5), 3)[1].random(4)
+        b = spawn(as_generator(5), 3)[1].random(4)
+        assert np.array_equal(a, b)
+
+    def test_zero_children(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)

@@ -1,0 +1,288 @@
+"""Tests for the canvas, colormap, markers, scatter renderer and figure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CanvasSizeError,
+    ConfigurationError,
+    VisualizationError,
+)
+from repro.viz import (
+    Canvas,
+    Colormap,
+    Figure,
+    ScatterRenderer,
+    Viewport,
+    colormap_names,
+    disc_offsets,
+    draw_cross,
+    draw_frame,
+    jitter_offsets,
+    nice_ticks,
+    radius_for_weight,
+)
+
+
+class TestCanvas:
+    def test_background(self):
+        c = Canvas(4, 3)
+        assert c.pixels.shape == (3, 4, 4)
+        assert np.all(c.pixels == 255)
+
+    def test_bad_size(self):
+        with pytest.raises(CanvasSizeError):
+            Canvas(0, 5)
+
+    def test_blend_opaque(self):
+        c = Canvas(4, 4)
+        c.blend_pixels(np.array([1]), np.array([2]), (255, 0, 0, 255))
+        assert c.pixels[1, 2, 0] == 255
+        assert c.pixels[1, 2, 1] == 0
+
+    def test_blend_halfalpha(self):
+        c = Canvas(2, 2)
+        c.blend_pixels(np.array([0]), np.array([0]), (0, 0, 0, 128))
+        # White blended with black at ~50%.
+        assert 120 <= c.pixels[0, 0, 0] <= 135
+
+    def test_out_of_bounds_clipped(self):
+        c = Canvas(3, 3)
+        c.blend_pixels(np.array([-1, 5]), np.array([0, 0]), (0, 0, 0, 255))
+        assert np.all(c.pixels[:, :, :3] == 255)  # nothing painted
+
+    def test_shape_mismatch(self):
+        c = Canvas(3, 3)
+        with pytest.raises(VisualizationError):
+            c.blend_pixels(np.array([1]), np.array([1, 2]), (0, 0, 0, 255))
+
+    def test_lines_and_rect(self):
+        c = Canvas(10, 10)
+        c.draw_hline(5, 0, 9)
+        c.draw_vline(3, 0, 9)
+        c.draw_rect_outline(0, 0, 9, 9)
+        assert np.all(c.pixels[5, :, :3] == 0)
+        assert np.all(c.pixels[:, 3, :3] == 0)
+        assert np.all(c.pixels[0, :, :3] == 0)
+
+    def test_to_rgb(self):
+        c = Canvas(2, 2)
+        assert c.to_rgb().shape == (2, 2, 3)
+
+
+class TestColormap:
+    def test_names(self):
+        assert colormap_names() == ["gray", "terrain", "viridis"]
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            Colormap("jet")
+
+    def test_endpoints(self):
+        cm = Colormap("viridis")
+        lo = cm.rgb(np.array([0.0]))
+        hi = cm.rgb(np.array([1.0]))
+        assert lo[0].tolist() == [68, 1, 84]
+        assert hi[0].tolist() == [253, 231, 37]
+
+    def test_clamping(self):
+        cm = Colormap("gray")
+        assert np.array_equal(cm.rgb(np.array([-5.0])), cm.rgb(np.array([0.0])))
+        assert np.array_equal(cm.rgb(np.array([9.0])), cm.rgb(np.array([1.0])))
+
+    def test_map_values_normalises(self):
+        cm = Colormap("gray")
+        out = cm.map_values(np.array([10.0, 20.0, 30.0]))
+        assert out[0, 0] < out[1, 0] < out[2, 0]
+
+    def test_constant_values_midpoint(self):
+        cm = Colormap("gray")
+        out = cm.map_values(np.array([5.0, 5.0]))
+        assert np.all(out[0] == out[1])
+
+
+class TestMarkers:
+    def test_radius_zero_single_pixel(self):
+        dr, dc = disc_offsets(0)
+        assert len(dr) == 1
+
+    def test_disc_size_grows(self):
+        sizes = [len(disc_offsets(r)[0]) for r in range(4)]
+        assert sizes == sorted(sizes)
+        assert sizes[1] == 5  # radius-1 disc: center + 4 neighbours
+
+    def test_negative_radius(self):
+        with pytest.raises(ConfigurationError):
+            disc_offsets(-1)
+
+    def test_radius_for_weight_median_is_base(self):
+        w = np.array([1.0, 4.0, 9.0, 4.0, 1.0])
+        r = radius_for_weight(w, base_radius=2, max_radius=10)
+        assert r[1] == 2  # the median weight maps to base radius
+
+    def test_radius_for_weight_monotone(self):
+        w = np.array([1.0, 4.0, 16.0])
+        r = radius_for_weight(w, base_radius=1, max_radius=8)
+        assert r[0] <= r[1] <= r[2]
+
+    def test_radius_zero_weights(self):
+        r = radius_for_weight(np.zeros(4), base_radius=1)
+        assert np.all(r == 1)
+
+    def test_radius_validation(self):
+        with pytest.raises(ConfigurationError):
+            radius_for_weight(np.ones(3), base_radius=5, max_radius=2)
+
+    def test_jitter_scales_with_weight(self):
+        gen = np.random.default_rng(0)
+        w = np.array([1.0] * 500 + [100.0] * 500)
+        out = jitter_offsets(w, scale=1.0, rng=gen)
+        low = np.abs(out[:500]).mean()
+        high = np.abs(out[500:]).mean()
+        assert high > low
+
+    def test_jitter_negative_scale(self):
+        with pytest.raises(ConfigurationError):
+            jitter_offsets(np.ones(3), -1.0, np.random.default_rng(0))
+
+
+class TestViewport:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Viewport(1, 0, 1, 5)
+
+    def test_fit_and_contains(self, blob_points):
+        vp = Viewport.fit(blob_points)
+        assert vp.contains(blob_points).all()
+
+    def test_zoom_shrinks(self):
+        vp = Viewport(0, 0, 10, 10)
+        z = vp.zoom((5, 5), 2)
+        assert z.width == pytest.approx(5)
+        assert z.height == pytest.approx(5)
+
+    def test_zoom_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            Viewport(0, 0, 1, 1).zoom((0.5, 0.5), 0)
+
+
+class TestScatterRenderer:
+    def test_render_paints_points(self):
+        r = ScatterRenderer(width=50, height=50)
+        pts = np.array([[0.5, 0.5]])
+        canvas = r.render(pts, viewport=Viewport(0, 0, 1, 1))
+        assert (canvas.pixels[:, :, :3] < 250).any()
+
+    def test_empty_render(self):
+        r = ScatterRenderer(width=20, height=20)
+        canvas = r.render(np.empty((0, 2)), viewport=Viewport(0, 0, 1, 1))
+        assert np.all(canvas.pixels == 255)
+
+    def test_points_outside_viewport_invisible(self):
+        r = ScatterRenderer(width=20, height=20)
+        canvas = r.render(np.array([[5.0, 5.0]]), viewport=Viewport(0, 0, 1, 1))
+        assert np.all(canvas.pixels[:, :, :3] == 255)
+
+    def test_values_color_points(self):
+        r = ScatterRenderer(width=40, height=40, point_radius=0)
+        pts = np.array([[0.2, 0.5], [0.8, 0.5]])
+        canvas = r.render(pts, values=np.array([0.0, 1.0]),
+                          viewport=Viewport(0, 0, 1, 1))
+        px_lo = canvas.pixels[20, 8, :3]
+        px_hi = canvas.pixels[20, 32, :3]
+        assert not np.array_equal(px_lo, px_hi)
+
+    def test_values_length_mismatch(self):
+        r = ScatterRenderer()
+        with pytest.raises(VisualizationError):
+            r.render(np.zeros((2, 2)), values=np.zeros(3),
+                     viewport=Viewport(-1, -1, 1, 1))
+
+    def test_weights_enlarge_markers(self):
+        """Radius scales with weight relative to the *median* weight, so
+        a dominant point in a mostly-light sample gets a larger disc."""
+        vp = Viewport(0, 0, 1, 1)
+        r = ScatterRenderer(width=80, height=80, point_radius=1)
+        pts = np.array([[0.2, 0.2], [0.2, 0.8], [0.8, 0.2],
+                        [0.8, 0.8], [0.5, 0.5]])
+        flat = r.render(pts, weights=np.ones(5), viewport=vp)
+        skewed = r.render(pts, weights=np.array([1.0, 1.0, 1.0, 1.0, 64.0]),
+                          viewport=vp)
+        n_flat = int((flat.pixels[:, :, :3] < 250).any(axis=2).sum())
+        n_skewed = int((skewed.pixels[:, :, :3] < 250).any(axis=2).sum())
+        assert n_skewed > n_flat + 20  # the heavy marker dominates ink
+
+    def test_coverage_monotone_in_spread(self):
+        r = ScatterRenderer(width=50, height=50)
+        vp = Viewport(0, 0, 1, 1)
+        clumped = np.full((100, 2), 0.5)
+        spread = np.random.default_rng(0).random((100, 2))
+        assert r.coverage(spread, vp) > r.coverage(clumped, vp)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScatterRenderer(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ScatterRenderer(point_radius=-1)
+
+
+class TestAxes:
+    def test_nice_ticks_cover_range(self):
+        ticks = nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+
+    def test_nice_ticks_round_values(self):
+        for t in nice_ticks(0.13, 9.7):
+            # Nice steps are 1/2/5 * 10^k: t mod step must be ~0.
+            assert abs(t - round(t, 6)) < 1e-9
+
+    def test_nice_ticks_validation(self):
+        with pytest.raises(ConfigurationError):
+            nice_ticks(5, 5)
+        with pytest.raises(ConfigurationError):
+            nice_ticks(0, 1, target=1)
+
+    def test_draw_frame_paints_border(self):
+        c = Canvas(30, 30)
+        draw_frame(c, Viewport(0, 0, 1, 1))
+        assert np.all(c.pixels[0, :, :3] == 0)
+        assert np.all(c.pixels[-1, :, :3] == 0)
+
+    def test_draw_cross(self):
+        c = Canvas(30, 30)
+        draw_cross(c, Viewport(0, 0, 1, 1), 0.5, 0.5, size=3)
+        assert (c.pixels[:, :, 0] > c.pixels[:, :, 1]).any()  # red ink
+
+    def test_draw_cross_validation(self):
+        c = Canvas(10, 10)
+        with pytest.raises(ConfigurationError):
+            draw_cross(c, Viewport(0, 0, 1, 1), 0.5, 0.5, size=0)
+
+
+class TestFigure:
+    def test_end_to_end_png(self, blob_points):
+        fig = Figure(width=80, height=80)
+        fig.scatter(blob_points)
+        data = fig.to_png_bytes()
+        assert data[:4] == b"\x89PNG"
+        assert fig.last_render_seconds > 0
+
+    def test_canvas_before_scatter_raises(self):
+        with pytest.raises(VisualizationError):
+            Figure().canvas
+        with pytest.raises(VisualizationError):
+            Figure().viewport
+
+    def test_layering(self, blob_points):
+        fig = Figure(width=60, height=60, frame=False)
+        fig.scatter(blob_points[:100]).scatter(blob_points[100:110])
+        assert fig.canvas.pixels.shape == (60, 60, 4)
+
+    def test_save(self, tmp_path, blob_points):
+        path = tmp_path / "fig.png"
+        Figure(width=40, height=40).scatter(blob_points).save(str(path))
+        assert path.stat().st_size > 100

@@ -32,7 +32,8 @@ def test_batch_es_speedup(benchmark, profile):
 
     with Timer() as t_seq:
         seq = run_interchange(chunks, k, kernel, max_passes=2,
-                              shuffle_within_chunks=False)
+                              shuffle_within_chunks=False,
+                              engine="reference")
     with Timer() as t_batch:
         cs, proc = run_batch_interchange(chunks, k, kernel, max_passes=2)
 

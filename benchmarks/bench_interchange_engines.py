@@ -1,0 +1,136 @@
+"""Before/after harness: reference vs batched Interchange engines.
+
+Runs the 50k-point / k=500 configuration (the ISSUE-1 acceptance
+benchmark) through both engines for every replacement strategy,
+verifies seed-identical outputs, and emits a ``BENCH_interchange.json``
+trajectory file so successive PRs can track the speedup over time::
+
+    python -m benchmarks.bench_interchange_engines            # full run
+    python -m benchmarks.bench_interchange_engines --quick    # CI-sized
+    python -m benchmarks.bench_interchange_engines --skip-no-es
+
+The ``no-es`` reference leg recomputes O(K²) kernel values per scanned
+tuple (the paper's §VI-D baseline) and takes minutes at full size —
+that is the point of measuring it, but ``--skip-no-es`` exists for a
+fast look at the ES rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # `python -m benchmarks...` without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import GaussianKernel, run_interchange  # noqa: E402
+from repro.core.epsilon import epsilon_from_diameter  # noqa: E402
+from repro.data import GeolifeGenerator  # noqa: E402
+from repro.sampling import iter_chunks  # noqa: E402
+
+FULL = {"rows": 50_000, "k": 500, "repeats": 3}
+QUICK = {"rows": 8_000, "k": 120, "repeats": 2}
+STRATEGIES = ("es", "es+loc", "no-es")
+
+
+def time_engine(data, k, kernel, strategy, engine, repeats):
+    """Median wall time plus the run result (for parity checks)."""
+    times = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_interchange(
+            lambda: iter_chunks(data, 8192), k, kernel,
+            strategy=strategy, max_passes=2, rng=0, engine=engine,
+        )
+        times.append(time.perf_counter() - started)
+    return statistics.median(times), result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--skip-no-es", action="store_true",
+                        help="skip the minutes-long no-es reference leg")
+    parser.add_argument("--out", default="BENCH_interchange.json")
+    args = parser.parse_args(argv)
+
+    profile = QUICK if args.quick else FULL
+    data = GeolifeGenerator(seed=0).generate(profile["rows"]).xy
+    kernel = GaussianKernel(epsilon_from_diameter(data, rng=0))
+
+    strategies = [s for s in STRATEGIES
+                  if not (args.skip_no_es and s == "no-es")]
+    rows = []
+    total_ref = total_bat = 0.0
+    print(f"{profile['rows']:,} rows / k={profile['k']} / 2 passes "
+          f"(median of {profile['repeats']})")
+    print(f"{'strategy':<8} {'reference (s)':>14} {'batched (s)':>12} "
+          f"{'speedup':>8}  identical")
+    for strategy in strategies:
+        # no-es reference is O(K²) per tuple: one repeat is plenty.
+        ref_repeats = 1 if strategy == "no-es" else profile["repeats"]
+        t_ref, ref = time_engine(data, profile["k"], kernel, strategy,
+                                 "reference", ref_repeats)
+        t_bat, bat = time_engine(data, profile["k"], kernel, strategy,
+                                 "batched", profile["repeats"])
+        identical = bool(
+            np.array_equal(ref.source_ids, bat.source_ids)
+            and ref.objective == bat.objective
+        )
+        speedup = t_ref / t_bat
+        total_ref += t_ref
+        total_bat += t_bat
+        rows.append({
+            "strategy": strategy,
+            "reference_seconds": round(t_ref, 4),
+            "batched_seconds": round(t_bat, 4),
+            "speedup": round(speedup, 2),
+            "identical_output": identical,
+            "replacements": int(bat.replacements),
+            "bulk_rejected": int(bat.bulk_rejected),
+            "objective": bat.objective,
+        })
+        print(f"{strategy:<8} {t_ref:>14.2f} {t_bat:>12.2f} "
+              f"{speedup:>7.1f}x  {identical}")
+        if not identical:
+            print(f"!! engine outputs diverged for {strategy}",
+                  file=sys.stderr)
+            return 1
+
+    aggregate = total_ref / total_bat if total_bat else float("nan")
+    print(f"{'total':<8} {total_ref:>14.2f} {total_bat:>12.2f} "
+          f"{aggregate:>7.1f}x")
+
+    payload = {
+        "benchmark": "interchange_engines",
+        "config": {
+            "rows": profile["rows"],
+            "k": profile["k"],
+            "max_passes": 2,
+            "chunk_size": 8192,
+            "kernel": "gaussian",
+            "epsilon": kernel.epsilon,
+            "seed": 0,
+            "quick": bool(args.quick),
+        },
+        "strategies": rows,
+        "aggregate_speedup": round(aggregate, 2),
+        "unix_time": time.time(),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

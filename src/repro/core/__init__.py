@@ -28,7 +28,7 @@ from .epsilon import (
 )
 from .exact import ExactResult, solve_branch_and_bound, solve_brute_force
 from .greedy import GreedySampler
-from .interchange import InterchangeResult, TracePoint, run_interchange
+from .interchange import ENGINES, InterchangeResult, TracePoint, run_interchange
 from .kernel import (
     CauchyKernel,
     EpanechnikovKernel,
@@ -71,6 +71,7 @@ __all__ = [
     "DEFAULT_DOMAIN_RADIUS",
     "DEFAULT_LOC_THRESHOLD",
     "DEFAULT_PROBES",
+    "ENGINES",
     "EpanechnikovKernel",
     "ESLocStrategy",
     "ESStrategy",

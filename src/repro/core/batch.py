@@ -66,6 +66,8 @@ class BatchESProcessor:
     # -- the sequential fallback (identical to ESStrategy.process) -------
     def _process_one(self, source_id: int, point: np.ndarray) -> bool:
         cs = self.set
+        if cs.has_source(source_id):
+            return False  # this dataset row already occupies a slot
         if not cs.is_full:
             cs.fill(source_id, point)
             self.replacements += 1

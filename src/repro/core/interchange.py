@@ -1,4 +1,5 @@
-"""The Interchange algorithm (Algorithm 1) and its streaming driver.
+"""The Interchange algorithm (Algorithm 1), its streaming driver, and
+the vectorised engine behind it.
 
 Interchange starts from a randomly chosen set of K tuples and scans the
 dataset, performing a replacement whenever swapping a set member for
@@ -6,7 +7,26 @@ the incoming tuple lowers the optimisation objective.  Each incoming
 tuple is handled by a :class:`~repro.core.strategies.ReplacementStrategy`
 (Expand/Shrink by default).
 
-This module adds what the paper's evaluation needs around the raw
+Two engines drive the scan, selected by ``engine=`` on
+:func:`run_interchange`:
+
+* ``"reference"`` — the literal per-tuple loop of Algorithm 1: one
+  Python-level ``strat.process`` call per scanned tuple.  Kept as the
+  executable specification the batched engine is validated against.
+* ``"batched"`` — the fast path.  Chunks are screened in blocks with
+  one NumPy kernel-matrix product per block
+  (:meth:`~repro.core.strategies.ReplacementStrategy.screen_chunk`);
+  only tuples the screen accepts fall back to the per-tuple path, and
+  the κ̃ responsibility matrix is maintained incrementally
+  (row/column writes in :class:`~repro.core.responsibility.CandidateSet`)
+  so acceptances stay O(K).  The screen evaluates the *exact* sequential
+  decision quantities — distances via
+  :func:`~repro.geometry.sq_dists_chunk` are bit-identical to the
+  per-tuple computation — so both engines produce identical samples,
+  objectives and traces for the same seed.  Rejection, the overwhelming
+  majority verdict near convergence, costs no Python-level work.
+
+The driver adds what the paper's evaluation needs around the raw
 algorithm:
 
 * **multiple passes** — "ideally, Interchange should be run until no
@@ -17,7 +37,8 @@ algorithm:
   time; the driver snapshots ``(tuples_processed, elapsed_seconds,
   objective)`` at a configurable cadence;
 * **shuffling** — the paper's random starting set corresponds to
-  filling the reservoir from a shuffled scan order.
+  filling the reservoir from a shuffled scan order.  Both engines draw
+  the same permutations from the same generator.
 """
 
 from __future__ import annotations
@@ -28,12 +49,34 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..errors import EmptyDatasetError
+from ..errors import ConfigurationError, EmptyDatasetError
 from ..geometry import as_points
 from ..rng import as_generator
 from .kernel import Kernel
 from .responsibility import CandidateSet
 from .strategies import ReplacementStrategy, make_strategy
+
+#: Engines understood by :func:`run_interchange`.
+ENGINES = ("reference", "batched")
+
+#: Rows whose κ̃ matrix is computed in one shot (amortises the kernel
+#: evaluation over a large, cache-unfriendly but bandwidth-efficient
+#: block).
+MAX_SCREEN_BLOCK = 2048
+
+#: Cap on ``block_len * K`` so a cached screen matrix stays modest
+#: (8 MB at float64) even for very large sample sizes.
+MAX_SCREEN_ELEMS = 1 << 20
+
+#: Rows judged per decision window.  Verdicts after an acceptance must
+#: be re-issued against the updated responsibilities, so the window
+#: bounds how much judging an acceptance can invalidate, while the
+#: expensive kernel values stay cached at block granularity.
+SCREEN_WINDOW = 64
+
+#: Largest K for which the batched ES path keeps the incremental κ̃
+#: matrix (8·K² bytes; 128 MB at this cap).
+MAX_TRACKED_MATRIX_K = 4096
 
 
 @dataclass
@@ -57,6 +100,11 @@ class InterchangeResult:
         Final value of ``Σ_{i<j} κ̃``.
     passes / replacements / tuples_processed:
         Run statistics.
+    engine:
+        Which driver produced the result.
+    bulk_rejected:
+        Tuples dismissed by the vectorised screen (0 for the reference
+        engine).
     trace:
         Progress snapshots (empty unless tracing was requested).
     """
@@ -68,7 +116,82 @@ class InterchangeResult:
     replacements: int
     tuples_processed: int
     strategy: str
+    engine: str = "reference"
+    bulk_rejected: int = 0
     trace: list[TracePoint] = field(default_factory=list)
+
+
+def _process_rows_reference(strat: ReplacementStrategy, pts: np.ndarray,
+                            source_ids: np.ndarray) -> None:
+    """Per-tuple scan: the literal Algorithm 1 inner loop."""
+    for row in range(len(pts)):
+        strat.process(int(source_ids[row]), pts[row])
+
+
+def _process_rows_batched(strat: ReplacementStrategy, pts: np.ndarray,
+                          source_ids: np.ndarray) -> None:
+    """Screen-then-settle scan over one (already ordered) chunk.
+
+    The set is filled per tuple (every tuple enters while below
+    capacity).  After that, each block's κ̃ matrix against the set is
+    computed once and cached; rejections are settled in bulk, and each
+    acceptance is applied through the per-tuple path followed by a
+    one-column cache refresh — the only κ̃ column a replacement can
+    change — before the block's tail is re-judged against the updated
+    responsibilities.  Decisions are therefore identical to the
+    sequential scan while the kernel work stays one evaluation per
+    (tuple, member) pair plus one column per replacement.
+    """
+    cs = strat.set
+    n = len(pts)
+    pos = 0
+    while pos < n and not cs.is_full:
+        strat.process(int(source_ids[pos]), pts[pos])
+        pos += 1
+    if pos >= n:
+        return
+
+    block_len = max(SCREEN_WINDOW,
+                    min(MAX_SCREEN_BLOCK, MAX_SCREEN_ELEMS // len(cs)))
+    while pos < n:
+        end = min(pos + block_len, n)
+        block = strat.begin_block(pts[pos:end])
+        span = end - pos
+        local = 0
+        # Slots replaced since the block's κ̃ cache was built; their
+        # columns are refreshed lazily, one window at a time, instead
+        # of eagerly across the whole remaining block.
+        stale: set[int] = set()
+        while local < span:
+            stop = min(local + SCREEN_WINDOW, span)
+            if stale:
+                strat.block_refresh(block, local, stop, sorted(stale))
+            while local < stop:
+                hits = np.flatnonzero(
+                    strat.block_decisions(block, local, stop)
+                )
+                if len(hits) == 0:
+                    strat.note_bulk_rejects(stop - local)
+                    local = stop
+                    break
+                first = local + int(hits[0])
+                strat.note_bulk_rejects(first - local)
+                accepted = strat.accept_block_row(
+                    block, first, int(source_ids[pos + first])
+                )
+                local = first + 1
+                if accepted:
+                    slot = strat.last_replaced_slot
+                    stale.add(slot)
+                    if local < stop:
+                        strat.block_refresh(block, local, stop, [slot])
+        pos = end
+
+
+_ENGINE_LOOPS = {
+    "reference": _process_rows_reference,
+    "batched": _process_rows_batched,
+}
 
 
 def run_interchange(
@@ -81,6 +204,7 @@ def run_interchange(
     rng: int | np.random.Generator | None = None,
     shuffle_within_chunks: bool = True,
     strategy_kwargs: dict | None = None,
+    engine: str = "batched",
 ) -> InterchangeResult:
     """Run Interchange over a re-iterable stream of point chunks.
 
@@ -106,12 +230,29 @@ def run_interchange(
     shuffle_within_chunks:
         When True each chunk is visited in random order, making the
         initial reservoir a random subset of the first chunk(s).
+    engine:
+        ``"batched"`` (default) screens whole blocks with one matrix
+        product per block; ``"reference"`` is the per-tuple loop.  Both
+        produce identical results for the same seed.
     """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
     gen = as_generator(rng)
-    candidate_set = CandidateSet(k, kernel)
+    # The incremental κ̃ matrix saves one kernel row per acceptance but
+    # costs O(K²) memory; it only pays off on the batched ES path
+    # (ES+Loc bypasses CandidateSet.replace, No-ES recomputes anyway)
+    # and is skipped for large K, where 8·K² bytes dwarfs the saving.
+    # Decisions are identical either way (the stored row is bit-equal
+    # to recomputing it), so the cap cannot change results.
+    track_matrix = (engine == "batched" and strategy == "es"
+                    and k <= MAX_TRACKED_MATRIX_K)
+    candidate_set = CandidateSet(k, kernel, track_matrix=track_matrix)
     strat: ReplacementStrategy = make_strategy(
         strategy, candidate_set, **(strategy_kwargs or {})
     )
+    process_rows = _ENGINE_LOOPS[engine]
 
     trace: list[TracePoint] = []
     started = time.perf_counter()
@@ -125,9 +266,12 @@ def run_interchange(
             pts = as_points(chunk)
             if len(pts) == 0:
                 continue
-            order = gen.permutation(len(pts)) if shuffle_within_chunks else range(len(pts))
-            for row in order:
-                strat.process(pass_offset + int(row), pts[row])
+            if shuffle_within_chunks:
+                order = gen.permutation(len(pts))
+                process_rows(strat, pts[order], pass_offset + order)
+            else:
+                ids = pass_offset + np.arange(len(pts), dtype=np.int64)
+                process_rows(strat, pts, ids)
             pass_offset += len(pts)
             base = processed
             processed += len(pts)
@@ -162,5 +306,7 @@ def run_interchange(
         replacements=strat.replacements,
         tuples_processed=processed,
         strategy=strat.name,
+        engine=engine,
+        bulk_rejected=strat.bulk_rejected,
         trace=trace,
     )

@@ -38,6 +38,22 @@ from ..errors import ConfigurationError
 from ..geometry import as_points, pairwise_sq_dists, sq_dists_to
 
 
+def _exp_with_underflow_bypass(buf: np.ndarray) -> None:
+    """In-place ``exp`` that skips the deep-underflow slow path.
+
+    ``exp(x)`` rounds to exactly 0.0 for every ``x < -746`` (e⁻⁷⁴⁶ is
+    below half the smallest subnormal), but vectorised ``exp`` falls
+    back to a scalar FP-assist path well before that, costing 10-20×
+    per element.  Small-bandwidth kernels put *most* pair distances in
+    that region, so the bypass routes them around ``exp`` entirely:
+    results are bit-identical, only the stall is gone.
+    """
+    zero = buf < -746.0
+    np.copyto(buf, 0.0, where=zero)
+    np.exp(buf, out=buf)
+    np.copyto(buf, 0.0, where=zero)
+
+
 class Kernel(abc.ABC):
     """A proximity function of squared distance with bandwidth ``epsilon``."""
 
@@ -83,6 +99,17 @@ class Kernel(abc.ABC):
         """Kernel value for precomputed squared distances."""
         return self._profile(np.asarray(sq_dists, dtype=np.float64))
 
+    def profile_into(self, sq_dists: np.ndarray) -> None:
+        """Overwrite a float64 buffer of squared distances with κ̃ values.
+
+        The allocation-free variant of :meth:`from_sq_dists` used by
+        the batched Interchange screen.  Subclasses may override with
+        in-place ufunc chains, but only with op sequences whose results
+        are bit-identical to ``_profile`` — the engine-parity guarantee
+        rides on it.
+        """
+        sq_dists[...] = self._profile(sq_dists)
+
     def pairwise_objective(self, points: np.ndarray) -> float:
         """The VAS optimisation objective ``Σ_{i<j} κ̃(s_i, s_j)``."""
         pts = as_points(points)
@@ -113,6 +140,13 @@ class GaussianKernel(Kernel):
     def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
         return np.exp(-sq_dists / (2.0 * self.epsilon * self.epsilon))
 
+    def profile_into(self, sq_dists: np.ndarray) -> None:
+        # d / -c == -d / c exactly (IEEE division is sign-symmetric),
+        # so this matches _profile bit for bit without temporaries.
+        np.divide(sq_dists, -(2.0 * self.epsilon * self.epsilon),
+                  out=sq_dists)
+        _exp_with_underflow_bypass(sq_dists)
+
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         tolerance = self._check_tolerance(tolerance)
         return self.epsilon * math.sqrt(-2.0 * math.log(tolerance))
@@ -125,6 +159,11 @@ class LaplaceKernel(Kernel):
 
     def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
         return np.exp(-np.sqrt(sq_dists) / self.epsilon)
+
+    def profile_into(self, sq_dists: np.ndarray) -> None:
+        np.sqrt(sq_dists, out=sq_dists)
+        np.divide(sq_dists, -self.epsilon, out=sq_dists)
+        _exp_with_underflow_bypass(sq_dists)
 
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         tolerance = self._check_tolerance(tolerance)

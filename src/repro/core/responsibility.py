@@ -19,6 +19,15 @@ the Interchange strategies need:
 * :meth:`replace` — swap slot ``j`` for a new point given the kernel
   row of the new point (O(K) with one extra kernel row for the evictee);
 * :meth:`objective` — current ``Σ_{i<j} κ̃`` value.
+
+With ``track_matrix=True`` the set additionally maintains the full
+``K × K`` κ̃ matrix incrementally: every :meth:`fill`/:meth:`replace`
+writes one row and one column.  The stored row then serves as the
+eviction row on the next replacement of that slot, saving the O(K)
+kernel re-evaluation — the arithmetic is bit-identical to recomputing
+(squared distances are symmetric under operand negation), so the
+tracked and untracked paths make exactly the same decisions.  The
+batched Interchange engine runs with tracking on.
 """
 
 from __future__ import annotations
@@ -38,9 +47,14 @@ class CandidateSet:
         Target sample size K.
     kernel:
         The proximity function κ̃.
+    track_matrix:
+        Maintain the full κ̃ matrix incrementally (row/column writes on
+        every mutation).  Costs O(K²) memory; saves one kernel row per
+        replacement and exposes :attr:`matrix` to vectorised callers.
     """
 
-    def __init__(self, capacity: int, kernel: Kernel) -> None:
+    def __init__(self, capacity: int, kernel: Kernel,
+                 track_matrix: bool = False) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
@@ -49,6 +63,10 @@ class CandidateSet:
         self._responsibilities = np.zeros(capacity, dtype=np.float64)
         self._source_ids = np.full(capacity, -1, dtype=np.int64)
         self._size = 0
+        self.track_matrix = bool(track_matrix)
+        self._matrix = (np.zeros((capacity, capacity), dtype=np.float64)
+                        if track_matrix else None)
+        self._id_lookup: set[int] = set()
 
     # -- views --------------------------------------------------------------
     def __len__(self) -> int:
@@ -73,6 +91,28 @@ class CandidateSet:
         """``(size,)`` row ids of each candidate in the original dataset."""
         return self._source_ids[:self._size]
 
+    @property
+    def matrix(self) -> np.ndarray:
+        """``(size, size)`` incrementally maintained κ̃ matrix.
+
+        Only available with ``track_matrix=True``; the diagonal is kept
+        at zero so responsibilities are plain row sums.
+        """
+        if self._matrix is None:
+            raise ConfigurationError(
+                "CandidateSet was built without track_matrix=True"
+            )
+        return self._matrix[:self._size, :self._size]
+
+    def has_source(self, source_id: int) -> bool:
+        """Whether a dataset row is already a member.
+
+        Strategies reject tuples whose row is in the set: re-offering a
+        member (every multi-pass scan does) must not let the same
+        dataset row occupy two slots — a sample is a subset of rows.
+        """
+        return int(source_id) in self._id_lookup
+
     def objective(self) -> float:
         """Current optimisation objective ``Σ_{i<j} κ̃(s_i, s_j)``."""
         return float(self.responsibilities.sum() / 2.0)
@@ -88,6 +128,8 @@ class CandidateSet:
             return
         sim = self.kernel.similarity_matrix(pts)
         np.fill_diagonal(sim, 0.0)
+        if self._matrix is not None:
+            self._matrix[:self._size, :self._size] = sim
         self._responsibilities[:self._size] = sim.sum(axis=1)
 
     # -- mutation -----------------------------------------------------------
@@ -107,6 +149,10 @@ class CandidateSet:
         self._responsibilities[idx] = row.sum()
         self._points[idx] = pt
         self._source_ids[idx] = source_id
+        self._id_lookup.add(int(source_id))
+        if self._matrix is not None:
+            self._matrix[idx, :idx] = row
+            self._matrix[:idx, idx] = row
         self._size += 1
         return row
 
@@ -129,6 +175,17 @@ class CandidateSet:
             return j
         return self._size
 
+    def reassign_source(self, slot: int, source_id: int) -> None:
+        """Point ``slot`` at a different dataset row (id bookkeeping).
+
+        For callers that update coordinates/responsibilities themselves
+        (the ES+Loc sparse path) but must keep the membership lookup of
+        :meth:`has_source` coherent.
+        """
+        self._id_lookup.discard(int(self._source_ids[slot]))
+        self._id_lookup.add(int(source_id))
+        self._source_ids[slot] = source_id
+
     def replace(self, slot: int, source_id: int, point: np.ndarray,
                 new_row: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Swap ``slot`` for ``point`` given the point's kernel row.
@@ -141,13 +198,25 @@ class CandidateSet:
         if not (0 <= slot < self._size):
             raise ConfigurationError(f"slot {slot} out of range [0, {self._size})")
         old_point = self._points[slot].copy()
-        evict_row = self.kernel.similarity_to(old_point, self.points)
-        evict_row[slot] = 0.0  # no self-term
+        if self._matrix is not None:
+            # The maintained row IS the eviction row (squared distances
+            # are symmetric under operand negation, so this matches a
+            # fresh similarity_to bit for bit).
+            evict_row = self._matrix[slot, :self._size].copy()
+        else:
+            evict_row = self.kernel.similarity_to(old_point, self.points)
+            evict_row[slot] = 0.0  # no self-term
         rsp = self.responsibilities
         rsp += new_row - evict_row
         # The new member's responsibility: its row sum minus the term
         # against the member it replaced.
         rsp[slot] = float(new_row.sum() - new_row[slot])
         self._points[slot] = np.asarray(point, dtype=np.float64)
+        self._id_lookup.discard(int(self._source_ids[slot]))
+        self._id_lookup.add(int(source_id))
         self._source_ids[slot] = source_id
+        if self._matrix is not None:
+            self._matrix[slot, :self._size] = new_row
+            self._matrix[:self._size, slot] = new_row
+            self._matrix[slot, slot] = 0.0
         return old_point, evict_row

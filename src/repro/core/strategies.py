@@ -19,6 +19,21 @@ which offers one tuple to a :class:`~repro.core.responsibility.CandidateSet`
 and mutates it when the replacement lowers the objective.  ES and No-ES
 make identical decisions (they are exact); ES+Loc may differ within the
 cutoff tolerance.
+
+Each strategy also exposes the vectorised screening API behind the
+batched Interchange engine: :meth:`ReplacementStrategy.begin_block`
+evaluates one block of incoming tuples against the candidate set with
+a single NumPy kernel-matrix product and caches the result as a
+:class:`ScreenBlock`; :meth:`~ReplacementStrategy.block_decisions`
+turns the cache into the mask of tuples the sequential
+:meth:`~ReplacementStrategy.process` would accept right now; and
+:meth:`~ReplacementStrategy.block_refresh` rewrites the few matrix
+columns an accepted replacement touched (the only κ̃ values that can
+change).  Distances are computed with component-wise broadcasting
+(``dx² + dy²`` — the same two products and one addition as the
+per-tuple :func:`~repro.geometry.sq_dists_to`), so a screen verdict is
+not an approximation — it is the sequential decision, bit for bit,
+evaluated in bulk.
 """
 
 from __future__ import annotations
@@ -28,9 +43,27 @@ import abc
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..geometry import as_points
 from ..index import GridIndex, RTree
 from .kernel import Kernel
 from .responsibility import CandidateSet
+
+
+class ScreenBlock:
+    """Cached κ̃ values of one block of incoming tuples vs the set.
+
+    ``sim[c, i]`` is the (strategy-truncated, for ES+Loc) kernel value
+    between block row ``c`` and set member ``i``, kept current by
+    :meth:`ReplacementStrategy.block_refresh` as replacements land.
+    ``sim`` is a view into a per-strategy scratch buffer, so at most
+    one block per strategy is live at a time.
+    """
+
+    __slots__ = ("pts", "sim")
+
+    def __init__(self, pts: np.ndarray, sim: np.ndarray) -> None:
+        self.pts = pts
+        self.sim = sim
 
 
 class ReplacementStrategy(abc.ABC):
@@ -43,10 +76,115 @@ class ReplacementStrategy(abc.ABC):
         self.kernel: Kernel = candidate_set.kernel
         self.replacements = 0
         self.processed = 0
+        #: Tuples rejected via a bulk screen (no per-tuple Python work).
+        self.bulk_rejected = 0
+        #: Slot written by the most recent accepted fill/replacement.
+        self.last_replaced_slot = -1
+        self._scr_sim: np.ndarray | None = None
+        self._scr_scratch: np.ndarray | None = None
 
     @abc.abstractmethod
     def process(self, source_id: int, point: np.ndarray) -> bool:
         """Offer one tuple; return ``True`` when it entered the set."""
+
+    # -- vectorised screening ---------------------------------------------
+    def _screen_d2(self, pts: np.ndarray) -> np.ndarray:
+        """Squared distances of a block vs the set, into scratch buffers.
+
+        Component-wise broadcasting (``dx² + dy²``) is bit-identical to
+        the per-tuple :func:`~repro.geometry.sq_dists_to` einsum — the
+        same two products and one addition per pair — while avoiding
+        the ``(C, K, 2)`` intermediate.
+        """
+        members = self.set.points
+        c, k = len(pts), len(members)
+        if (self._scr_sim is None or self._scr_sim.shape[0] < c
+                or self._scr_sim.shape[1] != k):
+            self._scr_sim = np.empty((c, k), dtype=np.float64)
+            self._scr_scratch = np.empty((c, k), dtype=np.float64)
+        sim = self._scr_sim[:c]
+        scratch = self._scr_scratch[:c]
+        np.subtract(pts[:, 0, None], members[None, :, 0], out=sim)
+        np.subtract(pts[:, 1, None], members[None, :, 1], out=scratch)
+        np.multiply(sim, sim, out=sim)
+        np.multiply(scratch, scratch, out=scratch)
+        np.add(sim, scratch, out=sim)
+        return sim
+
+    def begin_block(self, pts: np.ndarray) -> ScreenBlock:
+        """Kernel-evaluate a ``(C, 2)`` block against the current set."""
+        sim = self._screen_d2(pts)
+        self.kernel.profile_into(sim)
+        return ScreenBlock(pts, sim)
+
+    def _screen_responsibilities(self) -> np.ndarray:
+        """Responsibilities the sequential decision would use right now."""
+        return self.set.responsibilities
+
+    def block_decisions(self, block: ScreenBlock, start: int,
+                        stop: int) -> np.ndarray:
+        """Accept mask for block rows ``start:stop`` against the live set.
+
+        ``mask[c]`` is True exactly when ``process`` on row
+        ``start + c`` would perform a replacement right now (only valid
+        while the set is full and ``block.sim`` is current).
+        """
+        sim = block.sim[start:stop]
+        rsp = self._screen_responsibilities()
+        expanded = self._scr_scratch[start:stop]
+        np.add(sim, rsp[None, :], out=expanded)
+        return expanded.max(axis=1) > sim.sum(axis=1)
+
+    def _kernel_vs(self, pts: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """Fresh κ̃ of block rows vs a gathered member subset.
+
+        Same component arithmetic as :meth:`_screen_d2`, so the result
+        is bit-identical to what a full re-screen would produce for
+        those entries.
+        """
+        d2 = pts[:, 0, None] - members[None, :, 0]
+        dy = pts[:, 1, None] - members[None, :, 1]
+        np.multiply(d2, d2, out=d2)
+        d2 += dy * dy
+        self.kernel.profile_into(d2)
+        return d2
+
+    def block_refresh(self, block: ScreenBlock, start: int, stop: int,
+                      slots) -> None:
+        """Refresh columns ``slots`` of ``block.sim`` for rows
+        ``start:stop``.
+
+        Called after acceptances replaced those slots; every other κ̃
+        column is unchanged, so a few fresh kernel columns keep the
+        cache exact.
+        """
+        idx = np.asarray(slots, dtype=np.int64)
+        block.sim[start:stop, idx] = self._kernel_vs(
+            block.pts[start:stop], self.set.points[idx]
+        )
+
+    def accept_block_row(self, block: ScreenBlock, row: int,
+                         source_id: int) -> bool:
+        """Apply the screen-approved acceptance of block row ``row``.
+
+        Returns False when the tuple is turned away after all — the
+        screen judges geometry only, so a dataset row that already
+        occupies a slot (re-offered by a later pass) is rejected here,
+        exactly as the per-tuple path would.  The default routes
+        through :meth:`process`; strategies that can reuse the cached
+        kernel row override this to skip recomputing it.
+        """
+        return self.process(source_id, block.pts[row])
+
+    def screen_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """One-shot accept mask for a ``(C, 2)`` block of tuples."""
+        pts = as_points(chunk)
+        return self.block_decisions(self.begin_block(pts), 0, len(pts))
+
+    def note_bulk_rejects(self, count: int) -> None:
+        """Credit ``count`` tuples rejected by a bulk screen."""
+        self.processed += count
+        self.bulk_rejected += count
 
     def finalize(self) -> None:
         """Hook run after a full pass (ES+Loc flushes drift here)."""
@@ -60,7 +198,10 @@ class ESStrategy(ReplacementStrategy):
     def process(self, source_id: int, point: np.ndarray) -> bool:
         self.processed += 1
         cs = self.set
+        if cs.has_source(source_id):
+            return False  # this dataset row already occupies a slot
         if not cs.is_full:
+            self.last_replaced_slot = len(cs)
             cs.fill(source_id, point)
             self.replacements += 1
             return True
@@ -70,6 +211,22 @@ class ESStrategy(ReplacementStrategy):
         if slot >= len(cs):
             return False
         cs.replace(slot, source_id, pt, row)
+        self.last_replaced_slot = slot
+        self.replacements += 1
+        return True
+
+    def accept_block_row(self, block: ScreenBlock, row: int,
+                         source_id: int) -> bool:
+        # The cached block row IS the kernel row process() would
+        # recompute, so the acceptance can be applied directly.
+        self.processed += 1
+        cs = self.set
+        if cs.has_source(source_id):
+            return False
+        krow = block.sim[row]
+        slot = cs.expanded_max_slot(krow, float(krow.sum()))
+        cs.replace(slot, source_id, block.pts[row], krow)
+        self.last_replaced_slot = slot
         self.replacements += 1
         return True
 
@@ -87,10 +244,18 @@ class NoESStrategy(ReplacementStrategy):
 
     name = "no-es"
 
+    def __init__(self, candidate_set: CandidateSet) -> None:
+        super().__init__(candidate_set)
+        self._rsp_cache: np.ndarray | None = None
+
     def process(self, source_id: int, point: np.ndarray) -> bool:
         self.processed += 1
         cs = self.set
+        if cs.has_source(source_id):
+            return False  # this dataset row already occupies a slot
+        self._rsp_cache = None
         if not cs.is_full:
+            self.last_replaced_slot = len(cs)
             cs.fill(source_id, point)
             cs.recompute()  # deliberate full recompute, the No-ES way
             self.replacements += 1
@@ -108,8 +273,19 @@ class NoESStrategy(ReplacementStrategy):
             return False
         cs.replace(slot, source_id, pt, row)
         cs.recompute()
+        self.last_replaced_slot = slot
         self.replacements += 1
         return True
+
+    def _screen_responsibilities(self) -> np.ndarray:
+        # One from-scratch rebuild per replacement; the sequential path
+        # rebuilds per tuple but — with no replacement in between —
+        # keeps getting exactly these values, so caching is safe.
+        if self._rsp_cache is None:
+            sim_set = self.kernel.similarity_matrix(self.set.points)
+            np.fill_diagonal(sim_set, 0.0)
+            self._rsp_cache = sim_set.sum(axis=1)
+        return self._rsp_cache
 
 
 class ESLocStrategy(ReplacementStrategy):
@@ -169,11 +345,14 @@ class ESLocStrategy(ReplacementStrategy):
     def process(self, source_id: int, point: np.ndarray) -> bool:
         self.processed += 1
         cs = self.set
+        if cs.has_source(source_id):
+            return False  # this dataset row already occupies a slot
         pt = np.asarray(point, dtype=np.float64)
         if not cs.is_full:
             slot = len(cs)
             cs.fill(source_id, pt)
             self._index_insert(slot, float(pt[0]), float(pt[1]))
+            self.last_replaced_slot = slot
             self.replacements += 1
             return True
 
@@ -188,7 +367,13 @@ class ESLocStrategy(ReplacementStrategy):
         slot = cs.expanded_max_slot(row, new_rsp)
         if slot >= len(cs):
             return False
+        self._accept(slot, source_id, pt, row)
+        return True
 
+    def _accept(self, slot: int, source_id: int, pt: np.ndarray,
+                row: np.ndarray) -> None:
+        """Apply a decided replacement: sparse update plus index upkeep."""
+        cs = self.set
         old_point = cs.points[slot].copy()
         # Sparse eviction row via the evictee's own neighbourhood.
         evict_neighbors = self._neighbors(float(old_point[0]), float(old_point[1]))
@@ -203,12 +388,46 @@ class ESLocStrategy(ReplacementStrategy):
         self._apply_replace(slot, source_id, pt, row, evict_row)
         self._index_remove(slot, float(old_point[0]), float(old_point[1]))
         self._index_insert(slot, float(pt[0]), float(pt[1]))
+        self.last_replaced_slot = slot
         self.replacements += 1
 
         self._since_recompute += 1
         if self.recompute_every and self._since_recompute >= self.recompute_every:
             cs.recompute()
             self._since_recompute = 0
+
+    def begin_block(self, pts: np.ndarray) -> ScreenBlock:
+        sim = self._screen_d2(pts)
+        # The cutoff mask reproduces the index's query_radius test
+        # (``dx² + dy² <= r²``), so the screened sparse row matches the
+        # sequential neighbourhood row entry for entry.
+        far = sim > self.cutoff * self.cutoff
+        self.kernel.profile_into(sim)
+        np.copyto(sim, 0.0, where=far)
+        return ScreenBlock(pts, sim)
+
+    def _kernel_vs(self, pts: np.ndarray, members: np.ndarray) -> np.ndarray:
+        d2 = pts[:, 0, None] - members[None, :, 0]
+        dy = pts[:, 1, None] - members[None, :, 1]
+        np.multiply(d2, d2, out=d2)
+        d2 += dy * dy
+        far = d2 > self.cutoff * self.cutoff
+        self.kernel.profile_into(d2)
+        np.copyto(d2, 0.0, where=far)
+        return d2
+
+    def accept_block_row(self, block: ScreenBlock, row: int,
+                         source_id: int) -> bool:
+        # The cached block row is exactly the truncated neighbourhood
+        # row process() would rebuild from the spatial index.
+        self.processed += 1
+        cs = self.set
+        if cs.has_source(source_id):
+            return False
+        krow = block.sim[row].copy()
+        slot = cs.expanded_max_slot(krow, float(krow.sum()))
+        self._accept(slot, source_id,
+                     np.asarray(block.pts[row], dtype=np.float64), krow)
         return True
 
     def _apply_replace(self, slot: int, source_id: int, pt: np.ndarray,
@@ -224,7 +443,7 @@ class ESLocStrategy(ReplacementStrategy):
         rsp += row - evict_row
         rsp[slot] = float(row.sum() - row[slot])
         cs.points[slot] = pt
-        cs.source_ids[slot] = source_id
+        cs.reassign_source(slot, source_id)
 
     def finalize(self) -> None:
         """Flush truncation drift with one exact recompute."""

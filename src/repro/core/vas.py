@@ -18,7 +18,17 @@ Configuration mirrors the knobs the paper discusses:
   (the Fig 10 conclusion: the R-tree only pays for itself beyond ~10K
   samples, so ``auto`` switches on ``loc_threshold``);
 * ``max_passes`` — Interchange keeps scanning until a pass makes no
-  replacement, up to this bound.
+  replacement, up to this bound;
+* ``engine`` — ``"batched"`` (default) drives the scan through the
+  vectorised screen-then-settle engine of
+  :mod:`repro.core.interchange`; ``"reference"`` is the per-tuple
+  Algorithm 1 loop.  The two produce identical samples for the same
+  seed, so the switch is purely a speed/debuggability trade.
+
+This sampler is also the workhorse of the multi-resolution zoom
+service (:mod:`repro.storage.zoom`): the ladder builder runs one VAS
+instance per tile per zoom level, then serves viewport queries from
+the stored ladder without ever re-running Interchange online.
 """
 
 from __future__ import annotations
@@ -64,6 +74,9 @@ class VASSampler(Sampler):
         Kernel-locality truncation tolerance for ES+Loc.
     rng:
         Seed/generator for the shuffled scan order (the random start).
+    engine:
+        ``"batched"`` (default) or ``"reference"``; see
+        :func:`repro.core.interchange.run_interchange`.
     """
 
     name = "vas"
@@ -79,6 +92,7 @@ class VASSampler(Sampler):
         loc_tolerance: float = 1e-6,
         rng: int | np.random.Generator | None = None,
         trace_every: int = 0,
+        engine: str = "batched",
     ) -> None:
         if strategy not in ("auto", "es", "es+loc", "no-es"):
             raise ConfigurationError(
@@ -88,6 +102,11 @@ class VASSampler(Sampler):
             raise ConfigurationError(f"max_passes must be >= 1, got {max_passes}")
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if engine not in ("reference", "batched"):
+            raise ConfigurationError(
+                f"engine must be 'reference' or 'batched', got {engine!r}"
+            )
+        self.engine = engine
         self._kernel_spec = kernel
         self.epsilon = epsilon
         self.strategy = strategy
@@ -146,6 +165,7 @@ class VASSampler(Sampler):
             trace_every=self.trace_every,
             rng=self._rng,
             strategy_kwargs=strategy_kwargs,
+            engine=self.engine,
         )
         self.last_run = run
         order = np.argsort(run.source_ids)
@@ -156,6 +176,7 @@ class VASSampler(Sampler):
             metadata={
                 "objective": run.objective,
                 "strategy": run.strategy,
+                "engine": run.engine,
                 "passes": run.passes,
                 "replacements": run.replacements,
                 "epsilon": kernel.epsilon,
@@ -189,6 +210,7 @@ class VASSampler(Sampler):
             trace_every=self.trace_every,
             rng=self._rng,
             strategy_kwargs=strategy_kwargs,
+            engine=self.engine,
         )
         self.last_run = run
         order = np.argsort(run.source_ids)
@@ -196,7 +218,8 @@ class VASSampler(Sampler):
             points=run.points[order],
             indices=run.source_ids[order],
             method=self.name,
-            metadata={"objective": run.objective, "strategy": run.strategy},
+            metadata={"objective": run.objective, "strategy": run.strategy,
+                      "engine": run.engine},
         )
 
     # -- §V ---------------------------------------------------------------------

@@ -54,6 +54,23 @@ def sq_dists_to(points: np.ndarray, target: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->i", diff, diff)
 
 
+def sq_dists_chunk(chunk: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared distances from every row of ``chunk`` to every row of
+    ``points`` → ``(len(chunk), len(points))``.
+
+    Row ``c`` of the result is bit-identical to
+    ``sq_dists_to(points, chunk[c])`` (same subtract-then-square
+    arithmetic, just broadcast) — the guarantee the batched Interchange
+    screen builds on with equivalent component-wise arithmetic.
+    :func:`pairwise_sq_dists` is cheaper for large inputs but uses the
+    expanded quadratic form, whose round-off differs in the last ulp.
+    """
+    chunk = np.asarray(chunk, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    diff = chunk[:, None, :] - points[None, :, :]
+    return np.einsum("ckj,ckj->ck", diff, diff)
+
+
 def max_pairwise_distance(points: np.ndarray, sample_cap: int = 2048,
                           rng: np.random.Generator | None = None) -> float:
     """Estimate the dataset diameter ``max ‖x_i - x_j‖``.

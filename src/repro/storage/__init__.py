@@ -16,9 +16,16 @@ from .predicates import (
     Predicate,
     viewport_predicate,
 )
-from .query import VizQuery, VizResult
+from .query import VizQuery, VizResult, ZoomQuery, answer_zoom_query
 from .samples import SampleKey, SampleStore, points_for_budget
 from .table import Table
+from .zoom import (
+    DEFAULT_K_PER_TILE,
+    DEFAULT_LEVELS,
+    ZoomLadder,
+    ZoomLevel,
+    build_zoom_ladder,
+)
 
 __all__ = [
     "And",
@@ -27,6 +34,8 @@ __all__ = [
     "ColumnType",
     "Compare",
     "Database",
+    "DEFAULT_K_PER_TILE",
+    "DEFAULT_LEVELS",
     "FLOAT64",
     "INT64",
     "Not",
@@ -38,6 +47,11 @@ __all__ = [
     "Table",
     "VizQuery",
     "VizResult",
+    "ZoomLadder",
+    "ZoomLevel",
+    "ZoomQuery",
+    "answer_zoom_query",
+    "build_zoom_ladder",
     "points_for_budget",
     "viewport_predicate",
 ]

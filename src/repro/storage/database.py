@@ -15,9 +15,10 @@ import numpy as np
 from ..errors import SchemaError, TableNotFoundError
 from ..sampling.base import Sampler, SampleResult
 from ..core.density import embed_density
-from .query import VizQuery, VizResult
+from .query import VizQuery, VizResult, ZoomQuery, answer_zoom_query
 from .samples import SampleStore
 from .table import Table
+from .zoom import ZoomLadder, build_zoom_ladder
 
 
 class Database:
@@ -84,6 +85,27 @@ class Database:
             for size in sizes
         ]
 
+    def build_zoom_ladder(self, table_name: str, x_column: str,
+                          y_column: str, levels: int = 4,
+                          k_per_tile: int = 256,
+                          rng: int | None = 0,
+                          sampler_factory=None) -> ZoomLadder:
+        """Precompute and register a multi-resolution zoom ladder.
+
+        The offline half of the interactive workload: one VAS run per
+        occupied tile per level (see :mod:`repro.storage.zoom`),
+        stored under the table/column key for
+        :meth:`execute_zoom` to serve.
+        """
+        table = self.table(table_name)
+        ladder = build_zoom_ladder(
+            table.xy(x_column, y_column), levels=levels,
+            k_per_tile=k_per_tile, rng=rng,
+            sampler_factory=sampler_factory,
+        )
+        self.samples.add_zoom_ladder(table_name, x_column, y_column, ladder)
+        return ladder
+
     # -- query answering ----------------------------------------------------------
     def execute(self, query: VizQuery) -> VizResult:
         """Answer a visualization query from the stored samples.
@@ -127,3 +149,16 @@ class Database:
             sample_size=len(sample),
             returned_rows=len(points),
         )
+
+    def execute_zoom(self, query: ZoomQuery) -> VizResult:
+        """Answer a viewport (bbox + zoom) request from a stored ladder.
+
+        Pure lookup: the rung's spatial index resolves the bbox, so
+        latency is independent of the base table size — the property
+        the interactive workload needs.
+        """
+        self.table(query.table)  # raises early on unknown table
+        ladder = self.samples.zoom_ladder(
+            query.table, query.x_column, query.y_column, query.method
+        )
+        return answer_zoom_query(ladder, query)

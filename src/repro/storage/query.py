@@ -4,6 +4,12 @@ A :class:`VizQuery` is the tool-generated request of Fig 3: which table
 and column pair to plot, an optional zoom window, and a latency or
 point budget that the database converts into a stored-sample choice
 (§II-B, §II-D).
+
+A :class:`ZoomQuery` is the interactive-workload variant: a viewport
+(bbox) plus an optional explicit zoom level, answered from a
+precomputed multi-resolution ladder (:mod:`repro.storage.zoom`) via
+:func:`answer_zoom_query` — the spatial index of the chosen rung does
+the work; Interchange never runs at query time.
 """
 
 from __future__ import annotations
@@ -66,7 +72,8 @@ class VizResult:
     """Rows returned to the visualization tool.
 
     ``sample_size`` is the size of the stored sample that served the
-    query; ``returned_rows`` is after the viewport filter.
+    query; ``returned_rows`` is after the viewport filter.  For zoom
+    queries ``zoom_level`` records the ladder rung that answered.
     """
 
     points: np.ndarray
@@ -74,3 +81,62 @@ class VizResult:
     method: str
     sample_size: int
     returned_rows: int
+    zoom_level: int | None = None
+
+
+@dataclass
+class ZoomQuery:
+    """A viewport (bbox + zoom) request against a prebuilt ladder.
+
+    Attributes
+    ----------
+    table / x_column / y_column:
+        Which ladder family to serve from.
+    viewport:
+        The data-space window to populate.
+    zoom:
+        Explicit ladder rung; ``None`` lets the ladder match the
+        viewport extent.
+    method:
+        Ladder sample family (``"vas"`` by default).
+    max_points:
+        Optional response budget — the ladder demotes to coarser rungs
+        until the answer fits.
+    """
+
+    table: str
+    x_column: str
+    y_column: str
+    viewport: Viewport
+    zoom: int | None = None
+    method: str = "vas"
+    max_points: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.zoom is not None and self.zoom < 0:
+            raise ConfigurationError(f"zoom must be >= 0, got {self.zoom}")
+        if self.max_points is not None and self.max_points < 0:
+            raise ConfigurationError(
+                f"max_points must be >= 0, got {self.max_points}"
+            )
+
+
+def answer_zoom_query(ladder, query: ZoomQuery) -> VizResult:
+    """Serve a :class:`ZoomQuery` from a prebuilt zoom ladder.
+
+    ``ladder`` is a :class:`repro.storage.zoom.ZoomLadder` (duck-typed
+    to keep this module free of a circular import).  The chosen rung's
+    spatial index answers the bbox probe; no sampling work happens
+    here.
+    """
+    points, _indices, level = ladder.query(
+        query.viewport, zoom=query.zoom, max_points=query.max_points
+    )
+    return VizResult(
+        points=points,
+        weights=None,
+        method=ladder.method,
+        sample_size=len(ladder.levels[level].points),
+        returned_rows=len(points),
+        zoom_level=level,
+    )

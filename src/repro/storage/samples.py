@@ -11,7 +11,10 @@ both halves:
   several sizes per key;
 * :meth:`SampleStore.for_time_budget` — pick the largest stored sample
   whose predicted visualization time fits the budget, given a
-  seconds-per-point rate (calibrated by :mod:`repro.perf.cost_model`).
+  seconds-per-point rate (calibrated by :mod:`repro.perf.cost_model`);
+* registration of multi-resolution zoom ladders
+  (:mod:`repro.storage.zoom`) under the same keys, one ladder per
+  (table, columns, method), for the interactive viewport workload.
 """
 
 from __future__ import annotations
@@ -87,9 +90,33 @@ class SampleStore:
 
     def __init__(self) -> None:
         self._ladders: dict[SampleKey, _SizeLadder] = {}
+        self._zoom_ladders: dict[SampleKey, object] = {}
 
     def __len__(self) -> int:
         return sum(len(ladder.sizes) for ladder in self._ladders.values())
+
+    # -- zoom ladders ------------------------------------------------------
+    def add_zoom_ladder(self, table: str, x_column: str, y_column: str,
+                        ladder) -> None:
+        """Register a prebuilt :class:`~repro.storage.zoom.ZoomLadder`.
+
+        One ladder per (table, columns, method); re-registering
+        replaces (rebuilds are allowed, like flat sample rungs).
+        """
+        key = SampleKey(table, x_column, y_column, ladder.method)
+        self._zoom_ladders[key] = ladder
+
+    def zoom_ladder(self, table: str, x_column: str, y_column: str,
+                    method: str = "vas"):
+        """The stored ladder, or :class:`SampleNotFoundError`."""
+        key = SampleKey(table, x_column, y_column, method)
+        try:
+            return self._zoom_ladders[key]
+        except KeyError:
+            raise SampleNotFoundError(
+                f"no {method!r} zoom ladder for "
+                f"{table}.({x_column}, {y_column})"
+            ) from None
 
     def add(self, table: str, x_column: str, y_column: str,
             result: SampleResult) -> None:

@@ -1,0 +1,190 @@
+"""Engine parity: the batched Interchange engine must be bit-identical
+to the reference per-tuple engine.
+
+The batched engine's screens evaluate the exact sequential decision
+quantities (same float arithmetic, same tie handling), so for any fixed
+seed the two engines must emit the same samples, objectives, traces and
+counters — across strategies, chunk sizes, and degenerate inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINES, GaussianKernel, LaplaceKernel, run_interchange
+from repro.core.vas import VASSampler
+from repro.errors import ConfigurationError
+from repro.sampling import iter_chunks
+
+STRATEGIES = ("es", "no-es", "es+loc")
+
+
+def both_engines(points, k, kernel, chunk_size=64, **kwargs):
+    results = {}
+    for engine in ENGINES:
+        results[engine] = run_interchange(
+            lambda: iter_chunks(points, chunk_size), k, kernel,
+            engine=engine, **kwargs,
+        )
+    return results["reference"], results["batched"]
+
+
+def assert_identical(ref, bat):
+    assert np.array_equal(ref.source_ids, bat.source_ids)
+    assert np.array_equal(ref.points, bat.points)
+    assert ref.objective == bat.objective
+    assert ref.replacements == bat.replacements
+    assert ref.passes == bat.passes
+    assert ref.tuples_processed == bat.tuples_processed
+
+
+class TestStrategyParity:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_identical_samples_and_objective(self, blob_points, strategy):
+        kernel = GaussianKernel(0.3)
+        ref, bat = both_engines(blob_points, 25, kernel,
+                                strategy=strategy, rng=0, max_passes=2)
+        assert_identical(ref, bat)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_many_seeds(self, blob_points, strategy):
+        kernel = GaussianKernel(0.25)
+        for seed in range(8):
+            ref, bat = both_engines(blob_points, 15, kernel,
+                                    strategy=strategy, rng=seed)
+            assert_identical(ref, bat)
+
+    def test_es_loc_grid_index(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        ref, bat = both_engines(
+            blob_points, 20, kernel, strategy="es+loc", rng=3,
+            strategy_kwargs={"index_kind": "grid"},
+        )
+        assert_identical(ref, bat)
+
+    def test_es_loc_with_periodic_recompute(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        ref, bat = both_engines(
+            blob_points, 20, kernel, strategy="es+loc", rng=4,
+            strategy_kwargs={"recompute_every": 5},
+        )
+        assert_identical(ref, bat)
+
+    def test_laplace_kernel(self, blob_points):
+        ref, bat = both_engines(blob_points, 20, LaplaceKernel(0.4), rng=5)
+        assert_identical(ref, bat)
+
+
+class TestChunkSizes:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 150, 440, 10_000])
+    def test_any_chunking(self, blob_points, chunk_size):
+        kernel = GaussianKernel(0.3)
+        ref, bat = both_engines(blob_points, 30, kernel,
+                                chunk_size=chunk_size, rng=1, max_passes=2)
+        assert_identical(ref, bat)
+
+    def test_uneven_chunks(self, blob_points):
+        """A stream whose chunk boundaries are irregular."""
+        sizes = [3, 57, 1, 200, 179]  # sums to 440
+
+        def factory():
+            start = 0
+            for size in sizes:
+                yield blob_points[start:start + size]
+                start += size
+
+        kernel = GaussianKernel(0.3)
+        runs = [
+            run_interchange(factory, 22, kernel, rng=9, engine=engine,
+                            max_passes=3)
+            for engine in ENGINES
+        ]
+        assert_identical(runs[0], runs[1])
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_k_equals_one(self, blob_points, strategy):
+        ref, bat = both_engines(blob_points, 1, GaussianKernel(0.3),
+                                strategy=strategy, rng=2)
+        assert_identical(ref, bat)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_k_equals_n_minus_one(self, strategy):
+        pts = np.random.default_rng(11).normal(size=(40, 2))
+        ref, bat = both_engines(pts, 39, GaussianKernel(0.5),
+                                strategy=strategy, rng=2, chunk_size=16)
+        assert_identical(ref, bat)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_duplicate_points(self, strategy):
+        """Exact duplicates exercise the tie-break (reject on equality)."""
+        gen = np.random.default_rng(13)
+        base = gen.normal(size=(60, 2))
+        pts = np.concatenate([base, base[:30], base[:15]])
+        ref, bat = both_engines(pts, 12, GaussianKernel(0.4),
+                                strategy=strategy, rng=6, chunk_size=25,
+                                max_passes=2)
+        assert_identical(ref, bat)
+
+    def test_all_points_identical(self):
+        pts = np.tile([1.5, -2.0], (50, 1))
+        ref, bat = both_engines(pts, 5, GaussianKernel(0.2), rng=0)
+        assert_identical(ref, bat)
+
+    def test_no_shuffle(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        ref, bat = both_engines(blob_points, 20, kernel,
+                                shuffle_within_chunks=False, max_passes=2)
+        assert_identical(ref, bat)
+
+
+class TestTraceParity:
+    def test_traces_match(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        ref, bat = both_engines(blob_points, 15, kernel, rng=8,
+                                trace_every=100, max_passes=2)
+        assert len(ref.trace) == len(bat.trace)
+        for a, b in zip(ref.trace, bat.trace):
+            assert a.tuples_processed == b.tuples_processed
+            assert a.objective == b.objective
+
+
+class TestVASSamplerEngines:
+    def test_sampler_results_identical(self, geolife_small):
+        sub = geolife_small[:6000]
+        results = [
+            VASSampler(rng=0, engine=engine).sample(sub, 120)
+            for engine in ENGINES
+        ]
+        assert np.array_equal(results[0].indices, results[1].indices)
+        assert results[0].metadata["objective"] == \
+            results[1].metadata["objective"]
+
+    def test_engine_recorded_in_metadata(self, blob_points):
+        result = VASSampler(rng=0, engine="batched").sample(blob_points, 10)
+        assert result.metadata["engine"] == "batched"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VASSampler(engine="turbo")
+        with pytest.raises(ConfigurationError):
+            run_interchange(lambda: iter([]), 5, GaussianKernel(1.0),
+                            engine="turbo")
+
+
+class TestBatchedCounters:
+    def test_bulk_rejects_accounted(self, blob_points):
+        """Every scanned tuple is either processed or bulk-rejected."""
+        kernel = GaussianKernel(0.3)
+        bat = run_interchange(lambda: iter_chunks(blob_points, 64), 20,
+                              kernel, rng=1, max_passes=2, engine="batched")
+        assert bat.bulk_rejected > 0
+        assert bat.tuples_processed == 2 * len(blob_points)
+
+    def test_reference_has_no_bulk_rejects(self, blob_points):
+        ref = run_interchange(lambda: iter_chunks(blob_points, 64), 20,
+                              GaussianKernel(0.3), rng=1, engine="reference")
+        assert ref.bulk_rejected == 0
+        assert ref.engine == "reference"

@@ -123,6 +123,80 @@ class TestDeterminism:
         assert np.array_equal(a.source_ids, b.source_ids)
 
 
+class TestSourceIdBookkeeping:
+    """Regression: per-pass offsets must map to dataset row numbers.
+
+    ``run_interchange`` resets ``pass_offset`` at every pass, so a
+    stream with uneven chunk sizes — even one whose chunk boundaries
+    change from pass to pass — must still report ids that index the
+    original dataset.
+    """
+
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_uneven_chunks_multi_pass(self, engine):
+        pts = np.random.default_rng(21).normal(size=(500, 2))
+        sizes = [3, 127, 1, 64, 200, 105]  # sums to 500
+
+        def factory():
+            start = 0
+            for size in sizes:
+                yield pts[start:start + size]
+                start += size
+
+        result = run_interchange(factory, 40, GaussianKernel(0.4),
+                                 max_passes=4, rng=0, engine=engine)
+        assert len(set(result.source_ids.tolist())) == 40
+        for sid, pt in zip(result.source_ids, result.points):
+            assert np.array_equal(pts[sid], pt)
+
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_chunking_changes_between_passes(self, engine):
+        """A factory that re-chunks differently on every scan."""
+        pts = np.random.default_rng(22).normal(size=(400, 2))
+        calls = []
+
+        def factory():
+            # Pass 1 yields 100-row chunks, pass 2 yields 57-row
+            # chunks, pass 3 one big chunk, ... — row order is always
+            # the dataset order, only the boundaries move.
+            calls.append(None)
+            size = [100, 57, 400, 13][(len(calls) - 1) % 4]
+            return iter_chunks(pts, size)
+
+        result = run_interchange(factory, 30, GaussianKernel(0.4),
+                                 max_passes=4, rng=5, engine=engine)
+        assert len(set(result.source_ids.tolist())) == 30
+        for sid, pt in zip(result.source_ids, result.points):
+            assert np.array_equal(pts[sid], pt)
+
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_chunks_with_empty_interleaved(self, engine):
+        pts = np.random.default_rng(23).normal(size=(200, 2))
+
+        def factory():
+            yield pts[:90]
+            yield pts[:0]
+            yield pts[90:91]
+            yield np.empty((0, 2))
+            yield pts[91:]
+
+        result = run_interchange(factory, 25, GaussianKernel(0.4),
+                                 max_passes=3, rng=1, engine=engine)
+        for sid, pt in zip(result.source_ids, result.points):
+            assert np.array_equal(pts[sid], pt)
+
+    def test_no_duplicate_rows_across_passes(self):
+        """A member re-offered by a later pass must not enter twice."""
+        gen = np.random.default_rng(24)
+        pts = np.concatenate([gen.normal(size=(150, 2)) * 0.05,
+                              gen.normal(size=(50, 2)) + 4.0])
+        for engine in ("reference", "batched"):
+            result = run_interchange(chunks_factory(pts, 40), 30,
+                                     GaussianKernel(0.1), max_passes=6,
+                                     rng=3, engine=engine)
+            assert len(set(result.source_ids.tolist())) == 30
+
+
 class TestQuality:
     def test_beats_random_on_skewed_data(self, geolife_small):
         """The headline: Interchange's objective is far below a random

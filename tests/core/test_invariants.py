@@ -10,7 +10,11 @@ checked with hypothesis over random instances:
 * submodularity-flavoured sanity: the greedy objective is within the
   constant-factor band of optimal on small instances;
 * the optimisation objective is invariant under rigid motions of the
-  data (it depends only on pairwise distances).
+  data (it depends only on pairwise distances);
+* run-level invariants of the Interchange drivers: the objective never
+  increases once the candidate set is full, traces are monotone in
+  tuples processed, and every sampler emits unique, sorted, in-range
+  indices.
 """
 
 from __future__ import annotations
@@ -20,8 +24,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import GaussianKernel, point_losses, solve_brute_force
+from repro.core import (
+    ENGINES,
+    GaussianKernel,
+    GreedySampler,
+    VASSampler,
+    point_losses,
+    run_interchange,
+    solve_brute_force,
+)
 from repro.core.responsibility import CandidateSet
+from repro.sampling import StratifiedSampler, UniformSampler, iter_chunks
 
 
 def random_points(seed: int, n: int, scale: float = 2.0) -> np.ndarray:
@@ -101,3 +114,99 @@ class TestObjectiveGeometry:
         opt = solve_brute_force(pts, 4, kernel).objective
         idx = gen.choice(10, size=4, replace=False)
         assert opt <= kernel.pairwise_objective(pts[idx]) + 1e-12
+
+
+class TestReplacementMonotonicity:
+    """Every accepted Interchange replacement lowers the objective."""
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_each_accepted_replace_lowers_objective(self, seed):
+        gen = np.random.default_rng(seed)
+        k = int(gen.integers(2, 10))
+        kernel = GaussianKernel(float(gen.random() * 1.2 + 0.1))
+        cs = CandidateSet(k, kernel)
+        for i, pt in enumerate(gen.normal(size=(k, 2))):
+            cs.fill(i, pt)
+        for step in range(20):
+            new_pt = gen.normal(size=2)
+            row = kernel.similarity_to(new_pt, cs.points)
+            before = cs.objective()
+            slot = cs.expanded_max_slot(row, float(row.sum()))
+            if slot < len(cs):
+                cs.replace(slot, k + step, new_pt, row)
+                assert cs.objective() < before + 1e-12
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("strategy", ["es", "no-es", "es+loc"])
+    def test_objective_non_increasing_after_fill(self, blob_points,
+                                                 strategy, engine):
+        """Once the set is full, trace objectives never increase.
+
+        ``k < trace_every`` guarantees the fill phase ends before the
+        first snapshot, after which only objective-lowering
+        replacements may land.  The exact strategies get a round-off
+        tolerance; ES+Loc judges swaps through rows truncated at the
+        kernel-locality cutoff, so a swap may raise the true objective
+        by up to ~``K · tolerance`` — exactly the error band §IV-B
+        accepts — and the assertion widens accordingly.
+        """
+        k = 20
+        run = run_interchange(
+            lambda: iter_chunks(blob_points, 50), k, GaussianKernel(0.3),
+            strategy=strategy, rng=0, trace_every=50, max_passes=3,
+            engine=engine,
+        )
+        tol = 2 * k * 1e-6 if strategy == "es+loc" else 1e-9
+        objectives = [t.objective for t in run.trace]
+        assert len(objectives) >= 2
+        for earlier, later in zip(objectives, objectives[1:]):
+            assert later <= earlier + tol
+
+
+class TestTraceMonotonicity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_trace_points_monotone_in_tuples_processed(self, blob_points,
+                                                       engine):
+        run = run_interchange(
+            lambda: iter_chunks(blob_points, 64), 15, GaussianKernel(0.3),
+            rng=1, trace_every=100, max_passes=2, engine=engine,
+        )
+        processed = [t.tuples_processed for t in run.trace]
+        assert all(b > a for a, b in zip(processed, processed[1:]))
+        assert processed[-1] == run.tuples_processed
+        elapsed = [t.elapsed_seconds for t in run.trace]
+        assert all(b >= a for a, b in zip(elapsed, elapsed[1:]))
+
+
+class TestSampleResultIndexInvariants:
+    """indices must be unique, sorted, and in-range for every sampler."""
+
+    def samplers(self):
+        kernel = GaussianKernel(0.3)
+        return [
+            UniformSampler(rng=0),
+            StratifiedSampler(rng=0),
+            VASSampler(rng=0, engine="reference"),
+            VASSampler(rng=0, engine="batched"),
+            VASSampler(rng=0, strategy="es+loc", epsilon=0.3),
+            VASSampler(rng=0, strategy="no-es", epsilon=0.3),
+            GreedySampler(kernel, rng=0),
+        ]
+
+    @pytest.mark.parametrize("k", [1, 7, 50])
+    def test_indices_unique_sorted_in_range(self, blob_points, k):
+        for sampler in self.samplers():
+            result = sampler.sample(blob_points, k)
+            idx = result.indices
+            assert len(idx) == k, sampler
+            assert np.all(idx >= 0), sampler
+            assert np.all(idx < len(blob_points)), sampler
+            assert np.all(np.diff(idx) > 0), sampler  # sorted and unique
+            assert np.array_equal(blob_points[idx], result.points), sampler
+
+    def test_indices_when_k_exceeds_population(self, blob_points):
+        for sampler in self.samplers():
+            result = sampler.sample(blob_points[:12], 12)
+            assert np.array_equal(np.sort(result.indices), result.indices)
+            assert len(set(result.indices.tolist())) == len(result)

@@ -1,0 +1,74 @@
+"""Perf smoke test: the batched Interchange engine must stay fast.
+
+A 50k-point / k=500 run (the benchmark configuration of
+``benchmarks/bench_interchange_engines.py``) has to finish within a
+generous wall-clock budget *and* must not be slower than the per-tuple
+reference engine — so a regression in the vectorised path fails CI
+instead of silently landing.  Timing asserts are deliberately loose
+(shared CI boxes jitter); the point is catching order-of-magnitude
+regressions, not benchmarking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, run_interchange
+from repro.core.epsilon import epsilon_from_diameter
+from repro.data import GeolifeGenerator
+from repro.sampling import iter_chunks
+
+#: Generous ceiling for the batched run; typical measured time is ~1.5 s.
+WALL_BUDGET_SECONDS = 30.0
+
+N_ROWS = 50_000
+K = 500
+
+
+@pytest.fixture(scope="module")
+def bench_setup():
+    data = GeolifeGenerator(seed=0).generate(N_ROWS).xy
+    # rng=0 pins the diameter subsample, so the gate always measures
+    # the same bandwidth (and hence the same amount of work).
+    kernel = GaussianKernel(epsilon_from_diameter(data, rng=0))
+    return data, kernel
+
+
+def run_engine(data, kernel, engine):
+    started = time.perf_counter()
+    result = run_interchange(
+        lambda: iter_chunks(data, 8192), K, kernel,
+        max_passes=2, rng=0, engine=engine,
+    )
+    return result, time.perf_counter() - started
+
+
+def test_batched_within_budget_and_not_slower(bench_setup):
+    data, kernel = bench_setup
+    batched, t_batched = run_engine(data, kernel, "batched")
+    assert t_batched < WALL_BUDGET_SECONDS, (
+        f"batched engine took {t_batched:.1f}s on {N_ROWS}/{K} "
+        f"(budget {WALL_BUDGET_SECONDS}s)"
+    )
+    reference, t_reference = run_engine(data, kernel, "reference")
+    # Identical output is the parity suite's job, but assert the
+    # headline here too so a perf "fix" cannot trade away correctness.
+    assert np.array_equal(batched.source_ids, reference.source_ids)
+    assert batched.objective == reference.objective
+    # The batched engine screens ~99% of tuples without Python-level
+    # work; it being slower than per-tuple dispatch means the screen
+    # machinery regressed.
+    assert t_batched <= t_reference, (
+        f"batched engine ({t_batched:.2f}s) slower than reference "
+        f"({t_reference:.2f}s)"
+    )
+
+
+def test_batched_screen_actually_used(bench_setup):
+    data, kernel = bench_setup
+    result, _ = run_engine(data, kernel, "batched")
+    scanned = result.tuples_processed
+    assert result.bulk_rejected > 0.8 * (scanned - result.replacements)

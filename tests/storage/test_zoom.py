@@ -1,0 +1,179 @@
+"""Tests for the multi-resolution zoom sample service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EmptyDatasetError, \
+    SampleNotFoundError
+from repro.storage import (
+    Database,
+    ZoomLadder,
+    ZoomQuery,
+    answer_zoom_query,
+    build_zoom_ladder,
+)
+from repro.viz.scatter import Viewport
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    gen = np.random.default_rng(3)
+    dense = gen.normal(loc=(0.0, 0.0), scale=0.3, size=(3000, 2))
+    sparse = gen.uniform(low=-4.0, high=4.0, size=(1000, 2))
+    return np.concatenate([dense, sparse])
+
+
+@pytest.fixture(scope="module")
+def ladder(dataset):
+    return build_zoom_ladder(dataset, levels=3, k_per_tile=80, rng=0)
+
+
+class TestBuilder:
+    def test_level_structure(self, ladder):
+        assert ladder.max_level == 2
+        for expected_level, rung in enumerate(ladder.levels):
+            assert rung.level == expected_level
+            assert rung.tiles_per_axis == 2 ** expected_level
+            assert np.all(rung.tile_ids >= 0)
+            assert np.all(rung.tile_ids < rung.tiles_per_axis ** 2)
+
+    def test_per_tile_budget_respected(self, ladder):
+        for rung in ladder.levels:
+            for tile in np.unique(rung.tile_ids):
+                assert (rung.tile_ids == tile).sum() <= ladder.k_per_tile
+
+    def test_indices_reference_dataset_rows(self, dataset, ladder):
+        for rung in ladder.levels:
+            assert len(set(rung.indices.tolist())) == len(rung.indices)
+            assert np.all(rung.indices >= 0)
+            assert np.all(rung.indices < len(dataset))
+            assert np.allclose(dataset[rung.indices], rung.points)
+
+    def test_finer_levels_carry_more_detail(self, ladder):
+        counts = [len(rung.points) for rung in ladder.levels]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_small_tiles_keep_all_rows(self):
+        pts = np.random.default_rng(1).normal(size=(50, 2))
+        ladder = build_zoom_ladder(pts, levels=2, k_per_tile=100, rng=0)
+        assert len(ladder.levels[0].points) == 50  # under budget: keep all
+
+    def test_validation(self, dataset):
+        with pytest.raises(EmptyDatasetError):
+            build_zoom_ladder(np.empty((0, 2)), levels=2)
+        with pytest.raises(ConfigurationError):
+            build_zoom_ladder(dataset, levels=0)
+        with pytest.raises(ConfigurationError):
+            build_zoom_ladder(dataset, k_per_tile=0)
+
+    def test_deterministic_for_seed(self, dataset):
+        a = build_zoom_ladder(dataset[:1500], levels=2, k_per_tile=60, rng=7)
+        b = build_zoom_ladder(dataset[:1500], levels=2, k_per_tile=60, rng=7)
+        for ra, rb in zip(a.levels, b.levels):
+            assert np.array_equal(ra.indices, rb.indices)
+
+
+class TestQueries:
+    def test_full_viewport_uses_coarse_level(self, ladder):
+        pts, idx, level = ladder.query(ladder.root)
+        assert level == 0
+        assert len(pts) == len(ladder.levels[0].points)
+
+    def test_deep_zoom_uses_fine_level(self, ladder):
+        root = ladder.root
+        center = (root.xmin + root.width * 0.5,
+                  root.ymin + root.height * 0.5)
+        vp = root.zoom(center, 4.0)
+        pts, idx, level = ladder.query(vp)
+        assert level == ladder.max_level
+        assert np.all((pts[:, 0] >= vp.xmin) & (pts[:, 0] <= vp.xmax))
+        assert np.all((pts[:, 1] >= vp.ymin) & (pts[:, 1] <= vp.ymax))
+
+    def test_explicit_zoom_overrides(self, ladder):
+        vp = ladder.root.zoom((0.0, 0.0), 4.0)
+        _, _, level = ladder.query(vp, zoom=1)
+        assert level == 1
+        with pytest.raises(ConfigurationError):
+            ladder.query(vp, zoom=99)
+
+    def test_max_points_demotes_level(self, ladder):
+        pts_fine, _, lv_fine = ladder.query(ladder.root, zoom=2)
+        pts_cap, _, lv_cap = ladder.query(ladder.root, zoom=2,
+                                          max_points=len(pts_fine) - 1)
+        assert lv_cap < lv_fine
+        assert len(pts_cap) <= len(pts_fine)
+
+    def test_zoom_in_keeps_local_detail(self, dataset, ladder):
+        """The ladder's reason to exist: zooming must not starve the
+        viewport the way slicing a single flat sample does."""
+        vp = ladder.root.zoom((0.0, 0.0), 4.0)  # dense-cluster window
+        flat = ladder.levels[0]
+        flat_visible = int(vp.contains(flat.points).sum())
+        pts, _, _ = ladder.query(vp)
+        assert len(pts) > flat_visible
+
+    def test_query_indices_reference_dataset(self, dataset, ladder):
+        vp = ladder.root.zoom((0.0, 0.0), 2.0)
+        pts, idx, _ = ladder.query(vp)
+        assert np.allclose(dataset[idx], pts)
+
+
+class TestPersistence:
+    def test_roundtrip(self, ladder, tmp_path):
+        path = tmp_path / "ladder.npz"
+        ladder.save(path)
+        loaded = ZoomLadder.load(path)
+        assert loaded.max_level == ladder.max_level
+        assert loaded.k_per_tile == ladder.k_per_tile
+        assert loaded.method == ladder.method
+        vp = ladder.root.zoom((0.0, 0.0), 3.0)
+        a = ladder.query(vp)
+        b = loaded.query(vp)
+        assert np.array_equal(a[1], b[1])
+        assert a[2] == b[2]
+
+
+class TestStoreAndDatabase:
+    def make_db(self, dataset):
+        db = Database()
+        db.create_table_from_arrays(
+            "geo", {"x": dataset[:, 0], "y": dataset[:, 1]}
+        )
+        return db
+
+    def test_execute_zoom(self, dataset):
+        db = self.make_db(dataset)
+        db.build_zoom_ladder("geo", "x", "y", levels=2, k_per_tile=60)
+        ladder = db.samples.zoom_ladder("geo", "x", "y")
+        vp = ladder.root.zoom(
+            (ladder.root.xmin + ladder.root.width / 2,
+             ladder.root.ymin + ladder.root.height / 2), 2.0,
+        )
+        result = db.execute_zoom(ZoomQuery("geo", "x", "y", viewport=vp))
+        assert result.zoom_level == 1
+        assert result.returned_rows == len(result.points)
+        assert result.method == "vas"
+
+    def test_missing_ladder_raises(self, dataset):
+        db = self.make_db(dataset)
+        vp = Viewport(-1, -1, 1, 1)
+        with pytest.raises(SampleNotFoundError):
+            db.execute_zoom(ZoomQuery("geo", "x", "y", viewport=vp))
+
+    def test_answer_zoom_query_function(self, dataset, ladder):
+        vp = ladder.root.zoom((0.0, 0.0), 2.0)
+        result = answer_zoom_query(
+            ladder, ZoomQuery("t", "x", "y", viewport=vp)
+        )
+        assert result.returned_rows == len(result.points)
+        assert result.sample_size >= result.returned_rows
+
+    def test_zoom_query_validation(self):
+        vp = Viewport(0, 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ZoomQuery("t", "x", "y", viewport=vp, zoom=-1)
+        with pytest.raises(ConfigurationError):
+            ZoomQuery("t", "x", "y", viewport=vp, max_points=-5)

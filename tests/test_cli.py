@@ -76,6 +76,56 @@ class TestLoss:
             assert method in out
 
 
+class TestZoomCommands:
+    def test_build_then_query(self, demo_csv, tmp_path, capsys):
+        ladder = tmp_path / "ladder.npz"
+        code = main(["zoom-build", str(demo_csv), "--levels", "2",
+                     "-k", "80", "--out", str(ladder)])
+        assert code == 0
+        assert "2-level ladder" in capsys.readouterr().out
+        assert ladder.exists()
+
+        out = tmp_path / "view.csv"
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        xmin, ymin = data[:, :2].min(axis=0)
+        xmax, ymax = data[:, :2].max(axis=0)
+        code = main(["zoom-query", str(ladder),
+                     "--bbox", str(xmin), str(ymin),
+                     str((xmin + xmax) / 2), str((ymin + ymax) / 2),
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "level" in printed and "rows" in printed
+        view = np.loadtxt(out, delimiter=",", skiprows=1, ndmin=2)
+        assert view.shape[1] == 2
+        assert np.all(view[:, 0] <= (xmin + xmax) / 2)
+
+    def test_query_with_explicit_zoom(self, demo_csv, tmp_path, capsys):
+        ladder = tmp_path / "ladder.npz"
+        main(["zoom-build", str(demo_csv), "--levels", "3", "-k", "60",
+              "--out", str(ladder)])
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        xmin, ymin = data[:, :2].min(axis=0)
+        xmax, ymax = data[:, :2].max(axis=0)
+        capsys.readouterr()
+        code = main(["zoom-query", str(ladder), "--zoom", "0",
+                     "--bbox", str(xmin), str(ymin), str(xmax), str(ymax)])
+        assert code == 0
+        assert "level 0" in capsys.readouterr().out
+
+    def test_sample_engine_flag(self, demo_csv, tmp_path):
+        out_ref = tmp_path / "ref.csv"
+        out_bat = tmp_path / "bat.csv"
+        main(["sample", str(demo_csv), "-k", "100",
+              "--engine", "reference", "--out", str(out_ref)])
+        main(["sample", str(demo_csv), "-k", "100",
+              "--engine", "batched", "--out", str(out_bat)])
+        # Engine choice must not change the sample.
+        a = np.loadtxt(out_ref, delimiter=",", skiprows=1)
+        b = np.loadtxt(out_bat, delimiter=",", skiprows=1)
+        assert np.array_equal(a, b)
+
+
 class TestErrors:
     def test_bad_csv_returns_error_code(self, tmp_path, capsys):
         bad = tmp_path / "bad.csv"

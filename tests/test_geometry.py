@@ -14,6 +14,7 @@ from repro.geometry import (
     bounding_box,
     max_pairwise_distance,
     pairwise_sq_dists,
+    sq_dists_chunk,
     sq_dists_to,
 )
 
@@ -94,6 +95,35 @@ class TestSqDistsTo:
         d2 = sq_dists_to(pts, target)
         full = pairwise_sq_dists(pts, target[None, :])[:, 0]
         assert np.allclose(d2, full)
+
+
+class TestSqDistsChunk:
+    def test_rows_bit_identical_to_sq_dists_to(self):
+        """The documented contract: row c == sq_dists_to(points, chunk[c])
+        bit for bit — what the batched Interchange screen relies on."""
+        gen = np.random.default_rng(4)
+        chunk = gen.normal(size=(40, 2)) * 50
+        points = gen.normal(size=(17, 2)) * 50
+        d2 = sq_dists_chunk(chunk, points)
+        assert d2.shape == (40, 17)
+        for c in range(len(chunk)):
+            assert np.array_equal(d2[c], sq_dists_to(points, chunk[c]))
+
+    def test_component_arithmetic_matches(self):
+        """dx² + dy² broadcasting (the in-engine variant) is bit-equal."""
+        gen = np.random.default_rng(5)
+        chunk = gen.normal(size=(25, 2))
+        points = gen.normal(size=(9, 2))
+        dx = chunk[:, 0, None] - points[None, :, 0]
+        dy = chunk[:, 1, None] - points[None, :, 1]
+        assert np.array_equal(dx * dx + dy * dy,
+                              sq_dists_chunk(chunk, points))
+
+    def test_empty_inputs(self):
+        assert sq_dists_chunk(np.empty((0, 2)), np.empty((3, 2))).shape \
+            == (0, 3)
+        assert sq_dists_chunk(np.empty((2, 2)), np.empty((0, 2))).shape \
+            == (2, 0)
 
 
 class TestMaxPairwiseDistance:

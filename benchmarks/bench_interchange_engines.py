@@ -1,9 +1,13 @@
-"""Before/after harness: reference vs batched Interchange engines.
+"""Before/after harness: reference vs batched vs pruned Interchange
+engines, plus the multiprocess shard-and-merge runner.
 
 Runs the 50k-point / k=500 configuration (the ISSUE-1 acceptance
-benchmark) through both engines for every replacement strategy,
-verifies seed-identical outputs, and emits a ``BENCH_interchange.json``
-trajectory file so successive PRs can track the speedup over time::
+benchmark) through every engine for every replacement strategy,
+verifies seed-identical outputs across engines, measures the
+locality-pruned engine at a small bandwidth (where exact underflow
+pruning actually bites), times the parallel runner, and emits a
+``BENCH_interchange.json`` trajectory file so successive PRs can track
+the speedups over time::
 
     python -m benchmarks.bench_interchange_engines            # full run
     python -m benchmarks.bench_interchange_engines --quick    # CI-sized
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -36,23 +41,122 @@ from repro.core.epsilon import epsilon_from_diameter  # noqa: E402
 from repro.data import GeolifeGenerator  # noqa: E402
 from repro.sampling import iter_chunks  # noqa: E402
 
-FULL = {"rows": 50_000, "k": 500, "repeats": 3}
-QUICK = {"rows": 8_000, "k": 120, "repeats": 2}
+FULL = {"rows": 50_000, "k": 500, "repeats": 3, "workers": 4}
+QUICK = {"rows": 8_000, "k": 120, "repeats": 2, "workers": 2}
+ENGINES = ("reference", "batched", "pruned")
 STRATEGIES = ("es", "es+loc", "no-es")
+#: Bandwidth scale of the locality round: small enough that the
+#: Gaussian's exact underflow radius is a small fraction of the data
+#: extent, i.e. the pruned engine's target regime.
+SMALL_BANDWIDTH_SCALE = 0.1
 
 
-def time_engine(data, k, kernel, strategy, engine, repeats):
-    """Median wall time plus the run result (for parity checks)."""
+def time_engine(data, k, kernel, strategy, engine, repeats, workers=1):
+    """Median wall time plus every repeat's result (for parity and
+    determinism checks — the repeats double as re-runs)."""
     times = []
-    result = None
+    results = []
     for _ in range(repeats):
         started = time.perf_counter()
-        result = run_interchange(
+        results.append(run_interchange(
             lambda: iter_chunks(data, 8192), k, kernel,
             strategy=strategy, max_passes=2, rng=0, engine=engine,
-        )
+            workers=workers, shards=workers if workers > 1 else None,
+        ))
         times.append(time.perf_counter() - started)
-    return statistics.median(times), result
+    return statistics.median(times), results
+
+
+def bench_strategies(data, profile, kernel, strategies, repeats_for):
+    """One engine-comparison table; returns (rows, ok)."""
+    rows = []
+    print(f"{'strategy':<8} {'reference':>11} {'batched':>9} {'pruned':>9} "
+          f"{'bat x':>6} {'prune x':>8}  identical")
+    for strategy in strategies:
+        timings = {}
+        results = {}
+        for engine in ENGINES:
+            timings[engine], runs = time_engine(
+                data, profile["k"], kernel, strategy, engine,
+                repeats_for(strategy, engine),
+            )
+            results[engine] = runs[-1]
+        ref = results["reference"]
+        identical = all(
+            np.array_equal(ref.source_ids, results[e].source_ids)
+            and ref.objective == results[e].objective
+            for e in ENGINES[1:]
+        )
+        row = {
+            "strategy": strategy,
+            "reference_seconds": round(timings["reference"], 4),
+            "batched_seconds": round(timings["batched"], 4),
+            "pruned_seconds": round(timings["pruned"], 4),
+            "batched_speedup": round(
+                timings["reference"] / timings["batched"], 2),
+            "pruned_speedup": round(
+                timings["reference"] / timings["pruned"], 2),
+            "pruned_vs_batched": round(
+                timings["batched"] / timings["pruned"], 2),
+            "identical_output": bool(identical),
+            "replacements": int(ref.replacements),
+            "bulk_rejected": int(results["batched"].bulk_rejected),
+            "objective": ref.objective,
+        }
+        rows.append(row)
+        print(f"{strategy:<8} {timings['reference']:>10.2f}s "
+              f"{timings['batched']:>8.2f}s {timings['pruned']:>8.2f}s "
+              f"{row['batched_speedup']:>5.1f}x "
+              f"{row['pruned_speedup']:>7.1f}x  {identical}")
+        if not identical:
+            print(f"!! engine outputs diverged for {strategy}",
+                  file=sys.stderr)
+            return rows, False
+    return rows, True
+
+
+def bench_parallel(data, profile, kernel, strategy, repeats):
+    """Shard-and-merge runner vs the single-process batched engine.
+
+    The interesting row is ``no-es``: its per-shard cost dominates the
+    fixed fork/merge overhead, so it shows the real scaling.  The
+    ``es`` row mostly measures that overhead (the single-process run
+    is already around a second at 50k rows).
+    """
+    k = profile["k"]
+    workers = profile["workers"]
+    t_single, single_runs = time_engine(data, k, kernel, strategy,
+                                        "batched", repeats)
+    single = single_runs[-1]
+    # The timing repeats double as determinism re-runs; a single-repeat
+    # leg gets one extra run so the property is always checked.
+    t_par, par_runs = time_engine(data, k, kernel, strategy, "batched",
+                                  max(repeats, 2), workers=workers)
+    par = par_runs[-1]
+    deterministic = all(
+        np.array_equal(par.source_ids, other.source_ids)
+        and par.objective == other.objective
+        for other in par_runs[:-1]
+    )
+    cpus = os.cpu_count() or 1
+    note = "" if cpus >= workers else \
+        f" [host has {cpus} CPU(s): workers serialize]"
+    print(f"parallel {strategy}: single={t_single:.2f}s "
+          f"workers={workers}: {t_par:.2f}s "
+          f"({t_single / t_par:.1f}x), deterministic={deterministic}{note}")
+    return {
+        "strategy": strategy,
+        "engine": "batched",
+        "workers": workers,
+        "shards": workers,
+        "host_cpus": cpus,
+        "single_process_seconds": round(t_single, 4),
+        "parallel_seconds": round(t_par, 4),
+        "speedup": round(t_single / t_par, 2),
+        "deterministic": deterministic,
+        "single_objective": single.objective,
+        "parallel_objective": par.objective,
+    }
 
 
 def main(argv=None) -> int:
@@ -60,56 +164,51 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="small configuration for CI smoke runs")
     parser.add_argument("--skip-no-es", action="store_true",
-                        help="skip the minutes-long no-es reference leg")
+                        help="skip the minutes-long no-es legs")
     parser.add_argument("--out", default="BENCH_interchange.json")
     args = parser.parse_args(argv)
 
     profile = QUICK if args.quick else FULL
     data = GeolifeGenerator(seed=0).generate(profile["rows"]).xy
-    kernel = GaussianKernel(epsilon_from_diameter(data, rng=0))
+    epsilon = epsilon_from_diameter(data, rng=0)
+
+    def repeats_for(strategy, engine):
+        # no-es legs are O(K²) per tuple (reference) or minutes-long
+        # sweeps (batched/pruned) at full size: one repeat is plenty.
+        if strategy == "no-es" and not args.quick:
+            return 1
+        return profile["repeats"]
 
     strategies = [s for s in STRATEGIES
                   if not (args.skip_no_es and s == "no-es")]
-    rows = []
-    total_ref = total_bat = 0.0
+
     print(f"{profile['rows']:,} rows / k={profile['k']} / 2 passes "
           f"(median of {profile['repeats']})")
-    print(f"{'strategy':<8} {'reference (s)':>14} {'batched (s)':>12} "
-          f"{'speedup':>8}  identical")
-    for strategy in strategies:
-        # no-es reference is O(K²) per tuple: one repeat is plenty.
-        ref_repeats = 1 if strategy == "no-es" else profile["repeats"]
-        t_ref, ref = time_engine(data, profile["k"], kernel, strategy,
-                                 "reference", ref_repeats)
-        t_bat, bat = time_engine(data, profile["k"], kernel, strategy,
-                                 "batched", profile["repeats"])
-        identical = bool(
-            np.array_equal(ref.source_ids, bat.source_ids)
-            and ref.objective == bat.objective
-        )
-        speedup = t_ref / t_bat
-        total_ref += t_ref
-        total_bat += t_bat
-        rows.append({
-            "strategy": strategy,
-            "reference_seconds": round(t_ref, 4),
-            "batched_seconds": round(t_bat, 4),
-            "speedup": round(speedup, 2),
-            "identical_output": identical,
-            "replacements": int(bat.replacements),
-            "bulk_rejected": int(bat.bulk_rejected),
-            "objective": bat.objective,
-        })
-        print(f"{strategy:<8} {t_ref:>14.2f} {t_bat:>12.2f} "
-              f"{speedup:>7.1f}x  {identical}")
-        if not identical:
-            print(f"!! engine outputs diverged for {strategy}",
-                  file=sys.stderr)
-            return 1
+    print(f"— paper bandwidth (epsilon={epsilon:.6g}) —")
+    paper_rows, ok = bench_strategies(
+        data, profile, GaussianKernel(epsilon), strategies, repeats_for)
+    if not ok:
+        return 1
 
-    aggregate = total_ref / total_bat if total_bat else float("nan")
-    print(f"{'total':<8} {total_ref:>14.2f} {total_bat:>12.2f} "
-          f"{aggregate:>7.1f}x")
+    small_eps = epsilon * SMALL_BANDWIDTH_SCALE
+    print(f"— small bandwidth (epsilon={small_eps:.6g}, "
+          f"x{SMALL_BANDWIDTH_SCALE}) —")
+    small_rows, ok = bench_strategies(
+        data, profile, GaussianKernel(small_eps),
+        [s for s in strategies if s != "no-es"], repeats_for)
+    if not ok:
+        return 1
+
+    parallel = [
+        bench_parallel(data, profile, GaussianKernel(epsilon), strategy,
+                       1 if strategy == "no-es" and not args.quick
+                       else profile["repeats"])
+        for strategy in strategies if strategy != "es+loc"
+    ]
+    if not all(row["deterministic"] for row in parallel):
+        print("!! parallel runner output is not seed-stable",
+              file=sys.stderr)
+        return 1
 
     payload = {
         "benchmark": "interchange_engines",
@@ -119,12 +218,14 @@ def main(argv=None) -> int:
             "max_passes": 2,
             "chunk_size": 8192,
             "kernel": "gaussian",
-            "epsilon": kernel.epsilon,
+            "epsilon": epsilon,
+            "small_bandwidth_scale": SMALL_BANDWIDTH_SCALE,
             "seed": 0,
             "quick": bool(args.quick),
         },
-        "strategies": rows,
-        "aggregate_speedup": round(aggregate, 2),
+        "strategies": paper_rows,
+        "small_bandwidth": small_rows,
+        "parallel": parallel,
         "unix_time": time.time(),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

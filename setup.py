@@ -3,7 +3,8 @@
 The offline environment lacks the ``wheel`` package, so PEP 660
 editable installs fail; ``pip install -e . --no-build-isolation
 --no-use-pep517`` falls back to ``setup.py develop``, which needs only
-setuptools.  All metadata lives in pyproject.toml.
+setuptools.  Canonical metadata lives in pyproject.toml; the subset
+duplicated here is only what the fallback path needs.
 """
 
 from setuptools import find_packages, setup

@@ -74,6 +74,7 @@ def cmd_sample(args: argparse.Namespace) -> int:
         args.method, xy, args.k, seed=args.seed,
         epsilon=epsilon_from_diameter(xy, rng=args.seed),
         engine=args.engine,
+        workers=args.workers,
     )
     _save_xy(args.out, result.points, result.weights)
     objective = result.metadata.get("objective")
@@ -168,8 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="batched",
-                   choices=["batched", "reference"],
+                   choices=["batched", "pruned", "reference"],
                    help="Interchange engine for --method vas")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for --method vas (N>1 shards the "
+                        "dataset and merges the shard samples)")
     p.add_argument("--out", default="sample.csv")
     p.set_defaults(fn=cmd_sample)
 

@@ -29,6 +29,7 @@ from .epsilon import (
 from .exact import ExactResult, solve_branch_and_bound, solve_brute_force
 from .greedy import GreedySampler
 from .interchange import ENGINES, InterchangeResult, TracePoint, run_interchange
+from .parallel import ParallelInterchangeRunner, default_workers
 from .kernel import (
     CauchyKernel,
     EpanechnikovKernel,
@@ -85,6 +86,8 @@ __all__ = [
     "LossEvaluator",
     "NoESStrategy",
     "PAPER_DIVISOR",
+    "ParallelInterchangeRunner",
+    "default_workers",
     "ReplacementStrategy",
     "TracePoint",
     "VASSampler",

@@ -25,6 +25,21 @@ Two engines drive the scan, selected by ``engine=`` on
   per-tuple computation — so both engines produce identical samples,
   objectives and traces for the same seed.  Rejection, the overwhelming
   majority verdict near convergence, costs no Python-level work.
+* ``"pruned"`` — the batched loop plus exact kernel locality (§IV-B at
+  the float64 limit): members are bucketed into a grid keyed to
+  :meth:`~repro.core.kernel.Kernel.zero_radius`, and the block screen
+  kernel-evaluates only the (tuple, member) pairs that can produce a
+  non-zero κ̃ — beyond that radius ``exp`` rounds to 0.0 bit-exactly,
+  so skipped entries are written as the zeros the dense sweep would
+  have computed.  Decisions (and hence samples, objectives, traces)
+  remain identical to both other engines; for kernels that never
+  underflow (``cauchy``) the engine quietly degrades to ``batched``.
+
+For multiprocess runs see :mod:`repro.core.parallel`:
+:func:`run_interchange` accepts ``workers=N`` and hands the stream to a
+:class:`~repro.core.parallel.ParallelInterchangeRunner` that shards it
+across processes and merges the per-shard samples with a final
+interchange pass (``workers=1`` stays on the exact in-process path).
 
 The driver adds what the paper's evaluation needs around the raw
 algorithm:
@@ -57,7 +72,7 @@ from .responsibility import CandidateSet
 from .strategies import ReplacementStrategy, make_strategy
 
 #: Engines understood by :func:`run_interchange`.
-ENGINES = ("reference", "batched")
+ENGINES = ("reference", "batched", "pruned")
 
 #: Rows whose κ̃ matrix is computed in one shot (amortises the kernel
 #: evaluation over a large, cache-unfriendly but bandwidth-efficient
@@ -107,6 +122,9 @@ class InterchangeResult:
         engine).
     trace:
         Progress snapshots (empty unless tracing was requested).
+    workers / shards:
+        Process count and shard count that produced the result (1/1
+        for in-process runs).
     """
 
     points: np.ndarray
@@ -119,6 +137,8 @@ class InterchangeResult:
     engine: str = "reference"
     bulk_rejected: int = 0
     trace: list[TracePoint] = field(default_factory=list)
+    workers: int = 1
+    shards: int = 1
 
 
 def _process_rows_reference(strat: ReplacementStrategy, pts: np.ndarray,
@@ -191,6 +211,7 @@ def _process_rows_batched(strat: ReplacementStrategy, pts: np.ndarray,
 _ENGINE_LOOPS = {
     "reference": _process_rows_reference,
     "batched": _process_rows_batched,
+    "pruned": _process_rows_batched,  # same loop, pruned screens
 }
 
 
@@ -205,6 +226,9 @@ def run_interchange(
     shuffle_within_chunks: bool = True,
     strategy_kwargs: dict | None = None,
     engine: str = "batched",
+    workers: int = 1,
+    shards: int | None = None,
+    parallel_chunk_size: int = 8192,
 ) -> InterchangeResult:
     """Run Interchange over a re-iterable stream of point chunks.
 
@@ -232,13 +256,47 @@ def run_interchange(
         initial reservoir a random subset of the first chunk(s).
     engine:
         ``"batched"`` (default) screens whole blocks with one matrix
-        product per block; ``"reference"`` is the per-tuple loop.  Both
-        produce identical results for the same seed.
+        product per block; ``"pruned"`` additionally skips pairs beyond
+        the kernel's exact underflow radius; ``"reference"`` is the
+        per-tuple loop.  All three produce identical results for the
+        same seed.
+    workers:
+        ``1`` (default) runs in-process.  ``N > 1`` materialises the
+        stream, shards it across ``N`` processes (per-shard VAS) and
+        merges the shard samples with a final interchange pass — see
+        :class:`~repro.core.parallel.ParallelInterchangeRunner`.  The
+        sharded result is deterministic for a fixed seed and shard
+        count but is *not* the single-process sample.
+    shards:
+        Shard count for sharded runs (defaults to ``workers``).
+        Fixing it keeps results stable as the worker pool size varies
+        — including ``workers=1``: an explicit ``shards > 1`` engages
+        the shard-and-merge path (executed serially) so a 1-worker
+        host reproduces a 4-worker host's sample exactly.
+    parallel_chunk_size:
+        Chunking of the per-shard scans and the merge pass in sharded
+        runs (in-process scans take their chunking from
+        ``chunks_factory``).
     """
     if engine not in ENGINES:
         raise ConfigurationError(
             f"engine must be one of {ENGINES}, got {engine!r}"
         )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if shards is not None and shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if workers > 1 or (shards is not None and shards > 1):
+        from .parallel import ParallelInterchangeRunner  # circular-safe
+
+        runner = ParallelInterchangeRunner(
+            workers=workers, shards=shards, strategy=strategy,
+            max_passes=max_passes, trace_every=trace_every,
+            strategy_kwargs=strategy_kwargs, engine=engine,
+            shuffle_within_chunks=shuffle_within_chunks,
+            chunk_size=parallel_chunk_size,
+        )
+        return runner.run_chunks(chunks_factory, k, kernel, rng=rng)
     gen = as_generator(rng)
     # The incremental κ̃ matrix saves one kernel row per acceptance but
     # costs O(K²) memory; it only pays off on the batched ES path
@@ -246,12 +304,15 @@ def run_interchange(
     # and is skipped for large K, where 8·K² bytes dwarfs the saving.
     # Decisions are identical either way (the stored row is bit-equal
     # to recomputing it), so the cap cannot change results.
-    track_matrix = (engine == "batched" and strategy == "es"
+    track_matrix = (engine in ("batched", "pruned") and strategy == "es"
                     and k <= MAX_TRACKED_MATRIX_K)
     candidate_set = CandidateSet(k, kernel, track_matrix=track_matrix)
     strat: ReplacementStrategy = make_strategy(
         strategy, candidate_set, **(strategy_kwargs or {})
     )
+    if engine == "pruned":
+        # No-op (stays dense) for kernels that never underflow to 0.0.
+        strat.enable_pruning()
     process_rows = _ENGINE_LOOPS[engine]
 
     trace: list[TracePoint] = []

@@ -15,6 +15,16 @@ convex* function of distance and exploits *locality*: the Gaussian is
 kernel therefore reports a :meth:`Kernel.cutoff_radius` for a given
 tolerance, which the ES+Loc strategy feeds to its spatial index.
 
+Locality comes in two flavours here:
+
+* **approximate** — :meth:`Kernel.cutoff_radius` truncates at a chosen
+  tolerance; decisions may drift within that tolerance (ES+Loc);
+* **exact** — :meth:`Kernel.zero_radius` is the distance beyond which
+  the *float64 arithmetic itself* rounds κ̃ to exactly 0.0 (``exp``
+  underflow, or the edge of compact support).  Skipping pairs beyond
+  it and writing 0.0 instead is bit-identical to evaluating them,
+  which is what the ``pruned`` Interchange engine does.
+
 Kernels implemented (all with bandwidth ``epsilon``):
 
 ================  ===========================================  =========
@@ -77,6 +87,22 @@ class Kernel(abc.ABC):
         ``inf`` tolerance handling: tolerance must be in (0, 1); values
         >= 1 would make the cutoff zero and are rejected.
         """
+
+    def zero_radius(self) -> float:
+        """Distance beyond which κ̃ evaluates to *exactly* 0.0.
+
+        ``exp(x)`` rounds to 0.0 for every ``x < -746`` (e⁻⁷⁴⁶ is below
+        half the smallest subnormal), so exponential-family kernels
+        have a finite radius past which any pair contributes a
+        bit-exact zero — not an approximation — and may be skipped
+        outright.  The returned radius carries a safety margin of a
+        few whole units in the exponent argument, dwarfing any
+        floating-point rounding in the distance computation, so
+        ``true distance > zero_radius()`` guarantees the *computed*
+        kernel value is 0.0.  Kernels with polynomial tails never
+        underflow to zero and return ``inf`` (pruning impossible).
+        """
+        return math.inf
 
     # -- vectorised evaluation -----------------------------------------------
     def similarity_to(self, point: np.ndarray, points: np.ndarray) -> np.ndarray:
@@ -151,6 +177,11 @@ class GaussianKernel(Kernel):
         tolerance = self._check_tolerance(tolerance)
         return self.epsilon * math.sqrt(-2.0 * math.log(tolerance))
 
+    def zero_radius(self) -> float:
+        # exp underflows to exactly 0.0 once d²/(2ε²) > 746; the 750
+        # margin absorbs distance-computation rounding.
+        return self.epsilon * math.sqrt(2.0 * 750.0)
+
 
 class LaplaceKernel(Kernel):
     """``exp(-d / ε)`` — heavier tail, still decreasing convex."""
@@ -168,6 +199,10 @@ class LaplaceKernel(Kernel):
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         tolerance = self._check_tolerance(tolerance)
         return -self.epsilon * math.log(tolerance)
+
+    def zero_radius(self) -> float:
+        # exp underflows to exactly 0.0 once d/ε > 746.
+        return self.epsilon * 750.0
 
 
 class CauchyKernel(Kernel):
@@ -194,6 +229,12 @@ class EpanechnikovKernel(Kernel):
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         self._check_tolerance(tolerance)
         return self.epsilon
+
+    def zero_radius(self) -> float:
+        # Compact support: exactly 0.0 at and beyond d = ε.  The tiny
+        # relative margin guarantees the computed d²/ε² quotient lands
+        # at or above 1.0 for every skipped pair.
+        return self.epsilon * (1.0 + 1e-9)
 
 
 _KERNELS: dict[str, type[Kernel]] = {

@@ -1,0 +1,227 @@
+"""Multiprocess Interchange: shard the scan, merge the samples.
+
+Interchange is a sequential streaming algorithm — each decision
+depends on the set state left by the previous tuple — so it cannot be
+parallelised *exactly*.  What parallelises well is the classic
+sample-of-samples construction:
+
+1. **Shard** the dataset into ``shards`` contiguous row ranges.
+2. **Per-shard VAS** — run the full (pruned/batched/reference)
+   Interchange independently on every shard, ``workers`` processes at
+   a time, each with a seed derived deterministically from the run's
+   generator.  Each shard yields its own K-sample.
+3. **Merge** — run one final in-process Interchange pass over the
+   union of the shard samples (``shards × K`` points, each carrying
+   its original dataset row id).  Because the union already
+   concentrates the per-shard winners, the merge pass touches a tiny
+   fraction of the original stream.
+
+Properties:
+
+* ``workers=1`` without an explicit shard count never enters this
+  module — :func:`~repro.core.interchange.run_interchange` keeps the
+  exact single-process path, so the bit-identical engine-parity
+  guarantees are untouched.
+* Sharded results are **deterministic** for a fixed ``(seed, shard
+  count)`` pair: shard boundaries, per-shard seeds and the merge seed
+  are all derived from the run's generator, and the pool's scheduling
+  order cannot leak into the output because results are keyed by
+  shard index.  Varying ``workers`` with ``shards`` fixed only
+  changes wall-clock time, not the sample — ``workers=1, shards=4``
+  runs the same four shard jobs serially and reproduces a 4-worker
+  host's sample exactly.
+* The returned source ids are *dataset* row ids (shard-local ids are
+  shifted by the shard's base offset before merging), so a parallel
+  sample is a subset of dataset rows exactly like a sequential one.
+
+The pool uses ``fork`` where available (cheap, no re-import) and falls
+back to the platform default.  Worker payloads are plain arrays plus a
+picklable config tuple; kernels are small value objects and pickle
+fine.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..errors import ConfigurationError, EmptyDatasetError
+from ..geometry import as_points
+from ..rng import as_generator
+
+#: Ceiling for auto-sized pools (spawning more processes than cores
+#: only adds scheduler churn).
+MAX_AUTO_WORKERS = 8
+
+
+def _fork_context():
+    """The cheapest usable multiprocessing context."""
+    import multiprocessing as mp
+
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context()
+
+
+def default_workers() -> int:
+    """A sensible pool size for this host (capped CPU count)."""
+    return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
+
+
+def _run_shard(payload: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Pool target: one shard's full Interchange run.
+
+    Takes a picklable tuple (module-level function so every start
+    method can import it) and returns the shard sample with its
+    source ids already shifted to dataset row numbers.
+    """
+    (points, base_offset, k, kernel, strategy, strategy_kwargs, engine,
+     max_passes, chunk_size, shuffle, seed) = payload
+    from ..sampling.base import iter_chunks
+    from .interchange import run_interchange
+
+    run = run_interchange(
+        lambda: iter_chunks(points, chunk_size), k, kernel,
+        strategy=strategy, max_passes=max_passes, rng=int(seed),
+        shuffle_within_chunks=shuffle,
+        strategy_kwargs=strategy_kwargs, engine=engine,
+    )
+    return (run.points, run.source_ids + base_offset,
+            run.replacements, run.tuples_processed)
+
+
+class ParallelInterchangeRunner:
+    """Shard-and-merge driver around :func:`run_interchange`.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size; ``None`` picks :func:`default_workers`.
+    shards:
+        How many pieces the dataset is cut into (defaults to
+        ``workers``).  The *sample* depends on the shard count, the
+        *wall time* on the worker count — fix ``shards`` to keep
+        results reproducible across differently sized hosts.
+    strategy / strategy_kwargs / engine / max_passes / chunk_size:
+        Forwarded to every per-shard run and to the merge pass.
+    trace_every:
+        Trace cadence of the merge pass (shard traces interleave
+        non-deterministically in wall-time and are not collected).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        shards: int | None = None,
+        strategy: str = "es",
+        strategy_kwargs: dict | None = None,
+        engine: str = "batched",
+        max_passes: int = 1,
+        chunk_size: int = 8192,
+        trace_every: int = 0,
+        shuffle_within_chunks: bool = True,
+    ) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if shards is None:
+            shards = workers
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.workers = int(workers)
+        self.shards = int(shards)
+        self.strategy = strategy
+        self.strategy_kwargs = dict(strategy_kwargs or {})
+        self.engine = engine
+        self.max_passes = int(max_passes)
+        self.chunk_size = int(chunk_size)
+        self.trace_every = int(trace_every)
+        self.shuffle_within_chunks = bool(shuffle_within_chunks)
+
+    # -- driving -----------------------------------------------------------
+    def run_chunks(self, chunks_factory, k: int, kernel,
+                   rng=None):
+        """Materialise a chunk stream and :meth:`run` it.
+
+        Sharding needs random access (each worker re-iterates its rows
+        for multiple passes), so the stream is concatenated once here.
+        """
+        parts = [as_points(c) for c in chunks_factory()]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            raise EmptyDatasetError("Interchange received an empty stream")
+        # A single-chunk stream (how VASSampler hands over its already
+        # materialised array) needs no copy.
+        pts = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+        return self.run(pts, k, kernel, rng=rng)
+
+    def run(self, points: np.ndarray, k: int, kernel, rng=None):
+        """Sharded Interchange over an in-memory ``(N, 2)`` array."""
+        from .interchange import InterchangeResult, run_interchange
+
+        pts = as_points(points)
+        n = len(pts)
+        if n == 0:
+            raise EmptyDatasetError("Interchange received an empty stream")
+        gen = as_generator(rng)
+        # One seed per shard plus one for the merge pass, drawn up
+        # front so the schedule cannot influence them.
+        seeds = gen.integers(0, 2**63 - 1, size=self.shards + 1)
+
+        bounds = np.linspace(0, n, self.shards + 1, dtype=np.int64)
+        jobs = []
+        for i in range(self.shards):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if lo == hi:
+                continue  # more shards than rows
+            jobs.append((pts[lo:hi], lo, k, kernel, self.strategy,
+                         self.strategy_kwargs, self.engine,
+                         self.max_passes, self.chunk_size,
+                         self.shuffle_within_chunks, int(seeds[i])))
+
+        if len(jobs) == 1 or self.workers == 1:
+            shard_results = [_run_shard(job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(jobs)),
+                mp_context=_fork_context(),
+            ) as pool:
+                shard_results = list(pool.map(_run_shard, jobs))
+
+        union_points = np.concatenate([r[0] for r in shard_results], axis=0)
+        union_ids = np.concatenate([r[1] for r in shard_results])
+        shard_replacements = sum(r[2] for r in shard_results)
+        shard_tuples = sum(r[3] for r in shard_results)
+
+        from ..sampling.base import iter_chunks
+        merge = run_interchange(
+            lambda: iter_chunks(union_points, self.chunk_size), k, kernel,
+            strategy=self.strategy, max_passes=self.max_passes,
+            trace_every=self.trace_every, rng=int(seeds[-1]),
+            shuffle_within_chunks=self.shuffle_within_chunks,
+            strategy_kwargs=self.strategy_kwargs, engine=self.engine,
+        )
+        return InterchangeResult(
+            points=merge.points,
+            # Merge-run ids index the union stream; map them back to
+            # dataset rows (shards are disjoint, so ids stay unique).
+            source_ids=union_ids[merge.source_ids],
+            objective=merge.objective,
+            passes=merge.passes,
+            replacements=shard_replacements + merge.replacements,
+            tuples_processed=shard_tuples + merge.tuples_processed,
+            strategy=merge.strategy,
+            engine=self.engine,
+            bulk_rejected=merge.bulk_rejected,
+            trace=merge.trace,
+            workers=self.workers,
+            shards=self.shards,
+        )

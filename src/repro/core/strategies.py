@@ -34,11 +34,27 @@ change).  Distances are computed with component-wise broadcasting
 per-tuple :func:`~repro.geometry.sq_dists_to`), so a screen verdict is
 not an approximation — it is the sequential decision, bit for bit,
 evaluated in bulk.
+
+The ``pruned`` Interchange engine adds *exact* locality on top of the
+screen (§IV-B taken to its floating-point limit): beyond
+:meth:`~repro.core.kernel.Kernel.zero_radius` the kernel value rounds
+to 0.0 bit-identically, so those (tuple, member) pairs need not be
+evaluated at all.  :meth:`ReplacementStrategy.enable_pruning` buckets
+the current members into a :class:`~repro.index.GridIndex` keyed to
+that radius; :meth:`~ReplacementStrategy.begin_block` then gathers,
+per block cell, only the members of the 3×3 neighbouring cells,
+kernel-evaluates that sub-matrix, and leaves the rest of the screen at
+a literal 0.0 — the same value the dense sweep would have produced.
+Screens therefore stay byte-equal to the dense batched engine (and to
+the reference engine) for ES and No-ES; ES+Loc prunes at its own
+(smaller) cutoff radius, where skipped entries match the zeros its
+truncating mask writes anyway.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 
 import numpy as np
 
@@ -47,6 +63,29 @@ from ..geometry import as_points
 from ..index import GridIndex, RTree
 from .kernel import Kernel
 from .responsibility import CandidateSet
+
+#: A pruned screen that still computes more than this fraction of the
+#: full C×K matrix is not pruning; after a few such blocks in a row the
+#: strategy falls back to the dense sweep (results are identical either
+#: way — skipped entries are bit-exact zeros — so only speed changes).
+PRUNE_DENSE_FALLBACK = 0.75
+
+#: Consecutive over-dense blocks tolerated before falling back.
+PRUNE_MAX_STRIKES = 3
+
+#: Finest member-bucketing resolution (cells per axis across the
+#: member bounding box).  A kernel with a tiny support radius would
+#: otherwise scatter a screen block over thousands of one-row cells,
+#: and the per-group Python overhead would eat the pruning win; cells
+#: never shrink below extent / this, only the candidate annulus grows.
+PRUNE_MAX_GRID_RES = 16
+
+#: Smallest set size for which the decision kernels use the pruned
+#: sparsity structure.  Below this a dense ``window × K`` sweep is a
+#: handful of in-cache ufunc calls and beats the sparse bookkeeping;
+#: beyond it the dense sweeps scale with K while the sparse path
+#: stays at the candidate-union width.
+PRUNE_SPARSE_DECISION_MIN_K = 1536
 
 
 class ScreenBlock:
@@ -57,13 +96,26 @@ class ScreenBlock:
     :meth:`ReplacementStrategy.block_refresh` as replacements land.
     ``sim`` is a view into a per-strategy scratch buffer, so at most
     one block per strategy is live at a time.
+
+    A locality-pruned screen additionally records its sparsity
+    structure so the decision kernels can skip the pruned columns:
+    ``groups[group_of[c]]`` is the sorted member-slot array row ``c``
+    was actually evaluated against (every other ``sim[c, j]`` is an
+    exact 0.0), and ``extra`` collects slots whose columns
+    :meth:`ReplacementStrategy.block_refresh` later rewrote with dense
+    values.  Dense screens leave ``group_of`` as ``None``.
     """
 
-    __slots__ = ("pts", "sim")
+    __slots__ = ("pts", "sim", "group_of", "groups", "extra")
 
-    def __init__(self, pts: np.ndarray, sim: np.ndarray) -> None:
+    def __init__(self, pts: np.ndarray, sim: np.ndarray,
+                 group_of: np.ndarray | None = None,
+                 groups: list[np.ndarray] | None = None) -> None:
         self.pts = pts
         self.sim = sim
+        self.group_of = group_of
+        self.groups = groups
+        self.extra: set[int] = set()
 
 
 class ReplacementStrategy(abc.ABC):
@@ -82,12 +134,26 @@ class ReplacementStrategy(abc.ABC):
         self.last_replaced_slot = -1
         self._scr_sim: np.ndarray | None = None
         self._scr_scratch: np.ndarray | None = None
+        #: Exact-locality pruning state (see :meth:`enable_pruning`).
+        self._pruning = False
+        self._prune_radius = math.inf
+        self._prune_grid: GridIndex | None = None
+        self._prune_pos: np.ndarray | None = None
+        self._prune_strikes = 0
 
     @abc.abstractmethod
     def process(self, source_id: int, point: np.ndarray) -> bool:
         """Offer one tuple; return ``True`` when it entered the set."""
 
     # -- vectorised screening ---------------------------------------------
+    def _screen_buffers(self, c: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (sim, scratch) scratch views for a ``(c, k)`` screen."""
+        if (self._scr_sim is None or self._scr_sim.shape[0] < c
+                or self._scr_sim.shape[1] != k):
+            self._scr_sim = np.empty((c, k), dtype=np.float64)
+            self._scr_scratch = np.empty((c, k), dtype=np.float64)
+        return self._scr_sim[:c], self._scr_scratch[:c]
+
     def _screen_d2(self, pts: np.ndarray) -> np.ndarray:
         """Squared distances of a block vs the set, into scratch buffers.
 
@@ -97,13 +163,7 @@ class ReplacementStrategy(abc.ABC):
         the ``(C, K, 2)`` intermediate.
         """
         members = self.set.points
-        c, k = len(pts), len(members)
-        if (self._scr_sim is None or self._scr_sim.shape[0] < c
-                or self._scr_sim.shape[1] != k):
-            self._scr_sim = np.empty((c, k), dtype=np.float64)
-            self._scr_scratch = np.empty((c, k), dtype=np.float64)
-        sim = self._scr_sim[:c]
-        scratch = self._scr_scratch[:c]
+        sim, scratch = self._screen_buffers(len(pts), len(members))
         np.subtract(pts[:, 0, None], members[None, :, 0], out=sim)
         np.subtract(pts[:, 1, None], members[None, :, 1], out=scratch)
         np.multiply(sim, sim, out=sim)
@@ -111,10 +171,156 @@ class ReplacementStrategy(abc.ABC):
         np.add(sim, scratch, out=sim)
         return sim
 
+    def _screen_profile(self, d2: np.ndarray) -> None:
+        """Turn a buffer of squared screen distances into κ̃, in place.
+
+        The one place a strategy may shape its screen values: ES+Loc
+        overrides this to zero entries beyond its locality cutoff, so
+        every screen path (dense, pruned, column refresh) truncates
+        identically.
+        """
+        self.kernel.profile_into(d2)
+
+    # -- exact-locality pruning --------------------------------------------
+    def prune_radius(self) -> float:
+        """Distance beyond which this strategy's screen entries are 0.0.
+
+        For exact strategies that is the kernel's own float64 underflow
+        support (:meth:`~repro.core.kernel.Kernel.zero_radius`);
+        ``inf`` means every pair must be evaluated and pruning is
+        impossible.
+        """
+        return self.kernel.zero_radius()
+
+    def enable_pruning(self) -> bool:
+        """Switch the block screens to the locality-pruned gather.
+
+        Returns False (and stays dense) when the kernel never rounds
+        to zero — a polynomial tail touches every pair.
+        """
+        radius = self.prune_radius()
+        if not math.isfinite(radius):
+            return False
+        self._prune_radius = float(radius)
+        self._pruning = True
+        self._prune_grid = None
+        self._prune_pos = None
+        self._prune_nbrs: dict[tuple[int, int], np.ndarray] = {}
+        self._prune_strikes = 0
+        return True
+
+    def _prune_cell_size(self) -> float:
+        """Bucket edge: at least the prune radius (3×3 coverage), at
+        least extent / :data:`PRUNE_MAX_GRID_RES` (bounded group
+        count)."""
+        pts = self.set.points
+        extent = 0.0
+        if len(pts):
+            spans = pts.max(axis=0) - pts.min(axis=0)
+            extent = float(max(spans[0], spans[1]))
+        return max(self._prune_radius, extent / PRUNE_MAX_GRID_RES, 1e-12)
+
+    def _drop_nbr_cache_around(self, x: float, y: float) -> None:
+        grid = self._prune_grid
+        cx, cy = grid.key_of(x, y)
+        pop = self._prune_nbrs.pop
+        for ix in (cx - 1, cx, cx + 1):
+            for iy in (cy - 1, cy, cy + 1):
+                pop((ix, iy), None)
+
+    def _sync_prune_grid(self) -> GridIndex:
+        """Bring the member bucketing up to date with the live set.
+
+        Positions are diffed against the snapshot taken at the last
+        sync — O(K) compares per block, independent of how many
+        replacements landed in between and of which code path applied
+        them — so the grid never drifts from the set.  Cached cell
+        neighbourhoods are evicted only around cells a member left or
+        entered, so the cache stays warm as the run converges and
+        replacements thin out.
+        """
+        pts = self.set.points
+        if self._prune_grid is None or self._prune_pos is None \
+                or len(self._prune_pos) != len(pts):
+            grid = GridIndex(cell_size=self._prune_cell_size())
+            for slot in range(len(pts)):
+                grid.insert(slot, float(pts[slot, 0]), float(pts[slot, 1]))
+            self._prune_grid = grid
+            self._prune_pos = pts.copy()
+            self._prune_nbrs.clear()
+            return grid
+        grid = self._prune_grid
+        moved = np.flatnonzero((self._prune_pos != pts).any(axis=1))
+        for slot in moved:
+            s = int(slot)
+            old_x, old_y = self._prune_pos[s]
+            grid.remove(s)
+            grid.insert(s, float(pts[s, 0]), float(pts[s, 1]))
+            self._drop_nbr_cache_around(float(old_x), float(old_y))
+            self._drop_nbr_cache_around(float(pts[s, 0]), float(pts[s, 1]))
+        if len(moved):
+            self._prune_pos[moved] = pts[moved]
+        return grid
+
+    def _screen_pruned(self, pts: np.ndarray) -> ScreenBlock:
+        """Locality-pruned screen: κ̃ only for pairs that can be non-zero.
+
+        Block rows are grouped by grid cell; each group gathers the
+        members of its 3×3 cell neighbourhood (every member within
+        ``prune_radius`` of any row in the cell — omitted members are
+        provably farther) and kernel-evaluates that sub-matrix with
+        the exact dense arithmetic.  All other entries stay 0.0, the
+        value the dense sweep computes for them, so the resulting
+        screen matrix is byte-equal to :meth:`_screen_d2` +
+        :meth:`_screen_profile`, and the recorded group structure lets
+        :meth:`block_decisions` skip the pruned columns too.
+        """
+        members = self.set.points
+        grid = self._sync_prune_grid()
+        c, k = len(pts), len(members)
+        sim, _ = self._screen_buffers(c, k)
+        sim[...] = 0.0
+        keys = np.floor(pts / grid.cell_size).astype(np.int64)
+        order = np.lexsort((keys[:, 1], keys[:, 0]))
+        skeys = keys[order]
+        bounds = np.flatnonzero((skeys[1:] != skeys[:-1]).any(axis=1)) + 1
+        starts = np.concatenate(([0], bounds, [c]))
+        group_of = np.empty(c, dtype=np.int32)
+        groups: list[np.ndarray] = []
+        computed = 0
+        nbrs = self._prune_nbrs
+        for a, b in zip(starts[:-1], starts[1:]):
+            key = (int(skeys[a, 0]), int(skeys[a, 1]))
+            idx = nbrs.get(key)
+            if idx is None:
+                idx = np.asarray(grid.neighborhood_ids(*key),
+                                 dtype=np.int64)
+                idx.sort()
+                nbrs[key] = idx
+            rows = order[a:b]
+            group_of[rows] = len(groups)
+            groups.append(idx)
+            if idx.size == 0:
+                continue
+            d2 = self._kernel_vs(pts[rows], members[idx])
+            sim[np.ix_(rows, idx)] = d2
+            computed += d2.size
+        if computed > PRUNE_DENSE_FALLBACK * c * k:
+            self._prune_strikes += 1
+            if self._prune_strikes >= PRUNE_MAX_STRIKES:
+                # The neighbourhood covers most of the set: the gather
+                # costs more than it saves.  Dense from here on.
+                self._pruning = False
+        else:
+            self._prune_strikes = 0
+        return ScreenBlock(pts, sim, group_of, groups)
+
     def begin_block(self, pts: np.ndarray) -> ScreenBlock:
         """Kernel-evaluate a ``(C, 2)`` block against the current set."""
+        if self._pruning and self.set.is_full:
+            return self._screen_pruned(pts)
         sim = self._screen_d2(pts)
-        self.kernel.profile_into(sim)
+        self._screen_profile(sim)
         return ScreenBlock(pts, sim)
 
     def _screen_responsibilities(self) -> np.ndarray:
@@ -128,12 +334,39 @@ class ReplacementStrategy(abc.ABC):
         ``mask[c]`` is True exactly when ``process`` on row
         ``start + c`` would perform a replacement right now (only valid
         while the set is full and ``block.sim`` is current).
+
+        For a pruned block the expanded-responsibility maximum is
+        computed from the sparsity structure instead of a dense
+        ``C×K`` sweep: outside the window's candidate union every
+        ``sim`` entry is an exact 0.0, so ``sim + rsp`` collapses to
+        ``rsp`` there and its maximum is one ``O(K)`` reduction shared
+        by the whole window.  ``fl(0.0 + rsp[j]) == rsp[j]``, so the
+        sparse maximum equals the dense one bit for bit.  (The row
+        *sums* intentionally stay full-width: a subset sum would walk
+        a different pairwise-summation tree than the reference
+        engine's ``row.sum()`` and could round differently.)
         """
         sim = block.sim[start:stop]
         rsp = self._screen_responsibilities()
-        expanded = self._scr_scratch[start:stop]
-        np.add(sim, rsp[None, :], out=expanded)
-        return expanded.max(axis=1) > sim.sum(axis=1)
+        k = len(rsp)
+        if block.group_of is None or k < PRUNE_SPARSE_DECISION_MIN_K:
+            expanded = self._scr_scratch[start:stop]
+            np.add(sim, rsp[None, :], out=expanded)
+            return expanded.max(axis=1) > sim.sum(axis=1)
+        mask = np.zeros(k, dtype=bool)
+        for g in np.unique(block.group_of[start:stop]):
+            mask[block.groups[g]] = True
+        if block.extra:
+            mask[np.fromiter(block.extra, dtype=np.int64)] = True
+        uidx = np.flatnonzero(mask)
+        outside = rsp[~mask]
+        outside_max = outside.max() if outside.size else -np.inf
+        if uidx.size:
+            expanded = sim[:, uidx] + rsp[uidx]
+            row_max = np.maximum(expanded.max(axis=1), outside_max)
+        else:
+            row_max = np.full(stop - start, outside_max)
+        return row_max > sim.sum(axis=1)
 
     def _kernel_vs(self, pts: np.ndarray, members: np.ndarray) -> np.ndarray:
         """Fresh κ̃ of block rows vs a gathered member subset.
@@ -146,7 +379,7 @@ class ReplacementStrategy(abc.ABC):
         dy = pts[:, 1, None] - members[None, :, 1]
         np.multiply(d2, d2, out=d2)
         d2 += dy * dy
-        self.kernel.profile_into(d2)
+        self._screen_profile(d2)
         return d2
 
     def block_refresh(self, block: ScreenBlock, start: int, stop: int,
@@ -156,12 +389,15 @@ class ReplacementStrategy(abc.ABC):
 
         Called after acceptances replaced those slots; every other κ̃
         column is unchanged, so a few fresh kernel columns keep the
-        cache exact.
+        cache exact.  On a pruned block the rewritten columns are
+        dense, so they join the decision kernel's candidate union.
         """
         idx = np.asarray(slots, dtype=np.int64)
         block.sim[start:stop, idx] = self._kernel_vs(
             block.pts[start:stop], self.set.points[idx]
         )
+        if block.group_of is not None:
+            block.extra.update(int(s) for s in idx)
 
     def accept_block_row(self, block: ScreenBlock, row: int,
                          source_id: int) -> bool:
@@ -396,25 +632,21 @@ class ESLocStrategy(ReplacementStrategy):
             cs.recompute()
             self._since_recompute = 0
 
-    def begin_block(self, pts: np.ndarray) -> ScreenBlock:
-        sim = self._screen_d2(pts)
+    def _screen_profile(self, d2: np.ndarray) -> None:
         # The cutoff mask reproduces the index's query_radius test
         # (``dx² + dy² <= r²``), so the screened sparse row matches the
         # sequential neighbourhood row entry for entry.
-        far = sim > self.cutoff * self.cutoff
-        self.kernel.profile_into(sim)
-        np.copyto(sim, 0.0, where=far)
-        return ScreenBlock(pts, sim)
-
-    def _kernel_vs(self, pts: np.ndarray, members: np.ndarray) -> np.ndarray:
-        d2 = pts[:, 0, None] - members[None, :, 0]
-        dy = pts[:, 1, None] - members[None, :, 1]
-        np.multiply(d2, d2, out=d2)
-        d2 += dy * dy
         far = d2 > self.cutoff * self.cutoff
         self.kernel.profile_into(d2)
         np.copyto(d2, 0.0, where=far)
-        return d2
+
+    def prune_radius(self) -> float:
+        # Members beyond the cutoff are zeroed by the truncating mask
+        # anyway, so the pruned gather may skip at the cutoff itself.
+        # The relative margin guarantees every skipped pair's *computed*
+        # squared distance clears cutoff², i.e. the mask would have
+        # zeroed it too — byte equality survives the skip.
+        return min(self.cutoff * (1.0 + 1e-9), self.kernel.zero_radius())
 
     def accept_block_row(self, block: ScreenBlock, row: int,
                          source_id: int) -> bool:

@@ -43,7 +43,7 @@ from ..rng import as_generator
 from ..sampling.base import Sampler, SampleResult, iter_chunks, validate_sample_size
 from .density import embed_density
 from .epsilon import select_epsilon
-from .interchange import InterchangeResult, run_interchange
+from .interchange import ENGINES, InterchangeResult, run_interchange
 from .kernel import Kernel, make_kernel
 
 #: ``strategy="auto"`` switches from ES to ES+Loc at this sample size.
@@ -75,8 +75,21 @@ class VASSampler(Sampler):
     rng:
         Seed/generator for the shuffled scan order (the random start).
     engine:
-        ``"batched"`` (default) or ``"reference"``; see
+        ``"batched"`` (default), ``"pruned"`` (exact kernel-locality
+        pruning) or ``"reference"``; see
         :func:`repro.core.interchange.run_interchange`.
+    workers:
+        ``1`` (default) samples in-process.  ``N > 1`` shards the
+        dataset across N processes and merges the shard samples with a
+        final interchange pass
+        (:class:`~repro.core.parallel.ParallelInterchangeRunner`);
+        deterministic for a fixed seed and shard count, but not the
+        single-process sample.
+    shards:
+        Shard count for sharded runs (defaults to ``workers``).  An
+        explicit ``shards > 1`` engages the shard-and-merge path even
+        at ``workers=1`` (executed serially), so a fixed ``(seed,
+        shards)`` pair reproduces the same sample on any pool size.
     """
 
     name = "vas"
@@ -93,6 +106,8 @@ class VASSampler(Sampler):
         rng: int | np.random.Generator | None = None,
         trace_every: int = 0,
         engine: str = "batched",
+        workers: int = 1,
+        shards: int | None = None,
     ) -> None:
         if strategy not in ("auto", "es", "es+loc", "no-es"):
             raise ConfigurationError(
@@ -102,11 +117,17 @@ class VASSampler(Sampler):
             raise ConfigurationError(f"max_passes must be >= 1, got {max_passes}")
         if chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
-        if engine not in ("reference", "batched"):
+        if engine not in ENGINES:
             raise ConfigurationError(
-                f"engine must be 'reference' or 'batched', got {engine!r}"
+                f"engine must be one of {ENGINES}, got {engine!r}"
             )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if shards is not None and shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
         self.engine = engine
+        self.workers = int(workers)
+        self.shards = None if shards is None else int(shards)
         self._kernel_spec = kernel
         self.epsilon = epsilon
         self.strategy = strategy
@@ -156,8 +177,17 @@ class VASSampler(Sampler):
 
         kernel = self.resolve_kernel(pts)
         strategy, strategy_kwargs = self._resolve_strategy(k)
+        # The parallel runner re-chunks its shards itself; handing it
+        # the whole array as one chunk avoids a full-dataset copy at
+        # materialisation.  The in-process path keeps real chunking
+        # (it shapes the shuffled scan order).
+        sharded = self.workers > 1 or (self.shards or 1) > 1
+        if sharded:
+            chunks_factory = lambda: iter((pts,))  # noqa: E731
+        else:
+            chunks_factory = lambda: iter_chunks(pts, self.chunk_size)  # noqa: E731
         run = run_interchange(
-            chunks_factory=lambda: iter_chunks(pts, self.chunk_size),
+            chunks_factory=chunks_factory,
             k=k,
             kernel=kernel,
             strategy=strategy,
@@ -166,6 +196,9 @@ class VASSampler(Sampler):
             rng=self._rng,
             strategy_kwargs=strategy_kwargs,
             engine=self.engine,
+            workers=self.workers,
+            shards=self.shards,
+            parallel_chunk_size=self.chunk_size,
         )
         self.last_run = run
         order = np.argsort(run.source_ids)
@@ -181,6 +214,8 @@ class VASSampler(Sampler):
                 "replacements": run.replacements,
                 "epsilon": kernel.epsilon,
                 "kernel": kernel.name,
+                "workers": run.workers,
+                "shards": run.shards,
             },
         )
 
@@ -191,6 +226,11 @@ class VASSampler(Sampler):
         bandwidth cannot be chosen from the full data upfront — so an
         explicit ``epsilon`` (or kernel instance) is required here.
         """
+        if self.workers != 1 or (self.shards or 1) > 1:
+            raise ConfigurationError(
+                "streaming VAS is single-process (sharding needs random "
+                "access to the data); use workers=1 or sample()"
+            )
         if not isinstance(self._kernel_spec, Kernel) and self.epsilon is None:
             raise ConfigurationError(
                 "streaming VAS needs an explicit epsilon or kernel instance "

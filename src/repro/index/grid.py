@@ -57,6 +57,15 @@ class GridIndex:
         return (int(math.floor(x / self.cell_size)),
                 int(math.floor(y / self.cell_size)))
 
+    def key_of(self, x: float, y: float) -> tuple[int, int]:
+        """Cell coordinates of a point (the bucketing function).
+
+        Exposed so vectorised callers (the pruned Interchange screen
+        computes ``floor(xy / cell_size)`` for whole blocks at once)
+        can assert their keys match the index's own bucketing.
+        """
+        return self._key(x, y)
+
     # -- mutation ----------------------------------------------------------
     def insert(self, point_id: int, x: float, y: float) -> None:
         """Insert a point under ``point_id``; the id must be fresh."""
@@ -103,6 +112,26 @@ class GridIndex:
                     dy = py - y
                     if dx * dx + dy * dy <= r2:
                         hits.append(pid)
+        return hits
+
+    def neighborhood_ids(self, cx: int, cy: int, reach: int = 1) -> list[int]:
+        """Ids in the ``(2·reach+1)²`` block of cells centred on a cell.
+
+        The coarse companion of :meth:`query_radius`: with
+        ``cell_size >= r`` and ``reach=1``, every point within distance
+        ``r`` of *any* probe in cell ``(cx, cy)`` is returned (a
+        coordinate difference of at most ``r`` moves the cell index by
+        at most one), while omitted points are guaranteed farther than
+        ``r`` from every such probe.  The locality-pruned Interchange
+        screen uses this as its candidate gather: omitted members
+        contribute bit-exact kernel zeros and are skipped wholesale.
+        """
+        hits: list[int] = []
+        for ix in range(cx - reach, cx + reach + 1):
+            for iy in range(cy - reach, cy + reach + 1):
+                cell = self._cells.get((ix, iy))
+                if cell:
+                    hits.extend(cell.keys())
         return hits
 
     def count_within_radius(self, x: float, y: float, radius: float) -> int:

@@ -103,12 +103,14 @@ def build_method_sample(method: str, data_xy: np.ndarray, k: int,
                         seed: int,
                         stratified_grid: tuple[int, int] = (10, 10),
                         epsilon: float | None = None,
-                        engine: str = "batched") -> SampleResult:
+                        engine: str = "batched",
+                        workers: int = 1) -> SampleResult:
     """Build one method's sample, with §V weights for ``vas+density``.
 
-    ``engine`` selects the Interchange engine for the VAS methods (the
-    two engines produce identical samples; see
-    :mod:`repro.core.interchange`).
+    ``engine`` selects the Interchange engine for the VAS methods (all
+    engines produce identical samples; see
+    :mod:`repro.core.interchange`), and ``workers > 1`` runs the
+    sharded multiprocess path (:mod:`repro.core.parallel`).
     """
     pts = as_points(data_xy)
     if method == "uniform":
@@ -118,9 +120,11 @@ def build_method_sample(method: str, data_xy: np.ndarray, k: int,
                                  rng=seed).sample(pts, k)
     eps = epsilon if epsilon is not None else epsilon_from_diameter(pts)
     if method == "vas":
-        return VASSampler(rng=seed, epsilon=eps, engine=engine).sample(pts, k)
+        return VASSampler(rng=seed, epsilon=eps, engine=engine,
+                          workers=workers).sample(pts, k)
     if method == "vas+density":
-        base = VASSampler(rng=seed, epsilon=eps, engine=engine).sample(pts, k)
+        base = VASSampler(rng=seed, epsilon=eps, engine=engine,
+                          workers=workers).sample(pts, k)
         return embed_density(base, iter_chunks(pts, 65536))
     raise ConfigurationError(
         f"unknown method {method!r}; expected one of "

@@ -1,10 +1,12 @@
-"""Engine parity: the batched Interchange engine must be bit-identical
-to the reference per-tuple engine.
+"""Engine parity: the batched and pruned Interchange engines must be
+bit-identical to the reference per-tuple engine.
 
 The batched engine's screens evaluate the exact sequential decision
-quantities (same float arithmetic, same tie handling), so for any fixed
-seed the two engines must emit the same samples, objectives, traces and
-counters — across strategies, chunk sizes, and degenerate inputs.
+quantities (same float arithmetic, same tie handling), and the pruned
+engine only skips pairs whose kernel value underflows to an exact 0.0,
+so for any fixed seed all engines must emit the same samples,
+objectives, traces and counters — across strategies, chunk sizes, and
+degenerate inputs.
 """
 
 from __future__ import annotations
@@ -12,7 +14,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ENGINES, GaussianKernel, LaplaceKernel, run_interchange
+from repro.core import (
+    ENGINES,
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplaceKernel,
+    run_interchange,
+)
 from repro.core.vas import VASSampler
 from repro.errors import ConfigurationError
 from repro.sampling import iter_chunks
@@ -21,12 +30,16 @@ STRATEGIES = ("es", "no-es", "es+loc")
 
 
 def both_engines(points, k, kernel, chunk_size=64, **kwargs):
+    """Run every engine; return (reference, batched) for legacy callers
+    after asserting the full cross-engine identity."""
     results = {}
     for engine in ENGINES:
         results[engine] = run_interchange(
             lambda: iter_chunks(points, chunk_size), k, kernel,
             engine=engine, **kwargs,
         )
+    for engine in ENGINES[1:]:
+        assert_identical(results["reference"], results[engine])
     return results["reference"], results["batched"]
 
 
@@ -100,7 +113,8 @@ class TestChunkSizes:
                             max_passes=3)
             for engine in ENGINES
         ]
-        assert_identical(runs[0], runs[1])
+        for other in runs[1:]:
+            assert_identical(runs[0], other)
 
 
 class TestDegenerateInputs:
@@ -141,14 +155,95 @@ class TestDegenerateInputs:
 
 
 class TestTraceParity:
-    def test_traces_match(self, blob_points):
-        kernel = GaussianKernel(0.3)
-        ref, bat = both_engines(blob_points, 15, kernel, rng=8,
-                                trace_every=100, max_passes=2)
-        assert len(ref.trace) == len(bat.trace)
-        for a, b in zip(ref.trace, bat.trace):
-            assert a.tuples_processed == b.tuples_processed
-            assert a.objective == b.objective
+    @pytest.mark.parametrize("epsilon", [0.3, 0.02])
+    def test_traces_match(self, blob_points, epsilon):
+        """All engines snapshot the same objectives at the same points
+        (0.02 is small enough that the pruned engine actually prunes)."""
+        kernel = GaussianKernel(epsilon)
+        runs = {
+            engine: run_interchange(
+                lambda: iter_chunks(blob_points, 64), 15, kernel, rng=8,
+                trace_every=100, max_passes=2, engine=engine,
+            )
+            for engine in ENGINES
+        }
+        ref = runs["reference"]
+        for engine in ENGINES[1:]:
+            other = runs[engine]
+            assert len(ref.trace) == len(other.trace)
+            for a, b in zip(ref.trace, other.trace):
+                assert a.tuples_processed == b.tuples_processed
+                assert a.objective == b.objective
+
+
+class TestPrunedEngine:
+    """The locality-pruned screens must stay byte-equal to reference.
+
+    Small bandwidths make the underflow radius a small fraction of the
+    data extent, so these runs exercise *real* pruning (most of the
+    screen matrix is skipped), unlike the wide-kernel cases above
+    where the dense fallback kicks in.
+    """
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("epsilon", [0.003, 0.02, 0.1])
+    def test_small_bandwidth_gaussian(self, blob_points, strategy, epsilon):
+        both_engines(blob_points, 25, GaussianKernel(epsilon),
+                     strategy=strategy, rng=0, max_passes=2)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_compact_support_epanechnikov(self, blob_points, strategy):
+        """Compact support prunes at exactly d = ε (the tie radius)."""
+        both_engines(blob_points, 25, EpanechnikovKernel(0.2),
+                     strategy=strategy, rng=1, max_passes=2)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_small_bandwidth_laplace(self, blob_points, strategy):
+        both_engines(blob_points, 20, LaplaceKernel(0.004),
+                     strategy=strategy, rng=2, max_passes=2)
+
+    def test_cauchy_never_prunes(self, blob_points):
+        """A polynomial tail never underflows; the engine must degrade
+        to dense screens rather than skipping non-zero pairs."""
+        from repro.core import CandidateSet
+        from repro.core.strategies import make_strategy
+
+        cs = CandidateSet(10, CauchyKernel(0.3))
+        strat = make_strategy("es", cs)
+        assert strat.enable_pruning() is False
+        both_engines(blob_points, 25, CauchyKernel(0.3), rng=3,
+                     max_passes=2)
+
+    def test_sparse_decision_kernel(self, blob_points, monkeypatch):
+        """Force the sparse expanded-max path (normally gated on large
+        K) and require byte-equality with the dense decisions."""
+        import repro.core.strategies as strategies_mod
+
+        monkeypatch.setattr(strategies_mod,
+                            "PRUNE_SPARSE_DECISION_MIN_K", 1)
+        for strategy in STRATEGIES:
+            both_engines(blob_points, 25, GaussianKernel(0.02),
+                         strategy=strategy, rng=4, max_passes=2)
+
+    def test_dense_fallback_keeps_parity(self, blob_points, monkeypatch):
+        """A mid-run fallback to dense screens cannot change results."""
+        import repro.core.strategies as strategies_mod
+
+        monkeypatch.setattr(strategies_mod, "PRUNE_DENSE_FALLBACK", 0.0)
+        monkeypatch.setattr(strategies_mod, "PRUNE_MAX_STRIKES", 2)
+        both_engines(blob_points, 25, GaussianKernel(0.02), rng=5,
+                     max_passes=2)
+
+    def test_pruned_bucketing_matches_grid_key(self, blob_points):
+        """The vectorised cell keys must equal GridIndex's bucketing."""
+        from repro.index import GridIndex
+
+        grid = GridIndex(cell_size=0.37)
+        keys = np.floor(blob_points / grid.cell_size).astype(np.int64)
+        for row in range(0, len(blob_points), 37):
+            x, y = blob_points[row]
+            assert grid.key_of(float(x), float(y)) == \
+                (int(keys[row, 0]), int(keys[row, 1]))
 
 
 class TestVASSamplerEngines:
@@ -158,9 +253,10 @@ class TestVASSamplerEngines:
             VASSampler(rng=0, engine=engine).sample(sub, 120)
             for engine in ENGINES
         ]
-        assert np.array_equal(results[0].indices, results[1].indices)
-        assert results[0].metadata["objective"] == \
-            results[1].metadata["objective"]
+        for other in results[1:]:
+            assert np.array_equal(results[0].indices, other.indices)
+            assert results[0].metadata["objective"] == \
+                other.metadata["objective"]
 
     def test_engine_recorded_in_metadata(self, blob_points):
         result = VASSampler(rng=0, engine="batched").sample(blob_points, 10)

@@ -150,3 +150,43 @@ class TestEpanechnikovSpecifics:
 
     def test_cutoff_is_epsilon(self):
         assert EpanechnikovKernel(0.7).cutoff_radius(1e-9) == 0.7
+
+
+class TestZeroRadius:
+    """zero_radius: the exact-underflow support used by the pruned
+    Interchange engine.  Beyond it the computed kernel value must be a
+    bit-exact 0.0; just inside the margin it must already be tiny."""
+
+    @pytest.mark.parametrize("cls", [GaussianKernel, LaplaceKernel,
+                                     EpanechnikovKernel])
+    @pytest.mark.parametrize("eps", [1e-4, 0.02, 1.0, 37.5])
+    def test_exactly_zero_beyond(self, cls, eps):
+        k = cls(eps)
+        r = k.zero_radius()
+        assert np.isfinite(r) and r > 0
+        for factor in (1.0 + 1e-9, 1.0 + 1e-6, 1.5, 10.0):
+            d = r * factor
+            assert float(k.from_sq_dists(np.array([d * d]))[0]) == 0.0
+            buf = np.array([d * d])
+            k.profile_into(buf)
+            assert float(buf[0]) == 0.0
+
+    @pytest.mark.parametrize("cls", [GaussianKernel, LaplaceKernel])
+    def test_positive_well_inside(self, cls):
+        """The margin must not swallow representable values."""
+        k = cls(0.5)
+        d = k.zero_radius() * 0.9
+        assert float(k.from_sq_dists(np.array([d * d]))[0]) >= 0.0
+        d_small = k.cutoff_radius(1e-12)
+        assert float(k.from_sq_dists(np.array([d_small ** 2]))[0]) > 0.0
+
+    def test_cauchy_never_zero(self):
+        k = CauchyKernel(0.5)
+        assert k.zero_radius() == float("inf")
+        # even absurd distances stay positive (polynomial tail)
+        assert float(k.from_sq_dists(np.array([1e300]))[0]) > 0.0
+
+    def test_scales_with_epsilon(self):
+        small = GaussianKernel(0.01).zero_radius()
+        large = GaussianKernel(1.0).zero_radius()
+        assert large == pytest.approx(small * 100.0)

@@ -1,0 +1,171 @@
+"""Multiprocess Interchange: determinism and plumbing.
+
+The contract of :mod:`repro.core.parallel`:
+
+* ``workers=1`` never leaves the in-process path, so it is
+  bit-identical to the plain batched engine;
+* ``workers>1`` results are deterministic for a fixed ``(seed,
+  shards)`` pair and independent of the worker-pool size;
+* parallel samples are genuine subsets of dataset rows (global ids,
+  no duplicates, points match the rows they claim to come from).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GaussianKernel,
+    ParallelInterchangeRunner,
+    VASSampler,
+    run_interchange,
+)
+from repro.core.parallel import default_workers
+from repro.errors import ConfigurationError, EmptyDatasetError
+from repro.sampling import iter_chunks
+
+K = 60
+
+
+@pytest.fixture(scope="module")
+def data():
+    gen = np.random.default_rng(42)
+    dense = gen.normal(loc=(0.0, 0.0), scale=0.3, size=(3000, 2))
+    sparse = gen.normal(loc=(4.0, 4.0), scale=0.8, size=(400, 2))
+    return np.concatenate([dense, sparse], axis=0)
+
+
+class TestWorkersOne:
+    def test_run_interchange_workers_one_is_single_process(self, data):
+        kernel = GaussianKernel(0.25)
+        plain = run_interchange(lambda: iter_chunks(data, 512), K, kernel,
+                                rng=0, max_passes=2, engine="batched")
+        w1 = run_interchange(lambda: iter_chunks(data, 512), K, kernel,
+                             rng=0, max_passes=2, engine="batched",
+                             workers=1)
+        assert np.array_equal(plain.source_ids, w1.source_ids)
+        assert plain.objective == w1.objective
+        assert w1.workers == 1 and w1.shards == 1
+
+    def test_vas_sampler_workers_one_identical(self, data):
+        base = VASSampler(rng=0, epsilon=0.25).sample(data, K)
+        w1 = VASSampler(rng=0, epsilon=0.25, workers=1).sample(data, K)
+        assert np.array_equal(base.indices, w1.indices)
+        assert base.metadata["objective"] == w1.metadata["objective"]
+
+
+class TestParallelDeterminism:
+    def test_seed_stable_run_to_run(self, data):
+        runs = [
+            VASSampler(rng=0, epsilon=0.25, workers=4, shards=4)
+            .sample(data, K)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].indices, runs[1].indices)
+        assert runs[0].metadata["objective"] == runs[1].metadata["objective"]
+
+    def test_pool_size_does_not_change_sample(self, data):
+        """Fixed shards: 2 workers and 4 workers agree exactly."""
+        with_two = VASSampler(rng=0, epsilon=0.25, workers=2,
+                              shards=4).sample(data, K)
+        with_four = VASSampler(rng=0, epsilon=0.25, workers=4,
+                               shards=4).sample(data, K)
+        assert np.array_equal(with_two.indices, with_four.indices)
+        assert with_two.metadata["objective"] == \
+            with_four.metadata["objective"]
+
+    def test_workers_one_with_explicit_shards_matches_pool(self, data):
+        """shards is the determinism pin: an explicit shards=4 yields
+        the same sample at workers=1 (serial) as at workers=4."""
+        serial = VASSampler(rng=0, epsilon=0.25, workers=1,
+                            shards=4).sample(data, K)
+        pooled = VASSampler(rng=0, epsilon=0.25, workers=4,
+                            shards=4).sample(data, K)
+        assert np.array_equal(serial.indices, pooled.indices)
+        assert serial.metadata["objective"] == pooled.metadata["objective"]
+        assert serial.metadata["shards"] == 4
+
+    def test_chunk_size_reaches_shards(self, data):
+        """A custom chunk_size must shape the sharded scans too (it
+        feeds the shuffled scan order), not be silently dropped."""
+        a = VASSampler(rng=0, epsilon=0.25, workers=2, shards=2,
+                       chunk_size=256).sample(data, K)
+        b = VASSampler(rng=0, epsilon=0.25, workers=2, shards=2,
+                       chunk_size=2048).sample(data, K)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_different_seeds_differ(self, data):
+        a = VASSampler(rng=0, epsilon=0.25, workers=2, shards=2).sample(data, K)
+        b = VASSampler(rng=1, epsilon=0.25, workers=2, shards=2).sample(data, K)
+        assert not np.array_equal(a.indices, b.indices)
+
+
+class TestParallelSampleValidity:
+    def test_sample_is_subset_of_rows(self, data):
+        result = VASSampler(rng=3, epsilon=0.25, workers=3,
+                            shards=3).sample(data, K)
+        assert len(result.indices) == K
+        assert len(np.unique(result.indices)) == K
+        assert result.indices.min() >= 0
+        assert result.indices.max() < len(data)
+        assert np.array_equal(result.points, data[result.indices])
+
+    def test_metadata_records_workers(self, data):
+        result = VASSampler(rng=3, epsilon=0.25, workers=2,
+                            shards=3).sample(data, K)
+        assert result.metadata["workers"] == 2
+        assert result.metadata["shards"] == 3
+
+    def test_pruned_engine_composes_with_workers(self, data):
+        result = VASSampler(rng=5, epsilon=0.02, engine="pruned",
+                            workers=2, shards=2).sample(data, K)
+        assert len(result.indices) == K
+        assert result.metadata["engine"] == "pruned"
+
+
+class TestRunnerDirect:
+    def test_runner_over_array(self, data):
+        runner = ParallelInterchangeRunner(workers=2, shards=3,
+                                           max_passes=2)
+        result = runner.run(data, K, GaussianKernel(0.25), rng=0)
+        assert len(result.source_ids) == K
+        assert result.workers == 2 and result.shards == 3
+        # Shards ran plus the merge pass: more tuples than one scan.
+        assert result.tuples_processed > len(data)
+
+    def test_more_shards_than_rows(self):
+        pts = np.random.default_rng(0).normal(size=(5, 2))
+        runner = ParallelInterchangeRunner(workers=2, shards=16)
+        result = runner.run(pts, 3, GaussianKernel(0.5), rng=0)
+        assert len(result.source_ids) == 3
+
+    def test_empty_stream_raises(self):
+        runner = ParallelInterchangeRunner(workers=2)
+        with pytest.raises(EmptyDatasetError):
+            runner.run_chunks(lambda: iter([]), 3, GaussianKernel(0.5))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelInterchangeRunner(workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelInterchangeRunner(shards=0)
+        with pytest.raises(ConfigurationError):
+            run_interchange(lambda: iter([]), 3, GaussianKernel(0.5),
+                            workers=0)
+        with pytest.raises(ConfigurationError):
+            VASSampler(workers=0)
+        # shards validation must not depend on the workers value
+        with pytest.raises(ConfigurationError):
+            VASSampler(workers=1, shards=0)
+        with pytest.raises(ConfigurationError):
+            run_interchange(lambda: iter([]), 3, GaussianKernel(0.5),
+                            workers=1, shards=-3)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_streaming_rejects_parallel(self):
+        sampler = VASSampler(epsilon=0.3, workers=2)
+        with pytest.raises(ConfigurationError):
+            sampler.sample_stream(iter([np.zeros((10, 2))]), 3)

@@ -148,3 +148,57 @@ class TestChooseCellSize:
         edge = choose_cell_size(pts, target_per_cell=10.0)
         expected_cells = 1.0 / (edge * edge)
         assert 50 <= expected_cells <= 200  # ~100 cells for 1000 pts
+
+
+class TestNeighborhoodIds:
+    """neighborhood_ids: the pruned screen's candidate gather."""
+
+    def test_covers_query_radius(self):
+        """With cell_size >= r, the 3x3 block around a probe's cell is
+        a superset of every radius-r query from inside that cell."""
+        gen = np.random.default_rng(8)
+        pts = gen.uniform(-10, 10, size=(300, 2))
+        radius = 1.7
+        g = GridIndex(cell_size=radius)
+        g.insert_many(np.arange(len(pts)), pts)
+        for probe in pts[:40]:
+            x, y = float(probe[0]), float(probe[1])
+            block = set(g.neighborhood_ids(*g.key_of(x, y)))
+            assert set(g.query_radius(x, y, radius)) <= block
+
+    def test_omitted_points_are_far(self):
+        """Everything outside the block is farther than cell_size from
+        every point of the centre cell (the pruning guarantee)."""
+        gen = np.random.default_rng(9)
+        pts = gen.uniform(-5, 5, size=(200, 2))
+        cell = 0.9
+        g = GridIndex(cell_size=cell)
+        g.insert_many(np.arange(len(pts)), pts)
+        cx, cy = 0, 0
+        block = set(g.neighborhood_ids(cx, cy))
+        outside = set(range(len(pts))) - block
+        # any probe inside cell (0,0)
+        for probe in np.array([[0.01, 0.01], [0.85, 0.85], [0.45, 0.1]]):
+            d2 = np.sum((pts - probe) ** 2, axis=1)
+            for pid in outside:
+                assert d2[pid] > cell * cell
+
+    def test_empty_region(self):
+        g = GridIndex(1.0)
+        g.insert(0, 0.5, 0.5)
+        assert g.neighborhood_ids(50, 50) == []
+
+    def test_key_of_matches_vectorised_floor(self):
+        g = GridIndex(0.73)
+        pts = np.random.default_rng(10).uniform(-20, 20, size=(100, 2))
+        keys = np.floor(pts / g.cell_size).astype(np.int64)
+        for row in range(len(pts)):
+            assert g.key_of(float(pts[row, 0]), float(pts[row, 1])) == \
+                (int(keys[row, 0]), int(keys[row, 1]))
+
+    def test_reach_two(self):
+        g = GridIndex(1.0)
+        g.insert(0, 0.5, 0.5)
+        g.insert(1, 2.5, 0.5)   # two cells over
+        assert set(g.neighborhood_ids(0, 0, reach=1)) == {0}
+        assert set(g.neighborhood_ids(0, 0, reach=2)) == {0, 1}

@@ -114,15 +114,28 @@ class TestZoomCommands:
         assert "level 0" in capsys.readouterr().out
 
     def test_sample_engine_flag(self, demo_csv, tmp_path):
-        out_ref = tmp_path / "ref.csv"
-        out_bat = tmp_path / "bat.csv"
-        main(["sample", str(demo_csv), "-k", "100",
-              "--engine", "reference", "--out", str(out_ref)])
-        main(["sample", str(demo_csv), "-k", "100",
-              "--engine", "batched", "--out", str(out_bat)])
+        outs = {}
+        for engine in ("reference", "batched", "pruned"):
+            out = tmp_path / f"{engine}.csv"
+            code = main(["sample", str(demo_csv), "-k", "100",
+                         "--engine", engine, "--out", str(out)])
+            assert code == 0
+            outs[engine] = np.loadtxt(out, delimiter=",", skiprows=1)
         # Engine choice must not change the sample.
-        a = np.loadtxt(out_ref, delimiter=",", skiprows=1)
-        b = np.loadtxt(out_bat, delimiter=",", skiprows=1)
+        assert np.array_equal(outs["reference"], outs["batched"])
+        assert np.array_equal(outs["reference"], outs["pruned"])
+
+    def test_sample_workers_flag(self, demo_csv, tmp_path):
+        out_a = tmp_path / "wa.csv"
+        out_b = tmp_path / "wb.csv"
+        for out in (out_a, out_b):
+            code = main(["sample", str(demo_csv), "-k", "80",
+                         "--workers", "2", "--out", str(out)])
+            assert code == 0
+        a = np.loadtxt(out_a, delimiter=",", skiprows=1)
+        b = np.loadtxt(out_b, delimiter=",", skiprows=1)
+        assert a.shape == (80, 2)
+        # The sharded run is seed-stable run to run.
         assert np.array_equal(a, b)
 
 

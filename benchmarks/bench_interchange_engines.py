@@ -41,6 +41,11 @@ from repro.core.epsilon import epsilon_from_diameter  # noqa: E402
 from repro.data import GeolifeGenerator  # noqa: E402
 from repro.sampling import iter_chunks  # noqa: E402
 
+try:
+    from .provenance import collect_provenance  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance  # noqa: E402
+
 FULL = {"rows": 50_000, "k": 500, "repeats": 3, "workers": 4}
 QUICK = {"rows": 8_000, "k": 120, "repeats": 2, "workers": 2}
 ENGINES = ("reference", "batched", "pruned")
@@ -115,7 +120,7 @@ def bench_strategies(data, profile, kernel, strategies, repeats_for):
     return rows, True
 
 
-def bench_parallel(data, profile, kernel, strategy, repeats):
+def bench_parallel(data, profile, kernel, strategy, repeats, provenance):
     """Shard-and-merge runner vs the single-process batched engine.
 
     The interesting row is ``no-es``: its per-shard cost dominates the
@@ -150,6 +155,8 @@ def bench_parallel(data, profile, kernel, strategy, repeats):
         "workers": workers,
         "shards": workers,
         "host_cpus": cpus,
+        "git_sha": provenance["git_sha"],
+        "schema_version": provenance["schema_version"],
         "single_process_seconds": round(t_single, 4),
         "parallel_seconds": round(t_par, 4),
         "speedup": round(t_single / t_par, 2),
@@ -167,6 +174,10 @@ def main(argv=None) -> int:
                         help="skip the minutes-long no-es legs")
     parser.add_argument("--out", default="BENCH_interchange.json")
     args = parser.parse_args(argv)
+
+    # Provenance is stamped once, up front: the SHA/timestamp describe
+    # when the run began, not when the payload was assembled.
+    provenance = collect_provenance(started_unix=time.time())
 
     profile = QUICK if args.quick else FULL
     data = GeolifeGenerator(seed=0).generate(profile["rows"]).xy
@@ -202,7 +213,7 @@ def main(argv=None) -> int:
     parallel = [
         bench_parallel(data, profile, GaussianKernel(epsilon), strategy,
                        1 if strategy == "no-es" and not args.quick
-                       else profile["repeats"])
+                       else profile["repeats"], provenance)
         for strategy in strategies if strategy != "es+loc"
     ]
     if not all(row["deterministic"] for row in parallel):
@@ -212,6 +223,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "interchange_engines",
+        "provenance": provenance,
         "config": {
             "rows": profile["rows"],
             "k": profile["k"],
@@ -226,7 +238,7 @@ def main(argv=None) -> int:
         "strategies": paper_rows,
         "small_bandwidth": small_rows,
         "parallel": parallel,
-        "unix_time": time.time(),
+        "finished_unix": time.time(),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -1,0 +1,160 @@
+"""Service smoke + latency bench: a real ``repro serve`` process under
+HTTP load.
+
+The ISSUE-3 acceptance property, measured end to end: build a demo
+workspace once (offline), start the long-lived server as a subprocess,
+and fire viewport queries at it over real HTTP.  The offline build
+costs seconds; every online answer must come back in milliseconds
+without re-running Interchange.
+
+Exit status is non-zero when the median ``/viewport`` round trip
+exceeds the budget (``REPRO_SERVICE_BUDGET_MS``, default 250 ms — a
+wide bound for shared CI runners; local medians are ~1 ms).
+
+Run::
+
+    python -m benchmarks.bench_service_latency
+    python -m benchmarks.bench_service_latency --rows 5000 --queries 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.service import VasService, Workspace  # noqa: E402
+
+try:
+    from .provenance import collect_provenance  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance  # noqa: E402
+
+DEFAULT_ROWS = 20_000
+DEFAULT_QUERIES = 40
+PORT = int(os.environ.get("REPRO_SERVICE_PORT", "8731"))
+
+
+def build_workspace(root: Path, rows: int) -> None:
+    """The offline half: demo data → table → cached zoom ladder."""
+    import numpy as np
+
+    from repro.data import GeolifeGenerator
+
+    csv = root / "demo.csv"
+    data = GeolifeGenerator(seed=0).generate(rows)
+    np.savetxt(csv, np.column_stack([data.xy, data.altitude]),
+               delimiter=",", header="longitude,latitude,altitude",
+               comments="")
+    service = VasService(Workspace(root / "ws"))
+    service.ingest_csv(csv, name="demo")
+    started = time.perf_counter()
+    service.build_ladder("demo", levels=3, k_per_tile=128)
+    print(f"offline build: {rows:,} rows, 3-level ladder "
+          f"in {time.perf_counter() - started:.1f}s")
+
+
+def wait_for_server(base: str, server: subprocess.Popen,
+                    timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if server.poll() is not None:  # fail fast: the child is dead
+            raise RuntimeError(
+                f"repro serve exited with status {server.returncode} "
+                "before becoming healthy (port in use?)"
+            )
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=2):
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    raise RuntimeError(f"server at {base} never became healthy")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--port", type=int, default=PORT)
+    parser.add_argument("--out", default=None,
+                        help="optional JSON trajectory file")
+    args = parser.parse_args(argv)
+
+    budget_ms = float(os.environ.get("REPRO_SERVICE_BUDGET_MS", "250"))
+    provenance = collect_provenance(started_unix=time.time())
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        root = Path(tmp)
+        build_workspace(root, args.rows)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--workspace", str(root / "ws"), "--port", str(args.port)],
+            env=env,
+        )
+        base = f"http://127.0.0.1:{args.port}"
+        try:
+            wait_for_server(base, server)
+            # Zoomed-in windows across the data extent (Beijing-ish).
+            bboxes = [
+                (116.20 + 0.01 * i, 39.80 + 0.005 * i,
+                 116.40 + 0.01 * i, 40.00 + 0.005 * i)
+                for i in range(args.queries)
+            ]
+            latencies = []
+            rows_returned = []
+            for bbox in bboxes:
+                url = (f"{base}/viewport?table=demo&"
+                       f"bbox={','.join(str(v) for v in bbox)}")
+                started = time.perf_counter()
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    payload = json.loads(response.read())
+                latencies.append((time.perf_counter() - started) * 1e3)
+                rows_returned.append(payload["returned_rows"])
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    median_ms = statistics.median(latencies)
+    p95_ms = sorted(latencies)[int(0.95 * (len(latencies) - 1))]
+    print(f"{len(latencies)} viewport queries over HTTP: "
+          f"median {median_ms:.2f} ms, p95 {p95_ms:.2f} ms, "
+          f"rows/query median {statistics.median(rows_returned):.0f}")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps({
+            "benchmark": "service_latency",
+            "provenance": provenance,
+            "config": {"rows": args.rows, "queries": args.queries,
+                       "budget_ms": budget_ms},
+            "median_ms": round(median_ms, 3),
+            "p95_ms": round(p95_ms, 3),
+            "finished_unix": time.time(),
+        }, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if median_ms > budget_ms:
+        print(f"!! median {median_ms:.1f} ms exceeds budget "
+              f"{budget_ms:.0f} ms", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Run provenance for benchmark trajectory files.
+
+Every benchmark that emits a ``BENCH_*.json`` file should be able to
+answer, months later, *which code produced this row on what machine*.
+:func:`collect_provenance` gathers that once, at the start of a run —
+git SHA (plus a dirty flag, since a benchmark of uncommitted edits is
+not a benchmark of the SHA), the payload schema version, and the host
+CPU count that PR 2's parallel rows already recorded.
+
+The timestamp is deliberately a *parameter*: callers capture it once
+when the run starts and thread it through, so a multi-minute run is
+stamped with when it began rather than whenever the payload happened
+to be assembled.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+#: Bump when the shape of a benchmark payload changes incompatibly.
+SCHEMA_VERSION = 2
+
+
+def git_revision(cwd: str | None = None) -> tuple[str | None, bool]:
+    """``(sha, dirty)`` of the working tree, or ``(None, False)``.
+
+    Benchmarks must run outside a checkout too (an unpacked tarball),
+    so every failure mode — no git binary, not a repository — degrades
+    to ``None`` rather than raising.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        dirty = bool(subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip())
+        return sha or None, dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, False
+
+
+def collect_provenance(started_unix: float,
+                       cwd: str | None = None) -> dict:
+    """The provenance block shared by benchmark payloads.
+
+    Parameters
+    ----------
+    started_unix:
+        ``time.time()`` captured when the run *started* (passed in,
+        not generated mid-run).
+    cwd:
+        Directory whose git checkout to interrogate (default: the
+        process working directory).
+    """
+    sha, dirty = git_revision(cwd)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "host_cpus": os.cpu_count() or 1,
+        "started_unix": started_unix,
+    }

@@ -1,31 +1,48 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Six commands cover the library's end-to-end flows without writing
+The commands cover the library's end-to-end flows without writing
 Python:
 
-* ``sample``     — draw a sample from a CSV of x,y rows (any method);
-* ``render``     — rasterise a CSV of points into a PNG;
-* ``loss``       — compare methods' log-loss-ratios on a dataset;
-* ``demo``       — generate a Geolife-like dataset CSV to play with;
-* ``zoom-build`` — precompute a multi-resolution zoom ladder (offline);
-* ``zoom-query`` — answer a viewport request from a prebuilt ladder.
+* ``sample``         — draw a sample from a CSV or workspace table;
+* ``render``         — rasterise a CSV of points into a PNG;
+* ``loss``           — compare methods' log-loss-ratios on a dataset;
+* ``demo``           — generate a Geolife-like dataset CSV to play with;
+* ``ingest``         — load a CSV into a persistent workspace;
+* ``workspace-info`` — summarise a workspace's tables and cached builds;
+* ``zoom-build``     — precompute a multi-resolution zoom ladder (offline);
+* ``zoom-query``     — answer a viewport request from a prebuilt ladder;
+* ``serve``          — run the long-lived HTTP server over a workspace.
 
-CSV handling is deliberately minimal (numpy ``loadtxt``/``savetxt``
-with a header row), enough for piping between the commands::
+``sample``, ``zoom-build`` and ``zoom-query`` all run through the same
+:class:`~repro.service.VasService` facade the HTTP server uses.  With
+``--workspace DIR`` their input argument names a workspace table and
+every build is cached on disk under its content-hash key (so repeat
+builds are free and queries never re-run Interchange); without it they
+fall back to the classic one-shot CSV/npz mode via an ephemeral
+in-memory workspace — same code path, no files left behind.
+
+Typical flows::
 
     python -m repro.cli demo --rows 50000 --out data.csv
-    python -m repro.cli sample data.csv --method vas -k 2000 --out sample.csv
-    python -m repro.cli render sample.csv --out sample.png
+    python -m repro.cli sample data.csv --method vas -k 2000 --out s.csv
+    python -m repro.cli render s.csv --out sample.png
     python -m repro.cli loss data.csv -k 2000
-    python -m repro.cli zoom-build data.csv --levels 4 -k 256 --out ladder.npz
-    python -m repro.cli zoom-query ladder.npz --bbox 116.2 39.8 116.4 40.0
+
+    python -m repro.cli ingest data.csv --workspace ws --table traj
+    python -m repro.cli zoom-build traj --workspace ws --levels 4 -k 256
+    python -m repro.cli zoom-query traj --workspace ws \
+        --bbox 116.2 39.8 116.4 40.0
+    python -m repro.cli serve --workspace ws --port 8000
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -33,8 +50,10 @@ from .core import GaussianKernel, LossEvaluator
 from .core.epsilon import epsilon_from_diameter
 from .data import GeolifeGenerator
 from .errors import ReproError
-from .sampling import StratifiedSampler, UniformSampler
-from .storage.zoom import ZoomLadder, build_zoom_ladder
+from .service import VasService, Workspace
+from .service.http import serve as http_serve
+from .storage.query import ZoomQuery, answer_zoom_query
+from .storage.zoom import ZoomLadder
 from .tasks.study import build_method_sample
 from .viz import Figure
 from .viz.scatter import Viewport
@@ -58,6 +77,31 @@ def _save_xy(path: str, points: np.ndarray,
                    comments="")
 
 
+def _safe_table_name(raw: str) -> str:
+    """A workspace-legal table name derived from an arbitrary CSV stem."""
+    name = re.sub(r"[^A-Za-z0-9_.-]", "_", raw).lstrip("_.-")[:64]
+    return name or "dataset"
+
+
+def _service_and_table(args) -> tuple[VasService, str]:
+    """The service + table behind a command's ``input`` argument.
+
+    ``--workspace DIR``: ``input`` names an ingested table and builds
+    persist in the workspace cache.  Otherwise ``input`` is a CSV that
+    is ingested into an ephemeral workspace — the same service code
+    path, minus the disk.
+    """
+    if args.workspace:
+        service = VasService(Workspace(args.workspace, create=False))
+        return service, args.input
+    service = VasService(Workspace(None))
+    info = service.ingest_csv(
+        args.input, name=_safe_table_name(Path(args.input).stem),
+        strict_header=False,
+    )
+    return service, info["name"]
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     data = GeolifeGenerator(seed=args.seed).generate(args.rows)
     out = np.column_stack([data.xy, data.altitude])
@@ -67,20 +111,36 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    service = VasService(Workspace(args.workspace))
+    info = service.ingest_csv(args.input, name=args.table,
+                              replace=args.replace)
+    print(f"ingested {info['rows']:,} rows into table {info['name']!r} "
+          f"(columns: {', '.join(info['columns'])}; "
+          f"hash {info['content_hash'][:12]}) in {args.workspace}")
+    return 0
+
+
+def cmd_workspace_info(args: argparse.Namespace) -> int:
+    service = VasService(Workspace(args.workspace, create=False))
+    print(json.dumps(service.info(), indent=2))
+    return 0
+
+
 def cmd_sample(args: argparse.Namespace) -> int:
-    xy = _load_xy(args.input)
-    # Seed the diameter subsample too, so --seed pins the output.
-    result = build_method_sample(
-        args.method, xy, args.k, seed=args.seed,
-        epsilon=epsilon_from_diameter(xy, rng=args.seed),
-        engine=args.engine,
-        workers=args.workers,
+    service, table = _service_and_table(args)
+    outcome = service.build_sample(
+        table, args.k, method=args.method, seed=args.seed,
+        engine=args.engine, workers=args.workers,
     )
+    result = outcome.result
     _save_xy(args.out, result.points, result.weights)
+    rows = service.workspace.table_info(table)["rows"]
     objective = result.metadata.get("objective")
     extra = f", objective={objective:.4f}" if objective is not None else ""
-    print(f"{args.method}: {len(result):,} of {len(xy):,} rows "
-          f"-> {args.out}{extra}")
+    cached = " [cache hit]" if outcome.cached else ""
+    print(f"{args.method}: {len(result):,} of {rows:,} rows "
+          f"-> {args.out}{extra}{cached}")
     return 0
 
 
@@ -113,32 +173,58 @@ def cmd_loss(args: argparse.Namespace) -> int:
 
 
 def cmd_zoom_build(args: argparse.Namespace) -> int:
-    xy = _load_xy(args.input)
+    service, table = _service_and_table(args)
     started = time.perf_counter()
-    ladder = build_zoom_ladder(xy, levels=args.levels, k_per_tile=args.k,
-                               rng=args.seed)
-    ladder.save(args.out)
+    outcome = service.build_ladder(table, levels=args.levels,
+                                   k_per_tile=args.k, seed=args.seed)
     elapsed = time.perf_counter() - started
+    ladder = outcome.ladder
+    rows = service.workspace.table_info(table)["rows"]
     summary = ", ".join(
         f"L{s['level']}: {s['points']:,}pts/{s['tiles']}tiles"
         for s in ladder.stats()
     )
-    print(f"built {args.levels}-level ladder over {len(xy):,} rows "
-          f"in {elapsed:.1f}s ({summary}) -> {args.out}")
+    if args.workspace:
+        dest = f"cached as {outcome.key}"
+        if args.out:
+            ladder.save(args.out)
+            dest += f", exported -> {args.out}"
+    else:
+        out = args.out or "ladder.npz"
+        ladder.save(out)
+        dest = f"-> {out}"
+    verb = "reused" if outcome.cached else "built"
+    print(f"{verb} {args.levels}-level ladder over {rows:,} rows "
+          f"in {elapsed:.1f}s ({summary}) {dest}")
     return 0
 
 
 def cmd_zoom_query(args: argparse.Namespace) -> int:
-    try:
-        ladder = ZoomLadder.load(args.ladder)
-    except (OSError, ValueError, KeyError) as exc:
-        # Missing file, not-an-npz garbage, or an npz without ladder keys.
-        raise ReproError(f"cannot load ladder {args.ladder!r}: {exc}") from exc
     xmin, ymin, xmax, ymax = args.bbox
-    viewport = Viewport(xmin, ymin, xmax, ymax)
     started = time.perf_counter()
-    points, indices, level = ladder.query(viewport, zoom=args.zoom,
-                                          max_points=args.max_points)
+    if args.workspace:
+        # Warm path: the service answers from the cached ladder — no
+        # Interchange, no rebuild (it raises if nothing was built).
+        service = VasService(Workspace(args.workspace, create=False))
+        result = service.viewport(args.ladder, (xmin, ymin, xmax, ymax),
+                                  zoom=args.zoom,
+                                  max_points=args.max_points)
+        points, level = result.points, result.zoom_level
+    else:
+        try:
+            ladder = ZoomLadder.load(args.ladder)
+        except (OSError, ValueError, KeyError) as exc:
+            # Missing file, not-an-npz garbage, or an npz without
+            # ladder keys.
+            raise ReproError(
+                f"cannot load ladder {args.ladder!r}: {exc}"
+            ) from exc
+        result = answer_zoom_query(ladder, ZoomQuery(
+            table="file", x_column="x", y_column="y",
+            viewport=Viewport(xmin, ymin, xmax, ymax),
+            zoom=args.zoom, max_points=args.max_points,
+        ))
+        points, level = result.points, result.zoom_level
     elapsed = time.perf_counter() - started
     if args.out:
         _save_xy(args.out, points)
@@ -147,6 +233,13 @@ def cmd_zoom_query(args: argparse.Namespace) -> int:
         dest = ""
     print(f"level {level}: {len(points):,} rows in {elapsed * 1e3:.1f} ms"
           f"{dest}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    service = VasService(Workspace(args.workspace, create=False))
+    http_serve(service, host=args.host, port=args.port,
+               verbose=args.verbose)
     return 0
 
 
@@ -162,8 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="geolife_demo.csv")
     p.set_defaults(fn=cmd_demo)
 
-    p = sub.add_parser("sample", help="draw a sample from a CSV")
-    p.add_argument("input")
+    p = sub.add_parser("ingest", help="load a CSV into a workspace")
+    p.add_argument("input", help="CSV with a header row; all columns "
+                                 "numeric")
+    p.add_argument("--workspace", required=True,
+                   help="workspace directory (created if missing)")
+    p.add_argument("--table", default=None,
+                   help="table name (default: the CSV filename stem)")
+    p.add_argument("--replace", action="store_true",
+                   help="overwrite an existing table of the same name")
+    p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser("workspace-info",
+                       help="summarise a workspace's tables and builds")
+    p.add_argument("--workspace", required=True)
+    p.set_defaults(fn=cmd_workspace_info)
+
+    p = sub.add_parser("sample", help="draw a sample from a CSV or table")
+    p.add_argument("input", help="CSV path, or a table name with "
+                                 "--workspace")
+    p.add_argument("--workspace", default=None,
+                   help="serve from this workspace (input names a table; "
+                        "builds are cached)")
     p.add_argument("--method", default="vas",
                    choices=["uniform", "stratified", "vas", "vas+density"])
     p.add_argument("-k", type=int, required=True)
@@ -195,17 +308,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("zoom-build",
                        help="precompute a multi-resolution zoom ladder")
-    p.add_argument("input")
+    p.add_argument("input", help="CSV path, or a table name with "
+                                 "--workspace")
+    p.add_argument("--workspace", default=None,
+                   help="cache the ladder in this workspace instead of "
+                        "an .npz file")
     p.add_argument("--levels", type=int, default=4)
     p.add_argument("-k", type=int, default=256,
                    help="sample budget per occupied tile")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--out", default="ladder.npz")
+    p.add_argument("--out", default=None,
+                   help="ladder .npz path (default ladder.npz; with "
+                        "--workspace: optional extra export)")
     p.set_defaults(fn=cmd_zoom_build)
 
     p = sub.add_parser("zoom-query",
                        help="answer a viewport request from a ladder")
-    p.add_argument("ladder")
+    p.add_argument("ladder", help="ladder .npz path, or a table name "
+                                  "with --workspace")
+    p.add_argument("--workspace", default=None,
+                   help="serve from this workspace's cached ladder")
     p.add_argument("--bbox", type=float, nargs=4, required=True,
                    metavar=("XMIN", "YMIN", "XMAX", "YMAX"))
     p.add_argument("--zoom", type=int, default=None,
@@ -214,6 +336,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write matching rows to a CSV")
     p.set_defaults(fn=cmd_zoom_query)
+
+    p = sub.add_parser("serve",
+                       help="serve a workspace over HTTP (long-lived)")
+    p.add_argument("--workspace", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request")
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

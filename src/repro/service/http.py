@@ -1,0 +1,264 @@
+"""The HTTP front end: ``repro serve`` exposing the service as JSON.
+
+A deliberately dependency-free server on :mod:`http.server`
+(threading variant — viewport answers are sub-millisecond index
+probes, so a thread per connection is plenty; builds serialise on the
+service lock).  Endpoints:
+
+==========================  =============================================
+``GET /healthz``            liveness probe
+``GET /workspace``          workspace + cache summary
+``GET /tables``             ingested tables (rows, columns, content hash)
+``POST /build``             build-or-reuse; JSON body, e.g.
+                            ``{"table": "t", "kind": "ladder",
+                            "levels": 4, "k_per_tile": 256}`` —
+                            answers ``{"key": …, "cached": true|false}``
+``GET /viewport``           ``?table=&bbox=x0,y0,x1,y1[&zoom=&max_points=
+                            &x=&y=]`` — points from the cached ladder
+``GET /sample``             ``?table=[&method=&max_points=|&time_budget=
+                            &seconds_per_point=&x=&y=&bbox=]`` — the
+                            §II-D budgeted sample choice
+==========================  =============================================
+
+Errors come back as ``{"error": …}`` with 400 (bad request), 404
+(unknown table / nothing built) or 500.  The server never builds on a
+GET: query endpoints are pure cache reads, so worst-case latency stays
+bounded by decode time, not Interchange time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import ReproError
+from .service import VasService, service_error_status
+
+
+def _parse_bbox(raw: str) -> tuple[float, float, float, float]:
+    parts = [p for p in raw.replace(";", ",").split(",") if p.strip()]
+    if len(parts) != 4:
+        raise ValueError(f"bbox needs 4 comma-separated numbers, got {raw!r}")
+    xmin, ymin, xmax, ymax = (float(p) for p in parts)
+    return xmin, ymin, xmax, ymax
+
+
+def _first(params: dict, name: str, default=None):
+    values = params.get(name)
+    return values[0] if values else default
+
+
+def _maybe_int(value, name: str):
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+
+def _maybe_float(value, name: str):
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+
+
+class VasRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request into the shared :class:`VasService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # Set by make_server().
+    service: VasService = None  # type: ignore[assignment]
+    verbose: bool = False
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+        if self.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _dispatch(self, handler) -> None:
+        try:
+            payload, status = handler()
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json(str(exc), 400)
+        except ReproError as exc:
+            self._send_error_json(str(exc), service_error_status(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json(f"internal error: {exc}", 500)
+        else:
+            self._send_json(payload, status=status)
+
+    # -- GET ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        routes = {
+            "/healthz": lambda: ({"ok": True}, 200),
+            "/workspace": lambda: (self.service.info(), 200),
+            "/": lambda: (self.service.info(), 200),
+            "/tables": lambda: ({"tables": self.service.tables()}, 200),
+            "/viewport": lambda: self._get_viewport(params),
+            "/sample": lambda: self._get_sample(params),
+        }
+        handler = routes.get(url.path)
+        if handler is None:
+            self._send_error_json(f"unknown endpoint {url.path!r}", 404)
+            return
+        self._dispatch(handler)
+
+    def _get_viewport(self, params: dict) -> tuple[dict, int]:
+        table = _first(params, "table")
+        if table is None:
+            raise ValueError("missing required parameter: table")
+        raw_bbox = _first(params, "bbox")
+        if raw_bbox is None:
+            raise ValueError("missing required parameter: bbox")
+        started = time.perf_counter()
+        result = self.service.viewport(
+            table, _parse_bbox(raw_bbox),
+            x=_first(params, "x"), y=_first(params, "y"),
+            zoom=_maybe_int(_first(params, "zoom"), "zoom"),
+            max_points=_maybe_int(_first(params, "max_points"),
+                                  "max_points"),
+        )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        return {
+            "table": table,
+            "level": result.zoom_level,
+            "method": result.method,
+            "sample_size": result.sample_size,
+            "returned_rows": result.returned_rows,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "points": result.points.tolist(),
+        }, 200
+
+    def _get_sample(self, params: dict) -> tuple[dict, int]:
+        table = _first(params, "table")
+        if table is None:
+            raise ValueError("missing required parameter: table")
+        raw_bbox = _first(params, "bbox")
+        started = time.perf_counter()
+        result = self.service.sample_query(
+            table,
+            x=_first(params, "x"), y=_first(params, "y"),
+            method=_first(params, "method", "vas"),
+            max_points=_maybe_int(_first(params, "max_points"),
+                                  "max_points"),
+            time_budget_seconds=_maybe_float(
+                _first(params, "time_budget"), "time_budget"),
+            seconds_per_point=(
+                _maybe_float(_first(params, "seconds_per_point"),
+                             "seconds_per_point")
+                if "seconds_per_point" in params else 1e-6),
+            bbox=_parse_bbox(raw_bbox) if raw_bbox else None,
+        )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        payload = {
+            "table": table,
+            "method": result.method,
+            "sample_size": result.sample_size,
+            "returned_rows": result.returned_rows,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "points": result.points.tolist(),
+        }
+        if result.weights is not None:
+            payload["weights"] = result.weights.tolist()
+        return payload, 200
+
+    # -- POST --------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        # Always drain the body first: on a keep-alive connection an
+        # unread body would be parsed as the next request line.
+        length = int(self.headers.get("Content-Length") or 0)
+        raw_body = self.rfile.read(length) if length else b""
+        url = urlparse(self.path)
+        if url.path != "/build":
+            self._send_error_json(f"unknown endpoint {url.path!r}", 404)
+            return
+        self._dispatch(lambda: self._post_build(raw_body))
+
+    def _post_build(self, raw_body: bytes) -> tuple[dict, int]:
+        try:
+            body = json.loads(raw_body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        table = body.get("table")
+        if not table:
+            raise ValueError("missing required field: table")
+        kind = body.get("kind", "ladder")
+        started = time.perf_counter()
+        if kind == "ladder":
+            outcome = self.service.build_ladder(
+                table, x=body.get("x"), y=body.get("y"),
+                levels=int(body.get("levels", 4)),
+                k_per_tile=int(body.get("k_per_tile", 256)),
+                seed=int(body.get("seed", 0)),
+            )
+            stats = outcome.manifest.get("stats")
+        elif kind == "sample":
+            if "k" not in body:
+                raise ValueError("sample builds need a 'k' field")
+            outcome = self.service.build_sample(
+                table, int(body["k"]), x=body.get("x"), y=body.get("y"),
+                method=body.get("method", "vas"),
+                seed=int(body.get("seed", 0)),
+                engine=body.get("engine", "batched"),
+                workers=int(body.get("workers", 1)),
+            )
+            stats = {"size": len(outcome.result)}
+        else:
+            raise ValueError(f"unknown build kind {kind!r} "
+                             "(expected 'ladder' or 'sample')")
+        return {
+            "key": outcome.key,
+            "kind": outcome.kind,
+            "table": table,
+            "cached": outcome.cached,
+            "stats": stats,
+            "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+        }, 200
+
+
+def make_server(service: VasService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-run server bound to ``host:port`` (0 = ephemeral)."""
+    handler = type("BoundVasRequestHandler", (VasRequestHandler,),
+                   {"service": service, "verbose": verbose})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(service: VasService, host: str = "127.0.0.1", port: int = 8000,
+          verbose: bool = False) -> None:
+    """Run the server until interrupted (the ``repro serve`` loop)."""
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"(workspace: {service.workspace.root or 'ephemeral'})")
+    print("endpoints: /healthz /workspace /tables /viewport /sample "
+          "POST /build — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()

@@ -1,0 +1,401 @@
+"""The VAS service facade: ingest, build-or-reuse, answer queries.
+
+:class:`VasService` is the one code path behind the CLI verbs *and*
+the HTTP endpoints.  It owns
+
+* **ingest** — ``CSV → Table`` with header-derived column names;
+* **builds** — flat samples and zoom ladders, delegating to the same
+  :func:`~repro.tasks.study.build_method_sample` /
+  :func:`~repro.storage.zoom.build_zoom_ladder` machinery the library
+  exposes (``engine=``/``workers=`` pass straight through) and caching
+  every result in the workspace under its content-hash key;
+* **queries** — viewport requests served from cached ladders and
+  point-/time-budget requests served from cached flat samples, with a
+  small LRU of decoded artifacts so the hot path re-reads nothing.
+
+The offline/online asymmetry of the paper (§II-B: build once, serve
+many) becomes concrete here: on the warm path no Interchange ever
+runs — a property the test suite asserts by monkeypatching the
+builders to explode.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.epsilon import epsilon_from_diameter
+from ..errors import ReproError, SampleNotFoundError, SchemaError
+from ..sampling.base import SampleResult
+from ..storage.query import VizResult, ZoomQuery, answer_zoom_query
+from ..storage.samples import SampleStore
+from ..storage.table import Table
+from ..storage.zoom import (
+    DEFAULT_K_PER_TILE,
+    DEFAULT_LEVELS,
+    ZoomLadder,
+    build_zoom_ladder,
+)
+from ..tasks.study import build_method_sample
+from ..viz.scatter import Viewport
+from .workspace import Workspace, validate_table_name
+
+
+class _LRU:
+    """A tiny LRU map for decoded artifacts (ladders, sample stores)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SchemaError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._items:
+            return None
+        self._items.move_to_end(key)
+        return self._items[key]
+
+    def put(self, key, value) -> None:
+        self._items[key] = value
+        self._items.move_to_end(key)
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+    def drop(self, key) -> None:
+        self._items.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class BuildOutcome:
+    """What one build-or-reuse request produced.
+
+    ``cached`` is True when the workspace already held the artifact —
+    i.e. the request cost a manifest read, not an Interchange run.
+    """
+
+    key: str
+    kind: str
+    cached: bool
+    manifest: dict
+    result: SampleResult | None = field(default=None, repr=False)
+    ladder: ZoomLadder | None = field(default=None, repr=False)
+
+
+class VasService:
+    """Facade over one :class:`Workspace`: builds and query answering."""
+
+    def __init__(self, workspace: Workspace,
+                 ladder_cache_size: int = 8,
+                 store_cache_size: int = 16) -> None:
+        self.workspace = workspace
+        self._ladders = _LRU(ladder_cache_size)
+        self._stores = _LRU(store_cache_size)
+        # (table, x, y, content_hash) -> newest ladder build key, so a
+        # warm viewport query costs one decoded-ladder lookup rather
+        # than a scan over every build.json in the cache directory.
+        self._ladder_keys = _LRU(4 * ladder_cache_size)
+        # Builds mutate the cache directory and the LRUs; the HTTP
+        # front end serves from threads, so mutation is serialised.
+        self._lock = threading.RLock()
+
+    # -- ingest ------------------------------------------------------------
+    def ingest_csv(self, path, name: str | None = None,
+                   replace: bool = False,
+                   strict_header: bool = True) -> dict:
+        """Load a header-row CSV into the workspace as a table.
+
+        Column names come from the header; every column is numeric
+        float64 (the CSV contract the CLI has always used).  With
+        ``strict_header=False`` a header that does not match the data
+        (wrong column count, duplicates) falls back to generated names
+        instead of erroring — the CLI's one-shot CSV mode uses this to
+        stay as forgiving as the pre-workspace loader, which only ever
+        skipped the header row.
+        """
+        csv_path = Path(path)
+        try:
+            with open(csv_path) as fh:
+                header = fh.readline().strip()
+        except OSError as exc:
+            raise SchemaError(f"cannot read {csv_path}: {exc}") from exc
+        names = [c.strip() or f"c{i}"
+                 for i, c in enumerate(header.split(","))]
+        try:
+            data = np.loadtxt(csv_path, delimiter=",", skiprows=1, ndmin=2)
+        except ValueError as exc:
+            raise SchemaError(
+                f"{csv_path}: not a numeric CSV: {exc}"
+            ) from exc
+        if data.shape[1] < 2:
+            raise SchemaError(
+                f"{csv_path}: expected at least two columns, "
+                f"got {data.shape[1]}"
+            )
+        if len(names) != data.shape[1] or len(set(names)) != len(names):
+            if strict_header:
+                raise SchemaError(
+                    f"{csv_path}: header {header!r} does not name the "
+                    f"{data.shape[1]} data columns uniquely"
+                )
+            names = [f"c{i}" for i in range(data.shape[1])]
+        table_name = validate_table_name(name or csv_path.stem)
+        table = Table.from_arrays(
+            table_name, {col: data[:, i] for i, col in enumerate(names)}
+        )
+        with self._lock:
+            self.workspace.add_table(table, replace=replace)
+            return self.workspace.table_info(table_name)
+
+    def tables(self) -> list[dict]:
+        return [self.workspace.table_info(n)
+                for n in self.workspace.table_names]
+
+    # -- column resolution -------------------------------------------------
+    def _resolve_xy(self, table_name: str, x: str | None,
+                    y: str | None) -> tuple[str, str]:
+        """Explicit columns, or the table's first two numeric columns.
+
+        Resolved from column *metadata* (the table manifest), so warm
+        paths never decode the column arrays just to learn the default
+        plotting pair.
+        """
+        if x is not None and y is not None:
+            return x, y
+        numeric = [c["name"] for c in self.workspace.table_columns(table_name)
+                   if c["type"] in ("float64", "int64")]
+        if len(numeric) < 2:
+            raise SchemaError(
+                f"table {table_name!r} has fewer than two numeric columns; "
+                "pass x/y explicitly"
+            )
+        return x or numeric[0], y or numeric[1]
+
+    # -- builds ------------------------------------------------------------
+    def build_sample(self, table_name: str, k: int,
+                     x: str | None = None, y: str | None = None,
+                     method: str = "vas", seed: int = 0,
+                     engine: str = "batched", workers: int = 1) -> BuildOutcome:
+        """Build-or-reuse one flat sample.
+
+        The cache key covers everything that determines the *output*:
+        data content hash, columns, method, k, seed, and the shard
+        count (``workers > 1`` changes the sample).  The engine does
+        **not** enter the key — all engines are bit-identical (the
+        parity suite enforces it), so a sample built with one engine is
+        a valid cache hit for any other.  The engine that actually ran
+        is recorded in the manifest for provenance.
+        """
+        with self._lock:
+            x, y = self._resolve_xy(table_name, x, y)
+            params = {"x": x, "y": y, "method": method, "k": int(k),
+                      "seed": int(seed),
+                      "shards": int(workers) if workers > 1 else 1}
+            key = self.workspace.build_key("sample", table_name, params)
+            manifest = self.workspace.cached_manifest(key)
+            if manifest is not None:
+                return BuildOutcome(
+                    key=key, kind="sample", cached=True, manifest=manifest,
+                    result=self.workspace.load_sample_build(key),
+                )
+            # Cache miss: only now is the table actually decoded.
+            xy = self.workspace.table(table_name).xy(x, y)
+            result = build_method_sample(
+                method, xy, int(k), seed=int(seed),
+                epsilon=epsilon_from_diameter(xy, rng=int(seed)),
+                engine=engine, workers=int(workers),
+            )
+            manifest = self.workspace.store_sample_build(
+                key, table_name, params, result,
+                extra={"built_with_engine": engine,
+                       "built_with_workers": int(workers)},
+            )
+            # Any assembled store for this column pair is now stale.
+            self._stores.drop((table_name, x, y,
+                               manifest["content_hash"]))
+            return BuildOutcome(key=key, kind="sample", cached=False,
+                                manifest=manifest, result=result)
+
+    def build_ladder(self, table_name: str,
+                     x: str | None = None, y: str | None = None,
+                     levels: int = DEFAULT_LEVELS,
+                     k_per_tile: int = DEFAULT_K_PER_TILE,
+                     seed: int = 0) -> BuildOutcome:
+        """Build-or-reuse one multi-resolution zoom ladder."""
+        with self._lock:
+            x, y = self._resolve_xy(table_name, x, y)
+            params = {"x": x, "y": y, "levels": int(levels),
+                      "k_per_tile": int(k_per_tile), "seed": int(seed)}
+            key = self.workspace.build_key("ladder", table_name, params)
+            manifest = self.workspace.cached_manifest(key)
+            if manifest is not None:
+                ladder = self._ladders.get(key)
+                if ladder is None:
+                    ladder = self.workspace.load_ladder_build(key)
+                    self._ladders.put(key, ladder)
+                return BuildOutcome(key=key, kind="ladder", cached=True,
+                                    manifest=manifest, ladder=ladder)
+            # Cache miss: only now is the table actually decoded.
+            ladder = build_zoom_ladder(
+                self.workspace.table(table_name).xy(x, y),
+                levels=int(levels),
+                k_per_tile=int(k_per_tile), rng=int(seed),
+            )
+            manifest = self.workspace.store_ladder_build(
+                key, table_name, params,
+                ladder, extra={"stats": ladder.stats()},
+            )
+            self._ladders.put(key, ladder)
+            # This build is now the newest ladder for the column pair.
+            self._ladder_keys.put(
+                (table_name, x, y, manifest["content_hash"]), key)
+            return BuildOutcome(key=key, kind="ladder", cached=False,
+                                manifest=manifest, ladder=ladder)
+
+    # -- query answering ---------------------------------------------------
+    def _current_builds(self, kind: str, table_name: str, x: str,
+                        y: str) -> list[dict]:
+        """Cached builds for a column pair of the table *as it is now*.
+
+        Builds whose recorded ``content_hash`` differs from the table's
+        current hash are invisible: after a ``--replace`` re-ingest the
+        old data's artifacts must not answer queries — changed data
+        means a cache miss, exactly as the build key promises.
+        """
+        current = self.workspace.table_hash(table_name)
+        return [
+            m for m in self.workspace.builds(kind=kind, table=table_name)
+            if m["params"]["x"] == x and m["params"]["y"] == y
+            and m["content_hash"] == current
+        ]
+
+    def _ladder_for_resolved(self, table_name: str, x: str,
+                             y: str) -> ZoomLadder:
+        """:meth:`ladder_for` with the column pair already resolved."""
+        memo_key = (table_name, x, y,
+                    self.workspace.table_hash(table_name))
+        key = self._ladder_keys.get(memo_key)
+        if key is None:
+            candidates = self._current_builds("ladder", table_name, x, y)
+            if not candidates:
+                raise SampleNotFoundError(
+                    f"no zoom ladder built for {table_name}.({x}, {y}) "
+                    "at its current contents; run repro zoom-build / "
+                    "POST /build first"
+                )
+            key = candidates[-1]["key"]  # builds() sorts oldest→newest
+            self._ladder_keys.put(memo_key, key)
+        ladder = self._ladders.get(key)
+        if ladder is None:
+            ladder = self.workspace.load_ladder_build(key)
+            self._ladders.put(key, ladder)
+        return ladder
+
+    def ladder_for(self, table_name: str, x: str | None = None,
+                   y: str | None = None) -> ZoomLadder:
+        """The newest cached ladder for a column pair (LRU-decoded).
+
+        Pure lookup: a ladder is *never* built here.  Interactive
+        queries must not absorb a multi-second Interchange run — the
+        caller gets :class:`SampleNotFoundError` and decides whether to
+        pay for a ``/build``.
+        """
+        with self._lock:
+            x, y = self._resolve_xy(table_name, x, y)
+            return self._ladder_for_resolved(table_name, x, y)
+
+    def viewport(self, table_name: str, bbox: tuple[float, float, float, float],
+                 x: str | None = None, y: str | None = None,
+                 zoom: int | None = None,
+                 max_points: int | None = None) -> VizResult:
+        """Answer one viewport request from a cached ladder."""
+        with self._lock:
+            x, y = self._resolve_xy(table_name, x, y)
+            ladder = self._ladder_for_resolved(table_name, x, y)
+        query = ZoomQuery(
+            table=table_name, x_column=x, y_column=y,
+            viewport=Viewport(*map(float, bbox)),
+            zoom=zoom, max_points=max_points,
+        )
+        return answer_zoom_query(ladder, query)
+
+    def _store_for(self, table_name: str, x: str, y: str) -> SampleStore:
+        """A :class:`SampleStore` assembled from cached sample builds.
+
+        Keyed by content hash too, so a re-ingest naturally starts a
+        fresh store instead of serving the old data's rungs.
+        """
+        cache_key = (table_name, x, y,
+                     self.workspace.table_hash(table_name))
+        store = self._stores.get(cache_key)
+        if store is not None:
+            return store
+        store = SampleStore()
+        for manifest in self._current_builds("sample", table_name, x, y):
+            result = self.workspace.load_sample_build(manifest["key"])
+            store.add(table_name, x, y, result)
+        self._stores.put(cache_key, store)
+        return store
+
+    def sample_query(self, table_name: str,
+                     x: str | None = None, y: str | None = None,
+                     method: str = "vas",
+                     max_points: int | None = None,
+                     time_budget_seconds: float | None = None,
+                     seconds_per_point: float = 1e-6,
+                     fixed_overhead_seconds: float = 0.0,
+                     bbox: tuple[float, float, float, float] | None = None,
+                     ) -> VizResult:
+        """Serve a budgeted sample request from the cached flat rungs.
+
+        The §II-D selection rule against the workspace: an explicit
+        ``max_points`` wins, else a time budget converts to points,
+        else the largest cached sample is returned.  ``bbox`` applies a
+        viewport filter after selection (the Fig 1 pattern).
+        """
+        with self._lock:
+            x, y = self._resolve_xy(table_name, x, y)
+            store = self._store_for(table_name, x, y)
+            if max_points is not None:
+                sample = store.for_point_budget(table_name, x, y, method,
+                                                max_points)
+            elif time_budget_seconds is not None:
+                sample = store.for_time_budget(
+                    table_name, x, y, method, time_budget_seconds,
+                    seconds_per_point, fixed_overhead_seconds,
+                )
+            else:
+                sample = store.for_point_budget(table_name, x, y, method,
+                                                2**62)
+        points, weights = sample.points, sample.weights
+        if bbox is not None:
+            mask = Viewport(*map(float, bbox)).contains(points)
+            points = points[mask]
+            weights = weights[mask] if weights is not None else None
+        return VizResult(
+            points=points, weights=weights, method=sample.method,
+            sample_size=len(sample), returned_rows=len(points),
+        )
+
+    def info(self) -> dict:
+        """Workspace summary plus service-side cache occupancy."""
+        payload = self.workspace.info()
+        payload["decoded_ladders"] = len(self._ladders)
+        payload["decoded_stores"] = len(self._stores)
+        return payload
+
+
+def service_error_status(exc: ReproError) -> int:
+    """HTTP status for a service-layer error."""
+    from ..errors import TableNotFoundError
+
+    if isinstance(exc, (TableNotFoundError, SampleNotFoundError)):
+        return 404
+    return 400

@@ -1,0 +1,340 @@
+"""Workspaces: one directory per project, builds cached by content hash.
+
+A :class:`Workspace` owns two things:
+
+* **tables/** — ingested datasets, one columnar directory per table
+  (written through :mod:`repro.storage.persist`);
+* **cache/**  — built artifacts (flat samples, zoom ladders), one
+  directory per *build key*.
+
+The build key is ``sha256(kind + table content hash + build params)``:
+the same data with the same parameters always lands on the same key,
+so a second ``build`` request is a pure cache hit, and editing the
+source data (which changes the content hash) transparently misses and
+rebuilds.  Nothing is keyed on paths or mtimes.
+
+A workspace constructed with ``root=None`` is **ephemeral**: the same
+API backed by process memory, used by the CLI's one-shot CSV mode so
+that ``repro sample data.csv`` and ``repro sample --workspace ws t``
+run the exact same code path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+from pathlib import Path
+
+from ..errors import SchemaError, StorageError, TableNotFoundError
+from ..sampling.base import SampleResult
+from ..storage.persist import (
+    FORMAT_VERSION,
+    load_sample_result,
+    open_table,
+    read_json,
+    save_sample_result,
+    save_table,
+    table_content_hash,
+    write_json,
+)
+from ..storage.table import Table
+from ..storage.zoom import ZoomLadder
+
+#: Table names double as directory names, so they are restricted to a
+#: filesystem-safe alphabet.
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}")
+
+
+def validate_table_name(name: str) -> str:
+    if not _NAME_RE.fullmatch(name or ""):
+        raise SchemaError(
+            f"invalid workspace table name {name!r}: use 1-64 characters "
+            "from [A-Za-z0-9_.-], starting with a letter or digit"
+        )
+    return name
+
+
+class Workspace:
+    """A persistent (or ephemeral) home for tables and cached builds."""
+
+    def __init__(self, root: str | Path | None = None,
+                 create: bool = True) -> None:
+        """Open (or create) the workspace at ``root``.
+
+        ``create=False`` refuses to materialise anything: opening a
+        path that is not already a workspace raises instead of quietly
+        leaving an empty directory behind (the CLI uses this for every
+        verb except ``ingest``, so a typo'd ``--workspace`` is an error
+        rather than a fresh workspace).
+        """
+        self.root = Path(root) if root is not None else None
+        self._tables: dict[str, Table] = {}       # decoded-table cache
+        self._hashes: dict[str, str] = {}         # name -> content hash
+        self._columns: dict[str, list[dict]] = {}  # name -> column meta
+        self._mem_builds: dict[str, tuple[dict, object]] = {}  # ephemeral
+        if self.root is not None:
+            marker = self.root / "workspace.json"
+            if marker.exists():
+                manifest = read_json(marker)
+                if manifest.get("kind") != "workspace":
+                    raise StorageError(f"{self.root} is not a workspace")
+                if manifest.get("format", 0) > FORMAT_VERSION:
+                    raise StorageError(
+                        f"workspace {self.root} uses format "
+                        f"{manifest['format']}, newer than this build's "
+                        f"{FORMAT_VERSION}"
+                    )
+            elif create:
+                self.root.mkdir(parents=True, exist_ok=True)
+                write_json(marker, {"format": FORMAT_VERSION,
+                                    "kind": "workspace"})
+            else:
+                raise StorageError(
+                    f"not a workspace: {self.root} "
+                    "(ingest a CSV first: repro ingest data.csv "
+                    f"--workspace {self.root})"
+                )
+
+    # -- plumbing ----------------------------------------------------------
+    @property
+    def is_ephemeral(self) -> bool:
+        return self.root is None
+
+    @property
+    def _tables_dir(self) -> Path:
+        assert self.root is not None
+        return self.root / "tables"
+
+    @property
+    def _cache_dir(self) -> Path:
+        assert self.root is not None
+        return self.root / "cache"
+
+    # -- tables ------------------------------------------------------------
+    @property
+    def table_names(self) -> list[str]:
+        names = set(self._tables)
+        if self.root is not None and self._tables_dir.is_dir():
+            names.update(
+                p.name for p in self._tables_dir.iterdir()
+                if (p / "manifest.json").is_file()
+            )
+        return sorted(names)
+
+    def has_table(self, name: str) -> bool:
+        if name in self._tables:
+            return True
+        return (self.root is not None
+                and (self._tables_dir / name / "manifest.json").is_file())
+
+    def add_table(self, table: Table, replace: bool = False) -> str:
+        """Register (and persist) a table; returns its content hash."""
+        validate_table_name(table.name)
+        if self.has_table(table.name) and not replace:
+            raise SchemaError(
+                f"table already exists in workspace: {table.name!r} "
+                "(pass replace=True / --replace to overwrite)"
+            )
+        if self.root is not None:
+            digest = save_table(table, self._tables_dir / table.name)
+        else:
+            digest = table_content_hash(table)
+        self._tables[table.name] = table
+        self._hashes[table.name] = digest
+        self._columns[table.name] = [
+            {"name": n, "type": table.column(n).ctype.name}
+            for n in table.column_names
+        ]
+        return digest
+
+    def table(self, name: str) -> Table:
+        """The decoded table (loaded from disk on first access)."""
+        if name in self._tables:
+            return self._tables[name]
+        if self.root is not None:
+            table_dir = self._tables_dir / name
+            if (table_dir / "manifest.json").is_file():
+                table = open_table(table_dir)
+                self._tables[name] = table
+                return table
+        raise TableNotFoundError(name)
+
+    def table_hash(self, name: str) -> str:
+        """Content hash of a table, from its manifest when possible.
+
+        The warm path never has to decode the column arrays: the hash
+        was computed at ingest time and recorded in the manifest.
+        """
+        if name in self._hashes:
+            return self._hashes[name]
+        if self.root is not None:
+            manifest_path = self._tables_dir / name / "manifest.json"
+            if manifest_path.is_file():
+                digest = read_json(manifest_path)["content_hash"]
+                self._hashes[name] = digest
+                return digest
+        if name in self._tables:
+            digest = table_content_hash(self._tables[name])
+            self._hashes[name] = digest
+            return digest
+        raise TableNotFoundError(name)
+
+    def table_columns(self, name: str) -> list[dict]:
+        """``[{"name", "type"}]`` column metadata, memoized and
+        manifest-only — the warm path never decodes the column
+        arrays, and re-reads nothing after the first request."""
+        if name in self._columns:
+            return self._columns[name]
+        if self.root is not None and name not in self._tables:
+            manifest_path = self._tables_dir / name / "manifest.json"
+            if manifest_path.is_file():
+                columns = [{"name": c["name"], "type": c["type"]}
+                           for c in read_json(manifest_path)["columns"]]
+                self._columns[name] = columns
+                return columns
+        table = self.table(name)
+        columns = [{"name": n, "type": table.column(n).ctype.name}
+                   for n in table.column_names]
+        self._columns[name] = columns
+        return columns
+
+    def table_info(self, name: str) -> dict:
+        """Rows/columns/hash summary (manifest-only on the warm path)."""
+        if self.root is not None and name not in self._tables:
+            manifest_path = self._tables_dir / name / "manifest.json"
+            if manifest_path.is_file():
+                manifest = read_json(manifest_path)
+                return {
+                    "name": name,
+                    "rows": manifest["rows"],
+                    "columns": [c["name"] for c in manifest["columns"]],
+                    "content_hash": manifest["content_hash"],
+                }
+        table = self.table(name)
+        return {
+            "name": name,
+            "rows": len(table),
+            "columns": table.column_names,
+            "content_hash": self.table_hash(name),
+        }
+
+    # -- build cache -------------------------------------------------------
+    def build_key(self, kind: str, table_name: str, params: dict) -> str:
+        """The content-hash cache key of one build request."""
+        identity = {
+            "kind": kind,
+            "content_hash": self.table_hash(table_name),
+            "params": params,
+        }
+        blob = json.dumps(identity, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    def cached_manifest(self, key: str) -> dict | None:
+        """The stored build manifest, or ``None`` on a cache miss.
+
+        Build metadata lives in ``build.json``, *next to* the payload's
+        own ``manifest.json`` — the cache index and the storage format
+        stay independent.
+        """
+        if self.root is None:
+            entry = self._mem_builds.get(key)
+            return entry[0] if entry else None
+        manifest_path = self._cache_dir / key / "build.json"
+        if not manifest_path.is_file():
+            return None
+        return read_json(manifest_path)
+
+    def _build_manifest(self, key: str, kind: str, table_name: str,
+                        params: dict, extra: dict) -> dict:
+        return {
+            "format": FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "table": table_name,
+            "content_hash": self.table_hash(table_name),
+            "params": params,
+            "created_unix": time.time(),
+            **extra,
+        }
+
+    def store_sample_build(self, key: str, table_name: str, params: dict,
+                           result: SampleResult,
+                           extra: dict | None = None) -> dict:
+        manifest = self._build_manifest(key, "sample", table_name, params,
+                                        extra or {})
+        if self.root is None:
+            self._mem_builds[key] = (manifest, result)
+        else:
+            entry = self._cache_dir / key
+            save_sample_result(result, entry)
+            write_json(entry / "build.json", manifest)
+        return manifest
+
+    def load_sample_build(self, key: str) -> SampleResult:
+        if self.root is None:
+            manifest_and_payload = self._mem_builds.get(key)
+            if manifest_and_payload is None:
+                raise StorageError(f"no cached build {key!r}")
+            return manifest_and_payload[1]  # type: ignore[return-value]
+        return load_sample_result(self._cache_dir / key)
+
+    def store_ladder_build(self, key: str, table_name: str, params: dict,
+                           ladder: ZoomLadder,
+                           extra: dict | None = None) -> dict:
+        manifest = self._build_manifest(key, "ladder", table_name, params,
+                                        extra or {})
+        if self.root is None:
+            self._mem_builds[key] = (manifest, ladder)
+        else:
+            entry = self._cache_dir / key
+            entry.mkdir(parents=True, exist_ok=True)
+            ladder.save(entry / "ladder.npz")
+            write_json(entry / "build.json", manifest)
+        return manifest
+
+    def load_ladder_build(self, key: str) -> ZoomLadder:
+        if self.root is None:
+            manifest_and_payload = self._mem_builds.get(key)
+            if manifest_and_payload is None:
+                raise StorageError(f"no cached build {key!r}")
+            return manifest_and_payload[1]  # type: ignore[return-value]
+        return ZoomLadder.load(self._cache_dir / key / "ladder.npz")
+
+    def builds(self, kind: str | None = None,
+               table: str | None = None) -> list[dict]:
+        """Manifests of every cached build, newest last.
+
+        Manifests are a handful of small JSON files; scanning them is
+        the directory-listing cost, not an array-decoding cost.
+        """
+        manifests: list[dict] = []
+        if self.root is None:
+            manifests = [m for m, _ in self._mem_builds.values()]
+        elif self._cache_dir.is_dir():
+            for entry in self._cache_dir.iterdir():
+                manifest_path = entry / "build.json"
+                if manifest_path.is_file():
+                    manifests.append(read_json(manifest_path))
+        if kind is not None:
+            manifests = [m for m in manifests if m.get("kind") == kind]
+        if table is not None:
+            manifests = [m for m in manifests if m.get("table") == table]
+        manifests.sort(key=lambda m: m.get("created_unix", 0.0))
+        return manifests
+
+    # -- summaries ---------------------------------------------------------
+    def info(self) -> dict:
+        """The ``repro workspace-info`` / ``GET /workspace`` payload."""
+        builds = self.builds()
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "format": FORMAT_VERSION,
+            "tables": [self.table_info(n) for n in self.table_names],
+            "builds": [
+                {k: m.get(k) for k in ("key", "kind", "table", "params",
+                                       "created_unix")}
+                for m in builds
+            ],
+        }

@@ -7,6 +7,19 @@ paper's offline-sample + latency-budget deployment (§II-B, §II-D).
 
 from .column import Column, ColumnType, FLOAT64, INT64, STRING
 from .database import Database
+from .persist import (
+    FORMAT_VERSION,
+    content_hash_arrays,
+    load_sample_result,
+    open_database,
+    open_sample_store,
+    open_table,
+    save_database,
+    save_sample_result,
+    save_sample_store,
+    save_table,
+    table_content_hash,
+)
 from .predicates import (
     And,
     Between,
@@ -37,7 +50,18 @@ __all__ = [
     "DEFAULT_K_PER_TILE",
     "DEFAULT_LEVELS",
     "FLOAT64",
+    "FORMAT_VERSION",
     "INT64",
+    "content_hash_arrays",
+    "load_sample_result",
+    "open_database",
+    "open_sample_store",
+    "open_table",
+    "save_database",
+    "save_sample_result",
+    "save_sample_store",
+    "save_table",
+    "table_content_hash",
     "Not",
     "Or",
     "Predicate",

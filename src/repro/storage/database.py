@@ -150,6 +150,20 @@ class Database:
             returned_rows=len(points),
         )
 
+    # -- persistence -------------------------------------------------------
+    def save(self, directory) -> None:
+        """Write tables + samples as one on-disk directory tree."""
+        from .persist import save_database
+
+        save_database(self, directory)
+
+    @classmethod
+    def open(cls, directory) -> "Database":
+        """Load a database written by :meth:`save`."""
+        from .persist import open_database
+
+        return open_database(directory)
+
     def execute_zoom(self, query: ZoomQuery) -> VizResult:
         """Answer a viewport (bbox + zoom) request from a stored ladder.
 

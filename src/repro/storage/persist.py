@@ -1,0 +1,284 @@
+"""On-disk persistence for the storage layer (workspace format v1).
+
+Everything the in-memory column store owns — tables, flat sample
+rungs, zoom ladders, whole databases — serialises to one directory
+tree of columnar ``.npy`` files plus JSON manifests:
+
+* a **table** is a directory: ``manifest.json`` (schema, row count,
+  content hash) next to one ``col_NN.npy`` per column;
+* a **sample result** is a directory: ``manifest.json`` (method, size,
+  JSON-safe metadata) next to ``points.npy`` / ``indices.npy`` and an
+  optional ``weights.npy``;
+* a **sample store** is a directory of numbered sample-result
+  directories under ``flat/`` plus numbered ``.npz`` ladders (with
+  JSON sidecars) under ``zoom/``;
+* a **database** is ``tables/`` plus ``samples/`` under one root.
+
+Array payloads are written with ``allow_pickle=False`` end to end, so
+opening a workspace never executes pickled code.  Content hashes
+(:func:`table_content_hash`) cover column names, logical types and raw
+bytes — the :mod:`repro.service` layer keys its build cache on them,
+which is what makes "same data + same params = reuse, changed data =
+rebuild" work without timestamps or mtime heuristics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from ..errors import StorageError
+from ..sampling.base import SampleResult
+from .column import Column, ColumnType
+from .table import Table
+from .zoom import ZoomLadder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+    from .samples import SampleStore
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def write_json(path: Path, payload: dict) -> None:
+    """Write a manifest atomically enough for a single-writer workspace."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+def read_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read manifest {path}: {exc}") from exc
+
+
+def json_safe(mapping: Mapping) -> dict:
+    """The JSON-representable subset of a metadata mapping.
+
+    Sample metadata can carry arrays or rich objects (traces); the
+    manifest keeps only scalars and strings so a saved workspace stays
+    plain JSON.
+    """
+    out = {}
+    for key, value in mapping.items():
+        if isinstance(value, (bool, str)) or value is None:
+            out[str(key)] = value
+        elif isinstance(value, (int, np.integer)):
+            out[str(key)] = int(value)
+        elif isinstance(value, (float, np.floating)):
+            out[str(key)] = float(value)
+    return out
+
+
+# -- content hashing ------------------------------------------------------
+
+def content_hash_arrays(arrays: Mapping[str, np.ndarray]) -> str:
+    """A sha256 over column names, dtypes and raw bytes.
+
+    The hash is the identity of a dataset for cache purposes: it
+    changes iff the schema or the values change, and is independent of
+    where the data came from (CSV path, generator, another workspace).
+    """
+    digest = hashlib.sha256()
+    for name in arrays:  # caller-defined order is part of the identity
+        arr = np.ascontiguousarray(np.asarray(arrays[name]))
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def table_content_hash(table: Table) -> str:
+    """Content hash of a table (column order included)."""
+    return content_hash_arrays(
+        {n: table.column(n).values for n in table.column_names}
+    )
+
+
+# -- tables ---------------------------------------------------------------
+
+def save_table(table: Table, directory) -> str:
+    """Write one table as ``manifest.json`` + ``col_NN.npy`` files.
+
+    Returns the table's content hash (also recorded in the manifest).
+    Column files are numbered in schema order because column *names*
+    are user data and may not be valid filenames.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    columns = []
+    for pos, name in enumerate(table.column_names):
+        column = table.column(name)
+        filename = f"col_{pos:02d}.npy"
+        np.save(root / filename, column.values, allow_pickle=False)
+        columns.append({"name": name, "type": column.ctype.name,
+                        "file": filename})
+    digest = table_content_hash(table)
+    write_json(root / "manifest.json", {
+        "format": FORMAT_VERSION,
+        "kind": "table",
+        "name": table.name,
+        "rows": len(table),
+        "columns": columns,
+        "content_hash": digest,
+    })
+    return digest
+
+
+def open_table(directory) -> Table:
+    """Load a table written by :func:`save_table`."""
+    root = Path(directory)
+    manifest = read_json(root / "manifest.json")
+    if manifest.get("kind") != "table":
+        raise StorageError(f"{root} is not a saved table")
+    columns = [
+        Column(spec["name"], ColumnType(spec["type"]),
+               np.load(root / spec["file"], allow_pickle=False))
+        for spec in manifest["columns"]
+    ]
+    return Table(manifest["name"], columns)
+
+
+# -- sample results -------------------------------------------------------
+
+def save_sample_result(result: SampleResult, directory,
+                       extra: dict | None = None) -> None:
+    """Write one :class:`SampleResult` as arrays + manifest.
+
+    ``extra`` lets callers (the sample store, the service build cache)
+    record context the result itself does not carry — table name,
+    column pair, build parameters.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    np.save(root / "points.npy", result.points, allow_pickle=False)
+    np.save(root / "indices.npy", result.indices, allow_pickle=False)
+    if result.weights is not None:
+        np.save(root / "weights.npy", result.weights, allow_pickle=False)
+    write_json(root / "manifest.json", {
+        "format": FORMAT_VERSION,
+        "kind": "sample_result",
+        "method": result.method,
+        "size": len(result),
+        "has_weights": result.weights is not None,
+        "metadata": json_safe(result.metadata),
+        **(extra or {}),
+    })
+
+
+def load_sample_result(directory) -> SampleResult:
+    """Load a sample result written by :func:`save_sample_result`."""
+    root = Path(directory)
+    manifest = read_json(root / "manifest.json")
+    if manifest.get("kind") != "sample_result":
+        raise StorageError(f"{root} is not a saved sample result")
+    weights = None
+    if manifest.get("has_weights"):
+        weights = np.load(root / "weights.npy", allow_pickle=False)
+    return SampleResult(
+        points=np.load(root / "points.npy", allow_pickle=False),
+        indices=np.load(root / "indices.npy", allow_pickle=False),
+        weights=weights,
+        method=manifest.get("method", ""),
+        metadata=dict(manifest.get("metadata", {})),
+    )
+
+
+# -- sample stores --------------------------------------------------------
+
+def save_sample_store(store: "SampleStore", directory) -> None:
+    """Write a full store: numbered flat rungs plus numbered ladders."""
+    root = Path(directory)
+    (root / "flat").mkdir(parents=True, exist_ok=True)
+    (root / "zoom").mkdir(parents=True, exist_ok=True)
+    entries = []
+    counter = 0
+    for key, ladder in store._ladders.items():
+        for size in ladder.sizes:
+            name = f"{counter:04d}"
+            save_sample_result(
+                ladder.samples[size], root / "flat" / name,
+                extra={"table": key.table, "x_column": key.x_column,
+                       "y_column": key.y_column},
+            )
+            entries.append({"dir": name, "table": key.table,
+                            "x_column": key.x_column,
+                            "y_column": key.y_column,
+                            "method": key.method, "size": size})
+            counter += 1
+    zooms = []
+    for pos, (key, zoom) in enumerate(store._zoom_ladders.items()):
+        name = f"{pos:04d}.npz"
+        zoom.save(root / "zoom" / name)
+        zooms.append({"file": name, "table": key.table,
+                      "x_column": key.x_column, "y_column": key.y_column,
+                      "method": key.method})
+    write_json(root / "manifest.json", {
+        "format": FORMAT_VERSION,
+        "kind": "sample_store",
+        "flat": entries,
+        "zoom": zooms,
+    })
+
+
+def open_sample_store(directory) -> "SampleStore":
+    """Load a store written by :func:`save_sample_store`."""
+    from .samples import SampleStore
+
+    root = Path(directory)
+    manifest = read_json(root / "manifest.json")
+    if manifest.get("kind") != "sample_store":
+        raise StorageError(f"{root} is not a saved sample store")
+    store = SampleStore()
+    for entry in manifest["flat"]:
+        result = load_sample_result(root / "flat" / entry["dir"])
+        store.add(entry["table"], entry["x_column"], entry["y_column"],
+                  result)
+    for entry in manifest["zoom"]:
+        ladder = ZoomLadder.load(root / "zoom" / entry["file"])
+        store.add_zoom_ladder(entry["table"], entry["x_column"],
+                              entry["y_column"], ladder)
+    return store
+
+
+# -- whole databases ------------------------------------------------------
+
+def save_database(db: "Database", directory) -> None:
+    """Write tables + samples under one root (``repro.storage`` v1)."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    tables = []
+    for pos, name in enumerate(db.table_names):
+        table_dir = f"{pos:04d}"
+        content_hash = save_table(db.table(name), root / "tables" / table_dir)
+        tables.append({"dir": table_dir, "name": name,
+                       "content_hash": content_hash})
+    save_sample_store(db.samples, root / "samples")
+    write_json(root / "database.json", {
+        "format": FORMAT_VERSION,
+        "kind": "database",
+        "tables": tables,
+    })
+
+
+def open_database(directory) -> "Database":
+    """Load a database written by :func:`save_database`."""
+    from .database import Database
+
+    root = Path(directory)
+    manifest = read_json(root / "database.json")
+    if manifest.get("kind") != "database":
+        raise StorageError(f"{root} is not a saved database")
+    db = Database()
+    for entry in manifest["tables"]:
+        db.create_table(open_table(root / "tables" / entry["dir"]))
+    db.samples = open_sample_store(root / "samples")
+    return db

@@ -170,3 +170,17 @@ class SampleStore:
         )
         return self.for_point_budget(table, x_column, y_column, method,
                                      max_points)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, directory) -> None:
+        """Write every rung and ladder as a workspace-format directory."""
+        from .persist import save_sample_store
+
+        save_sample_store(self, directory)
+
+    @classmethod
+    def open(cls, directory) -> "SampleStore":
+        """Load a store written by :meth:`save`."""
+        from .persist import open_sample_store
+
+        return open_sample_store(directory)

@@ -139,5 +139,27 @@ class Table:
         """A ``{column: array}`` copy of the table contents."""
         return {n: self._columns[n].values.copy() for n in self._order}
 
+    # -- persistence -----------------------------------------------------
+    def save(self, directory) -> str:
+        """Write this table as a columnar directory; returns its
+        content hash (see :mod:`repro.storage.persist`)."""
+        from .persist import save_table
+
+        return save_table(self, directory)
+
+    @classmethod
+    def open(cls, directory) -> "Table":
+        """Load a table written by :meth:`save`."""
+        from .persist import open_table
+
+        return open_table(directory)
+
+    @property
+    def content_hash(self) -> str:
+        """sha256 identity of schema + values (cache key material)."""
+        from .persist import table_content_hash
+
+        return table_content_hash(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Table({self.name!r}, rows={self._length}, cols={self._order})"

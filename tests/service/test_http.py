@@ -1,0 +1,176 @@
+"""Tests for the HTTP front end (repro serve)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.service import VasService, Workspace, make_server
+
+
+@pytest.fixture()
+def service(tmp_path):
+    gen = np.random.default_rng(9)
+    csv = tmp_path / "demo.csv"
+    data = np.column_stack([gen.random(500) * 4, gen.random(500) * 2])
+    np.savetxt(csv, data, delimiter=",", header="x,y", comments="")
+    svc = VasService(Workspace(tmp_path / "ws"))
+    svc.ingest_csv(csv, name="demo")
+    svc.build_ladder("demo", levels=2, k_per_tile=40)
+    svc.build_sample("demo", 50, method="uniform")
+    return svc
+
+
+@pytest.fixture()
+def server_url(service):
+    server = make_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def post_json(url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def error_of(callable_):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    payload = json.loads(excinfo.value.read())
+    return excinfo.value.code, payload["error"]
+
+
+class TestEndpoints:
+    def test_healthz(self, server_url):
+        assert get_json(f"{server_url}/healthz") == {"ok": True}
+
+    def test_tables(self, server_url):
+        payload = get_json(f"{server_url}/tables")
+        assert [t["name"] for t in payload["tables"]] == ["demo"]
+        assert payload["tables"][0]["rows"] == 500
+
+    def test_workspace_summary(self, server_url):
+        payload = get_json(f"{server_url}/workspace")
+        assert len(payload["builds"]) == 2
+        assert {b["kind"] for b in payload["builds"]} == {
+            "ladder", "sample"}
+
+    def test_viewport(self, server_url):
+        payload = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,2,1")
+        assert payload["returned_rows"] == len(payload["points"])
+        assert payload["returned_rows"] > 0
+        points = np.asarray(payload["points"])
+        assert np.all(points[:, 0] <= 2.0)
+        assert np.all(points[:, 1] <= 1.0)
+        assert payload["elapsed_ms"] < 1000
+
+    def test_viewport_max_points(self, server_url):
+        payload = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2&zoom=1")
+        assert payload["level"] == 1
+        capped = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2&max_points=10")
+        assert capped["level"] == 0
+
+    def test_sample(self, server_url):
+        payload = get_json(
+            f"{server_url}/sample?table=demo&method=uniform&max_points=60")
+        assert payload["sample_size"] == 50
+        assert payload["returned_rows"] == 50
+
+    def test_sample_time_budget(self, server_url):
+        payload = get_json(
+            f"{server_url}/sample?table=demo&method=uniform"
+            "&time_budget=0.1&seconds_per_point=0.001")
+        assert payload["sample_size"] == 50
+
+
+class TestBuildEndpoint:
+    def test_build_is_cache_hit_on_repeat(self, server_url):
+        body = {"table": "demo", "kind": "ladder", "levels": 2,
+                "k_per_tile": 40}
+        first = post_json(f"{server_url}/build", body)
+        assert first["cached"] is True  # the fixture already built it
+        repeat = post_json(f"{server_url}/build", body)
+        assert repeat["cached"] is True
+        assert repeat["key"] == first["key"]
+
+    def test_build_new_params_runs(self, server_url):
+        payload = post_json(f"{server_url}/build", {
+            "table": "demo", "kind": "sample", "method": "uniform",
+            "k": 25})
+        assert payload["cached"] is False
+        assert payload["stats"]["size"] == 25
+        assert post_json(f"{server_url}/build", {
+            "table": "demo", "kind": "sample", "method": "uniform",
+            "k": 25})["cached"] is True
+
+    def test_warm_build_never_rebuilds(self, server_url, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("builder invoked on the warm path")
+
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        payload = post_json(f"{server_url}/build", {
+            "table": "demo", "kind": "ladder", "levels": 2,
+            "k_per_tile": 40})
+        assert payload["cached"] is True
+
+    def test_build_unknown_kind(self, server_url):
+        code, message = error_of(lambda: post_json(
+            f"{server_url}/build", {"table": "demo", "kind": "nope"}))
+        assert code == 400
+        assert "kind" in message
+
+
+class TestErrors:
+    def test_unknown_endpoint(self, server_url):
+        code, _ = error_of(lambda: get_json(f"{server_url}/nope"))
+        assert code == 404
+
+    def test_unknown_table(self, server_url):
+        code, message = error_of(lambda: get_json(
+            f"{server_url}/viewport?table=missing&bbox=0,0,1,1"))
+        assert code == 404
+        assert "missing" in message
+
+    def test_missing_bbox(self, server_url):
+        code, _ = error_of(lambda: get_json(
+            f"{server_url}/viewport?table=demo"))
+        assert code == 400
+
+    def test_malformed_bbox(self, server_url):
+        code, _ = error_of(lambda: get_json(
+            f"{server_url}/viewport?table=demo&bbox=1,2,3"))
+        assert code == 400
+
+    def test_body_not_json(self, server_url):
+        request = urllib.request.Request(
+            f"{server_url}/build", data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400

@@ -1,0 +1,281 @@
+"""Tests for the service layer: Workspace + VasService.
+
+The load-bearing properties:
+
+* builds are cached under a content-hash key — identical params are a
+  cache hit, changed data or params miss;
+* the warm query path never invokes a builder (asserted by
+  monkeypatching the builders to explode);
+* an ephemeral workspace (root=None) runs the same API purely in
+  memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.errors import (
+    SampleNotFoundError,
+    SchemaError,
+    TableNotFoundError,
+)
+from repro.service import VasService, Workspace
+
+
+@pytest.fixture()
+def demo_csv(tmp_path):
+    gen = np.random.default_rng(5)
+    path = tmp_path / "demo.csv"
+    data = np.column_stack([gen.random(400) * 10, gen.random(400) * 5,
+                            gen.integers(0, 50, 400).astype(float)])
+    np.savetxt(path, data, delimiter=",", header="lon,lat,alt",
+               comments="")
+    return path
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    return Workspace(tmp_path / "ws")
+
+
+@pytest.fixture()
+def service(workspace, demo_csv):
+    svc = VasService(workspace)
+    svc.ingest_csv(demo_csv, name="demo")
+    return svc
+
+
+def forbid_builders(monkeypatch):
+    """Make any Interchange/ladder build explode loudly."""
+    def boom(*args, **kwargs):
+        raise AssertionError("builder invoked on the warm path")
+
+    monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+    monkeypatch.setattr(service_module, "build_method_sample", boom)
+
+
+class TestIngest:
+    def test_ingest_reads_header_columns(self, service):
+        info = service.tables()[0]
+        assert info["name"] == "demo"
+        assert info["columns"] == ["lon", "lat", "alt"]
+        assert info["rows"] == 400
+        assert len(info["content_hash"]) == 64
+
+    def test_ingest_duplicate_rejected_unless_replace(self, service,
+                                                      demo_csv):
+        with pytest.raises(SchemaError):
+            service.ingest_csv(demo_csv, name="demo")
+        service.ingest_csv(demo_csv, name="demo", replace=True)
+
+    def test_ingest_bad_name(self, service, demo_csv):
+        with pytest.raises(SchemaError):
+            service.ingest_csv(demo_csv, name="bad/name")
+
+    def test_ingest_headerless_numbers_rejected(self, service, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0\n2.0\n")
+        with pytest.raises(SchemaError):
+            service.ingest_csv(path, name="raw")
+
+    def test_persisted_across_instances(self, service, workspace):
+        fresh = VasService(Workspace(workspace.root))
+        assert [t["name"] for t in fresh.tables()] == ["demo"]
+        assert fresh.workspace.table("demo").column_names == [
+            "lon", "lat", "alt"]
+
+
+class TestBuildCache:
+    def test_sample_build_then_hit(self, service):
+        first = service.build_sample("demo", 30, method="uniform", seed=1)
+        assert not first.cached
+        second = service.build_sample("demo", 30, method="uniform", seed=1)
+        assert second.cached
+        assert second.key == first.key
+        assert np.array_equal(first.result.points, second.result.points)
+
+    def test_param_change_misses(self, service):
+        a = service.build_sample("demo", 30, method="uniform", seed=1)
+        b = service.build_sample("demo", 31, method="uniform", seed=1)
+        c = service.build_sample("demo", 30, method="uniform", seed=2)
+        assert len({a.key, b.key, c.key}) == 3
+        assert not b.cached and not c.cached
+
+    def test_replace_hides_stale_artifacts(self, service, demo_csv,
+                                           tmp_path, monkeypatch):
+        """After a --replace re-ingest, the old data's builds must not
+        answer queries — changed data means a miss, not wrong data."""
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        service.build_sample("demo", 30, method="uniform")
+        rows = demo_csv.read_text().splitlines()
+        edited = tmp_path / "edited.csv"
+        edited.write_text("\n".join(rows[:200]) + "\n")
+        service.ingest_csv(edited, name="demo", replace=True)
+        forbid_builders(monkeypatch)
+        with pytest.raises(SampleNotFoundError):
+            service.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+        with pytest.raises(SampleNotFoundError):
+            service.sample_query("demo", method="uniform")
+
+    def test_header_mismatch_strict_vs_lax(self, service, tmp_path):
+        path = tmp_path / "odd.csv"
+        path.write_text("x,y\n1.0,2.0,3.0\n4.0,5.0,6.0\n")
+        with pytest.raises(SchemaError):
+            service.ingest_csv(path, name="odd")
+        info = service.ingest_csv(path, name="odd", strict_header=False)
+        assert info["columns"] == ["c0", "c1", "c2"]
+
+    def test_non_numeric_csv_is_schema_error(self, service, tmp_path):
+        path = tmp_path / "txt.csv"
+        path.write_text("x,y\n1.0,notanumber\n")
+        with pytest.raises(SchemaError):
+            service.ingest_csv(path, name="txt")
+
+    def test_data_change_misses(self, service, demo_csv, tmp_path):
+        a = service.build_sample("demo", 30, method="uniform")
+        rows = demo_csv.read_text().splitlines()
+        edited = tmp_path / "edited.csv"
+        edited.write_text("\n".join(rows[:-1]) + "\n")
+        service.ingest_csv(edited, name="demo", replace=True)
+        b = service.build_sample("demo", 30, method="uniform")
+        assert a.key != b.key and not b.cached
+
+    def test_ladder_build_then_hit(self, service):
+        first = service.build_ladder("demo", levels=2, k_per_tile=20)
+        assert not first.cached
+        second = service.build_ladder("demo", levels=2, k_per_tile=20)
+        assert second.cached and second.key == first.key
+
+    def test_engine_not_part_of_sample_key(self, service):
+        # All engines are bit-identical, so a cached build serves any
+        # engine= request (the manifest records what actually ran).
+        a = service.build_sample("demo", 25, method="vas", engine="batched")
+        b = service.build_sample("demo", 25, method="vas", engine="pruned")
+        assert b.cached and a.key == b.key
+        assert a.manifest["built_with_engine"] == "batched"
+
+    def test_cache_hit_across_instances(self, service, workspace):
+        service.build_sample("demo", 30, method="uniform")
+        fresh = VasService(Workspace(workspace.root))
+        assert fresh.build_sample("demo", 30, method="uniform").cached
+
+    def test_unknown_table(self, service):
+        with pytest.raises(TableNotFoundError):
+            service.build_sample("nope", 10)
+
+
+class TestWarmPath:
+    """A workspace built once answers queries with no builder runs."""
+
+    def test_viewport_never_builds(self, service, workspace, monkeypatch):
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        forbid_builders(monkeypatch)
+        # A brand-new service over the same directory: nothing decoded
+        # yet, everything must come from disk — and only from disk.
+        fresh = VasService(Workspace(workspace.root))
+        result = fresh.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+        assert result.returned_rows > 0
+        assert result.zoom_level == 0
+
+    def test_cached_build_never_rebuilds(self, service, workspace,
+                                         monkeypatch):
+        key = service.build_ladder("demo", levels=2, k_per_tile=20).key
+        forbid_builders(monkeypatch)
+        fresh = VasService(Workspace(workspace.root))
+        outcome = fresh.build_ladder("demo", levels=2, k_per_tile=20)
+        assert outcome.cached and outcome.key == key
+
+    def test_sample_query_never_builds(self, service, workspace,
+                                       monkeypatch):
+        service.build_sample("demo", 20, method="uniform")
+        service.build_sample("demo", 80, method="uniform")
+        forbid_builders(monkeypatch)
+        fresh = VasService(Workspace(workspace.root))
+        result = fresh.sample_query("demo", method="uniform",
+                                    max_points=50)
+        assert result.sample_size == 20
+
+    def test_viewport_without_ladder_raises_instead_of_building(
+            self, service, monkeypatch):
+        forbid_builders(monkeypatch)
+        with pytest.raises(SampleNotFoundError):
+            service.viewport("demo", (0.0, 0.0, 1.0, 1.0))
+
+    def test_newest_ladder_wins(self, service):
+        service.build_ladder("demo", levels=1, k_per_tile=10)
+        service.build_ladder("demo", levels=3, k_per_tile=10)
+        assert service.ladder_for("demo").max_level == 2
+
+
+class TestQueries:
+    def test_viewport_honours_bbox(self, service):
+        service.build_ladder("demo", levels=2, k_per_tile=30)
+        result = service.viewport("demo", (0.0, 0.0, 5.0, 2.5))
+        assert np.all(result.points[:, 0] <= 5.0)
+        assert np.all(result.points[:, 1] <= 2.5)
+
+    def test_sample_query_time_budget(self, service):
+        service.build_sample("demo", 20, method="uniform")
+        service.build_sample("demo", 80, method="uniform")
+        # 50 points' worth of budget at 1 ms/point -> the 20-rung.
+        result = service.sample_query("demo", method="uniform",
+                                      time_budget_seconds=0.05,
+                                      seconds_per_point=1e-3)
+        assert result.sample_size == 20
+
+    def test_sample_query_largest_by_default(self, service):
+        service.build_sample("demo", 20, method="uniform")
+        service.build_sample("demo", 80, method="uniform")
+        assert service.sample_query("demo",
+                                    method="uniform").sample_size == 80
+
+    def test_sample_query_bbox_filter(self, service):
+        service.build_sample("demo", 60, method="uniform")
+        result = service.sample_query("demo", method="uniform",
+                                      bbox=(0.0, 0.0, 5.0, 2.5))
+        assert result.returned_rows <= result.sample_size
+        assert np.all(result.points[:, 0] <= 5.0)
+
+    def test_sample_query_nothing_built(self, service):
+        with pytest.raises(SampleNotFoundError):
+            service.sample_query("demo", method="uniform")
+
+
+class TestEphemeralWorkspace:
+    def test_same_api_without_disk(self, demo_csv):
+        svc = VasService(Workspace(None))
+        svc.ingest_csv(demo_csv, name="demo")
+        assert svc.workspace.is_ephemeral
+        first = svc.build_sample("demo", 25, method="uniform")
+        assert not first.cached
+        assert svc.build_sample("demo", 25, method="uniform").cached
+        svc.build_ladder("demo", levels=2, k_per_tile=20)
+        result = svc.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+        assert result.returned_rows > 0
+
+    def test_nothing_written(self, demo_csv, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        svc = VasService(Workspace(None))
+        svc.ingest_csv(demo_csv, name="demo")
+        svc.build_sample("demo", 10, method="uniform")
+        leftovers = [p for p in tmp_path.iterdir() if p != demo_csv]
+        assert leftovers == []
+
+
+class TestWorkspaceDirectory:
+    def test_rejects_non_workspace_dir(self, tmp_path):
+        (tmp_path / "workspace.json").write_text('{"kind": "other"}')
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            Workspace(tmp_path)
+
+    def test_rejects_newer_format(self, tmp_path):
+        (tmp_path / "workspace.json").write_text(
+            '{"kind": "workspace", "format": 99}')
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            Workspace(tmp_path)

@@ -1,0 +1,150 @@
+"""Tests for the on-disk workspace format (repro.storage.persist)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.sampling import SampleResult
+from repro.storage import (
+    Database,
+    SampleStore,
+    Table,
+    build_zoom_ladder,
+    load_sample_result,
+    save_sample_result,
+    table_content_hash,
+)
+
+
+def make_table(name: str = "trips", rows: int = 50) -> Table:
+    gen = np.random.default_rng(3)
+    return Table.from_arrays(name, {
+        "x": gen.random(rows),
+        "y": gen.random(rows),
+        "count": np.arange(rows),
+        "label": np.array([f"row{i}" for i in range(rows)]),
+    })
+
+
+class TestTablePersistence:
+    def test_round_trip(self, tmp_path):
+        table = make_table()
+        table.save(tmp_path / "t")
+        loaded = Table.open(tmp_path / "t")
+        assert loaded.name == table.name
+        assert loaded.column_names == table.column_names
+        assert len(loaded) == len(table)
+        for name in table.column_names:
+            assert np.array_equal(loaded.column(name).values,
+                                  table.column(name).values)
+            assert loaded.column(name).ctype == table.column(name).ctype
+
+    def test_round_trip_preserves_content_hash(self, tmp_path):
+        table = make_table()
+        digest = table.save(tmp_path / "t")
+        assert digest == table.content_hash
+        assert Table.open(tmp_path / "t").content_hash == digest
+
+    def test_hash_changes_with_values_and_schema(self):
+        base = make_table()
+        changed = make_table()
+        arrays = changed.to_arrays()
+        arrays["x"][0] += 1.0
+        assert (table_content_hash(Table.from_arrays("trips", arrays))
+                != base.content_hash)
+        renamed = {("x2" if k == "x" else k): v
+                   for k, v in base.to_arrays().items()}
+        assert (table_content_hash(Table.from_arrays("trips", renamed))
+                != base.content_hash)
+
+    def test_manifest_is_plain_json(self, tmp_path):
+        make_table().save(tmp_path / "t")
+        manifest = json.loads((tmp_path / "t" / "manifest.json").read_text())
+        assert manifest["kind"] == "table"
+        assert manifest["rows"] == 50
+        assert [c["name"] for c in manifest["columns"]] == [
+            "x", "y", "count", "label"]
+
+    def test_open_rejects_non_table_dir(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"kind": "other"}')
+        with pytest.raises(StorageError):
+            Table.open(tmp_path)
+
+    def test_open_missing_dir(self, tmp_path):
+        with pytest.raises(StorageError):
+            Table.open(tmp_path / "nope")
+
+
+class TestSampleResultPersistence:
+    def test_round_trip_with_weights_and_metadata(self, tmp_path):
+        gen = np.random.default_rng(0)
+        result = SampleResult(
+            points=gen.random((20, 2)), indices=np.arange(20),
+            weights=gen.random(20), method="vas",
+            metadata={"objective": 1.5, "passes": 2,
+                      "trace": np.arange(3)},  # non-JSON value is dropped
+        )
+        save_sample_result(result, tmp_path / "s")
+        loaded = load_sample_result(tmp_path / "s")
+        assert np.array_equal(loaded.points, result.points)
+        assert np.array_equal(loaded.indices, result.indices)
+        assert np.allclose(loaded.weights, result.weights)
+        assert loaded.method == "vas"
+        assert loaded.metadata["objective"] == 1.5
+        assert loaded.metadata["passes"] == 2
+        assert "trace" not in loaded.metadata
+
+    def test_round_trip_without_weights(self, tmp_path):
+        result = SampleResult(points=np.zeros((3, 2)),
+                              indices=np.arange(3), method="uniform")
+        save_sample_result(result, tmp_path / "s")
+        assert load_sample_result(tmp_path / "s").weights is None
+
+
+class TestSampleStorePersistence:
+    def test_round_trip_flat_and_zoom(self, tmp_path, blob_points):
+        store = SampleStore()
+        gen = np.random.default_rng(1)
+        for size in (10, 40):
+            store.add("blobs", "x", "y", SampleResult(
+                points=gen.random((size, 2)), indices=np.arange(size),
+                method="vas"))
+        store.add("blobs", "x", "y", SampleResult(
+            points=gen.random((25, 2)), indices=np.arange(25),
+            method="uniform"))
+        ladder = build_zoom_ladder(blob_points, levels=2, k_per_tile=30,
+                                   rng=0)
+        store.add_zoom_ladder("blobs", "x", "y", ladder)
+
+        store.save(tmp_path / "store")
+        loaded = SampleStore.open(tmp_path / "store")
+        assert len(loaded) == len(store)
+        assert loaded.sizes("blobs", "x", "y", "vas") == [10, 40]
+        assert loaded.sizes("blobs", "x", "y", "uniform") == [25]
+        reladder = loaded.zoom_ladder("blobs", "x", "y")
+        assert reladder.max_level == ladder.max_level
+        for a, b in zip(reladder.levels, ladder.levels):
+            assert np.array_equal(a.points, b.points)
+            assert np.array_equal(a.indices, b.indices)
+
+
+class TestDatabasePersistence:
+    def test_round_trip(self, tmp_path, blob_points):
+        db = Database()
+        db.create_table_from_arrays("blobs", {
+            "x": blob_points[:, 0], "y": blob_points[:, 1]})
+        gen = np.random.default_rng(2)
+        db.samples.add("blobs", "x", "y", SampleResult(
+            points=gen.random((15, 2)), indices=np.arange(15),
+            method="vas"))
+        db.save(tmp_path / "db")
+
+        loaded = Database.open(tmp_path / "db")
+        assert loaded.table_names == ["blobs"]
+        assert np.array_equal(loaded.table("blobs").xy("x", "y"),
+                              blob_points)
+        assert loaded.samples.sizes("blobs", "x", "y", "vas") == [15]

@@ -46,6 +46,16 @@ class TestPointsForBudget:
         with pytest.raises(ConfigurationError):
             points_for_budget(1.0, 0.0)
 
+    def test_zero_budget(self):
+        assert points_for_budget(0.0, 1e-3) == 0
+
+    def test_overhead_exactly_budget(self):
+        assert points_for_budget(0.5, 1e-3, fixed_overhead_seconds=0.5) == 0
+
+    def test_fractional_points_floor(self):
+        # 0.0025 s at 1 ms/point = 2.5 points → floor to 2.
+        assert points_for_budget(0.0025, 1e-3) == 2
+
 
 class TestSampleStore:
     def test_add_and_get(self):
@@ -102,6 +112,44 @@ class TestSampleStore:
         store.add("t", "x", "y", make_result(100))
         store.add("t", "x", "y", make_result(100))
         assert store.sizes("t", "x", "y", "vas") == [100]
+
+    def test_time_budget_empty_ladder(self):
+        """No rungs at all: the §II-D rule has nothing to select."""
+        store = SampleStore()
+        with pytest.raises(SampleNotFoundError):
+            store.for_time_budget("t", "x", "y", "vas", 1.0, 1e-3)
+
+    def test_time_budget_wrong_method_is_empty(self):
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(100, "uniform"))
+        with pytest.raises(SampleNotFoundError):
+            store.for_time_budget("t", "x", "y", "vas", 1.0, 1e-3)
+
+    def test_time_budget_below_smallest_falls_back(self):
+        """Budget worth fewer points than the smallest rung: serve the
+        smallest anyway (an over-budget plot beats no plot)."""
+        store = SampleStore()
+        for k in (100, 1000):
+            store.add("t", "x", "y", make_result(k))
+        # 0.01 s at 1 ms/point = 10 points < 100.
+        out = store.for_time_budget("t", "x", "y", "vas", 0.01, 1e-3)
+        assert len(out) == 100
+
+    def test_time_budget_zero_usable_falls_back(self):
+        """Overhead swallows the whole budget → 0 points → smallest."""
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(50))
+        out = store.for_time_budget("t", "x", "y", "vas", 0.1, 1e-3,
+                                    fixed_overhead_seconds=0.5)
+        assert len(out) == 50
+
+    def test_time_budget_validation_propagates(self):
+        store = SampleStore()
+        store.add("t", "x", "y", make_result(50))
+        with pytest.raises(ConfigurationError):
+            store.for_time_budget("t", "x", "y", "vas", -1.0, 1e-3)
+        with pytest.raises(ConfigurationError):
+            store.for_time_budget("t", "x", "y", "vas", 1.0, 0.0)
 
 
 class TestDatabase:

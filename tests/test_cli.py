@@ -139,6 +139,102 @@ class TestZoomCommands:
         assert np.array_equal(a, b)
 
 
+class TestWorkspaceRoundTrip:
+    """demo → ingest → zoom-build → zoom-query, all inside tmp_path."""
+
+    def test_full_round_trip(self, demo_csv, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        assert main(["ingest", str(demo_csv), "--workspace", ws,
+                     "--table", "traj"]) == 0
+        assert "traj" in capsys.readouterr().out
+
+        assert main(["zoom-build", "traj", "--workspace", ws,
+                     "--levels", "2", "-k", "60"]) == 0
+        assert "built 2-level ladder" in capsys.readouterr().out
+
+        # Identical params: the second build is a pure cache hit.
+        assert main(["zoom-build", "traj", "--workspace", ws,
+                     "--levels", "2", "-k", "60"]) == 0
+        assert "reused 2-level ladder" in capsys.readouterr().out
+
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        xmin, ymin = data[:, :2].min(axis=0)
+        xmax, ymax = data[:, :2].max(axis=0)
+        out = tmp_path / "view.csv"
+        assert main(["zoom-query", "traj", "--workspace", ws,
+                     "--bbox", str(xmin), str(ymin),
+                     str((xmin + xmax) / 2), str((ymin + ymax) / 2),
+                     "--out", str(out)]) == 0
+        assert "rows in" in capsys.readouterr().out
+        view = np.loadtxt(out, delimiter=",", skiprows=1, ndmin=2)
+        assert view.shape[1] == 2
+        assert np.all(view[:, 0] <= (xmin + xmax) / 2)
+
+    def test_warm_query_runs_no_interchange(self, demo_csv, tmp_path,
+                                            monkeypatch, capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        main(["zoom-build", "traj", "--workspace", ws,
+              "--levels", "2", "-k", "60"])
+        capsys.readouterr()
+
+        # The warm path must be pure lookup: no ladder build, no
+        # Interchange run — a rebuild would abort the command.
+        import repro.service.service as service_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("builder invoked on the warm path")
+
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "build_method_sample", boom)
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        xmin, ymin = data[:, :2].min(axis=0)
+        xmax, ymax = data[:, :2].max(axis=0)
+        assert main(["zoom-query", "traj", "--workspace", ws,
+                     "--bbox", str(xmin), str(ymin), str(xmax),
+                     str(ymax)]) == 0
+        assert "level 0" in capsys.readouterr().out
+
+    def test_sample_build_cache(self, demo_csv, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        out = tmp_path / "s.csv"
+        assert main(["sample", "traj", "--workspace", ws, "-k", "50",
+                     "--method", "uniform", "--out", str(out)]) == 0
+        assert "[cache hit]" not in capsys.readouterr().out
+        assert main(["sample", "traj", "--workspace", ws, "-k", "50",
+                     "--method", "uniform", "--out", str(out)]) == 0
+        assert "[cache hit]" in capsys.readouterr().out
+        assert np.loadtxt(out, delimiter=",", skiprows=1).shape == (50, 2)
+
+    def test_workspace_info(self, demo_csv, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        capsys.readouterr()
+        assert main(["workspace-info", "--workspace", ws]) == 0
+        info = capsys.readouterr().out
+        assert '"traj"' in info and '"builds"' in info
+
+    def test_nonexistent_workspace_is_error_not_created(self, tmp_path,
+                                                        capsys):
+        ws = tmp_path / "nope"
+        assert main(["workspace-info", "--workspace", str(ws)]) == 2
+        assert "not a workspace" in capsys.readouterr().err
+        assert not ws.exists()  # read verbs must not create workspaces
+
+    def test_query_without_build_errors(self, demo_csv, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        capsys.readouterr()
+        assert main(["zoom-query", "traj", "--workspace", ws,
+                     "--bbox", "0", "0", "1", "1"]) == 2
+        assert "no zoom ladder" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_bad_csv_returns_error_code(self, tmp_path, capsys):
         bad = tmp_path / "bad.csv"

@@ -1,0 +1,214 @@
+"""Maintenance bench: appends/sec and maintained-vs-rebuilt quality.
+
+The ISSUE-4 acceptance property, measured: keeping a VAS sample fresh
+under appends must be cheap O(delta·K) online work whose result stays
+close to what a full offline rebuild would produce.  Three legs:
+
+* **core** — rows/second through :class:`SampleMaintainer` alone
+  (the Expand/Shrink delta replay, no persistence);
+* **service** — rows/second through ``VasService.append_rows`` against
+  a real on-disk workspace (delta segment write + sample maintenance +
+  ladder patch + lineage persistence — what ``POST /append`` costs);
+* **gap** — the maintained sample's objective versus a from-scratch
+  Interchange rebuild over (base + appended) data, and the wall-clock
+  ratio between the two paths.
+
+Results merge into ``BENCH_interchange.json`` under a ``maintenance``
+key (with their own provenance block), next to the engine rows the
+earlier PRs track::
+
+    python -m benchmarks.bench_maintenance            # full run
+    python -m benchmarks.bench_maintenance --quick    # CI-sized
+
+Exit status is non-zero if maintenance violates its invariant (the
+objective may never get worse than the base sample's — appends are
+accepted only on improvement).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.core import GaussianKernel, VASSampler  # noqa: E402
+from repro.core.epsilon import epsilon_from_diameter  # noqa: E402
+from repro.core.maintenance import SampleMaintainer  # noqa: E402
+from repro.data import GeolifeGenerator  # noqa: E402
+from repro.service import VasService, Workspace  # noqa: E402
+
+try:
+    from .provenance import collect_provenance  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance  # noqa: E402
+
+FULL = {"base_rows": 20_000, "k": 300, "batches": 10, "batch_rows": 500}
+QUICK = {"base_rows": 4_000, "k": 80, "batches": 4, "batch_rows": 100}
+
+
+def bench_core(base, deltas, k, epsilon):
+    """SampleMaintainer alone: the pure Expand/Shrink delta replay."""
+    sampler = VASSampler(rng=0, epsilon=epsilon, engine="batched")
+    built_start = time.perf_counter()
+    base_sample = sampler.sample(base, k)
+    build_seconds = time.perf_counter() - built_start
+
+    maintainer = SampleMaintainer(base_sample, GaussianKernel(epsilon),
+                                  next_source_id=len(base))
+    accepted = 0
+    started = time.perf_counter()
+    for batch in deltas:
+        accepted += maintainer.append(batch)
+    maintain_seconds = time.perf_counter() - started
+    delta_rows = sum(len(b) for b in deltas)
+    return {
+        "base_objective": base_sample.metadata["objective"],
+        "base_build_seconds": round(build_seconds, 4),
+        "maintain_seconds": round(maintain_seconds, 4),
+        "appends_per_second": round(delta_rows / maintain_seconds, 1),
+        "delta_rows": delta_rows,
+        "accepted": int(accepted),
+        "maintained_objective": maintainer.objective,
+    }
+
+
+def bench_gap(base, deltas, k, epsilon, maintained_objective,
+              maintain_seconds):
+    """Maintained quality/cost versus a full offline rebuild."""
+    everything = np.concatenate([base] + list(deltas))
+    sampler = VASSampler(rng=0, epsilon=epsilon, engine="batched")
+    started = time.perf_counter()
+    rebuilt = sampler.sample(everything, k)
+    rebuild_seconds = time.perf_counter() - started
+    rebuilt_objective = rebuilt.metadata["objective"]
+    gap = ((maintained_objective - rebuilt_objective)
+           / abs(rebuilt_objective))
+    return {
+        "rebuild_seconds": round(rebuild_seconds, 4),
+        "rebuilt_objective": rebuilt_objective,
+        "objective_gap": round(float(gap), 6),
+        "speedup_vs_rebuild": round(rebuild_seconds
+                                    / max(maintain_seconds, 1e-9), 1),
+    }
+
+
+def bench_service(base, deltas, k, tmp):
+    """End-to-end POST /append cost: persistence + maintenance of a
+    sample *and* a zoom ladder per append batch."""
+    root = Path(tmp)
+    csv = root / "base.csv"
+    np.savetxt(csv, base, delimiter=",", header="x,y", comments="")
+    service = VasService(Workspace(root / "ws"))
+    service.ingest_csv(csv, name="demo")
+    service.build_sample("demo", k, method="vas", seed=0)
+    service.build_ladder("demo", levels=3, k_per_tile=max(32, k // 4))
+
+    delta_rows = sum(len(b) for b in deltas)
+    started = time.perf_counter()
+    for batch in deltas:
+        info = service.append_rows("demo", batch)
+    seconds = time.perf_counter() - started
+    actions = sorted(step["action"] for step in info["maintenance"])
+    return {
+        "append_seconds": round(seconds, 4),
+        "appends_per_second": round(delta_rows / seconds, 1),
+        "delta_rows": delta_rows,
+        "batches": len(deltas),
+        "final_version": info["version"],
+        "final_actions": actions,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_interchange.json",
+                        help="trajectory file to merge the maintenance "
+                             "block into")
+    args = parser.parse_args(argv)
+
+    provenance = collect_provenance(started_unix=time.time())
+    profile = QUICK if args.quick else FULL
+
+    data = GeolifeGenerator(seed=0).generate(
+        profile["base_rows"]
+        + profile["batches"] * profile["batch_rows"]).xy
+    base = data[:profile["base_rows"]]
+    tail = data[profile["base_rows"]:]
+    deltas = [tail[i * profile["batch_rows"]:(i + 1) * profile["batch_rows"]]
+              for i in range(profile["batches"])]
+    epsilon = epsilon_from_diameter(base, rng=0)
+
+    print(f"{profile['base_rows']:,} base rows, k={profile['k']}, "
+          f"{profile['batches']} x {profile['batch_rows']}-row appends")
+    core = bench_core(base, deltas, profile["k"], epsilon)
+    print(f"core maintainer: {core['appends_per_second']:,.0f} rows/s "
+          f"({core['accepted']} accepted of {core['delta_rows']})")
+
+    gap = bench_gap(base, deltas, profile["k"], epsilon,
+                    core["maintained_objective"],
+                    core["maintain_seconds"])
+    print(f"objective: base {core['base_objective']:.6f} -> maintained "
+          f"{core['maintained_objective']:.6f} vs rebuilt "
+          f"{gap['rebuilt_objective']:.6f} "
+          f"(gap {gap['objective_gap']:+.2%}, maintenance "
+          f"{gap['speedup_vs_rebuild']:.0f}x faster than rebuild)")
+
+    with tempfile.TemporaryDirectory(prefix="repro-maint-bench-") as tmp:
+        service = bench_service(base, deltas, profile["k"], tmp)
+    print(f"service append path: {service['appends_per_second']:,.0f} "
+          f"rows/s end-to-end ({service['batches']} batches, final "
+          f"version {service['final_version']})")
+
+    block = {
+        "provenance": provenance,
+        "config": {
+            "base_rows": profile["base_rows"],
+            "k": profile["k"],
+            "batches": profile["batches"],
+            "batch_rows": profile["batch_rows"],
+            "epsilon": epsilon,
+            "seed": 0,
+            "quick": bool(args.quick),
+        },
+        "core": core,
+        "gap": gap,
+        "service": service,
+        "finished_unix": time.time(),
+    }
+
+    out = Path(args.out)
+    payload = {}
+    if out.is_file():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["maintenance"] = block
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged maintenance block into {out}")
+
+    # The §II-B invariant: appends are accepted only on improvement,
+    # so the maintained objective can never exceed the base one.
+    if core["maintained_objective"] > core["base_objective"] + 1e-9:
+        print("!! maintained objective worse than base — the delta "
+              "replay broke the accept-on-improvement invariant",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

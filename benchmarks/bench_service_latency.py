@@ -11,6 +11,10 @@ Exit status is non-zero when the median ``/viewport`` round trip
 exceeds the budget (``REPRO_SERVICE_BUDGET_MS``, default 250 ms — a
 wide bound for shared CI runners; local medians are ~1 ms).
 
+PR 4 added the live-table smoke: after the query sweep the bench POSTs
+an ``/append`` and re-queries — the ladder must advance via the
+maintenance path (no build) and keep answering at the new version.
+
 Run::
 
     python -m benchmarks.bench_service_latency
@@ -85,6 +89,46 @@ def wait_for_server(base: str, server: subprocess.Popen,
     raise RuntimeError(f"server at {base} never became healthy")
 
 
+def append_and_requery(base: str) -> dict:
+    """The live-table smoke: POST /append, then the re-query must keep
+    answering (at the bumped version) without any build."""
+    rows = [[116.30 + 0.001 * i, 39.90 + 0.001 * i, 50.0]
+            for i in range(200)]
+    request = urllib.request.Request(
+        f"{base}/append",
+        data=json.dumps({"table": "demo", "rows": rows}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=30) as response:
+        appended = json.loads(response.read())
+    append_ms = (time.perf_counter() - started) * 1e3
+    if appended["version"] < 1 or appended["appended_rows"] != len(rows):
+        raise RuntimeError(f"append did not land: {appended}")
+    url = f"{base}/viewport?table=demo&bbox=116.25,39.85,116.40,40.00"
+    started = time.perf_counter()
+    with urllib.request.urlopen(url, timeout=10) as response:
+        requery = json.loads(response.read())
+    requery_ms = (time.perf_counter() - started) * 1e3
+    if requery["returned_rows"] == 0:
+        raise RuntimeError("viewport empty after append")
+    actions = sorted(step["action"] for step in appended["maintenance"])
+    if "maintained" not in actions:
+        # The whole point of the smoke: the ladder must *advance*
+        # (not fail, not get flagged) via the maintenance path.
+        raise RuntimeError(f"ladder was not maintained: {actions}")
+    print(f"append of {len(rows)} rows: {append_ms:.1f} ms "
+          f"(maintenance actions: {actions or 'none'}), "
+          f"re-query {requery_ms:.2f} ms, version {appended['version']}")
+    return {
+        "rows": len(rows),
+        "append_ms": round(append_ms, 3),
+        "requery_ms": round(requery_ms, 3),
+        "version": appended["version"],
+        "actions": actions,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
@@ -127,6 +171,7 @@ def main(argv=None) -> int:
                     payload = json.loads(response.read())
                 latencies.append((time.perf_counter() - started) * 1e3)
                 rows_returned.append(payload["returned_rows"])
+            append_info = append_and_requery(base)
         finally:
             server.terminate()
             server.wait(timeout=10)
@@ -145,6 +190,7 @@ def main(argv=None) -> int:
                        "budget_ms": budget_ms},
             "median_ms": round(median_ms, 3),
             "p95_ms": round(p95_ms, 3),
+            "append": append_info,
             "finished_unix": time.time(),
         }, indent=2) + "\n")
         print(f"wrote {args.out}")

@@ -8,6 +8,8 @@ Python:
 * ``loss``           — compare methods' log-loss-ratios on a dataset;
 * ``demo``           — generate a Geolife-like dataset CSV to play with;
 * ``ingest``         — load a CSV into a persistent workspace;
+* ``append``         — append CSV rows to a live workspace table (cached
+  samples/ladders advance incrementally — no rebuild);
 * ``workspace-info`` — summarise a workspace's tables and cached builds;
 * ``zoom-build``     — precompute a multi-resolution zoom ladder (offline);
 * ``zoom-query``     — answer a viewport request from a prebuilt ladder;
@@ -118,6 +120,19 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     print(f"ingested {info['rows']:,} rows into table {info['name']!r} "
           f"(columns: {', '.join(info['columns'])}; "
           f"hash {info['content_hash'][:12]}) in {args.workspace}")
+    return 0
+
+
+def cmd_append(args: argparse.Namespace) -> int:
+    service = VasService(Workspace(args.workspace, create=False))
+    info = service.append_csv(args.input, args.table)
+    maintained = sum(1 for step in info["maintenance"]
+                     if step["action"] == "maintained")
+    stale = info["staleness"]
+    print(f"appended {info['appended_rows']:,} rows to {args.table!r} "
+          f"(now version {info['version']}, {info['rows']:,} rows); "
+          f"{maintained} artifact(s) maintained, {stale['stale']} stale, "
+          f"{stale['needs_rebuild']} flagged for rebuild")
     return 0
 
 
@@ -265,6 +280,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replace", action="store_true",
                    help="overwrite an existing table of the same name")
     p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser("append",
+                       help="append CSV rows to a live workspace table")
+    p.add_argument("input", help="CSV with a header row; columns must "
+                                 "match the table (by name or position)")
+    p.add_argument("--workspace", required=True)
+    p.add_argument("--table", required=True,
+                   help="the live table receiving the rows")
+    p.set_defaults(fn=cmd_append)
 
     p = sub.add_parser("workspace-info",
                        help="summarise a workspace's tables and builds")

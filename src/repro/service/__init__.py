@@ -4,22 +4,26 @@ This package is the bridge between the offline half of the paper (the
 expensive VAS builds) and the online half (interactive viewport and
 budgeted-sample queries):
 
-* :class:`Workspace` — one directory owning ingested tables and a
-  content-hash-keyed cache of built samples and zoom ladders
-  (:mod:`repro.service.workspace`);
+* :class:`Workspace` — one directory owning ingested *live* tables
+  (appendable, versioned, rolling content hashes) and a
+  content-hash-keyed cache of built samples and zoom ladders organised
+  into artifact lineages (:mod:`repro.service.workspace`);
 * :class:`VasService` — the facade the CLI and the HTTP server share:
-  ingest, build-or-reuse, and query answering with an LRU of decoded
-  ladders (:mod:`repro.service.service`);
+  ingest, build-or-reuse, appends with incremental sample/ladder
+  maintenance under a :class:`MaintenancePolicy`, and query answering
+  with an LRU of decoded ladders (:mod:`repro.service.service`);
 * :func:`make_server` / :func:`serve` — a stdlib HTTP front end
-  exposing the service as JSON endpoints (:mod:`repro.service.http`).
+  exposing the service as JSON endpoints, with graceful
+  SIGTERM/SIGINT shutdown (:mod:`repro.service.http`).
 """
 
-from .service import BuildOutcome, VasService
+from .service import BuildOutcome, MaintenancePolicy, VasService
 from .http import make_server, serve
 from .workspace import Workspace
 
 __all__ = [
     "BuildOutcome",
+    "MaintenancePolicy",
     "VasService",
     "Workspace",
     "make_server",

@@ -2,17 +2,23 @@
 
 A deliberately dependency-free server on :mod:`http.server`
 (threading variant — viewport answers are sub-millisecond index
-probes, so a thread per connection is plenty; builds serialise on the
-service lock).  Endpoints:
+probes, so a thread per connection is plenty; mutations serialise on
+the service's mutate lock while GETs run lock-free).  Endpoints:
 
 ==========================  =============================================
 ``GET /healthz``            liveness probe
 ``GET /workspace``          workspace + cache summary
-``GET /tables``             ingested tables (rows, columns, content hash)
+``GET /tables``             ingested tables (rows, columns, content
+                            hash, version, artifact staleness)
 ``POST /build``             build-or-reuse; JSON body, e.g.
                             ``{"table": "t", "kind": "ladder",
                             "levels": 4, "k_per_tile": 256}`` —
                             answers ``{"key": …, "cached": true|false}``
+``POST /append``            append rows to a live table; JSON body
+                            ``{"table": "t", "rows": [[…], …]}`` (rows
+                            in table column order) or ``{"table": "t",
+                            "columns": {"x": […], …}}`` — cached
+                            artifacts advance incrementally (no build)
 ``GET /viewport``           ``?table=&bbox=x0,y0,x1,y1[&zoom=&max_points=
                             &x=&y=]`` — points from the cached ladder
 ``GET /sample``             ``?table=[&method=&max_points=|&time_budget=
@@ -23,12 +29,20 @@ service lock).  Endpoints:
 Errors come back as ``{"error": …}`` with 400 (bad request), 404
 (unknown table / nothing built) or 500.  The server never builds on a
 GET: query endpoints are pure cache reads, so worst-case latency stays
-bounded by decode time, not Interchange time.
+bounded by decode time, not Interchange time — and ``POST /append``
+keeps that promise too, running only O(delta·K) maintenance.
+
+``repro serve`` shuts down gracefully: SIGTERM/SIGINT stop the accept
+loop, in-flight requests run to completion (handler threads are
+non-daemon and joined on close), and the workspace is quiesced via
+:meth:`VasService.close` before the process exits.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -190,18 +204,57 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         raw_body = self.rfile.read(length) if length else b""
         url = urlparse(self.path)
-        if url.path != "/build":
+        routes = {
+            "/build": self._post_build,
+            "/append": self._post_append,
+        }
+        handler = routes.get(url.path)
+        if handler is None:
             self._send_error_json(f"unknown endpoint {url.path!r}", 404)
             return
-        self._dispatch(lambda: self._post_build(raw_body))
+        self._dispatch(lambda: handler(raw_body))
 
-    def _post_build(self, raw_body: bytes) -> tuple[dict, int]:
+    @staticmethod
+    def _json_body(raw_body: bytes) -> dict:
         try:
             body = json.loads(raw_body or b"{}")
         except json.JSONDecodeError as exc:
             raise ValueError(f"request body is not JSON: {exc}") from None
         if not isinstance(body, dict):
             raise ValueError("request body must be a JSON object")
+        return body
+
+    def _post_append(self, raw_body: bytes) -> tuple[dict, int]:
+        body = self._json_body(raw_body)
+        table = body.get("table")
+        if not table:
+            raise ValueError("missing required field: table")
+        if ("rows" in body) == ("columns" in body):
+            raise ValueError(
+                "append body needs exactly one of 'rows' (positional, "
+                "table column order) or 'columns' (by name)"
+            )
+        # Shape-check before dispatch: a JSON array under 'columns'
+        # would otherwise fall through to the positional path and
+        # silently append *transposed* data.
+        if "rows" in body:
+            if not isinstance(body["rows"], list):
+                raise ValueError("'rows' must be a JSON array of rows")
+            payload = body["rows"]
+        else:
+            if not isinstance(body["columns"], dict):
+                raise ValueError(
+                    "'columns' must be a JSON object mapping column "
+                    "names to value arrays"
+                )
+            payload = body["columns"]
+        started = time.perf_counter()
+        info = self.service.append_rows(table, payload)
+        info["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
+        return info, 200
+
+    def _post_build(self, raw_body: bytes) -> tuple[dict, int]:
+        body = self._json_body(raw_body)
         table = body.get("table")
         if not table:
             raise ValueError("missing required field: table")
@@ -239,26 +292,86 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         }, 200
 
 
+class GracefulHTTPServer(ThreadingHTTPServer):
+    """Threading server whose close waits for in-flight requests.
+
+    ``ThreadingHTTPServer`` marks handler threads daemon, so a process
+    exit can kill a request mid-response (or mid-append).  Non-daemon
+    threads plus ``block_on_close`` make :meth:`server_close` join
+    every outstanding handler before returning — the graceful-shutdown
+    half of ``repro serve``.  A socket timeout bounds how long an idle
+    keep-alive connection can hold a thread (and thus the close).
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+
+def install_graceful_shutdown(server: ThreadingHTTPServer) -> dict:
+    """SIGTERM/SIGINT → stop accepting, let in-flight requests finish.
+
+    ``server.shutdown()`` must not run on the thread inside
+    ``serve_forever`` (it waits for that loop to acknowledge), and a
+    signal handler runs exactly there — so the handler hands the
+    shutdown to a helper thread and returns.  Installed only from the
+    main thread (the signal API's requirement); callers embedding the
+    server elsewhere simply keep their own handling.  Returns a state
+    dict whose ``"signal"`` records the first signal received.
+    """
+    state = {"signal": None}
+
+    def handler(signum, frame):  # pragma: no cover - exercised via CLI
+        if state["signal"] is None:
+            state["signal"] = signum
+            # One graceful chance: restore the default disposition so a
+            # second Ctrl-C / SIGTERM force-exits instead of being
+            # swallowed while a long in-flight request is joined.
+            for restored in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(restored, signal.SIG_DFL)
+            threading.Thread(target=server.shutdown,
+                             name="repro-serve-shutdown",
+                             daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, handler)
+    return state
+
+
 def make_server(service: VasService, host: str = "127.0.0.1",
                 port: int = 0, verbose: bool = False) -> ThreadingHTTPServer:
     """A ready-to-run server bound to ``host:port`` (0 = ephemeral)."""
     handler = type("BoundVasRequestHandler", (VasRequestHandler,),
-                   {"service": service, "verbose": verbose})
-    return ThreadingHTTPServer((host, port), handler)
+                   {"service": service, "verbose": verbose,
+                    "timeout": 30})
+    return GracefulHTTPServer((host, port), handler)
 
 
 def serve(service: VasService, host: str = "127.0.0.1", port: int = 8000,
           verbose: bool = False) -> None:
-    """Run the server until interrupted (the ``repro serve`` loop)."""
+    """Run the server until interrupted (the ``repro serve`` loop).
+
+    SIGTERM and SIGINT both shut down cleanly: the accept loop stops,
+    in-flight requests complete, and the workspace is quiesced before
+    the function returns.
+    """
     server = make_server(service, host=host, port=port, verbose=verbose)
+    state = install_graceful_shutdown(server)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workspace: {service.workspace.root or 'ephemeral'})")
     print("endpoints: /healthz /workspace /tables /viewport /sample "
-          "POST /build — Ctrl-C to stop")
+          "POST /build /append — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        # Fallback for embedding contexts without the signal handlers.
+        pass
     finally:
+        received = state.get("signal")
+        name = signal.Signals(received).name if received else "interrupt"
+        print(f"\nrepro serve: {name} received — finishing in-flight "
+              "requests")
         server.server_close()
+        service.close()
+        print("repro serve: workspace closed, bye")

@@ -1,4 +1,4 @@
-"""The VAS service facade: ingest, build-or-reuse, answer queries.
+"""The VAS service facade: ingest, build-or-reuse, append, answer.
 
 :class:`VasService` is the one code path behind the CLI verbs *and*
 the HTTP endpoints.  It owns
@@ -9,6 +9,16 @@ the HTTP endpoints.  It owns
   :func:`~repro.storage.zoom.build_zoom_ladder` machinery the library
   exposes (``engine=``/``workers=`` pass straight through) and caching
   every result in the workspace under its content-hash key;
+* **appends + maintenance** — new rows advance the table's version,
+  then each cached artifact is brought forward *incrementally*: flat
+  VAS samples replay only the delta rows through
+  :class:`~repro.core.maintenance.SampleMaintainer` (§II-B's
+  "periodically updated when new data arrives", O(delta·K) online
+  work), zoom ladders are patched tile-by-tile
+  (:func:`~repro.storage.zoom.patch_zoom_ladder`), and each advanced
+  artifact is persisted as a new lineage entry next to — never over —
+  its parent.  A :class:`MaintenancePolicy` decides when an artifact
+  is advanced versus left stale or flagged for an offline rebuild;
 * **queries** — viewport requests served from cached ladders and
   point-/time-budget requests served from cached flat samples, with a
   small LRU of decoded artifacts so the hot path re-reads nothing.
@@ -16,19 +26,32 @@ the HTTP endpoints.  It owns
 The offline/online asymmetry of the paper (§II-B: build once, serve
 many) becomes concrete here: on the warm path no Interchange ever
 runs — a property the test suite asserts by monkeypatching the
-builders to explode.
+builders to explode — and that invariant now survives appends, because
+maintenance never calls a builder either.
+
+Locking is split by role: mutations (ingest, build, append) serialise
+on one lock, while GET-path readers only take a narrow lock around the
+decoded-artifact LRUs — concurrent viewport queries never queue behind
+an append.  Readers racing a mutation see either the previous or the
+new table version, each with its matching artifacts, because manifests
+are replaced atomically and artifacts are resolved through the version
+history rather than a single "current" pointer.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
 from ..core.epsilon import epsilon_from_diameter
+from ..core.kernel import make_kernel
+from ..core.maintenance import SampleMaintainer
 from ..errors import ReproError, SampleNotFoundError, SchemaError
 from ..sampling.base import SampleResult
 from ..storage.query import VizResult, ZoomQuery, answer_zoom_query
@@ -39,10 +62,62 @@ from ..storage.zoom import (
     DEFAULT_LEVELS,
     ZoomLadder,
     build_zoom_ladder,
+    patch_zoom_ladder,
 )
 from ..tasks.study import build_method_sample
 from ..viz.scatter import Viewport
 from .workspace import Workspace, validate_table_name
+
+#: Sample methods the maintenance path can advance incrementally.
+#: Uniform/stratified samples have no Expand/Shrink delta story — they
+#: serve stale (bounded by the policy) until an offline rebuild.
+MAINTAINABLE_METHODS = ("vas", "vas+density")
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """When appends advance cached artifacts, and when they give up.
+
+    Parameters
+    ----------
+    maintain_after_rows:
+        Advance an artifact once at least this many rows separate it
+        from the current table version (``1`` = maintain on every
+        append).  Below the threshold the artifact keeps serving with
+        its staleness reported, and the accumulated delta is applied
+        in one batch when the threshold is crossed — maintenance work
+        is O(delta·K) either way, batching just amortises the
+        per-append constant.
+    rebuild_after_rows:
+        The staleness bound: an artifact lagging the table by more
+        than this many rows is no longer patched online but flagged
+        ``needs_rebuild`` (served stale until an offline ``POST
+        /build`` / ``repro zoom-build`` replaces it).  ``None``
+        disables the bound — maintenance always catches up.
+    """
+
+    maintain_after_rows: int = 1
+    rebuild_after_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.maintain_after_rows < 1:
+            raise SchemaError(
+                f"maintain_after_rows must be >= 1, got "
+                f"{self.maintain_after_rows}"
+            )
+        if self.rebuild_after_rows is not None and self.rebuild_after_rows < 1:
+            raise SchemaError(
+                f"rebuild_after_rows must be >= 1 or None, got "
+                f"{self.rebuild_after_rows}"
+            )
+        if (self.rebuild_after_rows is not None
+                and self.maintain_after_rows > self.rebuild_after_rows):
+            raise SchemaError(
+                "maintain_after_rows must not exceed rebuild_after_rows "
+                f"(got {self.maintain_after_rows} > "
+                f"{self.rebuild_after_rows}): an artifact would be "
+                "deferred past the point it is flagged for rebuild"
+            )
 
 
 class _LRU:
@@ -69,6 +144,9 @@ class _LRU:
     def drop(self, key) -> None:
         self._items.pop(key, None)
 
+    def clear(self) -> None:
+        self._items.clear()
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -94,33 +172,75 @@ class VasService:
 
     def __init__(self, workspace: Workspace,
                  ladder_cache_size: int = 8,
-                 store_cache_size: int = 16) -> None:
+                 store_cache_size: int = 16,
+                 policy: MaintenancePolicy | None = None) -> None:
         self.workspace = workspace
+        self.policy = policy or MaintenancePolicy()
         self._ladders = _LRU(ladder_cache_size)
         self._stores = _LRU(store_cache_size)
         # (table, x, y, content_hash) -> newest ladder build key, so a
         # warm viewport query costs one decoded-ladder lookup rather
         # than a scan over every build.json in the cache directory.
         self._ladder_keys = _LRU(4 * ladder_cache_size)
-        # Builds mutate the cache directory and the LRUs; the HTTP
-        # front end serves from threads, so mutation is serialised.
-        self._lock = threading.RLock()
+        # Two locks, split by role.  Mutations (ingest, build, append
+        # and its maintenance) serialise on the mutate lock; the cache
+        # lock only guards the decoded-artifact LRU dicts and is held
+        # for dict operations, never for decode or I/O — so GET-path
+        # readers cannot queue behind a build or an append.
+        self._mutate_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        # Mutation epoch: odd while a mutation is in flight, bumped on
+        # entry and exit.  Readers capture it before assembling a
+        # derived cache entry and only publish if it is unchanged and
+        # even — otherwise a reader descheduled mid-assembly could
+        # insert a pre-maintenance store/memo *after* the mutator's
+        # invalidation pass and pin stale data under the new hash.
+        self._mutations = 0
+
+    def _mutating(self):
+        service = self
+
+        class _Mutation:
+            def __enter__(self):
+                service._mutate_lock.acquire()
+                service._mutations += 1
+                return self
+
+            def __exit__(self, *exc):
+                service._mutations += 1
+                service._mutate_lock.release()
+                return False
+
+        return _Mutation()
+
+    def _read_token(self) -> int:
+        return self._mutations
+
+    def _publishable(self, token: int) -> bool:
+        """May a derived cache entry assembled since ``token`` be
+        published?  Only if no mutation started or finished meanwhile."""
+        current = self._mutations
+        return current == token and current % 2 == 0
+
+    # -- LRU access (the only state readers share with mutators) ----------
+    def _lru_get(self, lru: _LRU, key):
+        with self._cache_lock:
+            return lru.get(key)
+
+    def _lru_put(self, lru: _LRU, key, value) -> None:
+        with self._cache_lock:
+            lru.put(key, value)
 
     # -- ingest ------------------------------------------------------------
-    def ingest_csv(self, path, name: str | None = None,
-                   replace: bool = False,
-                   strict_header: bool = True) -> dict:
-        """Load a header-row CSV into the workspace as a table.
+    @staticmethod
+    def _read_csv(csv_path: Path,
+                  strict_header: bool) -> tuple[list[str], np.ndarray]:
+        """``(column names, (n, cols) float64 data)`` from a header CSV.
 
-        Column names come from the header; every column is numeric
-        float64 (the CSV contract the CLI has always used).  With
-        ``strict_header=False`` a header that does not match the data
-        (wrong column count, duplicates) falls back to generated names
-        instead of erroring — the CLI's one-shot CSV mode uses this to
-        stay as forgiving as the pre-workspace loader, which only ever
-        skipped the header row.
+        With ``strict_header=False`` a header that does not match the
+        data (wrong column count, duplicates) falls back to generated
+        names instead of erroring.
         """
-        csv_path = Path(path)
         try:
             with open(csv_path) as fh:
                 header = fh.readline().strip()
@@ -146,17 +266,43 @@ class VasService:
                     f"{data.shape[1]} data columns uniquely"
                 )
             names = [f"c{i}" for i in range(data.shape[1])]
+        return names, data
+
+    def ingest_csv(self, path, name: str | None = None,
+                   replace: bool = False,
+                   strict_header: bool = True) -> dict:
+        """Load a header-row CSV into the workspace as a table.
+
+        Column names come from the header; every column is numeric
+        float64 (the CSV contract the CLI has always used).  The
+        CLI's one-shot CSV mode passes ``strict_header=False`` to stay
+        as forgiving as the pre-workspace loader, which only ever
+        skipped the header row.
+        """
+        csv_path = Path(path)
+        names, data = self._read_csv(csv_path, strict_header)
         table_name = validate_table_name(name or csv_path.stem)
         table = Table.from_arrays(
             table_name, {col: data[:, i] for i, col in enumerate(names)}
         )
-        with self._lock:
+        with self._mutating():
             self.workspace.add_table(table, replace=replace)
             return self.workspace.table_info(table_name)
 
     def tables(self) -> list[dict]:
-        return [self.workspace.table_info(n)
-                for n in self.workspace.table_names]
+        """Per-table summaries including version + artifact staleness.
+
+        One cache-directory scan serves every table's staleness block.
+        """
+        snapshot = self.workspace.builds()
+        out = []
+        for name in self.workspace.table_names:
+            info = self.workspace.table_info(name)
+            info["staleness"] = self._staleness(
+                name, builds=[m for m in snapshot
+                              if m.get("table") == name])
+            out.append(info)
+        return out
 
     # -- column resolution -------------------------------------------------
     def _resolve_xy(self, table_name: str, x: str | None,
@@ -193,7 +339,7 @@ class VasService:
         a valid cache hit for any other.  The engine that actually ran
         is recorded in the manifest for provenance.
         """
-        with self._lock:
+        with self._mutating():
             x, y = self._resolve_xy(table_name, x, y)
             params = {"x": x, "y": y, "method": method, "k": int(k),
                       "seed": int(seed),
@@ -212,14 +358,22 @@ class VasService:
                 epsilon=epsilon_from_diameter(xy, rng=int(seed)),
                 engine=engine, workers=int(workers),
             )
+            # The kernel identity rides along in build.json so the
+            # maintenance path can reconstruct the exact κ̃ without
+            # decoding the payload (None for non-VAS methods, which
+            # are not maintainable anyway).
+            eps = result.metadata.get("epsilon")
             manifest = self.workspace.store_sample_build(
                 key, table_name, params, result,
                 extra={"built_with_engine": engine,
-                       "built_with_workers": int(workers)},
+                       "built_with_workers": int(workers),
+                       "epsilon": float(eps) if eps is not None else None,
+                       "kernel": result.metadata.get("kernel")},
             )
             # Any assembled store for this column pair is now stale.
-            self._stores.drop((table_name, x, y,
-                               manifest["content_hash"]))
+            with self._cache_lock:
+                self._stores.drop((table_name, x, y,
+                                   manifest["content_hash"]))
             return BuildOutcome(key=key, kind="sample", cached=False,
                                 manifest=manifest, result=result)
 
@@ -229,17 +383,17 @@ class VasService:
                      k_per_tile: int = DEFAULT_K_PER_TILE,
                      seed: int = 0) -> BuildOutcome:
         """Build-or-reuse one multi-resolution zoom ladder."""
-        with self._lock:
+        with self._mutating():
             x, y = self._resolve_xy(table_name, x, y)
             params = {"x": x, "y": y, "levels": int(levels),
                       "k_per_tile": int(k_per_tile), "seed": int(seed)}
             key = self.workspace.build_key("ladder", table_name, params)
             manifest = self.workspace.cached_manifest(key)
             if manifest is not None:
-                ladder = self._ladders.get(key)
+                ladder = self._lru_get(self._ladders, key)
                 if ladder is None:
                     ladder = self.workspace.load_ladder_build(key)
-                    self._ladders.put(key, ladder)
+                    self._lru_put(self._ladders, key, ladder)
                 return BuildOutcome(key=key, kind="ladder", cached=True,
                                     manifest=manifest, ladder=ladder)
             # Cache miss: only now is the table actually decoded.
@@ -252,51 +406,409 @@ class VasService:
                 key, table_name, params,
                 ladder, extra={"stats": ladder.stats()},
             )
-            self._ladders.put(key, ladder)
-            # This build is now the newest ladder for the column pair.
-            self._ladder_keys.put(
-                (table_name, x, y, manifest["content_hash"]), key)
+            with self._cache_lock:
+                self._ladders.put(key, ladder)
+                # This build is now the newest ladder for the pair.
+                self._ladder_keys.put(
+                    (table_name, x, y, manifest["content_hash"]), key)
             return BuildOutcome(key=key, kind="ladder", cached=False,
                                 manifest=manifest, ladder=ladder)
 
-    # -- query answering ---------------------------------------------------
-    def _current_builds(self, kind: str, table_name: str, x: str,
-                        y: str) -> list[dict]:
-        """Cached builds for a column pair of the table *as it is now*.
+    # -- appends + maintenance ---------------------------------------------
+    def _normalize_rows(self, table_name: str, rows) -> dict:
+        """``{column: array}`` from either a mapping or positional rows.
 
-        Builds whose recorded ``content_hash`` differs from the table's
-        current hash are invisible: after a ``--replace`` re-ingest the
-        old data's artifacts must not answer queries — changed data
-        means a cache miss, exactly as the build key promises.
+        Positional input (the HTTP body's ``"rows": [[...], ...]``) is
+        matched against the table's column order; a mapping is passed
+        through by name.
         """
-        current = self.workspace.table_hash(table_name)
-        return [
-            m for m in self.workspace.builds(kind=kind, table=table_name)
-            if m["params"]["x"] == x and m["params"]["y"] == y
-            and m["content_hash"] == current
-        ]
+        columns = [c["name"]
+                   for c in self.workspace.table_columns(table_name)]
+        if isinstance(rows, Mapping):
+            return {str(name): np.asarray(values)
+                    for name, values in rows.items()}
+        try:
+            data = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"append rows are not numeric: {exc}") from exc
+        if data.size == 0:
+            return {name: np.empty(0, dtype=np.float64)
+                    for name in columns}
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.ndim != 2 or data.shape[1] != len(columns):
+            raise SchemaError(
+                f"append rows must be (n, {len(columns)}) matching "
+                f"columns {columns}, got shape {tuple(data.shape)}"
+            )
+        return {name: data[:, pos] for pos, name in enumerate(columns)}
+
+    def append_rows(self, table_name: str, rows) -> dict:
+        """Append rows to a live table, then maintain its artifacts.
+
+        The mutation path, end to end: the workspace writes one delta
+        segment and advances the table version, then every servable
+        artifact is brought forward under the :class:`MaintenancePolicy`
+        — VAS samples through :class:`SampleMaintainer` on exactly the
+        delta rows, ladders through
+        :func:`~repro.storage.zoom.patch_zoom_ladder` — each advanced
+        artifact persisted as a new lineage entry beside its parent.
+        No Interchange build ever runs here; artifacts the policy (or
+        their method) cannot advance keep serving at their recorded
+        version, with the staleness reported in the returned payload.
+        """
+        with self._mutating():
+            arrays = self._normalize_rows(table_name, rows)
+            info = self.workspace.append_rows(table_name, arrays)
+            if info["appended_rows"] > 0:
+                info["maintenance"] = self._maintain_artifacts(table_name)
+                # Reader caches assembled at the new content hash in
+                # the window between the version flip and maintenance
+                # completion would pin pre-maintenance artifacts.
+                self._invalidate_reader_caches(table_name,
+                                               info["content_hash"])
+            else:
+                info["maintenance"] = []
+            info["staleness"] = self._staleness(table_name)
+            return info
+
+    def append_csv(self, path, table_name: str) -> dict:
+        """``repro append``: feed a CSV of new rows into a live table.
+
+        The same CSV contract as ingest (header row, numeric columns).
+        A header naming exactly the table's columns is matched by name;
+        otherwise the columns are matched positionally.
+        """
+        names, data = self._read_csv(Path(path), strict_header=False)
+        columns = [c["name"]
+                   for c in self.workspace.table_columns(table_name)]
+        if set(names) == set(columns):
+            arrays = {name: data[:, pos]
+                      for pos, name in enumerate(names)}
+        elif data.shape[1] == len(columns):
+            arrays = {name: data[:, pos]
+                      for pos, name in enumerate(columns)}
+        else:
+            raise SchemaError(
+                f"{path}: {data.shape[1]} CSV columns cannot fill table "
+                f"{table_name!r} columns {columns}"
+            )
+        return self.append_rows(table_name, arrays)
+
+    def _sample_maintainable(self, manifest: dict) -> bool:
+        """Can this sample artifact be advanced without a rebuild?
+
+        Needs a VAS-family method plus the recorded kernel identity
+        (bandwidth) — without the exact κ̃ the delta replay would not
+        be the same optimisation process the sample came from.
+        """
+        return (manifest["params"].get("method") in MAINTAINABLE_METHODS
+                and manifest.get("epsilon") is not None)
+
+    def _policy_verdict(self, kind: str, manifest: dict) -> str:
+        """The one policy decision both the append path and the
+        staleness report apply: ``fresh`` / ``deferred`` /
+        ``needs_rebuild`` / ``maintain``.  Shared so POST /append and
+        GET /tables can never disagree about the same artifact."""
+        lag = manifest["_stale_rows"]
+        if lag <= 0:
+            return "fresh"
+        # Unmaintainable artifacts are flagged from the first stale
+        # row — "deferred" would promise a catch-up that can't happen.
+        if kind == "sample" and not self._sample_maintainable(manifest):
+            return "needs_rebuild"
+        if lag < self.policy.maintain_after_rows:
+            return "deferred"
+        if (self.policy.rebuild_after_rows is not None
+                and lag > self.policy.rebuild_after_rows):
+            return "needs_rebuild"
+        return "maintain"
+
+    def _maintain_artifacts(self, table_name: str) -> list[dict]:
+        """Advance every stale artifact the policy allows; report all."""
+        report = []
+        snapshot = self.workspace.builds(table=table_name)
+        for kind in ("sample", "ladder"):
+            for manifest in self._servable_builds(kind, table_name,
+                                                  builds=snapshot):
+                verdict = self._policy_verdict(kind, manifest)
+                if verdict == "fresh":
+                    continue
+                entry = {"kind": kind, "key": manifest["key"],
+                         "stale_rows": manifest["_stale_rows"]}
+                if verdict != "maintain":
+                    entry["action"] = verdict
+                else:
+                    advance = (self._maintain_sample if kind == "sample"
+                               else self._maintain_ladder)
+                    try:
+                        entry.update(advance(table_name, manifest))
+                        entry["action"] = "maintained"
+                    except Exception as exc:  # noqa: BLE001 - reported
+                        # The rows are already durably appended; one
+                        # unreadable cache entry must neither fail the
+                        # append (a retrying client would duplicate the
+                        # rows) nor block the other artifacts.  The
+                        # artifact stays at its version, i.e. stale.
+                        entry["action"] = "failed"
+                        entry["error"] = str(exc)
+                report.append(entry)
+        return report
+
+    def _lineage_extra(self, manifest: dict, delta_rows: int) -> dict:
+        root = (manifest.get("lineage") or {}).get("root", manifest["key"])
+        return {
+            "lineage": {"root": root, "parent": manifest["key"]},
+            "maintained": True,
+            "delta_rows": int(delta_rows),
+        }
+
+    def _maintain_sample(self, table_name: str, manifest: dict) -> dict:
+        """One sample maintenance step: delta rows through Expand/Shrink.
+
+        Bit-identical to running :class:`SampleMaintainer` directly on
+        the same base sample and delta stream — there is no other
+        machinery in between, and the result round-trips losslessly
+        through the columnar store.
+        """
+        params = manifest["params"]
+        x, y = params["x"], params["y"]
+        base = self.workspace.load_sample_build(manifest["key"])
+        kernel = make_kernel(manifest.get("kernel") or "gaussian",
+                             float(manifest["epsilon"]))
+        start = int(manifest["_rows"])
+        delta = self.workspace.delta_xy(table_name, x, y, start)
+        maintainer = SampleMaintainer(base, kernel, next_source_id=start)
+        accepted = maintainer.append(delta)
+        advanced = maintainer.sample
+        # Carry the kernel identity forward so the next append can
+        # keep maintaining the maintained sample.
+        advanced.metadata["epsilon"] = float(manifest["epsilon"])
+        advanced.metadata["kernel"] = kernel.name
+        new_key = self.workspace.lineage_key(manifest["key"], table_name)
+        extra = self._lineage_extra(manifest, len(delta))
+        extra["accepted"] = int(accepted)
+        extra["epsilon"] = float(manifest["epsilon"])
+        extra["kernel"] = kernel.name
+        self.workspace.store_sample_build(new_key, table_name, params,
+                                          advanced, extra=extra)
+        self._prune_superseded(manifest)
+        return {"new_key": new_key, "delta_rows": len(delta),
+                "accepted": int(accepted)}
+
+    def _maintain_ladder(self, table_name: str, manifest: dict) -> dict:
+        """One ladder maintenance step: patch each rung's open tiles."""
+        params = manifest["params"]
+        x, y = params["x"], params["y"]
+        ladder = self._decoded_ladder(manifest["key"])
+        start = int(manifest["_rows"])
+        delta = self.workspace.delta_xy(table_name, x, y, start)
+        indices = np.arange(start, start + len(delta), dtype=np.int64)
+        patched, patch_stats = patch_zoom_ladder(ladder, delta, indices)
+        new_key = self.workspace.lineage_key(manifest["key"], table_name)
+        extra = self._lineage_extra(manifest, len(delta))
+        extra["stats"] = patched.stats()
+        extra["patch"] = patch_stats
+        # Out-of-root rows accumulate down the lineage: the ladder's
+        # root viewport cannot grow online, so any such row keeps the
+        # needs_rebuild flag raised until an offline rebuild re-fits it.
+        extra["out_of_root"] = (int(manifest.get("out_of_root", 0))
+                                + patch_stats["out_of_root"])
+        # So do rows the finest rung had no tile budget for: they are
+        # invisible at full zoom until VAS re-samples those tiles
+        # offline.  Once the accumulated count crosses the policy's
+        # staleness bound the ladder is flagged (see _staleness).
+        extra["unrepresented"] = (int(manifest.get("unrepresented", 0))
+                                  + patch_stats["levels"][-1]["skipped"])
+        self.workspace.store_ladder_build(new_key, table_name, params,
+                                          patched, extra=extra)
+        # Content-addressed by build key, so this entry can never go
+        # stale; the (table, x, y, hash) memo re-resolves lazily.
+        self._lru_put(self._ladders, new_key, patched)
+        self._prune_superseded(manifest)
+        return {"new_key": new_key, "delta_rows": len(delta),
+                "applied": patch_stats["applied"],
+                "skipped": patch_stats["skipped"]}
+
+    def _prune_superseded(self, manifest: dict) -> None:
+        """Drop the maintenance hop superseded one append *ago*.
+
+        Without pruning, a stream of appends under the default policy
+        would persist one full artifact copy per append forever.  The
+        prune is deferred by one hop on purpose: ``manifest`` (the
+        entry this append just superseded) survives until the *next*
+        append, so a lock-free reader whose manifest scan raced this
+        append can still load it — only its predecessor, superseded a
+        full append cycle earlier, is removed.  Lineage *roots* (the
+        offline builds) are never touched.  Steady state keeps the
+        root plus the last two hops per lineage: still O(1) disk for
+        the append stream.
+        """
+        lineage = manifest.get("lineage") or {}
+        previous = lineage.get("parent")
+        if not manifest.get("maintained") or not previous:
+            return
+        if previous == lineage.get("root"):
+            return
+        self.workspace.drop_build(previous)
+        with self._cache_lock:
+            self._ladders.drop(previous)
+
+    def _invalidate_reader_caches(self, table_name: str,
+                                  content_hash: str) -> None:
+        """Drop store/memo entries readers may have assembled at the
+        new content hash before maintenance finished publishing."""
+        with self._cache_lock:
+            for lru in (self._stores, self._ladder_keys):
+                stale = [key for key in lru._items
+                         if key[0] == table_name and key[3] == content_hash]
+                for key in stale:
+                    lru.drop(key)
+
+    def _staleness(self, table_name: str,
+                   builds: list[dict] | None = None) -> dict:
+        """The ``GET /tables`` staleness block for one table."""
+        artifacts = []
+        snapshot = (builds if builds is not None
+                    else self.workspace.builds(table=table_name))
+        for kind in ("sample", "ladder"):
+            for manifest in self._servable_builds(kind, table_name,
+                                                  builds=snapshot):
+                lag = manifest["_stale_rows"]
+                needs_rebuild = (
+                    self._policy_verdict(kind, manifest) == "needs_rebuild")
+                # A patched ladder that swallowed out-of-root rows can
+                # serve its old extent but not the new one: flag it
+                # even though its version is current.  Likewise one
+                # whose full tiles have dropped more appended rows
+                # than the staleness bound tolerates — those rows are
+                # unrepresented at full zoom until an offline rebuild
+                # re-samples the dense tiles.
+                if kind == "ladder" and manifest.get("out_of_root", 0) > 0:
+                    needs_rebuild = True
+                if (kind == "ladder"
+                        and self.policy.rebuild_after_rows is not None
+                        and manifest.get("unrepresented", 0)
+                        > self.policy.rebuild_after_rows):
+                    needs_rebuild = True
+                artifacts.append({
+                    "key": manifest["key"], "kind": kind,
+                    "table_version": manifest["_version"],
+                    "stale_rows": lag,
+                    "needs_rebuild": bool(needs_rebuild),
+                })
+        return {
+            "artifacts": len(artifacts),
+            "stale": sum(1 for a in artifacts if a["stale_rows"] > 0),
+            "needs_rebuild": sum(1 for a in artifacts
+                                 if a["needs_rebuild"]),
+            "max_stale_rows": max((a["stale_rows"] for a in artifacts),
+                                  default=0),
+            "detail": artifacts,
+        }
+
+    # -- query answering ---------------------------------------------------
+    def _servable_builds(self, kind: str, table_name: str,
+                         x: str | None = None,
+                         y: str | None = None,
+                         builds: list[dict] | None = None) -> list[dict]:
+        """The newest servable artifact of every lineage, oldest first.
+
+        An artifact is servable when its recorded content hash appears
+        in the table's *version history*: builds (and maintenance
+        entries) from any version of the live table keep answering —
+        with a known staleness — while artifacts from replaced data
+        (whose hashes left the history on re-ingest) stay hidden.
+        Within one lineage only the entry at the highest table version
+        survives, so a maintained sample supersedes the base build it
+        descends from without ever deleting it.
+
+        Artifacts are grouped by their *logical identity* — the build
+        params — not by lineage root: a maintained sample supersedes
+        the base build it descends from, and an offline rebuild at the
+        current version supersedes a stale lineage outright (same
+        params, higher version).  Nothing is ever deleted; superseded
+        entries just stop answering.
+
+        Each returned manifest is annotated with ``_version`` /
+        ``_rows`` (the table version it corresponds to and that
+        version's row count) and ``_stale_rows`` (how far it lags the
+        table now).
+
+        ``builds`` lets callers that resolve several kinds against the
+        same table (the append path, the staleness report) reuse one
+        cache-directory scan instead of paying one per kind.
+        """
+        by_hash = self.workspace.version_by_hash(table_name)
+        current_rows = int(
+            self.workspace.version_history(table_name)[-1]["rows"])
+        best: dict[str, dict] = {}
+        if builds is None:
+            builds = self.workspace.builds(kind=kind, table=table_name)
+        for manifest in builds:
+            if manifest.get("kind") != kind:
+                continue
+            if x is not None and manifest["params"].get("x") != x:
+                continue
+            if y is not None and manifest["params"].get("y") != y:
+                continue
+            at = by_hash.get(manifest.get("content_hash"))
+            if at is None:
+                continue
+            entry = dict(manifest)
+            entry["_version"] = at["version"]
+            entry["_rows"] = at["rows"]
+            entry["_stale_rows"] = current_rows - at["rows"]
+            identity = json.dumps(entry["params"], sort_keys=True)
+            rank = (entry["_version"], entry.get("created_unix", 0.0))
+            held = best.get(identity)
+            if held is None or rank > (held["_version"],
+                                       held.get("created_unix", 0.0)):
+                best[identity] = entry
+        return sorted(
+            best.values(),
+            key=lambda m: (m["_version"], m.get("created_unix", 0.0)),
+        )
+
+    def _decoded_ladder(self, key: str) -> ZoomLadder:
+        """The decoded ladder for a build key (LRU, decode outside any
+        lock — two racing readers may decode twice, never block)."""
+        ladder = self._lru_get(self._ladders, key)
+        if ladder is None:
+            ladder = self.workspace.load_ladder_build(key)
+            self._lru_put(self._ladders, key, ladder)
+        return ladder
 
     def _ladder_for_resolved(self, table_name: str, x: str,
                              y: str) -> ZoomLadder:
         """:meth:`ladder_for` with the column pair already resolved."""
         memo_key = (table_name, x, y,
                     self.workspace.table_hash(table_name))
-        key = self._ladder_keys.get(memo_key)
-        if key is None:
-            candidates = self._current_builds("ladder", table_name, x, y)
-            if not candidates:
-                raise SampleNotFoundError(
-                    f"no zoom ladder built for {table_name}.({x}, {y}) "
-                    "at its current contents; run repro zoom-build / "
-                    "POST /build first"
-                )
-            key = candidates[-1]["key"]  # builds() sorts oldest→newest
-            self._ladder_keys.put(memo_key, key)
-        ladder = self._ladders.get(key)
-        if ladder is None:
-            ladder = self.workspace.load_ladder_build(key)
-            self._ladders.put(key, ladder)
-        return ladder
+        for attempt in (0, 1):
+            token = self._read_token()
+            key = self._lru_get(self._ladder_keys, memo_key)
+            if key is None:
+                candidates = self._servable_builds("ladder", table_name,
+                                                   x, y)
+                if not candidates:
+                    raise SampleNotFoundError(
+                        f"no zoom ladder built for {table_name}.({x}, "
+                        f"{y}) at its current contents; run repro "
+                        "zoom-build / POST /build first"
+                    )
+                key = candidates[-1]["key"]  # highest version, newest
+                if self._publishable(token):
+                    self._lru_put(self._ladder_keys, memo_key, key)
+            try:
+                return self._decoded_ladder(key)
+            except (ReproError, OSError):
+                # A concurrent append pruned the entry this (stale)
+                # memo pointed at; forget it and re-resolve once.
+                if attempt:
+                    raise
+                with self._cache_lock:
+                    self._ladder_keys.drop(memo_key)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def ladder_for(self, table_name: str, x: str | None = None,
                    y: str | None = None) -> ZoomLadder:
@@ -307,18 +819,20 @@ class VasService:
         caller gets :class:`SampleNotFoundError` and decides whether to
         pay for a ``/build``.
         """
-        with self._lock:
-            x, y = self._resolve_xy(table_name, x, y)
-            return self._ladder_for_resolved(table_name, x, y)
+        x, y = self._resolve_xy(table_name, x, y)
+        return self._ladder_for_resolved(table_name, x, y)
 
     def viewport(self, table_name: str, bbox: tuple[float, float, float, float],
                  x: str | None = None, y: str | None = None,
                  zoom: int | None = None,
                  max_points: int | None = None) -> VizResult:
-        """Answer one viewport request from a cached ladder."""
-        with self._lock:
-            x, y = self._resolve_xy(table_name, x, y)
-            ladder = self._ladder_for_resolved(table_name, x, y)
+        """Answer one viewport request from a cached ladder.
+
+        Read-only: takes no mutation lock, so viewport answers overlap
+        freely with each other and with appends.
+        """
+        x, y = self._resolve_xy(table_name, x, y)
+        ladder = self._ladder_for_resolved(table_name, x, y)
         query = ZoomQuery(
             table=table_name, x_column=x, y_column=y,
             viewport=Viewport(*map(float, bbox)),
@@ -334,15 +848,36 @@ class VasService:
         """
         cache_key = (table_name, x, y,
                      self.workspace.table_hash(table_name))
-        store = self._stores.get(cache_key)
-        if store is not None:
-            return store
-        store = SampleStore()
-        for manifest in self._current_builds("sample", table_name, x, y):
-            result = self.workspace.load_sample_build(manifest["key"])
-            store.add(table_name, x, y, result)
-        self._stores.put(cache_key, store)
-        return store
+        cached = self._lru_get(self._stores, cache_key)
+        if cached is not None:
+            return cached
+        for attempt in (0, 1):
+            token = self._read_token()
+            store = SampleStore()
+            complete = True
+            for manifest in self._servable_builds("sample", table_name,
+                                                  x, y):
+                try:
+                    result = self.workspace.load_sample_build(
+                        manifest["key"])
+                except (ReproError, OSError):
+                    # A concurrent append pruned this entry between the
+                    # manifest scan and the payload read.  Its successor
+                    # was durably written *before* the prune, so one
+                    # fresh scan must see it — retry, and never cache
+                    # an assembly that lost a rung.
+                    complete = False
+                    break
+                store.add(table_name, x, y, result)
+            if complete:
+                # Publish only if no mutation overlapped the assembly:
+                # a store built in the window between a version flip
+                # and its maintenance pass would otherwise be pinned
+                # under the new hash after the invalidation ran.
+                if self._publishable(token):
+                    self._lru_put(self._stores, cache_key, store)
+                return store
+        return store  # both scans raced appends; serve best effort
 
     def sample_query(self, table_name: str,
                      x: str | None = None, y: str | None = None,
@@ -359,21 +894,22 @@ class VasService:
         ``max_points`` wins, else a time budget converts to points,
         else the largest cached sample is returned.  ``bbox`` applies a
         viewport filter after selection (the Fig 1 pattern).
+
+        Read-only, like :meth:`viewport`: no mutation lock taken.
         """
-        with self._lock:
-            x, y = self._resolve_xy(table_name, x, y)
-            store = self._store_for(table_name, x, y)
-            if max_points is not None:
-                sample = store.for_point_budget(table_name, x, y, method,
-                                                max_points)
-            elif time_budget_seconds is not None:
-                sample = store.for_time_budget(
-                    table_name, x, y, method, time_budget_seconds,
-                    seconds_per_point, fixed_overhead_seconds,
-                )
-            else:
-                sample = store.for_point_budget(table_name, x, y, method,
-                                                2**62)
+        x, y = self._resolve_xy(table_name, x, y)
+        store = self._store_for(table_name, x, y)
+        if max_points is not None:
+            sample = store.for_point_budget(table_name, x, y, method,
+                                            max_points)
+        elif time_budget_seconds is not None:
+            sample = store.for_time_budget(
+                table_name, x, y, method, time_budget_seconds,
+                seconds_per_point, fixed_overhead_seconds,
+            )
+        else:
+            sample = store.for_point_budget(table_name, x, y, method,
+                                            2**62)
         points, weights = sample.points, sample.weights
         if bbox is not None:
             mask = Viewport(*map(float, bbox)).contains(points)
@@ -389,7 +925,22 @@ class VasService:
         payload = self.workspace.info()
         payload["decoded_ladders"] = len(self._ladders)
         payload["decoded_stores"] = len(self._stores)
+        payload["policy"] = {
+            "maintain_after_rows": self.policy.maintain_after_rows,
+            "rebuild_after_rows": self.policy.rebuild_after_rows,
+        }
         return payload
+
+    def close(self) -> None:
+        """Quiesce for shutdown: wait out any in-flight mutation, then
+        drop the decoded caches.  Idempotent; the workspace itself has
+        no buffered state (every mutation lands on disk before its
+        call returns), so close is a barrier, not a flush."""
+        with self._mutate_lock:
+            with self._cache_lock:
+                self._ladders.clear()
+                self._stores.clear()
+                self._ladder_keys.clear()
 
 
 def service_error_status(exc: ReproError) -> int:

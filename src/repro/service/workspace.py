@@ -3,15 +3,33 @@
 A :class:`Workspace` owns two things:
 
 * **tables/** — ingested datasets, one columnar directory per table
-  (written through :mod:`repro.storage.persist`);
+  (written through :mod:`repro.storage.persist`).  Tables are **live**:
+  :meth:`Workspace.append_rows` adds a delta segment and advances the
+  table's monotonic version, with a rolling content hash per version;
 * **cache/**  — built artifacts (flat samples, zoom ladders), one
-  directory per *build key*.
+  directory per *build key*, each recording the table version (and
+  that version's content hash) it corresponds to.
 
 The build key is ``sha256(kind + table content hash + build params)``:
 the same data with the same parameters always lands on the same key,
 so a second ``build`` request is a pure cache hit, and editing the
 source data (which changes the content hash) transparently misses and
 rebuilds.  Nothing is keyed on paths or mtimes.
+
+Artifacts form **lineages**: a fresh build is its own lineage root,
+and the service's maintenance path (advancing a sample to a newer
+table version by feeding only the delta rows through
+:class:`~repro.core.maintenance.SampleMaintainer`) stores the result
+as a *new* cache entry whose manifest points back at its parent — the
+base artifact is never mutated, and a lineage keeps its root plus its
+latest maintenance hops (a hop is pruned one append after being
+superseded, bounding the disk cost of an append stream while leaving
+in-flight readers a grace window).  An artifact is *servable* as long
+as its
+recorded content hash appears in the table's version history: after an
+append, pre-append artifacts keep answering (staleness is reported)
+until maintenance or an offline rebuild supersedes them, while a
+``--replace`` re-ingest resets the history and hides them outright.
 
 A workspace constructed with ``root=None`` is **ephemeral**: the same
 API backed by process memory, used by the CLI's one-shot CSV mode so
@@ -24,16 +42,22 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import shutil
 import time
 from pathlib import Path
+
+import numpy as np
 
 from ..errors import SchemaError, StorageError, TableNotFoundError
 from ..sampling.base import SampleResult
 from ..storage.persist import (
     FORMAT_VERSION,
+    append_table,
+    content_hash_arrays,
     load_sample_result,
     open_table,
     read_json,
+    rolling_content_hash,
     save_sample_result,
     save_table,
     table_content_hash,
@@ -73,6 +97,7 @@ class Workspace:
         self._tables: dict[str, Table] = {}       # decoded-table cache
         self._hashes: dict[str, str] = {}         # name -> content hash
         self._columns: dict[str, list[dict]] = {}  # name -> column meta
+        self._versions: dict[str, list[dict]] = {}  # name -> history
         self._mem_builds: dict[str, tuple[dict, object]] = {}  # ephemeral
         if self.root is not None:
             marker = self.root / "workspace.json"
@@ -147,7 +172,129 @@ class Workspace:
             {"name": n, "type": table.column(n).ctype.name}
             for n in table.column_names
         ]
+        self._versions[table.name] = [
+            {"version": 0, "rows": len(table), "content_hash": digest}
+        ]
         return digest
+
+    def append_rows(self, name: str, arrays) -> dict:
+        """Append rows to a live table; returns the post-append info.
+
+        ``arrays`` is a ``{column: values}`` mapping covering exactly
+        the table's columns.  On disk this writes one delta segment and
+        atomically advances the table manifest
+        (:func:`repro.storage.persist.append_table`); in memory the
+        same rolling content hash is chained over the same coerced
+        bytes, so ephemeral and persistent workspaces agree on every
+        version's identity.  Decoded-table and metadata caches are
+        updated in place — the caches never go stale mid-process.
+
+        Cost: when the table is not decoded (a cold CLI append), the
+        delta segment is validated and written against the manifest
+        alone — O(delta) regardless of base size.  When it *is*
+        decoded (a serving process that also maintains artifacts), the
+        cached columns are refreshed by concatenation, an O(N) memory
+        copy; true O(delta) warm appends need segmented in-memory
+        columns (see the ROADMAP compaction item).
+        """
+        if not self.has_table(name):
+            raise TableNotFoundError(name)
+        if self.root is not None and name not in self._tables:
+            before = self.table_info(name)["rows"]
+            manifest = append_table(self._tables_dir / name, arrays)
+            delta_rows = int(manifest["rows"]) - before
+            if delta_rows > 0:
+                self._hashes[name] = manifest["content_hash"]
+                self._versions[name] = list(manifest["versions"])
+            info = self.table_info(name)
+            info["appended_rows"] = delta_rows
+            return info
+        table = self.table(name)
+        appended = table.with_appended(arrays)
+        delta_rows = len(appended) - len(table)
+        if delta_rows > 0:
+            if self.root is not None:
+                manifest = append_table(self._tables_dir / name, arrays)
+                digest = manifest["content_hash"]
+                history = list(manifest["versions"])
+            else:
+                # Hash the coerced delta columns exactly as the disk
+                # path does — not a slice of the concatenated arrays,
+                # whose dtype (e.g. string width) can differ from the
+                # standalone delta's and would fork the rolling hash.
+                delta = content_hash_arrays({
+                    n: table.column(n).ctype.coerce(np.asarray(arrays[n]))
+                    for n in table.column_names
+                })
+                digest = rolling_content_hash(self.table_hash(name), delta)
+                history = list(self.version_history(name))
+                history.append({
+                    "version": history[-1]["version"] + 1,
+                    "rows": len(appended),
+                    "content_hash": digest,
+                })
+            self._tables[name] = appended
+            self._hashes[name] = digest
+            self._versions[name] = history
+        info = self.table_info(name)
+        info["appended_rows"] = delta_rows
+        return info
+
+    # -- versions ----------------------------------------------------------
+    def version_history(self, name: str) -> list[dict]:
+        """``[{"version", "rows", "content_hash"}]``, oldest first.
+
+        Loaded from the table manifest once and kept current in memory
+        across appends; tables saved before the live-table format get a
+        synthesised single-entry history (version 0).
+        """
+        if name in self._versions:
+            return self._versions[name]
+        if self.root is not None:
+            manifest_path = self._tables_dir / name / "manifest.json"
+            if manifest_path.is_file():
+                manifest = read_json(manifest_path)
+                history = list(manifest.get("versions") or [{
+                    "version": 0, "rows": manifest["rows"],
+                    "content_hash": manifest["content_hash"],
+                }])
+                self._versions[name] = history
+                return history
+        if name in self._tables:
+            history = [{"version": 0, "rows": len(self._tables[name]),
+                        "content_hash": self.table_hash(name)}]
+            self._versions[name] = history
+            return history
+        raise TableNotFoundError(name)
+
+    def table_version(self, name: str) -> int:
+        """The table's current (newest) version number."""
+        return int(self.version_history(name)[-1]["version"])
+
+    def version_by_hash(self, name: str) -> dict[str, dict]:
+        """``content_hash -> {"version", "rows"}`` over the history.
+
+        This is the lineage-visibility index: an artifact whose
+        recorded hash appears here was built against *some* version of
+        the current table (and can serve, at a known staleness), while
+        a hash from replaced data does not appear and stays hidden.
+        """
+        return {
+            entry["content_hash"]: {"version": int(entry["version"]),
+                                    "rows": int(entry["rows"])}
+            for entry in self.version_history(name)
+        }
+
+    def delta_xy(self, name: str, x: str, y: str,
+                 start_row: int) -> np.ndarray:
+        """The ``(delta, 2)`` coordinates of rows appended after
+        ``start_row`` — what the maintenance path feeds through
+        Expand/Shrink.  Slices the columns *before* converting, so the
+        append path copies O(delta), never the full table."""
+        table = self.table(name)
+        xs = table.column(x).values[start_row:].astype(np.float64)
+        ys = table.column(y).values[start_row:].astype(np.float64)
+        return np.stack([xs, ys], axis=1)
 
     def table(self, name: str) -> Table:
         """The decoded table (loaded from disk on first access)."""
@@ -211,6 +358,7 @@ class Workspace:
                     "rows": manifest["rows"],
                     "columns": [c["name"] for c in manifest["columns"]],
                     "content_hash": manifest["content_hash"],
+                    "version": int(manifest.get("version", 0)),
                 }
         table = self.table(name)
         return {
@@ -218,6 +366,7 @@ class Workspace:
             "rows": len(table),
             "columns": table.column_names,
             "content_hash": self.table_hash(name),
+            "version": self.table_version(name),
         }
 
     # -- build cache -------------------------------------------------------
@@ -246,18 +395,38 @@ class Workspace:
             return None
         return read_json(manifest_path)
 
+    def lineage_key(self, parent_key: str, table_name: str) -> str:
+        """The cache key of a maintenance step: parent artifact
+        advanced to the table's *current* version.  Distinct from the
+        fresh-build key at the same version on purpose — a maintained
+        sample is the deterministic product of (base build + delta
+        stream), not of a from-scratch Interchange run, and the two
+        must never answer for each other in the build cache."""
+        identity = {
+            "kind": "maintained",
+            "parent": parent_key,
+            "content_hash": self.table_hash(table_name),
+        }
+        blob = json.dumps(identity, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
     def _build_manifest(self, key: str, kind: str, table_name: str,
                         params: dict, extra: dict) -> dict:
-        return {
+        manifest = {
             "format": FORMAT_VERSION,
             "kind": kind,
             "key": key,
             "table": table_name,
             "content_hash": self.table_hash(table_name),
+            "table_version": self.table_version(table_name),
             "params": params,
             "created_unix": time.time(),
             **extra,
         }
+        # Every artifact belongs to a lineage; a fresh build roots its
+        # own (maintenance steps pass their root via ``extra``).
+        manifest.setdefault("lineage", {"root": key})
+        return manifest
 
     def store_sample_build(self, key: str, table_name: str, params: dict,
                            result: SampleResult,
@@ -302,6 +471,20 @@ class Workspace:
             return manifest_and_payload[1]  # type: ignore[return-value]
         return ZoomLadder.load(self._cache_dir / key / "ladder.npz")
 
+    def drop_build(self, key: str) -> None:
+        """Remove one cached build entry (payload and manifest).
+
+        Used by the service to prune maintenance hops a newer hop has
+        superseded; lineage roots are the caller's responsibility to
+        keep.  Dropping an absent key is a no-op.
+        """
+        if self.root is None:
+            self._mem_builds.pop(key, None)
+            return
+        entry = self._cache_dir / key
+        if entry.is_dir():
+            shutil.rmtree(entry, ignore_errors=True)
+
     def builds(self, kind: str | None = None,
                table: str | None = None) -> list[dict]:
         """Manifests of every cached build, newest last.
@@ -311,12 +494,19 @@ class Workspace:
         """
         manifests: list[dict] = []
         if self.root is None:
-            manifests = [m for m, _ in self._mem_builds.values()]
+            # Snapshot: lock-free readers iterate while a mutation may
+            # be inserting a maintenance entry.
+            manifests = [m for m, _ in list(self._mem_builds.values())]
         elif self._cache_dir.is_dir():
             for entry in self._cache_dir.iterdir():
                 manifest_path = entry / "build.json"
                 if manifest_path.is_file():
-                    manifests.append(read_json(manifest_path))
+                    try:
+                        manifests.append(read_json(manifest_path))
+                    except StorageError:
+                        # Pruned mid-scan by a concurrent append's
+                        # maintenance step; skip, don't fail the read.
+                        continue
         if kind is not None:
             manifests = [m for m in manifests if m.get("kind") == kind]
         if table is not None:

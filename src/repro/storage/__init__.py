@@ -9,11 +9,13 @@ from .column import Column, ColumnType, FLOAT64, INT64, STRING
 from .database import Database
 from .persist import (
     FORMAT_VERSION,
+    append_table,
     content_hash_arrays,
     load_sample_result,
     open_database,
     open_sample_store,
     open_table,
+    rolling_content_hash,
     save_database,
     save_sample_result,
     save_sample_store,
@@ -38,6 +40,7 @@ from .zoom import (
     ZoomLadder,
     ZoomLevel,
     build_zoom_ladder,
+    patch_zoom_ladder,
 )
 
 __all__ = [
@@ -52,7 +55,9 @@ __all__ = [
     "FLOAT64",
     "FORMAT_VERSION",
     "INT64",
+    "append_table",
     "content_hash_arrays",
+    "rolling_content_hash",
     "load_sample_result",
     "open_database",
     "open_sample_store",
@@ -76,6 +81,7 @@ __all__ = [
     "ZoomQuery",
     "answer_zoom_query",
     "build_zoom_ladder",
+    "patch_zoom_ladder",
     "points_for_budget",
     "viewport_predicate",
 ]

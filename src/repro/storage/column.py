@@ -97,6 +97,12 @@ class Column:
         """A new column over ``values[start:stop]``."""
         return Column(self.name, self.ctype, self._values[start:stop])
 
+    def extended(self, values: np.ndarray) -> "Column":
+        """A new column with ``values`` (coerced) appended at the end."""
+        extra = self.ctype.coerce(np.asarray(values))
+        return Column(self.name, self.ctype,
+                      np.concatenate([self._values, extra]))
+
     def min(self) -> float:
         if not self.ctype.is_numeric:
             raise SchemaError(f"min() on non-numeric column {self.name!r}")

@@ -5,7 +5,10 @@ rungs, zoom ladders, whole databases — serialises to one directory
 tree of columnar ``.npy`` files plus JSON manifests:
 
 * a **table** is a directory: ``manifest.json`` (schema, row count,
-  content hash) next to one ``col_NN.npy`` per column;
+  content hash, version history) next to columnar segment files — the
+  initial save writes one ``col_NN.npy`` per column (segment 0), and
+  every :func:`append_table` adds a ``seg_VVVV_col_NN.npy`` delta
+  segment and bumps the manifest's monotonic ``version``;
 * a **sample result** is a directory: ``manifest.json`` (method, size,
   JSON-safe metadata) next to ``points.npy`` / ``indices.npy`` and an
   optional ``weights.npy``;
@@ -20,6 +23,14 @@ opening a workspace never executes pickled code.  Content hashes
 bytes — the :mod:`repro.service` layer keys its build cache on them,
 which is what makes "same data + same params = reuse, changed data =
 rebuild" work without timestamps or mtime heuristics.
+
+Appends are **versioned**: the manifest's ``versions`` list records,
+for every version, the cumulative row count and a *rolling* content
+hash (:func:`rolling_content_hash` — the previous version's hash
+chained with the delta segment's hash, O(delta) to compute).  A table
+is readable at any version (:func:`open_table` with ``version=``), so
+artifacts keyed on an old version's hash stay valid for that version
+after new rows arrive.
 """
 
 from __future__ import annotations
@@ -103,6 +114,18 @@ def table_content_hash(table: Table) -> str:
     )
 
 
+def rolling_content_hash(previous: str, delta: str) -> str:
+    """The content hash of a table version derived by appending.
+
+    Chaining ``sha256(previous + ":" + delta_hash)`` makes a version's
+    identity a function of the base data *and the exact append
+    history*, computable in O(delta) — the full columns never need
+    re-hashing.  The same base with the same appends in the same order
+    always lands on the same hash, on disk or in memory.
+    """
+    return hashlib.sha256(f"{previous}:{delta}".encode()).hexdigest()
+
+
 # -- tables ---------------------------------------------------------------
 
 def save_table(table: Table, directory) -> str:
@@ -110,17 +133,26 @@ def save_table(table: Table, directory) -> str:
 
     Returns the table's content hash (also recorded in the manifest).
     Column files are numbered in schema order because column *names*
-    are user data and may not be valid filenames.
+    are user data and may not be valid filenames.  The manifest starts
+    the table's version history at version 0 (one segment holding every
+    row); stale delta segments from any table previously saved at the
+    same path are removed so the directory never mixes histories.
     """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
+    # Both delta segments and column files from any previously saved
+    # table go: a re-save with fewer columns must not leave orphans.
+    for stale in (*root.glob("seg_*.npy"), *root.glob("col_*.npy")):
+        stale.unlink()
     columns = []
+    files = []
     for pos, name in enumerate(table.column_names):
         column = table.column(name)
         filename = f"col_{pos:02d}.npy"
         np.save(root / filename, column.values, allow_pickle=False)
         columns.append({"name": name, "type": column.ctype.name,
                         "file": filename})
+        files.append(filename)
     digest = table_content_hash(table)
     write_json(root / "manifest.json", {
         "format": FORMAT_VERSION,
@@ -129,21 +161,118 @@ def save_table(table: Table, directory) -> str:
         "rows": len(table),
         "columns": columns,
         "content_hash": digest,
+        "version": 0,
+        "versions": [{"version": 0, "rows": len(table),
+                      "content_hash": digest}],
+        "segments": [{"version": 0, "rows": len(table), "files": files}],
     })
     return digest
 
 
-def open_table(directory) -> Table:
-    """Load a table written by :func:`save_table`."""
+def _segments_of(manifest: dict) -> list[dict]:
+    """The manifest's segment list (synthesised for pre-append saves)."""
+    if "segments" in manifest:
+        return manifest["segments"]
+    return [{"version": 0, "rows": manifest["rows"],
+             "files": [spec["file"] for spec in manifest["columns"]]}]
+
+
+def _versions_of(manifest: dict) -> list[dict]:
+    """The manifest's version history (synthesised, like segment 0, for
+    tables saved before the live-table format — their base hash must
+    stay in the history or every pre-append artifact would go dark)."""
+    if "versions" in manifest:
+        return manifest["versions"]
+    return [{"version": 0, "rows": manifest["rows"],
+             "content_hash": manifest["content_hash"]}]
+
+
+def append_table(directory, arrays: Mapping[str, np.ndarray]) -> dict:
+    """Append rows to a saved table as a new delta segment.
+
+    ``arrays`` must cover exactly the table's columns (values are
+    coerced to the declared types).  Writes one
+    ``seg_VVVV_col_NN.npy`` per column, then atomically replaces the
+    manifest with version ``V`` appended to the history — a reader
+    holding the old manifest, or asking for an old version, still sees
+    exactly the rows of that version.  Returns the updated manifest.
+    """
     root = Path(directory)
     manifest = read_json(root / "manifest.json")
     if manifest.get("kind") != "table":
         raise StorageError(f"{root} is not a saved table")
-    columns = [
-        Column(spec["name"], ColumnType(spec["type"]),
-               np.load(root / spec["file"], allow_pickle=False))
-        for spec in manifest["columns"]
+    specs = manifest["columns"]
+    expected = [spec["name"] for spec in specs]
+    if set(arrays) != set(expected):
+        raise StorageError(
+            f"append columns {sorted(arrays)} do not match table "
+            f"columns {expected}"
+        )
+    coerced = {
+        spec["name"]: ColumnType(spec["type"]).coerce(
+            np.asarray(arrays[spec["name"]]))
+        for spec in specs
+    }
+    lengths = {len(v) for v in coerced.values()}
+    if len(lengths) != 1:
+        raise StorageError(f"append column lengths differ: {sorted(lengths)}")
+    n_rows = lengths.pop()
+    if n_rows == 0:
+        return manifest
+    version = int(manifest.get("version", 0)) + 1
+    files = []
+    for pos, spec in enumerate(specs):
+        filename = f"seg_{version:04d}_col_{pos:02d}.npy"
+        np.save(root / filename, coerced[spec["name"]], allow_pickle=False)
+        files.append(filename)
+    delta = content_hash_arrays({n: coerced[n] for n in expected})
+    digest = rolling_content_hash(manifest["content_hash"], delta)
+    # History entries are derived from the *pre-append* manifest (the
+    # synthesised fallbacks must describe the old state, not the new).
+    history = _versions_of(manifest)
+    segments = _segments_of(manifest)
+    manifest = dict(manifest)
+    manifest["version"] = version
+    manifest["rows"] = int(manifest["rows"]) + n_rows
+    manifest["content_hash"] = digest
+    manifest["versions"] = history + [
+        {"version": version, "rows": manifest["rows"],
+         "content_hash": digest}
     ]
+    manifest["segments"] = segments + [
+        {"version": version, "rows": n_rows, "files": files}
+    ]
+    write_json(root / "manifest.json", manifest)
+    return manifest
+
+
+def open_table(directory, version: int | None = None) -> Table:
+    """Load a table written by :func:`save_table` / :func:`append_table`.
+
+    ``version=None`` loads the newest version; an explicit ``version``
+    reconstructs the table exactly as it was at that point in the
+    append history (segments beyond it are simply not read).
+    """
+    root = Path(directory)
+    manifest = read_json(root / "manifest.json")
+    if manifest.get("kind") != "table":
+        raise StorageError(f"{root} is not a saved table")
+    current = int(manifest.get("version", 0))
+    if version is None:
+        version = current
+    if not (0 <= version <= current):
+        raise StorageError(
+            f"{root} has no version {version} (history is 0..{current})"
+        )
+    segments = [s for s in _segments_of(manifest)
+                if int(s["version"]) <= version]
+    columns = []
+    for pos, spec in enumerate(manifest["columns"]):
+        parts = [np.load(root / seg["files"][pos], allow_pickle=False)
+                 for seg in segments]
+        values = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        columns.append(Column(spec["name"], ColumnType(spec["type"]),
+                              values))
     return Table(manifest["name"], columns)
 
 

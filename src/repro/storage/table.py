@@ -107,6 +107,24 @@ class Table:
         return Table(self.name, [self._columns[c].slice(0, n)
                                  for c in self._order])
 
+    def with_appended(self, arrays: Mapping[str, np.ndarray]) -> "Table":
+        """A new table with the given rows appended.
+
+        ``arrays`` must cover exactly this table's columns; values are
+        coerced to the declared column types.  The table itself stays
+        immutable — appendable *storage* is built on top of this in
+        :mod:`repro.storage.persist` / the service workspace.
+        """
+        if set(arrays) != set(self._order):
+            raise SchemaError(
+                f"append columns {sorted(arrays)} do not match table "
+                f"columns {self._order}"
+            )
+        return Table(self.name, [
+            self._columns[n].extended(np.asarray(arrays[n]))
+            for n in self._order
+        ])
+
     # -- scans ----------------------------------------------------------------
     def scan(self, x_column: str, y_column: str,
              chunk_size: int = 65536) -> Iterator[np.ndarray]:

@@ -219,6 +219,95 @@ class ZoomLadder:
         return out
 
 
+def patch_zoom_ladder(ladder: ZoomLadder, points: np.ndarray,
+                      indices: np.ndarray) -> tuple[ZoomLadder, dict]:
+    """Online ladder maintenance: fold appended rows into every rung.
+
+    The offline builder's invariant — at most ``k_per_tile`` sample
+    points per tile — is preserved by construction: each appended row
+    joins the tiles (one per level) that still have budget, in append
+    order, and is skipped where the tile is already full.  Empty tiles
+    (a brand-new data region) therefore get covered immediately, which
+    is exactly what a viewport query over freshly appended territory
+    needs, while dense tiles accrue *staleness* instead of being
+    re-sampled — re-running VAS inside a full tile is offline work by
+    design, and the skip counts tell the service when to flag the
+    ladder for that rebuild.
+
+    The root viewport is fixed at build time; rows landing outside it
+    clamp into the border tiles (the same clamp the builder applies to
+    edge points).  Such rows are counted in the returned stats'
+    ``out_of_root`` — a ladder receiving them cannot represent the new
+    extent until an offline rebuild re-fits the root, which is what
+    the service's staleness flag reports.  Returns ``(new ladder,
+    stats)`` — the input ladder is never mutated — where ``stats`` has
+    per-level ``applied`` / ``skipped`` counts and their totals.
+    """
+    pts = as_points(points)
+    idx = np.asarray(indices, dtype=np.int64)
+    if len(pts) != len(idx):
+        raise ConfigurationError(
+            f"patch arrays disagree: {len(pts)} points, {len(idx)} indices"
+        )
+    root = ladder.root
+    out_of_root = int(np.sum(
+        (pts[:, 0] < root.xmin) | (pts[:, 0] > root.xmax)
+        | (pts[:, 1] < root.ymin) | (pts[:, 1] > root.ymax)
+    )) if len(pts) else 0
+    levels = []
+    per_level = []
+    total_applied = 0
+    total_skipped = 0
+    for rung in ladder.levels:
+        if len(pts) == 0:
+            per_level.append({"level": rung.level, "applied": 0,
+                              "skipped": 0})
+            levels.append(rung)  # unchanged rungs are shared, not copied
+            continue
+        tiles = _tile_of(pts, ladder.root, rung.tiles_per_axis)
+        # Vectorized first-come-first-kept per tile: a stable sort
+        # groups the delta by tile while preserving append order, the
+        # within-group rank says how many earlier delta rows target
+        # the same tile, and a row survives iff rank < remaining
+        # budget (k_per_tile minus the tile's current occupancy).
+        # Identical keep set to the per-point scan, no Python loop.
+        order = np.argsort(tiles, kind="stable")
+        sorted_tiles = tiles[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_tiles[1:] != sorted_tiles[:-1]])
+        group_sizes = np.diff(np.r_[starts, len(sorted_tiles)])
+        rank = np.arange(len(sorted_tiles)) - np.repeat(starts,
+                                                        group_sizes)
+        uniq, counts = np.unique(rung.tile_ids, return_counts=True)
+        slot = np.searchsorted(uniq, sorted_tiles)
+        slot_clipped = np.minimum(slot, max(len(uniq) - 1, 0))
+        occupied = np.where(
+            (slot < len(uniq)) & (uniq[slot_clipped] == sorted_tiles),
+            counts[slot_clipped], 0) if len(uniq) else np.zeros(
+                len(sorted_tiles), dtype=np.int64)
+        keep = np.zeros(len(pts), dtype=bool)
+        keep[order] = rank < (ladder.k_per_tile - occupied)
+        applied = int(keep.sum())
+        skipped = len(pts) - applied
+        total_applied += applied
+        total_skipped += skipped
+        per_level.append({"level": rung.level, "applied": applied,
+                          "skipped": skipped})
+        if applied == 0:
+            levels.append(rung)  # unchanged rungs are shared, not copied
+            continue
+        levels.append(ZoomLevel(
+            level=rung.level,
+            points=np.concatenate([rung.points, pts[keep]], axis=0),
+            indices=np.concatenate([rung.indices, idx[keep]]),
+            tile_ids=np.concatenate([rung.tile_ids, tiles[keep]]),
+        ))
+    patched = ZoomLadder(root=ladder.root, levels=levels,
+                         k_per_tile=ladder.k_per_tile, method=ladder.method)
+    return patched, {"applied": total_applied, "skipped": total_skipped,
+                     "out_of_root": out_of_root, "levels": per_level}
+
+
 def _tile_of(points: np.ndarray, root: Viewport,
              tiles_per_axis: int) -> np.ndarray:
     """Flattened tile number of every point (edge points clamp inward)."""

@@ -174,3 +174,124 @@ class TestErrors:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+
+
+class TestAppendEndpoint:
+    def test_append_rows_positional(self, server_url):
+        payload = post_json(f"{server_url}/append", {
+            "table": "demo", "rows": [[0.5, 0.5], [3.5, 1.5]]})
+        assert payload["version"] == 1
+        assert payload["appended_rows"] == 2
+        assert payload["rows"] == 502
+        kinds = {m["kind"]: m["action"] for m in payload["maintenance"]}
+        assert kinds == {"sample": "needs_rebuild", "ladder": "maintained"}
+        # The fixture's sample is uniform (not maintainable); the
+        # ladder advanced, so the viewport keeps answering.
+        viewport = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2")
+        assert viewport["returned_rows"] > 0
+
+    def test_append_columns_by_name(self, server_url):
+        payload = post_json(f"{server_url}/append", {
+            "table": "demo", "columns": {"x": [1.0], "y": [0.5]}})
+        assert payload["appended_rows"] == 1
+
+    def test_tables_reports_version_and_staleness(self, server_url):
+        post_json(f"{server_url}/append", {
+            "table": "demo", "rows": [[0.1, 0.1]]})
+        table = get_json(f"{server_url}/tables")["tables"][0]
+        assert table["version"] == 1
+        assert table["rows"] == 501
+        staleness = table["staleness"]
+        assert staleness["artifacts"] == 2
+        # The uniform sample cannot be maintained online.
+        assert staleness["needs_rebuild"] == 1
+        assert staleness["max_stale_rows"] == 1
+
+    def test_append_requires_exactly_one_payload(self, server_url):
+        code, message = error_of(lambda: post_json(
+            f"{server_url}/append", {"table": "demo"}))
+        assert code == 400 and "rows" in message
+        code, _ = error_of(lambda: post_json(
+            f"{server_url}/append",
+            {"table": "demo", "rows": [[1, 2]], "columns": {"x": [1]}}))
+        assert code == 400
+
+    def test_append_payloads_must_match_their_key(self, server_url):
+        """A JSON array under 'columns' must be rejected, not silently
+        read as positional rows (which would append transposed data);
+        likewise an object under 'rows'."""
+        code, message = error_of(lambda: post_json(
+            f"{server_url}/append",
+            {"table": "demo", "columns": [[1.0, 2.0], [3.0, 4.0]]}))
+        assert code == 400 and "JSON object" in message
+        code, message = error_of(lambda: post_json(
+            f"{server_url}/append",
+            {"table": "demo", "rows": {"x": [1.0], "y": [2.0]}}))
+        assert code == 400 and "JSON array" in message
+
+    def test_append_unknown_table(self, server_url):
+        code, _ = error_of(lambda: post_json(
+            f"{server_url}/append", {"table": "nope", "rows": [[1, 2]]}))
+        assert code == 404
+
+    def test_append_bad_shape(self, server_url):
+        code, _ = error_of(lambda: post_json(
+            f"{server_url}/append", {"table": "demo",
+                                     "rows": [[1.0, 2.0, 3.0]]}))
+        assert code == 400
+
+
+class TestGracefulShutdown:
+    @pytest.mark.parametrize("signum", ["SIGTERM", "SIGINT"])
+    def test_serve_shuts_down_cleanly(self, tmp_path, signum):
+        """repro serve under SIGTERM/SIGINT: stops accepting, finishes
+        up, closes the workspace, exits 0."""
+        import os
+        import signal as signal_module
+        import subprocess
+        import sys
+        import time
+        import urllib.request as request
+
+        gen = np.random.default_rng(3)
+        csv = tmp_path / "d.csv"
+        data = np.column_stack([gen.random(200), gen.random(200)])
+        np.savetxt(csv, data, delimiter=",", header="x,y", comments="")
+        svc = VasService(Workspace(tmp_path / "ws"))
+        svc.ingest_csv(csv, name="demo")
+
+        import pathlib
+        import re
+
+        env = dict(os.environ)
+        repo_src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        server = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--workspace", str(tmp_path / "ws"), "--port", "0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # The ephemeral port is printed on the first line.
+            line = server.stdout.readline()
+            port = int(re.search(r"http://[\d.]+:(\d+)", line).group(1))
+            base = f"http://127.0.0.1:{port}"
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    with request.urlopen(f"{base}/healthz", timeout=1):
+                        break
+                except OSError:
+                    time.sleep(0.1)
+            server.send_signal(getattr(signal_module, signum))
+            code = server.wait(timeout=15)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=5)
+        assert code == 0
+        output = server.stdout.read()
+        assert "finishing in-flight requests" in output
+        assert "workspace closed" in output

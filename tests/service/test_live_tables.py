@@ -1,0 +1,533 @@
+"""Tests for live tables: appends + incremental artifact maintenance.
+
+The load-bearing properties of PR 4:
+
+* appends advance a versioned table whose every version stays readable
+  and hash-addressable (ephemeral and persistent workspaces agree);
+* the maintained sample served after appends is **bit-identical** to
+  :class:`~repro.core.maintenance.SampleMaintainer` run directly on
+  the same base sample and delta stream — including §V density
+  weights, across service restarts (i.e. through the persistence
+  round trip);
+* the warm path never builds, *even under appends*: with the builders
+  monkeypatched to explode, ``append → viewport → sample`` succeeds
+  purely via the maintenance path;
+* the :class:`~repro.service.MaintenancePolicy` defers, maintains, or
+  flags artifacts as promised, and ``tables()`` reports staleness;
+* GET-path reads never serialize behind the mutation lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.core.kernel import make_kernel
+from repro.core.maintenance import SampleMaintainer
+from repro.errors import SchemaError, TableNotFoundError
+from repro.service import MaintenancePolicy, VasService, Workspace
+
+ROWS = 500
+
+
+def demo_arrays(rows: int = ROWS, seed: int = 5) -> dict:
+    gen = np.random.default_rng(seed)
+    return {"lon": gen.random(rows) * 10, "lat": gen.random(rows) * 5}
+
+
+def write_csv(path, arrays: dict) -> None:
+    np.savetxt(path, np.column_stack(list(arrays.values())),
+               delimiter=",", header=",".join(arrays), comments="")
+
+
+@pytest.fixture()
+def demo_csv(tmp_path):
+    path = tmp_path / "demo.csv"
+    write_csv(path, demo_arrays())
+    return path
+
+
+@pytest.fixture()
+def service(tmp_path, demo_csv):
+    svc = VasService(Workspace(tmp_path / "ws"))
+    svc.ingest_csv(demo_csv, name="demo")
+    return svc
+
+
+def forbid_builders(monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("builder invoked on the warm path")
+
+    monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+    monkeypatch.setattr(service_module, "build_method_sample", boom)
+
+
+def delta_rows(rows: int, seed: int) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return np.column_stack([gen.random(rows) * 10, gen.random(rows) * 5])
+
+
+class TestVersionedAppends:
+    def test_append_bumps_version_and_rows(self, service):
+        info = service.append_rows("demo", delta_rows(40, 1))
+        assert info["version"] == 1
+        assert info["rows"] == ROWS + 40
+        assert info["appended_rows"] == 40
+        info = service.append_rows("demo", delta_rows(10, 2))
+        assert info["version"] == 2
+        assert info["rows"] == ROWS + 50
+
+    def test_append_by_column_name(self, service):
+        info = service.append_rows("demo", {
+            "lon": np.array([1.0, 2.0]), "lat": np.array([3.0, 4.0])})
+        assert info["appended_rows"] == 2
+
+    def test_empty_append_is_noop(self, service):
+        info = service.append_rows("demo", [])
+        assert info["appended_rows"] == 0
+        assert info["version"] == 0
+        assert info["maintenance"] == []
+
+    def test_bad_append_shapes(self, service):
+        with pytest.raises(SchemaError):
+            service.append_rows("demo", [[1.0, 2.0, 3.0]])
+        with pytest.raises(SchemaError):
+            service.append_rows("demo", [["a", "b"]])
+        with pytest.raises(TableNotFoundError):
+            service.append_rows("nope", [[1.0, 2.0]])
+
+    def test_appends_survive_reopen(self, service, tmp_path):
+        service.append_rows("demo", delta_rows(25, 3))
+        fresh = VasService(Workspace(tmp_path / "ws"))
+        info = fresh.workspace.table_info("demo")
+        assert info["version"] == 1
+        assert info["rows"] == ROWS + 25
+        assert len(fresh.workspace.table("demo")) == ROWS + 25
+
+    def test_ephemeral_and_disk_hashes_agree(self, tmp_path, demo_csv):
+        """The rolling content hash is the same identity in memory and
+        on disk — ephemeral and persistent runs land on the same
+        version hashes for the same append history."""
+        disk = VasService(Workspace(tmp_path / "ws2"))
+        disk.ingest_csv(demo_csv, name="demo")
+        mem = VasService(Workspace(None))
+        mem.ingest_csv(demo_csv, name="demo")
+        delta = delta_rows(30, 4)
+        a = disk.append_rows("demo", delta)
+        b = mem.append_rows("demo", delta)
+        assert a["content_hash"] == b["content_hash"]
+        assert a["version"] == b["version"] == 1
+
+    def test_string_column_hashes_agree_across_backends(self, tmp_path):
+        """Regression: the ephemeral branch must hash the coerced
+        delta itself, not a slice of the concatenated arrays — a
+        string column whose base values are wider than the appended
+        ones would otherwise fork the rolling hash from the disk
+        path's."""
+        from repro.storage import Table
+
+        def make():
+            return Table.from_arrays("t", {
+                "x": np.arange(4.0), "y": np.arange(4.0),
+                "tag": np.array(["averylongname", "b", "c", "d"]),
+            })
+
+        disk = Workspace(tmp_path / "wss")
+        disk.add_table(make())
+        mem = Workspace(None)
+        mem.add_table(make())
+        delta = {"x": np.array([9.0]), "y": np.array([9.0]),
+                 "tag": np.array(["ab"])}
+        assert (disk.append_rows("t", delta)["content_hash"]
+                == mem.append_rows("t", delta)["content_hash"])
+
+    def test_replace_resets_lineage(self, service, demo_csv, tmp_path,
+                                    monkeypatch):
+        """--replace re-ingest hides artifacts from the old history —
+        appends extend a lineage, replace starts a new one."""
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        service.append_rows("demo", delta_rows(20, 5))
+        edited = tmp_path / "edited.csv"
+        write_csv(edited, demo_arrays(rows=200, seed=6))
+        service.ingest_csv(edited, name="demo", replace=True)
+        forbid_builders(monkeypatch)
+        from repro.errors import SampleNotFoundError
+
+        with pytest.raises(SampleNotFoundError):
+            service.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+
+
+class TestSampleMaintenance:
+    def test_bit_identical_to_direct_maintainer(self, service, tmp_path):
+        """After N appends the served sample must be exactly what
+        SampleMaintainer produces on the same delta stream."""
+        built = service.build_sample("demo", 30, method="vas", seed=1)
+        deltas = [delta_rows(60, 7), delta_rows(35, 8)]
+        # Restart the service between appends: maintenance state must
+        # live entirely in the workspace, not the process.
+        service.append_rows("demo", deltas[0])
+        fresh = VasService(Workspace(tmp_path / "ws"))
+        info = fresh.append_rows("demo", deltas[1])
+        steps = [s for s in info["maintenance"] if s["kind"] == "sample"]
+        assert [s["action"] for s in steps] == ["maintained"]
+        served = fresh.workspace.load_sample_build(steps[0]["new_key"])
+
+        kernel = make_kernel(built.manifest["kernel"],
+                             built.manifest["epsilon"])
+        direct = SampleMaintainer(built.result, kernel,
+                                  next_source_id=ROWS)
+        direct.append(deltas[0])
+        direct.append(deltas[1])
+        expected = direct.sample
+
+        assert np.array_equal(served.points, expected.points)
+        assert np.array_equal(served.indices, expected.indices)
+        assert served.metadata["objective"] == pytest.approx(
+            expected.metadata["objective"], abs=0.0)
+
+        # And the query path serves exactly this artifact.
+        result = fresh.sample_query("demo", method="vas")
+        assert np.array_equal(result.points, expected.points)
+
+    def test_density_weights_survive_round_trip(self, service, tmp_path):
+        """§V counters are maintained through the swap chain and the
+        columnar persistence round trip, staying a partition of all
+        rows seen."""
+        built = service.build_sample("demo", 25, method="vas+density",
+                                    seed=2)
+        delta = delta_rows(80, 9)
+        info = service.append_rows("demo", delta)
+        step = [s for s in info["maintenance"]
+                if s["kind"] == "sample"][0]
+
+        fresh = VasService(Workspace(tmp_path / "ws"))
+        served = fresh.workspace.load_sample_build(step["new_key"])
+        kernel = make_kernel(built.manifest["kernel"],
+                             built.manifest["epsilon"])
+        direct = SampleMaintainer(built.result, kernel,
+                                  next_source_id=ROWS)
+        direct.append(delta)
+        expected = direct.sample
+        assert served.weights is not None
+        assert np.array_equal(served.weights, expected.weights)
+        assert served.weights.sum() == pytest.approx(ROWS + 80)
+        assert served.method == "vas+density"
+
+    def test_maintenance_objective_never_worse(self, service):
+        built = service.build_sample("demo", 30, method="vas", seed=3)
+        before = built.result.metadata["objective"]
+        info = service.append_rows("demo", delta_rows(50, 10))
+        step = [s for s in info["maintenance"]
+                if s["kind"] == "sample"][0]
+        after = service.workspace.load_sample_build(
+            step["new_key"]).metadata["objective"]
+        assert after <= before + 1e-9
+
+    def test_uniform_sample_flagged_not_maintained(self, service):
+        service.build_sample("demo", 30, method="uniform", seed=1)
+        info = service.append_rows("demo", delta_rows(20, 11))
+        step = [s for s in info["maintenance"]
+                if s["kind"] == "sample"][0]
+        assert step["action"] == "needs_rebuild"
+        # Stale but still serving (bounded staleness beats a 404).
+        result = service.sample_query("demo", method="uniform")
+        assert result.sample_size == 30
+        staleness = service._staleness("demo")
+        assert staleness["needs_rebuild"] == 1
+        assert staleness["max_stale_rows"] == 20
+
+
+class TestLineageHygiene:
+    def test_superseded_maintenance_hops_are_pruned(self, service,
+                                                    tmp_path):
+        """An append stream keeps the root + the last two maintenance
+        hops per lineage on disk — a hop is pruned one append after it
+        is superseded (the grace window for in-flight readers), so
+        older intermediates are dropped and disk stays O(1)."""
+        root_key = service.build_sample("demo", 25, method="vas",
+                                        seed=1).key
+        keys = []
+        for seed in (30, 31, 32, 33):
+            info = service.append_rows("demo", delta_rows(20, seed))
+            step = [s for s in info["maintenance"]
+                    if s["kind"] == "sample"][0]
+            keys.append(step["new_key"])
+        cache = tmp_path / "ws" / "cache"
+        assert (cache / root_key).is_dir()        # root kept
+        for kept in keys[-2:]:                    # last two hops kept
+            assert (cache / kept).is_dir()
+        for pruned in keys[:-2]:                  # older hops gone
+            assert not (cache / pruned).exists()
+        # And the newest one is what serves.
+        assert service.sample_query("demo", method="vas").sample_size == 25
+
+    def test_failed_maintenance_does_not_fail_the_append(self, service,
+                                                         tmp_path):
+        """The rows land durably before maintenance runs; one corrupt
+        cache entry must not turn the append into an error (clients
+        retrying a 500 would duplicate rows) nor block other
+        artifacts."""
+        service.build_sample("demo", 25, method="vas", seed=1)
+        ladder_key = service.build_ladder("demo", levels=2,
+                                          k_per_tile=20).key
+        service.close()  # drop the decoded LRU so the load must hit disk
+        (tmp_path / "ws" / "cache" / ladder_key / "ladder.npz").unlink()
+        info = service.append_rows("demo", delta_rows(30, 33))
+        assert info["version"] == 1
+        assert info["appended_rows"] == 30
+        actions = {s["kind"]: s["action"] for s in info["maintenance"]}
+        assert actions["ladder"] == "failed"
+        assert actions["sample"] == "maintained"
+        assert "error" in [s for s in info["maintenance"]
+                           if s["kind"] == "ladder"][0]
+
+    def test_append_to_pre_live_workspace_maintains(self, service,
+                                                    tmp_path):
+        """A workspace written before the live-table format (no
+        version history in the table manifest, no table_version in
+        build.json) must keep its artifacts through the first
+        append."""
+        import json as json_module
+
+        service.build_sample("demo", 25, method="vas", seed=1)
+        # Rewrite the manifests the way the previous release left them.
+        table_manifest = tmp_path / "ws" / "tables" / "demo" / "manifest.json"
+        legacy = json_module.loads(table_manifest.read_text())
+        for key in ("version", "versions", "segments"):
+            legacy.pop(key)
+        table_manifest.write_text(json_module.dumps(legacy))
+        for build in (tmp_path / "ws" / "cache").iterdir():
+            path = build / "build.json"
+            manifest = json_module.loads(path.read_text())
+            for key in ("table_version", "lineage"):
+                manifest.pop(key, None)
+            path.write_text(json_module.dumps(manifest))
+
+        fresh = VasService(Workspace(tmp_path / "ws"))
+        info = fresh.append_rows("demo", delta_rows(15, 34))
+        step = [s for s in info["maintenance"] if s["kind"] == "sample"][0]
+        assert step["action"] == "maintained"
+        assert fresh.sample_query("demo", method="vas").sample_size == 25
+
+
+class TestWarmPathUnderAppends:
+    """The ISSUE-4 acceptance property: builders monkeypatched to
+    explode, POST /append then GET /viewport and /sample succeed via
+    the maintenance path only."""
+
+    def test_append_then_query_never_builds(self, service, tmp_path,
+                                            monkeypatch):
+        service.build_sample("demo", 30, method="vas", seed=1)
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        forbid_builders(monkeypatch)
+        fresh = VasService(Workspace(tmp_path / "ws"))
+        info = fresh.append_rows("demo", delta_rows(45, 12))
+        actions = {s["kind"]: s["action"] for s in info["maintenance"]}
+        assert actions == {"sample": "maintained", "ladder": "maintained"}
+        viewport = fresh.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+        assert viewport.returned_rows > 0
+        sample = fresh.sample_query("demo", method="vas")
+        assert sample.sample_size == 30
+
+    def test_maintained_ladder_covers_new_region(self, tmp_path):
+        """Rows appended into an in-root hole become visible to
+        viewport queries without any rebuild."""
+        ws = Workspace(tmp_path / "wsl")
+        svc = VasService(ws)
+        arrays = demo_arrays()
+        # Pin the root to [0, 10] x [0, 5] but leave the right half
+        # of lon empty, so the hole's tiles exist and are empty.
+        arrays["lon"] = arrays["lon"] / 2.0
+        arrays["lon"][0], arrays["lat"][0] = 10.0, 5.0
+        csv = tmp_path / "holes.csv"
+        write_csv(csv, arrays)
+        svc.ingest_csv(csv, name="demo")
+        svc.build_ladder("demo", levels=3, k_per_tile=25)
+        hole = (7.0, 1.0, 9.0, 4.0)
+        assert svc.viewport("demo", hole).returned_rows == 0
+        gen = np.random.default_rng(13)
+        delta = np.column_stack([gen.uniform(7.2, 8.8, 50),
+                                 gen.uniform(1.2, 3.8, 50)])
+        info = svc.append_rows("demo", delta)
+        ladder_step = [s for s in info["maintenance"]
+                       if s["kind"] == "ladder"][0]
+        assert ladder_step["action"] == "maintained"
+        assert ladder_step["applied"] > 0
+        assert svc.viewport("demo", hole).returned_rows > 0
+
+    def test_out_of_root_append_flags_ladder(self, service):
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        far = np.column_stack([np.full(10, 50.0), np.full(10, 50.0)])
+        info = service.append_rows("demo", far)
+        staleness = info["staleness"]
+        ladder_state = [a for a in staleness["detail"]
+                        if a["kind"] == "ladder"][0]
+        assert ladder_state["needs_rebuild"] is True
+
+
+class TestPolicy:
+    def test_defer_below_threshold_then_catch_up(self, tmp_path,
+                                                 demo_csv):
+        svc = VasService(Workspace(tmp_path / "ws"),
+                         policy=MaintenancePolicy(maintain_after_rows=60))
+        svc.ingest_csv(demo_csv, name="demo")
+        built = svc.build_sample("demo", 25, method="vas", seed=4)
+        first = delta_rows(40, 14)
+        info = svc.append_rows("demo", first)
+        step = [s for s in info["maintenance"] if s["kind"] == "sample"][0]
+        assert step["action"] == "deferred"
+        # Deferred artifacts still serve, and staleness says how far
+        # behind they are.
+        assert svc.sample_query("demo", method="vas").sample_size == 25
+        assert info["staleness"]["max_stale_rows"] == 40
+
+        second = delta_rows(30, 15)
+        info = svc.append_rows("demo", second)
+        step = [s for s in info["maintenance"] if s["kind"] == "sample"][0]
+        assert step["action"] == "maintained"
+        assert step["stale_rows"] == 70  # both batches applied at once
+
+        kernel = make_kernel(built.manifest["kernel"],
+                             built.manifest["epsilon"])
+        direct = SampleMaintainer(built.result, kernel,
+                                  next_source_id=ROWS)
+        direct.append(np.concatenate([first, second]))
+        served = svc.workspace.load_sample_build(step["new_key"])
+        assert np.array_equal(served.points, direct.sample.points)
+        assert np.array_equal(served.indices, direct.sample.indices)
+
+    def test_staleness_bound_flags_for_rebuild(self, tmp_path, demo_csv):
+        svc = VasService(Workspace(tmp_path / "ws"),
+                         policy=MaintenancePolicy(rebuild_after_rows=50))
+        svc.ingest_csv(demo_csv, name="demo")
+        svc.build_ladder("demo", levels=2, k_per_tile=20)
+        info = svc.append_rows("demo", delta_rows(120, 16))
+        step = [s for s in info["maintenance"] if s["kind"] == "ladder"][0]
+        assert step["action"] == "needs_rebuild"
+        # Still serving the stale rung; /tables shows the flag.
+        assert svc.viewport("demo", (0.0, 0.0, 10.0, 5.0)).returned_rows > 0
+        table = svc.tables()[0]
+        assert table["staleness"]["needs_rebuild"] == 1
+        # An offline rebuild clears it.
+        rebuilt = svc.build_ladder("demo", levels=2, k_per_tile=20)
+        assert rebuilt.cached is False
+        assert svc.tables()[0]["staleness"]["needs_rebuild"] == 0
+
+    def test_unrepresented_rows_accumulate_to_rebuild_flag(self, tmp_path,
+                                                           demo_csv):
+        """Rows the finest rung keeps dropping (full tiles) accumulate
+        across maintenance hops; past the staleness bound the ladder
+        is flagged even though every append was 'maintained'."""
+        svc = VasService(Workspace(tmp_path / "ws"),
+                         policy=MaintenancePolicy(rebuild_after_rows=60))
+        svc.ingest_csv(demo_csv, name="demo")
+        # Tiny per-tile budget: the base data already fills each tile.
+        svc.build_ladder("demo", levels=1, k_per_tile=4)
+        flagged = []
+        for seed in (40, 41, 42):  # 3 x 30 dense rows, each below bound
+            info = svc.append_rows("demo", delta_rows(30, seed))
+            step = [s for s in info["maintenance"]
+                    if s["kind"] == "ladder"][0]
+            assert step["action"] == "maintained"
+            flagged.append(info["staleness"]["needs_rebuild"])
+        # First append drops 30 (under the bound), by the third the
+        # accumulated unrepresented rows exceed 60 and the flag trips.
+        assert flagged[0] == 0
+        assert flagged[-1] == 1
+
+    def test_unmaintainable_sample_flagged_even_when_deferred(
+            self, tmp_path, demo_csv):
+        """A uniform sample below the defer threshold must report
+        needs_rebuild, not 'deferred' — no catch-up is coming."""
+        svc = VasService(Workspace(tmp_path / "ws"),
+                         policy=MaintenancePolicy(maintain_after_rows=100))
+        svc.ingest_csv(demo_csv, name="demo")
+        svc.build_sample("demo", 20, method="uniform", seed=1)
+        info = svc.append_rows("demo", delta_rows(10, 43))
+        step = [s for s in info["maintenance"] if s["kind"] == "sample"][0]
+        assert step["action"] == "needs_rebuild"
+        assert info["staleness"]["needs_rebuild"] == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(SchemaError):
+            MaintenancePolicy(maintain_after_rows=0)
+        with pytest.raises(SchemaError):
+            MaintenancePolicy(rebuild_after_rows=0)
+        # A defer threshold past the rebuild bound would let /append
+        # and /tables disagree about the same artifact.
+        with pytest.raises(SchemaError):
+            MaintenancePolicy(maintain_after_rows=200,
+                              rebuild_after_rows=100)
+
+
+class TestConcurrency:
+    def test_reads_do_not_wait_for_mutation_lock(self, service):
+        """The satellite regression: GETs must not serialize behind
+        the mutation lock.  Holding it (as a build/append would) must
+        leave viewport answers flowing."""
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        service.viewport("demo", (0.0, 0.0, 10.0, 5.0))  # warm the LRU
+        done = threading.Event()
+        rows = []
+
+        def read():
+            rows.append(service.viewport(
+                "demo", (0.0, 0.0, 10.0, 5.0)).returned_rows)
+            done.set()
+
+        assert service._mutate_lock.acquire(timeout=1)
+        try:
+            thread = threading.Thread(target=read)
+            thread.start()
+            assert done.wait(timeout=2), \
+                "viewport blocked behind the mutation lock"
+            thread.join(timeout=2)
+        finally:
+            service._mutate_lock.release()
+        assert rows and rows[0] > 0
+
+    def test_overlapping_reads_and_appends(self, service):
+        """Readers hammering viewport/sample during a stream of
+        appends see only consistent states and no errors."""
+        service.build_sample("demo", 25, method="vas", seed=5)
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    viewport = service.viewport(
+                        "demo", (0.0, 0.0, 10.0, 5.0))
+                    assert viewport.returned_rows > 0
+                    sample = service.sample_query("demo", method="vas")
+                    assert sample.sample_size == 25
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seed in range(6):
+                service.append_rows("demo", delta_rows(15, 20 + seed))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5)
+        assert errors == []
+        assert service.workspace.table_version("demo") == 6
+
+    def test_close_is_idempotent_barrier(self, service):
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        service.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+        service.close()
+        service.close()
+        assert len(service._ladders) == 0
+        # A closed service still answers (caches simply refill).
+        assert service.viewport(
+            "demo", (0.0, 0.0, 10.0, 5.0)).returned_rows > 0

@@ -121,3 +121,33 @@ class TestScans:
         again = Table.from_arrays("copy", arrays)
         assert np.allclose(again.xy("time", "latency"),
                            table.xy("time", "latency"))
+
+
+class TestWithAppended:
+    def test_appends_rows_immutably(self, table):
+        bigger = table.with_appended({
+            "time": np.array([100.0, 101.0]),
+            "latency": np.array([1.0, 2.0]),
+            "host": np.array(["h9", "h9"]),
+        })
+        assert len(bigger) == 102
+        assert len(table) == 100  # the original is untouched
+        assert bigger.column("host").values[-1] == "h9"
+        assert bigger.column("time").values[-2] == 100.0
+
+    def test_coerces_to_declared_types(self, table):
+        bigger = table.with_appended({
+            "time": np.array([7, 8]),  # ints into a float64 column
+            "latency": np.array([1, 2]),
+            "host": np.array(["a", "b"]),
+        })
+        assert bigger.column("time").ctype.name == "float64"
+
+    def test_rejects_schema_mismatch(self, table):
+        with pytest.raises(SchemaError):
+            table.with_appended({"time": np.array([1.0])})
+        with pytest.raises(SchemaError):
+            table.with_appended({
+                "time": np.array([1.0]), "latency": np.array([1.0]),
+                "host": np.array(["x"]), "extra": np.array([0.0]),
+            })

@@ -13,6 +13,7 @@ from repro.storage import (
     ZoomQuery,
     answer_zoom_query,
     build_zoom_ladder,
+    patch_zoom_ladder,
 )
 from repro.viz.scatter import Viewport
 
@@ -177,3 +178,81 @@ class TestStoreAndDatabase:
             ZoomQuery("t", "x", "y", viewport=vp, zoom=-1)
         with pytest.raises(ConfigurationError):
             ZoomQuery("t", "x", "y", viewport=vp, max_points=-5)
+
+
+class TestPatch:
+    """patch_zoom_ladder: online maintenance of a built ladder."""
+
+    def test_budget_invariant_survives_patch(self, ladder):
+        gen = np.random.default_rng(9)
+        delta = gen.uniform(low=-4.0, high=4.0, size=(500, 2))
+        patched, stats = patch_zoom_ladder(
+            ladder, delta, np.arange(4000, 4500))
+        for rung in patched.levels:
+            _, counts = np.unique(rung.tile_ids, return_counts=True)
+            assert counts.max() <= patched.k_per_tile
+        assert stats["applied"] + stats["skipped"] == 500 * len(
+            patched.levels)
+
+    def test_input_ladder_not_mutated(self, ladder):
+        sizes = [len(r.points) for r in ladder.levels]
+        gen = np.random.default_rng(10)
+        patch_zoom_ladder(ladder, gen.uniform(-4, 4, size=(200, 2)),
+                          np.arange(4000, 4200))
+        assert [len(r.points) for r in ladder.levels] == sizes
+
+    def test_empty_region_gets_covered(self):
+        """Appends into a hole inside the root become queryable."""
+        gen = np.random.default_rng(11)
+        # Data along the left edge and a lone anchor on the right, so
+        # the root spans [0, 10] but the middle-right is empty.
+        base = np.concatenate([
+            gen.uniform(low=(0.0, 0.0), high=(2.0, 10.0), size=(2000, 2)),
+            np.array([[10.0, 10.0]]),
+        ])
+        ladder = build_zoom_ladder(base, levels=3, k_per_tile=40, rng=0)
+        hole = Viewport(6.0, 2.0, 9.0, 5.0)
+        before = ladder.query(hole)[0]
+        assert len(before) == 0
+        delta = gen.uniform(low=(6.5, 2.5), high=(8.5, 4.5), size=(60, 2))
+        patched, stats = patch_zoom_ladder(
+            ladder, delta, np.arange(2001, 2061))
+        assert stats["out_of_root"] == 0
+        points, _, _ = patched.query(hole)
+        assert len(points) > 0
+
+    def test_out_of_root_counted(self, ladder):
+        inside = ladder.root
+        delta = np.array([
+            [inside.xmax + 1.0, 0.0],   # outside
+            [0.0, 0.0],                 # inside
+            [0.0, inside.ymin - 2.0],   # outside
+        ])
+        _, stats = patch_zoom_ladder(ladder, delta,
+                                     np.arange(4000, 4003))
+        assert stats["out_of_root"] == 2
+
+    def test_patch_validation(self, ladder):
+        with pytest.raises(ConfigurationError):
+            patch_zoom_ladder(ladder, np.zeros((3, 2)), np.arange(2))
+
+    def test_earlier_delta_rows_win_tile_budget(self):
+        """Within one tile the budget goes to delta rows in append
+        order — the streaming semantics the per-point scan had, kept
+        by the vectorized implementation."""
+        # One tile, k_per_tile 3, 2 existing points -> 1 free slot.
+        base = np.array([[0.1, 0.1], [0.9, 0.9]])
+        ladder = build_zoom_ladder(base, levels=1, k_per_tile=3, rng=0)
+        delta = np.array([[0.5, 0.5], [0.4, 0.4], [0.3, 0.3]])
+        patched, stats = patch_zoom_ladder(ladder, delta,
+                                           np.array([10, 11, 12]))
+        assert stats["applied"] == 1 and stats["skipped"] == 2
+        assert 10 in patched.levels[0].indices          # first row won
+        assert not {11, 12} & set(patched.levels[0].indices.tolist())
+
+    def test_empty_delta_is_noop(self, ladder):
+        patched, stats = patch_zoom_ladder(
+            ladder, np.empty((0, 2)), np.empty(0, dtype=np.int64))
+        assert stats["applied"] == 0 and stats["out_of_root"] == 0
+        for old_rung, rung in zip(ladder.levels, patched.levels):
+            assert np.array_equal(old_rung.points, rung.points)

@@ -196,6 +196,58 @@ class TestWorkspaceRoundTrip:
                      str(ymax)]) == 0
         assert "level 0" in capsys.readouterr().out
 
+    def test_append_maintains_without_rebuild(self, demo_csv, tmp_path,
+                                              monkeypatch, capsys):
+        """repro append drives the same maintenance path as POST
+        /append: artifacts advance, no builder runs, queries keep
+        answering at the new version."""
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        main(["zoom-build", "traj", "--workspace", ws,
+              "--levels", "2", "-k", "60"])
+        capsys.readouterr()
+
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        extra = tmp_path / "extra.csv"
+        np.savetxt(extra, data[:50], delimiter=",",
+                   header="longitude,latitude,altitude", comments="")
+
+        import repro.service.service as service_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("builder invoked on the append path")
+
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "build_method_sample", boom)
+        assert main(["append", str(extra), "--workspace", ws,
+                     "--table", "traj"]) == 0
+        out = capsys.readouterr().out
+        assert "appended 50 rows" in out
+        assert "version 1" in out
+        assert "1 artifact(s) maintained" in out
+
+        xmin, ymin = data[:, :2].min(axis=0)
+        xmax, ymax = data[:, :2].max(axis=0)
+        assert main(["zoom-query", "traj", "--workspace", ws,
+                     "--bbox", str(xmin), str(ymin), str(xmax),
+                     str(ymax)]) == 0
+        assert "rows in" in capsys.readouterr().out
+
+        assert main(["workspace-info", "--workspace", ws]) == 0
+        info = capsys.readouterr().out
+        assert '"version": 1' in info
+
+    def test_append_missing_table_errors(self, demo_csv, tmp_path,
+                                         capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        capsys.readouterr()
+        assert main(["append", str(demo_csv), "--workspace", ws,
+                     "--table", "missing"]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_sample_build_cache(self, demo_csv, tmp_path, capsys):
         ws = str(tmp_path / "ws")
         main(["ingest", str(demo_csv), "--workspace", ws,

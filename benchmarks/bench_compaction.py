@@ -1,0 +1,291 @@
+"""Compaction bench: append throughput, cold opens, hash identity.
+
+The ISSUE-5 acceptance properties, measured:
+
+* **soak** — a long stream of tiny appends through the journaled
+  persist layer with periodic compaction (the deployment shape).
+  Per-append cost must be O(delta): the first and last windows of the
+  stream should run at comparable rates, because compaction keeps the
+  journal and segment count bounded no matter how many appends came
+  before;
+* **cold open** — ``open_table`` + materialisation on a table holding
+  many delta segments, before and after ``compact_table``.  The
+  after-number is what every restart of ``repro serve`` pays; it must
+  be bounded by checkpoint + live segments, not total append count;
+* **hashes** — the rolling content hash must be bit-identical before
+  the compaction, after it, after a reopen, and for the next append
+  versus a never-compacted twin.  Any divergence is a correctness bug
+  and the run exits non-zero (the CI gate, same style as the engine
+  parity check);
+* **service** — appends/second through ``VasService.append_rows``
+  with sample + ladder maintenance *and* auto-compaction under the
+  :class:`~repro.service.CompactionPolicy`, end to end.
+
+Results merge into ``BENCH_interchange.json`` under a ``compaction``
+key (with their own provenance block)::
+
+    python -m benchmarks.bench_compaction            # full run
+    python -m benchmarks.bench_compaction --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.data import GeolifeGenerator  # noqa: E402
+from repro.service import (  # noqa: E402
+    CompactionPolicy,
+    VasService,
+    Workspace,
+)
+from repro.storage import (  # noqa: E402
+    Table,
+    append_table,
+    compact_table,
+    open_table,
+    save_table,
+    table_storage_stats,
+)
+
+try:
+    from .provenance import collect_provenance  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance  # noqa: E402
+
+FULL = {"base_rows": 20_000, "soak_appends": 10_000, "soak_rows": 1,
+        "compact_every": 256, "open_appends": 2_048,
+        "service_appends": 500, "service_rows": 10, "k": 300}
+QUICK = {"base_rows": 2_000, "soak_appends": 400, "soak_rows": 1,
+         "compact_every": 64, "open_appends": 128,
+         "service_appends": 40, "service_rows": 5, "k": 60}
+
+
+def base_table(rows: int) -> Table:
+    xy = GeolifeGenerator(seed=0).generate(rows).xy
+    return Table.from_arrays("soak", {"x": xy[:, 0], "y": xy[:, 1]})
+
+
+def delta(rows: int, seed: int) -> dict:
+    gen = np.random.default_rng(seed)
+    return {"x": gen.random(rows), "y": gen.random(rows)}
+
+
+def dir_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.iterdir() if p.is_file())
+
+
+def bench_soak(profile: dict, tmp: Path) -> dict:
+    """Tiny-append stream with periodic compaction: O(delta) or bust."""
+    root = tmp / "soak"
+    save_table(base_table(profile["base_rows"]), root)
+    n = profile["soak_appends"]
+    window = max(n // 10, 1)
+    compact_every = profile["compact_every"]
+    marks = []
+    compact_seconds = 0.0
+    compactions = 0
+    started = time.perf_counter()
+    for i in range(n):
+        append_table(root, delta(profile["soak_rows"], i))
+        if (i + 1) % compact_every == 0:
+            compact_started = time.perf_counter()
+            compact_table(root)
+            compact_seconds += time.perf_counter() - compact_started
+            compactions += 1
+        if (i + 1) % window == 0:
+            marks.append(time.perf_counter())
+    total = time.perf_counter() - started
+    first_window = marks[0] - started
+    last_window = marks[-1] - marks[-2] if len(marks) > 1 else first_window
+    stats = table_storage_stats(root)
+    return {
+        "appends": n,
+        "rows_per_append": profile["soak_rows"],
+        "compact_every": compact_every,
+        "compactions": compactions,
+        "total_seconds": round(total, 4),
+        "compact_seconds": round(compact_seconds, 4),
+        "appends_per_second": round(n / total, 1),
+        "first_window_seconds": round(first_window, 4),
+        "last_window_seconds": round(last_window, 4),
+        # ~1.0 = flat per-append cost; >> 1 would mean the stream is
+        # slowing down with history length (the pre-PR5 cliff).
+        "last_vs_first_window": round(last_window / first_window, 3),
+        "final_segments": stats["segments"],
+        "final_on_disk_bytes": stats["on_disk_bytes"],
+    }
+
+
+def bench_cold_open(profile: dict, tmp: Path) -> tuple[dict, list[str]]:
+    """Cold-open latency before/after compaction + the hash gate."""
+    root = tmp / "cold"
+    twin = tmp / "cold_twin"
+    save_table(base_table(profile["base_rows"]), root)
+    save_table(base_table(profile["base_rows"]), twin)
+    for i in range(profile["open_appends"]):
+        manifest = append_table(root, delta(4, 1_000_000 + i))
+        twin_manifest = append_table(twin, delta(4, 1_000_000 + i))
+    before_hash = manifest["content_hash"]
+
+    def cold_open_seconds() -> float:
+        started = time.perf_counter()
+        table = open_table(root)
+        table.consolidate()  # materialise — what a serving decode pays
+        return time.perf_counter() - started
+
+    open_before = min(cold_open_seconds() for _ in range(3))
+    bytes_before = dir_bytes(root)
+    segments_before = table_storage_stats(root)["segments"]
+
+    compact_started = time.perf_counter()
+    stats = compact_table(root)
+    compact_cost = time.perf_counter() - compact_started
+    open_after = min(cold_open_seconds() for _ in range(3))
+    bytes_after = dir_bytes(root)
+
+    failures = []
+    after_hash = stats["content_hash"]
+    reopen = open_table(root)
+    if after_hash != before_hash:
+        failures.append("content hash changed across compact_table")
+    if len(reopen) != profile["base_rows"] + 4 * profile["open_appends"]:
+        failures.append("row count changed across compact_table")
+    next_compacted = append_table(root, delta(4, 42))
+    next_twin = append_table(twin, delta(4, 42))
+    if next_compacted["content_hash"] != next_twin["content_hash"]:
+        failures.append("post-compaction rolling hash diverged from the "
+                        "never-compacted twin")
+    return {
+        "appends": profile["open_appends"],
+        "segments_before": segments_before,
+        "segments_after": stats["segments_after"],
+        "cold_open_before_seconds": round(open_before, 4),
+        "cold_open_after_seconds": round(open_after, 4),
+        "cold_open_speedup": round(open_before / max(open_after, 1e-9), 1),
+        "compact_seconds": round(compact_cost, 4),
+        "on_disk_bytes_before": bytes_before,
+        "on_disk_bytes_after": bytes_after,
+        "reclaimed_fraction": round(1 - bytes_after / bytes_before, 3),
+        "hash_identical": not failures,
+    }, failures
+
+
+def bench_service(profile: dict, tmp: Path) -> dict:
+    """End-to-end appends with maintenance + auto-compaction."""
+    xy = GeolifeGenerator(seed=0).generate(profile["base_rows"]).xy
+    csv = tmp / "base.csv"
+    np.savetxt(csv, xy, delimiter=",", header="x,y", comments="")
+    service = VasService(
+        Workspace(tmp / "ws"),
+        compaction=CompactionPolicy(compact_after_segments=64),
+    )
+    service.ingest_csv(csv, name="demo")
+    service.build_sample("demo", profile["k"], method="vas", seed=0)
+    service.build_ladder("demo", levels=3,
+                         k_per_tile=max(32, profile["k"] // 4))
+    gen = np.random.default_rng(7)
+    compactions = 0
+    started = time.perf_counter()
+    for _ in range(profile["service_appends"]):
+        batch = np.column_stack([gen.random(profile["service_rows"]),
+                                 gen.random(profile["service_rows"])])
+        info = service.append_rows("demo", batch)
+        if "compaction" in info:
+            compactions += 1
+    seconds = time.perf_counter() - started
+    delta_rows = profile["service_appends"] * profile["service_rows"]
+    return {
+        "appends": profile["service_appends"],
+        "rows_per_append": profile["service_rows"],
+        "append_seconds": round(seconds, 4),
+        "appends_per_second": round(delta_rows / seconds, 1),
+        "auto_compactions": compactions,
+        "final_segments": service.workspace.storage_stats(
+            "demo")["segments"],
+        "final_version": info["version"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_interchange.json",
+                        help="trajectory file to merge the compaction "
+                             "block into")
+    args = parser.parse_args(argv)
+
+    provenance = collect_provenance(started_unix=time.time())
+    profile = QUICK if args.quick else FULL
+
+    with tempfile.TemporaryDirectory(prefix="repro-compact-bench-") as tmp:
+        root = Path(tmp)
+        print(f"soak: {profile['soak_appends']:,} x "
+              f"{profile['soak_rows']}-row appends, compact every "
+              f"{profile['compact_every']}")
+        soak = bench_soak(profile, root)
+        print(f"  {soak['appends_per_second']:,.0f} appends/s, last/first "
+              f"window {soak['last_vs_first_window']:.2f}x, "
+              f"{soak['final_segments']} final segments")
+
+        print(f"cold open: {profile['open_appends']:,} uncompacted "
+              "appends")
+        cold, failures = bench_cold_open(profile, root)
+        print(f"  {cold['segments_before']} -> {cold['segments_after']} "
+              f"segments; open {cold['cold_open_before_seconds'] * 1e3:.1f}"
+              f" -> {cold['cold_open_after_seconds'] * 1e3:.1f} ms "
+              f"({cold['cold_open_speedup']:.1f}x), disk "
+              f"{cold['on_disk_bytes_before']:,} -> "
+              f"{cold['on_disk_bytes_after']:,} bytes")
+
+        service = bench_service(profile, root)
+        print(f"service: {service['appends_per_second']:,.0f} rows/s with "
+              f"maintenance, {service['auto_compactions']} "
+              f"auto-compactions, {service['final_segments']} final "
+              "segments")
+
+    block = {
+        "provenance": provenance,
+        "config": {**profile, "quick": bool(args.quick), "seed": 0},
+        "soak": soak,
+        "cold_open": cold,
+        "service": service,
+        "finished_unix": time.time(),
+    }
+
+    out = Path(args.out)
+    payload = {}
+    if out.is_file():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["compaction"] = block
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged compaction block into {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"!! {failure}", file=sys.stderr)
+        print("!! compaction broke hash identity — every cache key "
+              "derived from the rolling chain is now wrong",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ Python:
 * ``ingest``         — load a CSV into a persistent workspace;
 * ``append``         — append CSV rows to a live workspace table (cached
   samples/ladders advance incrementally — no rebuild);
+* ``compact``        — fold a live table's delta segments into checkpoint
+  segments and garbage-collect superseded cache entries;
 * ``workspace-info`` — summarise a workspace's tables and cached builds;
 * ``zoom-build``     — precompute a multi-resolution zoom ladder (offline);
 * ``zoom-query``     — answer a viewport request from a prebuilt ladder;
@@ -133,6 +135,28 @@ def cmd_append(args: argparse.Namespace) -> int:
           f"(now version {info['version']}, {info['rows']:,} rows); "
           f"{maintained} artifact(s) maintained, {stale['stale']} stale, "
           f"{stale['needs_rebuild']} flagged for rebuild")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    service = VasService(Workspace(args.workspace, create=False))
+    if args.table:
+        reports = [service.compact_table(args.table)]
+    else:
+        reports = service.compact_all()
+    for report in reports:
+        if report["compacted"]:
+            print(f"compacted {report['table']!r}: "
+                  f"{report['segments_before']} -> "
+                  f"{report['segments_after']} segment(s), "
+                  f"{report['versions_dropped']} version(s) dropped, "
+                  f"{report['cache_entries_dropped']} cache entr"
+                  f"{'y' if report['cache_entries_dropped'] == 1 else 'ies'}"
+                  f" collected, {report['reclaimed_bytes']:,} bytes "
+                  "reclaimed")
+        else:
+            print(f"{report['table']!r} already compact "
+                  f"({report['segments_after']} segment(s))")
     return 0
 
 
@@ -289,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--table", required=True,
                    help="the live table receiving the rows")
     p.set_defaults(fn=cmd_append)
+
+    p = sub.add_parser("compact",
+                       help="fold a live table's delta segments into "
+                            "checkpoints (all tables by default)")
+    p.add_argument("--workspace", required=True)
+    p.add_argument("--table", default=None,
+                   help="compact only this table")
+    p.set_defaults(fn=cmd_compact)
 
     p = sub.add_parser("workspace-info",
                        help="summarise a workspace's tables and builds")

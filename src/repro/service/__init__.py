@@ -17,12 +17,18 @@ budgeted-sample queries):
   SIGTERM/SIGINT shutdown (:mod:`repro.service.http`).
 """
 
-from .service import BuildOutcome, MaintenancePolicy, VasService
+from .service import (
+    BuildOutcome,
+    CompactionPolicy,
+    MaintenancePolicy,
+    VasService,
+)
 from .http import make_server, serve
 from .workspace import Workspace
 
 __all__ = [
     "BuildOutcome",
+    "CompactionPolicy",
     "MaintenancePolicy",
     "VasService",
     "Workspace",

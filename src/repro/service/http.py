@@ -19,6 +19,10 @@ the service's mutate lock while GETs run lock-free).  Endpoints:
                             in table column order) or ``{"table": "t",
                             "columns": {"x": […], …}}`` — cached
                             artifacts advance incrementally (no build)
+``POST /compact``           fold a live table's delta segments into
+                            checkpoints and garbage-collect its cache;
+                            JSON body ``{"table": "t"}`` (omit the
+                            table to compact every table)
 ``GET /viewport``           ``?table=&bbox=x0,y0,x1,y1[&zoom=&max_points=
                             &x=&y=]`` — points from the cached ladder
 ``GET /sample``             ``?table=[&method=&max_points=|&time_budget=
@@ -207,6 +211,7 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         routes = {
             "/build": self._post_build,
             "/append": self._post_append,
+            "/compact": self._post_compact,
         }
         handler = routes.get(url.path)
         if handler is None:
@@ -252,6 +257,18 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         info = self.service.append_rows(table, payload)
         info["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
         return info, 200
+
+    def _post_compact(self, raw_body: bytes) -> tuple[dict, int]:
+        body = self._json_body(raw_body)
+        started = time.perf_counter()
+        if body.get("table"):
+            reports = [self.service.compact_table(body["table"])]
+        else:
+            reports = self.service.compact_all()
+        return {
+            "compacted": reports,
+            "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+        }, 200
 
     def _post_build(self, raw_body: bytes) -> tuple[dict, int]:
         body = self._json_body(raw_body)
@@ -361,7 +378,7 @@ def serve(service: VasService, host: str = "127.0.0.1", port: int = 8000,
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workspace: {service.workspace.root or 'ephemeral'})")
     print("endpoints: /healthz /workspace /tables /viewport /sample "
-          "POST /build /append — Ctrl-C to stop")
+          "POST /build /append /compact — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -19,6 +19,15 @@ the HTTP endpoints.  It owns
   artifact is persisted as a new lineage entry next to — never over —
   its parent.  A :class:`MaintenancePolicy` decides when an artifact
   is advanced versus left stale or flagged for an offline rebuild;
+* **compaction** — append streams accumulate delta segments and
+  journal lines; a :class:`CompactionPolicy` decides when to pay the
+  fold (``compact_after_segments`` / ``compact_after_bytes``, gated
+  after append exactly like maintenance).  Compaction
+  garbage-collects orphaned cache entries and superseded lineage
+  hops, then folds the table's storage around the versions the
+  surviving artifacts still reference — rolling hashes are carried
+  verbatim, so every cache key survives.  ``repro compact`` / ``POST
+  /compact`` trigger it on demand;
 * **queries** — viewport requests served from cached ladders and
   point-/time-budget requests served from cached flat samples, with a
   small LRU of decoded artifacts so the hot path re-reads nothing.
@@ -120,6 +129,66 @@ class MaintenancePolicy:
             )
 
 
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When appends trigger a storage compaction, mirroring how
+    :class:`MaintenancePolicy` gates maintenance.
+
+    Parameters
+    ----------
+    compact_after_segments:
+        Compact a table once its on-disk (or in-memory) segment count
+        reaches this many.  The journal and the per-append cost both
+        stay bounded by this knob: between compactions an append is
+        O(delta), and the fold is amortised over the window.  ``None``
+        disables the segment trigger.
+    compact_after_bytes:
+        Compact once the table's ``reclaimable_bytes`` estimate (see
+        :func:`repro.storage.table_storage_stats`) reaches this many.
+        ``None`` disables the byte trigger.
+
+    With both thresholds ``None`` nothing auto-compacts; ``repro
+    compact`` / ``POST /compact`` still work on demand.
+    """
+
+    compact_after_segments: int | None = 64
+    compact_after_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.compact_after_segments is not None
+                and self.compact_after_segments < 2):
+            raise SchemaError(
+                f"compact_after_segments must be >= 2 or None, got "
+                f"{self.compact_after_segments}"
+            )
+        if (self.compact_after_bytes is not None
+                and self.compact_after_bytes < 1):
+            raise SchemaError(
+                f"compact_after_bytes must be >= 1 or None, got "
+                f"{self.compact_after_bytes}"
+            )
+
+    def should_compact(self, stats: dict, baseline: dict | None = None) -> bool:
+        """Does one table's storage-stats block cross a threshold?
+
+        ``baseline`` is the stats block recorded right after the
+        table's previous compaction: thresholds measure *growth since
+        then*, not absolute size.  Without it, artifacts pinning many
+        version boundaries (segments compaction cannot fold) would
+        keep the absolute count at the threshold forever and every
+        append would pay a futile compaction.
+        """
+        base_segments = (baseline or {}).get("segments", 0)
+        base_bytes = (baseline or {}).get("reclaimable_bytes", 0)
+        if (self.compact_after_segments is not None
+                and stats["segments"] - base_segments
+                >= self.compact_after_segments):
+            return True
+        return (self.compact_after_bytes is not None
+                and stats["reclaimable_bytes"] - base_bytes
+                >= self.compact_after_bytes)
+
+
 class _LRU:
     """A tiny LRU map for decoded artifacts (ladders, sample stores)."""
 
@@ -173,9 +242,11 @@ class VasService:
     def __init__(self, workspace: Workspace,
                  ladder_cache_size: int = 8,
                  store_cache_size: int = 16,
-                 policy: MaintenancePolicy | None = None) -> None:
+                 policy: MaintenancePolicy | None = None,
+                 compaction: CompactionPolicy | None = None) -> None:
         self.workspace = workspace
         self.policy = policy or MaintenancePolicy()
+        self.compaction = compaction or CompactionPolicy()
         self._ladders = _LRU(ladder_cache_size)
         self._stores = _LRU(store_cache_size)
         # (table, x, y, content_hash) -> newest ladder build key, so a
@@ -189,6 +260,11 @@ class VasService:
         # readers cannot queue behind a build or an append.
         self._mutate_lock = threading.Lock()
         self._cache_lock = threading.Lock()
+        # Per-table storage stats recorded after the last compaction —
+        # the CompactionPolicy measures growth against this, so pinned
+        # segment boundaries never cause a compact-per-append loop.
+        # Only touched under the mutate lock.
+        self._compact_baseline: dict[str, dict] = {}
         # Mutation epoch: odd while a mutation is in flight, bumped on
         # entry and exit.  Readers capture it before assembling a
         # derived cache entry and only publish if it is unchanged and
@@ -287,6 +363,9 @@ class VasService:
         )
         with self._mutating():
             self.workspace.add_table(table, replace=replace)
+            # A (re-)ingest starts a fresh storage history; any
+            # compaction floor from replaced data is meaningless.
+            self._compact_baseline.pop(table_name, None)
             return self.workspace.table_info(table_name)
 
     def tables(self) -> list[dict]:
@@ -297,7 +376,7 @@ class VasService:
         snapshot = self.workspace.builds()
         out = []
         for name in self.workspace.table_names:
-            info = self.workspace.table_info(name)
+            info = self.workspace.table_summary(name)
             info["staleness"] = self._staleness(
                 name, builds=[m for m in snapshot
                               if m.get("table") == name])
@@ -467,6 +546,13 @@ class VasService:
                 # completion would pin pre-maintenance artifacts.
                 self._invalidate_reader_caches(table_name,
                                                info["content_hash"])
+                # Segment pressure builds one delta per append; the
+                # CompactionPolicy decides when to pay the fold (same
+                # shape as the MaintenancePolicy gate above).
+                if self.compaction.should_compact(
+                        self.workspace.storage_stats(table_name),
+                        self._compact_baseline.get(table_name)):
+                    info["compaction"] = self._compact_locked(table_name)
             else:
                 info["maintenance"] = []
             info["staleness"] = self._staleness(table_name)
@@ -653,6 +739,104 @@ class VasService:
         self.workspace.drop_build(previous)
         with self._cache_lock:
             self._ladders.drop(previous)
+
+    # -- compaction --------------------------------------------------------
+    def compact_table(self, table_name: str) -> dict:
+        """Compact one live table's storage and garbage-collect its
+        cache — the ``repro compact`` / ``POST /compact`` entry point.
+
+        Runs under the mutation lock (and bumps the mutation epoch),
+        so readers racing the compaction either resolve pre-compaction
+        state or re-resolve post-compaction state — their memo/store
+        publishes are suppressed mid-flight, and the retry loops on
+        the decode paths absorb any entry that was collected under
+        them.  Content hashes never change, so every surviving
+        artifact keeps serving under its existing key.
+        """
+        with self._mutating():
+            if not self.workspace.has_table(table_name):
+                from ..errors import TableNotFoundError
+
+                raise TableNotFoundError(table_name)
+            return self._compact_locked(table_name)
+
+    def compact_all(self) -> list[dict]:
+        """Compact every table in the workspace; one report per table."""
+        return [self.compact_table(name)
+                for name in self.workspace.table_names]
+
+    def _compact_locked(self, table_name: str) -> dict:
+        """One compaction, mutation lock already held.
+
+        Order matters: first the cache is garbage-collected (orphaned
+        entries from replaced data, maintenance hops a newer hop
+        superseded), *then* the surviving entries' content hashes pin
+        the version boundaries storage compaction must keep — so an
+        artifact can always re-open the exact version it was built
+        against, and nothing pins a version on behalf of an entry that
+        no longer exists.
+        """
+        dropped = self._gc_builds(table_name)
+        keep = {m.get("content_hash")
+                for m in self.workspace.builds(table=table_name)}
+        report = self.workspace.compact_table(table_name,
+                                              keep_hashes=keep)
+        report["table"] = table_name
+        report["cache_entries_dropped"] = len(dropped)
+        # What this compaction could not fold (pinned boundaries) is
+        # the new floor the policy measures growth against.
+        self._compact_baseline[table_name] = \
+            self.workspace.storage_stats(table_name)
+        with self._cache_lock:
+            for key in dropped:
+                self._ladders.drop(key)
+            # Memoized stores / ladder-key memos for this table may
+            # point at dropped entries; they re-resolve on next read.
+            for lru in (self._stores, self._ladder_keys):
+                stale = [key for key in lru._items
+                         if key[0] == table_name]
+                for key in stale:
+                    lru.drop(key)
+        return report
+
+    def _gc_builds(self, table_name: str) -> list[str]:
+        """Drop cache entries compaction makes unreachable.
+
+        Two classes go: **orphans** — entries whose recorded content
+        hash is not in the table's version history (a ``--replace``
+        re-ingest reset it), which can never serve again — and
+        **superseded maintenance hops** — lineage entries that are
+        neither a root (offline builds are expensive; they are never
+        collected) nor the newest entry of their params group.  This
+        is the complete version of the one-hop-behind pruning the
+        append path does incrementally.
+        """
+        by_hash = self.workspace.version_by_hash(table_name)
+        groups: dict[str, list[dict]] = {}
+        dropped = []
+        for manifest in self.workspace.builds(table=table_name):
+            if manifest.get("content_hash") not in by_hash:
+                dropped.append(manifest["key"])
+                continue
+            identity = json.dumps(
+                {"kind": manifest.get("kind"),
+                 "params": manifest.get("params", {})},
+                sort_keys=True)
+            groups.setdefault(identity, []).append(manifest)
+        for manifests in groups.values():
+            manifests.sort(key=lambda m: (
+                by_hash[m["content_hash"]]["version"],
+                m.get("created_unix", 0.0)))
+            newest = manifests[-1]["key"]
+            for manifest in manifests[:-1]:
+                root = (manifest.get("lineage") or {}).get("root")
+                is_hop = (manifest.get("maintained")
+                          and manifest["key"] != root)
+                if is_hop and manifest["key"] != newest:
+                    dropped.append(manifest["key"])
+        for key in dropped:
+            self.workspace.drop_build(key)
+        return dropped
 
     def _invalidate_reader_caches(self, table_name: str,
                                   content_hash: str) -> None:
@@ -928,6 +1112,10 @@ class VasService:
         payload["policy"] = {
             "maintain_after_rows": self.policy.maintain_after_rows,
             "rebuild_after_rows": self.policy.rebuild_after_rows,
+        }
+        payload["compaction_policy"] = {
+            "compact_after_segments": self.compaction.compact_after_segments,
+            "compact_after_bytes": self.compaction.compact_after_bytes,
         }
         return payload
 

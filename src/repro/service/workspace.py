@@ -4,8 +4,12 @@ A :class:`Workspace` owns two things:
 
 * **tables/** — ingested datasets, one columnar directory per table
   (written through :mod:`repro.storage.persist`).  Tables are **live**:
-  :meth:`Workspace.append_rows` adds a delta segment and advances the
-  table's monotonic version, with a rolling content hash per version;
+  :meth:`Workspace.append_rows` adds a delta segment plus one append-
+  journal line (an O(delta) write — the manifest is not rewritten) and
+  advances the table's monotonic version, with a rolling content hash
+  per version; :meth:`Workspace.compact_table` periodically folds the
+  journal and the accumulated segments into checkpoints, keeping cold
+  opens bounded by segment count rather than append count;
 * **cache/**  — built artifacts (flat samples, zoom ladders), one
   directory per *build key*, each recording the table version (and
   that version's content hash) it corresponds to.
@@ -53,14 +57,17 @@ from ..sampling.base import SampleResult
 from ..storage.persist import (
     FORMAT_VERSION,
     append_table,
+    compact_table as persist_compact_table,
     content_hash_arrays,
     load_sample_result,
+    load_table_manifest,
     open_table,
     read_json,
     rolling_content_hash,
     save_sample_result,
     save_table,
     table_content_hash,
+    table_storage_stats,
     write_json,
 )
 from ..storage.table import Table
@@ -181,21 +188,20 @@ class Workspace:
         """Append rows to a live table; returns the post-append info.
 
         ``arrays`` is a ``{column: values}`` mapping covering exactly
-        the table's columns.  On disk this writes one delta segment and
-        atomically advances the table manifest
-        (:func:`repro.storage.persist.append_table`); in memory the
+        the table's columns.  On disk this writes one delta segment
+        plus one journal line (:func:`repro.storage.persist.
+        append_table` — the manifest is not rewritten); in memory the
         same rolling content hash is chained over the same coerced
         bytes, so ephemeral and persistent workspaces agree on every
         version's identity.  Decoded-table and metadata caches are
         updated in place — the caches never go stale mid-process.
 
-        Cost: when the table is not decoded (a cold CLI append), the
-        delta segment is validated and written against the manifest
-        alone — O(delta) regardless of base size.  When it *is*
-        decoded (a serving process that also maintains artifacts), the
-        cached columns are refreshed by concatenation, an O(N) memory
-        copy; true O(delta) warm appends need segmented in-memory
-        columns (see the ROADMAP compaction item).
+        Cost: O(delta) either way.  A cold append (table not decoded)
+        validates and writes the delta against the manifest alone; a
+        warm append pushes one in-memory segment per column
+        (:meth:`~repro.storage.Column.extended` shares the existing
+        chunks instead of re-concatenating N rows).  Segments
+        accumulate until :meth:`compact_table` folds them.
         """
         if not self.has_table(name):
             raise TableNotFoundError(name)
@@ -253,7 +259,7 @@ class Workspace:
         if self.root is not None:
             manifest_path = self._tables_dir / name / "manifest.json"
             if manifest_path.is_file():
-                manifest = read_json(manifest_path)
+                manifest = load_table_manifest(manifest_path.parent)
                 history = list(manifest.get("versions") or [{
                     "version": 0, "rows": manifest["rows"],
                     "content_hash": manifest["content_hash"],
@@ -289,11 +295,12 @@ class Workspace:
                  start_row: int) -> np.ndarray:
         """The ``(delta, 2)`` coordinates of rows appended after
         ``start_row`` — what the maintenance path feeds through
-        Expand/Shrink.  Slices the columns *before* converting, so the
-        append path copies O(delta), never the full table."""
+        Expand/Shrink.  Reads only the segments past ``start_row``
+        (:meth:`~repro.storage.Column.tail`), so the append path
+        copies O(delta) and never consolidates the full column."""
         table = self.table(name)
-        xs = table.column(x).values[start_row:].astype(np.float64)
-        ys = table.column(y).values[start_row:].astype(np.float64)
+        xs = table.column(x).tail(start_row).astype(np.float64)
+        ys = table.column(y).tail(start_row).astype(np.float64)
         return np.stack([xs, ys], axis=1)
 
     def table(self, name: str) -> Table:
@@ -319,7 +326,8 @@ class Workspace:
         if self.root is not None:
             manifest_path = self._tables_dir / name / "manifest.json"
             if manifest_path.is_file():
-                digest = read_json(manifest_path)["content_hash"]
+                digest = load_table_manifest(
+                    manifest_path.parent)["content_hash"]
                 self._hashes[name] = digest
                 return digest
         if name in self._tables:
@@ -352,7 +360,7 @@ class Workspace:
         if self.root is not None and name not in self._tables:
             manifest_path = self._tables_dir / name / "manifest.json"
             if manifest_path.is_file():
-                manifest = read_json(manifest_path)
+                manifest = load_table_manifest(manifest_path.parent)
                 return {
                     "name": name,
                     "rows": manifest["rows"],
@@ -368,6 +376,96 @@ class Workspace:
             "content_hash": self.table_hash(name),
             "version": self.table_version(name),
         }
+
+    # -- storage stats + compaction ----------------------------------------
+    def storage_stats(self, name: str) -> dict:
+        """``{"segments", "on_disk_bytes", "reclaimable_bytes"}`` for
+        one table — the compaction-pressure gauge ``GET /tables`` and
+        the :class:`~repro.service.CompactionPolicy` both read.
+
+        On disk this is derived from the effective manifest (a stat
+        per segment file, no array decode).  An ephemeral workspace
+        reports its decoded columns' in-memory segment count; it has
+        no disk to reclaim.
+        """
+        if not self.has_table(name):
+            raise TableNotFoundError(name)
+        if self.root is not None and (
+                self._tables_dir / name / "manifest.json").is_file():
+            return table_storage_stats(self._tables_dir / name)
+        table = self._tables.get(name)
+        return {
+            "segments": table.segment_count if table is not None else 1,
+            "on_disk_bytes": 0,
+            "reclaimable_bytes": 0,
+        }
+
+    def table_summary(self, name: str) -> dict:
+        """:meth:`table_info` plus a ``storage`` block, from **one**
+        effective-manifest read — what per-table listing endpoints
+        (``GET /tables``, ``workspace-info``) should call, so a scan
+        over many tables parses each manifest + journal once, not
+        twice."""
+        if self.root is not None and name not in self._tables:
+            table_dir = self._tables_dir / name
+            if (table_dir / "manifest.json").is_file():
+                manifest = load_table_manifest(table_dir)
+                return {
+                    "name": name,
+                    "rows": manifest["rows"],
+                    "columns": [c["name"] for c in manifest["columns"]],
+                    "content_hash": manifest["content_hash"],
+                    "version": int(manifest.get("version", 0)),
+                    "storage": table_storage_stats(table_dir,
+                                                   state=manifest),
+                }
+        info = self.table_info(name)
+        info["storage"] = self.storage_stats(name)
+        return info
+
+    def compact_table(self, name: str, keep_hashes=None) -> dict:
+        """Fold a live table's delta segments into checkpoints.
+
+        ``keep_hashes`` — content hashes live cache artifacts still
+        reference; those versions keep a segment boundary and stay
+        re-openable, everything between them is folded, and history
+        entries nobody references are truncated
+        (:func:`repro.storage.persist.compact_table`).  The decoded
+        in-memory table (if any) is consolidated to match, and the
+        memoized version history is refreshed.  Content hashes are
+        untouched, so every cache key stays valid.
+        """
+        if not self.has_table(name):
+            raise TableNotFoundError(name)
+        if self.root is not None and (
+                self._tables_dir / name / "manifest.json").is_file():
+            stats = persist_compact_table(self._tables_dir / name,
+                                          keep_hashes=keep_hashes)
+            self._versions[name] = list(stats.pop("versions"))
+        else:
+            history = self.version_history(name)
+            keep_hashes = set(keep_hashes or ())
+            kept = [entry for entry in history
+                    if entry["content_hash"] in keep_hashes
+                    or entry is history[-1]]
+            self._versions[name] = kept
+            stats = {
+                "compacted": len(kept) != len(history),
+                "version": int(history[-1]["version"]),
+                "content_hash": history[-1]["content_hash"],
+                "segments_before": 1,
+                "segments_after": 1,
+                "versions_dropped": len(history) - len(kept),
+                "reclaimed_bytes": 0,
+            }
+        table = self._tables.get(name)
+        if table is not None:
+            if self.root is None:
+                stats["segments_before"] = table.segment_count
+            table.consolidate()
+            if self.root is None:
+                stats["segments_after"] = table.segment_count
+        return stats
 
     # -- build cache -------------------------------------------------------
     def build_key(self, kind: str, table_name: str, params: dict) -> str:
@@ -521,7 +619,7 @@ class Workspace:
         return {
             "root": str(self.root) if self.root is not None else None,
             "format": FORMAT_VERSION,
-            "tables": [self.table_info(n) for n in self.table_names],
+            "tables": [self.table_summary(n) for n in self.table_names],
             "builds": [
                 {k: m.get(k) for k in ("key", "kind", "table", "params",
                                        "created_unix")}

@@ -10,8 +10,10 @@ from .database import Database
 from .persist import (
     FORMAT_VERSION,
     append_table,
+    compact_table,
     content_hash_arrays,
     load_sample_result,
+    load_table_manifest,
     open_database,
     open_sample_store,
     open_table,
@@ -21,6 +23,7 @@ from .persist import (
     save_sample_store,
     save_table,
     table_content_hash,
+    table_storage_stats,
 )
 from .predicates import (
     And,
@@ -56,9 +59,12 @@ __all__ = [
     "FORMAT_VERSION",
     "INT64",
     "append_table",
+    "compact_table",
     "content_hash_arrays",
     "rolling_content_hash",
     "load_sample_result",
+    "load_table_manifest",
+    "table_storage_stats",
     "open_database",
     "open_sample_store",
     "open_table",

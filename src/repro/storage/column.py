@@ -2,14 +2,25 @@
 
 The storage substrate is a miniature in-memory column store — the
 "dedicated RDBMS" of the paper's Fig 3 architecture.  A
-:class:`Column` wraps one numpy array with a declared logical type and
-validates on construction, so schema errors surface at load time rather
-than mid-query.
+:class:`Column` wraps one *logical* numpy array with a declared type
+and validates on construction, so schema errors surface at load time
+rather than mid-query.
+
+Physically a column is **segmented**: a list of chunks that are only
+concatenated (and the result cached) when somebody actually asks for
+the contiguous ``values`` array.  That makes the live-table append
+path O(delta) — :meth:`Column.extended` pushes one new segment and
+shares the existing ones with the parent column instead of re-copying
+every row — while read paths that want one flat array pay the
+consolidation exactly once.  :meth:`Column.tail` serves the
+maintenance path's "rows after N" reads from the segments directly,
+so a hot append stream never triggers a full consolidation at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -58,7 +69,7 @@ STRING = ColumnType("str")
 
 
 class Column:
-    """One named, typed column.
+    """One named, typed column over a list of segments.
 
     Parameters
     ----------
@@ -71,47 +82,115 @@ class Column:
     """
 
     def __init__(self, name: str, ctype: ColumnType, values: np.ndarray) -> None:
+        self._init(name, ctype, [np.asarray(values)])
+
+    @classmethod
+    def from_segments(cls, name: str, ctype: ColumnType,
+                      segments: Sequence[np.ndarray]) -> "Column":
+        """A column over chunks, coerced per chunk, concatenated lazily.
+
+        This is the O(delta) construction the append path and the
+        segment-file loader use: the chunks are referenced, not
+        copied, and only fused when :attr:`values` is first read.
+        """
+        if not segments:
+            raise SchemaError(
+                f"column {name!r} needs at least one segment"
+            )
+        column = cls.__new__(cls)
+        column._init(name, ctype, [np.asarray(seg) for seg in segments])
+        return column
+
+    def _init(self, name: str, ctype: ColumnType,
+              segments: list[np.ndarray]) -> None:
+        """The one construction path behind both constructors."""
         if not name:
             raise SchemaError("column name must be non-empty")
         self.name = name
         self.ctype = ctype
-        self._values = ctype.coerce(values)
-        if self._values.ndim != 1:
+        self._segments = [self._validated(ctype.coerce(seg))
+                          for seg in segments]
+        self._length = sum(len(seg) for seg in self._segments)
+
+    def _validated(self, segment: np.ndarray) -> np.ndarray:
+        if segment.ndim != 1:
             raise SchemaError(
-                f"column {name!r} must be 1-D, got shape {self._values.shape}"
+                f"column {self.name!r} must be 1-D, got shape "
+                f"{segment.shape}"
             )
+        return segment
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._length
+
+    @property
+    def segment_count(self) -> int:
+        """How many physical chunks back this column right now."""
+        return len(self._segments)
 
     @property
     def values(self) -> np.ndarray:
-        """The backing array (treat as read-only)."""
-        return self._values
+        """The contiguous backing array (treat as read-only).
+
+        Consolidates the segments on first access and caches the
+        result — repeated reads cost nothing, and the append path
+        never pays for it at all.
+        """
+        if len(self._segments) > 1:
+            self._segments = [np.concatenate(self._segments)]
+        return self._segments[0]
+
+    def tail(self, start: int) -> np.ndarray:
+        """``values[start:]`` without consolidating the whole column.
+
+        Only the segments past ``start`` are touched, so reading the
+        delta rows an append just pushed is O(delta) no matter how
+        long the column has grown.
+        """
+        if start <= 0:
+            return self.values
+        parts = []
+        offset = 0
+        for segment in self._segments:
+            stop = offset + len(segment)
+            if stop > start:
+                parts.append(segment if start <= offset
+                             else segment[start - offset:])
+            offset = stop
+        if not parts:
+            return self._segments[-1][:0]
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     def take(self, indices: np.ndarray) -> "Column":
         """A new column with the given rows."""
-        return Column(self.name, self.ctype, self._values[indices])
+        return Column(self.name, self.ctype, self.values[indices])
 
     def slice(self, start: int, stop: int) -> "Column":
         """A new column over ``values[start:stop]``."""
-        return Column(self.name, self.ctype, self._values[start:stop])
+        return Column(self.name, self.ctype, self.values[start:stop])
 
     def extended(self, values: np.ndarray) -> "Column":
-        """A new column with ``values`` (coerced) appended at the end."""
+        """A new column with ``values`` (coerced) appended at the end.
+
+        O(delta): the existing segments are shared with this column,
+        and the new rows ride along as one more segment.  Nothing is
+        concatenated until someone reads :attr:`values`.
+        """
         extra = self.ctype.coerce(np.asarray(values))
-        return Column(self.name, self.ctype,
-                      np.concatenate([self._values, extra]))
+        return Column.from_segments(self.name, self.ctype,
+                                    [*self._segments, extra])
 
     def min(self) -> float:
         if not self.ctype.is_numeric:
             raise SchemaError(f"min() on non-numeric column {self.name!r}")
-        return float(self._values.min())
+        return float(min(seg.min() for seg in self._segments if len(seg)))
 
     def max(self) -> float:
         if not self.ctype.is_numeric:
             raise SchemaError(f"max() on non-numeric column {self.name!r}")
-        return float(self._values.max())
+        return float(max(seg.max() for seg in self._segments if len(seg)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Column({self.name!r}, {self.ctype.name}, n={len(self)})"

@@ -24,13 +24,27 @@ bytes — the :mod:`repro.service` layer keys its build cache on them,
 which is what makes "same data + same params = reuse, changed data =
 rebuild" work without timestamps or mtime heuristics.
 
-Appends are **versioned**: the manifest's ``versions`` list records,
-for every version, the cumulative row count and a *rolling* content
-hash (:func:`rolling_content_hash` — the previous version's hash
-chained with the delta segment's hash, O(delta) to compute).  A table
-is readable at any version (:func:`open_table` with ``version=``), so
-artifacts keyed on an old version's hash stay valid for that version
-after new rows arrive.
+Appends are **versioned**: every version has a cumulative row count
+and a *rolling* content hash (:func:`rolling_content_hash` — the
+previous version's hash chained with the delta segment's hash,
+O(delta) to compute).  A table is readable at any version boundary
+still on disk (:func:`open_table` with ``version=``), so artifacts
+keyed on an old version's hash stay valid for that version after new
+rows arrive.
+
+Appends are also **journaled**: :func:`append_table` writes the delta
+segment files and then appends one JSON line to ``journal.jsonl`` —
+an O(1) write regardless of how many appends came before.  The
+manifest itself is only rewritten by :func:`compact_table`, which
+folds the journal (and the accumulated delta segments) back into it:
+runs of segments between still-referenced versions become single
+**checkpoint** segments, and history entries below the oldest
+still-referenced hash are truncated.  Every hash that survives is
+carried verbatim, so the rolling chain — and therefore every build
+key derived from it — is bit-identical across compactions.  Readers
+always see ``manifest ⊕ journal`` through
+:func:`load_table_manifest`, so a table is consistent at every point
+of the append/compact cycle.
 """
 
 from __future__ import annotations
@@ -128,6 +142,14 @@ def rolling_content_hash(previous: str, delta: str) -> str:
 
 # -- tables ---------------------------------------------------------------
 
+#: The per-append journal next to a table's manifest.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Approximate ``.npy`` header cost per file — what folding a tiny
+#: delta segment into a checkpoint reclaims besides filesystem slack.
+_NPY_HEADER_BYTES = 128
+
+
 def save_table(table: Table, directory) -> str:
     """Write one table as ``manifest.json`` + ``col_NN.npy`` files.
 
@@ -135,15 +157,18 @@ def save_table(table: Table, directory) -> str:
     Column files are numbered in schema order because column *names*
     are user data and may not be valid filenames.  The manifest starts
     the table's version history at version 0 (one segment holding every
-    row); stale delta segments from any table previously saved at the
-    same path are removed so the directory never mixes histories.
+    row); stale delta/checkpoint segments and the append journal from
+    any table previously saved at the same path are removed so the
+    directory never mixes histories.
     """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
-    # Both delta segments and column files from any previously saved
+    # Segments, checkpoints and column files from any previously saved
     # table go: a re-save with fewer columns must not leave orphans.
-    for stale in (*root.glob("seg_*.npy"), *root.glob("col_*.npy")):
+    for stale in (*root.glob("seg_*.npy"), *root.glob("col_*.npy"),
+                  *root.glob("chk_*.npy")):
         stale.unlink()
+    (root / JOURNAL_NAME).unlink(missing_ok=True)
     columns = []
     files = []
     for pos, name in enumerate(table.column_names):
@@ -187,18 +212,103 @@ def _versions_of(manifest: dict) -> list[dict]:
              "content_hash": manifest["content_hash"]}]
 
 
+def _delta_files(version: int, n_columns: int) -> list[str]:
+    """Segment file names are derived, not stored, for journal appends."""
+    return [f"seg_{version:04d}_col_{pos:02d}.npy"
+            for pos in range(n_columns)]
+
+
+def _scan_journal(root: Path) -> tuple[list[dict], int]:
+    """``(entries, valid_bytes)`` of the append journal, oldest first.
+
+    ``valid_bytes`` is the length of the journal's durable prefix: a
+    torn trailing line (a crash mid-append) is treated as the end of
+    the journal, and the byte offset where it starts lets the next
+    append truncate it away before writing — otherwise the new line
+    would concatenate onto the partial one and every later entry
+    would be unreadable.
+    """
+    path = root / JOURNAL_NAME
+    if not path.is_file():
+        return [], 0
+    raw = path.read_bytes()
+    entries = []
+    valid_bytes = 0
+    offset = 0
+    for line in raw.splitlines(keepends=True):
+        stop = offset + len(line)
+        text = line.strip()
+        if text:
+            try:
+                entry = json.loads(text)
+            except json.JSONDecodeError:
+                break
+            if not line.endswith(b"\n"):
+                break  # complete JSON but no newline: still a torn write
+            entries.append(entry)
+        valid_bytes = stop
+        offset = stop
+    return entries, valid_bytes
+
+
+def _read_journal(root: Path) -> list[dict]:
+    """The append journal's durable entries, oldest first."""
+    return _scan_journal(root)[0]
+
+
+def load_table_manifest(directory) -> dict:
+    """The table's *effective* manifest: ``manifest.json`` with any
+    journal appends folded in.
+
+    This is the one read path every consumer (:func:`open_table`, the
+    workspace's warm-path metadata lookups) goes through, so a table
+    looks the same whether its appends have been compacted into the
+    manifest or still live in the journal.
+    """
+    root = Path(directory)
+    manifest = read_json(root / "manifest.json")
+    if manifest.get("kind") != "table":
+        return manifest
+    entries = _read_journal(root)
+    if not entries:
+        return manifest
+    manifest = dict(manifest)
+    versions = list(_versions_of(manifest))
+    segments = list(_segments_of(manifest))
+    n_columns = len(manifest["columns"])
+    for entry in entries:
+        version = int(entry["version"])
+        if version <= int(manifest.get("version", 0)):
+            # A line from before the last compaction (the manifest
+            # already folded it) — skip, never double-count.
+            continue
+        versions.append({"version": version, "rows": int(entry["rows"]),
+                         "content_hash": entry["content_hash"]})
+        segments.append({"version": version,
+                         "rows": int(entry["delta_rows"]),
+                         "files": _delta_files(version, n_columns)})
+        manifest["version"] = version
+        manifest["rows"] = int(entry["rows"])
+        manifest["content_hash"] = entry["content_hash"]
+    manifest["versions"] = versions
+    manifest["segments"] = segments
+    return manifest
+
+
 def append_table(directory, arrays: Mapping[str, np.ndarray]) -> dict:
     """Append rows to a saved table as a new delta segment.
 
     ``arrays`` must cover exactly the table's columns (values are
     coerced to the declared types).  Writes one
-    ``seg_VVVV_col_NN.npy`` per column, then atomically replaces the
-    manifest with version ``V`` appended to the history — a reader
-    holding the old manifest, or asking for an old version, still sees
-    exactly the rows of that version.  Returns the updated manifest.
+    ``seg_VVVV_col_NN.npy`` per column, then appends **one line** to
+    the journal — the manifest is not rewritten, so the write cost of
+    an append is O(delta), independent of how many appends came
+    before.  A reader holding the old journal state, or asking for an
+    old version, still sees exactly the rows of that version.  Returns
+    the updated *effective* manifest.
     """
     root = Path(directory)
-    manifest = read_json(root / "manifest.json")
+    manifest = load_table_manifest(root)
     if manifest.get("kind") != "table":
         raise StorageError(f"{root} is not a saved table")
     specs = manifest["columns"]
@@ -220,29 +330,42 @@ def append_table(directory, arrays: Mapping[str, np.ndarray]) -> dict:
     if n_rows == 0:
         return manifest
     version = int(manifest.get("version", 0)) + 1
-    files = []
+    files = _delta_files(version, len(specs))
     for pos, spec in enumerate(specs):
-        filename = f"seg_{version:04d}_col_{pos:02d}.npy"
-        np.save(root / filename, coerced[spec["name"]], allow_pickle=False)
-        files.append(filename)
+        np.save(root / files[pos], coerced[spec["name"]],
+                allow_pickle=False)
     delta = content_hash_arrays({n: coerced[n] for n in expected})
     digest = rolling_content_hash(manifest["content_hash"], delta)
-    # History entries are derived from the *pre-append* manifest (the
+    total_rows = int(manifest["rows"]) + n_rows
+    entry = {"version": version, "rows": total_rows,
+             "delta_rows": n_rows, "content_hash": digest}
+    # Repair first: a torn trailing line from a crashed append must be
+    # truncated away, or this write would concatenate onto it and turn
+    # both lines unreadable — silently un-journaling every append from
+    # here on.  Then one O(1) appending write; the segment files above
+    # land first so a journal line never references data that is not
+    # on disk yet.
+    journal_path = root / JOURNAL_NAME
+    _, valid_bytes = _scan_journal(root)
+    if journal_path.is_file() and journal_path.stat().st_size > valid_bytes:
+        with open(journal_path, "r+b") as journal:
+            journal.truncate(valid_bytes)
+    with open(journal_path, "a") as journal:
+        journal.write(json.dumps(entry, sort_keys=True) + "\n")
+    # History entries are derived from the *pre-append* state (the
     # synthesised fallbacks must describe the old state, not the new).
     history = _versions_of(manifest)
     segments = _segments_of(manifest)
     manifest = dict(manifest)
     manifest["version"] = version
-    manifest["rows"] = int(manifest["rows"]) + n_rows
+    manifest["rows"] = total_rows
     manifest["content_hash"] = digest
     manifest["versions"] = history + [
-        {"version": version, "rows": manifest["rows"],
-         "content_hash": digest}
+        {"version": version, "rows": total_rows, "content_hash": digest}
     ]
     manifest["segments"] = segments + [
         {"version": version, "rows": n_rows, "files": files}
     ]
-    write_json(root / "manifest.json", manifest)
     return manifest
 
 
@@ -251,18 +374,26 @@ def open_table(directory, version: int | None = None) -> Table:
 
     ``version=None`` loads the newest version; an explicit ``version``
     reconstructs the table exactly as it was at that point in the
-    append history (segments beyond it are simply not read).
+    append history (segments beyond it are simply not read).  After a
+    :func:`compact_table`, only the versions compaction kept (the ones
+    a cache artifact still referenced, plus the newest) remain
+    readable.  Columns are built over the segment chunks directly and
+    concatenated lazily, so the cost of a cold open is bounded by the
+    number of *segments* — checkpoint plus live deltas — not by the
+    number of appends the table ever absorbed.
     """
     root = Path(directory)
-    manifest = read_json(root / "manifest.json")
+    manifest = load_table_manifest(root)
     if manifest.get("kind") != "table":
         raise StorageError(f"{root} is not a saved table")
     current = int(manifest.get("version", 0))
     if version is None:
         version = current
-    if not (0 <= version <= current):
+    available = {int(v["version"]) for v in _versions_of(manifest)}
+    if version not in available:
         raise StorageError(
-            f"{root} has no version {version} (history is 0..{current})"
+            f"{root} has no readable version {version} "
+            f"(available: {sorted(available)})"
         )
     segments = [s for s in _segments_of(manifest)
                 if int(s["version"]) <= version]
@@ -270,10 +401,168 @@ def open_table(directory, version: int | None = None) -> Table:
     for pos, spec in enumerate(manifest["columns"]):
         parts = [np.load(root / seg["files"][pos], allow_pickle=False)
                  for seg in segments]
-        values = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        columns.append(Column(spec["name"], ColumnType(spec["type"]),
-                              values))
+        columns.append(Column.from_segments(
+            spec["name"], ColumnType(spec["type"]), parts))
     return Table(manifest["name"], columns)
+
+
+def compact_table(directory, keep_hashes=None) -> dict:
+    """Fold journal + delta segments into checkpoints; truncate history.
+
+    ``keep_hashes`` is the set of content hashes live cache artifacts
+    still reference.  Every version whose hash is in the set (plus the
+    newest version, always) keeps a segment boundary and stays
+    re-openable; runs of segments *between* kept versions are folded
+    into single checkpoint segments, and history entries at versions
+    nobody references any more are truncated.  All surviving hashes
+    are carried verbatim — the rolling chain is bit-identical across
+    the compaction, so the next append computes exactly the hash it
+    would have computed without it.
+
+    The new manifest is written atomically before any old file is
+    removed, and stale journal lines are ignored by readers (their
+    version is already folded), so a crash at any point leaves the
+    table readable.  Returns compaction stats (plus the surviving
+    ``versions`` history, for callers that mirror it in memory).
+    """
+    root = Path(directory)
+    state = load_table_manifest(root)
+    if state.get("kind") != "table":
+        raise StorageError(f"{root} is not a saved table")
+    versions = [dict(v) for v in _versions_of(state)]
+    segments = [dict(s) for s in _segments_of(state)]
+    current = int(state.get("version", 0))
+    keep_hashes = set(keep_hashes or ())
+    keep_versions = sorted(
+        {int(v["version"]) for v in versions
+         if v["content_hash"] in keep_hashes} | {current}
+    )
+    n_columns = len(state["columns"])
+    epoch = int(state.get("compactions", 0)) + 1
+
+    journal_path = root / JOURNAL_NAME
+    journal_bytes = (journal_path.stat().st_size
+                     if journal_path.is_file() else 0)
+    old_files = {f for seg in segments for f in seg["files"]}
+    old_bytes = sum((root / f).stat().st_size for f in old_files
+                    if (root / f).is_file())
+
+    runs = []
+    previous = -1
+    for boundary in keep_versions:
+        run = [s for s in segments
+               if previous < int(s["version"]) <= boundary]
+        previous = boundary
+        if run:
+            runs.append((boundary, run))
+    new_versions = [v for v in versions
+                    if int(v["version"]) in set(keep_versions)]
+    if (journal_bytes == 0
+            and len(new_versions) == len(versions)
+            and all(len(run) == 1 for _, run in runs)):
+        # Nothing to fold, nothing to truncate, no journal: leave the
+        # manifest untouched (a futile rewrite per call would make a
+        # pinned-at-threshold auto-compaction loop expensive).
+        return {
+            "compacted": False,
+            "version": current,
+            "content_hash": state["content_hash"],
+            "versions": versions,
+            "segments_before": len(segments),
+            "segments_after": len(segments),
+            "versions_dropped": 0,
+            "reclaimed_bytes": 0,
+            "on_disk_bytes": int(old_bytes),
+        }
+
+    new_segments = []
+    written: list[str] = []
+    for boundary, run in runs:
+        if len(run) == 1:
+            # Already a single segment ending exactly at a kept
+            # version — reuse its files untouched, no IO.
+            new_segments.append(run[0])
+            continue
+        files = []
+        for pos in range(n_columns):
+            filename = f"chk_{epoch:03d}_{boundary:04d}_col_{pos:02d}.npy"
+            parts = [np.load(root / seg["files"][pos],
+                             allow_pickle=False) for seg in run]
+            np.save(root / filename, np.concatenate(parts),
+                    allow_pickle=False)
+            files.append(filename)
+        written.extend(files)
+        new_segments.append({
+            "version": boundary,
+            "rows": int(sum(int(s["rows"]) for s in run)),
+            "files": files,
+        })
+
+    manifest = dict(state)
+    manifest["versions"] = new_versions
+    manifest["segments"] = new_segments
+    manifest["compactions"] = epoch
+    write_json(root / "manifest.json", manifest)
+
+    # Only after the manifest durably references the new layout do the
+    # superseded files go.
+    journal_path.unlink(missing_ok=True)
+    referenced = {f for seg in new_segments for f in seg["files"]}
+    removed_bytes = 0
+    for pattern in ("seg_*.npy", "col_*.npy", "chk_*.npy"):
+        for path in root.glob(pattern):
+            if path.name not in referenced:
+                removed_bytes += path.stat().st_size
+                path.unlink()
+    written_bytes = sum((root / f).stat().st_size for f in written)
+    return {
+        "compacted": len(segments) != len(new_segments)
+        or len(versions) != len(new_versions) or journal_bytes > 0,
+        "version": current,
+        "content_hash": state["content_hash"],
+        "versions": new_versions,
+        "segments_before": len(segments),
+        "segments_after": len(new_segments),
+        "versions_dropped": len(versions) - len(new_versions),
+        "reclaimed_bytes": int(journal_bytes + removed_bytes
+                               - written_bytes),
+        "on_disk_bytes": int(old_bytes - removed_bytes + written_bytes),
+    }
+
+
+def table_storage_stats(directory, state: dict | None = None) -> dict:
+    """Segment count / bytes / reclaimable estimate for one table.
+
+    ``reclaimable_bytes`` is what folding every segment into one
+    checkpoint per column would free: the journal plus one ``.npy``
+    header per merged-away file.  Filesystem block slack (the dominant
+    real cost of thousands of tiny delta files) comes on top, so this
+    is a conservative floor — and the signal the
+    :class:`~repro.service.CompactionPolicy` byte threshold gates on.
+
+    ``state`` lets a caller that already holds the table's effective
+    manifest (:func:`load_table_manifest`) skip the second read.
+    """
+    root = Path(directory)
+    if state is None:
+        state = load_table_manifest(root)
+    segments = _segments_of(state)
+    n_columns = len(state["columns"])
+    files = [f for seg in segments for f in seg["files"]]
+    data_bytes = sum((root / f).stat().st_size for f in files
+                     if (root / f).is_file())
+    journal_path = root / JOURNAL_NAME
+    journal_bytes = (journal_path.stat().st_size
+                     if journal_path.is_file() else 0)
+    manifest_bytes = (root / "manifest.json").stat().st_size
+    reclaimable = journal_bytes
+    if len(segments) > 1:
+        reclaimable += (len(files) - n_columns) * _NPY_HEADER_BYTES
+    return {
+        "segments": len(segments),
+        "on_disk_bytes": int(data_bytes + journal_bytes + manifest_bytes),
+        "reclaimable_bytes": int(reclaimable),
+    }
 
 
 # -- sample results -------------------------------------------------------

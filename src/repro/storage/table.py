@@ -85,6 +85,28 @@ class Table:
     def has_column(self, name: str) -> bool:
         return name in self._columns
 
+    @property
+    def segment_count(self) -> int:
+        """The widest column's physical chunk count (1 = consolidated).
+
+        Live-table appends push one in-memory segment per column per
+        append; this is what the service's storage stats (and the
+        ephemeral workspace's compaction trigger) observe.
+        """
+        return max(self._columns[n].segment_count for n in self._order)
+
+    def consolidate(self) -> "Table":
+        """Fuse every column's segments into one contiguous array.
+
+        The in-memory mirror of on-disk compaction: after a burst of
+        O(delta) appends, one O(N) pass restores single-chunk columns
+        (and each column caches the result, so this is idempotent).
+        Returns ``self`` for chaining.
+        """
+        for name in self._order:
+            self._columns[name].values  # noqa: B018 - consolidating access
+        return self
+
     # -- relational operations --------------------------------------------------
     def project(self, names: Sequence[str]) -> "Table":
         """A table with only the given columns (in the given order)."""

@@ -242,6 +242,46 @@ class TestAppendEndpoint:
         assert code == 400
 
 
+class TestCompactEndpoint:
+    def test_compact_one_table(self, server_url):
+        post_json(f"{server_url}/append", {
+            "table": "demo", "rows": [[0.5, 0.5], [1.5, 0.5]]})
+        post_json(f"{server_url}/append", {
+            "table": "demo", "rows": [[2.5, 0.5]]})
+        before = get_json(f"{server_url}/tables")["tables"][0]
+        assert before["storage"]["segments"] == 3
+        payload = post_json(f"{server_url}/compact", {"table": "demo"})
+        report = payload["compacted"][0]
+        assert report["table"] == "demo"
+        assert report["compacted"] is True
+        after = get_json(f"{server_url}/tables")["tables"][0]
+        # The build roots pin version 0; the two delta segments above
+        # it fold into one checkpoint.
+        assert after["storage"]["segments"] == 2
+        # Hash and data are untouched by the compaction.
+        assert after["content_hash"] == before["content_hash"]
+        assert after["rows"] == before["rows"]
+        viewport = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2")
+        assert viewport["returned_rows"] > 0
+
+    def test_compact_all_tables(self, server_url):
+        payload = post_json(f"{server_url}/compact", {})
+        assert [r["table"] for r in payload["compacted"]] == ["demo"]
+
+    def test_compact_unknown_table(self, server_url):
+        code, _ = error_of(lambda: post_json(
+            f"{server_url}/compact", {"table": "nope"}))
+        assert code == 404
+
+    def test_tables_storage_block(self, server_url):
+        table = get_json(f"{server_url}/tables")["tables"][0]
+        storage = table["storage"]
+        assert storage["segments"] == 1
+        assert storage["on_disk_bytes"] > 0
+        assert storage["reclaimable_bytes"] == 0
+
+
 class TestGracefulShutdown:
     @pytest.mark.parametrize("signum", ["SIGTERM", "SIGINT"])
     def test_serve_shuts_down_cleanly(self, tmp_path, signum):

@@ -1,0 +1,321 @@
+"""Tests for service-level compaction: policy, GC, soak, front end.
+
+The load-bearing properties of PR 5:
+
+* a :class:`CompactionPolicy` auto-compacts after appends the same
+  way :class:`MaintenancePolicy` gates maintenance, bounding segment
+  count (and therefore per-append cost) for the life of the table;
+* compaction garbage-collects orphaned cache entries and superseded
+  lineage hops, but never a lineage root or the newest entry;
+* version hashes are stable across compact + restart, any version a
+  live artifact references stays re-openable, and the
+  queries-never-build invariant holds through
+  append → compact → viewport (builders monkeypatched to explode);
+* the 1k-append soak: per-append cost stays bounded (segments never
+  exceed the policy threshold) and the final state equals the
+  never-compacted ephemeral twin's, hash for hash.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.errors import SchemaError, TableNotFoundError
+from repro.service import (
+    CompactionPolicy,
+    MaintenancePolicy,
+    VasService,
+    Workspace,
+)
+
+ROWS = 400
+
+
+def demo_arrays(rows: int = ROWS, seed: int = 5) -> dict:
+    gen = np.random.default_rng(seed)
+    return {"lon": gen.random(rows) * 10, "lat": gen.random(rows) * 5}
+
+
+def write_csv(path, arrays: dict) -> None:
+    np.savetxt(path, np.column_stack(list(arrays.values())),
+               delimiter=",", header=",".join(arrays), comments="")
+
+
+def delta_rows(rows: int, seed: int) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return np.column_stack([gen.random(rows) * 10, gen.random(rows) * 5])
+
+
+def forbid_builders(monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("builder invoked on the warm path")
+
+    monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+    monkeypatch.setattr(service_module, "build_method_sample", boom)
+
+
+@pytest.fixture()
+def demo_csv(tmp_path):
+    path = tmp_path / "demo.csv"
+    write_csv(path, demo_arrays())
+    return path
+
+
+@pytest.fixture()
+def service(tmp_path, demo_csv):
+    svc = VasService(Workspace(tmp_path / "ws"))
+    svc.ingest_csv(demo_csv, name="demo")
+    return svc
+
+
+class TestCompactionPolicy:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            CompactionPolicy(compact_after_segments=1)
+        with pytest.raises(SchemaError):
+            CompactionPolicy(compact_after_bytes=0)
+        CompactionPolicy(compact_after_segments=None,
+                         compact_after_bytes=None)  # valid: manual only
+
+    def test_should_compact_thresholds(self):
+        policy = CompactionPolicy(compact_after_segments=4,
+                                  compact_after_bytes=1000)
+        assert not policy.should_compact(
+            {"segments": 3, "reclaimable_bytes": 10})
+        assert policy.should_compact(
+            {"segments": 4, "reclaimable_bytes": 10})
+        assert policy.should_compact(
+            {"segments": 2, "reclaimable_bytes": 1000})
+        disabled = CompactionPolicy(compact_after_segments=None,
+                                    compact_after_bytes=None)
+        assert not disabled.should_compact(
+            {"segments": 10_000, "reclaimable_bytes": 1 << 30})
+
+
+class TestAutoCompaction:
+    def test_append_triggers_compaction_at_threshold(self, tmp_path,
+                                                     demo_csv):
+        svc = VasService(Workspace(tmp_path / "ws"),
+                         compaction=CompactionPolicy(
+                             compact_after_segments=4))
+        svc.ingest_csv(demo_csv, name="demo")
+        reports = []
+        for seed in range(8):
+            info = svc.append_rows("demo", delta_rows(5, seed))
+            if "compaction" in info:
+                reports.append((info["version"], info["compaction"]))
+        assert reports, "the segment threshold never triggered"
+        # Segment count is bounded by the policy for the whole stream.
+        assert svc.workspace.storage_stats("demo")["segments"] <= 4
+        for _, report in reports:
+            assert report["compacted"] is True
+
+    def test_pinned_boundaries_do_not_loop_compaction(self, tmp_path,
+                                                      demo_csv):
+        """Artifacts pinning several version boundaries keep the
+        absolute segment count at (or above) the threshold forever;
+        the policy must measure growth since the last compaction, not
+        absolute size — otherwise every append pays a futile fold."""
+        svc = VasService(
+            Workspace(tmp_path / "ws"),
+            policy=MaintenancePolicy(maintain_after_rows=10**6),
+            compaction=CompactionPolicy(compact_after_segments=3))
+        svc.ingest_csv(demo_csv, name="demo")
+        svc.build_sample("demo", 10, method="uniform", seed=1)  # pins v0
+        svc.append_rows("demo", delta_rows(3, 80))
+        svc.build_sample("demo", 12, method="uniform", seed=1)  # pins v1
+        # Third segment crosses the threshold: one compaction, which
+        # cannot fold anything (every boundary is pinned).
+        info = svc.append_rows("demo", delta_rows(3, 81))
+        assert "compaction" in info
+        assert svc.workspace.storage_stats("demo")["segments"] == 3
+        # The next appends grow 1..2 segments past the floor of 3 —
+        # below the threshold, so no compaction fires despite the
+        # absolute count sitting at/above it.
+        for seed in (82, 83):
+            info = svc.append_rows("demo", delta_rows(3, seed))
+            assert "compaction" not in info
+        # Growth of 3 since the floor: the policy fires again.
+        info = svc.append_rows("demo", delta_rows(3, 84))
+        assert "compaction" in info
+
+    def test_tables_reports_storage_block(self, service):
+        service.append_rows("demo", delta_rows(5, 1))
+        table = service.tables()[0]
+        assert table["storage"]["segments"] == 2
+        assert table["storage"]["on_disk_bytes"] > 0
+        assert "reclaimable_bytes" in table["storage"]
+
+    def test_workspace_info_reports_storage_block(self, service):
+        payload = service.info()
+        assert payload["tables"][0]["storage"]["segments"] == 1
+        assert payload["compaction_policy"][
+            "compact_after_segments"] == 64
+
+    def test_compact_unknown_table(self, service):
+        with pytest.raises(TableNotFoundError):
+            service.compact_table("nope")
+
+    def test_ephemeral_workspace_compacts_in_memory(self, demo_csv):
+        svc = VasService(Workspace(None),
+                         compaction=CompactionPolicy(
+                             compact_after_segments=4))
+        svc.ingest_csv(demo_csv, name="demo")
+        for seed in range(6):
+            svc.append_rows("demo", delta_rows(5, seed))
+        stats = svc.workspace.storage_stats("demo")
+        assert stats["segments"] <= 4
+        assert stats["on_disk_bytes"] == 0
+        assert svc.workspace.table_info("demo")["rows"] == ROWS + 30
+
+
+class TestCacheGarbageCollection:
+    def test_superseded_hops_collected_roots_kept(self, service,
+                                                  tmp_path):
+        root_key = service.build_sample("demo", 20, method="vas",
+                                        seed=1).key
+        keys = []
+        for seed in (30, 31, 32):
+            info = service.append_rows("demo", delta_rows(10, seed))
+            step = [s for s in info["maintenance"]
+                    if s["kind"] == "sample"][0]
+            keys.append(step["new_key"])
+        report = service.compact_table("demo")
+        cache = tmp_path / "ws" / "cache"
+        assert (cache / root_key).is_dir()       # root never collected
+        assert (cache / keys[-1]).is_dir()       # newest hop serves
+        for collected in keys[:-1]:
+            assert not (cache / collected).exists()
+        assert report["cache_entries_dropped"] >= 1
+        # The newest hop still answers queries.
+        assert service.sample_query("demo", method="vas").sample_size == 20
+
+    def test_orphans_from_replaced_data_collected(self, service,
+                                                  demo_csv, tmp_path):
+        orphan_key = service.build_ladder("demo", levels=2,
+                                          k_per_tile=20).key
+        edited = tmp_path / "edited.csv"
+        write_csv(edited, demo_arrays(rows=100, seed=9))
+        service.ingest_csv(edited, name="demo", replace=True)
+        service.compact_table("demo")
+        assert not (tmp_path / "ws" / "cache" / orphan_key).exists()
+
+    def test_artifact_referenced_version_stays_reopenable(self, service,
+                                                          tmp_path):
+        """The root artifact pins its build version: after appends and
+        a compaction, that exact version still opens from disk."""
+        from repro.storage import open_table
+
+        built = service.build_sample("demo", 20, method="vas", seed=1)
+        built_version = built.manifest["table_version"]
+        for seed in (50, 51, 52, 53):
+            service.append_rows("demo", delta_rows(8, seed))
+        service.compact_table("demo")
+        table_dir = tmp_path / "ws" / "tables" / "demo"
+        pinned = open_table(table_dir, version=built_version)
+        assert len(pinned) == ROWS  # exactly the rows the build saw
+
+
+class TestSoak:
+    def test_1k_append_soak(self, tmp_path, demo_csv, monkeypatch):
+        """The satellite soak: 1000 appends under auto-compaction.
+
+        Version hashes must match a never-compacted ephemeral twin
+        append for append, segments must stay bounded by the policy,
+        artifacts must keep serving — and after a compact + restart,
+        queries succeed with the builders monkeypatched to explode.
+        """
+        policy = MaintenancePolicy(maintain_after_rows=300)
+        compaction = CompactionPolicy(compact_after_segments=128)
+        svc = VasService(Workspace(tmp_path / "ws"), policy=policy,
+                         compaction=compaction)
+        svc.ingest_csv(demo_csv, name="demo")
+        svc.build_sample("demo", 15, method="vas", seed=1)
+        svc.build_ladder("demo", levels=2, k_per_tile=20)
+
+        twin = VasService(Workspace(None), policy=policy)
+        twin.ingest_csv(demo_csv, name="demo")
+
+        compactions = 0
+        max_segments = 0
+        for seed in range(1000):
+            batch = delta_rows(1, 10_000 + seed)
+            info = svc.append_rows("demo", batch)
+            twin_info = twin.append_rows("demo", batch)
+            assert info["content_hash"] == twin_info["content_hash"]
+            if "compaction" in info:
+                compactions += 1
+            max_segments = max(
+                max_segments,
+                svc.workspace.storage_stats("demo")["segments"])
+        assert compactions >= 5
+        # Bounded by threshold + the post-compaction floor (the few
+        # boundaries the root/hop artifacts pin).
+        assert max_segments <= 128 + 8
+        assert svc.workspace.table_version("demo") == 1000
+
+        # Restart: the journal/manifest state on disk reproduces the
+        # same hash, and the warm path never builds.
+        fresh = VasService(Workspace(tmp_path / "ws"))
+        assert (fresh.workspace.table_hash("demo")
+                == twin.workspace.table_hash("demo"))
+        forbid_builders(monkeypatch)
+        fresh.compact_table("demo")
+        assert fresh.viewport("demo",
+                              (0.0, 0.0, 10.0, 5.0)).returned_rows > 0
+        assert fresh.sample_query("demo", method="vas").sample_size == 15
+        # One more append chains off the compacted state bit-exactly.
+        batch = delta_rows(1, 99_999)
+        assert (fresh.append_rows("demo", batch)["content_hash"]
+                == twin.append_rows("demo", batch)["content_hash"])
+
+    def test_warm_appends_never_consolidate(self, service):
+        """The decoded-cache refresh is an O(delta) segment push: a
+        stream of warm appends leaves the in-memory column segmented
+        (one chunk per append) instead of re-concatenating N rows."""
+        service.build_sample("demo", 15, method="vas", seed=1)
+        service.workspace.table("demo")  # decode (warm) before appends
+        for seed in range(5):
+            service.append_rows("demo", delta_rows(3, 600 + seed))
+        table = service.workspace.table("demo")
+        # Base + 5 deltas; maintenance reads tails, never consolidates.
+        assert table.segment_count == 6
+
+
+class TestCompactionConcurrency:
+    def test_reads_overlap_compactions(self, service):
+        """Readers racing append+compact cycles see only consistent
+        states and no errors (epoch guard + retry loops)."""
+        service.build_sample("demo", 20, method="vas", seed=5)
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    viewport = service.viewport(
+                        "demo", (0.0, 0.0, 10.0, 5.0))
+                    assert viewport.returned_rows > 0
+                    sample = service.sample_query("demo", method="vas")
+                    assert sample.sample_size == 20
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seed in range(5):
+                service.append_rows("demo", delta_rows(10, 700 + seed))
+                service.compact_table("demo")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5)
+        assert errors == []

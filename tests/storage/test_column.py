@@ -66,3 +66,75 @@ class TestColumn:
         c = Column("s", STRING, np.array(["a", "b"]))
         with pytest.raises(SchemaError):
             c.min()
+
+
+class TestSegmentedColumn:
+    """Segmented storage: appends push chunks, consolidation is lazy."""
+
+    def test_extended_pushes_a_segment_not_a_copy(self):
+        base = Column("x", FLOAT64, np.arange(5))
+        grown = base.extended(np.array([5.0, 6.0]))
+        assert base.segment_count == 1
+        assert grown.segment_count == 2
+        assert len(grown) == 7
+        # The base chunk is shared, not copied.
+        assert grown._segments[0] is base._segments[0]
+
+    def test_values_consolidates_once_and_caches(self):
+        c = Column("x", FLOAT64, np.arange(3))
+        for delta in ([3.0], [4.0], [5.0]):
+            c = c.extended(np.array(delta))
+        assert c.segment_count == 4
+        first = c.values
+        assert first.tolist() == [0, 1, 2, 3, 4, 5]
+        assert c.segment_count == 1
+        assert c.values is first  # cached, no re-concatenation
+
+    def test_extended_matches_eager_concatenation(self):
+        base = np.arange(10.0)
+        extra = np.array([10.0, 11.0])
+        segmented = Column("x", FLOAT64, base).extended(extra)
+        assert np.array_equal(segmented.values,
+                              np.concatenate([base, extra]))
+
+    def test_tail_reads_only_trailing_segments(self):
+        c = Column("x", FLOAT64, np.arange(4))
+        c = c.extended(np.array([4.0, 5.0]))
+        c = c.extended(np.array([6.0]))
+        assert c.tail(4).tolist() == [4.0, 5.0, 6.0]
+        assert c.tail(5).tolist() == [5.0, 6.0]
+        assert c.tail(7).tolist() == []
+        # Reading the tail must not consolidate the column.
+        assert c.segment_count == 3
+        # A tail cut at a segment boundary is the segment itself.
+        assert c.tail(6) is c._segments[-1]
+
+    def test_tail_from_zero_is_everything(self):
+        c = Column("x", INT64, np.arange(3)).extended(np.array([3]))
+        assert c.tail(0).tolist() == [0, 1, 2, 3]
+
+    def test_min_max_span_segments(self):
+        c = Column("x", FLOAT64, np.array([5.0, 2.0]))
+        c = c.extended(np.array([9.0, 1.0]))
+        assert c.min() == 1.0
+        assert c.max() == 9.0
+        assert c.segment_count == 2  # no consolidation needed
+
+    def test_string_widths_promote_on_consolidation(self):
+        c = Column("s", STRING, np.array(["short"]))
+        c = c.extended(np.array(["a-much-longer-value"]))
+        assert c.values.tolist() == ["short", "a-much-longer-value"]
+
+    def test_from_segments_validates(self):
+        with pytest.raises(SchemaError):
+            Column.from_segments("x", FLOAT64, [])
+        with pytest.raises(SchemaError):
+            Column.from_segments("x", FLOAT64, [np.zeros((2, 2))])
+        c = Column.from_segments("x", FLOAT64,
+                                 [np.arange(2), np.arange(2)])
+        assert len(c) == 4
+
+    def test_extended_coerces_delta(self):
+        c = Column("n", INT64, np.arange(3))
+        with pytest.raises(SchemaError):
+            c.extended(np.array([1.5]))

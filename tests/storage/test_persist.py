@@ -16,6 +16,7 @@ from repro.storage import (
     append_table,
     build_zoom_ladder,
     load_sample_result,
+    load_table_manifest,
     open_table,
     rolling_content_hash,
     save_sample_result,
@@ -134,14 +135,17 @@ class TestAppendableTables:
 
     def test_rolling_hash_chains_deterministically(self, tmp_path):
         """Same base + same appends in the same order = same hashes,
-        and each version's hash differs from its predecessor's."""
+        and each version's hash differs from its predecessor's.
+        Appends land in the journal, so the *effective* manifest
+        (manifest.json with the journal folded in) is what readers
+        compare."""
         for run in ("a", "b"):
             table = make_table(rows=20)
             save_table(table, tmp_path / run)
             append_table(tmp_path / run, delta_arrays(7))
             append_table(tmp_path / run, delta_arrays(3, seed=12))
-        ha = json.loads((tmp_path / "a" / "manifest.json").read_text())
-        hb = json.loads((tmp_path / "b" / "manifest.json").read_text())
+        ha = load_table_manifest(tmp_path / "a")
+        hb = load_table_manifest(tmp_path / "b")
         assert [v["content_hash"] for v in ha["versions"]] == \
                [v["content_hash"] for v in hb["versions"]]
         hashes = [v["content_hash"] for v in ha["versions"]]

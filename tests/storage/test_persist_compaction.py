@@ -1,0 +1,267 @@
+"""Tests for journaled appends + checkpoint compaction (persist layer).
+
+The load-bearing properties:
+
+* an append writes segment files plus **one journal line** — the
+  manifest is untouched, so per-append write cost is O(delta);
+* readers see ``manifest ⊕ journal`` (:func:`load_table_manifest`),
+  identical to what the pre-journal format would have recorded;
+* :func:`compact_table` folds segment runs between still-referenced
+  versions into checkpoints, truncates unreferenced history, and
+  keeps every surviving rolling hash **bit-identical** — on disk and
+  after reopening;
+* every version a ``keep_hashes`` entry pins stays re-openable with
+  exactly its rows; folded-over versions stop being openable;
+* the append chain continues seamlessly across a compaction.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    Table,
+    append_table,
+    compact_table,
+    load_table_manifest,
+    open_table,
+    save_table,
+    table_storage_stats,
+)
+from repro.storage.persist import JOURNAL_NAME
+
+
+def make_table(rows: int = 20) -> Table:
+    gen = np.random.default_rng(7)
+    return Table.from_arrays("trips", {
+        "x": gen.random(rows),
+        "y": gen.random(rows),
+    })
+
+
+def delta(rows: int, seed: int) -> dict:
+    gen = np.random.default_rng(seed)
+    return {"x": gen.random(rows), "y": gen.random(rows)}
+
+
+@pytest.fixture()
+def appended(tmp_path):
+    """A saved table with 5 journaled appends; returns (dir, hashes)."""
+    root = tmp_path / "t"
+    save_table(make_table(), root)
+    hashes = [load_table_manifest(root)["content_hash"]]
+    for seed in range(5):
+        manifest = append_table(root, delta(4, seed))
+        hashes.append(manifest["content_hash"])
+    return root, hashes
+
+
+class TestJournaledAppends:
+    def test_append_does_not_rewrite_the_manifest(self, appended):
+        root, _ = appended
+        on_disk = json.loads((root / "manifest.json").read_text())
+        assert on_disk["version"] == 0
+        assert on_disk["rows"] == 20
+        assert len((root / JOURNAL_NAME).read_text().splitlines()) == 5
+
+    def test_effective_manifest_folds_the_journal(self, appended):
+        root, hashes = appended
+        manifest = load_table_manifest(root)
+        assert manifest["version"] == 5
+        assert manifest["rows"] == 40
+        assert [v["content_hash"] for v in manifest["versions"]] == hashes
+        assert len(manifest["segments"]) == 6
+
+    def test_open_reads_journaled_versions(self, appended):
+        root, _ = appended
+        assert len(open_table(root)) == 40
+        assert len(open_table(root, version=2)) == 28
+        with pytest.raises(StorageError):
+            open_table(root, version=9)
+
+    def test_torn_trailing_journal_line_is_ignored(self, appended):
+        root, hashes = appended
+        with open(root / JOURNAL_NAME, "a") as fh:
+            fh.write('{"version": 6, "rows": 44, "delt')  # crash mid-write
+        manifest = load_table_manifest(root)
+        assert manifest["version"] == 5
+        assert manifest["content_hash"] == hashes[-1]
+        # The next append reuses the torn version number cleanly.
+        assert append_table(root, delta(2, 99))["version"] == 6
+
+    def test_append_after_torn_line_stays_durable(self, appended):
+        """The repair property: the torn line must be truncated before
+        the next append writes its own line, or the two concatenate
+        into one unreadable line and every append from then on would
+        report success while staying invisible to readers."""
+        root, _ = appended
+        with open(root / JOURNAL_NAME, "a") as fh:
+            fh.write('{"version": 6, "rows": 44, "delt')
+        append_table(root, delta(2, 99))
+        manifest = load_table_manifest(root)
+        assert manifest["version"] == 6
+        assert manifest["rows"] == 42
+        assert len(open_table(root)) == 42
+        # And the chain keeps extending durably afterwards.
+        append_table(root, delta(1, 100))
+        assert load_table_manifest(root)["version"] == 7
+        assert len(open_table(root)) == 43
+
+    def test_complete_json_without_newline_is_torn(self, appended):
+        """A final line that parses but lacks its newline is still an
+        unacknowledged write — it is dropped and truncated, never
+        half-adopted."""
+        root, _ = appended
+        with open(root / JOURNAL_NAME, "a") as fh:
+            fh.write(json.dumps({"version": 6, "rows": 44,
+                                 "delta_rows": 4,
+                                 "content_hash": "bogus"}))  # no \n
+        assert load_table_manifest(root)["version"] == 5
+        manifest = append_table(root, delta(2, 99))
+        assert manifest["version"] == 6
+        assert manifest["content_hash"] != "bogus"
+        assert load_table_manifest(root)["version"] == 6
+
+    def test_resave_clears_the_journal(self, appended):
+        root, _ = appended
+        save_table(make_table(rows=8), root)
+        assert not (root / JOURNAL_NAME).exists()
+        assert load_table_manifest(root)["version"] == 0
+        assert len(open_table(root)) == 8
+
+
+class TestCompaction:
+    def test_fold_everything_when_nothing_referenced(self, appended):
+        root, hashes = appended
+        stats = compact_table(root)
+        assert stats["compacted"] is True
+        assert stats["segments_before"] == 6
+        assert stats["segments_after"] == 1
+        assert stats["versions_dropped"] == 5
+        # One checkpoint file per column, journal gone.
+        assert not (root / JOURNAL_NAME).exists()
+        npys = sorted(p.name for p in root.glob("*.npy"))
+        assert len(npys) == 2 and all(n.startswith("chk_") for n in npys)
+        manifest = load_table_manifest(root)
+        assert manifest["version"] == 5
+        assert manifest["content_hash"] == hashes[-1]
+        assert [v["version"] for v in manifest["versions"]] == [5]
+
+    def test_hashes_and_rows_bit_identical_across_compaction(
+            self, appended, tmp_path):
+        """The acceptance property: same data, same hash, same future
+        chain — compacted and uncompacted twins never diverge."""
+        root, hashes = appended
+        twin = tmp_path / "twin"
+        save_table(make_table(), twin)
+        for seed in range(5):
+            append_table(twin, delta(4, seed))
+        before = open_table(root)
+        compact_table(root)
+        after = open_table(root)
+        for name in ("x", "y"):
+            assert np.array_equal(before.column(name).values,
+                                  after.column(name).values)
+        # Appending after the compaction lands on exactly the hash the
+        # never-compacted twin computes.
+        compacted_next = append_table(root, delta(3, 50))
+        twin_next = append_table(twin, delta(3, 50))
+        assert compacted_next["content_hash"] == twin_next["content_hash"]
+        assert compacted_next["version"] == twin_next["version"] == 6
+
+    def test_keep_hashes_pin_reopenable_versions(self, appended):
+        root, hashes = appended
+        # An artifact still references version 2 (hashes[2]).
+        stats = compact_table(root, keep_hashes={hashes[2]})
+        # Segments: run (..2] folded, run (2..5] folded.
+        assert stats["segments_after"] == 2
+        manifest = load_table_manifest(root)
+        assert [v["version"] for v in manifest["versions"]] == [2, 5]
+        pinned = open_table(root, version=2)
+        assert len(pinned) == 28
+        assert len(open_table(root)) == 40
+        # Folded-over versions are gone.
+        for version in (0, 1, 3, 4):
+            with pytest.raises(StorageError):
+                open_table(root, version=version)
+
+    def test_pinned_version_rows_survive_exactly(self, appended):
+        root, hashes = appended
+        expected = open_table(root, version=3)
+        compact_table(root, keep_hashes={hashes[3]})
+        pinned = open_table(root, version=3)
+        for name in ("x", "y"):
+            assert np.array_equal(pinned.column(name).values,
+                                  expected.column(name).values)
+
+    def test_single_segment_runs_are_not_rewritten(self, appended):
+        root, hashes = appended
+        # Pin every version: every run is a single segment, no IO.
+        stats = compact_table(root, keep_hashes=set(hashes))
+        assert stats["segments_after"] == 6
+        assert stats["versions_dropped"] == 0
+        # Original base + delta files survive untouched.
+        assert (root / "col_00.npy").is_file()
+        assert (root / "seg_0001_col_00.npy").is_file()
+        # But the journal is folded into the manifest regardless.
+        assert not (root / JOURNAL_NAME).exists()
+        assert len(open_table(root, version=1)) == 24
+
+    def test_repeated_compaction_is_stable(self, appended):
+        root, hashes = appended
+        compact_table(root)
+        again = compact_table(root)
+        assert again["compacted"] is False
+        assert again["segments_after"] == 1
+        assert load_table_manifest(root)["content_hash"] == hashes[-1]
+
+    def test_append_compact_append_interleave(self, tmp_path):
+        """Hash chain and row counts stay correct through repeated
+        append/compact cycles, against a never-compacted twin."""
+        a, b = tmp_path / "a", tmp_path / "b"
+        save_table(make_table(), a)
+        save_table(make_table(), b)
+        for cycle in range(3):
+            for seed in range(4):
+                last_a = append_table(a, delta(2, 10 * cycle + seed))
+                last_b = append_table(b, delta(2, 10 * cycle + seed))
+            compact_table(a)
+        assert last_a["content_hash"] == last_b["content_hash"]
+        ta, tb = open_table(a), open_table(b)
+        assert np.array_equal(ta.column("x").values,
+                              tb.column("x").values)
+        # Three cycles x 4 appends of 2 rows on 20 base rows.
+        assert len(ta) == 44
+
+    def test_compact_legacy_manifest(self, tmp_path):
+        """A pre-live-format manifest (no versions/segments keys) is
+        compactable: version 0 is synthesised, journal appends fold."""
+        root = tmp_path / "t"
+        save_table(make_table(rows=10), root)
+        manifest_path = root / "manifest.json"
+        legacy = json.loads(manifest_path.read_text())
+        for key in ("version", "versions", "segments"):
+            legacy.pop(key)
+        manifest_path.write_text(json.dumps(legacy))
+        append_table(root, delta(3, 1))
+        stats = compact_table(root)
+        assert stats["segments_after"] == 1
+        assert len(open_table(root)) == 13
+
+
+class TestStorageStats:
+    def test_stats_track_segments_and_journal(self, appended):
+        root, _ = appended
+        stats = table_storage_stats(root)
+        assert stats["segments"] == 6
+        assert stats["on_disk_bytes"] > 0
+        assert stats["reclaimable_bytes"] > 0
+        compact_table(root)
+        after = table_storage_stats(root)
+        assert after["segments"] == 1
+        assert after["reclaimable_bytes"] == 0
+        assert after["on_disk_bytes"] < stats["on_disk_bytes"]

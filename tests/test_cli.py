@@ -238,6 +238,38 @@ class TestWorkspaceRoundTrip:
         info = capsys.readouterr().out
         assert '"version": 1' in info
 
+    def test_compact_folds_appends(self, demo_csv, tmp_path, capsys):
+        """repro compact folds the append journal into checkpoint
+        segments; data and hash are untouched, queries keep working."""
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        extra = tmp_path / "extra.csv"
+        np.savetxt(extra, data[:20], delimiter=",",
+                   header="longitude,latitude,altitude", comments="")
+        main(["append", str(extra), "--workspace", ws,
+              "--table", "traj"])
+        main(["append", str(extra), "--workspace", ws,
+              "--table", "traj"])
+        capsys.readouterr()
+
+        from repro.service import VasService, Workspace
+
+        before = VasService(
+            Workspace(ws, create=False)).workspace.table_info("traj")
+        assert main(["compact", "--workspace", ws,
+                     "--table", "traj"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 'traj'" in out
+        assert "3 -> 1 segment(s)" in out
+        after = VasService(
+            Workspace(ws, create=False)).workspace.table_info("traj")
+        assert after["content_hash"] == before["content_hash"]
+        assert after["rows"] == before["rows"]
+        assert main(["compact", "--workspace", ws]) == 0
+        assert "already compact" in capsys.readouterr().out
+
     def test_append_missing_table_errors(self, demo_csv, tmp_path,
                                          capsys):
         ws = str(tmp_path / "ws")

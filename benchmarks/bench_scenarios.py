@@ -1,0 +1,311 @@
+"""Scenario bench: the served surfaces beyond the 2-D scatter.
+
+ISSUE-6 promoted three dormant modules into the serving layer; this
+bench measures each promoted scenario end to end against a real
+on-disk workspace and gates the one correctness invariant that has no
+wall-clock tolerance:
+
+* **splom** — per-pair VAS samples for a 5-column SPLOM: build cost
+  for all C(n,2) panels, warm serve latency, and the cache property
+  (an immediate rebuild must be 100% cache hits);
+* **pushdown** — predicate-filtered viewport queries: the filter
+  pushed into the ladder's tile walk must be bit-identical to
+  post-filtering the unfiltered answer, at every rung (**gate**:
+  non-zero exit on any divergence), plus the latency of both paths;
+* **task_quality** — the §VI task-based loss report (regression /
+  clustering, density too outside ``--quick``) through
+  ``VasService.task_quality``;
+* **timeseries** — the degenerate-aspect-ratio case: timestamp/value
+  data through the same ladder + sample machinery.
+
+Results merge into ``BENCH_interchange.json`` under a ``scenarios``
+key (with their own provenance block)::
+
+    python -m benchmarks.bench_scenarios            # full run
+    python -m benchmarks.bench_scenarios --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.data import (  # noqa: E402
+    SPLOM_COLUMNS,
+    GeolifeGenerator,
+    SplomGenerator,
+    TimeSeriesGenerator,
+)
+from repro.service import VasService, Workspace  # noqa: E402
+from repro.storage import compile_points_mask, parse_predicate  # noqa: E402
+
+try:
+    from .provenance import collect_provenance  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance  # noqa: E402
+
+FULL = {"rows": 15_000, "splom_rows": 10_000, "splom_cols": 4,
+        "k": 300, "queries": 30, "with_density": True}
+QUICK = {"rows": 4_000, "splom_rows": 2_000, "splom_cols": 3,
+         "k": 80, "queries": 10, "with_density": False}
+
+# Wire-syntax predicates over the geolife column pair; mixed compact
+# and JSON forms so the bench exercises both parser branches.
+PREDICATES = [
+    "longitude>=116.35",
+    "longitude>=116.3,latitude<39.95",
+    '{"or": [{"col": "latitude", "op": "<", "value": 39.85},'
+    ' {"col": "longitude", "between": [116.3, 116.45]}]}',
+]
+
+
+def _workspace(tmp: str, name: str, data, header: str) -> VasService:
+    root = Path(tmp) / name
+    root.mkdir()
+    csv = root / f"{name}.csv"
+    np.savetxt(csv, data, delimiter=",", header=header, comments="")
+    service = VasService(Workspace(root / "ws"))
+    service.ingest_csv(csv, name=name)
+    return service
+
+
+def bench_splom(profile, tmp):
+    """Build every panel of a SPLOM once, then serve it warm."""
+    cols = list(SPLOM_COLUMNS[:profile["splom_cols"]])
+    data = SplomGenerator(seed=0).generate(profile["splom_rows"])
+    service = _workspace(tmp, "splom", data.values,
+                         ",".join(SPLOM_COLUMNS))
+
+    started = time.perf_counter()
+    built = service.build_splom("splom", profile["k"], cols=cols,
+                                method="vas", seed=0)
+    build_seconds = time.perf_counter() - started
+    rebuilt = service.build_splom("splom", profile["k"], cols=cols,
+                                  method="vas", seed=0)
+    all_cached = all(p["cached"] for p in rebuilt["pairs"])
+
+    started = time.perf_counter()
+    for _ in range(profile["queries"]):
+        answer = service.splom_query("splom", cols=cols, method="vas")
+    serve_ms = ((time.perf_counter() - started)
+                / profile["queries"] * 1000.0)
+    return {
+        "columns": cols,
+        "pairs": len(built["pairs"]),
+        "build_seconds": round(build_seconds, 4),
+        "rebuild_all_cached": bool(all_cached),
+        "serve_ms_per_query": round(serve_ms, 3),
+        "points_per_panel": int(answer["panels"][0]["result"].returned_rows),
+    }
+
+
+def bench_pushdown(service, ladder_levels, profile):
+    """Filtered viewports: pushdown vs post-filter, every rung."""
+    table = service.workspace.table("geolife")
+    xy = table.xy("longitude", "latitude")
+    lo, hi = xy.min(axis=0), xy.max(axis=0)
+    mid = (lo + hi) / 2
+    bboxes = [
+        (lo[0], lo[1], hi[0], hi[1]),
+        (lo[0], lo[1], mid[0], mid[1]),
+        (mid[0] - 0.05, mid[1] - 0.05, mid[0] + 0.05, mid[1] + 0.05),
+    ]
+    layout = {"longitude": 0, "latitude": 1}
+
+    checks = 0
+    divergences = 0
+    pushdown_s = 0.0
+    postfilter_s = 0.0
+    for spec in PREDICATES:
+        predicate = parse_predicate(spec)
+        points_mask = compile_points_mask(predicate, layout)
+        for zoom in range(ladder_levels):
+            for bbox in bboxes:
+                started = time.perf_counter()
+                pushed = service.viewport("geolife", bbox, zoom=zoom,
+                                          predicate=predicate)
+                pushdown_s += time.perf_counter() - started
+
+                started = time.perf_counter()
+                plain = service.viewport("geolife", bbox, zoom=zoom)
+                keep = (points_mask(plain.points) if len(plain.points)
+                        else np.zeros(0, dtype=bool))
+                reference = plain.points[keep]
+                postfilter_s += time.perf_counter() - started
+
+                checks += 1
+                if not np.array_equal(pushed.points, reference):
+                    divergences += 1
+                    print(f"!! pushdown diverged: zoom={zoom} "
+                          f"bbox={bbox} predicate={spec!r} "
+                          f"({pushed.returned_rows} vs "
+                          f"{len(reference)} rows)", file=sys.stderr)
+    return {
+        "predicates": len(PREDICATES),
+        "checks": checks,
+        "divergences": divergences,
+        "bit_identical": divergences == 0,
+        "pushdown_ms_per_query": round(pushdown_s / checks * 1000.0, 3),
+        "postfilter_ms_per_query": round(
+            postfilter_s / checks * 1000.0, 3),
+    }
+
+
+def bench_task_quality(service, profile):
+    """Maintained-sample loss vs fresh rebuild, per perceptual task."""
+    tasks = ["regression", "clustering"]
+    if profile["with_density"]:
+        tasks.append("density")
+    reports = {}
+    for task in tasks:
+        started = time.perf_counter()
+        report = service.task_quality("geolife", task, method="vas",
+                                      n_observers=4, n_questions=3,
+                                      seed=0)
+        reports[task] = {
+            "sample_score": report["sample_score"],
+            "reference_score": report["reference_score"],
+            "loss": report["loss"],
+            "seconds": round(time.perf_counter() - started, 4),
+        }
+        print(f"task {task}: sample {report['sample_score']:.3f} vs "
+              f"reference {report['reference_score']:.3f} "
+              f"(loss {report['loss']:+.3f})")
+    return reports
+
+
+def bench_timeseries(profile, tmp):
+    """Timestamp/value data through the same ladder + sample path."""
+    data = TimeSeriesGenerator(seed=0).generate(profile["rows"])
+    service = _workspace(tmp, "ts", data.xy, "timestamp,value")
+    started = time.perf_counter()
+    service.build_ladder("ts", levels=3,
+                         k_per_tile=max(32, profile["k"] // 4))
+    service.build_sample("ts", profile["k"], method="vas", seed=0)
+    build_seconds = time.perf_counter() - started
+
+    t0, t1 = data.timestamps[0], data.timestamps[-1]
+    v_lo, v_hi = data.values.min(), data.values.max()
+    # Zooming into ever-more-recent windows — the monitoring gesture.
+    windows = [(t0 + (t1 - t0) * (1 - frac), t1)
+               for frac in (1.0, 0.25, 0.05)]
+    started = time.perf_counter()
+    rows = []
+    for _ in range(profile["queries"]):
+        for w0, w1 in windows:
+            answer = service.viewport("ts", (w0, v_lo, w1, v_hi))
+            rows.append(answer.returned_rows)
+    serve_ms = ((time.perf_counter() - started)
+                / (profile["queries"] * len(windows)) * 1000.0)
+    downsampled = service.sample_query("ts", method="vas",
+                                       max_points=profile["k"])
+    return {
+        "rows": profile["rows"],
+        "build_seconds": round(build_seconds, 4),
+        "serve_ms_per_query": round(serve_ms, 3),
+        "rows_per_window": rows[:len(windows)],
+        "downsample_rows": int(downsampled.returned_rows),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_interchange.json",
+                        help="trajectory file to merge the scenarios "
+                             "block into")
+    args = parser.parse_args(argv)
+
+    provenance = collect_provenance(started_unix=time.time())
+    profile = QUICK if args.quick else FULL
+
+    with tempfile.TemporaryDirectory(prefix="repro-scen-bench-") as tmp:
+        print(f"splom: {profile['splom_rows']:,} rows x "
+              f"{profile['splom_cols']} columns, k={profile['k']}")
+        splom = bench_splom(profile, tmp)
+        print(f"splom: {splom['pairs']} panels built in "
+              f"{splom['build_seconds']:.2f}s, served warm at "
+              f"{splom['serve_ms_per_query']:.1f} ms/query")
+
+        # Geolife seed 11 is skewed enough to place density questions
+        # at the FULL row count (the QUICK profile skips density).
+        data = GeolifeGenerator(seed=11).generate(profile["rows"])
+        service = _workspace(tmp, "geolife", data.xy,
+                             "longitude,latitude")
+        ladder_levels = 3
+        service.build_ladder("geolife", levels=ladder_levels,
+                             k_per_tile=max(32, profile["k"] // 4))
+        service.build_sample("geolife", profile["k"], method="vas",
+                             seed=0)
+
+        pushdown = bench_pushdown(service, ladder_levels, profile)
+        print(f"pushdown: {pushdown['checks']} filtered viewports, "
+              f"{pushdown['divergences']} divergences, "
+              f"{pushdown['pushdown_ms_per_query']:.1f} ms pushed vs "
+              f"{pushdown['postfilter_ms_per_query']:.1f} ms "
+              f"post-filtered")
+
+        task_quality = bench_task_quality(service, profile)
+        timeseries = bench_timeseries(profile, tmp)
+        print(f"timeseries: {timeseries['rows']:,} rows served at "
+              f"{timeseries['serve_ms_per_query']:.1f} ms/window "
+              f"({timeseries['downsample_rows']} downsampled rows)")
+
+    block = {
+        "provenance": provenance,
+        "config": {
+            "rows": profile["rows"],
+            "splom_rows": profile["splom_rows"],
+            "splom_cols": profile["splom_cols"],
+            "k": profile["k"],
+            "queries": profile["queries"],
+            "seed": 0,
+            "quick": bool(args.quick),
+        },
+        "splom": splom,
+        "pushdown": pushdown,
+        "task_quality": task_quality,
+        "timeseries": timeseries,
+        "finished_unix": time.time(),
+    }
+
+    out = Path(args.out)
+    payload = {}
+    if out.is_file():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["scenarios"] = block
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged scenarios block into {out}")
+
+    # The pushdown gate: filtering inside the tile walk must change
+    # nothing but the work done.  Divergence is a correctness bug, not
+    # a perf regression — fail the run.
+    if not pushdown["bit_identical"]:
+        print("!! predicate pushdown diverged from the post-filter "
+              "reference", file=sys.stderr)
+        return 1
+    if not splom["rebuild_all_cached"]:
+        print("!! splom rebuild missed the content-hash cache",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,7 +52,12 @@ import numpy as np
 
 from .core import GaussianKernel, LossEvaluator
 from .core.epsilon import epsilon_from_diameter
-from .data import GeolifeGenerator
+from .data import (
+    SPLOM_COLUMNS,
+    GeolifeGenerator,
+    SplomGenerator,
+    TimeSeriesGenerator,
+)
 from .errors import ReproError
 from .service import VasService, Workspace
 from .service.http import serve as http_serve
@@ -107,11 +112,20 @@ def _service_and_table(args) -> tuple[VasService, str]:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    data = GeolifeGenerator(seed=args.seed).generate(args.rows)
-    out = np.column_stack([data.xy, data.altitude])
-    np.savetxt(args.out, out, delimiter=",",
-               header="longitude,latitude,altitude", comments="")
-    print(f"wrote {args.rows:,} rows to {args.out}")
+    if args.dataset == "geolife":
+        data = GeolifeGenerator(seed=args.seed).generate(args.rows)
+        out = np.column_stack([data.xy, data.altitude])
+        header = "longitude,latitude,altitude"
+    elif args.dataset == "splom":
+        splom = SplomGenerator(seed=args.seed).generate(args.rows)
+        out = splom.values
+        header = ",".join(SPLOM_COLUMNS)
+    else:
+        series = TimeSeriesGenerator(seed=args.seed).generate(args.rows)
+        out = series.xy
+        header = "timestamp,value"
+    np.savetxt(args.out, out, delimiter=",", header=header, comments="")
+    print(f"wrote {args.rows:,} {args.dataset} rows to {args.out}")
     return 0
 
 
@@ -247,9 +261,15 @@ def cmd_zoom_query(args: argparse.Namespace) -> int:
         service = VasService(Workspace(args.workspace, create=False))
         result = service.viewport(args.ladder, (xmin, ymin, xmax, ymax),
                                   zoom=args.zoom,
-                                  max_points=args.max_points)
+                                  max_points=args.max_points,
+                                  predicate=args.filter)
         points, level = result.points, result.zoom_level
     else:
+        if args.filter:
+            raise ReproError(
+                "--filter needs --workspace (column names resolve "
+                "against a table, not a bare .npz ladder)"
+            )
         try:
             ladder = ZoomLadder.load(args.ladder)
         except (OSError, ValueError, KeyError) as exc:
@@ -288,7 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("demo", help="generate a Geolife-like CSV")
+    p = sub.add_parser("demo", help="generate a synthetic dataset CSV")
+    p.add_argument("--dataset", default="geolife",
+                   choices=["geolife", "splom", "timeseries"],
+                   help="which workload to generate: Geolife-like GPS "
+                        "traces, the five-column SPLOM, or a spiky "
+                        "time series (timestamp,value)")
     p.add_argument("--rows", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="geolife_demo.csv")
@@ -389,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--zoom", type=int, default=None,
                    help="explicit ladder level (default: fit the bbox)")
     p.add_argument("--max-points", type=int, default=None)
+    p.add_argument("--filter", default=None,
+                   help="predicate over the plotted columns pushed into "
+                        "the tile walk, e.g. 'x>=0.5,y<2' (comma = AND) "
+                        "or a JSON spec; requires --workspace")
     p.add_argument("--out", default=None,
                    help="write matching rows to a CSV")
     p.set_defaults(fn=cmd_zoom_query)

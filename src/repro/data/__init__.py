@@ -15,6 +15,11 @@ from .geolife import (
 )
 from .splom import SPLOM_COLUMNS, SplomData, SplomGenerator
 from .streams import PointStream
+from .timeseries import (
+    TIMESERIES_COLUMNS,
+    TimeSeriesData,
+    TimeSeriesGenerator,
+)
 
 __all__ = [
     "BEIJING_LAT",
@@ -27,6 +32,9 @@ __all__ = [
     "SPLOM_COLUMNS",
     "SplomData",
     "SplomGenerator",
+    "TIMESERIES_COLUMNS",
+    "TimeSeriesData",
+    "TimeSeriesGenerator",
     "altitude_at",
     "clustering_datasets",
 ]

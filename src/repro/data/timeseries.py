@@ -1,0 +1,104 @@
+"""A synthetic time-series workload for downsampling scenarios.
+
+The x axis is a timestamp, the y axis a sensor-style reading: slow
+trend plus daily seasonality plus noise, with a small fraction of
+spike rows (outages, surges) riding far off the band.  Time series are
+the degenerate-aspect-ratio case for visualization-aware sampling —
+the data is dense along x and thin along y, and naive uniform
+downsampling flattens exactly the spikes an analyst zooms in on — so
+the same VAS machinery that serves scatter plots is exercised here on
+a workload where preserving sparse structure is visibly the point.
+
+Deterministic per seed, like every generator in :mod:`repro.data`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import as_generator
+
+#: Column names of the generated table.
+TIMESERIES_COLUMNS = ("timestamp", "value")
+
+#: Seconds per synthetic day (the seasonality period).
+_DAY = 86_400.0
+
+
+@dataclass
+class TimeSeriesData:
+    """A generated series: ``timestamp`` (seconds) vs. ``value``."""
+
+    timestamps: np.ndarray  # (N,) float64, strictly increasing
+    values: np.ndarray      # (N,) float64
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def xy(self) -> np.ndarray:
+        """The ``(N, 2)`` plot projection (x = timestamp, y = value)."""
+        return np.stack([self.timestamps, self.values], axis=1)
+
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        return {"timestamp": self.timestamps, "value": self.values}
+
+
+class TimeSeriesGenerator:
+    """Seeded trend + seasonality + noise + spikes generator.
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator.
+    spike_fraction:
+        Fraction of rows replaced by spikes several band-widths off
+        the signal — the sparse features a downsampler must keep.
+    cadence_seconds:
+        Mean spacing between consecutive readings (jittered, so
+        timestamps are irregular like real sensor feeds but always
+        strictly increasing).
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = 0,
+                 spike_fraction: float = 0.01,
+                 cadence_seconds: float = 60.0) -> None:
+        if not (0.0 <= spike_fraction < 1.0):
+            raise ConfigurationError(
+                f"spike_fraction must be in [0, 1), got {spike_fraction}"
+            )
+        if cadence_seconds <= 0:
+            raise ConfigurationError(
+                f"cadence_seconds must be positive, got {cadence_seconds}"
+            )
+        self._rng = as_generator(seed)
+        self.spike_fraction = float(spike_fraction)
+        self.cadence_seconds = float(cadence_seconds)
+
+    def generate(self, n: int) -> TimeSeriesData:
+        """Generate ``n`` readings."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        rng = self._rng
+        # Irregular but strictly increasing timestamps: exponential
+        # inter-arrival gaps around the cadence, floored above zero.
+        gaps = rng.exponential(self.cadence_seconds, size=n)
+        gaps = np.maximum(gaps, self.cadence_seconds * 1e-3)
+        timestamps = np.cumsum(gaps)
+        days = timestamps / _DAY
+        trend = 0.08 * days + 0.5 * np.sin(days * 2.0 * np.pi / 30.0)
+        seasonal = (1.0 * np.sin(days * 2.0 * np.pi)
+                    + 0.3 * np.sin(days * 4.0 * np.pi + 1.3))
+        noise = rng.normal(0.0, 0.15, size=n)
+        values = 10.0 + trend + seasonal + noise
+        n_spikes = int(round(n * self.spike_fraction))
+        if n_spikes:
+            where = rng.choice(n, size=n_spikes, replace=False)
+            sign = rng.choice([-1.0, 1.0], size=n_spikes)
+            magnitude = rng.uniform(4.0, 12.0, size=n_spikes)
+            values[where] += sign * magnitude
+        return TimeSeriesData(timestamps=timestamps, values=values)

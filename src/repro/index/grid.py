@@ -45,6 +45,12 @@ class GridIndex:
             defaultdict(dict)
         )
         self._locations: dict[int, tuple[int, int]] = {}
+        # Per-cell (ids, points) arrays in dict insertion order, built
+        # lazily by the vectorised bbox walk and invalidated per cell
+        # on mutation — a streaming Interchange that inserts/removes
+        # only ever dirties the cells it touches.
+        self._frozen: dict[tuple[int, int],
+                           tuple[np.ndarray, np.ndarray]] = {}
 
     # -- bookkeeping -----------------------------------------------------
     def __len__(self) -> int:
@@ -74,6 +80,7 @@ class GridIndex:
         key = self._key(x, y)
         self._cells[key][point_id] = (float(x), float(y))
         self._locations[point_id] = key
+        self._frozen.pop(key, None)
 
     def insert_many(self, ids: np.ndarray, points: np.ndarray) -> None:
         """Bulk-insert ``points[i]`` under ``ids[i]``."""
@@ -90,6 +97,7 @@ class GridIndex:
         key = self._locations.pop(point_id)
         cell = self._cells[key]
         del cell[point_id]
+        self._frozen.pop(key, None)
         if not cell:
             del self._cells[key]
 
@@ -159,9 +167,32 @@ class GridIndex:
                         return True
         return False
 
+    def _cell_arrays(self, key: tuple[int, int]
+                     ) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(ids, (n, 2) points)`` for one cell, in insertion order."""
+        frozen = self._frozen.get(key)
+        if frozen is None:
+            cell = self._cells.get(key)
+            if not cell:
+                return None
+            ids = np.fromiter(cell.keys(), dtype=np.int64, count=len(cell))
+            pts = np.array(list(cell.values()), dtype=np.float64)
+            frozen = (ids, pts)
+            self._frozen[key] = frozen
+        return frozen
+
     def query_bbox(self, xmin: float, ymin: float,
-                   xmax: float, ymax: float) -> list[int]:
-        """Ids of points inside the closed rectangle."""
+                   xmax: float, ymax: float,
+                   point_mask=None) -> list[int]:
+        """Ids of points inside the closed rectangle.
+
+        ``point_mask`` is an optional filter pushed into the cell walk:
+        a callable taking one cell's ``(n, 2)`` coordinate array and
+        returning a boolean keep-mask, evaluated per cell alongside the
+        bounds test (so a viewport query filters during the probe, not
+        on the assembled result).  Hit order is cell-major (x outer, y
+        inner) with insertion order inside each cell.
+        """
         if xmin > xmax or ymin > ymax:
             raise ConfigurationError("inverted query rectangle")
         kx0, ky0 = self._key(xmin, ymin)
@@ -169,12 +200,15 @@ class GridIndex:
         hits: list[int] = []
         for ix in range(kx0, kx1 + 1):
             for iy in range(ky0, ky1 + 1):
-                cell = self._cells.get((ix, iy))
-                if not cell:
+                arrays = self._cell_arrays((ix, iy))
+                if arrays is None:
                     continue
-                for pid, (px, py) in cell.items():
-                    if xmin <= px <= xmax and ymin <= py <= ymax:
-                        hits.append(pid)
+                ids, pts = arrays
+                keep = ((pts[:, 0] >= xmin) & (pts[:, 0] <= xmax)
+                        & (pts[:, 1] >= ymin) & (pts[:, 1] <= ymax))
+                if point_mask is not None:
+                    keep &= np.asarray(point_mask(pts), dtype=bool)
+                hits.extend(ids[keep].tolist())
         return hits
 
     def points_of(self, ids: list[int]) -> np.ndarray:

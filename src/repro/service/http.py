@@ -28,7 +28,19 @@ the service's mutate lock while GETs run lock-free).  Endpoints:
 ``GET /sample``             ``?table=[&method=&max_points=|&time_budget=
                             &seconds_per_point=&x=&y=&bbox=]`` — the
                             §II-D budgeted sample choice
+``GET /splom``              ``?table=[&cols=a,b,c&method=&max_points=]``
+                            — one cached per-pair sample per panel of
+                            the scatter-plot matrix
+``GET /task-quality``       ``?table=&task=regression|clustering|density
+                            [&x=&y=&method=&observers=&questions=
+                            &seed=]`` — served-sample task score vs.
+                            the full-data reference
 ==========================  =============================================
+
+``GET /viewport`` also takes ``&filter=`` — a predicate over the
+plotted columns (compact form ``x>=0.5,y<2`` or a JSON spec) pushed
+down into the ladder's tile walk.  ``POST /build`` accepts ``"kind":
+"splom"`` with ``"cols"`` to build every pair at once.
 
 Errors come back as ``{"error": …}`` with 400 (bad request), 404
 (unknown table / nothing built) or 500.  The server never builds on a
@@ -135,6 +147,8 @@ class VasRequestHandler(BaseHTTPRequestHandler):
             "/tables": lambda: ({"tables": self.service.tables()}, 200),
             "/viewport": lambda: self._get_viewport(params),
             "/sample": lambda: self._get_sample(params),
+            "/splom": lambda: self._get_splom(params),
+            "/task-quality": lambda: self._get_task_quality(params),
         }
         handler = routes.get(url.path)
         if handler is None:
@@ -156,6 +170,7 @@ class VasRequestHandler(BaseHTTPRequestHandler):
             zoom=_maybe_int(_first(params, "zoom"), "zoom"),
             max_points=_maybe_int(_first(params, "max_points"),
                                   "max_points"),
+            predicate=_first(params, "filter"),
         )
         elapsed_ms = (time.perf_counter() - started) * 1e3
         return {
@@ -173,6 +188,13 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         if table is None:
             raise ValueError("missing required parameter: table")
         raw_bbox = _first(params, "bbox")
+        # The rendering-rate default lives in the VasService.sample_query
+        # signature; the kwarg is only passed when the client set it, so
+        # the two layers cannot drift.
+        budget_kwargs = {}
+        if "seconds_per_point" in params:
+            budget_kwargs["seconds_per_point"] = _maybe_float(
+                _first(params, "seconds_per_point"), "seconds_per_point")
         started = time.perf_counter()
         result = self.service.sample_query(
             table,
@@ -182,11 +204,8 @@ class VasRequestHandler(BaseHTTPRequestHandler):
                                   "max_points"),
             time_budget_seconds=_maybe_float(
                 _first(params, "time_budget"), "time_budget"),
-            seconds_per_point=(
-                _maybe_float(_first(params, "seconds_per_point"),
-                             "seconds_per_point")
-                if "seconds_per_point" in params else 1e-6),
             bbox=_parse_bbox(raw_bbox) if raw_bbox else None,
+            **budget_kwargs,
         )
         elapsed_ms = (time.perf_counter() - started) * 1e3
         payload = {
@@ -200,6 +219,67 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         if result.weights is not None:
             payload["weights"] = result.weights.tolist()
         return payload, 200
+
+    def _get_splom(self, params: dict) -> tuple[dict, int]:
+        table = _first(params, "table")
+        if table is None:
+            raise ValueError("missing required parameter: table")
+        started = time.perf_counter()
+        answer = self.service.splom_query(
+            table,
+            cols=_first(params, "cols"),
+            method=_first(params, "method", "vas"),
+            max_points=_maybe_int(_first(params, "max_points"),
+                                  "max_points"),
+        )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        panels = []
+        for panel in answer["panels"]:
+            result = panel["result"]
+            entry = {
+                "x": panel["x"], "y": panel["y"],
+                "method": result.method,
+                "sample_size": result.sample_size,
+                "returned_rows": result.returned_rows,
+                "points": result.points.tolist(),
+            }
+            if result.weights is not None:
+                entry["weights"] = result.weights.tolist()
+            panels.append(entry)
+        return {
+            "table": table,
+            "columns": answer["columns"],
+            "panels": panels,
+            "elapsed_ms": round(elapsed_ms, 3),
+        }, 200
+
+    def _get_task_quality(self, params: dict) -> tuple[dict, int]:
+        table = _first(params, "table")
+        if table is None:
+            raise ValueError("missing required parameter: table")
+        task = _first(params, "task")
+        if task is None:
+            raise ValueError("missing required parameter: task")
+        kwargs = {}
+        observers = _maybe_int(_first(params, "observers"), "observers")
+        if observers is not None:
+            kwargs["n_observers"] = observers
+        questions = _maybe_int(_first(params, "questions"), "questions")
+        if questions is not None:
+            kwargs["n_questions"] = questions
+        seed = _maybe_int(_first(params, "seed"), "seed")
+        if seed is not None:
+            kwargs["seed"] = seed
+        started = time.perf_counter()
+        report = self.service.task_quality(
+            table, task,
+            x=_first(params, "x"), y=_first(params, "y"),
+            method=_first(params, "method", "vas"),
+            **kwargs,
+        )
+        report["elapsed_ms"] = round(
+            (time.perf_counter() - started) * 1e3, 3)
+        return report, 200
 
     # -- POST --------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
@@ -296,9 +376,28 @@ class VasRequestHandler(BaseHTTPRequestHandler):
                 workers=int(body.get("workers", 1)),
             )
             stats = {"size": len(outcome.result)}
+        elif kind == "splom":
+            if "k" not in body:
+                raise ValueError("splom builds need a 'k' field")
+            report = self.service.build_splom(
+                table, int(body["k"]), cols=body.get("cols"),
+                method=body.get("method", "vas"),
+                seed=int(body.get("seed", 0)),
+                engine=body.get("engine", "batched"),
+                workers=int(body.get("workers", 1)),
+            )
+            return {
+                "kind": "splom",
+                "table": table,
+                "columns": report["columns"],
+                "pairs": report["pairs"],
+                "cached": all(p["cached"] for p in report["pairs"]),
+                "elapsed_ms": round(
+                    (time.perf_counter() - started) * 1e3, 3),
+            }, 200
         else:
             raise ValueError(f"unknown build kind {kind!r} "
-                             "(expected 'ladder' or 'sample')")
+                             "(expected 'ladder', 'sample' or 'splom')")
         return {
             "key": outcome.key,
             "kind": outcome.kind,
@@ -378,7 +477,8 @@ def serve(service: VasService, host: str = "127.0.0.1", port: int = 8000,
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workspace: {service.workspace.root or 'ephemeral'})")
     print("endpoints: /healthz /workspace /tables /viewport /sample "
-          "POST /build /append /compact — Ctrl-C to stop")
+          "/splom /task-quality POST /build /append /compact — "
+          "Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

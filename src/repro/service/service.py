@@ -62,7 +62,9 @@ from ..core.epsilon import epsilon_from_diameter
 from ..core.kernel import make_kernel
 from ..core.maintenance import SampleMaintainer
 from ..errors import ReproError, SampleNotFoundError, SchemaError
+from ..rng import as_generator, spawn
 from ..sampling.base import SampleResult
+from ..storage.predicates import Predicate, parse_predicate
 from ..storage.query import VizResult, ZoomQuery, answer_zoom_query
 from ..storage.samples import SampleStore
 from ..storage.table import Table
@@ -72,6 +74,17 @@ from ..storage.zoom import (
     ZoomLadder,
     build_zoom_ladder,
     patch_zoom_ladder,
+)
+from ..tasks import (
+    Observer,
+    PerceptionParams,
+    count_visual_clusters,
+    make_clustering_question,
+    make_density_questions,
+    make_regression_questions,
+    score_clustering,
+    score_density,
+    score_regression,
 )
 from ..tasks.study import build_method_sample
 from ..viz.scatter import Viewport
@@ -1009,18 +1022,26 @@ class VasService:
     def viewport(self, table_name: str, bbox: tuple[float, float, float, float],
                  x: str | None = None, y: str | None = None,
                  zoom: int | None = None,
-                 max_points: int | None = None) -> VizResult:
+                 max_points: int | None = None,
+                 predicate=None) -> VizResult:
         """Answer one viewport request from a cached ladder.
 
         Read-only: takes no mutation lock, so viewport answers overlap
-        freely with each other and with appends.
+        freely with each other and with appends.  ``predicate`` — a
+        :class:`~repro.storage.predicates.Predicate` or a wire-syntax
+        spec accepted by
+        :func:`~repro.storage.predicates.parse_predicate` — is pushed
+        down into the ladder's tile walk; it may only reference the
+        plotted columns (the ladder stores nothing else).
         """
         x, y = self._resolve_xy(table_name, x, y)
+        if predicate is not None and not isinstance(predicate, Predicate):
+            predicate = parse_predicate(predicate)
         ladder = self._ladder_for_resolved(table_name, x, y)
         query = ZoomQuery(
             table=table_name, x_column=x, y_column=y,
             viewport=Viewport(*map(float, bbox)),
-            zoom=zoom, max_points=max_points,
+            zoom=zoom, max_points=max_points, predicate=predicate,
         )
         return answer_zoom_query(ladder, query)
 
@@ -1103,6 +1124,191 @@ class VasService:
             points=points, weights=weights, method=sample.method,
             sample_size=len(sample), returned_rows=len(points),
         )
+
+    # -- SPLOM -------------------------------------------------------------
+    def _splom_columns(self, table_name: str, cols) -> list[str]:
+        """Validated column list for a SPLOM request.
+
+        ``cols`` is a list of names or a comma-separated string;
+        ``None`` selects every numeric column of the table.  At least
+        two distinct numeric columns are required.
+        """
+        numeric = [c["name"]
+                   for c in self.workspace.table_columns(table_name)
+                   if c["type"] in ("float64", "int64")]
+        if cols is None:
+            names = list(numeric)
+        elif isinstance(cols, str):
+            names = [part.strip() for part in cols.split(",")
+                     if part.strip()]
+        else:
+            names = [str(c) for c in cols]
+        unknown = [c for c in names if c not in numeric]
+        if unknown:
+            raise SchemaError(
+                f"SPLOM columns {unknown} are not numeric columns of "
+                f"table {table_name!r}; available: {numeric}"
+            )
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"SPLOM columns must be distinct, got {names}"
+            )
+        if len(names) < 2:
+            raise SchemaError(
+                f"a SPLOM needs at least two columns, got {names}"
+            )
+        return names
+
+    def build_splom(self, table_name: str, k: int, cols=None,
+                    method: str = "vas", seed: int = 0,
+                    engine: str = "batched", workers: int = 1) -> dict:
+        """Build-or-reuse the per-pair samples behind a SPLOM.
+
+        One flat sample per unordered column pair, each cached under
+        its own content-hash key exactly as :meth:`build_sample` would
+        — a SPLOM over ``(a, b, c)`` and a later scatter over
+        ``(a, b)`` share the same cache entry, and re-running the
+        SPLOM build is all hits.
+        """
+        names = self._splom_columns(table_name, cols)
+        pairs = []
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                outcome = self.build_sample(
+                    table_name, k, x=names[i], y=names[j],
+                    method=method, seed=seed, engine=engine,
+                    workers=workers,
+                )
+                pairs.append({
+                    "x": names[i], "y": names[j], "key": outcome.key,
+                    "cached": outcome.cached,
+                    "size": len(outcome.result),
+                })
+        return {"table": table_name, "columns": names, "kind": "splom",
+                "pairs": pairs}
+
+    def splom_query(self, table_name: str, cols=None,
+                    method: str = "vas",
+                    max_points: int | None = None) -> dict:
+        """Serve a scatter-plot matrix from cached per-pair samples.
+
+        Pure read, like :meth:`viewport`: each unordered pair resolves
+        through :meth:`sample_query`, and a pair without a cached
+        sample raises :class:`~repro.errors.SampleNotFoundError` — a
+        half-built SPLOM answers 404, it never silently thins panels
+        and never triggers a build.
+        """
+        names = self._splom_columns(table_name, cols)
+        panels = []
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                result = self.sample_query(
+                    table_name, x=names[i], y=names[j], method=method,
+                    max_points=max_points,
+                )
+                panels.append({"x": names[i], "y": names[j],
+                               "result": result})
+        return {"table": table_name, "columns": names, "panels": panels}
+
+    # -- task quality ------------------------------------------------------
+    TASKS = ("regression", "density", "clustering")
+
+    def task_quality(self, table_name: str, task: str,
+                     x: str | None = None, y: str | None = None,
+                     method: str = "vas",
+                     n_observers: int = 8, n_questions: int = 4,
+                     seed: int = 0) -> dict:
+        """Score the *served* sample on one §V task against full data.
+
+        The maintained-sample quality report: the largest cached
+        sample of ``method`` (exactly what an unbudgeted
+        :meth:`sample_query` serves, including any maintenance hops it
+        has accumulated) is scored by a simulated observer panel on
+        one of the paper's three tasks, and the same panel — rebuilt
+        from the same seed, since scoring consumes observer RNG state
+        — scores the full table as the reference.  ``loss`` is
+        ``reference_score - sample_score``.
+
+        Questions derive deterministically from the full data and
+        ``seed``, so two calls with equal parameters agree exactly.
+        Read-only: no builder runs and no mutation lock is taken — an
+        unbuilt sample is a 404, not an Interchange run.
+        """
+        if task not in self.TASKS:
+            raise SchemaError(
+                f"unknown task {task!r}; expected one of {list(self.TASKS)}"
+            )
+        n_observers = int(n_observers)
+        n_questions = int(n_questions)
+        if n_observers < 1 or n_questions < 1:
+            raise SchemaError(
+                f"n_observers and n_questions must be >= 1, got "
+                f"{n_observers} and {n_questions}"
+            )
+        x, y = self._resolve_xy(table_name, x, y)
+        store = self._store_for(table_name, x, y)
+        sample = store.for_point_budget(table_name, x, y, method, 2**62)
+        full_xy = self.workspace.table(table_name).xy(x, y)
+
+        def panel() -> list[Observer]:
+            # Observers are stateful (answering consumes their RNG):
+            # sample and reference runs each get a fresh panel grown
+            # from the same seed, so neither side is scored by a
+            # panel the other run already perturbed.
+            return [Observer(params=PerceptionParams(), rng=r)
+                    for r in spawn(as_generator(int(seed) + 1),
+                                   n_observers)]
+
+        question_rng = as_generator(int(seed))
+        if task == "regression":
+            questions = make_regression_questions(
+                full_xy, n_questions=n_questions, rng=question_rng)
+            sample_score = score_regression(panel(), questions,
+                                            sample.points)
+            reference_score = score_regression(panel(), questions,
+                                               full_xy)
+        elif task == "density":
+            questions = make_density_questions(
+                full_xy, n_questions=n_questions, rng=question_rng)
+            sample_score = score_density(panel(), questions,
+                                         sample.points, sample.weights)
+            reference_score = score_density(panel(), questions,
+                                            full_xy, None)
+        else:
+            truth = max(
+                count_visual_clusters(full_xy, None,
+                                      Viewport.fit(full_xy)), 1)
+            question = make_clustering_question(full_xy, truth)
+            questions = [question]
+            sample_score = score_clustering(
+                panel(), [(question, sample.points, sample.weights)])
+            reference_score = score_clustering(
+                panel(), [(question, full_xy, None)])
+
+        stale_rows = None
+        artifact_version = None
+        matches = [m for m in self._servable_builds("sample", table_name,
+                                                    x, y)
+                   if m["params"].get("method") == method]
+        if matches:
+            # The unbudgeted query serves the largest rung; report that
+            # artifact's staleness, not the freshest small one's.
+            serving = max(matches,
+                          key=lambda m: int(m["params"].get("k", 0)))
+            stale_rows = serving["_stale_rows"]
+            artifact_version = serving["_version"]
+        return {
+            "table": table_name, "task": task, "x": x, "y": y,
+            "method": sample.method,
+            "sample_size": len(sample), "rows": len(full_xy),
+            "n_observers": n_observers, "n_questions": len(questions),
+            "seed": int(seed),
+            "stale_rows": stale_rows,
+            "artifact_version": artifact_version,
+            "sample_score": float(sample_score),
+            "reference_score": float(reference_score),
+            "loss": float(reference_score) - float(sample_score),
+        }
 
     def info(self) -> dict:
         """Workspace summary plus service-side cache occupancy."""

@@ -32,6 +32,8 @@ from .predicates import (
     Not,
     Or,
     Predicate,
+    compile_points_mask,
+    parse_predicate,
     viewport_predicate,
 )
 from .query import VizQuery, VizResult, ZoomQuery, answer_zoom_query
@@ -87,6 +89,8 @@ __all__ = [
     "ZoomQuery",
     "answer_zoom_query",
     "build_zoom_ladder",
+    "compile_points_mask",
+    "parse_predicate",
     "patch_zoom_ladder",
     "points_for_budget",
     "viewport_predicate",

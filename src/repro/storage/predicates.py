@@ -5,12 +5,30 @@ to a conjunction of two between-predicates — exactly the workload §III
 says uniform/stratified sampling serves poorly).  The predicate algebra
 here covers what those queries need: range, comparison, equality, and
 boolean combinators, each compiling to a vectorised boolean mask.
+
+Three evaluation surfaces share the one algebra:
+
+* :meth:`Predicate.mask` — a full-table boolean mask (consolidates
+  each referenced column once, cached by the column);
+* :meth:`Predicate.mask_tail` — the same mask over only the rows past
+  a start offset, read through :meth:`~repro.storage.column.Column.tail`
+  so evaluating a predicate over an append's delta rows stays O(delta)
+  and never consolidates the column;
+* :func:`compile_points_mask` — the predicate compiled against a
+  point-array column layout (``{"x": 0, "y": 1}``), the form the zoom
+  ladder pushes into its tile walk at query time.
+
+:func:`parse_predicate` turns the service's wire syntax — a JSON
+object or a compact ``col>=0.5,col2<1`` query string — into the
+algebra; malformed input raises :class:`~repro.errors.SchemaError`.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+import json
+import re
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
@@ -26,6 +44,16 @@ class Predicate(abc.ABC):
     @abc.abstractmethod
     def mask(self, table: "Table") -> np.ndarray:
         """``(len(table),)`` boolean mask of matching rows."""
+
+    def mask_tail(self, table: "Table", start: int) -> np.ndarray:
+        """Mask of rows ``start:`` only — the delta-range variant.
+
+        Leaf predicates override this to read
+        :meth:`~repro.storage.column.Column.tail`, which touches only
+        the trailing segments; this fallback serves predicates that
+        only implement :meth:`mask`.
+        """
+        return self.mask(table)[max(int(start), 0):]
 
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
@@ -49,6 +77,10 @@ class Between(Predicate):
 
     def mask(self, table: "Table") -> np.ndarray:
         values = table.column(self.column).values
+        return (values >= self.lo) & (values <= self.hi)
+
+    def mask_tail(self, table: "Table", start: int) -> np.ndarray:
+        values = table.column(self.column).tail(max(int(start), 0))
         return (values >= self.lo) & (values <= self.hi)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -77,6 +109,10 @@ class Compare(Predicate):
         values = table.column(self.column).values
         return self._OPS[self.op](values, self.value)
 
+    def mask_tail(self, table: "Table", start: int) -> np.ndarray:
+        values = table.column(self.column).tail(max(int(start), 0))
+        return self._OPS[self.op](values, self.value)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Compare({self.column!r} {self.op} {self.value!r})"
 
@@ -91,6 +127,10 @@ class And(Predicate):
     def mask(self, table: "Table") -> np.ndarray:
         return self.left.mask(table) & self.right.mask(table)
 
+    def mask_tail(self, table: "Table", start: int) -> np.ndarray:
+        return (self.left.mask_tail(table, start)
+                & self.right.mask_tail(table, start))
+
 
 class Or(Predicate):
     """Disjunction of two predicates."""
@@ -102,6 +142,10 @@ class Or(Predicate):
     def mask(self, table: "Table") -> np.ndarray:
         return self.left.mask(table) | self.right.mask(table)
 
+    def mask_tail(self, table: "Table", start: int) -> np.ndarray:
+        return (self.left.mask_tail(table, start)
+                | self.right.mask_tail(table, start))
+
 
 class Not(Predicate):
     """Negation of a predicate."""
@@ -112,9 +156,149 @@ class Not(Predicate):
     def mask(self, table: "Table") -> np.ndarray:
         return ~self.inner.mask(table)
 
+    def mask_tail(self, table: "Table", start: int) -> np.ndarray:
+        return ~self.inner.mask_tail(table, start)
+
 
 def viewport_predicate(x_column: str, y_column: str,
                        xmin: float, ymin: float,
                        xmax: float, ymax: float) -> Predicate:
     """The zoom-window filter: two conjunctive between-predicates."""
     return Between(x_column, xmin, xmax) & Between(y_column, ymin, ymax)
+
+
+def compile_points_mask(predicate: Predicate,
+                        columns: Mapping[str, int]
+                        ) -> Callable[[np.ndarray], np.ndarray]:
+    """Compile a predicate against a point-array column layout.
+
+    ``columns`` maps column names to positions in an ``(n, d)`` point
+    array (a ladder rung stores exactly the plotted pair, so the
+    service passes ``{x: 0, y: 1}``).  Returns ``f(points) -> mask``;
+    a predicate naming any column outside the layout raises
+    :class:`SchemaError` here, at compile time, not mid-walk.
+    """
+    def column_of(name: str) -> int:
+        try:
+            return int(columns[name])
+        except KeyError:
+            raise SchemaError(
+                f"predicate column {name!r} is not filterable here; "
+                f"available columns: {sorted(columns)}"
+            ) from None
+
+    if isinstance(predicate, Between):
+        j = column_of(predicate.column)
+        lo, hi = predicate.lo, predicate.hi
+        return lambda pts: (pts[:, j] >= lo) & (pts[:, j] <= hi)
+    if isinstance(predicate, Compare):
+        j = column_of(predicate.column)
+        op = Compare._OPS[predicate.op]
+        value = predicate.value
+        return lambda pts: op(pts[:, j], value)
+    if isinstance(predicate, And):
+        left = compile_points_mask(predicate.left, columns)
+        right = compile_points_mask(predicate.right, columns)
+        return lambda pts: left(pts) & right(pts)
+    if isinstance(predicate, Or):
+        left = compile_points_mask(predicate.left, columns)
+        right = compile_points_mask(predicate.right, columns)
+        return lambda pts: left(pts) | right(pts)
+    if isinstance(predicate, Not):
+        inner = compile_points_mask(predicate.inner, columns)
+        return lambda pts: ~inner(pts)
+    raise SchemaError(
+        f"cannot compile predicate {predicate!r} for point arrays"
+    )
+
+
+#: One comparison term of the compact query-string syntax.
+_TERM_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_.-]*)\s*(<=|>=|==|!=|<|>)\s*"
+    r"([-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)\s*$"
+)
+
+
+def _predicate_from_spec(spec) -> Predicate:
+    """One node of the JSON predicate syntax → the algebra."""
+    if not isinstance(spec, Mapping):
+        raise SchemaError(
+            f"predicate spec must be a JSON object, got {spec!r}"
+        )
+    combinators = [k for k in ("and", "or", "not") if k in spec]
+    if combinators:
+        if len(spec) != 1:
+            raise SchemaError(
+                f"combinator spec must hold exactly one key, got "
+                f"{sorted(spec)}"
+            )
+        kind = combinators[0]
+        if kind == "not":
+            return ~_predicate_from_spec(spec["not"])
+        parts = spec[kind]
+        if not isinstance(parts, (list, tuple)) or len(parts) < 1:
+            raise SchemaError(
+                f"{kind!r} needs a non-empty array of predicates"
+            )
+        out = _predicate_from_spec(parts[0])
+        for part in parts[1:]:
+            inner = _predicate_from_spec(part)
+            out = (out & inner) if kind == "and" else (out | inner)
+        return out
+    column = spec.get("col") or spec.get("column")
+    if not isinstance(column, str) or not column:
+        raise SchemaError(f"predicate spec needs a 'col' name: {spec!r}")
+    if "between" in spec:
+        bounds = spec["between"]
+        if (not isinstance(bounds, (list, tuple)) or len(bounds) != 2):
+            raise SchemaError(
+                f"'between' needs [lo, hi], got {bounds!r}"
+            )
+        return Between(column, float(bounds[0]), float(bounds[1]))
+    op = spec.get("op")
+    if op not in Compare._OPS:
+        raise SchemaError(
+            f"predicate spec needs 'op' in {sorted(Compare._OPS)} or "
+            f"'between': {spec!r}"
+        )
+    if "value" not in spec:
+        raise SchemaError(f"predicate spec needs a 'value': {spec!r}")
+    return Compare(column, op, float(spec["value"]))
+
+
+def parse_predicate(raw) -> Predicate:
+    """The service's wire syntax → a :class:`Predicate`.
+
+    Accepts either a JSON object (``{"col": "a", "op": ">=",
+    "value": 0.5}``, ``{"col": "a", "between": [0, 1]}``, composed via
+    ``{"and": [...]}`` / ``{"or": [...]}`` / ``{"not": ...}``) — as a
+    mapping or a string starting with ``{`` — or the compact query
+    form ``a>=0.5,b<2`` where a comma means AND.  Malformed input
+    raises :class:`SchemaError` (HTTP 400 at the service boundary).
+    """
+    if isinstance(raw, Mapping):
+        return _predicate_from_spec(raw)
+    if not isinstance(raw, str) or not raw.strip():
+        raise SchemaError(f"empty predicate: {raw!r}")
+    text = raw.strip()
+    if text.startswith("{"):
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(
+                f"predicate is not valid JSON: {exc}"
+            ) from None
+        return _predicate_from_spec(spec)
+    out: Predicate | None = None
+    for term in text.split(","):
+        match = _TERM_RE.match(term)
+        if match is None:
+            raise SchemaError(
+                f"cannot parse predicate term {term.strip()!r}; expected "
+                "'column <op> number' with <op> in "
+                f"{sorted(Compare._OPS)}"
+            )
+        column, op, value = match.groups()
+        comparison = Compare(column, op, float(value))
+        out = comparison if out is None else (out & comparison)
+    return out

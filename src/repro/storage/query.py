@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..viz.scatter import Viewport
+from .predicates import Predicate, compile_points_mask
 
 
 @dataclass
@@ -102,6 +103,11 @@ class ZoomQuery:
     max_points:
         Optional response budget — the ladder demotes to coarser rungs
         until the answer fits.
+    predicate:
+        Optional row filter over the plotted columns, pushed into the
+        ladder's tile walk (the rungs store only the ``(x, y)`` pair,
+        so a predicate naming any other column is a
+        :class:`~repro.errors.SchemaError`).
     """
 
     table: str
@@ -111,6 +117,7 @@ class ZoomQuery:
     zoom: int | None = None
     method: str = "vas"
     max_points: int | None = None
+    predicate: Predicate | None = None
 
     def __post_init__(self) -> None:
         if self.zoom is not None and self.zoom < 0:
@@ -127,10 +134,19 @@ def answer_zoom_query(ladder, query: ZoomQuery) -> VizResult:
     ``ladder`` is a :class:`repro.storage.zoom.ZoomLadder` (duck-typed
     to keep this module free of a circular import).  The chosen rung's
     spatial index answers the bbox probe; no sampling work happens
-    here.
+    here.  A ``query.predicate`` is compiled against the plotted
+    column pair and pushed into the tile walk — bit-identical to
+    post-filtering the unfiltered answer at the same rung, but the
+    demotion loop sees filtered counts.
     """
+    point_mask = None
+    if query.predicate is not None:
+        point_mask = compile_points_mask(
+            query.predicate, {query.x_column: 0, query.y_column: 1}
+        )
     points, _indices, level = ladder.query(
-        query.viewport, zoom=query.zoom, max_points=query.max_points
+        query.viewport, zoom=query.zoom, max_points=query.max_points,
+        point_mask=point_mask,
     )
     return VizResult(
         points=points,

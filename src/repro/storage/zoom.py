@@ -91,10 +91,17 @@ class ZoomLevel:
             self._index = idx
         return self._index
 
-    def query_viewport(self, viewport: Viewport) -> np.ndarray:
-        """Positions (into this level's arrays) inside ``viewport``."""
+    def query_viewport(self, viewport: Viewport,
+                       point_mask=None) -> np.ndarray:
+        """Positions (into this level's arrays) inside ``viewport``.
+
+        ``point_mask`` — an ``(n, 2) -> bool mask`` callable — is
+        pushed into the grid walk, so a filtered query masks each tile
+        during the probe rather than post-filtering the result.
+        """
         hits = self.index.query_bbox(viewport.xmin, viewport.ymin,
-                                     viewport.xmax, viewport.ymax)
+                                     viewport.xmax, viewport.ymax,
+                                     point_mask=point_mask)
         return np.asarray(sorted(hits), dtype=np.int64)
 
 
@@ -130,7 +137,8 @@ class ZoomLadder:
         return int(np.clip(level, 0, self.max_level))
 
     def query(self, viewport: Viewport, zoom: int | None = None,
-              max_points: int | None = None
+              max_points: int | None = None,
+              point_mask=None
               ) -> tuple[np.ndarray, np.ndarray, int]:
         """Answer a viewport request from the stored ladder.
 
@@ -144,6 +152,11 @@ class ZoomLadder:
             Optional response budget: the chosen level is demoted rung
             by rung until the answer fits (level 0 is returned even
             when it does not — an over-budget plot beats no plot).
+        point_mask:
+            Optional filter pushed into each rung's tile walk (see
+            :meth:`ZoomLevel.query_viewport`).  The demotion loop
+            counts *filtered* hits, so a selective predicate keeps a
+            finer rung within the same point budget.
 
         Returns
         -------
@@ -160,7 +173,7 @@ class ZoomLadder:
             level = int(zoom)
         while True:
             rung = self.levels[level]
-            pos = rung.query_viewport(viewport)
+            pos = rung.query_viewport(viewport, point_mask=point_mask)
             if max_points is not None and len(pos) > max_points and level > 0:
                 level -= 1
                 continue

@@ -13,6 +13,7 @@ from repro.data import (
     MixtureComponent,
     PointStream,
     SplomGenerator,
+    TimeSeriesGenerator,
     altitude_at,
     clustering_datasets,
 )
@@ -129,6 +130,52 @@ class TestSplom:
             SplomGenerator(heavy_tail_fraction=1.0)
         with pytest.raises(ConfigurationError):
             SplomGenerator().generate(0)
+
+
+class TestTimeSeries:
+    def test_shape_and_columns(self):
+        data = TimeSeriesGenerator(seed=0).generate(4000)
+        assert len(data) == 4000
+        assert data.xy.shape == (4000, 2)
+        assert set(data.columns) == {"timestamp", "value"}
+        assert np.allclose(data.xy[:, 0], data.timestamps)
+        assert np.allclose(data.xy[:, 1], data.values)
+
+    def test_timestamps_strictly_increasing(self):
+        data = TimeSeriesGenerator(seed=1).generate(10000)
+        assert np.all(np.diff(data.timestamps) > 0)
+
+    def test_deterministic(self):
+        a = TimeSeriesGenerator(seed=7).generate(2000)
+        b = TimeSeriesGenerator(seed=7).generate(2000)
+        assert np.allclose(a.timestamps, b.timestamps)
+        assert np.allclose(a.values, b.values)
+
+    def test_seeds_differ(self):
+        a = TimeSeriesGenerator(seed=1).generate(1000)
+        b = TimeSeriesGenerator(seed=2).generate(1000)
+        assert not np.allclose(a.values, b.values)
+
+    def test_spikes_present(self):
+        """The spike rows are the structure a density-blind downsample
+        destroys — they must actually stand out from the band."""
+        spiky = TimeSeriesGenerator(seed=3, spike_fraction=0.05)
+        data = spiky.generate(10000)
+        base = np.median(data.values)
+        outliers = np.abs(data.values - base) > 3.0
+        assert 0.03 < outliers.mean() < 0.08
+        clean = TimeSeriesGenerator(seed=3, spike_fraction=0.0)
+        assert clean.generate(10000).values.std() < data.values.std()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeSeriesGenerator(spike_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            TimeSeriesGenerator(spike_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            TimeSeriesGenerator(cadence_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            TimeSeriesGenerator().generate(0)
 
 
 class TestMixtures:

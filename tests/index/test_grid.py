@@ -134,6 +134,104 @@ class TestQueries:
         )
 
 
+def reference_bbox(grid: GridIndex, xmin, ymin, xmax, ymax,
+                   point_mask=None) -> list[int]:
+    """The pre-vectorisation query_bbox: walk cell dicts point by
+    point.  The vectorised walk must reproduce this exactly, order
+    included."""
+    kx0, ky0 = grid._key(xmin, ymin)
+    kx1, ky1 = grid._key(xmax, ymax)
+    hits = []
+    for ix in range(kx0, kx1 + 1):
+        for iy in range(ky0, ky1 + 1):
+            cell = grid._cells.get((ix, iy))
+            if not cell:
+                continue
+            ids = list(cell.keys())
+            pts = np.array(list(cell.values()), dtype=np.float64)
+            keep = ((pts[:, 0] >= xmin) & (pts[:, 0] <= xmax)
+                    & (pts[:, 1] >= ymin) & (pts[:, 1] <= ymax))
+            if point_mask is not None:
+                keep = keep & np.asarray(point_mask(pts), dtype=bool)
+            hits.extend(pid for pid, k in zip(ids, keep) if k)
+    return hits
+
+
+class TestBboxBitIdentity:
+    """query_bbox after vectorisation: same ids, same order, same
+    types as the per-point reference walk — including after the frozen
+    per-cell arrays have been invalidated by inserts and removes."""
+
+    def _random_grid(self, seed, n=300):
+        gen = np.random.default_rng(seed)
+        pts = gen.uniform(-10, 10, size=(n, 2))
+        g = GridIndex(0.9)
+        g.insert_many(np.arange(n), pts)
+        return gen, g
+
+    def test_matches_reference_walk(self):
+        gen, g = self._random_grid(21)
+        for _ in range(25):
+            x0, y0 = gen.uniform(-11, 9, size=2)
+            w, h = gen.uniform(0, 8, size=2)
+            got = g.query_bbox(x0, y0, x0 + w, y0 + h)
+            assert got == reference_bbox(g, x0, y0, x0 + w, y0 + h)
+            assert all(type(i) is int for i in got)
+
+    def test_matches_after_mutations(self):
+        """Inserts and removes dirty exactly the touched cells; the
+        rebuilt frozen arrays must still replay insertion order."""
+        gen, g = self._random_grid(22)
+        for step in range(60):
+            if step % 3 == 0 and len(g) > 10:
+                victims = [i for i in range(300) if i in g]
+                g.remove(victims[int(gen.integers(0, len(victims)))])
+            else:
+                pid = 1000 + step
+                x, y = gen.uniform(-10, 10, size=2)
+                g.insert(pid, float(x), float(y))
+            if step % 7 == 0:
+                x0, y0 = gen.uniform(-11, 9, size=2)
+                w, h = gen.uniform(0, 8, size=2)
+                assert g.query_bbox(x0, y0, x0 + w, y0 + h) == \
+                    reference_bbox(g, x0, y0, x0 + w, y0 + h)
+        assert g.query_bbox(-12, -12, 12, 12) == \
+            reference_bbox(g, -12, -12, 12, 12)
+
+    def test_reinserted_point_moves_to_cell_end(self):
+        """Remove + reinsert changes insertion order inside the cell;
+        both walks must agree on the new order."""
+        g = GridIndex(10.0)
+        for pid in range(5):
+            g.insert(pid, 0.1 * pid, 0.1)
+        g.remove(2)
+        g.insert(2, 0.15, 0.1)
+        got = g.query_bbox(0, 0, 1, 1)
+        assert got == [0, 1, 3, 4, 2]
+        assert got == reference_bbox(g, 0, 0, 1, 1)
+
+    def test_point_mask_pushdown(self):
+        gen, g = self._random_grid(23)
+        mask_fn = lambda pts: pts[:, 0] + pts[:, 1] > 0  # noqa: E731
+        for _ in range(10):
+            x0, y0 = gen.uniform(-11, 9, size=2)
+            w, h = gen.uniform(0, 9, size=2)
+            got = g.query_bbox(x0, y0, x0 + w, y0 + h,
+                               point_mask=mask_fn)
+            assert got == reference_bbox(g, x0, y0, x0 + w, y0 + h,
+                                         point_mask=mask_fn)
+            # Pushdown == post-filter of the unmasked walk.
+            unmasked = g.query_bbox(x0, y0, x0 + w, y0 + h)
+            pts = g.points_of(unmasked) if unmasked else \
+                np.empty((0, 2))
+            keep = mask_fn(pts) if len(pts) else []
+            assert got == [pid for pid, k in zip(unmasked, keep) if k]
+
+    def test_empty_bbox(self):
+        _, g = self._random_grid(24)
+        assert g.query_bbox(100, 100, 101, 101) == []
+
+
 class TestChooseCellSize:
     def test_positive(self):
         pts = np.random.default_rng(1).random((500, 2))

@@ -107,6 +107,61 @@ class TestEndpoints:
             "&time_budget=0.1&seconds_per_point=0.001")
         assert payload["sample_size"] == 50
 
+    def test_sample_zero_budget_serves_smallest(self, server_url):
+        """A time budget worth zero points answers with the smallest
+        stored sample, not a 404 — an over-budget plot beats no plot."""
+        post_json(f"{server_url}/build", {
+            "table": "demo", "kind": "sample", "method": "uniform",
+            "k": 10})
+        payload = get_json(
+            f"{server_url}/sample?table=demo&method=uniform"
+            "&time_budget=0")
+        assert payload["sample_size"] == 10
+        assert payload["returned_rows"] == 10
+
+    def test_sample_rate_default_owned_by_service(self, server_url,
+                                                  service, monkeypatch):
+        """Satellite contract: the handler passes seconds_per_point
+        only when the client set it — the default lives in the
+        VasService.sample_query signature alone."""
+        captured = {}
+        original = VasService.sample_query
+
+        def spy(self, *args, **kwargs):
+            captured.clear()
+            captured.update(kwargs)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(VasService, "sample_query", spy)
+        get_json(f"{server_url}/sample?table=demo&method=uniform"
+                 "&time_budget=0.1")
+        assert "seconds_per_point" not in captured
+        get_json(f"{server_url}/sample?table=demo&method=uniform"
+                 "&time_budget=0.1&seconds_per_point=0.002")
+        assert captured["seconds_per_point"] == 0.002
+
+    def test_viewport_filter_pushdown(self, server_url):
+        plain = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2")
+        filtered = get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2"
+            "&filter=x%3E%3D2.0")
+        expected = [p for p in plain["points"] if p[0] >= 2.0]
+        assert filtered["points"] == expected
+        assert filtered["returned_rows"] == len(expected)
+        assert 0 < filtered["returned_rows"] < plain["returned_rows"]
+
+    def test_viewport_filter_errors(self, server_url):
+        code, message = error_of(lambda: get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2"
+            "&filter=nope%3E%3D1"))
+        assert code == 400
+        assert "not filterable" in message
+        code, _ = error_of(lambda: get_json(
+            f"{server_url}/viewport?table=demo&bbox=0,0,4,2"
+            "&filter=x%3E%3E1"))
+        assert code == 400
+
 
 class TestBuildEndpoint:
     def test_build_is_cache_hit_on_repeat(self, server_url):
@@ -280,6 +335,153 @@ class TestCompactEndpoint:
         assert storage["segments"] == 1
         assert storage["on_disk_bytes"] > 0
         assert storage["reclaimable_bytes"] == 0
+
+
+@pytest.fixture()
+def multi_service(tmp_path):
+    """Three numeric columns, every SPLOM pair pre-built."""
+    gen = np.random.default_rng(17)
+    csv = tmp_path / "multi.csv"
+    data = np.column_stack([gen.normal(size=400),
+                            gen.normal(size=400) * 2.0,
+                            gen.normal(size=400) + 1.0])
+    np.savetxt(csv, data, delimiter=",", header="a,b,c", comments="")
+    svc = VasService(Workspace(tmp_path / "ws_multi"))
+    svc.ingest_csv(csv, name="multi")
+    svc.build_splom("multi", 40, method="uniform")
+    return svc
+
+
+@pytest.fixture()
+def multi_url(multi_service):
+    server = make_server(multi_service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestSplomEndpoint:
+    def test_all_pairs_served(self, multi_url):
+        payload = get_json(
+            f"{multi_url}/splom?table=multi&method=uniform")
+        assert payload["columns"] == ["a", "b", "c"]
+        assert [(p["x"], p["y"]) for p in payload["panels"]] == [
+            ("a", "b"), ("a", "c"), ("b", "c")]
+        for panel in payload["panels"]:
+            assert panel["returned_rows"] == 40
+            assert len(panel["points"]) == 40
+
+    def test_cols_subset(self, multi_url):
+        payload = get_json(
+            f"{multi_url}/splom?table=multi&cols=a,c&method=uniform")
+        assert [(p["x"], p["y"]) for p in payload["panels"]] == [
+            ("a", "c")]
+
+    def test_max_points_caps_panels(self, multi_url):
+        payload = get_json(
+            f"{multi_url}/splom?table=multi&max_points=40"
+            "&method=uniform")
+        assert all(p["returned_rows"] == 40 for p in payload["panels"])
+
+    def test_unknown_column_400(self, multi_url):
+        code, message = error_of(lambda: get_json(
+            f"{multi_url}/splom?table=multi&cols=a,zz"))
+        assert code == 400
+        assert "zz" in message
+
+    def test_single_column_400(self, multi_url):
+        code, _ = error_of(lambda: get_json(
+            f"{multi_url}/splom?table=multi&cols=a"))
+        assert code == 400
+
+    def test_unbuilt_method_404(self, multi_url):
+        code, _ = error_of(lambda: get_json(
+            f"{multi_url}/splom?table=multi&method=vas"))
+        assert code == 404
+
+    def test_build_kind_splom(self, multi_url):
+        payload = post_json(f"{multi_url}/build", {
+            "table": "multi", "kind": "splom", "method": "uniform",
+            "k": 40})
+        assert payload["kind"] == "splom"
+        assert payload["cached"] is True  # the fixture built every pair
+        assert len(payload["pairs"]) == 3
+        fresh = post_json(f"{multi_url}/build", {
+            "table": "multi", "kind": "splom", "method": "uniform",
+            "k": 15, "cols": ["a", "b"]})
+        assert fresh["cached"] is False
+        assert [p["size"] for p in fresh["pairs"]] == [15]
+
+    def test_splom_get_never_builds(self, multi_url, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("builder invoked on the warm path")
+
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "build_method_sample", boom)
+        payload = get_json(
+            f"{multi_url}/splom?table=multi&method=uniform")
+        assert len(payload["panels"]) == 3
+
+
+class TestTaskQualityEndpoint:
+    def test_regression_report(self, multi_url):
+        payload = get_json(
+            f"{multi_url}/task-quality?table=multi&task=regression"
+            "&method=uniform&observers=3&questions=2&seed=5")
+        assert payload["task"] == "regression"
+        assert (payload["x"], payload["y"]) == ("a", "b")
+        assert payload["sample_size"] == 40
+        assert payload["rows"] == 400
+        assert 0.0 <= payload["sample_score"] <= 1.0
+        assert 0.0 <= payload["reference_score"] <= 1.0
+        assert payload["loss"] == pytest.approx(
+            payload["reference_score"] - payload["sample_score"])
+        assert payload["stale_rows"] == 0
+
+    def test_clustering_report(self, multi_url):
+        payload = get_json(
+            f"{multi_url}/task-quality?table=multi&task=clustering"
+            "&method=uniform&observers=3")
+        assert payload["n_questions"] == 1
+        assert 0.0 <= payload["sample_score"] <= 1.0
+
+    def test_deterministic_for_seed(self, multi_url):
+        url = (f"{multi_url}/task-quality?table=multi&task=regression"
+               "&method=uniform&observers=3&questions=2&seed=9")
+        assert get_json(url)["sample_score"] == \
+            get_json(url)["sample_score"]
+
+    def test_unknown_task_400(self, multi_url):
+        code, message = error_of(lambda: get_json(
+            f"{multi_url}/task-quality?table=multi&task=sorting"))
+        assert code == 400
+        assert "sorting" in message
+
+    def test_missing_task_400(self, multi_url):
+        code, _ = error_of(lambda: get_json(
+            f"{multi_url}/task-quality?table=multi"))
+        assert code == 400
+
+    def test_unbuilt_method_404(self, multi_url):
+        code, _ = error_of(lambda: get_json(
+            f"{multi_url}/task-quality?table=multi&task=regression"
+            "&method=vas"))
+        assert code == 404
+
+    def test_get_never_builds(self, multi_url, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("builder invoked on the warm path")
+
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "build_method_sample", boom)
+        payload = get_json(
+            f"{multi_url}/task-quality?table=multi&task=clustering"
+            "&method=uniform&observers=2")
+        assert "loss" in payload
 
 
 class TestGracefulShutdown:

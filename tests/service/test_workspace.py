@@ -208,6 +208,59 @@ class TestWarmPath:
         service.build_ladder("demo", levels=3, k_per_tile=10)
         assert service.ladder_for("demo").max_level == 2
 
+    def test_splom_query_never_builds(self, service, workspace,
+                                      monkeypatch):
+        service.build_splom("demo", 20, cols="lon,lat,alt",
+                            method="uniform")
+        forbid_builders(monkeypatch)
+        fresh = VasService(Workspace(workspace.root))
+        answer = fresh.splom_query("demo", cols="lon,lat,alt",
+                                   method="uniform")
+        assert [(p["x"], p["y"]) for p in answer["panels"]] == [
+            ("lon", "lat"), ("lon", "alt"), ("lat", "alt")]
+        assert all(p["result"].returned_rows == 20
+                   for p in answer["panels"])
+
+    def test_splom_missing_pair_raises_instead_of_building(
+            self, service, monkeypatch):
+        # Only one of the three pairs is built.
+        service.build_sample("demo", 20, x="lon", y="lat",
+                             method="uniform")
+        forbid_builders(monkeypatch)
+        with pytest.raises(SampleNotFoundError):
+            service.splom_query("demo", cols="lon,lat,alt",
+                                method="uniform")
+
+    def test_task_quality_never_builds(self, service, workspace,
+                                       monkeypatch):
+        service.build_sample("demo", 40, method="uniform")
+        forbid_builders(monkeypatch)
+        fresh = VasService(Workspace(workspace.root))
+        report = fresh.task_quality("demo", "regression",
+                                    method="uniform",
+                                    n_observers=3, n_questions=2)
+        assert 0.0 <= report["sample_score"] <= 1.0
+        assert 0.0 <= report["reference_score"] <= 1.0
+        assert report["loss"] == pytest.approx(
+            report["reference_score"] - report["sample_score"])
+        assert report["sample_size"] == 40
+
+    def test_task_quality_without_sample_raises_instead_of_building(
+            self, service, monkeypatch):
+        forbid_builders(monkeypatch)
+        with pytest.raises(SampleNotFoundError):
+            service.task_quality("demo", "regression", method="uniform")
+
+    def test_filtered_viewport_never_builds(self, service, workspace,
+                                            monkeypatch):
+        service.build_ladder("demo", levels=2, k_per_tile=20)
+        forbid_builders(monkeypatch)
+        fresh = VasService(Workspace(workspace.root))
+        result = fresh.viewport("demo", (0.0, 0.0, 10.0, 5.0),
+                                predicate="lon>=5.0")
+        assert result.returned_rows == len(result.points)
+        assert np.all(result.points[:, 0] >= 5.0)
+
 
 class TestQueries:
     def test_viewport_honours_bbox(self, service):
@@ -241,6 +294,65 @@ class TestQueries:
     def test_sample_query_nothing_built(self, service):
         with pytest.raises(SampleNotFoundError):
             service.sample_query("demo", method="uniform")
+
+    def test_zero_time_budget_serves_smallest_sample(self, service):
+        """A budget that converts to zero points still plots: the
+        smallest stored rung comes back instead of a 404."""
+        service.build_sample("demo", 20, method="uniform")
+        service.build_sample("demo", 80, method="uniform")
+        result = service.sample_query("demo", method="uniform",
+                                      time_budget_seconds=0.0)
+        assert result.sample_size == 20
+        assert result.returned_rows == 20
+
+    def test_viewport_pushdown_matches_post_filter(self, service):
+        service.build_ladder("demo", levels=2, k_per_tile=30)
+        plain = service.viewport("demo", (0.0, 0.0, 10.0, 5.0))
+        filtered = service.viewport("demo", (0.0, 0.0, 10.0, 5.0),
+                                    predicate="lon>=5.0,lat<4.0")
+        keep = ((plain.points[:, 0] >= 5.0)
+                & (plain.points[:, 1] < 4.0))
+        np.testing.assert_array_equal(filtered.points,
+                                      plain.points[keep])
+        assert filtered.returned_rows == int(keep.sum())
+
+    def test_viewport_predicate_on_unplotted_column(self, service):
+        service.build_ladder("demo", levels=2, k_per_tile=30)
+        # alt exists in the table but the ladder stores only (lon, lat).
+        with pytest.raises(SchemaError):
+            service.viewport("demo", (0.0, 0.0, 10.0, 5.0),
+                             predicate="alt>=0.0")
+
+    def test_viewport_malformed_predicate(self, service):
+        service.build_ladder("demo", levels=2, k_per_tile=30)
+        with pytest.raises(SchemaError):
+            service.viewport("demo", (0.0, 0.0, 10.0, 5.0),
+                             predicate="lon >> 5")
+
+    def test_splom_column_validation(self, service):
+        with pytest.raises(SchemaError):
+            service.splom_query("demo", cols="lon")
+        with pytest.raises(SchemaError):
+            service.splom_query("demo", cols="lon,nope")
+        with pytest.raises(SchemaError):
+            service.splom_query("demo", cols="lon,lon")
+
+    def test_task_quality_deterministic(self, service):
+        service.build_sample("demo", 40, method="uniform")
+        a = service.task_quality("demo", "clustering", method="uniform",
+                                 n_observers=3, seed=7)
+        b = service.task_quality("demo", "clustering", method="uniform",
+                                 n_observers=3, seed=7)
+        assert a["sample_score"] == b["sample_score"]
+        assert a["reference_score"] == b["reference_score"]
+
+    def test_task_quality_validation(self, service):
+        service.build_sample("demo", 40, method="uniform")
+        with pytest.raises(SchemaError):
+            service.task_quality("demo", "sorting")
+        with pytest.raises(SchemaError):
+            service.task_quality("demo", "regression",
+                                 method="uniform", n_observers=0)
 
 
 class TestEphemeralWorkspace:

@@ -1,0 +1,229 @@
+"""Tests for the predicate algebra (repro.storage.predicates).
+
+The three evaluation surfaces must agree: full-table masks, the
+delta-range ``mask_tail`` (which must never consolidate a segmented
+column), and ``compile_points_mask`` (the pushdown form the zoom
+ladder walks with).  Plus the wire syntax in ``parse_predicate``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import (
+    And,
+    Between,
+    Compare,
+    Not,
+    Or,
+    Table,
+    compile_points_mask,
+    parse_predicate,
+    viewport_predicate,
+)
+
+
+@pytest.fixture()
+def table():
+    return Table.from_arrays("t", {
+        "a": np.array([0.0, 1.0, 2.0, 3.0, np.nan]),
+        "b": np.array([5.0, 4.0, 3.0, 2.0, 1.0]),
+    })
+
+
+@pytest.fixture()
+def segmented():
+    """A table grown by appends: every column holds several segments."""
+    t = Table.from_arrays("t", {
+        "a": np.array([0.0, 1.0]),
+        "b": np.array([9.0, 8.0]),
+    })
+    t = t.with_appended({"a": np.array([2.0, np.nan]),
+                         "b": np.array([7.0, 6.0])})
+    t = t.with_appended({"a": np.array([4.0]), "b": np.array([5.0])})
+    assert t.segment_count == 3
+    return t
+
+
+class TestLeaves:
+    def test_between_closed_interval(self, table):
+        mask = Between("a", 1.0, 2.0).mask(table)
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_between_inverted_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            Between("a", 2.0, 1.0)
+
+    def test_compare_ops(self, table):
+        assert Compare("b", "<", 3.0).mask(table).tolist() == \
+            [False, False, False, True, True]
+        assert Compare("b", ">=", 4.0).mask(table).tolist() == \
+            [True, True, False, False, False]
+
+    def test_compare_unknown_op_rejected(self):
+        with pytest.raises(SchemaError):
+            Compare("a", "~", 1.0)
+
+    def test_nan_never_equal(self, table):
+        """IEEE semantics carry through: NaN matches no == and every
+        != (so a filter can't silently swallow or match NaN rows in
+        surprising ways)."""
+        eq = Compare("a", "==", np.nan).mask(table)
+        assert not eq.any()
+        ne = Compare("a", "!=", np.nan).mask(table)
+        assert ne.all()
+        # NaN *values* fall out of every range/order comparison too.
+        assert not Between("a", -1e9, 1e9).mask(table)[-1]
+        assert not Compare("a", ">=", -1e9).mask(table)[-1]
+
+    def test_empty_table(self):
+        empty = Table.from_arrays("e", {"a": np.empty(0),
+                                        "b": np.empty(0)})
+        for pred in (Between("a", 0, 1), Compare("a", "==", 0.0),
+                     ~Compare("a", "<", 1.0),
+                     Compare("a", "<", 1.0) | Compare("b", ">", 0.0)):
+            mask = pred.mask(empty)
+            assert mask.shape == (0,)
+            assert mask.dtype == bool
+
+
+class TestCombinators:
+    def test_and_or_not(self, table):
+        pred = (Compare("a", ">=", 1.0) & Compare("b", ">=", 3.0))
+        assert pred.mask(table).tolist() == \
+            [False, True, True, False, False]
+        pred = (Compare("a", "<", 1.0) | Compare("b", "<", 2.0))
+        assert pred.mask(table).tolist() == \
+            [True, False, False, False, True]
+        assert (~Compare("a", "<", 2.0)).mask(table).tolist() == \
+            [False, False, True, True, True]
+
+    def test_operator_sugar_builds_nodes(self):
+        pred = Compare("a", "<", 1.0) & ~Compare("b", "==", 2.0)
+        assert isinstance(pred, And)
+        assert isinstance(pred.right, Not)
+        assert isinstance(Compare("a", "<", 1) | Compare("a", ">", 2), Or)
+
+    def test_viewport_predicate(self, table):
+        mask = viewport_predicate("a", "b", 0.5, 2.5, 2.5, 4.5).mask(table)
+        assert mask.tolist() == [False, True, True, False, False]
+
+
+class TestMaskTail:
+    def test_matches_full_mask_suffix(self, segmented):
+        preds = [
+            Between("a", 1.0, 3.0),
+            Compare("b", "<=", 7.0),
+            Compare("a", "!=", 2.0),
+            (Compare("a", ">=", 1.0) & Compare("b", ">", 5.0)),
+            (Compare("a", "<", 1.0) | ~Compare("b", "==", 6.0)),
+        ]
+        for pred in preds:
+            for start in (0, 1, 2, 4, 5, 9):
+                np.testing.assert_array_equal(
+                    pred.mask_tail(segmented, start),
+                    pred.mask(segmented)[max(start, 0):],
+                )
+
+    def test_tail_does_not_consolidate(self):
+        """Evaluating a predicate over the delta rows must stay
+        O(delta): the columns keep their segments."""
+        t = Table.from_arrays("t", {"a": np.arange(4.0),
+                                    "b": np.arange(4.0)})
+        t = t.with_appended({"a": np.array([9.0]), "b": np.array([1.0])})
+        t = t.with_appended({"a": np.array([5.0]), "b": np.array([2.0])})
+        pred = (Compare("a", ">", 4.0) & Compare("b", "<=", 2.0))
+        tail = pred.mask_tail(t, 4)
+        assert tail.tolist() == [True, True]
+        assert t.column("a").segment_count == 3
+        assert t.column("b").segment_count == 3
+
+    def test_negative_start_clamps_to_full(self, segmented):
+        pred = Compare("a", ">=", 1.0)
+        np.testing.assert_array_equal(pred.mask_tail(segmented, -3),
+                                      pred.mask(segmented))
+
+
+class TestCompilePointsMask:
+    LAYOUT = {"x": 0, "y": 1}
+
+    def test_matches_table_mask(self):
+        gen = np.random.default_rng(7)
+        pts = gen.normal(size=(300, 2))
+        table = Table.from_arrays("t", {"x": pts[:, 0], "y": pts[:, 1]})
+        preds = [
+            Between("x", -0.5, 0.5),
+            Compare("y", ">", 0.0),
+            (Compare("x", ">=", 0.0) & Compare("y", "<", 1.0)),
+            (Between("x", -1, 0) | Between("y", 0, 1)),
+            ~Compare("x", "<", 0.0),
+        ]
+        for pred in preds:
+            np.testing.assert_array_equal(
+                compile_points_mask(pred, self.LAYOUT)(pts),
+                pred.mask(table),
+            )
+
+    def test_unknown_column_is_compile_time_schema_error(self):
+        with pytest.raises(SchemaError, match="not filterable"):
+            compile_points_mask(Compare("alt", ">", 0.0), self.LAYOUT)
+        # ... even buried inside a combinator.
+        with pytest.raises(SchemaError):
+            compile_points_mask(
+                Compare("x", ">", 0.0) & ~Between("zz", 0, 1),
+                self.LAYOUT,
+            )
+
+
+class TestParsePredicate:
+    def test_compact_single_term(self):
+        pred = parse_predicate("x>=0.5")
+        assert isinstance(pred, Compare)
+        assert (pred.column, pred.op, pred.value) == ("x", ">=", 0.5)
+
+    def test_compact_comma_is_and(self):
+        pred = parse_predicate("x>=0.5,y<2e1")
+        assert isinstance(pred, And)
+        assert pred.left.column == "x"
+        assert pred.right.value == 20.0
+
+    def test_json_leaf_and_between(self):
+        pred = parse_predicate('{"col": "x", "op": "<", "value": 3}')
+        assert isinstance(pred, Compare)
+        pred = parse_predicate({"col": "x", "between": [0, 1]})
+        assert isinstance(pred, Between)
+        assert (pred.lo, pred.hi) == (0.0, 1.0)
+
+    def test_json_combinators(self):
+        pred = parse_predicate({
+            "or": [{"col": "x", "op": "<", "value": 0},
+                   {"not": {"col": "y", "between": [0, 1]}}],
+        })
+        assert isinstance(pred, Or)
+        assert isinstance(pred.right, Not)
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", None, 42,
+        "x>>1", "x>=abc", "x>=1,,y<2", "x >= ",
+        '{"col": "x"}',
+        '{"col": "x", "op": "~", "value": 1}',
+        '{not json',
+        {"and": []},
+        {"and": [{"col": "x", "op": "<", "value": 1}], "col": "y"},
+        {"col": "x", "between": [1]},
+        {"between": [0, 1]},
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            parse_predicate(bad)
+
+    def test_parsed_equals_handwritten(self):
+        gen = np.random.default_rng(3)
+        pts = gen.normal(size=(100, 2))
+        table = Table.from_arrays("t", {"x": pts[:, 0], "y": pts[:, 1]})
+        parsed = parse_predicate("x>=0.0,y<1.0")
+        manual = Compare("x", ">=", 0.0) & Compare("y", "<", 1.0)
+        np.testing.assert_array_equal(parsed.mask(table),
+                                      manual.mask(table))

@@ -122,6 +122,80 @@ class TestQueries:
         assert np.allclose(dataset[idx], pts)
 
 
+class TestPredicatePushdown:
+    """point_mask pushed into the tile walk: bit-identical to
+    post-filtering the unfiltered answer at the same rung."""
+
+    MASKS = [
+        lambda pts: pts[:, 0] >= 0.0,
+        lambda pts: (pts[:, 0] >= -0.5) & (pts[:, 0] <= 0.5),
+        lambda pts: ~(pts[:, 1] < 0.0),
+        lambda pts: (pts[:, 0] < 0.0) | (pts[:, 1] > 1.0),
+    ]
+
+    @pytest.mark.parametrize("mask_fn", MASKS)
+    @pytest.mark.parametrize("zoom", [0, 1, 2])
+    def test_bit_identical_to_post_filter(self, ladder, mask_fn, zoom):
+        for vp in (ladder.root, ladder.root.zoom((0.0, 0.0), 3.0),
+                   ladder.root.zoom((1.5, -1.0), 5.0)):
+            ref_pts, ref_idx, ref_level = ladder.query(vp, zoom=zoom)
+            keep = mask_fn(ref_pts) if len(ref_pts) else \
+                np.empty(0, dtype=bool)
+            pts, idx, level = ladder.query(vp, zoom=zoom,
+                                           point_mask=mask_fn)
+            assert level == ref_level
+            np.testing.assert_array_equal(pts, ref_pts[keep])
+            np.testing.assert_array_equal(idx, ref_idx[keep])
+            assert pts.dtype == ref_pts.dtype
+            assert idx.dtype == ref_idx.dtype
+
+    def test_demotion_counts_filtered_hits(self, ladder):
+        """A selective predicate shrinks the answer, so a budget that
+        would demote the unfiltered query can keep the finer rung."""
+        unfiltered, _, fine = ladder.query(ladder.root,
+                                           zoom=ladder.max_level)
+        selective = lambda pts: pts[:, 0] >= 1.0  # noqa: E731
+        filtered, _, _ = ladder.query(ladder.root, zoom=ladder.max_level,
+                                      point_mask=selective)
+        assert 0 < len(filtered) < len(unfiltered)
+        budget = len(filtered)
+        _, _, level_unfiltered = ladder.query(ladder.root,
+                                              zoom=ladder.max_level,
+                                              max_points=budget)
+        pts, _, level_filtered = ladder.query(ladder.root,
+                                              zoom=ladder.max_level,
+                                              max_points=budget,
+                                              point_mask=selective)
+        assert level_filtered == ladder.max_level
+        assert level_unfiltered < level_filtered
+        assert len(pts) <= budget
+
+    def test_answer_zoom_query_predicate(self, ladder):
+        from repro.storage import Compare, compile_points_mask
+
+        pred = Compare("x", ">=", 0.0)
+        query = ZoomQuery(table="t", x_column="x", y_column="y",
+                          viewport=ladder.root, zoom=1, predicate=pred)
+        result = answer_zoom_query(ladder, query)
+        reference = answer_zoom_query(ladder, ZoomQuery(
+            table="t", x_column="x", y_column="y",
+            viewport=ladder.root, zoom=1))
+        mask = compile_points_mask(pred, {"x": 0, "y": 1})
+        np.testing.assert_array_equal(
+            result.points, reference.points[mask(reference.points)])
+        assert result.returned_rows == len(result.points)
+
+    def test_predicate_on_unplotted_column_rejected(self, ladder):
+        from repro.errors import SchemaError
+        from repro.storage import Compare
+
+        query = ZoomQuery(table="t", x_column="x", y_column="y",
+                          viewport=ladder.root,
+                          predicate=Compare("alt", ">", 0.0))
+        with pytest.raises(SchemaError, match="not filterable"):
+            answer_zoom_query(ladder, query)
+
+
 class TestPersistence:
     def test_roundtrip(self, ladder, tmp_path):
         path = tmp_path / "ladder.npz"

@@ -26,6 +26,27 @@ class TestDemo:
         assert header == "longitude,latitude,altitude"
 
 
+class TestDemoDatasets:
+    def test_splom_dataset(self, tmp_path):
+        path = tmp_path / "splom.csv"
+        code = main(["demo", "--dataset", "splom", "--rows", "500",
+                     "--seed", "2", "--out", str(path)])
+        assert code == 0
+        assert path.read_text().splitlines()[0] == "a,b,c,d,e"
+        data = np.loadtxt(path, delimiter=",", skiprows=1)
+        assert data.shape == (500, 5)
+
+    def test_timeseries_dataset(self, tmp_path):
+        path = tmp_path / "ts.csv"
+        code = main(["demo", "--dataset", "timeseries", "--rows", "500",
+                     "--seed", "3", "--out", str(path)])
+        assert code == 0
+        assert path.read_text().splitlines()[0] == "timestamp,value"
+        data = np.loadtxt(path, delimiter=",", skiprows=1)
+        assert data.shape == (500, 2)
+        assert np.all(np.diff(data[:, 0]) > 0)
+
+
 class TestSample:
     @pytest.mark.parametrize("method", ["uniform", "stratified", "vas"])
     def test_methods(self, demo_csv, tmp_path, method, capsys):
@@ -169,6 +190,44 @@ class TestWorkspaceRoundTrip:
         view = np.loadtxt(out, delimiter=",", skiprows=1, ndmin=2)
         assert view.shape[1] == 2
         assert np.all(view[:, 0] <= (xmin + xmax) / 2)
+
+    def test_filtered_query(self, demo_csv, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        main(["zoom-build", "traj", "--workspace", ws,
+              "--levels", "2", "-k", "60"])
+        capsys.readouterr()
+
+        data = np.loadtxt(demo_csv, delimiter=",", skiprows=1)
+        xmin, ymin = data[:, :2].min(axis=0)
+        xmax, ymax = data[:, :2].max(axis=0)
+        xmid = (xmin + xmax) / 2
+        bbox = ["--bbox", str(xmin), str(ymin), str(xmax), str(ymax)]
+        plain = tmp_path / "plain.csv"
+        assert main(["zoom-query", "traj", "--workspace", ws, *bbox,
+                     "--out", str(plain)]) == 0
+        filtered = tmp_path / "filtered.csv"
+        assert main(["zoom-query", "traj", "--workspace", ws, *bbox,
+                     "--filter", f"longitude>={xmid}",
+                     "--out", str(filtered)]) == 0
+        full = np.loadtxt(plain, delimiter=",", skiprows=1, ndmin=2)
+        kept = np.loadtxt(filtered, delimiter=",", skiprows=1, ndmin=2)
+        # Pushdown == post-filter of the unfiltered answer.
+        np.testing.assert_array_equal(kept, full[full[:, 0] >= xmid])
+        assert 0 < len(kept) < len(full)
+
+    def test_filter_requires_workspace(self, demo_csv, tmp_path,
+                                       capsys):
+        ladder = tmp_path / "ladder.npz"
+        main(["zoom-build", str(demo_csv), "--levels", "2", "-k", "60",
+              "--out", str(ladder)])
+        capsys.readouterr()
+        code = main(["zoom-query", str(ladder),
+                     "--bbox", "0", "0", "200", "200",
+                     "--filter", "longitude>=116"])
+        assert code == 2
+        assert "--workspace" in capsys.readouterr().err
 
     def test_warm_query_runs_no_interchange(self, demo_csv, tmp_path,
                                             monkeypatch, capsys):

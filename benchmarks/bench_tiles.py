@@ -1,0 +1,300 @@
+"""Tile API bench: codec fidelity + cold-vs-revalidate HTTP sweep.
+
+The ISSUE-7 acceptance properties, measured end to end:
+
+* **codec gate** (in process): every tile of a built ladder survives
+  ``decode_tile(encode_tile(t))`` within the documented quantization
+  tolerance ``span / (2 * 65535)`` per axis, and the binary decode is
+  bit-identical to the ``?format=json`` debug view;
+* **HTTP sweep** (subprocess ``repro serve``): a cold GET of every
+  tile at the deepest level returns the immutable binary payload with
+  the version-hash ETag, and a second sweep with ``If-None-Match``
+  answers **304 for every tile** — the revalidation path must never
+  re-serve bytes.
+
+Exit status is non-zero when either gate fails (a lossy codec or a
+revalidation that re-sent a body).  Results merge into
+``BENCH_interchange.json`` under a ``tiles`` block.
+
+Run::
+
+    python -m benchmarks.bench_tiles
+    python -m benchmarks.bench_tiles --quick --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.service import VasService, Workspace  # noqa: E402
+from repro.storage.zoom import (  # noqa: E402
+    TILE_QUANT_MAX,
+    decode_tile,
+    encode_tile,
+    extract_tile,
+    tile_to_json,
+)
+
+try:
+    from .provenance import collect_provenance  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance  # noqa: E402
+
+FULL = {"rows": 20_000, "levels": 4, "k_per_tile": 128}
+QUICK = {"rows": 4_000, "levels": 3, "k_per_tile": 64}
+PORT = int(os.environ.get("REPRO_TILE_PORT", "8732"))
+
+
+def build_workspace(root: Path, profile: dict) -> VasService:
+    from repro.data import GeolifeGenerator
+
+    csv = root / "demo.csv"
+    data = GeolifeGenerator(seed=0).generate(profile["rows"])
+    np.savetxt(csv, data.xy, delimiter=",", header="longitude,latitude",
+               comments="")
+    service = VasService(Workspace(root / "ws"))
+    service.ingest_csv(csv, name="demo")
+    started = time.perf_counter()
+    service.build_ladder("demo", levels=profile["levels"],
+                         k_per_tile=profile["k_per_tile"])
+    print(f"offline build: {profile['rows']:,} rows, "
+          f"{profile['levels']}-level ladder in "
+          f"{time.perf_counter() - started:.1f}s")
+    return service
+
+
+def bench_codec(service: VasService, profile: dict) -> tuple[dict, list]:
+    """Round-trip every tile of every level through the wire format."""
+    failures: list[str] = []
+    ladder = service.ladder_for("demo")
+    tiles = 0
+    points = 0
+    total_bytes = 0
+    encode_s = 0.0
+    decode_s = 0.0
+    worst_frac = 0.0   # worst error as a fraction of the tolerance
+    bit_identical = True
+    for level in range(profile["levels"]):
+        per_axis = 2 ** level
+        for ty in range(per_axis):
+            for tx in range(per_axis):
+                tile = extract_tile(ladder, level, tx, ty)
+                started = time.perf_counter()
+                data = encode_tile(tile)
+                encode_s += time.perf_counter() - started
+                started = time.perf_counter()
+                decoded = decode_tile(data)
+                decode_s += time.perf_counter() - started
+                tiles += 1
+                points += len(tile.points)
+                total_bytes += len(data)
+                if len(tile.points):
+                    x0, y0, x1, y1 = tile.bounds
+                    tol = np.array([
+                        max((x1 - x0) / (2 * TILE_QUANT_MAX), 1e-300),
+                        max((y1 - y0) / (2 * TILE_QUANT_MAX), 1e-300),
+                    ])
+                    err = np.abs(decoded.points - tile.points)
+                    frac = float(np.max(err / tol))
+                    worst_frac = max(worst_frac, frac)
+                    if frac > 1.0 + 1e-9:
+                        failures.append(
+                            f"tile L{level}/{tx}/{ty}: round-trip error "
+                            f"{frac:.3f}x the documented tolerance")
+                debug = tile_to_json(tile)
+                if debug["points"] != decoded.points.tolist():
+                    bit_identical = False
+                    failures.append(
+                        f"tile L{level}/{tx}/{ty}: JSON view diverges "
+                        "from the binary decode")
+    print(f"codec: {tiles} tiles / {points:,} points round-tripped, "
+          f"worst error {worst_frac:.3f}x tolerance, "
+          f"JSON bit-identical: {bit_identical}")
+    return {
+        "tiles": tiles,
+        "points": points,
+        "total_bytes": total_bytes,
+        "encode_tiles_per_second": round(tiles / max(encode_s, 1e-9)),
+        "decode_tiles_per_second": round(tiles / max(decode_s, 1e-9)),
+        "worst_error_vs_tolerance": round(worst_frac, 6),
+        "round_trip_ok": not any("round-trip" in f for f in failures),
+        "bit_identical": bit_identical,
+    }, failures
+
+
+def wait_for_server(base: str, server: subprocess.Popen,
+                    timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if server.poll() is not None:
+            raise RuntimeError(
+                f"repro serve exited with status {server.returncode} "
+                "before becoming healthy (port in use?)")
+        try:
+            with urllib.request.urlopen(f"{base}/v1/healthz", timeout=2):
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    raise RuntimeError(f"server at {base} never became healthy")
+
+
+def bench_http(base: str, version: str,
+               profile: dict) -> tuple[dict, list]:
+    """Cold sweep, then an If-None-Match sweep that must be all 304s."""
+    failures: list[str] = []
+    level = profile["levels"] - 1
+    per_axis = 2 ** level
+    urls = [f"{base}/v1/tile/demo/{version}/{level}/{tx}/{ty}"
+            for ty in range(per_axis) for tx in range(per_axis)]
+    etag = f'"{version}"'
+
+    cold_ms = []
+    cold_bytes = 0
+    fullest = urls[0]
+    fullest_len = -1
+    for url in urls:
+        started = time.perf_counter()
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read()
+            if response.headers.get("ETag") != etag:
+                failures.append(f"{url}: ETag {response.headers.get('ETag')}"
+                                f" != {etag}")
+        cold_ms.append((time.perf_counter() - started) * 1e3)
+        cold_bytes += len(body)
+        if len(body) > fullest_len:
+            fullest, fullest_len = url, len(body)
+        decode_tile(body)
+
+    revalidate_ms = []
+    not_modified = 0
+    for url in urls:
+        request = urllib.request.Request(
+            url, headers={"If-None-Match": etag})
+        started = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                failures.append(
+                    f"{url}: revalidation re-sent "
+                    f"{len(response.read())} bytes instead of 304")
+        except urllib.error.HTTPError as exc:
+            if exc.code == 304 and not exc.read():
+                not_modified += 1
+            else:
+                failures.append(f"{url}: revalidation -> {exc.code}")
+        revalidate_ms.append((time.perf_counter() - started) * 1e3)
+
+    # Size of the debug view vs the wire bytes, on the fullest tile of
+    # the sweep (corner tiles are often empty header-only payloads).
+    binary_len = fullest_len
+    with urllib.request.urlopen(f"{fullest}?format=json",
+                                timeout=10) as response:
+        json_len = len(response.read())
+
+    cold_median = statistics.median(cold_ms)
+    reval_median = statistics.median(revalidate_ms)
+    print(f"http: {len(urls)} tiles at level {level} — cold median "
+          f"{cold_median:.2f} ms, revalidate median {reval_median:.2f} ms "
+          f"({not_modified}/{len(urls)} answered 304), "
+          f"binary {binary_len:,} B vs JSON {json_len:,} B "
+          f"({json_len / max(binary_len, 1):.1f}x)")
+    return {
+        "level": level,
+        "tiles": len(urls),
+        "cold_median_ms": round(cold_median, 3),
+        "cold_p95_ms": round(
+            sorted(cold_ms)[int(0.95 * (len(cold_ms) - 1))], 3),
+        "cold_bytes": cold_bytes,
+        "revalidate_median_ms": round(reval_median, 3),
+        "all_304": not_modified == len(urls),
+        "binary_bytes": binary_len,
+        "json_bytes": json_len,
+        "json_over_binary": round(json_len / max(binary_len, 1), 2),
+    }, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--port", type=int, default=PORT)
+    parser.add_argument("--out", default="BENCH_interchange.json",
+                        help="trajectory file to merge the tiles block "
+                             "into")
+    args = parser.parse_args(argv)
+
+    provenance = collect_provenance(started_unix=time.time())
+    profile = QUICK if args.quick else FULL
+
+    with tempfile.TemporaryDirectory(prefix="repro-tile-bench-") as tmp:
+        root = Path(tmp)
+        service = build_workspace(root, profile)
+        codec, failures = bench_codec(service, profile)
+        version = service.workspace.builds(
+            kind="ladder", table="demo")[-1]["content_hash"]
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH",
+                                                            "")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--workspace", str(root / "ws"), "--port", str(args.port)],
+            env=env,
+        )
+        base = f"http://127.0.0.1:{args.port}"
+        try:
+            wait_for_server(base, server)
+            http, http_failures = bench_http(base, version, profile)
+            failures.extend(http_failures)
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    block = {
+        "provenance": provenance,
+        "config": {**profile, "quick": bool(args.quick), "seed": 0},
+        "codec": codec,
+        "http": http,
+        "bit_identical": codec["bit_identical"],
+        "finished_unix": time.time(),
+    }
+
+    out = Path(args.out)
+    payload = {}
+    if out.is_file():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["tiles"] = block
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged tiles block into {out}")
+
+    if failures:
+        for failure in failures[:20]:
+            print(f"!! {failure}", file=sys.stderr)
+        print("!! tile gate failed — the wire format is lossy beyond "
+              "spec or revalidation re-sent bytes", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

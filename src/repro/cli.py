@@ -15,6 +15,9 @@ Python:
 * ``workspace-info`` — summarise a workspace's tables and cached builds;
 * ``zoom-build``     — precompute a multi-resolution zoom ladder (offline);
 * ``zoom-query``     — answer a viewport request from a prebuilt ladder;
+* ``tile``           — extract one ladder tile in the binary "RVT1" wire
+  format (or its JSON debugging view) — the CLI twin of ``GET
+  /v1/tile/...``;
 * ``serve``          — run the long-lived HTTP server over a workspace.
 
 ``sample``, ``zoom-build`` and ``zoom-query`` all run through the same
@@ -62,7 +65,7 @@ from .errors import ReproError
 from .service import VasService, Workspace
 from .service.http import serve as http_serve
 from .storage.query import ZoomQuery, answer_zoom_query
-from .storage.zoom import ZoomLadder
+from .storage.zoom import ZoomLadder, encode_tile, tile_to_json
 from .tasks.study import build_method_sample
 from .viz import Figure
 from .viz.scatter import Viewport
@@ -295,6 +298,25 @@ def cmd_zoom_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tile(args: argparse.Namespace) -> int:
+    service = VasService(Workspace(args.workspace, create=False))
+    level, tile_x, tile_y = args.tile
+    tile, version = service.tile_query(args.table, level, tile_x, tile_y,
+                                       version_hash=args.version,
+                                       x=args.x, y=args.y)
+    data = encode_tile(tile)
+    if args.json:
+        print(json.dumps(tile_to_json(tile), indent=2))
+    dest = ""
+    if args.out:
+        Path(args.out).write_bytes(data)
+        dest = f" -> {args.out}"
+    print(f"tile L{level}/{tile_x}/{tile_y} of {args.table!r} "
+          f"@ {version[:12]}: {len(tile.points):,} point(s), "
+          f"{len(data):,} bytes{dest}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     service = VasService(Workspace(args.workspace, create=False))
     http_serve(service, host=args.host, port=args.port,
@@ -421,6 +443,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write matching rows to a CSV")
     p.set_defaults(fn=cmd_zoom_query)
+
+    p = sub.add_parser("tile",
+                       help="extract one zoom-ladder tile (binary RVT1 "
+                            "or JSON)")
+    p.add_argument("table", help="workspace table whose ladder to read")
+    p.add_argument("--workspace", required=True)
+    p.add_argument("--tile", type=int, nargs=3, required=True,
+                   metavar=("LEVEL", "X", "Y"),
+                   help="ladder level and tile coordinates")
+    p.add_argument("--version", default=None,
+                   help="pin a table version hash (default: the newest "
+                        "servable ladder's hash)")
+    p.add_argument("--x", default=None, help="x column (default: the "
+                                             "table's first numeric)")
+    p.add_argument("--y", default=None, help="y column")
+    p.add_argument("--out", default=None,
+                   help="write the binary RVT1 payload here")
+    p.add_argument("--json", action="store_true",
+                   help="print the ?format=json debugging payload")
+    p.set_defaults(fn=cmd_tile)
 
     p = sub.add_parser("serve",
                        help="serve a workspace over HTTP (long-lived)")

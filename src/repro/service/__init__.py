@@ -10,28 +10,41 @@ budgeted-sample queries):
   into artifact lineages (:mod:`repro.service.workspace`);
 * :class:`VasService` — the facade the CLI and the HTTP server share:
   ingest, build-or-reuse, appends with incremental sample/ladder
-  maintenance under a :class:`MaintenancePolicy`, and query answering
-  with an LRU of decoded ladders (:mod:`repro.service.service`);
+  maintenance under a :class:`MaintenancePolicy`, tile/viewport/sample
+  query answering with an LRU of decoded ladders
+  (:mod:`repro.service.service`);
 * :func:`make_server` / :func:`serve` — a stdlib HTTP front end
-  exposing the service as JSON endpoints, with graceful
-  SIGTERM/SIGINT shutdown (:mod:`repro.service.http`).
+  exposing the service under ``/v1/`` (immutable content-addressed
+  tiles included), driven by one shared route table (``ROUTES``) that
+  also generates the OpenAPI document, with graceful SIGTERM/SIGINT
+  shutdown (:mod:`repro.service.http`).
+
+``ERROR_STATUS`` / :func:`service_error_info` are the stable
+error-code vocabulary of the wire envelope ``{"error": {"code",
+"message"}}``.
 """
 
 from .service import (
+    ERROR_STATUS,
     BuildOutcome,
     CompactionPolicy,
     MaintenancePolicy,
     VasService,
+    service_error_info,
 )
-from .http import make_server, serve
+from .http import ROUTES, make_server, openapi_document, serve
 from .workspace import Workspace
 
 __all__ = [
     "BuildOutcome",
     "CompactionPolicy",
+    "ERROR_STATUS",
     "MaintenancePolicy",
+    "ROUTES",
     "VasService",
     "Workspace",
     "make_server",
+    "openapi_document",
     "serve",
+    "service_error_info",
 ]

@@ -3,50 +3,61 @@
 A deliberately dependency-free server on :mod:`http.server`
 (threading variant — viewport answers are sub-millisecond index
 probes, so a thread per connection is plenty; mutations serialise on
-the service's mutate lock while GETs run lock-free).  Endpoints:
+the service's mutate lock while GETs run lock-free).  Every endpoint
+lives under ``/v1/``; the table below is generated from one shared
+route table (``ROUTES``) that also drives dispatch and the OpenAPI
+document at ``GET /v1/openapi.json``:
 
-==========================  =============================================
-``GET /healthz``            liveness probe
-``GET /workspace``          workspace + cache summary
-``GET /tables``             ingested tables (rows, columns, content
-                            hash, version, artifact staleness)
-``POST /build``             build-or-reuse; JSON body, e.g.
-                            ``{"table": "t", "kind": "ladder",
-                            "levels": 4, "k_per_tile": 256}`` —
-                            answers ``{"key": …, "cached": true|false}``
-``POST /append``            append rows to a live table; JSON body
-                            ``{"table": "t", "rows": [[…], …]}`` (rows
-                            in table column order) or ``{"table": "t",
-                            "columns": {"x": […], …}}`` — cached
-                            artifacts advance incrementally (no build)
-``POST /compact``           fold a live table's delta segments into
-                            checkpoints and garbage-collect its cache;
-                            JSON body ``{"table": "t"}`` (omit the
-                            table to compact every table)
-``GET /viewport``           ``?table=&bbox=x0,y0,x1,y1[&zoom=&max_points=
-                            &x=&y=]`` — points from the cached ladder
-``GET /sample``             ``?table=[&method=&max_points=|&time_budget=
-                            &seconds_per_point=&x=&y=&bbox=]`` — the
-                            §II-D budgeted sample choice
-``GET /splom``              ``?table=[&cols=a,b,c&method=&max_points=]``
-                            — one cached per-pair sample per panel of
-                            the scatter-plot matrix
-``GET /task-quality``       ``?table=&task=regression|clustering|density
-                            [&x=&y=&method=&observers=&questions=
-                            &seed=]`` — served-sample task score vs.
-                            the full-data reference
-==========================  =============================================
+==============================  =========================================
+``GET /v1/healthz``             liveness probe
+``GET /v1/workspace``           workspace + cache summary
+``GET /v1/tables``              ingested tables (rows, columns, content
+                                hash, version, artifact staleness — the
+                                staleness detail carries each artifact's
+                                own pinned ``content_hash`` + params, so
+                                a tile client bootstraps from this one
+                                call)
+``GET /v1/viewport``            ``?table=&bbox=x0,y0,x1,y1[&zoom=
+                                &max_points=&x=&y=&filter=]`` — points
+                                from the cached ladder
+``GET /v1/sample``              ``?table=[&method=&max_points=|
+                                &time_budget=&seconds_per_point=&x=&y=
+                                &bbox=]`` — the §II-D budgeted sample
+``GET /v1/splom``               ``?table=[&cols=a,b,c&method=
+                                &max_points=]`` — cached per-pair SPLOM
+``GET /v1/task-quality``        ``?table=&task=regression|clustering|
+                                density[...]`` — served-sample task
+                                score vs. the full-data reference
+``GET /v1/tile/{table}/{version}/{level}/{x}/{y}``
+                                one ladder tile in the binary "RVT1"
+                                format (``?format=json`` to debug);
+                                ``ETag`` = the version hash,
+                                ``Cache-Control: public,
+                                max-age=31536000, immutable``, and
+                                ``If-None-Match`` answers ``304``
+                                straight from the URL — no decode
+``GET /v1/openapi.json``        the OpenAPI 3 document for all of this
+``POST /v1/build``              build-or-reuse (``kind``: ladder /
+                                sample / splom)
+``POST /v1/append``             append rows to a live table
+``POST /v1/compact``            fold delta segments + GC the cache
+==============================  =========================================
 
-``GET /viewport`` also takes ``&filter=`` — a predicate over the
-plotted columns (compact form ``x>=0.5,y<2`` or a JSON spec) pushed
-down into the ladder's tile walk.  ``POST /build`` accepts ``"kind":
-"splom"`` with ``"cols"`` to build every pair at once.
+The bare legacy paths (``/tables``, ``/viewport``, ...) remain as
+deprecated aliases: they answer identically and add a ``Deprecation:
+true`` header.  Version-hash tile URLs are forever-cacheable because
+artifacts are never mutated — ``/v1/tables`` is the only uncacheable
+hot-path GET.
 
-Errors come back as ``{"error": …}`` with 400 (bad request), 404
-(unknown table / nothing built) or 500.  The server never builds on a
-GET: query endpoints are pure cache reads, so worst-case latency stays
-bounded by decode time, not Interchange time — and ``POST /append``
-keeps that promise too, running only O(delta·K) maintenance.
+Errors come back as ``{"error": {"code": <stable-slug>, "message":
+...}}`` — codes and statuses live in
+:data:`repro.service.service.ERROR_STATUS` (``bad_request`` /
+``schema_error`` 400, ``unknown_table`` / ``not_built`` /
+``unknown_endpoint`` 404, ``internal`` 500).  The server never builds
+on a GET: query endpoints are pure cache reads, so worst-case latency
+stays bounded by decode time, not Interchange time — and ``POST
+/v1/append`` keeps that promise too, running only O(delta·K)
+maintenance.
 
 ``repro serve`` shuts down gracefully: SIGTERM/SIGINT stop the accept
 loop, in-flight requests run to completion (handler threads are
@@ -60,11 +71,13 @@ import json
 import signal
 import threading
 import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import ReproError
-from .service import VasService, service_error_status
+from ..storage.zoom import encode_tile, tile_to_json
+from .service import ERROR_STATUS, VasService, service_error_info
 
 
 def _parse_bbox(raw: str) -> tuple[float, float, float, float]:
@@ -98,6 +111,329 @@ def _maybe_float(value, name: str):
         raise ValueError(f"{name} must be a number, got {value!r}") from None
 
 
+def _path_int(path_params: dict, name: str) -> int:
+    raw = path_params[name]
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+# -- the shared route table ----------------------------------------------
+
+def _qp(name: str, type_: str = "string", required: bool = False,
+        description: str = "") -> dict:
+    """One OpenAPI query-parameter object (keeps ROUTES readable)."""
+    param = {"name": name, "in": "query", "required": required,
+             "schema": {"type": type_}}
+    if description:
+        param["description"] = description
+    return param
+
+
+@dataclass(frozen=True)
+class Route:
+    """One wire endpoint: dispatch *and* documentation in one record.
+
+    ``path`` may contain ``{name}`` segments (captured into the
+    handler's path params); ``legacy`` lists deprecated aliases that
+    answer identically plus a ``Deprecation`` header; ``params`` /
+    ``request_body`` / ``errors`` feed :func:`openapi_document`.
+    """
+
+    method: str
+    path: str
+    handler: str
+    summary: str
+    legacy: tuple[str, ...] = ()
+    params: tuple[dict, ...] = ()
+    errors: tuple[str, ...] = ()
+    request_body: dict | None = None
+
+
+#: The tile endpoint's templated path (referenced by the conditional-GET
+#: plumbing and the OpenAPI generator's binary-response special case).
+TILE_PATH = "/v1/tile/{table}/{version}/{level}/{x}/{y}"
+
+_QUERY_ERRORS = ("bad_request", "schema_error", "unknown_table",
+                 "not_built")
+
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/v1/healthz", "_get_healthz", "liveness probe",
+          legacy=("/healthz",)),
+    Route("GET", "/v1/workspace", "_get_workspace",
+          "workspace + cache summary", legacy=("/workspace", "/")),
+    Route("GET", "/v1/tables", "_get_tables",
+          "ingested tables with version + artifact staleness",
+          legacy=("/tables",)),
+    Route("GET", "/v1/viewport", "_get_viewport",
+          "viewport query from the cached zoom ladder",
+          legacy=("/viewport",),
+          params=(
+              _qp("table", required=True),
+              _qp("bbox", required=True,
+                  description="x0,y0,x1,y1 in data space"),
+              _qp("x"), _qp("y"),
+              _qp("zoom", "integer"),
+              _qp("max_points", "integer"),
+              _qp("filter",
+                  description="predicate pushed into the tile walk, "
+                              "e.g. x>=0.5,y<2"),
+          ),
+          errors=_QUERY_ERRORS),
+    Route("GET", "/v1/sample", "_get_sample",
+          "budgeted sample from the cached flat rungs",
+          legacy=("/sample",),
+          params=(
+              _qp("table", required=True),
+              _qp("x"), _qp("y"), _qp("method"),
+              _qp("max_points", "integer"),
+              _qp("time_budget", "number"),
+              _qp("seconds_per_point", "number"),
+              _qp("bbox"),
+          ),
+          errors=_QUERY_ERRORS),
+    Route("GET", "/v1/splom", "_get_splom",
+          "scatter-plot matrix from cached per-pair samples",
+          legacy=("/splom",),
+          params=(
+              _qp("table", required=True),
+              _qp("cols", description="comma-separated column subset"),
+              _qp("method"),
+              _qp("max_points", "integer"),
+          ),
+          errors=_QUERY_ERRORS),
+    Route("GET", "/v1/task-quality", "_get_task_quality",
+          "served-sample task score vs. the full-data reference",
+          legacy=("/task-quality",),
+          params=(
+              _qp("table", required=True),
+              _qp("task", required=True,
+                  description="regression | clustering | density"),
+              _qp("x"), _qp("y"), _qp("method"),
+              _qp("observers", "integer"),
+              _qp("questions", "integer"),
+              _qp("seed", "integer"),
+          ),
+          errors=_QUERY_ERRORS),
+    Route("GET", TILE_PATH, "_get_tile",
+          "one immutable ladder tile (binary RVT1; ?format=json to "
+          "debug)",
+          params=(
+              _qp("format",
+                  description="'json' for the debugging view; default "
+                              "is the binary RVT1 payload"),
+          ),
+          errors=_QUERY_ERRORS),
+    Route("GET", "/v1/openapi.json", "_get_openapi",
+          "this API, as an OpenAPI 3 document"),
+    Route("POST", "/v1/build", "_post_build",
+          "build-or-reuse a ladder / sample / splom artifact",
+          legacy=("/build",),
+          errors=("bad_request", "schema_error", "unknown_table"),
+          request_body={
+              "type": "object",
+              "required": ["table"],
+              "properties": {
+                  "table": {"type": "string"},
+                  "kind": {"type": "string",
+                           "enum": ["ladder", "sample", "splom"]},
+                  "levels": {"type": "integer"},
+                  "k_per_tile": {"type": "integer"},
+                  "k": {"type": "integer"},
+                  "method": {"type": "string"},
+                  "cols": {"type": "array",
+                           "items": {"type": "string"}},
+                  "seed": {"type": "integer"},
+                  "engine": {"type": "string"},
+                  "workers": {"type": "integer"},
+                  "x": {"type": "string"}, "y": {"type": "string"},
+              },
+          }),
+    Route("POST", "/v1/append", "_post_append",
+          "append rows to a live table (artifacts advance "
+          "incrementally — no build)",
+          legacy=("/append",),
+          errors=("bad_request", "schema_error", "unknown_table"),
+          request_body={
+              "type": "object",
+              "required": ["table"],
+              "properties": {
+                  "table": {"type": "string"},
+                  "rows": {"type": "array",
+                           "items": {"type": "array",
+                                     "items": {"type": "number"}}},
+                  "columns": {"type": "object"},
+              },
+          }),
+    Route("POST", "/v1/compact", "_post_compact",
+          "fold delta segments into checkpoints + GC the cache",
+          legacy=("/compact",),
+          errors=("unknown_table",),
+          request_body={
+              "type": "object",
+              "properties": {"table": {"type": "string"}},
+          }),
+)
+
+
+def _match_path(template: str, path: str) -> dict | None:
+    """Path params if ``path`` matches ``template``, else ``None``."""
+    if "{" not in template:
+        return {} if path == template else None
+    t_segments = template.strip("/").split("/")
+    p_segments = path.strip("/").split("/")
+    if len(t_segments) != len(p_segments):
+        return None
+    captured: dict[str, str] = {}
+    for t_seg, p_seg in zip(t_segments, p_segments):
+        if t_seg.startswith("{") and t_seg.endswith("}"):
+            if not p_seg:
+                return None
+            captured[t_seg[1:-1]] = p_seg
+        elif t_seg != p_seg:
+            return None
+    return captured
+
+
+def match_route(method: str,
+                path: str) -> tuple[Route, dict, bool] | None:
+    """``(route, path params, via a deprecated alias?)`` or ``None``."""
+    for route in ROUTES:
+        if route.method != method:
+            continue
+        candidates = [(route.path, False)]
+        candidates += [(alias, True) for alias in route.legacy]
+        for candidate, deprecated in candidates:
+            params = _match_path(candidate, path)
+            if params is not None:
+                return route, params, deprecated
+    return None
+
+
+_PATH_PARAM_TYPES = {"level": "integer", "x": "integer", "y": "integer"}
+
+
+def openapi_document() -> dict:
+    """The OpenAPI 3 document served at ``GET /v1/openapi.json``.
+
+    Generated from :data:`ROUTES`, so the spec's paths and methods
+    cannot drift from what the dispatcher actually serves — a test
+    asserts the agreement.  Error responses reference one shared
+    ``Error`` schema whose ``code`` enum is exactly
+    :data:`~repro.service.service.ERROR_STATUS`.
+    """
+    paths: dict[str, dict] = {}
+    for route in ROUTES:
+        parameters = []
+        for segment in route.path.strip("/").split("/"):
+            if segment.startswith("{"):
+                name = segment[1:-1]
+                parameters.append({
+                    "name": name, "in": "path", "required": True,
+                    "schema": {
+                        "type": _PATH_PARAM_TYPES.get(name, "string")},
+                })
+        parameters.extend(dict(p) for p in route.params)
+        if route.path == TILE_PATH:
+            responses: dict[str, dict] = {
+                "200": {
+                    "description": "one binary RVT1 tile "
+                                   "(application/json with ?format=json)",
+                    "content": {"application/octet-stream": {
+                        "schema": {"type": "string",
+                                   "format": "binary"}}},
+                },
+                "304": {
+                    "description": "If-None-Match matched the version "
+                                   "hash; the cached tile is current",
+                },
+            }
+        else:
+            responses = {"200": {
+                "description": route.summary,
+                "content": {"application/json": {
+                    "schema": {"type": "object"}}},
+            }}
+        by_status: dict[int, list[str]] = {}
+        for code in route.errors + ("internal",):
+            by_status.setdefault(ERROR_STATUS[code], []).append(code)
+        for status, codes in sorted(by_status.items()):
+            responses[str(status)] = {
+                "description": "error codes: " + ", ".join(sorted(codes)),
+                "content": {"application/json": {
+                    "schema": {"$ref": "#/components/schemas/Error"}}},
+            }
+        operation = {"summary": route.summary, "responses": responses}
+        if parameters:
+            operation["parameters"] = parameters
+        if route.request_body is not None:
+            operation["requestBody"] = {
+                "required": True,
+                "content": {"application/json": {
+                    "schema": dict(route.request_body)}},
+            }
+        if route.legacy:
+            operation["description"] = (
+                "Deprecated aliases (answer identically, plus a "
+                "Deprecation: true header): " + ", ".join(route.legacy))
+        paths.setdefault(route.path, {})[route.method.lower()] = operation
+    return {
+        "openapi": "3.0.3",
+        "info": {
+            "title": "repro serve",
+            "version": "1",
+            "description": "Visualization-aware sampling service: "
+                           "cached-sample queries, live-table appends, "
+                           "and immutable content-addressed tiles.",
+        },
+        "paths": paths,
+        "components": {"schemas": {"Error": {
+            "type": "object",
+            "required": ["error"],
+            "properties": {"error": {
+                "type": "object",
+                "required": ["code", "message"],
+                "properties": {
+                    "code": {"type": "string",
+                             "enum": sorted(ERROR_STATUS)},
+                    "message": {"type": "string"},
+                },
+            }},
+        }}},
+    }
+
+
+@dataclass
+class Response:
+    """What a route handler hands back to the wire layer.
+
+    JSON handlers may keep returning a plain ``(payload, status)``
+    tuple; this richer form exists for the tile endpoint's binary
+    bodies, extra headers (``ETag`` / ``Cache-Control``) and bodiless
+    ``304`` answers.
+    """
+
+    status: int = 200
+    payload: dict | None = None
+    body: bytes | None = None
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = ()
+
+
+def _etag_matches(header: str | None, etag: str) -> bool:
+    """RFC 7232 If-None-Match: any listed tag (or ``*``) hits.
+
+    Weak tags compare by opaque value — a CDN revalidating a tile it
+    compressed sends ``W/"<hash>"`` and still deserves its 304.
+    """
+    if header is None:
+        return False
+    candidates = {tag.strip() for tag in header.split(",")}
+    return ("*" in candidates or etag in candidates
+            or f"W/{etag}" in candidates)
+
+
 class VasRequestHandler(BaseHTTPRequestHandler):
     """Routes one HTTP request into the shared :class:`VasService`."""
 
@@ -113,50 +449,112 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         if self.verbose:
             super().log_message(fmt, *args)
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
-
-    def _dispatch(self, handler) -> None:
-        try:
-            payload, status = handler()
-        except (ValueError, KeyError, TypeError) as exc:
-            self._send_error_json(str(exc), 400)
-        except ReproError as exc:
-            self._send_error_json(str(exc), service_error_status(exc))
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            self._send_error_json(f"internal error: {exc}", 500)
+    def _send_payload(self, response: Response,
+                      deprecated: bool = False) -> None:
+        if response.body is not None:
+            body = response.body
+        elif response.payload is not None:
+            body = json.dumps(response.payload).encode()
         else:
-            self._send_json(payload, status=status)
+            body = b""
+        self.send_response(response.status)
+        if response.status != 304:
+            self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(body)))
+        # Any origin may read the API (the demo tile viewer is a local
+        # HTML file); mutations are still same-machine affairs.
+        self.send_header("Access-Control-Allow-Origin", "*")
+        if deprecated:
+            self.send_header("Deprecation", "true")
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        if body and response.status != 304:
+            self.wfile.write(body)
+
+    def _send_error_json(self, code: str, message: str,
+                         status: int | None = None,
+                         deprecated: bool = False) -> None:
+        self._send_payload(Response(
+            status=ERROR_STATUS[code] if status is None else status,
+            payload={"error": {"code": code, "message": message}},
+        ), deprecated=deprecated)
+
+    def _dispatch(self, handler, deprecated: bool = False) -> None:
+        try:
+            result = handler()
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json("bad_request", str(exc),
+                                  deprecated=deprecated)
+        except ReproError as exc:
+            code, status = service_error_info(exc)
+            self._send_error_json(code, str(exc), status=status,
+                                  deprecated=deprecated)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_error_json("internal", f"internal error: {exc}",
+                                  deprecated=deprecated)
+        else:
+            if not isinstance(result, Response):
+                payload, status = result
+                result = Response(status=status, payload=payload)
+            self._send_payload(result, deprecated=deprecated)
 
     # -- GET ---------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
-        params = parse_qs(url.query)
-        routes = {
-            "/healthz": lambda: ({"ok": True}, 200),
-            "/workspace": lambda: (self.service.info(), 200),
-            "/": lambda: (self.service.info(), 200),
-            "/tables": lambda: ({"tables": self.service.tables()}, 200),
-            "/viewport": lambda: self._get_viewport(params),
-            "/sample": lambda: self._get_sample(params),
-            "/splom": lambda: self._get_splom(params),
-            "/task-quality": lambda: self._get_task_quality(params),
-        }
-        handler = routes.get(url.path)
-        if handler is None:
-            self._send_error_json(f"unknown endpoint {url.path!r}", 404)
+        matched = match_route("GET", url.path)
+        if matched is None:
+            self._send_error_json("unknown_endpoint",
+                                  f"unknown endpoint {url.path!r}")
             return
-        self._dispatch(handler)
+        route, path_params, deprecated = matched
+        params = parse_qs(url.query)
+        handler = getattr(self, route.handler)
+        self._dispatch(lambda: handler(params, path_params),
+                       deprecated=deprecated)
 
-    def _get_viewport(self, params: dict) -> tuple[dict, int]:
+    def _get_healthz(self, params, path_params) -> tuple[dict, int]:
+        return {"ok": True}, 200
+
+    def _get_workspace(self, params, path_params) -> tuple[dict, int]:
+        return self.service.info(), 200
+
+    def _get_tables(self, params, path_params) -> tuple[dict, int]:
+        return {"tables": self.service.tables()}, 200
+
+    def _get_openapi(self, params, path_params) -> tuple[dict, int]:
+        return openapi_document(), 200
+
+    def _get_tile(self, params, path_params) -> Response:
+        version = path_params["version"]
+        etag = f'"{version}"'
+        cache_headers = (
+            ("ETag", etag),
+            ("Cache-Control", "public, max-age=31536000, immutable"),
+        )
+        if _etag_matches(self.headers.get("If-None-Match"), etag):
+            # The version hash in the URL *is* the content identity
+            # (artifacts are immutable), so revalidation is answered
+            # from the request line alone — no ladder decode, no
+            # service call.  An unknown hash revalidates too: the
+            # client by definition holds a payload this URL once
+            # served.
+            return Response(status=304, headers=cache_headers)
+        tile, _ = self.service.tile_query(
+            path_params["table"],
+            _path_int(path_params, "level"),
+            _path_int(path_params, "x"),
+            _path_int(path_params, "y"),
+            version_hash=version,
+        )
+        if _first(params, "format") == "json":
+            return Response(payload=tile_to_json(tile),
+                            headers=cache_headers)
+        return Response(body=encode_tile(tile),
+                        content_type="application/octet-stream",
+                        headers=cache_headers)
+
+    def _get_viewport(self, params, path_params) -> tuple[dict, int]:
         table = _first(params, "table")
         if table is None:
             raise ValueError("missing required parameter: table")
@@ -183,7 +581,7 @@ class VasRequestHandler(BaseHTTPRequestHandler):
             "points": result.points.tolist(),
         }, 200
 
-    def _get_sample(self, params: dict) -> tuple[dict, int]:
+    def _get_sample(self, params, path_params) -> tuple[dict, int]:
         table = _first(params, "table")
         if table is None:
             raise ValueError("missing required parameter: table")
@@ -220,7 +618,7 @@ class VasRequestHandler(BaseHTTPRequestHandler):
             payload["weights"] = result.weights.tolist()
         return payload, 200
 
-    def _get_splom(self, params: dict) -> tuple[dict, int]:
+    def _get_splom(self, params, path_params) -> tuple[dict, int]:
         table = _first(params, "table")
         if table is None:
             raise ValueError("missing required parameter: table")
@@ -253,7 +651,7 @@ class VasRequestHandler(BaseHTTPRequestHandler):
             "elapsed_ms": round(elapsed_ms, 3),
         }, 200
 
-    def _get_task_quality(self, params: dict) -> tuple[dict, int]:
+    def _get_task_quality(self, params, path_params) -> tuple[dict, int]:
         table = _first(params, "table")
         if table is None:
             raise ValueError("missing required parameter: table")
@@ -288,16 +686,14 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         raw_body = self.rfile.read(length) if length else b""
         url = urlparse(self.path)
-        routes = {
-            "/build": self._post_build,
-            "/append": self._post_append,
-            "/compact": self._post_compact,
-        }
-        handler = routes.get(url.path)
-        if handler is None:
-            self._send_error_json(f"unknown endpoint {url.path!r}", 404)
+        matched = match_route("POST", url.path)
+        if matched is None:
+            self._send_error_json("unknown_endpoint",
+                                  f"unknown endpoint {url.path!r}")
             return
-        self._dispatch(lambda: handler(raw_body))
+        route, _path_params, deprecated = matched
+        handler = getattr(self, route.handler)
+        self._dispatch(lambda: handler(raw_body), deprecated=deprecated)
 
     @staticmethod
     def _json_body(raw_body: bytes) -> dict:
@@ -476,9 +872,11 @@ def serve(service: VasService, host: str = "127.0.0.1", port: int = 8000,
     bound_host, bound_port = server.server_address[:2]
     print(f"repro serve: listening on http://{bound_host}:{bound_port} "
           f"(workspace: {service.workspace.root or 'ephemeral'})")
-    print("endpoints: /healthz /workspace /tables /viewport /sample "
-          "/splom /task-quality POST /build /append /compact — "
-          "Ctrl-C to stop")
+    print("endpoints: /v1/healthz /v1/workspace /v1/tables /v1/viewport "
+          "/v1/sample /v1/splom /v1/task-quality "
+          "/v1/tile/{table}/{version}/{level}/{x}/{y} /v1/openapi.json "
+          "POST /v1/build /v1/append /v1/compact (bare legacy paths are "
+          "deprecated aliases) — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

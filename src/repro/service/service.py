@@ -71,8 +71,10 @@ from ..storage.table import Table
 from ..storage.zoom import (
     DEFAULT_K_PER_TILE,
     DEFAULT_LEVELS,
+    TileData,
     ZoomLadder,
     build_zoom_ladder,
+    extract_tile,
     patch_zoom_ladder,
 )
 from ..tasks import (
@@ -891,6 +893,11 @@ class VasService:
                 artifacts.append({
                     "key": manifest["key"], "kind": kind,
                     "table_version": manifest["_version"],
+                    # The artifact's own pinned hash + params: exactly
+                    # what a tile client needs to assemble immutable
+                    # /v1/tile URLs from one GET /v1/tables.
+                    "content_hash": manifest["content_hash"],
+                    "params": manifest["params"],
                     "stale_rows": lag,
                     "needs_rebuild": bool(needs_rebuild),
                 })
@@ -1018,6 +1025,84 @@ class VasService:
         """
         x, y = self._resolve_xy(table_name, x, y)
         return self._ladder_for_resolved(table_name, x, y)
+
+    def _ladder_at_hash(self, table_name: str, x: str, y: str,
+                        version_hash: str) -> ZoomLadder:
+        """The newest cached ladder pinned to one content hash.
+
+        Resolution is over the build manifests alone — *not* gated on
+        the version history — so a ladder whose version was folded
+        away by compaction keeps serving as long as the artifact
+        itself survives: its hash is pinned in the build manifest, and
+        compaction never collects the newest entry of a lineage.  That
+        is the immutable-tile contract: a ``/v1/tile/<hash>/...`` URL
+        a client cached yesterday answers identically today.
+        """
+        if not self.workspace.has_table(table_name):
+            from ..errors import TableNotFoundError
+
+            raise TableNotFoundError(table_name)
+        # A fifth component keeps this memo disjoint from the
+        # current-hash memo in _ladder_for_resolved; positions 0 and 3
+        # (table, hash) still line up with the invalidation sweeps.
+        memo_key = (table_name, x, y, version_hash, "pinned")
+        for attempt in (0, 1):
+            token = self._read_token()
+            key = self._lru_get(self._ladder_keys, memo_key)
+            if key is None:
+                matches = [
+                    m for m in self.workspace.builds(kind="ladder",
+                                                     table=table_name)
+                    if m.get("kind") == "ladder"
+                    and m.get("content_hash") == version_hash
+                    and m["params"].get("x") == x
+                    and m["params"].get("y") == y
+                ]
+                if not matches:
+                    raise SampleNotFoundError(
+                        f"no zoom ladder for {table_name}.({x}, {y}) at "
+                        f"version hash {version_hash[:12]}; run repro "
+                        "zoom-build / POST /v1/build first"
+                    )
+                matches.sort(key=lambda m: m.get("created_unix", 0.0))
+                key = matches[-1]["key"]
+                if self._publishable(token):
+                    self._lru_put(self._ladder_keys, memo_key, key)
+            try:
+                return self._decoded_ladder(key)
+            except (ReproError, OSError):
+                # A concurrent append pruned the entry this (stale)
+                # memo pointed at; forget it and re-resolve once.
+                if attempt:
+                    raise
+                with self._cache_lock:
+                    self._ladder_keys.drop(memo_key)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def tile_query(self, table_name: str, level: int, tile_x: int,
+                   tile_y: int, version_hash: str | None = None,
+                   x: str | None = None,
+                   y: str | None = None) -> tuple[TileData, str]:
+        """One ladder tile for ``GET /v1/tile`` and ``repro tile``.
+
+        ``version_hash`` pins the artifact (the immutable-URL path);
+        ``None`` resolves the newest servable ladder and reports the
+        hash it serves at — how a client bootstraps before it has seen
+        ``/v1/tables``.  Read-only like :meth:`viewport`: no mutation
+        lock, and never a build.  Returns ``(tile, version_hash)``.
+        """
+        x, y = self._resolve_xy(table_name, x, y)
+        if version_hash is None:
+            candidates = self._servable_builds("ladder", table_name, x, y)
+            if not candidates:
+                raise SampleNotFoundError(
+                    f"no zoom ladder built for {table_name}.({x}, {y}); "
+                    "run repro zoom-build / POST /v1/build first"
+                )
+            version_hash = candidates[-1]["content_hash"]
+        ladder = self._ladder_at_hash(table_name, x, y, version_hash)
+        return (extract_tile(ladder, int(level), int(tile_x), int(tile_y)),
+                version_hash)
 
     def viewport(self, table_name: str, bbox: tuple[float, float, float, float],
                  x: str | None = None, y: str | None = None,
@@ -1337,10 +1422,36 @@ class VasService:
                 self._ladder_keys.clear()
 
 
-def service_error_status(exc: ReproError) -> int:
-    """HTTP status for a service-layer error."""
+#: Stable machine-readable error codes and their HTTP statuses — the
+#: single source of truth behind the ``{"error": {"code", "message"}}``
+#: envelope every endpoint answers with.  The HTTP layer, the OpenAPI
+#: document, and the tests all read this mapping; nothing else assigns
+#: a status to an error.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "schema_error": 400,
+    "unknown_table": 404,
+    "not_built": 404,
+    "unknown_endpoint": 404,
+    "internal": 500,
+}
+
+
+def service_error_info(exc: Exception) -> tuple[str, int]:
+    """``(stable error code, HTTP status)`` for a service-layer error."""
     from ..errors import TableNotFoundError
 
-    if isinstance(exc, (TableNotFoundError, SampleNotFoundError)):
-        return 404
-    return 400
+    if isinstance(exc, TableNotFoundError):
+        code = "unknown_table"
+    elif isinstance(exc, SampleNotFoundError):
+        code = "not_built"
+    elif isinstance(exc, SchemaError):
+        code = "schema_error"
+    else:
+        code = "bad_request"
+    return code, ERROR_STATUS[code]
+
+
+def service_error_status(exc: ReproError) -> int:
+    """HTTP status for a service-layer error (see ``ERROR_STATUS``)."""
+    return service_error_info(exc)[1]

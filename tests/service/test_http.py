@@ -56,10 +56,18 @@ def post_json(url: str, body: dict) -> dict:
 
 
 def error_of(callable_):
+    """``(HTTP status, error dict)`` of a failing request.
+
+    Every error answers the uniform envelope ``{"error": {"code":
+    <stable-slug>, "message": ...}}``; tests assert on the machine-
+    readable ``code``, never on message substrings.
+    """
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         callable_()
     payload = json.loads(excinfo.value.read())
-    return excinfo.value.code, payload["error"]
+    error = payload["error"]
+    assert set(error) == {"code", "message"}
+    return excinfo.value.code, error
 
 
 class TestEndpoints:
@@ -152,15 +160,16 @@ class TestEndpoints:
         assert 0 < filtered["returned_rows"] < plain["returned_rows"]
 
     def test_viewport_filter_errors(self, server_url):
-        code, message = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{server_url}/viewport?table=demo&bbox=0,0,4,2"
             "&filter=nope%3E%3D1"))
         assert code == 400
-        assert "not filterable" in message
-        code, _ = error_of(lambda: get_json(
+        assert error["code"] == "schema_error"
+        code, error = error_of(lambda: get_json(
             f"{server_url}/viewport?table=demo&bbox=0,0,4,2"
             "&filter=x%3E%3E1"))
         assert code == 400
+        assert error["code"] == "schema_error"
 
 
 class TestBuildEndpoint:
@@ -194,41 +203,51 @@ class TestBuildEndpoint:
         assert payload["cached"] is True
 
     def test_build_unknown_kind(self, server_url):
-        code, message = error_of(lambda: post_json(
+        code, error = error_of(lambda: post_json(
             f"{server_url}/build", {"table": "demo", "kind": "nope"}))
         assert code == 400
-        assert "kind" in message
+        assert error["code"] == "bad_request"
 
 
 class TestErrors:
     def test_unknown_endpoint(self, server_url):
-        code, _ = error_of(lambda: get_json(f"{server_url}/nope"))
+        code, error = error_of(lambda: get_json(f"{server_url}/nope"))
         assert code == 404
+        assert error["code"] == "unknown_endpoint"
 
     def test_unknown_table(self, server_url):
-        code, message = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{server_url}/viewport?table=missing&bbox=0,0,1,1"))
         assert code == 404
-        assert "missing" in message
+        assert error["code"] == "unknown_table"
 
     def test_missing_bbox(self, server_url):
-        code, _ = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{server_url}/viewport?table=demo"))
         assert code == 400
+        assert error["code"] == "bad_request"
 
     def test_malformed_bbox(self, server_url):
-        code, _ = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{server_url}/viewport?table=demo&bbox=1,2,3"))
         assert code == 400
+        assert error["code"] == "bad_request"
+
+    def test_unbuilt_ladder_is_not_built(self, server_url):
+        code, error = error_of(lambda: get_json(
+            f"{server_url}/sample?table=demo&method=vas"))
+        assert code == 404
+        assert error["code"] == "not_built"
 
     def test_body_not_json(self, server_url):
         request = urllib.request.Request(
             f"{server_url}/build", data=b"not json",
             headers={"Content-Type": "application/json"},
         )
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
-            urllib.request.urlopen(request, timeout=10)
-        assert excinfo.value.code == 400
+        code, error = error_of(
+            lambda: urllib.request.urlopen(request, timeout=10))
+        assert code == 400
+        assert error["code"] == "bad_request"
 
 
 class TestAppendEndpoint:
@@ -264,37 +283,39 @@ class TestAppendEndpoint:
         assert staleness["max_stale_rows"] == 1
 
     def test_append_requires_exactly_one_payload(self, server_url):
-        code, message = error_of(lambda: post_json(
+        code, error = error_of(lambda: post_json(
             f"{server_url}/append", {"table": "demo"}))
-        assert code == 400 and "rows" in message
-        code, _ = error_of(lambda: post_json(
+        assert code == 400 and error["code"] == "bad_request"
+        code, error = error_of(lambda: post_json(
             f"{server_url}/append",
             {"table": "demo", "rows": [[1, 2]], "columns": {"x": [1]}}))
-        assert code == 400
+        assert code == 400 and error["code"] == "bad_request"
 
     def test_append_payloads_must_match_their_key(self, server_url):
         """A JSON array under 'columns' must be rejected, not silently
         read as positional rows (which would append transposed data);
         likewise an object under 'rows'."""
-        code, message = error_of(lambda: post_json(
+        code, error = error_of(lambda: post_json(
             f"{server_url}/append",
             {"table": "demo", "columns": [[1.0, 2.0], [3.0, 4.0]]}))
-        assert code == 400 and "JSON object" in message
-        code, message = error_of(lambda: post_json(
+        assert code == 400 and error["code"] == "bad_request"
+        code, error = error_of(lambda: post_json(
             f"{server_url}/append",
             {"table": "demo", "rows": {"x": [1.0], "y": [2.0]}}))
-        assert code == 400 and "JSON array" in message
+        assert code == 400 and error["code"] == "bad_request"
 
     def test_append_unknown_table(self, server_url):
-        code, _ = error_of(lambda: post_json(
+        code, error = error_of(lambda: post_json(
             f"{server_url}/append", {"table": "nope", "rows": [[1, 2]]}))
         assert code == 404
+        assert error["code"] == "unknown_table"
 
     def test_append_bad_shape(self, server_url):
-        code, _ = error_of(lambda: post_json(
+        code, error = error_of(lambda: post_json(
             f"{server_url}/append", {"table": "demo",
                                      "rows": [[1.0, 2.0, 3.0]]}))
         assert code == 400
+        assert error["code"] == "schema_error"
 
 
 class TestCompactEndpoint:
@@ -325,9 +346,10 @@ class TestCompactEndpoint:
         assert [r["table"] for r in payload["compacted"]] == ["demo"]
 
     def test_compact_unknown_table(self, server_url):
-        code, _ = error_of(lambda: post_json(
+        code, error = error_of(lambda: post_json(
             f"{server_url}/compact", {"table": "nope"}))
         assert code == 404
+        assert error["code"] == "unknown_table"
 
     def test_tables_storage_block(self, server_url):
         table = get_json(f"{server_url}/tables")["tables"][0]
@@ -388,20 +410,22 @@ class TestSplomEndpoint:
         assert all(p["returned_rows"] == 40 for p in payload["panels"])
 
     def test_unknown_column_400(self, multi_url):
-        code, message = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{multi_url}/splom?table=multi&cols=a,zz"))
         assert code == 400
-        assert "zz" in message
+        assert error["code"] == "schema_error"
 
     def test_single_column_400(self, multi_url):
-        code, _ = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{multi_url}/splom?table=multi&cols=a"))
         assert code == 400
+        assert error["code"] == "schema_error"
 
     def test_unbuilt_method_404(self, multi_url):
-        code, _ = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{multi_url}/splom?table=multi&method=vas"))
         assert code == 404
+        assert error["code"] == "not_built"
 
     def test_build_kind_splom(self, multi_url):
         payload = post_json(f"{multi_url}/build", {
@@ -456,21 +480,23 @@ class TestTaskQualityEndpoint:
             get_json(url)["sample_score"]
 
     def test_unknown_task_400(self, multi_url):
-        code, message = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{multi_url}/task-quality?table=multi&task=sorting"))
         assert code == 400
-        assert "sorting" in message
+        assert error["code"] == "schema_error"
 
     def test_missing_task_400(self, multi_url):
-        code, _ = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{multi_url}/task-quality?table=multi"))
         assert code == 400
+        assert error["code"] == "bad_request"
 
     def test_unbuilt_method_404(self, multi_url):
-        code, _ = error_of(lambda: get_json(
+        code, error = error_of(lambda: get_json(
             f"{multi_url}/task-quality?table=multi&task=regression"
             "&method=vas"))
         assert code == 404
+        assert error["code"] == "not_built"
 
     def test_get_never_builds(self, multi_url, monkeypatch):
         def boom(*args, **kwargs):
@@ -482,6 +508,102 @@ class TestTaskQualityEndpoint:
             f"{multi_url}/task-quality?table=multi&task=clustering"
             "&method=uniform&observers=2")
         assert "loss" in payload
+
+
+def get_raw(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestV1Routes:
+    """The /v1 mount and its deprecated bare-path aliases."""
+
+    LEGACY_GETS = [
+        "/healthz", "/tables", "/workspace",
+        "/viewport?table=demo&bbox=0,0,2,1",
+        "/sample?table=demo&method=uniform&max_points=60",
+    ]
+
+    @staticmethod
+    def _stable(payload: dict) -> dict:
+        return {k: v for k, v in payload.items() if k != "elapsed_ms"}
+
+    def test_v1_and_legacy_answer_identically(self, server_url):
+        for path in self.LEGACY_GETS:
+            legacy = get_json(f"{server_url}{path}")
+            v1 = get_json(f"{server_url}/v1{path}")
+            assert self._stable(legacy) == self._stable(v1), path
+
+    def test_legacy_paths_send_deprecation_header(self, server_url):
+        for path in self.LEGACY_GETS:
+            _, headers, _ = get_raw(f"{server_url}{path}")
+            assert headers.get("Deprecation") == "true", path
+            _, headers, _ = get_raw(f"{server_url}/v1{path}")
+            assert "Deprecation" not in headers, path
+
+    def test_root_is_deprecated_workspace_alias(self, server_url):
+        status, headers, body = get_raw(f"{server_url}/")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert json.loads(body) == json.loads(
+            get_raw(f"{server_url}/v1/workspace")[2])
+
+    def test_v1_post_parity(self, server_url):
+        body = {"table": "demo", "kind": "ladder", "levels": 2,
+                "k_per_tile": 40}
+        legacy = post_json(f"{server_url}/build", body)
+        v1 = post_json(f"{server_url}/v1/build", body)
+        assert legacy["cached"] is True and v1["cached"] is True
+        assert legacy["key"] == v1["key"]
+
+    def test_legacy_errors_carry_the_envelope(self, server_url):
+        code, error = error_of(lambda: get_json(
+            f"{server_url}/viewport?table=missing&bbox=0,0,1,1"))
+        assert code == 404
+        assert error["code"] == "unknown_table"
+
+
+class TestOpenApi:
+    def test_spec_served(self, server_url):
+        spec = get_json(f"{server_url}/v1/openapi.json")
+        assert spec["openapi"].startswith("3.")
+        assert "/v1/tables" in spec["paths"]
+
+    def test_spec_agrees_with_route_table(self, server_url):
+        """The satellite contract: the served document and the
+        dispatcher's route table name exactly the same (method, path)
+        pairs — the spec is generated from ROUTES, and this pins it."""
+        from repro.service.http import ROUTES
+
+        spec = get_json(f"{server_url}/v1/openapi.json")
+        documented = {(method.upper(), path)
+                      for path, operations in spec["paths"].items()
+                      for method in operations}
+        routed = {(route.method, route.path) for route in ROUTES}
+        assert documented == routed
+
+    def test_spec_covers_every_error_code(self, server_url):
+        from repro.service import ERROR_STATUS
+
+        spec = get_json(f"{server_url}/v1/openapi.json")
+        enum = spec["components"]["schemas"]["Error"][
+            "properties"]["error"]["properties"]["code"]["enum"]
+        assert set(enum) == set(ERROR_STATUS)
+
+    def test_every_route_param_is_documented(self, server_url):
+        """Path templates and declared query params all appear in the
+        spec's parameter lists (names and locations)."""
+        spec = get_json(f"{server_url}/v1/openapi.json")
+        tile = spec["paths"][
+            "/v1/tile/{table}/{version}/{level}/{x}/{y}"]["get"]
+        names = {(p["in"], p["name"]) for p in tile["parameters"]}
+        assert names == {("path", "table"), ("path", "version"),
+                         ("path", "level"), ("path", "x"), ("path", "y"),
+                         ("query", "format")}
+        viewport = spec["paths"]["/v1/viewport"]["get"]
+        assert {p["name"] for p in viewport["parameters"]} >= {
+            "table", "bbox", "zoom", "max_points", "filter"}
 
 
 class TestGracefulShutdown:

@@ -1,0 +1,258 @@
+"""Tests for the immutable tile API: codec round-trips over HTTP,
+ETag/If-None-Match conditional GETs, compaction survival, and the
+queries-never-build invariant over ``/v1/tile``."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.errors import (
+    ConfigurationError,
+    SampleNotFoundError,
+    TableNotFoundError,
+)
+from repro.service import VasService, Workspace, make_server
+from repro.storage.zoom import decode_tile
+
+
+@pytest.fixture()
+def service(tmp_path):
+    gen = np.random.default_rng(11)
+    csv = tmp_path / "demo.csv"
+    data = np.column_stack([gen.random(400) * 4, gen.random(400) * 2])
+    np.savetxt(csv, data, delimiter=",", header="x,y", comments="")
+    svc = VasService(Workspace(tmp_path / "ws"))
+    svc.ingest_csv(csv, name="demo")
+    svc.build_ladder("demo", levels=2, k_per_tile=40)
+    return svc
+
+
+@pytest.fixture()
+def server_url(service):
+    server = make_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get_raw(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def error_of(callable_):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    body = excinfo.value.read()
+    payload = json.loads(body) if body else {}
+    return excinfo.value.code, dict(excinfo.value.headers), payload
+
+
+def ladder_hash(service) -> str:
+    builds = service.workspace.builds(kind="ladder", table="demo")
+    return builds[-1]["content_hash"]
+
+
+class TestTileService:
+    def test_resolves_newest_hash_by_default(self, service):
+        tile, version = service.tile_query("demo", 0, 0, 0)
+        assert version == ladder_hash(service)
+        assert tile.level == 0 and tile.x == 0 and tile.y == 0
+        assert len(tile.points) > 0
+
+    def test_pinned_hash_serves_that_artifact(self, service):
+        version = ladder_hash(service)
+        tile, served = service.tile_query("demo", 1, 1, 0,
+                                          version_hash=version)
+        assert served == version
+        x0, y0, x1, y1 = tile.bounds
+        if len(tile.points):
+            assert np.all(tile.points[:, 0] >= x0 - 1e-9)
+            assert np.all(tile.points[:, 0] <= x1 + 1e-9)
+
+    def test_unknown_hash_is_not_built(self, service):
+        with pytest.raises(SampleNotFoundError):
+            service.tile_query("demo", 0, 0, 0, version_hash="f" * 64)
+
+    def test_unknown_table(self, service):
+        with pytest.raises(TableNotFoundError):
+            service.tile_query("nope", 0, 0, 0)
+
+    def test_out_of_range_tile_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.tile_query("demo", 9, 0, 0)
+        with pytest.raises(ConfigurationError):
+            service.tile_query("demo", 1, 2, 0)
+
+    def test_union_of_tiles_is_the_rung(self, service):
+        ladder = service.ladder_for("demo")
+        total = 0
+        for ty in range(2):
+            for tx in range(2):
+                tile, _ = service.tile_query("demo", 1, tx, ty)
+                total += len(tile.points)
+        assert total == len(ladder.levels[1].points)
+
+
+class TestTileHttp:
+    def test_cold_get_is_immutable_binary(self, server_url, service):
+        version = ladder_hash(service)
+        status, headers, body = get_raw(
+            f"{server_url}/v1/tile/demo/{version}/1/0/1")
+        assert status == 200
+        assert headers["Content-Type"] == "application/octet-stream"
+        assert headers["ETag"] == f'"{version}"'
+        assert headers["Cache-Control"] == \
+            "public, max-age=31536000, immutable"
+        tile = decode_tile(body)
+        assert (tile.level, tile.x, tile.y) == (1, 0, 1)
+
+    def test_if_none_match_answers_304_with_empty_body(self, server_url,
+                                                       service):
+        version = ladder_hash(service)
+        url = f"{server_url}/v1/tile/demo/{version}/0/0/0"
+        code, headers, payload = error_of(lambda: get_raw(
+            url, headers={"If-None-Match": f'"{version}"'}))
+        assert code == 304
+        assert payload == {}  # no body at all
+        assert headers["ETag"] == f'"{version}"'
+
+    def test_weak_etag_revalidates_too(self, server_url, service):
+        version = ladder_hash(service)
+        url = f"{server_url}/v1/tile/demo/{version}/0/0/0"
+        code, _, _ = error_of(lambda: get_raw(
+            url, headers={"If-None-Match": f'W/"{version}"'}))
+        assert code == 304
+
+    def test_mismatched_etag_answers_200(self, server_url, service):
+        version = ladder_hash(service)
+        status, _, body = get_raw(
+            f"{server_url}/v1/tile/demo/{version}/0/0/0",
+            headers={"If-None-Match": '"somethingelse"'})
+        assert status == 200
+        assert len(body) > 0
+
+    def test_revalidation_never_touches_the_ladder(self, server_url,
+                                                   service, monkeypatch):
+        """A 304 is answered from the request line alone — the decode
+        path (and the whole service) stays cold."""
+        def boom(*args, **kwargs):
+            raise AssertionError("tile_query called during revalidation")
+
+        monkeypatch.setattr(VasService, "tile_query", boom)
+        version = ladder_hash(service)
+        code, _, _ = error_of(lambda: get_raw(
+            f"{server_url}/v1/tile/demo/{version}/0/0/0",
+            headers={"If-None-Match": f'"{version}"'}))
+        assert code == 304
+
+    def test_tile_get_never_builds(self, server_url, monkeypatch,
+                                   service):
+        def boom(*args, **kwargs):
+            raise AssertionError("builder invoked on the warm path")
+
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "build_method_sample", boom)
+        version = ladder_hash(service)
+        status, _, body = get_raw(
+            f"{server_url}/v1/tile/demo/{version}/1/1/1")
+        assert status == 200
+        decode_tile(body)
+
+    def test_format_json_is_bit_identical_to_binary(self, server_url,
+                                                    service):
+        version = ladder_hash(service)
+        url = f"{server_url}/v1/tile/demo/{version}/1/1/0"
+        _, _, binary = get_raw(url)
+        _, headers, raw = get_raw(f"{url}?format=json")
+        assert headers["Content-Type"] == "application/json"
+        debug = json.loads(raw)
+        tile = decode_tile(binary)
+        assert debug["count"] == len(tile.points)
+        assert debug["bounds"] == list(tile.bounds)
+        assert debug["points"] == tile.points.tolist()
+
+    def test_unknown_version_hash_404(self, server_url):
+        code, _, payload = error_of(lambda: get_raw(
+            f"{server_url}/v1/tile/demo/{'f' * 64}/0/0/0"))
+        assert code == 404
+        assert payload["error"]["code"] == "not_built"
+
+    def test_unknown_table_404(self, server_url, service):
+        version = ladder_hash(service)
+        code, _, payload = error_of(lambda: get_raw(
+            f"{server_url}/v1/tile/nope/{version}/0/0/0"))
+        assert code == 404
+        assert payload["error"]["code"] == "unknown_table"
+
+    def test_bad_coordinates_400(self, server_url, service):
+        version = ladder_hash(service)
+        code, _, payload = error_of(lambda: get_raw(
+            f"{server_url}/v1/tile/demo/{version}/9/0/0"))
+        assert code == 400
+        assert payload["error"]["code"] == "bad_request"
+        code, _, payload = error_of(lambda: get_raw(
+            f"{server_url}/v1/tile/demo/{version}/zero/0/0"))
+        assert code == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_empty_tile_is_a_valid_answer(self, server_url, service):
+        """Somewhere in a 2x2 grid over clustered data a tile may be
+        empty; an empty payload decodes to zero points, not an error."""
+        version = ladder_hash(service)
+        for tx, ty in [(0, 0), (1, 0), (0, 1), (1, 1)]:
+            _, _, body = get_raw(
+                f"{server_url}/v1/tile/demo/{version}/1/{tx}/{ty}")
+            decode_tile(body)  # must parse whatever the count
+
+
+class TestTilesSurviveCompaction:
+    def test_old_version_url_serves_after_compaction(self, service,
+                                                     server_url):
+        """The immutable-URL contract: a tile URL pinned to the build's
+        version hash answers byte-identically after appends advanced
+        the table and compaction folded its delta segments — the
+        lineage root still references that hash, so the artifact (and
+        its version pin) survive the fold."""
+        v0 = ladder_hash(service)
+        url = f"{server_url}/v1/tile/demo/{v0}/1/0/0"
+        _, _, before = get_raw(url)
+
+        gen = np.random.default_rng(5)
+        for _ in range(3):
+            service.append_rows(
+                "demo", {"x": gen.random(4) * 4, "y": gen.random(4) * 2})
+        report = service.compact_table("demo")
+        assert report["compacted"] is True
+
+        status, headers, after = get_raw(url)
+        assert status == 200
+        assert after == before
+        assert headers["ETag"] == f'"{v0}"'
+        # Revalidation still short-circuits as well.
+        code, _, _ = error_of(lambda: get_raw(
+            url, headers={"If-None-Match": f'"{v0}"'}))
+        assert code == 304
+
+    def test_current_hash_serves_the_maintained_ladder(self, service,
+                                                       server_url):
+        gen = np.random.default_rng(6)
+        service.append_rows(
+            "demo", {"x": gen.random(3) * 4, "y": gen.random(3) * 2})
+        current = service.workspace.table_hash("demo")
+        tile, served = service.tile_query("demo", 0, 0, 0,
+                                          version_hash=current)
+        assert served == current
+        assert len(tile.points) > 0

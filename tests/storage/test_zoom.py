@@ -330,3 +330,140 @@ class TestPatch:
         assert stats["applied"] == 0 and stats["out_of_root"] == 0
         for old_rung, rung in zip(ladder.levels, patched.levels):
             assert np.array_equal(old_rung.points, rung.points)
+
+
+class TestTileCodec:
+    """The per-tile extraction + "RVT1" binary wire format."""
+
+    def test_extract_covers_the_rung(self, ladder):
+        from repro.storage.zoom import extract_tile
+
+        rung = ladder.levels[2]
+        total = 0
+        for ty in range(4):
+            for tx in range(4):
+                tile = extract_tile(ladder, 2, tx, ty)
+                total += len(tile.points)
+                x0, y0, x1, y1 = tile.bounds
+                if len(tile.points):
+                    assert np.all(tile.points[:, 0] >= x0 - 1e-9)
+                    assert np.all(tile.points[:, 0] <= x1 + 1e-9)
+                    assert np.all(tile.points[:, 1] >= y0 - 1e-9)
+                    assert np.all(tile.points[:, 1] <= y1 + 1e-9)
+        assert total == len(rung.points)
+
+    def test_bounds_partition_the_root(self, ladder):
+        from repro.storage.zoom import tile_bounds
+
+        root = ladder.root
+        x0, y0, _, _ = tile_bounds(root, 1, 0, 0)
+        _, _, x1, y1 = tile_bounds(root, 1, 1, 1)
+        assert (x0, y0) == (root.xmin, root.ymin)
+        assert (x1, y1) == pytest.approx((root.xmax, root.ymax))
+        # Adjacent tiles share an edge exactly (computed by
+        # multiplication, not accumulation).
+        left = tile_bounds(root, 1, 0, 0)
+        right = tile_bounds(root, 1, 1, 0)
+        assert left[2] == right[0]
+
+    def test_extract_validates_ranges(self, ladder):
+        from repro.storage.zoom import extract_tile
+
+        with pytest.raises(ConfigurationError):
+            extract_tile(ladder, 7, 0, 0)
+        with pytest.raises(ConfigurationError):
+            extract_tile(ladder, 1, 2, 0)
+        with pytest.raises(ConfigurationError):
+            extract_tile(ladder, 1, 0, -1)
+
+    def test_round_trip_within_documented_tolerance(self, ladder):
+        from repro.storage.zoom import (
+            TILE_QUANT_MAX,
+            decode_tile,
+            encode_tile,
+            extract_tile,
+        )
+
+        tile = extract_tile(ladder, 1, 0, 0)
+        assert len(tile.points) > 0
+        decoded = decode_tile(encode_tile(tile))
+        assert decoded.bounds == pytest.approx(tile.bounds)
+        assert (decoded.level, decoded.x, decoded.y) == (1, 0, 0)
+        x0, y0, x1, y1 = tile.bounds
+        tol_x = (x1 - x0) / (2 * TILE_QUANT_MAX)
+        tol_y = (y1 - y0) / (2 * TILE_QUANT_MAX)
+        err = np.abs(decoded.points - tile.points)
+        assert np.all(err[:, 0] <= tol_x + 1e-15)
+        assert np.all(err[:, 1] <= tol_y + 1e-15)
+
+    def test_json_view_bit_identical_to_binary(self, ladder):
+        from repro.storage.zoom import (
+            decode_tile,
+            encode_tile,
+            extract_tile,
+            tile_to_json,
+        )
+
+        tile = extract_tile(ladder, 2, 1, 1)
+        decoded = decode_tile(encode_tile(tile))
+        debug = tile_to_json(tile)
+        assert debug["points"] == decoded.points.tolist()
+        assert debug["bounds"] == list(decoded.bounds)
+        assert debug["count"] == len(decoded.points)
+
+    def test_wire_layout(self, ladder):
+        from repro.storage.zoom import (
+            TILE_FORMAT_VERSION,
+            TILE_MAGIC,
+            encode_tile,
+            extract_tile,
+        )
+
+        tile = extract_tile(ladder, 0, 0, 0)
+        data = encode_tile(tile)
+        assert data[:4] == TILE_MAGIC
+        assert int.from_bytes(data[4:6], "little") == TILE_FORMAT_VERSION
+        n = int.from_bytes(data[20:24], "little")
+        assert n == len(tile.points)
+        assert len(data) == 56 + 4 * n
+
+    def test_empty_tile_round_trips(self, ladder):
+        from repro.storage.zoom import TileData, decode_tile, encode_tile
+
+        tile = TileData(level=3, x=5, y=6, bounds=(0.0, 0.0, 1.0, 1.0),
+                        points=np.empty((0, 2)))
+        decoded = decode_tile(encode_tile(tile))
+        assert len(decoded.points) == 0
+        assert (decoded.level, decoded.x, decoded.y) == (3, 5, 6)
+
+    def test_degenerate_bounds_decode_to_tile_origin(self):
+        from repro.storage.zoom import TileData, decode_tile, encode_tile
+
+        # A zero-span axis (all data on one vertical line) quantizes
+        # to offset 0 and decodes to the tile's lower bound.
+        tile = TileData(level=0, x=0, y=0, bounds=(2.0, 0.0, 2.0, 1.0),
+                        points=np.array([[2.0, 0.25], [2.0, 0.75]]))
+        decoded = decode_tile(encode_tile(tile))
+        assert np.all(decoded.points[:, 0] == 2.0)
+        assert decoded.points[:, 1] == pytest.approx([0.25, 0.75],
+                                                     abs=1e-4)
+
+    def test_decode_rejects_garbage(self):
+        from repro.errors import StorageError
+        from repro.storage.zoom import (
+            TileData,
+            decode_tile,
+            encode_tile,
+        )
+
+        with pytest.raises(StorageError):
+            decode_tile(b"short")
+        good = encode_tile(TileData(level=0, x=0, y=0,
+                                    bounds=(0.0, 0.0, 1.0, 1.0),
+                                    points=np.array([[0.5, 0.5]])))
+        with pytest.raises(StorageError):
+            decode_tile(b"XXXX" + good[4:])      # wrong magic
+        with pytest.raises(StorageError):
+            decode_tile(good[:2] + b"\x63\x00" + good[4:])  # bad version
+        with pytest.raises(StorageError):
+            decode_tile(good + b"\x00\x00")      # trailing bytes

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -190,6 +192,39 @@ class TestWorkspaceRoundTrip:
         view = np.loadtxt(out, delimiter=",", skiprows=1, ndmin=2)
         assert view.shape[1] == 2
         assert np.all(view[:, 0] <= (xmin + xmax) / 2)
+
+    def test_tile_verb_writes_binary_and_json(self, demo_csv, tmp_path,
+                                              capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        main(["zoom-build", "traj", "--workspace", ws,
+              "--levels", "2", "-k", "60"])
+        capsys.readouterr()
+
+        out = tmp_path / "tile.bin"
+        assert main(["tile", "traj", "--workspace", ws,
+                     "--tile", "1", "0", "1", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "tile L1/0/1 of 'traj'" in printed
+        assert out.read_bytes()[:4] == b"RVT1"
+
+        assert main(["tile", "traj", "--workspace", ws,
+                     "--tile", "0", "0", "0", "--json"]) == 0
+        printed = capsys.readouterr().out
+        debug = json.loads(printed[:printed.rindex("}") + 1])
+        assert debug["level"] == 0
+        assert debug["count"] == len(debug["points"])
+
+    def test_tile_out_of_range_errors(self, demo_csv, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        main(["ingest", str(demo_csv), "--workspace", ws,
+              "--table", "traj"])
+        main(["zoom-build", "traj", "--workspace", ws,
+              "--levels", "2", "-k", "60"])
+        capsys.readouterr()
+        assert main(["tile", "traj", "--workspace", ws,
+                     "--tile", "9", "0", "0"]) != 0
 
     def test_filtered_query(self, demo_csv, tmp_path, capsys):
         ws = str(tmp_path / "ws")

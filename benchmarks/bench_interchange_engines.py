@@ -12,6 +12,7 @@ the speedups over time::
     python -m benchmarks.bench_interchange_engines            # full run
     python -m benchmarks.bench_interchange_engines --quick    # CI-sized
     python -m benchmarks.bench_interchange_engines --skip-no-es
+    python -m benchmarks.bench_interchange_engines --profile  # + cProfile
 
 The ``no-es`` reference leg recomputes O(K²) kernel values per scanned
 tuple (the paper's §VI-D baseline) and takes minutes at full size —
@@ -23,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import statistics
 import sys
 import time
@@ -54,6 +54,13 @@ STRATEGIES = ("es", "es+loc", "no-es")
 #: Gaussian's exact underflow radius is a small fraction of the data
 #: extent, i.e. the pruned engine's target regime.
 SMALL_BANDWIDTH_SCALE = 0.1
+#: Required parallel speedup over the single-process run at the full
+#: worker count.  Only *checked* when the run uses at least
+#: :data:`GATE_MIN_WORKERS` workers and the host actually has that
+#: many CPUs; otherwise the row records the skip and its reason
+#: instead of silently passing.
+PARALLEL_SPEEDUP_GATES = {"no-es": 2.5, "es+loc": 1.5}
+GATE_MIN_WORKERS = 4
 
 
 def time_engine(data, k, kernel, strategy, engine, repeats, workers=1):
@@ -121,21 +128,24 @@ def bench_strategies(data, profile, kernel, strategies, repeats_for):
 
 
 def bench_parallel(data, profile, kernel, strategy, repeats, provenance):
-    """Shard-and-merge runner vs the single-process batched engine.
+    """Shard-and-merge runner vs the single-process pruned engine.
 
-    The interesting row is ``no-es``: its per-shard cost dominates the
-    fixed fork/merge overhead, so it shows the real scaling.  The
-    ``es`` row mostly measures that overhead (the single-process run
-    is already around a second at 50k rows).
+    The single-process leg uses the pruned engine — the same one shard
+    workers run — so the speedup is over the best serial time, not a
+    handicapped baseline.  Gated strategies (``no-es``, ``es+loc``)
+    must clear :data:`PARALLEL_SPEEDUP_GATES` when the host really has
+    ``workers`` CPUs; otherwise the row records the skip and its
+    reason, so a 1-CPU CI runner can never green-wash the scaling
+    claim.
     """
     k = profile["k"]
     workers = profile["workers"]
     t_single, single_runs = time_engine(data, k, kernel, strategy,
-                                        "batched", repeats)
+                                        "pruned", repeats)
     single = single_runs[-1]
     # The timing repeats double as determinism re-runs; a single-repeat
     # leg gets one extra run so the property is always checked.
-    t_par, par_runs = time_engine(data, k, kernel, strategy, "batched",
+    t_par, par_runs = time_engine(data, k, kernel, strategy, "pruned",
                                   max(repeats, 2), workers=workers)
     par = par_runs[-1]
     deterministic = all(
@@ -143,15 +153,11 @@ def bench_parallel(data, profile, kernel, strategy, repeats, provenance):
         and par.objective == other.objective
         for other in par_runs[:-1]
     )
-    cpus = os.cpu_count() or 1
-    note = "" if cpus >= workers else \
-        f" [host has {cpus} CPU(s): workers serialize]"
-    print(f"parallel {strategy}: single={t_single:.2f}s "
-          f"workers={workers}: {t_par:.2f}s "
-          f"({t_single / t_par:.1f}x), deterministic={deterministic}{note}")
-    return {
+    cpus = provenance["host_cpus"]
+    speedup = t_single / t_par
+    row = {
         "strategy": strategy,
-        "engine": "batched",
+        "engine": "pruned",
         "workers": workers,
         "shards": workers,
         "host_cpus": cpus,
@@ -159,11 +165,66 @@ def bench_parallel(data, profile, kernel, strategy, repeats, provenance):
         "schema_version": provenance["schema_version"],
         "single_process_seconds": round(t_single, 4),
         "parallel_seconds": round(t_par, 4),
-        "speedup": round(t_single / t_par, 2),
+        "speedup": round(speedup, 2),
         "deterministic": deterministic,
         "single_objective": single.objective,
         "parallel_objective": par.objective,
     }
+    gate = PARALLEL_SPEEDUP_GATES.get(strategy)
+    note = ""
+    if gate is not None:
+        row["speedup_gate"] = gate
+        if workers < GATE_MIN_WORKERS:
+            # The gates are calibrated for the FULL 4-worker config; a
+            # --quick run at workers=2 could never reach 2.5× even on
+            # perfect hardware, so it records a skip, not a verdict.
+            row["gate_checked"] = False
+            row["gate_note"] = (
+                f"workers={workers} < {GATE_MIN_WORKERS}: gate "
+                "calibrated for the full configuration, skipped")
+            note = f" [gate {gate}x SKIPPED: workers={workers}]"
+        elif cpus < workers:
+            row["gate_checked"] = False
+            row["gate_note"] = (
+                f"host_cpus={cpus} < workers={workers}: "
+                "multi-core gate skipped, not passed")
+            note = f" [gate {gate}x SKIPPED: {cpus} CPU(s)]"
+        else:
+            row["gate_checked"] = True
+            row["gate_passed"] = bool(speedup >= gate)
+            note = f" [gate {gate}x: " \
+                   f"{'ok' if row['gate_passed'] else 'FAILED'}]"
+    print(f"parallel {strategy}: single={t_single:.2f}s "
+          f"workers={workers}: {t_par:.2f}s "
+          f"({speedup:.1f}x), deterministic={deterministic}{note}")
+    return row
+
+
+def profile_engine(data, profile, kernel, strategy):
+    """Top-20 cumulative cProfile rows of one pruned-engine run."""
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    run_interchange(
+        lambda: iter_chunks(data, 8192), profile["k"], kernel,
+        strategy=strategy, max_passes=2, rng=0, engine="pruned",
+    )
+    prof.disable()
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:20]:
+        cc, ncalls, tottime, cumtime, _ = stats.stats[func]
+        filename, lineno, name = func
+        rows.append({
+            "function": f"{filename}:{lineno}({name})",
+            "ncalls": ncalls,
+            "tottime_seconds": round(tottime, 4),
+            "cumtime_seconds": round(cumtime, 4),
+        })
+    return rows
 
 
 def main(argv=None) -> int:
@@ -172,6 +233,9 @@ def main(argv=None) -> int:
                         help="small configuration for CI smoke runs")
     parser.add_argument("--skip-no-es", action="store_true",
                         help="skip the minutes-long no-es legs")
+    parser.add_argument("--profile", action="store_true",
+                        help="embed cProfile top-20 (cumulative) rows "
+                             "per strategy into the JSON payload")
     parser.add_argument("--out", default="BENCH_interchange.json")
     args = parser.parse_args(argv)
 
@@ -214,11 +278,20 @@ def main(argv=None) -> int:
         bench_parallel(data, profile, GaussianKernel(epsilon), strategy,
                        1 if strategy == "no-es" and not args.quick
                        else profile["repeats"], provenance)
-        for strategy in strategies if strategy != "es+loc"
+        for strategy in strategies
     ]
     if not all(row["deterministic"] for row in parallel):
         print("!! parallel runner output is not seed-stable",
               file=sys.stderr)
+        return 1
+    gate_failures = [row for row in parallel
+                     if row.get("gate_checked") and not row["gate_passed"]]
+    if gate_failures:
+        for row in gate_failures:
+            print(f"!! parallel {row['strategy']} speedup "
+                  f"{row['speedup']}x below the {row['speedup_gate']}x "
+                  f"gate on a {row['host_cpus']}-CPU host",
+                  file=sys.stderr)
         return 1
 
     payload = {
@@ -240,6 +313,17 @@ def main(argv=None) -> int:
         "parallel": parallel,
         "finished_unix": time.time(),
     }
+    if args.profile:
+        print("— cProfile (pruned engine, top 20 cumulative) —")
+        payload["profile"] = {
+            strategy: profile_engine(data, profile,
+                                     GaussianKernel(epsilon), strategy)
+            for strategy in strategies
+        }
+        for strategy, rows in payload["profile"].items():
+            head = rows[0] if rows else {}
+            print(f"  {strategy}: {len(rows)} rows, "
+                  f"top={head.get('function', '—')}")
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0

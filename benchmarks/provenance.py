@@ -22,6 +22,21 @@ import subprocess
 SCHEMA_VERSION = 2
 
 
+def host_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine; a containerised or
+    ``taskset``-pinned benchmark runner may be allowed far fewer, and a
+    parallel row recorded against the machine count would claim a
+    scaling context the run never had.  Affinity is the truth where
+    the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def git_revision(cwd: str | None = None) -> tuple[str | None, bool]:
     """``(sha, dirty)`` of the working tree, or ``(None, False)``.
 
@@ -61,6 +76,6 @@ def collect_provenance(started_unix: float,
         "schema_version": SCHEMA_VERSION,
         "git_sha": sha,
         "git_dirty": dirty,
-        "host_cpus": os.cpu_count() or 1,
+        "host_cpus": host_cpus(),
         "started_unix": started_unix,
     }

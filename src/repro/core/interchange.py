@@ -93,6 +93,13 @@ SCREEN_WINDOW = 64
 #: matrix (8·K² bytes; 128 MB at this cap).
 MAX_TRACKED_MATRIX_K = 4096
 
+#: Screen evaluation dtypes understood by :func:`run_interchange`.
+#: ``"auto"`` screens in float32 wherever the certified error bound is
+#: tight enough to decide most rows, settling near-threshold decisions
+#: (and every acceptance) in float64 — results are bit-identical to
+#: ``"float64"`` in all three modes, only wall clock differs.
+SCREEN_DTYPES = ("auto", "float32", "float64")
+
 
 @dataclass
 class TracePoint:
@@ -125,6 +132,11 @@ class InterchangeResult:
     workers / shards:
         Process count and shard count that produced the result (1/1
         for in-process runs).
+    f32_rows_screened / f32_fallback_rows:
+        Rows decided from a float32 screen, and the subset whose
+        margin fell inside the certified error tolerance and was
+        settled in float64 (both 0 when float32 screening never
+        engaged).
     """
 
     points: np.ndarray
@@ -139,6 +151,8 @@ class InterchangeResult:
     trace: list[TracePoint] = field(default_factory=list)
     workers: int = 1
     shards: int = 1
+    f32_rows_screened: int = 0
+    f32_fallback_rows: int = 0
 
 
 def _process_rows_reference(strat: ReplacementStrategy, pts: np.ndarray,
@@ -229,6 +243,7 @@ def run_interchange(
     workers: int = 1,
     shards: int | None = None,
     parallel_chunk_size: int = 8192,
+    screen_dtype: str = "auto",
 ) -> InterchangeResult:
     """Run Interchange over a re-iterable stream of point chunks.
 
@@ -277,10 +292,21 @@ def run_interchange(
         Chunking of the per-shard scans and the merge pass in sharded
         runs (in-process scans take their chunking from
         ``chunks_factory``).
+    screen_dtype:
+        ``"auto"`` (default) evaluates block screens in float32 where
+        a certified error bound can decide rows, settling the rest in
+        float64; ``"float32"`` forces the float32 screen on,
+        ``"float64"`` turns it off.  All three produce bit-identical
+        samples — the screen dtype changes wall clock, never a
+        decision.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
             f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    if screen_dtype not in SCREEN_DTYPES:
+        raise ConfigurationError(
+            f"screen_dtype must be one of {SCREEN_DTYPES}, got {screen_dtype!r}"
         )
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -294,7 +320,7 @@ def run_interchange(
             max_passes=max_passes, trace_every=trace_every,
             strategy_kwargs=strategy_kwargs, engine=engine,
             shuffle_within_chunks=shuffle_within_chunks,
-            chunk_size=parallel_chunk_size,
+            chunk_size=parallel_chunk_size, screen_dtype=screen_dtype,
         )
         return runner.run_chunks(chunks_factory, k, kernel, rng=rng)
     gen = as_generator(rng)
@@ -313,6 +339,8 @@ def run_interchange(
     if engine == "pruned":
         # No-op (stays dense) for kernels that never underflow to 0.0.
         strat.enable_pruning()
+    if engine != "reference" and screen_dtype != "float64":
+        strat.enable_f32_screen(forced=screen_dtype == "float32")
     process_rows = _ENGINE_LOOPS[engine]
 
     trace: list[TracePoint] = []
@@ -323,12 +351,22 @@ def run_interchange(
     for _ in range(max(1, max_passes)):
         replacements_before = strat.replacements
         pass_offset = 0  # source ids are dataset row numbers, per pass
+        # One generator draw per pass, not per chunk: chunk shuffles
+        # derive from (pass key, chunk index), so the scan order is a
+        # pure function of the seed, the pass, and the chunking — and
+        # chunk permutations no longer serialise on the shared
+        # generator's state.
+        pass_key = int(gen.integers(0, 2 ** 63 - 1)) \
+            if shuffle_within_chunks else 0
+        chunk_idx = 0
         for chunk in chunks_factory():
             pts = as_points(chunk)
             if len(pts) == 0:
                 continue
             if shuffle_within_chunks:
-                order = gen.permutation(len(pts))
+                order = np.random.default_rng(
+                    (pass_key, chunk_idx)).permutation(len(pts))
+                chunk_idx += 1
                 process_rows(strat, pts[order], pass_offset + order)
             else:
                 ids = pass_offset + np.arange(len(pts), dtype=np.int64)
@@ -370,4 +408,6 @@ def run_interchange(
         engine=engine,
         bulk_rejected=strat.bulk_rejected,
         trace=trace,
+        f32_rows_screened=strat.f32_rows_screened,
+        f32_fallback_rows=strat.f32_fallback_rows,
     )

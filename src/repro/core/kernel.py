@@ -48,17 +48,38 @@ from ..errors import ConfigurationError
 from ..geometry import as_points, pairwise_sq_dists, sq_dists_to
 
 
+#: Unit roundoff of IEEE binary32 — the grain of every float32 bound.
+F32_UNIT_ROUNDOFF = 2.0 ** -24
+
+
+def _exp_zero_cut(dtype: np.dtype) -> float:
+    """Exponent below which the bypass returns exactly 0.0 in ``dtype``.
+
+    float64: ``exp`` itself rounds to 0.0 below −746 (half the smallest
+    subnormal), so zeroing there is bit-identical — this is the spec
+    path.  float32 is the *screening* dtype, held to a certified error
+    bound rather than bit-identity, so its cut sits at −87: everything
+    below would land in the float32 subnormal range (< ~1.2e-38),
+    where vectorised ``exp`` pays a per-element FP assist, and with
+    small bandwidths that band covers real pair distances.  Flushing
+    it to 0.0 errs by < e⁻⁸⁷ ≈ 1.7e-38, which
+    :meth:`Kernel.f32_zero_error` charges to the decision tolerance.
+    """
+    return -87.0 if np.dtype(dtype) == np.float32 else -746.0
+
+
 def _exp_with_underflow_bypass(buf: np.ndarray) -> None:
     """In-place ``exp`` that skips the deep-underflow slow path.
 
-    ``exp(x)`` rounds to exactly 0.0 for every ``x < -746`` (e⁻⁷⁴⁶ is
-    below half the smallest subnormal), but vectorised ``exp`` falls
-    back to a scalar FP-assist path well before that, costing 10-20×
-    per element.  Small-bandwidth kernels put *most* pair distances in
-    that region, so the bypass routes them around ``exp`` entirely:
-    results are bit-identical, only the stall is gone.
+    Arguments below the dtype's zero cut return exactly 0.0 without
+    touching ``exp``: vectorised ``exp`` falls back to a scalar
+    FP-assist path for subnormal results, costing 10-20× per element,
+    and small-bandwidth kernels put *most* pair distances there.  On
+    float64 the cut (−746) is where ``exp`` itself rounds to zero, so
+    results are bit-identical; on float32 the cut (−87) additionally
+    flushes the subnormal band — see :func:`_exp_zero_cut`.
     """
-    zero = buf < -746.0
+    zero = buf < _exp_zero_cut(buf.dtype)
     np.copyto(buf, 0.0, where=zero)
     np.exp(buf, out=buf)
     np.copyto(buf, 0.0, where=zero)
@@ -78,7 +99,13 @@ class Kernel(abc.ABC):
     # -- the kernel profile ------------------------------------------------
     @abc.abstractmethod
     def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        """Kernel value for an array of *squared* distances."""
+        """Kernel value for an array of *squared* distances.
+
+        Must not mutate its input, and must preserve the input dtype:
+        a float32 buffer of squared distances yields float32 kernel
+        values (the screening pass rides on this), float64 stays the
+        bit-identical spec arithmetic.
+        """
 
     @abc.abstractmethod
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
@@ -126,15 +153,60 @@ class Kernel(abc.ABC):
         return self._profile(np.asarray(sq_dists, dtype=np.float64))
 
     def profile_into(self, sq_dists: np.ndarray) -> None:
-        """Overwrite a float64 buffer of squared distances with κ̃ values.
+        """Overwrite a buffer of squared distances with κ̃ values.
 
         The allocation-free variant of :meth:`from_sq_dists` used by
-        the batched Interchange screen.  Subclasses may override with
+        the batched Interchange screen.  Dtype-preserving: a float64
+        buffer gets the spec arithmetic, a float32 buffer gets the
+        screening-pass arithmetic.  Subclasses may override with
         in-place ufunc chains, but only with op sequences whose results
         are bit-identical to ``_profile`` — the engine-parity guarantee
         rides on it.
         """
         sq_dists[...] = self._profile(sq_dists)
+
+    def f32_screen_bound(self, coord_radius: float) -> float:
+        """Per-entry error bound for the float32 screening pass.
+
+        If every coordinate fed to the screen has magnitude at most
+        ``coord_radius`` *after recentring* (the screen subtracts a
+        shared float64 centre before downcasting), the float32 kernel
+        value of any pair differs from the float64 value by at most
+        this bound.
+
+        Derivation sketch (u = 2⁻²⁴, R = ``coord_radius``, d the true
+        pair distance): each downcast coordinate errs by ≤ u·R, so the
+        squared distance errs by ≤ 3u·d² (relative rounding) plus
+        ≤ 16u·R·d (absolute coordinate error).  For every registered
+        kernel the profile satisfies ``|∂κ̃/∂(d²)| · d ≤ c/ε`` with a
+        small constant ``c`` (Gaussian/Laplace via ``x·e⁻ˣ ≤ 1/e``,
+        Cauchy via ``x/(1+x)² ≤ 1/4``, Epanechnikov on its support),
+        and the relative terms contribute a few u each, giving
+        ``|Δκ̃| ≤ u·(c₁ + c₂·R/ε)`` with ``c₁, c₂ ≤ 5``.  The factor
+        16 is a deliberate ×3 safety margin on top.
+
+        Returns ``inf`` when no finite bound holds (infinite
+        ``coord_radius``), which disables float32 screening.
+        """
+        if not math.isfinite(coord_radius):
+            return math.inf
+        return 16.0 * F32_UNIT_ROUNDOFF * (1.0 + coord_radius / self.epsilon)
+
+    def f32_zero_error(self) -> float | None:
+        """Error bound for entries the float32 screen evaluates to 0.0.
+
+        For exponential-family kernels a float32 zero means the
+        exponent argument cleared the −87 flush cut (and the argument
+        error is a vanishing fraction of that), so the float64 value
+        is below ~e⁻⁸⁷ ≈ 1.7e-38 — entries the screen shows as zero
+        contribute essentially nothing to a row's error budget, which
+        lets the decision tolerance scale with the *measured* non-zero
+        count instead of the full row width.  ``None`` means no better
+        bound than :meth:`f32_screen_bound` holds (compact-support
+        kernels: a support-edge disagreement is a full bound-sized
+        step).
+        """
+        return None
 
     def pairwise_objective(self, points: np.ndarray) -> float:
         """The VAS optimisation objective ``Σ_{i<j} κ̃(s_i, s_j)``."""
@@ -164,14 +236,23 @@ class GaussianKernel(Kernel):
     name = "gaussian"
 
     def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        return np.exp(-sq_dists / (2.0 * self.epsilon * self.epsilon))
+        # d / -c == -d / c exactly (IEEE division is sign-symmetric),
+        # so this matches exp(-d/c) bit for bit; the bypass keeps the
+        # full-matrix path (NoES decision rebuilds) out of the exp
+        # FP-assist stall that dominates small-bandwidth profiles.
+        out = sq_dists / (-(2.0 * self.epsilon * self.epsilon))
+        _exp_with_underflow_bypass(out)
+        return out
 
     def profile_into(self, sq_dists: np.ndarray) -> None:
-        # d / -c == -d / c exactly (IEEE division is sign-symmetric),
-        # so this matches _profile bit for bit without temporaries.
         np.divide(sq_dists, -(2.0 * self.epsilon * self.epsilon),
                   out=sq_dists)
         _exp_with_underflow_bypass(sq_dists)
+
+    def f32_zero_error(self) -> float | None:
+        # e⁻⁸⁷ ≈ 1.66e-38 (the float32 flush cut) with slack for the
+        # float32 argument error.
+        return 2e-38
 
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         tolerance = self._check_tolerance(tolerance)
@@ -189,12 +270,20 @@ class LaplaceKernel(Kernel):
     name = "laplace"
 
     def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        return np.exp(-np.sqrt(sq_dists) / self.epsilon)
+        out = np.sqrt(sq_dists)
+        np.divide(out, -self.epsilon, out=out)
+        _exp_with_underflow_bypass(out)
+        return out
 
     def profile_into(self, sq_dists: np.ndarray) -> None:
         np.sqrt(sq_dists, out=sq_dists)
         np.divide(sq_dists, -self.epsilon, out=sq_dists)
         _exp_with_underflow_bypass(sq_dists)
+
+    def f32_zero_error(self) -> float | None:
+        # e⁻⁸⁷ ≈ 1.66e-38 (the float32 flush cut) with slack for the
+        # float32 argument error.
+        return 2e-38
 
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         tolerance = self._check_tolerance(tolerance)
@@ -212,6 +301,11 @@ class CauchyKernel(Kernel):
 
     def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
         return 1.0 / (1.0 + sq_dists / (self.epsilon * self.epsilon))
+
+    def f32_zero_error(self) -> float | None:
+        # 1/(1+q) only reaches a float32 zero through underflow, i.e.
+        # the float64 value is itself below the float32 tiny range.
+        return 1e-37
 
     def cutoff_radius(self, tolerance: float = 1e-6) -> float:
         tolerance = self._check_tolerance(tolerance)

@@ -5,16 +5,23 @@ depends on the set state left by the previous tuple — so it cannot be
 parallelised *exactly*.  What parallelises well is the classic
 sample-of-samples construction:
 
-1. **Shard** the dataset into ``shards`` contiguous row ranges.
-2. **Per-shard VAS** — run the full (pruned/batched/reference)
-   Interchange independently on every shard, ``workers`` processes at
-   a time, each with a seed derived deterministically from the run's
-   generator.  Each shard yields its own K-sample.
-3. **Merge** — run one final in-process Interchange pass over the
-   union of the shard samples (``shards × K`` points, each carrying
-   its original dataset row id).  Because the union already
-   concentrates the per-shard winners, the merge pass touches a tiny
-   fraction of the original stream.
+1. **Shard** the dataset into ``shards`` contiguous row ranges,
+   published once as a ``multiprocessing.shared_memory`` segment so
+   every worker maps the same pages instead of unpickling its own
+   copy of the rows.
+2. **Per-shard VAS** — run the full Interchange independently on
+   every shard, ``workers`` processes at a time, each with a seed
+   derived deterministically from the run's generator.  Shard workers
+   run the *pruned* engine whenever a block engine was requested —
+   the engines are bit-identical (the parity suite pins this), so the
+   upgrade changes shard wall-clock only, never the shard sample.
+3. **Merge** — combine the shard samples with a hierarchical pairwise
+   merge: adjacent samples merge two at a time (each merge is one
+   Interchange run over a ``≤ 2K``-point union), and the tree's root
+   merge runs in-process to produce the final result and trace.
+   Inner merges are submitted to the same pool the moment both their
+   children finish, so merge work overlaps the still-running shards
+   instead of serialising after them.
 
 Properties:
 
@@ -23,27 +30,29 @@ Properties:
   exact single-process path, so the bit-identical engine-parity
   guarantees are untouched.
 * Sharded results are **deterministic** for a fixed ``(seed, shard
-  count)`` pair: shard boundaries, per-shard seeds and the merge seed
-  are all derived from the run's generator, and the pool's scheduling
-  order cannot leak into the output because results are keyed by
-  shard index.  Varying ``workers`` with ``shards`` fixed only
-  changes wall-clock time, not the sample — ``workers=1, shards=4``
-  runs the same four shard jobs serially and reproduces a 4-worker
-  host's sample exactly.
+  count)`` pair: shard boundaries, per-shard seeds and every merge
+  node's seed are all drawn from the run's generator in one up-front
+  call and assigned by *position* (shard index, canonical merge-tree
+  order), so the pool's completion order cannot leak into the output.
+  Varying ``workers`` with ``shards`` fixed only changes wall-clock
+  time, not the sample — ``workers=1, shards=4`` executes the same
+  tree serially and reproduces a 4-worker host's sample exactly.
 * The returned source ids are *dataset* row ids (shard-local ids are
   shifted by the shard's base offset before merging), so a parallel
   sample is a subset of dataset rows exactly like a sequential one.
 
 The pool uses ``fork`` where available (cheap, no re-import) and falls
-back to the platform default.  Worker payloads are plain arrays plus a
-picklable config tuple; kernels are small value objects and pickle
-fine.
+back to the platform default.  The shared segment is unlinked by the
+parent in a ``finally`` — workers attach by name untracked (see
+:func:`_attach_shard`) and detach when their shard is done, so a
+worker exit can never tear the segment out from under its siblings.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -66,31 +75,160 @@ def _fork_context():
         return mp.get_context()
 
 
+def host_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def default_workers() -> int:
-    """A sensible pool size for this host (capped CPU count)."""
-    return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
+    """A sensible pool size for this host (capped, affinity-aware).
+
+    Containers and batch schedulers routinely pin a process to a CPU
+    subset while ``os.cpu_count()`` keeps reporting the whole machine;
+    sizing the pool by the affinity mask stops those runs from
+    oversubscribing their quota.
+    """
+    return max(1, min(MAX_AUTO_WORKERS, host_cpus()))
 
 
-def _run_shard(payload: tuple) -> tuple[np.ndarray, np.ndarray, int, int]:
+def _attach_shard(name: str, shape: tuple, lo: int, hi: int):
+    """Attach the published dataset segment and slice one shard.
+
+    Returns ``(shm, view)`` — the view is a zero-copy window into the
+    shared pages; the caller must keep ``shm`` alive while using it
+    and ``close()`` it afterwards.  Cleanup stays with the parent that
+    created the segment: on Python ≥ 3.13 ``track=False`` keeps the
+    attachment out of the worker's resource tracker, and on ≤ 3.12
+    attaching never registers in the first place.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` kwarg, no tracking
+        shm = shared_memory.SharedMemory(name=name)
+    arr = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    return shm, arr[lo:hi]
+
+
+def _shard_engine(engine: str) -> str:
+    """The engine shard workers run for a requested ``engine``.
+
+    All engines produce identical samples (engine-parity suite), so
+    block-engine requests upgrade to ``pruned`` — the fastest exact
+    screen — while ``reference`` stays the pure per-tuple spec.
+    """
+    return "reference" if engine == "reference" else "pruned"
+
+
+def _run_shard(payload: tuple) -> tuple:
     """Pool target: one shard's full Interchange run.
 
     Takes a picklable tuple (module-level function so every start
     method can import it) and returns the shard sample with its
     source ids already shifted to dataset row numbers.
     """
-    (points, base_offset, k, kernel, strategy, strategy_kwargs, engine,
-     max_passes, chunk_size, shuffle, seed) = payload
+    (shm_name, shape, lo, hi, k, kernel, strategy, strategy_kwargs,
+     engine, max_passes, chunk_size, shuffle, seed, screen_dtype) = payload
+    from ..sampling.base import iter_chunks
+    from .interchange import run_interchange
+
+    shm, points = _attach_shard(shm_name, shape, lo, hi)
+    try:
+        run = run_interchange(
+            lambda: iter_chunks(points, chunk_size), k, kernel,
+            strategy=strategy, max_passes=max_passes, rng=int(seed),
+            shuffle_within_chunks=shuffle,
+            strategy_kwargs=strategy_kwargs,
+            engine=_shard_engine(engine), screen_dtype=screen_dtype,
+        )
+        # Results copy out of the shared pages before detaching.
+        return (run.points.copy(), run.source_ids + lo,
+                run.replacements, run.tuples_processed,
+                run.f32_rows_screened, run.f32_fallback_rows)
+    finally:
+        shm.close()
+
+
+def _run_merge(payload: tuple) -> tuple:
+    """Pool target: merge two shard/merge samples into one K-sample.
+
+    The union is at most ``2K`` points — small enough that pickling
+    beats shared-memory bookkeeping — and the merge runs the same
+    exact Interchange as everything else, so a merged sample is a
+    valid K-sample of the union with dataset row ids preserved.
+    """
+    (points, ids, k, kernel, strategy, strategy_kwargs, engine,
+     max_passes, chunk_size, shuffle, seed, screen_dtype) = payload
     from ..sampling.base import iter_chunks
     from .interchange import run_interchange
 
     run = run_interchange(
         lambda: iter_chunks(points, chunk_size), k, kernel,
         strategy=strategy, max_passes=max_passes, rng=int(seed),
-        shuffle_within_chunks=shuffle,
-        strategy_kwargs=strategy_kwargs, engine=engine,
+        shuffle_within_chunks=shuffle, strategy_kwargs=strategy_kwargs,
+        engine=_shard_engine(engine), screen_dtype=screen_dtype,
     )
-    return (run.points, run.source_ids + base_offset,
-            run.replacements, run.tuples_processed)
+    return (run.points, ids[run.source_ids],
+            run.replacements, run.tuples_processed,
+            run.f32_rows_screened, run.f32_fallback_rows)
+
+
+class _MergeNode:
+    """One internal node of the pairwise merge tree."""
+
+    __slots__ = ("left", "right", "seed", "parent", "result")
+
+    def __init__(self, left, right, seed: int) -> None:
+        self.left = left
+        self.right = right
+        self.seed = seed
+        self.parent: _MergeNode | None = None
+        self.result = None
+
+
+class _Leaf:
+    """A shard sample feeding the merge tree."""
+
+    __slots__ = ("parent", "result")
+
+    def __init__(self) -> None:
+        self.parent: _MergeNode | None = None
+        self.result = None
+
+
+def _build_merge_tree(n_leaves: int, seeds) -> tuple[list, list]:
+    """Pair adjacent nodes level by level until one root remains.
+
+    Seeds are consumed in canonical order — level by level, left to
+    right — so the tree layout (and with it every merge's seed) is a
+    pure function of the leaf count, never of completion order.  An
+    odd node passes through to the next level without consuming a
+    seed.  With a single leaf the root is one self-merge node, keeping
+    the result path (and its trace) uniform.
+    """
+    leaves = [_Leaf() for _ in range(n_leaves)]
+    level: list = list(leaves)
+    nodes: list[_MergeNode] = []
+    next_seed = iter(seeds)
+    if n_leaves == 1:
+        root = _MergeNode(leaves[0], None, int(next(next_seed)))
+        leaves[0].parent = root
+        nodes.append(root)
+        return leaves, nodes
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            node = _MergeNode(level[i], level[i + 1], int(next(next_seed)))
+            level[i].parent = node
+            level[i + 1].parent = node
+            nxt.append(node)
+            nodes.append(node)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return leaves, nodes
 
 
 class ParallelInterchangeRunner:
@@ -106,10 +244,16 @@ class ParallelInterchangeRunner:
         *wall time* on the worker count — fix ``shards`` to keep
         results reproducible across differently sized hosts.
     strategy / strategy_kwargs / engine / max_passes / chunk_size:
-        Forwarded to every per-shard run and to the merge pass.
+        Forwarded to every per-shard run and to the merge passes
+        (shard workers upgrade block engines to ``pruned``; see
+        :func:`_shard_engine`).
     trace_every:
-        Trace cadence of the merge pass (shard traces interleave
-        non-deterministically in wall-time and are not collected).
+        Trace cadence of the root merge (shard and inner-merge traces
+        interleave non-deterministically in wall-time and are not
+        collected).
+    screen_dtype:
+        Forwarded to every shard and merge run (``"auto"`` /
+        ``"float32"`` / ``"float64"`` — see :func:`run_interchange`).
     """
 
     def __init__(
@@ -123,6 +267,7 @@ class ParallelInterchangeRunner:
         chunk_size: int = 8192,
         trace_every: int = 0,
         shuffle_within_chunks: bool = True,
+        screen_dtype: str = "auto",
     ) -> None:
         if workers is None:
             workers = default_workers()
@@ -145,6 +290,7 @@ class ParallelInterchangeRunner:
         self.chunk_size = int(chunk_size)
         self.trace_every = int(trace_every)
         self.shuffle_within_chunks = bool(shuffle_within_chunks)
+        self.screen_dtype = screen_dtype
 
     # -- driving -----------------------------------------------------------
     def run_chunks(self, chunks_factory, k: int, kernel,
@@ -163,65 +309,169 @@ class ParallelInterchangeRunner:
         pts = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
         return self.run(pts, k, kernel, rng=rng)
 
+    def _merge_payload(self, node: _MergeNode, k: int, kernel) -> tuple:
+        if node.right is None:
+            points, ids = node.left.result[0], node.left.result[1]
+        else:
+            points = np.concatenate(
+                [node.left.result[0], node.right.result[0]], axis=0)
+            ids = np.concatenate(
+                [node.left.result[1], node.right.result[1]])
+        return (points, ids, k, kernel, self.strategy,
+                self.strategy_kwargs, self.engine, self.max_passes,
+                self.chunk_size, self.shuffle_within_chunks,
+                node.seed, self.screen_dtype)
+
+    def _run_root(self, root: _MergeNode, k: int, kernel):
+        """The final merge, in-process: provides the result + trace."""
+        from ..sampling.base import iter_chunks
+        from .interchange import run_interchange
+
+        (points, ids, *_rest) = self._merge_payload(root, k, kernel)
+        return run_interchange(
+            lambda: iter_chunks(points, self.chunk_size), k, kernel,
+            strategy=self.strategy, max_passes=self.max_passes,
+            trace_every=self.trace_every, rng=int(root.seed),
+            shuffle_within_chunks=self.shuffle_within_chunks,
+            strategy_kwargs=self.strategy_kwargs, engine=self.engine,
+            screen_dtype=self.screen_dtype,
+        ), ids
+
     def run(self, points: np.ndarray, k: int, kernel, rng=None):
         """Sharded Interchange over an in-memory ``(N, 2)`` array."""
-        from .interchange import InterchangeResult, run_interchange
+        from .interchange import InterchangeResult
 
-        pts = as_points(points)
+        pts = np.ascontiguousarray(as_points(points), dtype=np.float64)
         n = len(pts)
         if n == 0:
             raise EmptyDatasetError("Interchange received an empty stream")
         gen = as_generator(rng)
-        # One seed per shard plus one for the merge pass, drawn up
-        # front so the schedule cannot influence them.
-        seeds = gen.integers(0, 2**63 - 1, size=self.shards + 1)
 
         bounds = np.linspace(0, n, self.shards + 1, dtype=np.int64)
-        jobs = []
-        for i in range(self.shards):
-            lo, hi = int(bounds[i]), int(bounds[i + 1])
-            if lo == hi:
-                continue  # more shards than rows
-            jobs.append((pts[lo:hi], lo, k, kernel, self.strategy,
-                         self.strategy_kwargs, self.engine,
-                         self.max_passes, self.chunk_size,
-                         self.shuffle_within_chunks, int(seeds[i])))
+        ranges = [(int(bounds[i]), int(bounds[i + 1]))
+                  for i in range(self.shards)]
+        occupied = [i for i, (lo, hi) in enumerate(ranges) if lo < hi]
+        # Every seed for the whole run in one draw: one per shard slot
+        # (empty shards keep their slot so the occupied ones' seeds
+        # don't shift with N) plus one per canonical merge node.
+        n_merges = max(len(occupied) - 1, 1)
+        seeds = gen.integers(0, 2**63 - 1, size=self.shards + n_merges)
+        leaves, nodes = _build_merge_tree(len(occupied),
+                                          seeds[self.shards:])
+        root = nodes[-1]
 
-        if len(jobs) == 1 or self.workers == 1:
-            shard_results = [_run_shard(job) for job in jobs]
+        if self.workers == 1 or len(occupied) == 1:
+            self._run_serial(pts, ranges, occupied, seeds, leaves, nodes,
+                             k, kernel)
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(jobs)),
-                mp_context=_fork_context(),
-            ) as pool:
-                shard_results = list(pool.map(_run_shard, jobs))
+            self._run_pool(pts, ranges, occupied, seeds, leaves, nodes,
+                           k, kernel)
 
-        union_points = np.concatenate([r[0] for r in shard_results], axis=0)
-        union_ids = np.concatenate([r[1] for r in shard_results])
-        shard_replacements = sum(r[2] for r in shard_results)
-        shard_tuples = sum(r[3] for r in shard_results)
-
-        from ..sampling.base import iter_chunks
-        merge = run_interchange(
-            lambda: iter_chunks(union_points, self.chunk_size), k, kernel,
-            strategy=self.strategy, max_passes=self.max_passes,
-            trace_every=self.trace_every, rng=int(seeds[-1]),
-            shuffle_within_chunks=self.shuffle_within_chunks,
-            strategy_kwargs=self.strategy_kwargs, engine=self.engine,
-        )
+        merge, union_ids = self._run_root(root, k, kernel)
+        done = [leaf.result for leaf in leaves]
+        for node in nodes[:-1]:
+            done.append(node.result)
         return InterchangeResult(
             points=merge.points,
-            # Merge-run ids index the union stream; map them back to
+            # Merge-run ids index the root union; map them back to
             # dataset rows (shards are disjoint, so ids stay unique).
             source_ids=union_ids[merge.source_ids],
             objective=merge.objective,
             passes=merge.passes,
-            replacements=shard_replacements + merge.replacements,
-            tuples_processed=shard_tuples + merge.tuples_processed,
+            replacements=sum(r[2] for r in done) + merge.replacements,
+            tuples_processed=sum(r[3] for r in done)
+            + merge.tuples_processed,
             strategy=merge.strategy,
             engine=self.engine,
             bulk_rejected=merge.bulk_rejected,
             trace=merge.trace,
             workers=self.workers,
             shards=self.shards,
+            f32_rows_screened=sum(r[4] for r in done)
+            + merge.f32_rows_screened,
+            f32_fallback_rows=sum(r[5] for r in done)
+            + merge.f32_fallback_rows,
         )
+
+    def _shard_payload(self, shm_name: str, shape: tuple, lo: int,
+                       hi: int, seed: int, k: int, kernel) -> tuple:
+        return (shm_name, shape, lo, hi, k, kernel, self.strategy,
+                self.strategy_kwargs, self.engine, self.max_passes,
+                self.chunk_size, self.shuffle_within_chunks, int(seed),
+                self.screen_dtype)
+
+    def _run_serial(self, pts, ranges, occupied, seeds, leaves, nodes,
+                    k, kernel) -> None:
+        """Execute the tree in canonical order, one process, no copies.
+
+        Node order (shards by index, then merges level by level) is
+        the same order the pool path assigns seeds in, so serial and
+        pooled runs produce identical samples for a fixed shard count.
+        """
+        from ..sampling.base import iter_chunks
+        from .interchange import run_interchange
+
+        for leaf, i in zip(leaves, occupied):
+            lo, hi = ranges[i]
+            shard = pts[lo:hi]
+            run = run_interchange(
+                lambda s=shard: iter_chunks(s, self.chunk_size), k,
+                kernel, strategy=self.strategy,
+                max_passes=self.max_passes, rng=int(seeds[i]),
+                shuffle_within_chunks=self.shuffle_within_chunks,
+                strategy_kwargs=self.strategy_kwargs,
+                engine=_shard_engine(self.engine),
+                screen_dtype=self.screen_dtype,
+            )
+            leaf.result = (run.points, run.source_ids + lo,
+                           run.replacements, run.tuples_processed,
+                           run.f32_rows_screened, run.f32_fallback_rows)
+        for node in nodes[:-1]:
+            node.result = _run_merge(self._merge_payload(node, k, kernel))
+
+    def _run_pool(self, pts, ranges, occupied, seeds, leaves, nodes,
+                  k, kernel) -> None:
+        """Shard across the pool, merging pairs as soon as they land.
+
+        The dataset is published once as a shared-memory segment;
+        every worker maps it and slices its shard zero-copy.  Inner
+        merges are submitted the moment both children finish, so the
+        merge tree drains while late shards are still running; only
+        the root is left for the caller (it runs in-process).
+        """
+        shm = shared_memory.SharedMemory(create=True, size=pts.nbytes)
+        try:
+            buf = np.ndarray(pts.shape, dtype=np.float64, buffer=shm.buf)
+            buf[:] = pts
+            root = nodes[-1]
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(occupied)),
+                mp_context=_fork_context(),
+            ) as pool:
+                futures = {}
+                for leaf, i in zip(leaves, occupied):
+                    lo, hi = ranges[i]
+                    fut = pool.submit(_run_shard, self._shard_payload(
+                        shm.name, pts.shape, lo, hi, seeds[i], k, kernel))
+                    futures[fut] = leaf
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        node = futures.pop(fut)
+                        node.result = fut.result()
+                        parent = node.parent
+                        ready = (parent is not None and parent is not root
+                                 and parent.left.result is not None
+                                 and (parent.right is None
+                                      or parent.right.result is not None))
+                        if ready:
+                            nxt = pool.submit(
+                                _run_merge,
+                                self._merge_payload(parent, k, kernel))
+                            futures[nxt] = parent
+                            pending.add(nxt)
+        finally:
+            shm.close()
+            shm.unlink()

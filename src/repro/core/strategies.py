@@ -59,9 +59,9 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..geometry import as_points
+from ..geometry import as_points, sq_dists_chunk
 from ..index import GridIndex, RTree
-from .kernel import Kernel
+from .kernel import F32_UNIT_ROUNDOFF, Kernel
 from .responsibility import CandidateSet
 
 #: A pruned screen that still computes more than this fraction of the
@@ -80,12 +80,47 @@ PRUNE_MAX_STRIKES = 3
 #: never shrink below extent / this, only the candidate annulus grows.
 PRUNE_MAX_GRID_RES = 16
 
-#: Smallest set size for which the decision kernels use the pruned
-#: sparsity structure.  Below this a dense ``window × K`` sweep is a
-#: handful of in-cache ufunc calls and beats the sparse bookkeeping;
-#: beyond it the dense sweeps scale with K while the sparse path
-#: stays at the candidate-union width.
-PRUNE_SPARSE_DECISION_MIN_K = 1536
+#: Set size at and above which the decision kernels *always* use the
+#: pruned sparsity structure.  Below it the choice is measured per
+#: block: a dense ``window × K`` sweep is a handful of in-cache ufunc
+#: calls, so the sparse path has to promise a real element reduction
+#: (see :data:`PRUNE_SPARSE_ADVANTAGE`) before its bookkeeping pays.
+#: Calibrated by measurement on the benchmark host: the dense sweep
+#: won at every K up to 2048 even at a ~100× element reduction (the
+#: per-window mask/gather overhead dominates), so both thresholds sit
+#: beyond the measured range rather than inside it.
+PRUNE_SPARSE_DECISION_MIN_K = 8192
+
+#: Floor below which the dense decision sweep always wins — the whole
+#: ``window × K`` product fits in cache and the sparse gather's Python
+#: overhead cannot be amortised (measured through K=2048, see above).
+PRUNE_SPARSE_MIN_K = 4096
+
+#: Required element-reduction factor before a block's decisions use the
+#: sparse structure: the measured mean candidate width (kernel-evaluated
+#: entries per screen row) must be at most ``k / PRUNE_SPARSE_ADVANTAGE``.
+PRUNE_SPARSE_ADVANTAGE = 16.0
+
+#: Auto-selected float32 screening turns itself off when the certified
+#: decision tolerance exceeds this — margins would rarely clear it and
+#: most rows would pay the float64 settle on top of the float32 screen.
+F32_SCREEN_MAX_TOL = 0.5
+
+#: Fraction of a decision window allowed to fall back to float64 before
+#: it counts as a strike against the float32 screen.
+F32_FALLBACK_TOLERATED = 0.5
+
+#: Consecutive fallback-heavy decision windows before auto-selected
+#: float32 screening turns itself off (forced ``"float32"`` stays on —
+#: the fallback keeps it exact either way, only speed differs).
+F32_MAX_STRIKES = 3
+
+#: Acceptances observed during the previous screen block above which the
+#: next block screens in float64 (auto mode): every accept on a float32
+#: block pays a fresh float64 kernel row and invalidates the cached
+#: decision sweep, so churn-heavy phases are cheaper on the float64
+#: screen and float32 re-engages as soon as the set settles.
+F32_CHURN_MAX = 8
 
 
 class ScreenBlock:
@@ -103,19 +138,36 @@ class ScreenBlock:
     was actually evaluated against (every other ``sim[c, j]`` is an
     exact 0.0), and ``extra`` collects slots whose columns
     :meth:`ReplacementStrategy.block_refresh` later rewrote with dense
-    values.  Dense screens leave ``group_of`` as ``None``.
+    values.  Dense screens leave ``group_of`` as ``None``; ``sparse``
+    records whether the decision kernels should use that structure
+    (measured per block — see :data:`PRUNE_SPARSE_ADVANTAGE`).
+
+    A float32 screen (``f32`` True) stores the same values evaluated in
+    float32 from recentred coordinates; ``bound`` is the certified
+    per-entry error versus the float64 spec arithmetic, which
+    :meth:`ReplacementStrategy.block_decisions` turns into a decision
+    tolerance — rows inside it settle in float64.
     """
 
-    __slots__ = ("pts", "sim", "group_of", "groups", "extra")
+    __slots__ = ("pts", "sim", "group_of", "groups", "extra", "sparse",
+                 "f32", "bound", "rev")
 
     def __init__(self, pts: np.ndarray, sim: np.ndarray,
                  group_of: np.ndarray | None = None,
-                 groups: list[np.ndarray] | None = None) -> None:
+                 groups: list[np.ndarray] | None = None,
+                 sparse: bool = False, f32: bool = False,
+                 bound: float = 0.0) -> None:
         self.pts = pts
         self.sim = sim
         self.group_of = group_of
         self.groups = groups
         self.extra: set[int] = set()
+        self.sparse = sparse
+        self.f32 = f32
+        self.bound = bound
+        #: Strategy replacement count when the block was screened; an
+        #: unchanged count means no responsibility or column has moved.
+        self.rev = 0
 
 
 class ReplacementStrategy(abc.ABC):
@@ -140,6 +192,21 @@ class ReplacementStrategy(abc.ABC):
         self._prune_grid: GridIndex | None = None
         self._prune_pos: np.ndarray | None = None
         self._prune_strikes = 0
+        #: float32 screening state (see :meth:`enable_f32_screen`).
+        self._f32_on = False
+        self._f32_forced = False
+        self._f32_dead = False
+        self._f32_center: np.ndarray | None = None
+        self._f32_strikes = 0
+        self._f32_prev_repl = 0
+        self._scr_sim32: np.ndarray | None = None
+        self._scr_scratch32: np.ndarray | None = None
+        #: Whole-block decision sweep cached while nothing has moved
+        #: (block, replacement count, base row, decision mask).
+        self._f32_dec_cache: tuple | None = None
+        #: Rows decided from a float32 screen / settled in float64.
+        self.f32_rows_screened = 0
+        self.f32_fallback_rows = 0
 
     @abc.abstractmethod
     def process(self, source_id: int, point: np.ndarray) -> bool:
@@ -177,9 +244,255 @@ class ReplacementStrategy(abc.ABC):
         The one place a strategy may shape its screen values: ES+Loc
         overrides this to zero entries beyond its locality cutoff, so
         every screen path (dense, pruned, column refresh) truncates
-        identically.
+        identically.  Dtype-polymorphic: a float32 buffer stays float32
+        (the screening pass), float64 stays the spec arithmetic.
         """
         self.kernel.profile_into(d2)
+
+    # -- float32 screening --------------------------------------------------
+    def enable_f32_screen(self, forced: bool = False) -> None:
+        """Screen blocks in float32 where a certified error bound holds.
+
+        The screen is an *accelerator*, never an approximation: every
+        block decision whose margin falls within the provable float32
+        error tolerance — and every acceptance — is settled with the
+        bit-identical float64 arithmetic, so the produced sample is
+        unchanged (the engine-parity suite pins this).  Auto-selected
+        screening additionally turns itself off when the bound is too
+        loose to certify anything (``forced`` keeps it on regardless).
+        """
+        self._f32_on = True
+        self._f32_forced = forced
+        self._f32_dead = False
+        self._f32_strikes = 0
+
+    def _f32_entry_bound(self, coord_radius: float) -> float:
+        """Per-entry |float32 − float64| screen bound for this strategy."""
+        return self.kernel.f32_screen_bound(coord_radius)
+
+    def _f32_zero_error(self, bound: float) -> float:
+        """Error bound for screen entries that evaluate to a float32 0.0."""
+        zero_err = self.kernel.f32_zero_error()
+        return bound if zero_err is None else zero_err
+
+    def _f32_block_bound(self, pts: np.ndarray) -> float | None:
+        """Certified per-entry bound for screening ``pts`` in float32,
+        or ``None`` when this block must use the float64 screen."""
+        if not self._f32_on or self._f32_dead or not self.set.is_full:
+            return None
+        churn = self.replacements - self._f32_prev_repl
+        self._f32_prev_repl = self.replacements
+        if not self._f32_forced and churn > F32_CHURN_MAX:
+            return None
+        members = self.set.points
+        if self._f32_center is None:
+            # A fixed recentring origin keeps refreshed columns and new
+            # blocks on the same downcast grid; the bound below is
+            # recomputed per block from the *actual* radius, so the
+            # centre only needs to be representative, not optimal.
+            self._f32_center = (members.min(axis=0) + members.max(axis=0)) / 2.0
+        radius = max(
+            float(np.abs(pts - self._f32_center).max()) if len(pts) else 0.0,
+            float(np.abs(members - self._f32_center).max()),
+        )
+        bound = self._f32_entry_bound(radius)
+        if not math.isfinite(bound):
+            return None
+        if not self._f32_forced and \
+                2.0 * (len(members) + 2) * bound > F32_SCREEN_MAX_TOL:
+            return None
+        return bound
+
+    def _screen_buffers_f32(self, c: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if (self._scr_sim32 is None or self._scr_sim32.shape[0] < c
+                or self._scr_sim32.shape[1] != k):
+            self._scr_sim32 = np.empty((c, k), dtype=np.float32)
+            self._scr_scratch32 = np.empty((c, k), dtype=np.float32)
+        return self._scr_sim32[:c], self._scr_scratch32[:c]
+
+    def _centered32(self, pts: np.ndarray) -> np.ndarray:
+        """Recentre in float64, then downcast — the order matters.
+
+        Raw coordinates can sit far from the origin (Geolife longitudes
+        are ~117°), where float32 resolution is coarse relative to the
+        data extent; subtracting the shared centre first keeps the
+        downcast error at ``u32 · coord_radius``, which is what
+        :meth:`~repro.core.kernel.Kernel.f32_screen_bound` certifies.
+        """
+        return (pts - self._f32_center).astype(np.float32)
+
+    def _kernel_vs_f32(self, bx: np.ndarray, bm: np.ndarray) -> np.ndarray:
+        """float32 κ̃ of recentred block rows vs recentred members."""
+        d2 = bx[:, 0, None] - bm[None, :, 0]
+        dy = bx[:, 1, None] - bm[None, :, 1]
+        np.multiply(d2, d2, out=d2)
+        d2 += dy * dy
+        self._screen_profile(d2)
+        return d2
+
+    def _screen_dense_f32(self, pts: np.ndarray, bound: float) -> ScreenBlock:
+        members = self.set.points
+        bx = self._centered32(pts)
+        bm = self._centered32(members)
+        sim, scratch = self._screen_buffers_f32(len(pts), len(members))
+        np.subtract(bx[:, 0, None], bm[None, :, 0], out=sim)
+        np.subtract(bx[:, 1, None], bm[None, :, 1], out=scratch)
+        np.multiply(sim, sim, out=sim)
+        np.multiply(scratch, scratch, out=scratch)
+        np.add(sim, scratch, out=sim)
+        self._screen_profile(sim)
+        return ScreenBlock(pts, sim, f32=True, bound=bound)
+
+    def _block_row64(self, block: ScreenBlock, row: int) -> np.ndarray:
+        """The float64 kernel row behind block row ``row``.
+
+        For a float64 screen that is the cached row itself; for a
+        float32 screen the row is recomputed fresh with the spec
+        arithmetic (bit-identical to what the float64 screen would
+        hold, per :meth:`_kernel_vs`) — acceptances are rare, so one
+        O(K) row per acceptance costs nothing against the screen.
+        """
+        if block.f32:
+            return self._kernel_vs(block.pts[row:row + 1], self.set.points)[0]
+        return block.sim[row]
+
+    def _block_decisions_f32(self, block: ScreenBlock, start: int,
+                             stop: int) -> np.ndarray:
+        """Certified accept mask for block rows ``start:stop``.
+
+        The engine re-issues decisions window by window only because a
+        replacement *might* have landed between windows.  While the
+        strategy's replacement count still equals the count recorded at
+        screen time, neither the responsibilities nor any ``sim``
+        column has changed, so one sweep over the whole remaining block
+        serves every later window from cache — the per-window calls
+        collapse to slice lookups on converged data, where windows
+        overwhelmingly decide nothing.  Any acceptance bumps
+        ``replacements`` and invalidates the cache before the refreshed
+        rows are next judged.
+        """
+        cache = self._f32_dec_cache
+        if (cache is not None and cache[0] is block
+                and cache[1] == self.replacements
+                and cache[2] <= start and stop <= cache[3]):
+            base = cache[2]
+            return cache[4][start - base: stop - base]
+        # During churn (an accept since screen time) sweep only the
+        # requested window: later rows still await their column
+        # refresh, so a full-span sweep would judge stale values.
+        span = len(block.pts) if self.replacements == block.rev else stop
+        out = self._f32_sweep(block, start, span)
+        self._f32_dec_cache = (block, self.replacements, start, span, out)
+        return out[: stop - start]
+
+    def _f32_sweep(self, block: ScreenBlock, start: int,
+                   stop: int) -> np.ndarray:
+        """Certified accept mask from a float32 screen.
+
+        The float32 margin ``max(sim + rsp) − Σ sim`` differs from the
+        float64 decision margin by at most a provable tolerance: each
+        evaluated entry errs by ≤ ``block.bound`` — exact zeros (pruned
+        or truncated on both paths) err by 0, so a pruned row's error
+        budget scales with its *structural* width (its 3×3 gather group
+        plus refreshed columns), not with K — responsibilities downcast
+        with relative error u32, the float32 max adds one rounding, and
+        the float32 pairwise row sum accumulates at most ~2·log₂K
+        roundings of the (non-negative) sum, covered by the 64·u32
+        term.  Rows whose margin clears the tolerance are decided; the
+        rest settle on freshly computed float64 rows with the exact
+        dense arithmetic (bit-identical to the float64 screen's
+        decision, sparse or dense — the sparse maximum equals the dense
+        one bit for bit).
+        """
+        sim = block.sim[start:stop]
+        rsp = self._screen_responsibilities()
+        k = len(rsp)
+        # Both counters measure sweep work performed (a sweep
+        # invalidated by an acceptance before being fully served is
+        # still work done), so fallback_rows ≤ rows_screened holds.
+        self.f32_rows_screened += stop - start
+        rsp_max = float(np.abs(rsp).max()) if k else 0.0
+        if rsp_max == 0.0:
+            # All-zero responsibilities (a converged small-bandwidth
+            # set): the float64 decision is max(s) > Σs with s ≥ 0,
+            # which is False for every row — max ≤ sum, and ties
+            # reject.  Certified exactly, no tolerance involved.
+            return np.zeros(stop - start, dtype=bool)
+        rsp32 = rsp.astype(np.float32)
+        if block.group_of is None or not block.sparse:
+            expanded = self._scr_scratch32[start:stop]
+            np.add(sim, rsp32[None, :], out=expanded)
+            row_max = expanded.max(axis=1).astype(np.float64)
+        else:
+            mask = np.zeros(k, dtype=bool)
+            for g in np.unique(block.group_of[start:stop]):
+                mask[block.groups[g]] = True
+            if block.extra:
+                mask[np.fromiter(block.extra, dtype=np.int64)] = True
+            uidx = np.flatnonzero(mask)
+            outside = rsp[~mask]
+            outside_max = outside.max() if outside.size else -np.inf
+            if uidx.size:
+                expanded = sim[:, uidx] + rsp32[uidx]
+                row_max = np.maximum(
+                    expanded.max(axis=1).astype(np.float64), outside_max)
+            else:
+                row_max = np.full(stop - start, outside_max)
+        row_sum = sim.sum(axis=1).astype(np.float64)
+        if block.group_of is None:
+            width = float(k)
+        else:
+            sizes = np.fromiter((g.size for g in block.groups),
+                                dtype=np.float64, count=len(block.groups))
+            width = sizes[block.group_of[start:stop]] + len(block.extra)
+        # Entries the float32 screen shows as non-zero err by ≤ bound;
+        # entries it shows as zero err by ≤ the (usually far smaller)
+        # kernel-specific zero error, so the budget scales with the
+        # measured non-zero count, not the full width.
+        nnz = np.count_nonzero(sim, axis=1)
+        zero_err = self._f32_zero_error(block.bound)
+        tol = 2.0 * (block.bound * (nnz + 2.0) + zero_err * (width - nnz)) \
+            + F32_UNIT_ROUNDOFF * (
+                8.0 * (1.0 + rsp_max) + 64.0 * (np.abs(row_sum) + 1.0))
+        margin = row_max - row_sum
+        out = margin > tol
+        unsure = np.flatnonzero(np.abs(margin) <= tol)
+        if unsure.size:
+            self.f32_fallback_rows += int(unsure.size)
+            pts_u = block.pts[start:stop][unsure]
+            if block.group_of is not None:
+                # A pruned row's structural zeros are provably exact
+                # 0.0 in float64 too, so the fresh settle rows only
+                # need kernel values on the candidate union — the
+                # zero-filled remainder reproduces the full float64
+                # screen row byte for byte, and the decision below
+                # stays the exact dense arithmetic.
+                umask = np.zeros(k, dtype=bool)
+                for g in np.unique(block.group_of[start:stop][unsure]):
+                    umask[block.groups[g]] = True
+                if block.extra:
+                    umask[np.fromiter(block.extra, dtype=np.int64)] = True
+                cols = np.flatnonzero(umask)
+                sim64 = np.zeros((unsure.size, k), dtype=np.float64)
+                if cols.size:
+                    sim64[:, cols] = self._kernel_vs(
+                        pts_u, self.set.points[cols])
+            else:
+                sim64 = self._kernel_vs(pts_u, self.set.points)
+            expanded64 = sim64 + rsp[None, :]
+            out[unsure] = expanded64.max(axis=1) > sim64.sum(axis=1)
+        if not self._f32_forced:
+            if unsure.size > F32_FALLBACK_TOLERATED * (stop - start):
+                self._f32_strikes += 1
+                if self._f32_strikes >= F32_MAX_STRIKES:
+                    # The tolerance eats most margins here: the float64
+                    # settle is redoing the screen's work.  Exactness
+                    # never depended on float32 — only speed does — so
+                    # fall back to float64 screens for good.
+                    self._f32_dead = True
+            else:
+                self._f32_strikes = 0
+        return out
 
     # -- exact-locality pruning --------------------------------------------
     def prune_radius(self) -> float:
@@ -278,7 +591,13 @@ class ReplacementStrategy(abc.ABC):
         members = self.set.points
         grid = self._sync_prune_grid()
         c, k = len(pts), len(members)
-        sim, _ = self._screen_buffers(c, k)
+        bound = self._f32_block_bound(pts)
+        if bound is not None:
+            sim, _ = self._screen_buffers_f32(c, k)
+            bx32 = self._centered32(pts)
+            bm32 = self._centered32(members)
+        else:
+            sim, _ = self._screen_buffers(c, k)
         sim[...] = 0.0
         keys = np.floor(pts / grid.cell_size).astype(np.int64)
         order = np.lexsort((keys[:, 1], keys[:, 0]))
@@ -302,7 +621,10 @@ class ReplacementStrategy(abc.ABC):
             groups.append(idx)
             if idx.size == 0:
                 continue
-            d2 = self._kernel_vs(pts[rows], members[idx])
+            if bound is not None:
+                d2 = self._kernel_vs_f32(bx32[rows], bm32[idx])
+            else:
+                d2 = self._kernel_vs(pts[rows], members[idx])
             sim[np.ix_(rows, idx)] = d2
             computed += d2.size
         if computed > PRUNE_DENSE_FALLBACK * c * k:
@@ -313,15 +635,33 @@ class ReplacementStrategy(abc.ABC):
                 self._pruning = False
         else:
             self._prune_strikes = 0
-        return ScreenBlock(pts, sim, group_of, groups)
+        # Measured sparse-decision selection: the mean candidate width
+        # (kernel-evaluated entries per row) is known exactly at this
+        # point, so the decision kernels only take the sparse path when
+        # it promises a real element reduction over the dense window×K
+        # sweep — or when K alone makes dense sweeps prohibitive.
+        mean_width = computed / max(c, 1)
+        sparse = k >= PRUNE_SPARSE_DECISION_MIN_K or (
+            k >= PRUNE_SPARSE_MIN_K
+            and mean_width * PRUNE_SPARSE_ADVANTAGE <= k
+        )
+        return ScreenBlock(pts, sim, group_of, groups, sparse=sparse,
+                           f32=bound is not None, bound=bound or 0.0)
 
     def begin_block(self, pts: np.ndarray) -> ScreenBlock:
         """Kernel-evaluate a ``(C, 2)`` block against the current set."""
         if self._pruning and self.set.is_full:
-            return self._screen_pruned(pts)
-        sim = self._screen_d2(pts)
-        self._screen_profile(sim)
-        return ScreenBlock(pts, sim)
+            blk = self._screen_pruned(pts)
+        else:
+            bound = self._f32_block_bound(pts)
+            if bound is not None:
+                blk = self._screen_dense_f32(pts, bound)
+            else:
+                sim = self._screen_d2(pts)
+                self._screen_profile(sim)
+                blk = ScreenBlock(pts, sim)
+        blk.rev = self.replacements
+        return blk
 
     def _screen_responsibilities(self) -> np.ndarray:
         """Responsibilities the sequential decision would use right now."""
@@ -346,10 +686,12 @@ class ReplacementStrategy(abc.ABC):
         a different pairwise-summation tree than the reference
         engine's ``row.sum()`` and could round differently.)
         """
+        if block.f32:
+            return self._block_decisions_f32(block, start, stop)
         sim = block.sim[start:stop]
         rsp = self._screen_responsibilities()
         k = len(rsp)
-        if block.group_of is None or k < PRUNE_SPARSE_DECISION_MIN_K:
+        if block.group_of is None or not block.sparse:
             expanded = self._scr_scratch[start:stop]
             np.add(sim, rsp[None, :], out=expanded)
             return expanded.max(axis=1) > sim.sum(axis=1)
@@ -453,14 +795,20 @@ class ESStrategy(ReplacementStrategy):
 
     def accept_block_row(self, block: ScreenBlock, row: int,
                          source_id: int) -> bool:
-        # The cached block row IS the kernel row process() would
-        # recompute, so the acceptance can be applied directly.
+        # The cached (or, for a float32 screen, freshly settled) block
+        # row IS the kernel row process() would recompute, so the
+        # acceptance can be applied directly.  The slot guard makes
+        # the float64 row the final arbiter: a screen verdict the spec
+        # arithmetic disagrees with is turned away, exactly as the
+        # per-tuple path would.
         self.processed += 1
         cs = self.set
         if cs.has_source(source_id):
             return False
-        krow = block.sim[row]
+        krow = self._block_row64(block, row)
         slot = cs.expanded_max_slot(krow, float(krow.sum()))
+        if slot >= len(cs):
+            return False
         cs.replace(slot, source_id, block.pts[row], krow)
         self.last_replaced_slot = slot
         self.replacements += 1
@@ -483,14 +831,60 @@ class NoESStrategy(ReplacementStrategy):
     def __init__(self, candidate_set: CandidateSet) -> None:
         super().__init__(candidate_set)
         self._rsp_cache: np.ndarray | None = None
+        self._sim_cache: np.ndarray | None = None
+
+    def _rebuild_matrix(self) -> np.ndarray:
+        """From-scratch κ̃ matrix of the set, screen-row arithmetic.
+
+        Built with the subtract-then-square distances of
+        :func:`~repro.geometry.sq_dists_chunk`, whose rows are
+        bit-identical to :meth:`~repro.core.kernel.Kernel.similarity_to`
+        and to the block screen's :meth:`_kernel_vs` — which is what
+        lets :meth:`_apply_replacement` maintain this matrix by writing
+        the acceptance's kernel row instead of rebuilding: after the
+        row/column write the maintained matrix is byte-equal to what
+        this rebuild would produce, so decisions never depend on which
+        path filled it.  (The expanded quadratic form of
+        ``Kernel.similarity_matrix`` is cheaper but rounds differently
+        in the last ulp, which would break exactly that equality.)
+        """
+        pts = self.set.points
+        sim = self.kernel.from_sq_dists(sq_dists_chunk(pts, pts))
+        np.fill_diagonal(sim, 0.0)
+        return sim
+
+    def _apply_replacement(self, slot: int, source_id: int,
+                           point: np.ndarray, krow: np.ndarray) -> None:
+        """Swap ``slot`` in and restore the from-scratch invariant.
+
+        One row/column write plus an O(K²) re-sum — no kernel
+        re-evaluation — keeps responsibilities byte-equal to a full
+        rebuild (see :meth:`_rebuild_matrix`); profiling pinned the
+        per-acceptance rebuilds as the dominant no-es cost.  The set's
+        incrementally maintained responsibilities round differently,
+        so they are overwritten with the decision values.
+        """
+        cs = self.set
+        cs.replace(slot, source_id, point, krow)
+        if self._sim_cache is not None and len(self._sim_cache) == len(cs):
+            self._sim_cache[slot, :] = krow
+            self._sim_cache[:, slot] = krow
+            self._sim_cache[slot, slot] = 0.0
+        else:
+            self._sim_cache = self._rebuild_matrix()
+        self._rsp_cache = self._sim_cache.sum(axis=1)
+        cs.responsibilities[:] = self._rsp_cache
+        self.last_replaced_slot = slot
+        self.replacements += 1
 
     def process(self, source_id: int, point: np.ndarray) -> bool:
         self.processed += 1
         cs = self.set
         if cs.has_source(source_id):
             return False  # this dataset row already occupies a slot
-        self._rsp_cache = None
         if not cs.is_full:
+            self._rsp_cache = None
+            self._sim_cache = None
             self.last_replaced_slot = len(cs)
             cs.fill(source_id, point)
             cs.recompute()  # deliberate full recompute, the No-ES way
@@ -498,29 +892,48 @@ class NoESStrategy(ReplacementStrategy):
             return True
         pt = np.asarray(point, dtype=np.float64)
         # From-scratch responsibilities: the defining inefficiency.
-        sim = self.kernel.similarity_matrix(cs.points)
-        np.fill_diagonal(sim, 0.0)
-        responsibilities = sim.sum(axis=1)
+        responsibilities = self._rebuild_matrix().sum(axis=1)
         row = self.kernel.similarity_to(pt, cs.points)
         new_rsp = float(row.sum())
         expanded = responsibilities + row
         slot = int(np.argmax(expanded))
         if expanded[slot] <= new_rsp:
             return False
-        cs.replace(slot, source_id, pt, row)
-        cs.recompute()
-        self.last_replaced_slot = slot
-        self.replacements += 1
+        self._apply_replacement(slot, source_id, pt, row)
+        return True
+
+    def accept_block_row(self, block: ScreenBlock, row: int,
+                         source_id: int) -> bool:
+        """Apply a screen-approved acceptance without a rebuild.
+
+        The decision re-check uses the cached responsibilities (byte-
+        equal to the from-scratch values the per-tuple path computes),
+        and :meth:`_apply_replacement` restores the invariant with one
+        row write — the sample is unchanged, only the redundant kernel
+        work is gone.
+        """
+        self.processed += 1
+        cs = self.set
+        if cs.has_source(source_id):
+            return False
+        rsp = self._screen_responsibilities()
+        krow = self._block_row64(block, row)
+        expanded = rsp + krow
+        slot = int(np.argmax(expanded))
+        if expanded[slot] <= float(krow.sum()):
+            return False
+        self._apply_replacement(
+            slot, source_id, np.asarray(block.pts[row], dtype=np.float64),
+            np.asarray(krow, dtype=np.float64))
         return True
 
     def _screen_responsibilities(self) -> np.ndarray:
-        # One from-scratch rebuild per replacement; the sequential path
-        # rebuilds per tuple but — with no replacement in between —
-        # keeps getting exactly these values, so caching is safe.
+        # Maintained across replacements (see _apply_replacement); the
+        # sequential path rebuilds per tuple but — by the byte-equality
+        # invariant — keeps getting exactly these values.
         if self._rsp_cache is None:
-            sim_set = self.kernel.similarity_matrix(self.set.points)
-            np.fill_diagonal(sim_set, 0.0)
-            self._rsp_cache = sim_set.sum(axis=1)
+            self._sim_cache = self._rebuild_matrix()
+            self._rsp_cache = self._sim_cache.sum(axis=1)
         return self._rsp_cache
 
 
@@ -548,6 +961,9 @@ class ESLocStrategy(ReplacementStrategy):
                  index_kind: str = "rtree", recompute_every: int = 0) -> None:
         super().__init__(candidate_set)
         self.cutoff = self.kernel.cutoff_radius(tolerance)
+        #: Kernel value at the cutoff — the step height of the
+        #: truncating mask, which the float32 screen bound must absorb.
+        self._cutoff_value = float(tolerance)
         if index_kind == "rtree":
             self._index: RTree | GridIndex = RTree(max_entries=16)
         elif index_kind == "grid":
@@ -648,16 +1064,32 @@ class ESLocStrategy(ReplacementStrategy):
         # zeroed it too — byte equality survives the skip.
         return min(self.cutoff * (1.0 + 1e-9), self.kernel.zero_radius())
 
+    def _f32_entry_bound(self, coord_radius: float) -> float:
+        # The float32 and float64 squared distances can land on
+        # opposite sides of the truncation cutoff, where the screen
+        # value steps from the kernel value (≤ tolerance, by the
+        # cutoff's construction) to 0.0 — so that step height joins
+        # the smooth-profile bound.
+        return self.kernel.f32_screen_bound(coord_radius) + self._cutoff_value
+
+    def _f32_zero_error(self, bound: float) -> float:
+        # A float32 zero may be the truncating mask firing where the
+        # float64 mask would not — a step of up to the cutoff value.
+        return max(super()._f32_zero_error(bound), self._cutoff_value)
+
     def accept_block_row(self, block: ScreenBlock, row: int,
                          source_id: int) -> bool:
-        # The cached block row is exactly the truncated neighbourhood
-        # row process() would rebuild from the spatial index.
+        # The cached (or float64-settled) block row is exactly the
+        # truncated neighbourhood row process() would rebuild from the
+        # spatial index.
         self.processed += 1
         cs = self.set
         if cs.has_source(source_id):
             return False
-        krow = block.sim[row].copy()
+        krow = np.array(self._block_row64(block, row), dtype=np.float64)
         slot = cs.expanded_max_slot(krow, float(krow.sum()))
+        if slot >= len(cs):
+            return False
         self._accept(slot, source_id,
                      np.asarray(block.pts[row], dtype=np.float64), krow)
         return True

@@ -1,0 +1,146 @@
+"""The float32 screen changes wall clock, never a single decision.
+
+The auto-selected screening pass kernel-evaluates candidate blocks in
+float32 and keeps only decisions whose margin provably clears the
+certified error tolerance; everything inside the tolerance — and every
+acceptance — is settled with the bit-identical float64 arithmetic.  So
+for any fixed seed, ``screen_dtype="auto"`` (and the forced
+``"float32"``) must produce byte-identical samples to the pure
+``"float64"`` path, including on inputs *built* to land kernel values
+on the accept/reject threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CauchyKernel,
+    GaussianKernel,
+    LaplaceKernel,
+    run_interchange,
+)
+from repro.errors import ConfigurationError
+from repro.sampling import iter_chunks
+
+STRATEGIES = ("es", "no-es", "es+loc")
+
+
+def run_dtype(points, k, kernel, dtype, engine="batched", **kwargs):
+    kwargs.setdefault("rng", 0)
+    kwargs.setdefault("max_passes", 2)
+    return run_interchange(lambda: iter_chunks(points, 256), k, kernel,
+                           engine=engine, screen_dtype=dtype, **kwargs)
+
+
+def assert_dtype_parity(points, k, kernel, engine="batched", **kwargs):
+    """float64 vs auto vs forced float32: one sample, three screens."""
+    f64 = run_dtype(points, k, kernel, "float64", engine, **kwargs)
+    results = {dtype: run_dtype(points, k, kernel, dtype, engine, **kwargs)
+               for dtype in ("auto", "float32")}
+    for dtype, other in results.items():
+        assert np.array_equal(f64.source_ids, other.source_ids), dtype
+        assert np.array_equal(f64.points, other.points), dtype
+        assert f64.objective == other.objective, dtype
+        assert f64.replacements == other.replacements, dtype
+    return f64, results["auto"], results["float32"]
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    gen = np.random.default_rng(11)
+    return np.concatenate([
+        gen.normal((0.0, 0.0), 0.4, size=(600, 2)),
+        gen.normal((3.0, 3.0), 0.7, size=(400, 2)),
+    ])
+
+
+class TestThresholdStraddle:
+    """Inputs built so kernel values land *on* the decision threshold.
+
+    Duplicated points make ``max(sim + rsp)`` and ``Σ sim`` exactly
+    tie for the cloned rows: the float32 margin sits at 0, far inside
+    any positive tolerance, so the screen must route these rows
+    through the float64 settle — and the settle must reproduce the
+    reject-on-tie verdict bit for bit.
+    """
+
+    def test_duplicate_points_force_fallback(self):
+        gen = np.random.default_rng(3)
+        base = gen.normal(size=(120, 2))
+        points = np.concatenate([base, base, base])  # every row ×3
+        f64, auto, forced = assert_dtype_parity(
+            points, 30, GaussianKernel(0.5), engine="batched")
+        # The forced screen cannot certify an exact tie: the cloned
+        # rows must have settled in float64, not been guessed at.
+        assert forced.f32_fallback_rows > 0
+
+    def test_near_tie_margins(self):
+        """A grid with one dominant outlier: responsibilities are flat
+        and margins hug the threshold from both sides."""
+        xs, ys = np.meshgrid(np.linspace(0, 1, 18), np.linspace(0, 1, 18))
+        grid = np.column_stack([xs.ravel(), ys.ravel()])
+        points = np.concatenate([grid, [[50.0, 50.0]]])
+        assert_dtype_parity(points, 24, GaussianKernel(0.8))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_strategies_on_clustered_data(self, blobs, strategy):
+        assert_dtype_parity(blobs, 25, GaussianKernel(0.3),
+                            strategy=strategy)
+
+    @pytest.mark.parametrize("engine", ("batched", "pruned"))
+    def test_small_bandwidth_pruned(self, blobs, engine):
+        """Tiny bandwidth: the certified tolerance swallows most
+        margins, the screen strikes out and auto-disables — decisions
+        must survive that lifecycle unchanged."""
+        f64, auto, forced = assert_dtype_parity(
+            blobs, 25, GaussianKernel(0.02), engine=engine)
+        assert forced.f32_fallback_rows <= forced.f32_rows_screened
+
+    def test_churn_phase(self, blobs):
+        """First passes of a cold set accept constantly; the churn gate
+        flips blocks back to float64 mid-run.  The mode changes, the
+        sample must not."""
+        assert_dtype_parity(blobs, 50, GaussianKernel(0.3), max_passes=3)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", [
+        GaussianKernel(0.3), LaplaceKernel(0.4), CauchyKernel(0.3),
+    ])
+    def test_kernel_parity(self, blobs, kernel):
+        assert_dtype_parity(blobs, 20, kernel)
+
+    def test_far_from_origin(self):
+        """Geolife-style coordinates (~117° east): raw float32 would
+        lose the data extent to coordinate magnitude; the recentred
+        screen must not."""
+        gen = np.random.default_rng(5)
+        points = np.column_stack([
+            gen.uniform(116.0, 117.25, size=800),
+            gen.uniform(39.5, 40.5, size=800),
+        ])
+        f64, auto, forced = assert_dtype_parity(
+            points, 30, GaussianKernel(0.05))
+        # The screen must have actually engaged out there, not just
+        # survived by staying off.
+        assert auto.f32_rows_screened > 0
+
+
+class TestScreenAccounting:
+    def test_certified_rows_exist_on_easy_data(self, blobs):
+        """Well-separated clusters at a moderate bandwidth: most rows
+        clear the tolerance and are decided in float32."""
+        auto = run_dtype(blobs, 25, GaussianKernel(0.3), "auto")
+        assert auto.f32_rows_screened > 0
+        assert auto.f32_fallback_rows < auto.f32_rows_screened
+
+    def test_float64_never_counts(self, blobs):
+        f64 = run_dtype(blobs, 25, GaussianKernel(0.3), "float64")
+        assert f64.f32_rows_screened == 0
+        assert f64.f32_fallback_rows == 0
+
+    def test_unknown_dtype_rejected(self, blobs):
+        with pytest.raises(ConfigurationError):
+            run_dtype(blobs, 10, GaussianKernel(0.3), "float16")

@@ -21,7 +21,14 @@ from repro.core import (
     VASSampler,
     run_interchange,
 )
-from repro.core.parallel import default_workers
+import repro.core.parallel as parallel_mod
+from repro.core.parallel import (
+    MAX_AUTO_WORKERS,
+    _attach_shard,
+    _shard_engine,
+    default_workers,
+    host_cpus,
+)
 from repro.errors import ConfigurationError, EmptyDatasetError
 from repro.sampling import iter_chunks
 
@@ -169,3 +176,73 @@ class TestRunnerDirect:
         sampler = VASSampler(epsilon=0.3, workers=2)
         with pytest.raises(ConfigurationError):
             sampler.sample_stream(iter([np.zeros((10, 2))]), 3)
+
+
+class TestSharedMemoryPlumbing:
+    def test_attach_is_zero_copy(self):
+        """A shard attachment must be a view into the published
+        segment — no pickled copy: writes through the parent's buffer
+        are visible in the worker-side view."""
+        from multiprocessing import shared_memory
+
+        pts = np.arange(24, dtype=np.float64).reshape(12, 2)
+        shm = shared_memory.SharedMemory(create=True, size=pts.nbytes)
+        try:
+            np.ndarray(pts.shape, dtype=np.float64, buffer=shm.buf)[:] = pts
+            attached, view = _attach_shard(shm.name, pts.shape, 3, 9)
+            try:
+                assert not view.flags.owndata
+                assert np.array_equal(view, pts[3:9])
+                # Mutate through the parent's mapping; the zero-copy
+                # view must see it without any round-trip.
+                np.ndarray(pts.shape, dtype=np.float64,
+                           buffer=shm.buf)[3, 0] = -7.5
+                assert view[0, 0] == -7.5
+            finally:
+                attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_pool_run_unlinks_segment(self, data, monkeypatch):
+        """The dataset segment must be gone after a pooled run — a
+        leaked segment outlives the process and eats /dev/shm."""
+        from multiprocessing import shared_memory
+
+        created = []
+        real = shared_memory.SharedMemory
+
+        class Recording(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        monkeypatch.setattr(parallel_mod.shared_memory, "SharedMemory",
+                            Recording)
+        result = ParallelInterchangeRunner(workers=2, shards=2).run(
+            data[:800], 20, GaussianKernel(0.25), rng=0)
+        assert len(result.source_ids) == 20
+        assert created, "pooled run never published a segment"
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real(name=name)
+
+    def test_shard_engine_upgrade(self):
+        """Block engines run their shards pruned (bit-identical, so
+        the sample is unchanged); the reference engine stays reference
+        so its cost story remains honest."""
+        assert _shard_engine("batched") == "pruned"
+        assert _shard_engine("pruned") == "pruned"
+        assert _shard_engine("reference") == "reference"
+
+    def test_default_workers_respects_affinity(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert host_cpus() == 3
+        assert default_workers() == 3
+
+    def test_default_workers_capped(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "sched_getaffinity",
+                            lambda pid: set(range(64)), raising=False)
+        assert default_workers() == MAX_AUTO_WORKERS

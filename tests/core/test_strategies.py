@@ -88,6 +88,20 @@ class TestNoESEquivalence:
         cs_no, _ = run_stream("no-es", pts, 8)
         assert cs_es.objective() == pytest.approx(cs_no.objective(), rel=1e-9)
 
+    def test_maintained_matrix_equals_rebuild(self):
+        """The row-write-maintained κ̃ matrix must stay *byte-equal* to
+        a from-scratch rebuild after an arbitrary run — that equality
+        is the whole licence for skipping the per-acceptance rebuild."""
+        gen = np.random.default_rng(6)
+        pts = gen.normal(size=(400, 2))
+        cs, strat = run_stream("no-es", pts, 25)
+        assert strat.replacements > 25  # replacements actually happened
+        fresh = strat._rebuild_matrix()
+        assert np.array_equal(strat._sim_cache, fresh)
+        assert np.array_equal(strat._rsp_cache, fresh.sum(axis=1))
+        # The set's responsibilities are synced to the decision values.
+        assert np.array_equal(cs.responsibilities, strat._rsp_cache)
+
 
 class TestESLoc:
     @pytest.mark.parametrize("index_kind", ["rtree", "grid"])

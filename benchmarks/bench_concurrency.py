@@ -1,0 +1,553 @@
+"""Concurrency bench: scale-out serving under real multi-client load.
+
+The ISSUE-9 acceptance property, measured end to end over HTTP: p50/p99
+latency and req/s for ``/v1/viewport`` and ``/v1/tile`` under 1, 8 and
+64 concurrent keep-alive clients, across four server shapes:
+
+``single``
+    one ``repro serve`` process (the PR-3 baseline);
+``workers``
+    ``repro serve --workers N`` — the fork supervisor sharing one
+    listen socket across N processes;
+``leader_under_append``
+    the single process while a writer hammers ``/v1/append`` (reads
+    compete with maintenance + auto-compaction);
+``follower``
+    ``repro serve --follow`` — a read-only replica polling the
+    leader's journal, measured while the leader appends underneath it.
+
+Two kinds of gate, recorded with provenance and never silently passed:
+
+* **consistency gates (blocking)** — the follower's ``/v1/viewport``
+  body is byte-identical to the leader's (modulo the per-request
+  ``elapsed_ms`` timing field), its ``/v1/tile`` bytes are raw
+  identical, and it serves **zero** non-200 viewport responses while
+  the leader appends and auto-compacts;
+* **throughput gate** — at 64 clients ``--workers N`` must beat the
+  single process by >= 2x req/s, evaluated only when the host really
+  has >= 4 CPUs; otherwise the row records the skip and its reason
+  (same discipline as ``PARALLEL_SPEEDUP_GATES`` in
+  ``bench_interchange_engines``), so a 1-CPU runner can never
+  green-wash a scaling claim.
+
+Results merge into the shared interchange file under ``concurrency``::
+
+    python -m benchmarks.bench_concurrency --out BENCH_interchange.json
+    python -m benchmarks.bench_concurrency --quick   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.service import VasService, Workspace  # noqa: E402
+
+try:
+    from .provenance import collect_provenance, host_cpus  # noqa: E402
+except ImportError:  # run as a plain script rather than -m benchmarks.…
+    from provenance import collect_provenance, host_cpus  # noqa: E402
+
+CLIENT_LEVELS = (1, 8, 64)
+
+FULL = {"rows": 20_000, "duration": 3.0, "workers": 4,
+        "append_rows": 25, "storm_seconds": 4.0}
+QUICK = {"rows": 4_000, "duration": 0.8, "workers": 2,
+         "append_rows": 10, "storm_seconds": 2.0}
+
+#: at 64 clients, --workers N must deliver at least this many times the
+#: single-process req/s — but only on a host that actually has the
+#: cores to show it.  Below MIN_GATE_CPUS the row records a skip with
+#: its reason instead of a pass.
+WORKERS_SPEEDUP_GATE = 2.0
+MIN_GATE_CPUS = 4
+
+LISTENING = re.compile(r"listening on http://[\d.]+:(\d+)")
+
+
+def build_workspace(root: Path, rows: int) -> None:
+    """The offline half: demo data → table → cached zoom ladder."""
+    import numpy as np
+
+    from repro.data import GeolifeGenerator
+
+    csv = root / "demo.csv"
+    data = GeolifeGenerator(seed=0).generate(rows)
+    np.savetxt(csv, np.column_stack([data.xy, data.altitude]),
+               delimiter=",", header="longitude,latitude,altitude",
+               comments="")
+    service = VasService(Workspace(root / "ws"))
+    service.ingest_csv(csv, name="demo")
+    started = time.perf_counter()
+    service.build_ladder("demo", levels=2, k_per_tile=128)
+    service.close()
+    print(f"offline build: {rows:,} rows, 2-level ladder "
+          f"in {time.perf_counter() - started:.1f}s")
+
+
+class ServeProc:
+    """A ``repro serve`` subprocess started on port 0; the bound port
+    is parsed from its own "listening on" line, so single-process,
+    supervisor and follower shapes all come up the same way."""
+
+    def __init__(self, args: list[str]):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--port", "0"] + args,
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.lines: list[str] = []
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        self.base = f"http://127.0.0.1:{self._port()}"
+        self._wait_healthy()
+
+    def _drain(self) -> None:
+        for line in self.proc.stdout:
+            with self._lock:
+                self.lines.append(line)
+
+    def output(self) -> str:
+        with self._lock:
+            return "".join(self.lines)
+
+    def _port(self, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            match = LISTENING.search(self.output())
+            if match:
+                return int(match.group(1))
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"repro serve exited with status "
+                    f"{self.proc.returncode}:\n{self.output()}")
+            time.sleep(0.05)
+        raise RuntimeError(
+            f"server never reported its port:\n{self.output()}")
+
+    def _wait_healthy(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"repro serve exited with status "
+                    f"{self.proc.returncode}:\n{self.output()}")
+            try:
+                with urllib.request.urlopen(
+                        f"{self.base}/v1/healthz", timeout=2):
+                    return
+            except OSError:
+                time.sleep(0.1)
+        raise RuntimeError(f"{self.base} never became healthy")
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=30)
+        finally:
+            if self.proc.poll() is None:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+
+
+def get_bytes(base: str, path: str) -> tuple[int, bytes]:
+    host = base.removeprefix("http://")
+    conn = http.client.HTTPConnection(host, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def resolve_tile_path(base: str) -> str:
+    """A pinned tile URL for the ladder's current content hash."""
+    status, body = get_bytes(base, "/v1/tables")
+    if status != 200:
+        raise RuntimeError(f"/v1/tables answered {status}")
+    tables = json.loads(body)
+    ladder = next(a for a in tables["tables"][0]["staleness"]["detail"]
+                  if a["kind"] == "ladder")
+    return f"/v1/tile/demo/{ladder['content_hash']}/0/0/0"
+
+
+VIEWPORT_PATH = ("/v1/viewport?table=demo&"
+                 "bbox=116.2,39.8,116.5,40.1&max_points=256")
+
+
+def hammer(base: str, clients: int, duration: float,
+           tile_path: str | None) -> dict:
+    """``clients`` threads, each over one persistent keep-alive
+    connection, alternating viewport and (when pinned) tile GETs for
+    ``duration`` seconds.  Returns p50/p99 per endpoint and req/s."""
+    host = base.removeprefix("http://")
+    viewport_ms: list[float] = []
+    tile_ms: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    go = threading.Event()
+    stop = threading.Event()
+
+    def client() -> None:
+        conn = http.client.HTTPConnection(host, timeout=30)
+        local_viewport: list[float] = []
+        local_tile: list[float] = []
+        local_errors: list[str] = []
+        paths = [VIEWPORT_PATH]
+        if tile_path:
+            paths.append(tile_path)
+        go.wait()
+        index = 0
+        try:
+            while not stop.is_set():
+                path = paths[index % len(paths)]
+                index += 1
+                started = time.perf_counter()
+                try:
+                    conn.request("GET", path)
+                    response = conn.getresponse()
+                    body = response.read()
+                    status = response.status
+                except OSError as exc:
+                    local_errors.append(f"{path}: {exc!r}")
+                    conn.close()
+                    conn = http.client.HTTPConnection(host, timeout=30)
+                    continue
+                elapsed = (time.perf_counter() - started) * 1e3
+                if status != 200 or not body:
+                    local_errors.append(f"{path}: HTTP {status}")
+                elif path is VIEWPORT_PATH:
+                    local_viewport.append(elapsed)
+                else:
+                    local_tile.append(elapsed)
+        finally:
+            conn.close()
+        with lock:
+            viewport_ms.extend(local_viewport)
+            tile_ms.extend(local_tile)
+            errors.extend(local_errors)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    started = time.perf_counter()
+    go.set()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=60)
+    elapsed = time.perf_counter() - started
+
+    requests = len(viewport_ms) + len(tile_ms)
+
+    def quantiles(samples: list[float]) -> dict | None:
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        return {
+            "p50": round(statistics.median(ordered), 3),
+            "p99": round(ordered[int(0.99 * (len(ordered) - 1))], 3),
+        }
+
+    return {
+        "clients": clients,
+        "requests": requests,
+        "errors": len(errors),
+        "error_sample": errors[:3],
+        "req_per_s": round(requests / elapsed, 1),
+        "viewport_ms": quantiles(viewport_ms),
+        "tile_ms": quantiles(tile_ms),
+    }
+
+
+def run_levels(scenario: str, base: str, profile: dict,
+               tile_path: str | None) -> list[dict]:
+    rows = []
+    for clients in CLIENT_LEVELS:
+        row = {"scenario": scenario,
+               **hammer(base, clients, profile["duration"], tile_path)}
+        rows.append(row)
+        print(f"  {scenario:>19} x{clients:<3} "
+              f"{row['req_per_s']:>8,.0f} req/s  "
+              f"viewport p50 {row['viewport_ms']['p50']:.2f} ms "
+              f"p99 {row['viewport_ms']['p99']:.2f} ms"
+              + (f"  errors {row['errors']}" if row["errors"] else ""))
+    return rows
+
+
+def start_append_writer(base: str, profile: dict,
+                        stop: threading.Event) -> threading.Thread:
+    """Background writer POSTing appends at the leader until told to
+    stop — auto-compaction rides along via the server's policy."""
+    def writer() -> None:
+        count = 0
+        while not stop.is_set():
+            rows = [[116.30 + 0.0001 * ((count + i) % 900),
+                     39.90 + 0.0001 * ((count + i) % 900), 50.0]
+                    for i in range(profile["append_rows"])]
+            request = urllib.request.Request(
+                f"{base}/v1/append",
+                data=json.dumps({"table": "demo",
+                                 "rows": rows}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=60):
+                    pass
+            except OSError:
+                if stop.is_set():
+                    return
+                raise
+            count += profile["append_rows"]
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    return thread
+
+
+def stable_viewport(body: bytes) -> bytes:
+    """Viewport JSON minus ``elapsed_ms`` — the one per-request timing
+    field that legitimately differs between two servers."""
+    payload = json.loads(body)
+    payload.pop("elapsed_ms", None)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def check_consistency(leader_base: str, follower_base: str) -> dict:
+    """Blocking gates: the follower's answers ARE the leader's."""
+    _, leader_viewport = get_bytes(leader_base, VIEWPORT_PATH)
+    _, follower_viewport = get_bytes(follower_base, VIEWPORT_PATH)
+    viewport_ok = (stable_viewport(leader_viewport)
+                   == stable_viewport(follower_viewport))
+    tile_path = resolve_tile_path(leader_base)
+    leader_tile = get_bytes(leader_base, tile_path)
+    follower_tile = get_bytes(follower_base, tile_path)
+    tile_ok = (leader_tile == follower_tile
+               and leader_tile[0] == 200)
+    return {
+        "viewport_identical_modulo_elapsed_ms": viewport_ok,
+        "tile_bytes_identical": tile_ok,
+    }
+
+
+def follower_storm(leader_base: str, follower_base: str,
+                   profile: dict) -> dict:
+    """The never-errors gate: hammer the follower's viewport while the
+    leader appends (and auto-compacts); every answer must be 200."""
+    stop = threading.Event()
+    writer = start_append_writer(leader_base, profile, stop)
+    try:
+        row = hammer(follower_base, 8, profile["storm_seconds"],
+                     tile_path=None)
+    finally:
+        stop.set()
+        writer.join(timeout=60)
+    # After the dust settles the follower must converge on the
+    # leader's final version.
+    deadline = time.monotonic() + 10
+    converged = False
+    while time.monotonic() < deadline and not converged:
+        _, leader_body = get_bytes(leader_base, VIEWPORT_PATH)
+        _, follower_body = get_bytes(follower_base, VIEWPORT_PATH)
+        converged = (stable_viewport(leader_body)
+                     == stable_viewport(follower_body))
+        if not converged:
+            time.sleep(0.2)
+    return {
+        "requests": row["requests"],
+        "errors": row["errors"],
+        "error_sample": row["error_sample"],
+        "zero_errors": row["errors"] == 0 and row["requests"] > 0,
+        "converged_after_storm": converged,
+    }
+
+
+def workers_gate(rows: list[dict], workers: int, cpus: int) -> dict:
+    """The honest throughput gate (``PARALLEL_SPEEDUP_GATES``
+    discipline): evaluated only where the cores exist, recorded as a
+    skip with a reason everywhere else."""
+    single = next(r for r in rows if r["scenario"] == "single"
+                  and r["clients"] == max(CLIENT_LEVELS))
+    forked = next(r for r in rows if r["scenario"] == "workers"
+                  and r["clients"] == max(CLIENT_LEVELS))
+    speedup = (forked["req_per_s"] / single["req_per_s"]
+               if single["req_per_s"] else 0.0)
+    gate = {
+        "clients": max(CLIENT_LEVELS),
+        "workers": workers,
+        "host_cpus": cpus,
+        "gate": WORKERS_SPEEDUP_GATE,
+        "speedup": round(speedup, 2),
+    }
+    if cpus < MIN_GATE_CPUS:
+        gate["skipped"] = True
+        gate["reason"] = (f"host_cpus={cpus} < {MIN_GATE_CPUS}: "
+                          "multi-core gate skipped, not passed")
+    else:
+        gate["skipped"] = False
+        gate["passed"] = speedup >= WORKERS_SPEEDUP_GATE
+    return gate
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized profile")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds of load per (scenario, level)")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="interchange JSON file to merge into")
+    args = parser.parse_args(argv)
+
+    profile = dict(QUICK if args.quick else FULL)
+    if args.rows is not None:
+        profile["rows"] = args.rows
+    if args.duration is not None:
+        profile["duration"] = args.duration
+    if args.workers is not None:
+        profile["workers"] = args.workers
+
+    provenance = collect_provenance(started_unix=time.time())
+    cpus = host_cpus()
+    rows: list[dict] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-conc-bench-") as tmp:
+        root = Path(tmp)
+        build_workspace(root, profile["rows"])
+        workspace = str(root / "ws")
+
+        print(f"single process ({profile['duration']:.1f}s per level)")
+        server = ServeProc(["--workspace", workspace])
+        try:
+            tile_path = resolve_tile_path(server.base)
+            rows += run_levels("single", server.base, profile, tile_path)
+
+            print("leader under append")
+            stop = threading.Event()
+            writer = start_append_writer(server.base, profile, stop)
+            try:
+                rows += run_levels("leader_under_append", server.base,
+                                   profile, tile_path=None)
+            finally:
+                stop.set()
+                writer.join(timeout=60)
+        finally:
+            server.stop()
+
+        print(f"supervisor, --workers {profile['workers']}")
+        server = ServeProc(["--workspace", workspace,
+                            "--workers", str(profile["workers"])])
+        try:
+            tile_path = resolve_tile_path(server.base)
+            rows += run_levels("workers", server.base, profile,
+                               tile_path)
+        finally:
+            server.stop()
+
+        print("leader + follower replica")
+        leader = ServeProc(["--workspace", workspace])
+        follower = ServeProc(["--follow", workspace,
+                              "--poll-interval", "0.05"])
+        try:
+            consistency = check_consistency(leader.base, follower.base)
+            tile_path = resolve_tile_path(follower.base)
+            rows += run_levels("follower", follower.base, profile,
+                               tile_path)
+            print("follower under leader append storm")
+            storm = follower_storm(leader.base, follower.base, profile)
+            print(f"  {storm['requests']} follower requests during "
+                  f"storm, {storm['errors']} errors, converged="
+                  f"{storm['converged_after_storm']}")
+        finally:
+            follower.stop()
+            leader.stop()
+
+    gate = workers_gate(rows, profile["workers"], cpus)
+    if gate["skipped"]:
+        print(f"workers speedup gate: SKIPPED — {gate['reason']} "
+              f"(measured {gate['speedup']:.2f}x)")
+    else:
+        verdict = "PASS" if gate["passed"] else "FAIL"
+        print(f"workers speedup gate: {verdict} — "
+              f"{gate['speedup']:.2f}x vs gate "
+              f"{WORKERS_SPEEDUP_GATE:.1f}x on {cpus} CPUs")
+
+    consistency_gates = {
+        **consistency,
+        "follower_under_append": storm,
+    }
+    failures = []
+    if not consistency["viewport_identical_modulo_elapsed_ms"]:
+        failures.append("follower viewport body diverged from leader")
+    if not consistency["tile_bytes_identical"]:
+        failures.append("follower tile bytes diverged from leader")
+    if not storm["zero_errors"]:
+        failures.append(
+            f"follower errored under leader appends: "
+            f"{storm['error_sample']}")
+    if not storm["converged_after_storm"]:
+        failures.append("follower never converged after append storm")
+    if not gate["skipped"] and not gate["passed"]:
+        failures.append(
+            f"--workers {profile['workers']} speedup "
+            f"{gate['speedup']:.2f}x under gate "
+            f"{WORKERS_SPEEDUP_GATE:.1f}x on {cpus} CPUs")
+
+    block = {
+        "provenance": provenance,
+        "config": {**profile, "quick": bool(args.quick),
+                   "client_levels": list(CLIENT_LEVELS), "seed": 0},
+        "rows": rows,
+        "gates": {
+            "consistency": consistency_gates,
+            "workers_speedup": gate,
+        },
+        "finished_unix": time.time(),
+    }
+
+    if args.out:
+        out = Path(args.out)
+        payload = {}
+        if out.is_file():
+            try:
+                payload = json.loads(out.read_text())
+            except json.JSONDecodeError:
+                payload = {}
+        payload["concurrency"] = block
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"merged concurrency block into {out}")
+
+    for failure in failures:
+        print(f"!! {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -318,8 +318,25 @@ def cmd_tile(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    service = VasService(Workspace(args.workspace, create=False))
-    http_serve(service, host=args.host, port=args.port,
+    if (args.workspace is None) == (args.follow is None):
+        print("serve needs exactly one of --workspace (leader) or "
+              "--follow LEADER_DIR (read-only replica)", file=sys.stderr)
+        return 2
+
+    def make_service() -> VasService:
+        if args.follow is not None:
+            from .service.follower import FollowerWorkspace
+
+            return VasService(FollowerWorkspace(
+                args.follow, poll_interval=args.poll_interval))
+        return VasService(Workspace(args.workspace, create=False))
+
+    if args.workers > 1:
+        from .service.supervisor import serve_forked
+
+        return serve_forked(make_service, host=args.host, port=args.port,
+                            workers=args.workers, verbose=args.verbose)
+    http_serve(make_service(), host=args.host, port=args.port,
                verbose=args.verbose)
     return 0
 
@@ -466,7 +483,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve",
                        help="serve a workspace over HTTP (long-lived)")
-    p.add_argument("--workspace", required=True)
+    p.add_argument("--workspace", default=None,
+                   help="serve this workspace as the (writable) leader")
+    p.add_argument("--follow", default=None, metavar="LEADER_DIR",
+                   help="serve as a read-only follower replica of the "
+                        "leader workspace at LEADER_DIR (shared disk): "
+                        "reads poll the leader's journal, mutations "
+                        "answer 503 read_only")
+    p.add_argument("--poll-interval", type=float, default=1.0,
+                   help="follower staleness bound in seconds "
+                        "(default: 1.0; 0 re-polls on every read)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="serving processes sharing one listen socket "
+                        "(default: 1 = no supervisor)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8000)
     p.add_argument("--verbose", action="store_true",

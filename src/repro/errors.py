@@ -61,6 +61,19 @@ class SampleNotFoundError(StorageError):
     """No pre-built sample satisfies the requested constraints."""
 
 
+class ReadOnlyError(StorageError):
+    """A mutation was attempted on a read-only (follower) workspace."""
+
+    def __init__(self, operation: str, leader: str) -> None:
+        self.operation = operation
+        self.leader = leader
+        super().__init__(
+            f"{operation} is not available on a follower replica; this "
+            f"process serves reads only. Mutate the leader workspace at "
+            f"{leader} instead."
+        )
+
+
 class IndexError_(ReproError):
     """Base class for spatial-index errors (named to avoid shadowing)."""
 

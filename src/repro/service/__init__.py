@@ -32,13 +32,16 @@ from .service import (
     VasService,
     service_error_info,
 )
+from .follower import FollowerWorkspace
 from .http import ROUTES, make_server, openapi_document, serve
+from .supervisor import serve_forked
 from .workspace import Workspace
 
 __all__ = [
     "BuildOutcome",
     "CompactionPolicy",
     "ERROR_STATUS",
+    "FollowerWorkspace",
     "MaintenancePolicy",
     "ROUTES",
     "VasService",
@@ -46,5 +49,6 @@ __all__ = [
     "make_server",
     "openapi_document",
     "serve",
+    "serve_forked",
     "service_error_info",
 ]

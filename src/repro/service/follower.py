@@ -1,0 +1,219 @@
+"""Journal-shipping follower replicas: read-only scale-out over shared disk.
+
+The PR 5 storage layer already did the hard part of replication
+without meaning to:
+
+* every append is one durable line in ``journal.jsonl``, written
+  *after* its segment files — so a reader that tails the journal
+  (:func:`~repro.storage.persist.load_table_manifest` folds it in)
+  always sees a version whose data is on disk;
+* every built artifact is immutable and content-addressed under
+  ``cache/`` — a follower can serve a tile or sample rung it found in
+  a scan forever, with zero coordination;
+* manifests are replaced atomically (tmp + ``os.replace``), so a
+  compaction on the leader never exposes a torn manifest.
+
+:class:`FollowerWorkspace` therefore *is* the replica: it opens the
+leader's directory read-only and re-polls the per-table fingerprints
+(manifest stat + journal size) at most every ``poll_interval``
+seconds, dropping its memoised history/hash/column/decoded-table
+entries for any table that moved.  Between polls it serves the old
+version; after a poll it serves the new one — the same old-or-new
+contract an in-process reader gets from the epoch guard, enforced
+here by content-hash-keyed caches that simply never mix versions.
+
+Mutations raise :class:`~repro.errors.ReadOnlyError` naming the
+leader; the HTTP layer maps that to the stable ``read_only`` error
+code (503).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from ..errors import ConfigurationError, ReadOnlyError, StorageError
+from ..storage.persist import JOURNAL_NAME, load_table_manifest
+from .workspace import Workspace
+
+__all__ = ["FollowerWorkspace"]
+
+
+class FollowerWorkspace(Workspace):
+    """A read-only :class:`Workspace` tailing a leader's directory.
+
+    ``poll_interval`` bounds staleness: each read path checks the
+    cheap per-table fingerprints at most once per interval (``0``
+    re-checks on every read — handy in tests).  :meth:`refresh`
+    forces a re-poll; the service's retry loops call it through
+    :meth:`reader_refresh` when a racing leader prune invalidates a
+    resolved artifact mid-read.
+    """
+
+    read_only = True
+
+    def __init__(self, leader_root: str | Path,
+                 poll_interval: float = 1.0) -> None:
+        interval = float(poll_interval)
+        if interval < 0:
+            raise ConfigurationError(
+                f"poll_interval must be >= 0, got {poll_interval}")
+        # Resolve before opening: ReadOnlyError messages name this
+        # root, and a relative "ws" means nothing to a remote client.
+        super().__init__(Path(leader_root).resolve(), create=False)
+        self.poll_interval = interval
+        self._refresh_lock = threading.Lock()
+        # name -> (manifest mtime_ns, manifest size, journal size);
+        # journal size -1 means "no journal file".
+        self._fingerprints: dict[str, tuple[int, int, int]] = {}
+        # name -> table version as of the last fingerprint sweep —
+        # what "the version this follower serves" means before any
+        # read has memoised a history (lag() reads this).
+        self._synced_versions: dict[str, int] = {}
+        self._checked_monotonic = float("-inf")
+        self._refreshed_unix = time.time()
+        self.refresh()
+
+    # -- polling -----------------------------------------------------------
+    def _fingerprint(self, name: str) -> tuple[int, int, int] | None:
+        table_dir = self._tables_dir / name
+        try:
+            manifest = (table_dir / "manifest.json").stat()
+        except OSError:
+            return None
+        try:
+            journal_size = (table_dir / JOURNAL_NAME).stat().st_size
+        except OSError:
+            journal_size = -1
+        return (manifest.st_mtime_ns, manifest.st_size, journal_size)
+
+    def _disk_table_names(self) -> set[str]:
+        if not self._tables_dir.is_dir():
+            return set()
+        return {p.name for p in self._tables_dir.iterdir()
+                if (p / "manifest.json").is_file()}
+
+    def refresh(self) -> list[str]:
+        """Force a fingerprint re-poll; the names whose state changed.
+
+        For each changed (or dropped) table every memoised view —
+        version history, content hash, column metadata, the decoded
+        table — is evicted, so the next read re-reads
+        ``manifest ⊕ journal`` from the leader's disk.  Build
+        manifests need no eviction: :meth:`~Workspace.builds` scans
+        ``cache/`` fresh on every call, gated by the (now fresh)
+        version history.
+        """
+        with self._refresh_lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> list[str]:
+        changed = []
+        disk_names = self._disk_table_names()
+        for name in disk_names:
+            fingerprint = self._fingerprint(name)
+            if self._fingerprints.get(name) == fingerprint:
+                continue
+            self._fingerprints[name] = fingerprint
+            changed.append(name)
+        for name in set(self._fingerprints) - disk_names:
+            del self._fingerprints[name]
+            self._synced_versions.pop(name, None)
+            changed.append(name)
+        for name in changed:
+            self._tables.pop(name, None)
+            self._hashes.pop(name, None)
+            self._columns.pop(name, None)
+            self._versions.pop(name, None)
+            if name in disk_names:
+                try:
+                    manifest = load_table_manifest(self._tables_dir / name)
+                except StorageError:
+                    continue
+                self._synced_versions[name] = int(
+                    manifest.get("version", 0))
+        self._checked_monotonic = time.monotonic()
+        self._refreshed_unix = time.time()
+        return changed
+
+    def maybe_refresh(self) -> None:
+        """Re-poll if the interval elapsed; never block behind a
+        refresh another thread is already running."""
+        if time.monotonic() - self._checked_monotonic < self.poll_interval:
+            return
+        if self._refresh_lock.acquire(blocking=False):
+            try:
+                self._refresh_locked()
+            finally:
+                self._refresh_lock.release()
+
+    def reader_refresh(self) -> None:
+        self.refresh()
+
+    def lag(self) -> dict:
+        """``{"versions", "seconds"}`` behind the leader's disk state.
+
+        ``versions`` compares the memoised history against a *fresh*
+        ``manifest ⊕ journal`` read per table (this is a health-check
+        path, not a hot path); ``seconds`` is the age of the last
+        fingerprint sweep — a load balancer alarms when it stops
+        tracking ``poll_interval``.
+        """
+        versions = 0
+        for name in self._disk_table_names():
+            try:
+                manifest = load_table_manifest(self._tables_dir / name)
+            except StorageError:
+                continue
+            disk_version = int(manifest.get("version", 0))
+            served_version = self._synced_versions.get(name)
+            history = self._versions.get(name)
+            if history:
+                # A read since the sweep memoised a fresher history.
+                served_version = max(served_version or 0,
+                                     int(history[-1]["version"]))
+            if served_version is None:
+                served_version = disk_version
+            versions = max(versions, disk_version - served_version)
+        seconds = max(0.0, time.time() - self._refreshed_unix)
+        return {"versions": versions, "seconds": round(seconds, 3)}
+
+    # -- read paths: poll, then behave like any workspace ------------------
+    def table(self, name: str):
+        self.maybe_refresh()
+        return super().table(name)
+
+    def table_hash(self, name: str) -> str:
+        self.maybe_refresh()
+        return super().table_hash(name)
+
+    def table_columns(self, name: str):
+        self.maybe_refresh()
+        return super().table_columns(name)
+
+    def table_info(self, name: str):
+        self.maybe_refresh()
+        return super().table_info(name)
+
+    def table_summary(self, name: str):
+        self.maybe_refresh()
+        return super().table_summary(name)
+
+    def version_history(self, name: str):
+        self.maybe_refresh()
+        return super().version_history(name)
+
+    def builds(self, kind: str | None = None, table: str | None = None):
+        self.maybe_refresh()
+        return super().builds(kind=kind, table=table)
+
+    # -- mutations: always refused -----------------------------------------
+    def add_table(self, table, replace: bool = False) -> str:
+        raise ReadOnlyError("ingest", str(self.root))
+
+    def append_rows(self, name: str, arrays) -> dict:
+        raise ReadOnlyError("append", str(self.root))
+
+    def compact_table(self, name: str, keep_hashes=None) -> dict:
+        raise ReadOnlyError("compact", str(self.root))

@@ -77,6 +77,12 @@ from urllib.parse import parse_qs, urlparse
 
 from ..errors import ReproError
 from ..storage.zoom import encode_tile, tile_to_json
+
+#: One shared compact encoder for every JSON body.  ``json.dumps``
+#: defaults put a space after each separator — pure wire overhead on a
+#: hot path whose whole budget is ~1 ms — and building a fresh encoder
+#: per request is avoidable work.
+_ENCODER = json.JSONEncoder(separators=(",", ":"))
 from .service import ERROR_STATUS, VasService, service_error_info
 
 
@@ -159,7 +165,9 @@ _QUERY_ERRORS = ("bad_request", "schema_error", "unknown_table",
                  "not_built")
 
 ROUTES: tuple[Route, ...] = (
-    Route("GET", "/v1/healthz", "_get_healthz", "liveness probe",
+    Route("GET", "/v1/healthz", "_get_healthz",
+          "liveness probe + replication role: {ok, role: leader|"
+          "follower, workers, follower_lag: {versions, seconds}}",
           legacy=("/healthz",)),
     Route("GET", "/v1/workspace", "_get_workspace",
           "workspace + cache summary", legacy=("/workspace", "/")),
@@ -230,7 +238,8 @@ ROUTES: tuple[Route, ...] = (
     Route("POST", "/v1/build", "_post_build",
           "build-or-reuse a ladder / sample / splom artifact",
           legacy=("/build",),
-          errors=("bad_request", "schema_error", "unknown_table"),
+          errors=("bad_request", "schema_error", "unknown_table",
+                  "read_only"),
           request_body={
               "type": "object",
               "required": ["table"],
@@ -254,7 +263,8 @@ ROUTES: tuple[Route, ...] = (
           "append rows to a live table (artifacts advance "
           "incrementally — no build)",
           legacy=("/append",),
-          errors=("bad_request", "schema_error", "unknown_table"),
+          errors=("bad_request", "schema_error", "unknown_table",
+                  "read_only"),
           request_body={
               "type": "object",
               "required": ["table"],
@@ -269,7 +279,7 @@ ROUTES: tuple[Route, ...] = (
     Route("POST", "/v1/compact", "_post_compact",
           "fold delta segments into checkpoints + GC the cache",
           legacy=("/compact",),
-          errors=("unknown_table",),
+          errors=("unknown_table", "read_only"),
           request_body={
               "type": "object",
               "properties": {"table": {"type": "string"}},
@@ -439,10 +449,17 @@ class VasRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    #: Headers and body go out as separate writes; with Nagle on, the
+    #: body segment waits for the client's delayed ACK (~40 ms) on
+    #: every keep-alive request.  TCP_NODELAY removes the floor.
+    disable_nagle_algorithm = True
 
     # Set by make_server().
     service: VasService = None  # type: ignore[assignment]
     verbose: bool = False
+    #: How many serving processes share this listen socket — 1 for a
+    #: plain ``repro serve``, N under the ``--workers N`` supervisor.
+    workers: int = 1
 
     # -- plumbing ----------------------------------------------------------
     def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
@@ -454,7 +471,7 @@ class VasRequestHandler(BaseHTTPRequestHandler):
         if response.body is not None:
             body = response.body
         elif response.payload is not None:
-            body = json.dumps(response.payload).encode()
+            body = _ENCODER.encode(response.payload).encode()
         else:
             body = b""
         self.send_response(response.status)
@@ -514,13 +531,43 @@ class VasRequestHandler(BaseHTTPRequestHandler):
                        deprecated=deprecated)
 
     def _get_healthz(self, params, path_params) -> tuple[dict, int]:
-        return {"ok": True}, 200
+        payload = {"ok": True, "role": self.service.role,
+                   "workers": self.workers}
+        lag = self.service.follower_lag()
+        if lag is not None:
+            payload["follower_lag"] = lag
+        return payload, 200
 
     def _get_workspace(self, params, path_params) -> tuple[dict, int]:
         return self.service.info(), 200
 
-    def _get_tables(self, params, path_params) -> tuple[dict, int]:
-        return {"tables": self.service.tables()}, 200
+    @staticmethod
+    def _tables_memo_key(tables: list[dict]) -> tuple:
+        """Everything that can change the ``/v1/tables`` body.
+
+        The summary fields are functions of (content hash, version,
+        storage stats) and the staleness block is a function of (hash,
+        artifact set, per-artifact lag) — so this tuple changing is
+        exactly the body changing, and comparing it is far cheaper
+        than re-encoding a many-table payload per poll."""
+        return tuple(
+            (t["name"], t["content_hash"], t["version"], t["rows"],
+             tuple(sorted(t.get("storage", {}).items())),
+             tuple((a["key"], a["stale_rows"], a["needs_rebuild"])
+                   for a in t["staleness"]["detail"]))
+            for t in tables
+        )
+
+    def _get_tables(self, params, path_params) -> Response:
+        tables = self.service.tables()
+        key = self._tables_memo_key(tables)
+        memo = getattr(self.server, "tables_body_memo", None)
+        if memo is not None and memo[0] == key:
+            body = memo[1]
+        else:
+            body = _ENCODER.encode({"tables": tables}).encode()
+            self.server.tables_body_memo = (key, body)
+        return Response(body=body)
 
     def _get_openapi(self, params, path_params) -> tuple[dict, int]:
         return openapi_document(), 200
@@ -817,6 +864,11 @@ class GracefulHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = False
     block_on_close = True
+    #: The socketserver default backlog (5) drops SYNs when a burst of
+    #: clients connects at once; the kernel retransmits at 1/3/9/27 s,
+    #: which reads as multi-second p99s.  Match the supervisor's
+    #: shared-socket ``listen(128)``.
+    request_queue_size = 128
 
 
 def install_graceful_shutdown(server: ThreadingHTTPServer) -> dict:
@@ -850,13 +902,40 @@ def install_graceful_shutdown(server: ThreadingHTTPServer) -> dict:
     return state
 
 
+def _bound_handler(service: VasService, verbose: bool,
+                   workers: int) -> type:
+    return type("BoundVasRequestHandler", (VasRequestHandler,),
+                {"service": service, "verbose": verbose,
+                 "workers": workers, "timeout": 30})
+
+
 def make_server(service: VasService, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ThreadingHTTPServer:
+                port: int = 0, verbose: bool = False,
+                workers: int = 1) -> ThreadingHTTPServer:
     """A ready-to-run server bound to ``host:port`` (0 = ephemeral)."""
-    handler = type("BoundVasRequestHandler", (VasRequestHandler,),
-                   {"service": service, "verbose": verbose,
-                    "timeout": 30})
-    return GracefulHTTPServer((host, port), handler)
+    return GracefulHTTPServer((host, port),
+                              _bound_handler(service, verbose, workers))
+
+
+def adopt_socket_server(service: VasService, sock,
+                        verbose: bool = False,
+                        workers: int = 1) -> ThreadingHTTPServer:
+    """A server over an already-bound, already-listening socket.
+
+    The ``--workers N`` supervisor binds once and forks; each worker
+    wraps the inherited socket here instead of binding again, so all
+    workers share one accept queue and the kernel load-balances
+    connections across them.
+    """
+    host, port = sock.getsockname()[:2]
+    server = GracefulHTTPServer((host, port),
+                                _bound_handler(service, verbose, workers),
+                                bind_and_activate=False)
+    server.socket.close()  # the unbound placeholder TCPServer made
+    server.socket = sock
+    server.server_name = host
+    server.server_port = port
+    return server
 
 
 def serve(service: VasService, host: str = "127.0.0.1", port: int = 8000,

@@ -288,6 +288,24 @@ class VasService:
         # invalidation pass and pin stale data under the new hash.
         self._mutations = 0
 
+    # -- replication role --------------------------------------------------
+
+    @property
+    def role(self) -> str:
+        """``"leader"`` or ``"follower"`` — who owns the journal."""
+        return "follower" if self.workspace.read_only else "leader"
+
+    def follower_lag(self) -> dict | None:
+        """``{"versions", "seconds"}`` behind the leader, or ``None``
+        when this process *is* the leader."""
+        return self.workspace.lag()
+
+    def _check_writable(self, operation: str) -> None:
+        if self.workspace.read_only:
+            from ..errors import ReadOnlyError
+
+            raise ReadOnlyError(operation, str(self.workspace.root))
+
     def _mutating(self):
         service = self
 
@@ -306,6 +324,17 @@ class VasService:
 
     def _read_token(self) -> int:
         return self._mutations
+
+    def _read_attempts(self) -> int:
+        """Retry budget for the lookup-decode read paths.
+
+        In-process readers race their own mutator under the epoch
+        guard: one fresh scan after a failure is enough, because the
+        successor of a pruned entry is durably written before the
+        prune.  A follower races a *separate* leader process through
+        the filesystem, where each retry must also re-sync the polled
+        view — give it two extra rounds to cross a fast append train."""
+        return 4 if self.workspace.read_only else 2
 
     def _publishable(self, token: int) -> bool:
         """May a derived cache entry assembled since ``token`` be
@@ -370,6 +399,7 @@ class VasService:
         as forgiving as the pre-workspace loader, which only ever
         skipped the header row.
         """
+        self._check_writable("ingest")
         csv_path = Path(path)
         names, data = self._read_csv(csv_path, strict_header)
         table_name = validate_table_name(name or csv_path.stem)
@@ -433,6 +463,7 @@ class VasService:
         a valid cache hit for any other.  The engine that actually ran
         is recorded in the manifest for provenance.
         """
+        self._check_writable("build")
         with self._mutating():
             x, y = self._resolve_xy(table_name, x, y)
             params = {"x": x, "y": y, "method": method, "k": int(k),
@@ -477,6 +508,7 @@ class VasService:
                      k_per_tile: int = DEFAULT_K_PER_TILE,
                      seed: int = 0) -> BuildOutcome:
         """Build-or-reuse one multi-resolution zoom ladder."""
+        self._check_writable("build")
         with self._mutating():
             x, y = self._resolve_xy(table_name, x, y)
             params = {"x": x, "y": y, "levels": int(levels),
@@ -551,6 +583,7 @@ class VasService:
         their method) cannot advance keep serving at their recorded
         version, with the staleness reported in the returned payload.
         """
+        self._check_writable("append")
         with self._mutating():
             arrays = self._normalize_rows(table_name, rows)
             info = self.workspace.append_rows(table_name, arrays)
@@ -768,6 +801,7 @@ class VasService:
         them.  Content hashes never change, so every surviving
         artifact keeps serving under its existing key.
         """
+        self._check_writable("compact")
         with self._mutating():
             if not self.workspace.has_table(table_name):
                 from ..errors import TableNotFoundError
@@ -986,15 +1020,22 @@ class VasService:
     def _ladder_for_resolved(self, table_name: str, x: str,
                              y: str) -> ZoomLadder:
         """:meth:`ladder_for` with the column pair already resolved."""
-        memo_key = (table_name, x, y,
-                    self.workspace.table_hash(table_name))
-        for attempt in (0, 1):
+        attempts = self._read_attempts()
+        for attempt in range(attempts):
+            memo_key = (table_name, x, y,
+                        self.workspace.table_hash(table_name))
             token = self._read_token()
             key = self._lru_get(self._ladder_keys, memo_key)
             if key is None:
                 candidates = self._servable_builds("ladder", table_name,
                                                    x, y)
                 if not candidates:
+                    # A follower's stale history can briefly gate out
+                    # every on-disk build mid-prune; re-sync and look
+                    # again before declaring nothing built.
+                    if self.workspace.read_only and attempt < attempts - 1:
+                        self.workspace.reader_refresh()
+                        continue
                     raise SampleNotFoundError(
                         f"no zoom ladder built for {table_name}.({x}, "
                         f"{y}) at its current contents; run repro "
@@ -1007,11 +1048,12 @@ class VasService:
                 return self._decoded_ladder(key)
             except (ReproError, OSError):
                 # A concurrent append pruned the entry this (stale)
-                # memo pointed at; forget it and re-resolve once.
-                if attempt:
+                # memo pointed at; forget it and re-resolve.
+                if attempt == attempts - 1:
                     raise
                 with self._cache_lock:
                     self._ladder_keys.drop(memo_key)
+                self.workspace.reader_refresh()
         raise AssertionError("unreachable")  # pragma: no cover
 
     def ladder_for(self, table_name: str, x: str | None = None,
@@ -1046,7 +1088,8 @@ class VasService:
         # current-hash memo in _ladder_for_resolved; positions 0 and 3
         # (table, hash) still line up with the invalidation sweeps.
         memo_key = (table_name, x, y, version_hash, "pinned")
-        for attempt in (0, 1):
+        attempts = self._read_attempts()
+        for attempt in range(attempts):
             token = self._read_token()
             key = self._lru_get(self._ladder_keys, memo_key)
             if key is None:
@@ -1059,6 +1102,9 @@ class VasService:
                     and m["params"].get("y") == y
                 ]
                 if not matches:
+                    if self.workspace.read_only and attempt < attempts - 1:
+                        self.workspace.reader_refresh()
+                        continue
                     raise SampleNotFoundError(
                         f"no zoom ladder for {table_name}.({x}, {y}) at "
                         f"version hash {version_hash[:12]}; run repro "
@@ -1072,11 +1118,12 @@ class VasService:
                 return self._decoded_ladder(key)
             except (ReproError, OSError):
                 # A concurrent append pruned the entry this (stale)
-                # memo pointed at; forget it and re-resolve once.
-                if attempt:
+                # memo pointed at; forget it and re-resolve.
+                if attempt == attempts - 1:
                     raise
                 with self._cache_lock:
                     self._ladder_keys.drop(memo_key)
+                self.workspace.reader_refresh()
         raise AssertionError("unreachable")  # pragma: no cover
 
     def tile_query(self, table_name: str, level: int, tile_x: int,
@@ -1092,17 +1139,38 @@ class VasService:
         lock, and never a build.  Returns ``(tile, version_hash)``.
         """
         x, y = self._resolve_xy(table_name, x, y)
-        if version_hash is None:
+        if version_hash is not None:
+            ladder = self._ladder_at_hash(table_name, x, y, version_hash)
+            return (extract_tile(ladder, int(level), int(tile_x),
+                                 int(tile_y)),
+                    version_hash)
+        # Unpinned: resolve the newest servable hash, then pin to it.
+        # The resolved hash itself can go stale under a racing leader
+        # (its hop pruned once two successors land), so a failed pin
+        # re-resolves from scratch instead of retrying a dead hash.
+        attempts = self._read_attempts()
+        for attempt in range(attempts):
             candidates = self._servable_builds("ladder", table_name, x, y)
             if not candidates:
+                if self.workspace.read_only and attempt < attempts - 1:
+                    self.workspace.reader_refresh()
+                    continue
                 raise SampleNotFoundError(
                     f"no zoom ladder built for {table_name}.({x}, {y}); "
                     "run repro zoom-build / POST /v1/build first"
                 )
-            version_hash = candidates[-1]["content_hash"]
-        ladder = self._ladder_at_hash(table_name, x, y, version_hash)
-        return (extract_tile(ladder, int(level), int(tile_x), int(tile_y)),
-                version_hash)
+            resolved = candidates[-1]["content_hash"]
+            try:
+                ladder = self._ladder_at_hash(table_name, x, y, resolved)
+            except (ReproError, OSError):
+                if attempt == attempts - 1:
+                    raise
+                self.workspace.reader_refresh()
+                continue
+            return (extract_tile(ladder, int(level), int(tile_x),
+                                 int(tile_y)),
+                    resolved)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def viewport(self, table_name: str, bbox: tuple[float, float, float, float],
                  x: str | None = None, y: str | None = None,
@@ -1141,7 +1209,7 @@ class VasService:
         cached = self._lru_get(self._stores, cache_key)
         if cached is not None:
             return cached
-        for attempt in (0, 1):
+        for attempt in range(self._read_attempts()):
             token = self._read_token()
             store = SampleStore()
             complete = True
@@ -1154,9 +1222,11 @@ class VasService:
                     # A concurrent append pruned this entry between the
                     # manifest scan and the payload read.  Its successor
                     # was durably written *before* the prune, so one
-                    # fresh scan must see it — retry, and never cache
-                    # an assembly that lost a rung.
+                    # fresh scan must see it — retry (re-syncing a
+                    # follower's view first), and never cache an
+                    # assembly that lost a rung.
                     complete = False
+                    self.workspace.reader_refresh()
                     break
                 store.add(table_name, x, y, result)
             if complete:
@@ -1255,6 +1325,7 @@ class VasService:
         ``(a, b)`` share the same cache entry, and re-running the
         SPLOM build is all hits.
         """
+        self._check_writable("build")
         names = self._splom_columns(table_name, cols)
         pairs = []
         for i in range(len(names)):
@@ -1434,14 +1505,17 @@ ERROR_STATUS = {
     "not_built": 404,
     "unknown_endpoint": 404,
     "internal": 500,
+    "read_only": 503,
 }
 
 
 def service_error_info(exc: Exception) -> tuple[str, int]:
     """``(stable error code, HTTP status)`` for a service-layer error."""
-    from ..errors import TableNotFoundError
+    from ..errors import ReadOnlyError, TableNotFoundError
 
-    if isinstance(exc, TableNotFoundError):
+    if isinstance(exc, ReadOnlyError):
+        code = "read_only"
+    elif isinstance(exc, TableNotFoundError):
         code = "unknown_table"
     elif isinstance(exc, SampleNotFoundError):
         code = "not_built"

@@ -1,0 +1,176 @@
+"""``repro serve --workers N``: one listen socket, N serving processes.
+
+A single :class:`~repro.service.http.GracefulHTTPServer` is
+thread-per-request but GIL-bound: ~1 ms cache reads serialise on JSON
+encoding and tile slicing, so one process tops out near one core no
+matter how many clients connect.  The supervisor here is the smallest
+thing that scales that out on one host:
+
+* bind the listen socket **once** in the parent, then ``fork()`` N
+  workers that inherit it — all workers share one kernel accept queue,
+  so crashed or busy workers never strand connections and no port
+  juggling or proxy is involved;
+* each worker is a *full* read-serving process (its own
+  :class:`~repro.service.service.VasService`, caches, GIL), built by a
+  ``make_service`` factory called **after** the fork so nothing decoded
+  is ever shared or copy-on-write-bloated;
+* the supervisor restarts crashed workers under a restart budget, and
+  fans SIGTERM/SIGINT out so every worker drains its in-flight
+  requests before the parent exits 0 — the same graceful contract as
+  single-process ``repro serve``.
+
+Leaders and followers both run under it: workers only coordinate
+through the workspace directory, exactly like separate processes on a
+shared disk (which is what they are).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+
+from ..errors import ConfigurationError
+from .http import adopt_socket_server, install_graceful_shutdown
+
+__all__ = ["serve_forked", "DEFAULT_RESTART_BUDGET"]
+
+#: Lifetime cap on worker restarts: enough to ride out sporadic
+#: crashes, small enough that a worker dying in a loop (bad workspace,
+#: OOM) turns into a visible supervisor exit instead of a busy-loop.
+DEFAULT_RESTART_BUDGET = 16
+
+
+def _describe_exit(status: int) -> str:
+    if os.WIFSIGNALED(status):
+        try:
+            name = signal.Signals(os.WTERMSIG(status)).name
+        except ValueError:
+            name = f"signal {os.WTERMSIG(status)}"
+        return f"killed by {name}"
+    if os.WIFEXITED(status):
+        return f"exit status {os.WEXITSTATUS(status)}"
+    return f"wait status {status}"
+
+
+def _worker_main(make_service, sock, index: int, workers: int,
+                 verbose: bool) -> int:
+    """Everything a worker does between fork and ``os._exit``."""
+    # Drop the inherited supervisor handlers (they forward signals to
+    # the worker pool — a worker must never do that) before installing
+    # this process's own graceful shutdown.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    service = make_service()
+    server = adopt_socket_server(service, sock, verbose=verbose,
+                                 workers=workers)
+    state = install_graceful_shutdown(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        received = state.get("signal")
+        name = (signal.Signals(received).name if received
+                else "interrupt")
+        print(f"repro serve: worker {index} {name} received — drained, "
+              "bye")
+    return 0
+
+
+def serve_forked(make_service, host: str = "127.0.0.1", port: int = 8000,
+                 workers: int = 2, verbose: bool = False,
+                 restart_budget: int = DEFAULT_RESTART_BUDGET) -> int:
+    """Run ``workers`` forked serving processes on one bound socket.
+
+    ``make_service`` is a zero-argument factory returning a fresh
+    :class:`~repro.service.service.VasService`; it runs inside each
+    worker after the fork.  Returns the supervisor's exit code: 0 for
+    a signal-initiated graceful shutdown, 1 when the restart budget
+    runs out.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"--workers must be >= 1, got {workers}")
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(128)
+    bound_host, bound_port = sock.getsockname()[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"({workers} workers, shared socket)")
+
+    children: dict[int, int] = {}  # pid -> worker index
+    shutting_down = False
+
+    def fan_out(signum, frame):
+        nonlocal shutting_down
+        shutting_down = True
+        for pid in list(children):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    signal.signal(signal.SIGTERM, fan_out)
+    signal.signal(signal.SIGINT, fan_out)
+
+    def spawn(index: int) -> None:
+        # Flush before fork: buffered bytes would otherwise be
+        # duplicated into every worker's stdio.
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pid = os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                status = _worker_main(make_service, sock, index,
+                                      workers, verbose)
+            finally:
+                # Never fall back into the supervisor loop from a
+                # worker — and skip atexit/finalizers that belong to
+                # the parent.
+                try:
+                    sys.stdout.flush()
+                    sys.stderr.flush()
+                finally:
+                    os._exit(status)
+        children[pid] = index
+        print(f"repro serve: worker {index} started (pid {pid})")
+        sys.stdout.flush()
+
+    for index in range(workers):
+        spawn(index)
+
+    restarts = 0
+    exit_code = 0
+    while children:
+        try:
+            pid, status = os.waitpid(-1, 0)
+        except ChildProcessError:
+            children.clear()
+            break
+        except InterruptedError:  # pragma: no cover - PEP 475 retries
+            continue
+        index = children.pop(pid, None)
+        if index is None:
+            continue
+        if shutting_down:
+            continue
+        detail = _describe_exit(status)
+        if restarts >= restart_budget:
+            print(f"repro serve: worker {index} (pid {pid}) died "
+                  f"({detail}); restart budget exhausted — shutting down")
+            sys.stdout.flush()
+            exit_code = 1
+            fan_out(None, None)
+            continue
+        restarts += 1
+        print(f"repro serve: worker {index} (pid {pid}) died ({detail}) "
+              f"— restarting ({restarts}/{restart_budget})")
+        spawn(index)
+    sock.close()
+    print("repro serve: all workers drained, bye")
+    return exit_code

@@ -90,6 +90,11 @@ def validate_table_name(name: str) -> str:
 class Workspace:
     """A persistent (or ephemeral) home for tables and cached builds."""
 
+    #: ``True`` on follower replicas (see
+    #: :class:`~repro.service.follower.FollowerWorkspace`): every
+    #: mutation raises and the read paths poll the leader's journal.
+    read_only = False
+
     def __init__(self, root: str | Path | None = None,
                  create: bool = True) -> None:
         """Open (or create) the workspace at ``root``.
@@ -133,6 +138,18 @@ class Workspace:
     @property
     def is_ephemeral(self) -> bool:
         return self.root is None
+
+    def reader_refresh(self) -> None:
+        """Re-sync the view of backing storage before a read retry.
+
+        No-op here: an in-process reader already shares every memo
+        with its mutator.  Follower workspaces override this to force
+        a journal/manifest re-poll, so the service's retry loops see
+        the leader's durable successor after a pruned artifact."""
+
+    def lag(self) -> dict | None:
+        """Replication lag, or ``None`` — only followers are behind."""
+        return None
 
     @property
     def _tables_dir(self) -> Path:

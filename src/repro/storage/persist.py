@@ -229,9 +229,13 @@ def _scan_journal(root: Path) -> tuple[list[dict], int]:
     would be unreadable.
     """
     path = root / JOURNAL_NAME
-    if not path.is_file():
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        # No journal — or a compaction in another process (a follower
+        # reading its leader) folded and removed it between our
+        # existence check and the read.  Either way: no entries.
         return [], 0
-    raw = path.read_bytes()
     entries = []
     valid_bytes = 0
     offset = 0
@@ -530,6 +534,13 @@ def compact_table(directory, keep_hashes=None) -> dict:
     }
 
 
+def _size_or_zero(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
 def table_storage_stats(directory, state: dict | None = None) -> dict:
     """Segment count / bytes / reclaimable estimate for one table.
 
@@ -549,12 +560,13 @@ def table_storage_stats(directory, state: dict | None = None) -> dict:
     segments = _segments_of(state)
     n_columns = len(state["columns"])
     files = [f for seg in segments for f in seg["files"]]
-    data_bytes = sum((root / f).stat().st_size for f in files
-                     if (root / f).is_file())
-    journal_path = root / JOURNAL_NAME
-    journal_bytes = (journal_path.stat().st_size
-                     if journal_path.is_file() else 0)
-    manifest_bytes = (root / "manifest.json").stat().st_size
+    # Sizes are a gauge, not an invariant: a compaction racing this
+    # sweep from another process (a follower polling its leader) may
+    # delete a listed segment between the manifest read and the stat
+    # — count what is still there rather than erroring.
+    data_bytes = sum(_size_or_zero(root / f) for f in files)
+    journal_bytes = _size_or_zero(root / JOURNAL_NAME)
+    manifest_bytes = _size_or_zero(root / "manifest.json")
     reclaimable = journal_bytes
     if len(segments) > 1:
         reclaimable += (len(files) - n_columns) * _NPY_HEADER_BYTES

@@ -1,0 +1,295 @@
+"""Tests for journal-shipping follower replicas (repro serve --follow).
+
+The replication contract under test:
+
+* a follower serves the same answers as its leader — byte-identical
+  over HTTP modulo the per-request ``elapsed_ms`` timing field, and
+  raw-byte-identical for binary tiles;
+* it answers old-or-new and **never errors** while the leader appends
+  and auto-compacts underneath it;
+* it never builds (builders are monkeypatched to explode);
+* every mutation is refused with the stable ``read_only`` code (503),
+  naming the leader.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.errors import ConfigurationError, ReadOnlyError, StorageError
+from repro.service import (
+    CompactionPolicy,
+    FollowerWorkspace,
+    VasService,
+    Workspace,
+    make_server,
+    service_error_info,
+)
+
+
+@pytest.fixture()
+def leader(tmp_path):
+    gen = np.random.default_rng(17)
+    csv = tmp_path / "demo.csv"
+    data = np.column_stack([gen.random(400) * 4, gen.random(400) * 2])
+    np.savetxt(csv, data, delimiter=",", header="x,y", comments="")
+    svc = VasService(Workspace(tmp_path / "ws"),
+                     compaction=CompactionPolicy(compact_after_segments=3))
+    svc.ingest_csv(csv, name="demo")
+    svc.build_ladder("demo", levels=2, k_per_tile=40)
+    svc.build_sample("demo", 50, method="uniform")
+    return svc
+
+
+@pytest.fixture()
+def follower(leader):
+    return VasService(FollowerWorkspace(leader.workspace.root,
+                                        poll_interval=0))
+
+
+def _rows(rng, n=5):
+    return [[float(rng.random()) * 4, float(rng.random()) * 2]
+            for _ in range(n)]
+
+
+class TestFollowerWorkspace:
+    def test_roles(self, leader, follower):
+        assert leader.role == "leader"
+        assert follower.role == "follower"
+        assert leader.follower_lag() is None
+        assert follower.follower_lag() == {
+            "versions": 0,
+            "seconds": follower.follower_lag()["seconds"]}
+
+    def test_opening_a_non_workspace_fails(self, tmp_path):
+        with pytest.raises(StorageError):
+            FollowerWorkspace(tmp_path / "nope")
+
+    def test_negative_poll_interval_rejected(self, leader):
+        with pytest.raises(ConfigurationError):
+            FollowerWorkspace(leader.workspace.root, poll_interval=-1)
+
+    def test_refresh_reports_changed_tables(self, leader, follower):
+        assert follower.workspace.refresh() == []
+        leader.append_rows("demo", _rows(np.random.default_rng(0)))
+        assert follower.workspace.refresh() == ["demo"]
+        assert follower.workspace.refresh() == []
+
+    def test_lag_counts_unpolled_versions(self, leader):
+        stale = VasService(FollowerWorkspace(leader.workspace.root,
+                                             poll_interval=3600))
+        assert stale.follower_lag()["versions"] == 0
+        rng = np.random.default_rng(1)
+        leader.append_rows("demo", _rows(rng))
+        leader.append_rows("demo", _rows(rng))
+        lag = stale.follower_lag()
+        assert lag["versions"] == 2
+        assert lag["seconds"] >= 0
+        stale.workspace.refresh()
+        assert stale.follower_lag()["versions"] == 0
+
+
+class TestFollowerServes:
+    def test_queries_match_leader(self, leader, follower):
+        lv = leader.viewport("demo", (0, 0, 4, 2), max_points=64)
+        fv = follower.viewport("demo", (0, 0, 4, 2), max_points=64)
+        assert np.array_equal(lv.points, fv.points)
+        ls = leader.sample_query("demo", method="uniform", max_points=40)
+        fs = follower.sample_query("demo", method="uniform", max_points=40)
+        assert np.array_equal(ls.points, fs.points)
+        lt, lh = leader.tile_query("demo", 0, 0, 0)
+        ft, fh = follower.tile_query("demo", 0, 0, 0)
+        assert lh == fh
+        assert np.array_equal(lt.points, ft.points)
+
+    def test_append_visible_after_poll(self, leader, follower):
+        rng = np.random.default_rng(2)
+        leader.append_rows("demo", _rows(rng, 20))
+        lv = leader.viewport("demo", (0, 0, 4, 2), max_points=128)
+        fv = follower.viewport("demo", (0, 0, 4, 2), max_points=128)
+        assert np.array_equal(lv.points, fv.points)
+        assert follower.follower_lag()["versions"] == 0
+
+    def test_stale_follower_serves_old_version(self, leader):
+        stale = VasService(FollowerWorkspace(leader.workspace.root,
+                                             poll_interval=3600))
+        before = stale.viewport("demo", (0, 0, 4, 2), max_points=128)
+        leader.append_rows("demo", _rows(np.random.default_rng(3), 20))
+        again = stale.viewport("demo", (0, 0, 4, 2), max_points=128)
+        assert np.array_equal(before.points, again.points)  # old...
+        stale.workspace.refresh()
+        fresh = stale.viewport("demo", (0, 0, 4, 2), max_points=128)
+        lv = leader.viewport("demo", (0, 0, 4, 2), max_points=128)
+        assert np.array_equal(fresh.points, lv.points)       # ...or new
+
+    def test_follower_never_builds(self, leader, follower, monkeypatch):
+        """Queries on a follower are pure cache reads: with every
+        builder rigged to explode, serving must not notice — even
+        across a leader append + maintenance cycle."""
+        def boom(*args, **kwargs):
+            raise AssertionError("a follower must never build")
+
+        monkeypatch.setattr(service_module, "build_method_sample", boom)
+        monkeypatch.setattr(service_module, "build_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "patch_zoom_ladder", boom)
+        monkeypatch.setattr(service_module, "SampleMaintainer", boom)
+        follower.viewport("demo", (0, 0, 4, 2), max_points=64)
+        follower.sample_query("demo", method="uniform", max_points=40)
+        follower.tile_query("demo", 0, 0, 0)
+        # Advance the leader (workspace-level append: the leader's
+        # maintenance shares this process's patched module, so go in
+        # under the service facade) and serve the new version — still
+        # no build.
+        leader.workspace.append_rows(
+            "demo", {"x": np.asarray([0.5]), "y": np.asarray([0.5])})
+        follower.viewport("demo", (0, 0, 4, 2), max_points=64)
+        follower.tile_query("demo", 0, 0, 0)
+
+    def test_old_or_new_under_racing_appends(self, leader, follower):
+        """The headline guarantee: a follower hammered while the
+        leader appends (auto-compacting every 3 segments) never
+        raises, and converges to the leader's answer."""
+        rng = np.random.default_rng(5)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    follower.viewport("demo", (0, 0, 4, 2), max_points=64)
+                    follower.sample_query("demo", method="uniform",
+                                          max_points=40)
+                    follower.tile_query("demo", 0, 0, 0)
+                    follower.tables()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(40):
+                leader.append_rows("demo", _rows(rng))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, f"follower errored under append: {errors[0]!r}"
+        lv = leader.viewport("demo", (0, 0, 4, 2), max_points=64)
+        fv = follower.viewport("demo", (0, 0, 4, 2), max_points=64)
+        assert np.array_equal(lv.points, fv.points)
+
+
+class TestFollowerRefusesMutations:
+    def test_service_mutations_raise_read_only(self, follower, tmp_path):
+        cases = [
+            lambda: follower.append_rows("demo", [[0.1, 0.2]]),
+            lambda: follower.build_ladder("demo"),
+            lambda: follower.build_sample("demo", 10),
+            lambda: follower.build_splom("demo", 10),
+            lambda: follower.compact_table("demo"),
+            lambda: follower.compact_all(),
+            lambda: follower.ingest_csv(tmp_path / "whatever.csv"),
+        ]
+        for case in cases:
+            with pytest.raises(ReadOnlyError) as excinfo:
+                case()
+            assert service_error_info(excinfo.value) == ("read_only", 503)
+            assert str(follower.workspace.root) in str(excinfo.value)
+
+
+class TestFollowerHttp:
+    @pytest.fixture()
+    def pair(self, leader, follower):
+        urls = []
+        servers = []
+        threads = []
+        for svc in (leader, follower):
+            server = make_server(svc, port=0)
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            urls.append(f"http://127.0.0.1:{server.server_address[1]}")
+            servers.append(server)
+            threads.append(thread)
+        yield urls
+        for server, thread in zip(servers, threads):
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    @staticmethod
+    def _get(url):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read()
+
+    @staticmethod
+    def _stable(body: bytes) -> bytes:
+        payload = json.loads(body)
+        payload.pop("elapsed_ms", None)
+        return json.dumps(payload, sort_keys=True).encode()
+
+    def test_viewport_and_tile_byte_identical(self, pair):
+        leader_url, follower_url = pair
+        path = "/v1/viewport?table=demo&bbox=0,0,4,2&max_points=32"
+        _, leader_body = self._get(leader_url + path)
+        _, follower_body = self._get(follower_url + path)
+        assert self._stable(leader_body) == self._stable(follower_body)
+        tables = json.loads(self._get(leader_url + "/v1/tables")[1])
+        ladder = next(a for a in
+                      tables["tables"][0]["staleness"]["detail"]
+                      if a["kind"] == "ladder")
+        tile = f"/v1/tile/demo/{ladder['content_hash']}/0/0/0"
+        assert self._get(leader_url + tile) == self._get(
+            follower_url + tile)
+
+    def test_identical_at_every_version(self, leader, pair):
+        leader_url, follower_url = pair
+        rng = np.random.default_rng(6)
+        path = "/v1/viewport?table=demo&bbox=0,0,4,2&max_points=32"
+        for _ in range(4):
+            leader.append_rows("demo", _rows(rng))
+            _, leader_body = self._get(leader_url + path)
+            _, follower_body = self._get(follower_url + path)
+            assert self._stable(leader_body) == self._stable(
+                follower_body)
+
+    def test_healthz_role_block(self, pair):
+        leader_url, follower_url = pair
+        _, body = self._get(leader_url + "/v1/healthz")
+        assert json.loads(body) == {"ok": True, "role": "leader",
+                                    "workers": 1}
+        _, body = self._get(follower_url + "/v1/healthz")
+        payload = json.loads(body)
+        assert payload["role"] == "follower"
+        assert payload["ok"] is True
+        lag = payload["follower_lag"]
+        assert set(lag) == {"versions", "seconds"}
+        assert lag["versions"] == 0
+
+    @pytest.mark.parametrize("path,body", [
+        ("/v1/append", {"table": "demo", "rows": [[0.5, 0.5]]}),
+        ("/v1/build", {"table": "demo", "kind": "ladder"}),
+        ("/v1/compact", {"table": "demo"}),
+    ])
+    def test_mutating_endpoints_answer_503(self, leader, pair, path,
+                                           body):
+        _, follower_url = pair
+        request = urllib.request.Request(
+            follower_url + path, data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 503
+        error = json.loads(excinfo.value.read())["error"]
+        assert error["code"] == "read_only"
+        assert str(leader.workspace.root) in error["message"]

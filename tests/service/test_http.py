@@ -72,7 +72,8 @@ def error_of(callable_):
 
 class TestEndpoints:
     def test_healthz(self, server_url):
-        assert get_json(f"{server_url}/healthz") == {"ok": True}
+        assert get_json(f"{server_url}/healthz") == {
+            "ok": True, "role": "leader", "workers": 1}
 
     def test_tables(self, server_url):
         payload = get_json(f"{server_url}/tables")
@@ -659,3 +660,126 @@ class TestGracefulShutdown:
         output = server.stdout.read()
         assert "finishing in-flight requests" in output
         assert "workspace closed" in output
+
+
+class TestKeepAlive:
+    """HTTP/1.1 keep-alive: one TCP connection serves every response
+    shape — JSON 200s, error envelopes, POSTs, binary tiles, bodiless
+    304s — each with a correct Content-Length."""
+
+    def test_connection_reused_across_response_shapes(self, server_url):
+        import http.client
+        from urllib.parse import urlparse
+
+        parsed = urlparse(server_url)
+        conn = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                          timeout=10)
+        try:
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200
+            assert response.version == 11
+            assert response.getheader("Content-Length") == str(len(body))
+            sock = conn.sock
+            assert sock is not None
+
+            # Error envelope: still keep-alive, still Content-Length.
+            conn.request("GET", "/v1/viewport?table=missing&bbox=0,0,1,1")
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 404
+            assert response.getheader("Content-Length") == str(len(body))
+            assert conn.sock is sock
+
+            # POST on the same connection (body fully drained first).
+            payload = json.dumps({"table": "demo", "kind": "ladder",
+                                  "levels": 2,
+                                  "k_per_tile": 40}).encode()
+            conn.request("POST", "/v1/build", body=payload,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["cached"] is True
+            assert conn.sock is sock
+
+            # Binary tile, then its conditional re-GET: a 304 has no
+            # body and says so.
+            conn.request("GET", "/v1/tables")
+            tables = json.loads(conn.getresponse().read())
+            ladder = next(a for a in
+                          tables["tables"][0]["staleness"]["detail"]
+                          if a["kind"] == "ladder")
+            tile_path = f"/v1/tile/demo/{ladder['content_hash']}/0/0/0"
+            conn.request("GET", tile_path)
+            response = conn.getresponse()
+            tile_body = response.read()
+            etag = response.getheader("ETag")
+            assert response.getheader("Content-Length") == str(
+                len(tile_body))
+            conn.request("GET", tile_path,
+                         headers={"If-None-Match": etag})
+            response = conn.getresponse()
+            assert response.status == 304
+            assert response.read() == b""
+            assert response.getheader("Content-Length") == "0"
+            assert conn.sock is sock
+
+            # Still alive after all of it.
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["ok"] is True
+            assert conn.sock is sock
+        finally:
+            conn.close()
+
+
+class TestJsonEncoding:
+    """The hot-path encoder satellite: compact separators, one shared
+    encoder, and a version-keyed memo for repeat /v1/tables bodies."""
+
+    def test_shared_encoder_is_compact(self):
+        from repro.service.http import _ENCODER
+
+        assert _ENCODER.encode({"a": [1, 2], "b": "c"}) == \
+            '{"a":[1,2],"b":"c"}'
+
+    def test_wire_bodies_have_no_separator_padding(self, server_url):
+        with urllib.request.urlopen(f"{server_url}/v1/healthz",
+                                    timeout=10) as response:
+            body = response.read()
+        assert body == json.dumps(
+            json.loads(body), separators=(",", ":")).encode()
+
+    def test_repeat_tables_bodies_skip_reencoding(self, server_url,
+                                                  monkeypatch):
+        import repro.service.http as http_module
+
+        class CountingEncoder:
+            def __init__(self, inner):
+                self.inner = inner
+                self.tables_encodes = 0
+
+            def encode(self, payload):
+                if isinstance(payload, dict) and "tables" in payload:
+                    self.tables_encodes += 1
+                return self.inner.encode(payload)
+
+        counter = CountingEncoder(http_module._ENCODER)
+        monkeypatch.setattr(http_module, "_ENCODER", counter)
+        first = get_json(f"{server_url}/v1/tables")
+        second = get_json(f"{server_url}/v1/tables")
+        assert first == second
+        assert counter.tables_encodes == 1  # memo hit on the repeat
+
+        # A version change invalidates the memo...
+        post_json(f"{server_url}/v1/append",
+                  {"table": "demo", "rows": [[0.5, 0.5]]})
+        third = get_json(f"{server_url}/v1/tables")
+        assert third["tables"][0]["version"] == \
+            first["tables"][0]["version"] + 1
+        assert counter.tables_encodes == 2
+        # ...and the new body memoises in turn.
+        get_json(f"{server_url}/v1/tables")
+        assert counter.tables_encodes == 2

@@ -1,0 +1,290 @@
+"""Scale-out serving tests: the --workers supervisor and serve --follow.
+
+Everything here drives real ``repro serve`` subprocesses: socket
+sharing, worker crash-restart, and graceful drain are process-level
+behaviours that in-process servers cannot exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.service import VasService, Workspace
+
+WORKER_STARTED = re.compile(r"worker (\d+) started \(pid (\d+)\)")
+
+
+def build_workspace(tmp_path) -> str:
+    gen = np.random.default_rng(11)
+    csv = tmp_path / "d.csv"
+    data = np.column_stack([gen.random(300) * 4, gen.random(300) * 2])
+    np.savetxt(csv, data, delimiter=",", header="x,y", comments="")
+    svc = VasService(Workspace(tmp_path / "ws"))
+    svc.ingest_csv(csv, name="demo")
+    svc.build_ladder("demo", levels=2, k_per_tile=40)
+    svc.close()
+    return str(tmp_path / "ws")
+
+
+class ServeProcess:
+    """A ``repro serve`` subprocess plus a live view of its stdout."""
+
+    def __init__(self, args: list[str]):
+        env = dict(os.environ)
+        repo_src = str(pathlib.Path(__file__).resolve().parents[2]
+                       / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve"] + args,
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.lines: list[str] = []
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self) -> None:
+        for line in self.proc.stdout:
+            with self._lock:
+                self.lines.append(line)
+
+    def output(self) -> str:
+        with self._lock:
+            return "".join(self.lines)
+
+    def wait_for(self, pattern: str, timeout: float = 20) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            output = self.output()
+            match = re.search(pattern, output)
+            if match:
+                return match.group(0)
+            if self.proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise AssertionError(
+            f"never saw {pattern!r} in serve output:\n{self.output()}")
+
+    @property
+    def port(self) -> int:
+        match = re.search(r"http://[\d.]+:(\d+)",
+                          self.wait_for(r"http://[\d.]+:\d+"))
+        return int(match.group(1))
+
+    def worker_pids(self, count: int) -> list[int]:
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            pids = [int(m.group(2))
+                    for m in WORKER_STARTED.finditer(self.output())]
+            if len(pids) >= count:
+                return pids[:count]
+            time.sleep(0.05)
+        raise AssertionError(
+            f"never saw {count} workers start:\n{self.output()}")
+
+    def wait_healthy(self, timeout: float = 15) -> None:
+        base = f"http://127.0.0.1:{self.port}"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(f"{base}/v1/healthz",
+                                            timeout=1):
+                    return
+            except OSError:
+                time.sleep(0.1)
+        raise AssertionError(f"server never healthy:\n{self.output()}")
+
+    def terminate(self, timeout: float = 30) -> int:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout)
+        finally:
+            if self.proc.poll() is None:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=5)
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    return build_workspace(tmp_path)
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def start_slow_append(port: int) -> tuple[socket.socket, bytes]:
+    """Open an append whose body is only partially sent.
+
+    The handler thread blocks reading the rest of the body — a real
+    in-flight request a graceful shutdown must drain, controlled from
+    out here: send the tail whenever the test is ready."""
+    body = json.dumps({"table": "demo", "rows": [[0.5, 0.5]]}).encode()
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    head = ("POST /v1/append HTTP/1.1\r\n"
+            "Host: t\r\nContent-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n"
+            "\r\n").encode()
+    sock.sendall(head + body[:5])
+    return sock, body[5:]
+
+
+def finish_and_read(sock: socket.socket, tail: bytes) -> bytes:
+    sock.sendall(tail)
+    chunks = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    sock.close()
+    return b"".join(chunks)
+
+
+class TestSupervisor:
+    def test_workers_share_the_port(self, workspace):
+        server = ServeProcess(["--workspace", workspace, "--port", "0",
+                               "--workers", "2"])
+        try:
+            server.worker_pids(2)
+            server.wait_healthy()
+            base = f"http://127.0.0.1:{server.port}"
+            for _ in range(6):
+                payload = get_json(f"{base}/v1/healthz")
+                assert payload == {"ok": True, "role": "leader",
+                                   "workers": 2}
+            viewport = get_json(
+                f"{base}/v1/viewport?table=demo&bbox=0,0,4,2"
+                "&max_points=16")
+            assert viewport["returned_rows"] > 0
+            assert server.terminate() == 0
+        finally:
+            server.kill()
+        assert "all workers drained, bye" in server.output()
+
+    def test_killed_worker_is_restarted(self, workspace):
+        server = ServeProcess(["--workspace", workspace, "--port", "0",
+                               "--workers", "2"])
+        try:
+            pids = server.worker_pids(2)
+            server.wait_healthy()
+            base = f"http://127.0.0.1:{server.port}"
+            os.kill(pids[0], signal.SIGKILL)
+            server.wait_for(r"died \(killed by SIGKILL\) — restarting")
+            # The port keeps answering throughout: the surviving
+            # worker holds the shared socket, then the replacement
+            # joins it.
+            for _ in range(8):
+                assert get_json(f"{base}/v1/healthz")["ok"] is True
+            replacement = server.worker_pids(3)[2]
+            assert replacement not in pids
+            assert server.terminate() == 0
+        finally:
+            server.kill()
+
+    def test_restart_budget_is_finite(self, workspace):
+        server = ServeProcess(["--workspace", workspace, "--port", "0",
+                               "--workers", "2"])
+        try:
+            server.worker_pids(2)
+            # Keep killing the (restarted) worker until the budget
+            # runs out; the supervisor must give up with exit 1, not
+            # respawn forever.
+            deadline = time.monotonic() + 60
+            while server.proc.poll() is None:
+                assert time.monotonic() < deadline, server.output()
+                for match in WORKER_STARTED.finditer(server.output()):
+                    try:
+                        os.kill(int(match.group(2)), signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                time.sleep(0.05)
+            assert server.proc.returncode == 1
+            assert "restart budget exhausted" in server.output()
+        finally:
+            server.kill()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sigterm_drains_inflight_and_exits_zero(self, workspace,
+                                                    workers):
+        args = ["--workspace", workspace, "--port", "0"]
+        if workers > 1:
+            args += ["--workers", str(workers)]
+        server = ServeProcess(args)
+        try:
+            server.wait_healthy()
+            sock, tail = start_slow_append(server.port)
+            time.sleep(0.5)  # let the handler block on the body read
+            server.proc.send_signal(signal.SIGTERM)
+            time.sleep(0.5)  # shutdown under way, request in flight
+            raw = finish_and_read(sock, tail)
+            assert raw.startswith(b"HTTP/1.1 200"), raw[:200]
+            # No second SIGTERM: the first already started the drain
+            # (a repeat escalates to immediate exit, by design).
+            assert server.proc.wait(timeout=30) == 0
+        finally:
+            server.kill()
+
+
+class TestFollowerServe:
+    def test_follow_flag_serves_read_only(self, workspace):
+        server = ServeProcess(["--follow", workspace, "--port", "0",
+                               "--poll-interval", "0.05"])
+        try:
+            server.wait_healthy()
+            base = f"http://127.0.0.1:{server.port}"
+            health = get_json(f"{base}/v1/healthz")
+            assert health["role"] == "follower"
+            assert health["follower_lag"]["versions"] == 0
+            viewport = get_json(
+                f"{base}/v1/viewport?table=demo&bbox=0,0,4,2"
+                "&max_points=16")
+            assert viewport["returned_rows"] > 0
+            request = urllib.request.Request(
+                f"{base}/v1/append",
+                data=json.dumps({"table": "demo",
+                                 "rows": [[0.5, 0.5]]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 503
+            error = json.loads(excinfo.value.read())["error"]
+            assert error["code"] == "read_only"
+            assert workspace in error["message"]
+            assert server.terminate() == 0
+        finally:
+            server.kill()
+
+    def test_exactly_one_of_workspace_and_follow(self, workspace):
+        for args in ([], ["--workspace", workspace, "--follow",
+                          workspace]):
+            server = ServeProcess(args + ["--port", "0"])
+            try:
+                assert server.proc.wait(timeout=15) == 2
+            finally:
+                server.kill()

@@ -46,8 +46,8 @@ try:
 except ImportError:  # run as a plain script rather than -m benchmarks.…
     from provenance import collect_provenance  # noqa: E402
 
-FULL = {"rows": 50_000, "k": 500, "repeats": 3, "workers": 4}
-QUICK = {"rows": 8_000, "k": 120, "repeats": 2, "workers": 2}
+FULL = {"rows": 50_000, "k": 500, "repeats": 3, "workers": 4, "shards": 4}
+QUICK = {"rows": 8_000, "k": 120, "repeats": 2, "workers": 2, "shards": 4}
 ENGINES = ("reference", "batched", "pruned")
 STRATEGIES = ("es", "es+loc", "no-es")
 #: Bandwidth scale of the locality round: small enough that the
@@ -61,9 +61,16 @@ SMALL_BANDWIDTH_SCALE = 0.1
 #: instead of silently passing.
 PARALLEL_SPEEDUP_GATES = {"no-es": 2.5, "es+loc": 1.5}
 GATE_MIN_WORKERS = 4
+#: Ceiling on total-work inflation (summed pilot+shard+merge work /
+#: single-process wall clock) at the profile's shard count.  Unlike
+#: the wall-clock speedup gates, total work is measurable *serially*,
+#: so this gate is **blocking on every host** — including the 1-CPU
+#: runners where the speedup gates record skips.
+WORK_INFLATION_GATES = {"no-es": 1.5, "es+loc": 1.5}
 
 
-def time_engine(data, k, kernel, strategy, engine, repeats, workers=1):
+def time_engine(data, k, kernel, strategy, engine, repeats, workers=1,
+                shards=None, pilot="auto"):
     """Median wall time plus every repeat's result (for parity and
     determinism checks — the repeats double as re-runs)."""
     times = []
@@ -73,7 +80,7 @@ def time_engine(data, k, kernel, strategy, engine, repeats, workers=1):
         results.append(run_interchange(
             lambda: iter_chunks(data, 8192), k, kernel,
             strategy=strategy, max_passes=2, rng=0, engine=engine,
-            workers=workers, shards=workers if workers > 1 else None,
+            workers=workers, shards=shards, pilot=pilot,
         ))
         times.append(time.perf_counter() - started)
     return statistics.median(times), results
@@ -140,36 +147,63 @@ def bench_parallel(data, profile, kernel, strategy, repeats, provenance):
     """
     k = profile["k"]
     workers = profile["workers"]
+    shards = profile.get("shards", workers)
     t_single, single_runs = time_engine(data, k, kernel, strategy,
                                         "pruned", repeats)
     single = single_runs[-1]
     # The timing repeats double as determinism re-runs; a single-repeat
     # leg gets one extra run so the property is always checked.
     t_par, par_runs = time_engine(data, k, kernel, strategy, "pruned",
-                                  max(repeats, 2), workers=workers)
+                                  max(repeats, 2), workers=workers,
+                                  shards=shards)
     par = par_runs[-1]
+    # Serial-shard leg: the same pilot/shard/merge schedule run in one
+    # process (workers=1, shards>1).  Its work_seconds is free of CPU
+    # contention — pooled workers time-share cores, so their wall
+    # clocks would count contention as work — which makes it the
+    # honest total-work measurement the inflation gate judges.  Its
+    # output doubling as a pool-size-independence check is free.
+    _, ser_runs = time_engine(data, k, kernel, strategy, "pruned",
+                              max(repeats, 2), workers=1, shards=shards)
     deterministic = all(
         np.array_equal(par.source_ids, other.source_ids)
         and par.objective == other.objective
-        for other in par_runs[:-1]
+        for other in [*par_runs[:-1], *ser_runs]
     )
     cpus = provenance["host_cpus"]
     speedup = t_single / t_par
+    # Total work sums every stage (pilot + shards + merges + root):
+    # the serially honest cost, and the number the inflation gate
+    # judges.
+    total_work = statistics.median(r.work_seconds for r in ser_runs)
+    inflation = total_work / t_single
     row = {
         "strategy": strategy,
         "engine": "pruned",
         "workers": workers,
-        "shards": workers,
+        "shards": shards,
+        "pilot": par.pilot,
         "host_cpus": cpus,
         "git_sha": provenance["git_sha"],
         "schema_version": provenance["schema_version"],
         "single_process_seconds": round(t_single, 4),
         "parallel_seconds": round(t_par, 4),
         "speedup": round(speedup, 2),
+        "total_work_seconds": round(total_work, 4),
+        "work_inflation": round(inflation, 2),
+        "work_breakdown": {stage: round(seconds, 4) for stage, seconds
+                           in ser_runs[-1].work_breakdown.items()},
         "deterministic": deterministic,
         "single_objective": single.objective,
         "parallel_objective": par.objective,
     }
+    inflation_gate = WORK_INFLATION_GATES.get(strategy)
+    inflation_note = ""
+    if inflation_gate is not None:
+        row["work_inflation_gate"] = inflation_gate
+        row["work_inflation_ok"] = bool(inflation <= inflation_gate)
+        inflation_note = (f" [inflation {inflation_gate}x: "
+                          f"{'ok' if row['work_inflation_ok'] else 'FAILED'}]")
     gate = PARALLEL_SPEEDUP_GATES.get(strategy)
     note = ""
     if gate is not None:
@@ -195,8 +229,10 @@ def bench_parallel(data, profile, kernel, strategy, repeats, provenance):
             note = f" [gate {gate}x: " \
                    f"{'ok' if row['gate_passed'] else 'FAILED'}]"
     print(f"parallel {strategy}: single={t_single:.2f}s "
-          f"workers={workers}: {t_par:.2f}s "
-          f"({speedup:.1f}x), deterministic={deterministic}{note}")
+          f"workers={workers}/shards={shards}: {t_par:.2f}s "
+          f"({speedup:.1f}x), work={total_work:.2f}s "
+          f"(inflation {inflation:.2f}x), "
+          f"deterministic={deterministic}{inflation_note}{note}")
     return row
 
 
@@ -291,6 +327,15 @@ def main(argv=None) -> int:
             print(f"!! parallel {row['strategy']} speedup "
                   f"{row['speedup']}x below the {row['speedup_gate']}x "
                   f"gate on a {row['host_cpus']}-CPU host",
+                  file=sys.stderr)
+        return 1
+    inflation_failures = [row for row in parallel
+                          if row.get("work_inflation_ok") is False]
+    if inflation_failures:
+        for row in inflation_failures:
+            print(f"!! parallel {row['strategy']} work inflation "
+                  f"{row['work_inflation']}x above the "
+                  f"{row['work_inflation_gate']}x gate",
                   file=sys.stderr)
         return 1
 

@@ -19,7 +19,10 @@ import os
 import subprocess
 
 #: Bump when the shape of a benchmark payload changes incompatibly.
-SCHEMA_VERSION = 2
+#: v3: parallel interchange rows gained ``pilot``, ``shards``,
+#: ``total_work_seconds``, ``work_inflation`` and the blocking
+#: ``work_inflation_gate``/``work_inflation_ok`` fields.
+SCHEMA_VERSION = 3
 
 
 def host_cpus() -> int:

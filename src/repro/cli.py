@@ -188,6 +188,8 @@ def cmd_sample(args: argparse.Namespace) -> int:
     outcome = service.build_sample(
         table, args.k, method=args.method, seed=args.seed,
         engine=args.engine, workers=args.workers,
+        pilot="auto" if args.pilot else "off",
+        pilot_size=args.pilot_size,
     )
     result = outcome.result
     _save_xy(args.out, result.points, result.weights)
@@ -407,6 +409,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="processes for --method vas (N>1 shards the "
                         "dataset and merges the shard samples)")
+    p.add_argument("--pilot", dest="pilot", action="store_true",
+                   default=True,
+                   help="warm-start shards of a --workers>1 build from "
+                        "a pilot sample (default; cuts total work to "
+                        "roughly the single-process cost)")
+    p.add_argument("--no-pilot", dest="pilot", action="store_false",
+                   help="cold shards: the pre-pilot sharded behaviour")
+    p.add_argument("--pilot-size", type=int, default=None,
+                   help="pilot subsample rows (default: min(n/shards, "
+                        "8k); only meaningful with --workers>1)")
     p.add_argument("--out", default="sample.csv")
     p.set_defaults(fn=cmd_sample)
 

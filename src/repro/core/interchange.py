@@ -100,14 +100,28 @@ MAX_TRACKED_MATRIX_K = 4096
 #: ``"float64"`` in all three modes, only wall clock differs.
 SCREEN_DTYPES = ("auto", "float32", "float64")
 
+#: Pilot modes for sharded runs.  ``"auto"`` warm-starts every shard
+#: from a cheap in-process pilot VAS over a strided subsample (see
+#: :mod:`repro.core.parallel`); ``"off"`` keeps the PR 8-era cold
+#: shards.  In-process runs (``workers=1``/``shards=1``) never run a
+#: pilot in either mode.
+PILOT_MODES = ("auto", "off")
+
 
 @dataclass
 class TracePoint:
-    """One snapshot of Interchange progress."""
+    """One snapshot of Interchange progress.
+
+    ``converged`` is True only on the final snapshot of a run whose
+    last pass made zero replacements: every pass the budget would have
+    allowed after it is provably a no-op, so the trace records the
+    skipped passes as converged rather than silently absent.
+    """
 
     tuples_processed: int
     elapsed_seconds: float
     objective: float
+    converged: bool = False
 
 
 @dataclass
@@ -137,6 +151,22 @@ class InterchangeResult:
         margin fell inside the certified error tolerance and was
         settled in float64 (both 0 when float32 screening never
         engaged).
+    converged:
+        True when the final pass made zero replacements, i.e. the run
+        reached a local optimum and any remaining pass budget was
+        provably a no-op (the early-exit is exact, not heuristic).
+    work_seconds:
+        Total CPU-facing work across every stage that produced the
+        sample.  For in-process runs this equals the wall clock of the
+        scan; for sharded runs it is the *sum* of pilot + shard +
+        merge + root stage times, regardless of how many processes
+        they overlapped on — the honest cost a 1-CPU host pays.
+    work_breakdown:
+        Per-stage seconds for sharded runs (``pilot`` / ``shards`` /
+        ``merges`` / ``root``); empty for in-process runs.
+    pilot:
+        Effective pilot mode: ``"auto"`` when a pilot warm-started the
+        shards, ``"off"`` otherwise (always ``"off"`` in-process).
     """
 
     points: np.ndarray
@@ -153,6 +183,10 @@ class InterchangeResult:
     shards: int = 1
     f32_rows_screened: int = 0
     f32_fallback_rows: int = 0
+    converged: bool = False
+    work_seconds: float = 0.0
+    work_breakdown: dict = field(default_factory=dict)
+    pilot: str = "off"
 
 
 def _process_rows_reference(strat: ReplacementStrategy, pts: np.ndarray,
@@ -244,6 +278,9 @@ def run_interchange(
     shards: int | None = None,
     parallel_chunk_size: int = 8192,
     screen_dtype: str = "auto",
+    initial_sample: tuple[np.ndarray, np.ndarray] | None = None,
+    pilot: str = "auto",
+    pilot_size: int | None = None,
 ) -> InterchangeResult:
     """Run Interchange over a re-iterable stream of point chunks.
 
@@ -299,6 +336,23 @@ def run_interchange(
         ``"float64"`` turns it off.  All three produce bit-identical
         samples — the screen dtype changes wall clock, never a
         decision.
+    initial_sample:
+        Optional ``(points, source_ids)`` reservoir to warm-start the
+        scan from.  Rows are injected through the strategy's normal
+        fill path before the first pass (reusing the maintained κ̃
+        matrix), so the scan starts from this sample instead of an
+        empty set.  In-process only; sharded runs build their own
+        warm starts from the pilot.
+    pilot:
+        ``"auto"`` (default) warm-starts every shard of a sharded run
+        from a cheap in-process pilot VAS over a strided ~n/shards
+        subsample, collapsing the per-shard accept inflation;
+        ``"off"`` keeps cold shards (the PR 8-era behaviour,
+        bit-identical seed stream).  Ignored by in-process runs, which
+        never pilot.
+    pilot_size:
+        Override the pilot subsample row count (default ``n //
+        shards``).  Sharded runs only.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
@@ -312,7 +366,21 @@ def run_interchange(
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if shards is not None and shards < 1:
         raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if pilot not in PILOT_MODES:
+        raise ConfigurationError(
+            f"pilot must be one of {PILOT_MODES}, got {pilot!r}"
+        )
+    if pilot_size is not None and pilot_size < 1:
+        raise ConfigurationError(
+            f"pilot_size must be >= 1, got {pilot_size}"
+        )
     if workers > 1 or (shards is not None and shards > 1):
+        if initial_sample is not None:
+            raise ConfigurationError(
+                "initial_sample is an in-process warm start; sharded "
+                "runs derive their own warm starts from the pilot "
+                "(pilot='auto')"
+            )
         from .parallel import ParallelInterchangeRunner  # circular-safe
 
         runner = ParallelInterchangeRunner(
@@ -321,6 +389,7 @@ def run_interchange(
             strategy_kwargs=strategy_kwargs, engine=engine,
             shuffle_within_chunks=shuffle_within_chunks,
             chunk_size=parallel_chunk_size, screen_dtype=screen_dtype,
+            pilot=pilot, pilot_size=pilot_size,
         )
         return runner.run_chunks(chunks_factory, k, kernel, rng=rng)
     gen = as_generator(rng)
@@ -347,6 +416,22 @@ def run_interchange(
     started = time.perf_counter()
     processed = 0
     passes_run = 0
+    converged = False
+
+    if initial_sample is not None:
+        init_pts = as_points(initial_sample[0])
+        init_ids = np.asarray(initial_sample[1], dtype=np.int64)
+        if len(init_pts) != len(init_ids):
+            raise ConfigurationError(
+                "initial_sample points and source_ids disagree: "
+                f"{len(init_pts)} vs {len(init_ids)} rows"
+            )
+        # Injected rows travel the strategy's own fill path, so every
+        # invariant (maintained κ̃ matrix, spatial index, recompute
+        # discipline) holds exactly as if these rows had led the scan.
+        # They are warm-start state, not scanned tuples, so they do
+        # not count toward tuples_processed.
+        strat.inject_reservoir(init_pts, init_ids)
 
     for _ in range(max(1, max_passes)):
         replacements_before = strat.replacements
@@ -385,16 +470,24 @@ def run_interchange(
         passes_run += 1
         strat.finalize()
         if strat.replacements == replacements_before:
-            break  # converged: a full pass changed nothing
+            # Exact early-exit: a full pass with zero replacements
+            # proves no single swap lowers the objective anywhere in
+            # the dataset, so every later pass would scan and change
+            # nothing — skipping them cannot alter the sample, the
+            # objective, or any trace-visible decision.
+            converged = True
+            break
 
     if len(candidate_set) == 0:
         raise EmptyDatasetError("Interchange received an empty stream")
 
+    elapsed = time.perf_counter() - started
     if trace_every:
         trace.append(TracePoint(
             tuples_processed=processed,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             objective=candidate_set.objective(),
+            converged=converged,
         ))
 
     return InterchangeResult(
@@ -410,4 +503,6 @@ def run_interchange(
         trace=trace,
         f32_rows_screened=strat.f32_rows_screened,
         f32_fallback_rows=strat.f32_fallback_rows,
+        converged=converged,
+        work_seconds=elapsed,
     )

@@ -5,23 +5,35 @@ depends on the set state left by the previous tuple — so it cannot be
 parallelised *exactly*.  What parallelises well is the classic
 sample-of-samples construction:
 
-1. **Shard** the dataset into ``shards`` contiguous row ranges,
+1. **Pilot** (``pilot="auto"``, the default) — one cheap in-process
+   Interchange over a strided ~``n/shards``-row subsample, seeded
+   from the same up-front ``integers`` batch as everything else.  Its
+   K-sample **warm-starts every shard**: a cold shard sees ``n/shards``
+   rows against the same K and accepts proportionally more per row
+   (the set is far too dense for the shard's scale), which inflated
+   total work ~3× at 4 shards; a shard that *starts* from a
+   near-converged K-sample at the right density accepts at roughly
+   the single-process rate.  ``pilot="off"`` restores cold shards.
+2. **Shard** the dataset into ``shards`` contiguous row ranges,
    published once as a ``multiprocessing.shared_memory`` segment so
    every worker maps the same pages instead of unpickling its own
    copy of the rows.
-2. **Per-shard VAS** — run the full Interchange independently on
+3. **Per-shard VAS** — run the full Interchange independently on
    every shard, ``workers`` processes at a time, each with a seed
    derived deterministically from the run's generator.  Shard workers
    run the *pruned* engine whenever a block engine was requested —
    the engines are bit-identical (the parity suite pins this), so the
    upgrade changes shard wall-clock only, never the shard sample.
-3. **Merge** — combine the shard samples with a hierarchical pairwise
+4. **Merge** — combine the shard samples with a hierarchical pairwise
    merge: adjacent samples merge two at a time (each merge is one
    Interchange run over a ``≤ 2K``-point union), and the tree's root
    merge runs in-process to produce the final result and trace.
    Inner merges are submitted to the same pool the moment both their
    children finish, so merge work overlaps the still-running shards
-   instead of serialising after them.
+   instead of serialising after them.  Because a pilot row can also
+   be kept by the shard that owns it, merge unions are deduplicated
+   by dataset id (first occurrence wins, canonical order) so a final
+   sample never holds the same dataset row twice.
 
 Properties:
 
@@ -30,10 +42,16 @@ Properties:
   exact single-process path, so the bit-identical engine-parity
   guarantees are untouched.
 * Sharded results are **deterministic** for a fixed ``(seed, shard
-  count)`` pair: shard boundaries, per-shard seeds and every merge
-  node's seed are all drawn from the run's generator in one up-front
-  call and assigned by *position* (shard index, canonical merge-tree
-  order), so the pool's completion order cannot leak into the output.
+  count)`` pair: shard boundaries, per-shard seeds, every merge
+  node's seed and the pilot's seed are all drawn from the run's
+  generator in one up-front call and assigned by *position* (shard
+  index, canonical merge-tree order, pilot last), so the pool's
+  completion order cannot leak into the output.  The pilot runs in
+  the parent before any worker starts, so pooled and serial execution
+  inject identical warm starts.  The pilot seed sits *after* the
+  shard and merge seeds in the batch, and PCG64 draws ``integers``
+  sequentially, so ``pilot="off"`` reproduces the pre-pilot seed
+  stream byte for byte.
   Varying ``workers`` with ``shards`` fixed only changes wall-clock
   time, not the sample — ``workers=1, shards=4`` executes the same
   tree serially and reproduces a 4-worker host's sample exactly.
@@ -122,15 +140,32 @@ def _shard_engine(engine: str) -> str:
     return "reference" if engine == "reference" else "pruned"
 
 
+def _decode_shard_ids(source_ids: np.ndarray, lo: int,
+                      enc_base: int) -> np.ndarray:
+    """Map a shard run's local source ids back to dataset rows.
+
+    Scanned rows carry shard-local ids (``+ lo`` recovers the dataset
+    row); injected pilot rows carry their dataset id encoded as
+    ``gid + enc_base`` (``enc_base = n`` > any shard-local id, so the
+    two id spaces cannot collide).  ``enc_base == 0`` means no pilot.
+    """
+    if enc_base:
+        return np.where(source_ids >= enc_base,
+                        source_ids - enc_base, source_ids + lo)
+    return source_ids + lo
+
+
 def _run_shard(payload: tuple) -> tuple:
     """Pool target: one shard's full Interchange run.
 
     Takes a picklable tuple (module-level function so every start
     method can import it) and returns the shard sample with its
-    source ids already shifted to dataset row numbers.
+    source ids already shifted to dataset row numbers, plus the run's
+    work seconds as the final element.
     """
     (shm_name, shape, lo, hi, k, kernel, strategy, strategy_kwargs,
-     engine, max_passes, chunk_size, shuffle, seed, screen_dtype) = payload
+     engine, max_passes, chunk_size, shuffle, seed, screen_dtype,
+     initial, enc_base) = payload
     from ..sampling.base import iter_chunks
     from .interchange import run_interchange
 
@@ -142,11 +177,14 @@ def _run_shard(payload: tuple) -> tuple:
             shuffle_within_chunks=shuffle,
             strategy_kwargs=strategy_kwargs,
             engine=_shard_engine(engine), screen_dtype=screen_dtype,
+            initial_sample=initial,
         )
         # Results copy out of the shared pages before detaching.
-        return (run.points.copy(), run.source_ids + lo,
+        return (run.points.copy(),
+                _decode_shard_ids(run.source_ids, lo, enc_base),
                 run.replacements, run.tuples_processed,
-                run.f32_rows_screened, run.f32_fallback_rows)
+                run.f32_rows_screened, run.f32_fallback_rows,
+                run.work_seconds)
     finally:
         shm.close()
 
@@ -172,7 +210,8 @@ def _run_merge(payload: tuple) -> tuple:
     )
     return (run.points, ids[run.source_ids],
             run.replacements, run.tuples_processed,
-            run.f32_rows_screened, run.f32_fallback_rows)
+            run.f32_rows_screened, run.f32_fallback_rows,
+            run.work_seconds)
 
 
 class _MergeNode:
@@ -254,6 +293,13 @@ class ParallelInterchangeRunner:
     screen_dtype:
         Forwarded to every shard and merge run (``"auto"`` /
         ``"float32"`` / ``"float64"`` — see :func:`run_interchange`).
+    pilot:
+        ``"auto"`` (default) warm-starts every shard from a pilot
+        sample (see the module docstring); ``"off"`` keeps cold
+        shards and the exact pre-pilot seed stream.
+    pilot_size:
+        Pilot subsample row count; ``None`` (default) uses
+        ``n // shards``.
     """
 
     def __init__(
@@ -268,7 +314,11 @@ class ParallelInterchangeRunner:
         trace_every: int = 0,
         shuffle_within_chunks: bool = True,
         screen_dtype: str = "auto",
+        pilot: str = "auto",
+        pilot_size: int | None = None,
     ) -> None:
+        from .interchange import PILOT_MODES  # circular-safe
+
         if workers is None:
             workers = default_workers()
         if workers < 1:
@@ -281,6 +331,14 @@ class ParallelInterchangeRunner:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if pilot not in PILOT_MODES:
+            raise ConfigurationError(
+                f"pilot must be one of {PILOT_MODES}, got {pilot!r}"
+            )
+        if pilot_size is not None and pilot_size < 1:
+            raise ConfigurationError(
+                f"pilot_size must be >= 1, got {pilot_size}"
+            )
         self.workers = int(workers)
         self.shards = int(shards)
         self.strategy = strategy
@@ -291,6 +349,8 @@ class ParallelInterchangeRunner:
         self.trace_every = int(trace_every)
         self.shuffle_within_chunks = bool(shuffle_within_chunks)
         self.screen_dtype = screen_dtype
+        self.pilot = pilot
+        self.pilot_size = None if pilot_size is None else int(pilot_size)
 
     # -- driving -----------------------------------------------------------
     def run_chunks(self, chunks_factory, k: int, kernel,
@@ -309,28 +369,70 @@ class ParallelInterchangeRunner:
         pts = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
         return self.run(pts, k, kernel, rng=rng)
 
-    def _merge_payload(self, node: _MergeNode, k: int, kernel) -> tuple:
-        if node.right is None:
-            points, ids = node.left.result[0], node.left.result[1]
+    @property
+    def _exact_strategy(self) -> str:
+        """Strategy for pilot and merge runs.
+
+        ES stands in for No-ES: the two make identical decisions tuple
+        for tuple (the ES/No-ES parity tests pin this), so substituting
+        ES in the runner's *infrastructure* stages changes their cost,
+        never a sample — the same trade :func:`_shard_engine` already
+        makes at the engine level.  The shard scans themselves keep the
+        requested strategy (they are the workload being measured).
+        """
+        return "es" if self.strategy == "no-es" else self.strategy
+
+    def _union_payload(self, results: list, seed: int, k: int,
+                       kernel) -> tuple:
+        """Merge-run payload over the union of child samples."""
+        if len(results) == 1:
+            points, ids = results[0][0], results[0][1]
         else:
-            points = np.concatenate(
-                [node.left.result[0], node.right.result[0]], axis=0)
-            ids = np.concatenate(
-                [node.left.result[1], node.right.result[1]])
-        return (points, ids, k, kernel, self.strategy,
+            points = np.concatenate([r[0] for r in results], axis=0)
+            ids = np.concatenate([r[1] for r in results])
+        # A pilot row kept by its owning shard can reach a merge twice
+        # (once injected elsewhere, once scanned locally).  Keep the
+        # first occurrence — union order is canonical (tree position /
+        # shard index), so the dedup is deterministic — and the final
+        # sample can never hold one dataset row in two slots.  Without
+        # a pilot, shard ids are disjoint and this is a no-op.
+        if len(ids):
+            _, first = np.unique(ids, return_index=True)
+            if len(first) != len(ids):
+                keep = np.sort(first)
+                points, ids = points[keep], ids[keep]
+        return (points, ids, k, kernel, self._exact_strategy,
                 self.strategy_kwargs, self.engine, self.max_passes,
                 self.chunk_size, self.shuffle_within_chunks,
-                node.seed, self.screen_dtype)
+                int(seed), self.screen_dtype)
 
-    def _run_root(self, root: _MergeNode, k: int, kernel):
-        """The final merge, in-process: provides the result + trace."""
+    def _merge_payload(self, node: _MergeNode, k: int, kernel) -> tuple:
+        results = ([node.left.result] if node.right is None
+                   else [node.left.result, node.right.result])
+        return self._union_payload(results, node.seed, k, kernel)
+
+    def _run_root(self, root: _MergeNode, k: int, kernel,
+                  flat_results: list | None = None):
+        """The final merge, in-process: provides the result + trace.
+
+        ``flat_results`` (pilot mode) merges every shard sample in one
+        root run instead of through the pairwise tree: warm-started
+        shards are all polished descendants of the same pilot sample,
+        so inner merges would re-screen near-identical unions for a
+        handful of accepts — the flat root does the reconciliation
+        once.  Tree mode (``pilot="off"``) is unchanged.
+        """
         from ..sampling.base import iter_chunks
         from .interchange import run_interchange
 
-        (points, ids, *_rest) = self._merge_payload(root, k, kernel)
+        if flat_results is not None:
+            (points, ids, *_rest) = self._union_payload(
+                flat_results, root.seed, k, kernel)
+        else:
+            (points, ids, *_rest) = self._merge_payload(root, k, kernel)
         return run_interchange(
             lambda: iter_chunks(points, self.chunk_size), k, kernel,
-            strategy=self.strategy, max_passes=self.max_passes,
+            strategy=self._exact_strategy, max_passes=self.max_passes,
             trace_every=self.trace_every, rng=int(root.seed),
             shuffle_within_chunks=self.shuffle_within_chunks,
             strategy_kwargs=self.strategy_kwargs, engine=self.engine,
@@ -353,35 +455,64 @@ class ParallelInterchangeRunner:
         occupied = [i for i, (lo, hi) in enumerate(ranges) if lo < hi]
         # Every seed for the whole run in one draw: one per shard slot
         # (empty shards keep their slot so the occupied ones' seeds
-        # don't shift with N) plus one per canonical merge node.
+        # don't shift with N), one per canonical merge node, and the
+        # pilot seed last — drawn even with pilot="off" so the prior
+        # seeds (a sequential-draw prefix) never move.
         n_merges = max(len(occupied) - 1, 1)
-        seeds = gen.integers(0, 2**63 - 1, size=self.shards + n_merges)
-        leaves, nodes = _build_merge_tree(len(occupied),
-                                          seeds[self.shards:])
+        seeds = gen.integers(0, 2**63 - 1,
+                             size=self.shards + n_merges + 1)
+        leaves, nodes = _build_merge_tree(
+            len(occupied), seeds[self.shards:self.shards + n_merges])
         root = nodes[-1]
+
+        # The pilot runs in the parent before any shard: every shard
+        # (serial or pooled, any pool size) injects the identical warm
+        # start.  A single occupied shard scans the whole dataset
+        # anyway, so a pilot would be pure overhead.
+        use_pilot = self.pilot == "auto" and len(occupied) > 1
+        initial = None
+        enc_base = 0
+        pilot_seconds = 0.0
+        if use_pilot:
+            pilot_seed = int(seeds[self.shards + n_merges])
+            initial, pilot_seconds = self._run_pilot(
+                pts, k, kernel, pilot_seed)
+            enc_base = n
 
         if self.workers == 1 or len(occupied) == 1:
             self._run_serial(pts, ranges, occupied, seeds, leaves, nodes,
-                             k, kernel)
+                             k, kernel, initial, enc_base)
         else:
             self._run_pool(pts, ranges, occupied, seeds, leaves, nodes,
-                           k, kernel)
+                           k, kernel, initial, enc_base)
 
-        merge, union_ids = self._run_root(root, k, kernel)
-        done = [leaf.result for leaf in leaves]
-        for node in nodes[:-1]:
-            done.append(node.result)
+        shard_results = [leaf.result for leaf in leaves]
+        merge, union_ids = self._run_root(
+            root, k, kernel,
+            flat_results=shard_results if use_pilot else None)
+        merge_results = [node.result for node in nodes[:-1]
+                         if node.result is not None]
+        done = shard_results + merge_results
+        breakdown = {
+            "pilot": pilot_seconds,
+            "shards": sum(r[6] for r in shard_results),
+            "merges": sum(r[6] for r in merge_results),
+            "root": merge.work_seconds,
+        }
         return InterchangeResult(
             points=merge.points,
             # Merge-run ids index the root union; map them back to
-            # dataset rows (shards are disjoint, so ids stay unique).
+            # dataset rows (unions are deduplicated, so ids are
+            # unique).
             source_ids=union_ids[merge.source_ids],
             objective=merge.objective,
             passes=merge.passes,
             replacements=sum(r[2] for r in done) + merge.replacements,
             tuples_processed=sum(r[3] for r in done)
             + merge.tuples_processed,
-            strategy=merge.strategy,
+            # Report the *requested* strategy: pilot/merge stages may
+            # have substituted ES for No-ES (see _exact_strategy).
+            strategy=self.strategy,
             engine=self.engine,
             bulk_rejected=merge.bulk_rejected,
             trace=merge.trace,
@@ -391,17 +522,82 @@ class ParallelInterchangeRunner:
             + merge.f32_rows_screened,
             f32_fallback_rows=sum(r[5] for r in done)
             + merge.f32_fallback_rows,
+            converged=merge.converged,
+            work_seconds=sum(breakdown.values()),
+            work_breakdown=breakdown,
+            pilot="auto" if use_pilot else "off",
         )
 
+    def _run_pilot(self, pts: np.ndarray, k: int, kernel,
+                   seed: int) -> tuple[tuple, float]:
+        """One in-process Interchange over a strided subsample.
+
+        Returns ``((points, encoded_ids), work_seconds)``.  Stride-
+        sampling keeps the subsample density-proportional to the full
+        dataset, so the pilot K-sample sits near the density scale
+        each shard scan will see.  The default size, ``min(n /
+        shards, 8K)``, is the measured cost/benefit knee: larger
+        pilots cost linearly more while the warm-start quality
+        plateaus once the pilot's own n/K ratio is healthy.  Ids are
+        encoded as ``dataset_row + n`` so injected rows can never
+        collide with a shard's local id space (see
+        :func:`_decode_shard_ids`).  The pilot (like the merges) runs
+        :attr:`_exact_strategy`, so No-ES requests don't pay the
+        deliberate O(K²)-per-tuple cost inside the warm start.
+        """
+        from ..sampling.base import iter_chunks
+        from .interchange import run_interchange
+        from .vas import DEFAULT_LOC_THRESHOLD  # circular-safe
+
+        n = len(pts)
+        target = self.pilot_size or max(1, min(n // self.shards, 8 * k))
+        stride = max(1, n // max(1, target))
+        sub = pts[::stride]
+        strategy = self._exact_strategy
+        kwargs = self.strategy_kwargs
+        if strategy == "es+loc" and k < DEFAULT_LOC_THRESHOLD:
+            # Mirror strategy="auto": below the locality threshold the
+            # exact ES scan is the faster way to a K-sample, and a
+            # warm start only needs to be a good deterministic sample
+            # — the shards and merges keep the requested semantics.
+            strategy, kwargs = "es", {}
+        run = run_interchange(
+            lambda: iter_chunks(sub, self.chunk_size), k, kernel,
+            strategy=strategy,
+            max_passes=1, rng=int(seed),
+            shuffle_within_chunks=self.shuffle_within_chunks,
+            strategy_kwargs=kwargs,
+            engine=_shard_engine(self.engine),
+            screen_dtype=self.screen_dtype,
+        )
+        encoded = run.source_ids * stride + n
+        return (run.points, encoded), run.work_seconds
+
     def _shard_payload(self, shm_name: str, shape: tuple, lo: int,
-                       hi: int, seed: int, k: int, kernel) -> tuple:
+                       hi: int, seed: int, k: int, kernel,
+                       initial, enc_base: int) -> tuple:
         return (shm_name, shape, lo, hi, k, kernel, self.strategy,
-                self.strategy_kwargs, self.engine, self.max_passes,
+                self.strategy_kwargs, self.engine,
+                self._shard_passes(initial),
                 self.chunk_size, self.shuffle_within_chunks, int(seed),
-                self.screen_dtype)
+                self.screen_dtype, initial, enc_base)
+
+    def _shard_passes(self, initial) -> int:
+        """Pass budget for one shard scan.
+
+        A warm-started shard begins from the pilot's near-converged
+        K-sample, so its first scan plays the role a cold run's
+        *second* pass would: polishing an already-dense set.  One scan
+        suffices before the merge tree reconciles the shards — extra
+        passes would re-screen every row for a handful of accepts,
+        which is exactly the total-work inflation the pilot exists to
+        remove.  Cold shards (``pilot="off"``) keep the caller's full
+        budget, preserving the pre-pilot behaviour.
+        """
+        return 1 if initial is not None else self.max_passes
 
     def _run_serial(self, pts, ranges, occupied, seeds, leaves, nodes,
-                    k, kernel) -> None:
+                    k, kernel, initial, enc_base: int) -> None:
         """Execute the tree in canonical order, one process, no copies.
 
         Node order (shards by index, then merges level by level) is
@@ -417,20 +613,25 @@ class ParallelInterchangeRunner:
             run = run_interchange(
                 lambda s=shard: iter_chunks(s, self.chunk_size), k,
                 kernel, strategy=self.strategy,
-                max_passes=self.max_passes, rng=int(seeds[i]),
+                max_passes=self._shard_passes(initial), rng=int(seeds[i]),
                 shuffle_within_chunks=self.shuffle_within_chunks,
                 strategy_kwargs=self.strategy_kwargs,
                 engine=_shard_engine(self.engine),
                 screen_dtype=self.screen_dtype,
+                initial_sample=initial,
             )
-            leaf.result = (run.points, run.source_ids + lo,
+            leaf.result = (run.points,
+                           _decode_shard_ids(run.source_ids, lo, enc_base),
                            run.replacements, run.tuples_processed,
-                           run.f32_rows_screened, run.f32_fallback_rows)
-        for node in nodes[:-1]:
-            node.result = _run_merge(self._merge_payload(node, k, kernel))
+                           run.f32_rows_screened, run.f32_fallback_rows,
+                           run.work_seconds)
+        if initial is None:  # pilot mode merges flat at the root
+            for node in nodes[:-1]:
+                node.result = _run_merge(
+                    self._merge_payload(node, k, kernel))
 
     def _run_pool(self, pts, ranges, occupied, seeds, leaves, nodes,
-                  k, kernel) -> None:
+                  k, kernel, initial, enc_base: int) -> None:
         """Shard across the pool, merging pairs as soon as they land.
 
         The dataset is published once as a shared-memory segment;
@@ -452,7 +653,8 @@ class ParallelInterchangeRunner:
                 for leaf, i in zip(leaves, occupied):
                     lo, hi = ranges[i]
                     fut = pool.submit(_run_shard, self._shard_payload(
-                        shm.name, pts.shape, lo, hi, seeds[i], k, kernel))
+                        shm.name, pts.shape, lo, hi, seeds[i], k, kernel,
+                        initial, enc_base))
                     futures[fut] = leaf
                 pending = set(futures)
                 while pending:
@@ -462,7 +664,9 @@ class ParallelInterchangeRunner:
                         node = futures.pop(fut)
                         node.result = fut.result()
                         parent = node.parent
-                        ready = (parent is not None and parent is not root
+                        ready = (initial is None  # pilot merges flat
+                                 and parent is not None
+                                 and parent is not root
                                  and parent.left.result is not None
                                  and (parent.right is None
                                       or parent.right.result is not None))

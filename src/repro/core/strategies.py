@@ -767,6 +767,21 @@ class ReplacementStrategy(abc.ABC):
     def finalize(self) -> None:
         """Hook run after a full pass (ES+Loc flushes drift here)."""
 
+    def inject_reservoir(self, points: np.ndarray,
+                         source_ids: np.ndarray) -> None:
+        """Warm-start the set from a precomputed ``(points, ids)`` sample.
+
+        Every row travels :meth:`process` — the strategy's own fill /
+        replacement path — so each implementation's invariants (the
+        maintained κ̃ matrix written through
+        :meth:`~repro.core.responsibility.CandidateSet.fill`, the
+        ES+Loc spatial index, No-ES recompute discipline) hold exactly
+        as if these rows had led the scan.  Injection is warm-start
+        state, not scanned data: callers account for it separately.
+        """
+        for row in range(len(points)):
+            self.process(int(source_ids[row]), points[row])
+
 
 class ESStrategy(ReplacementStrategy):
     """Exact Expand/Shrink — Algorithm 1 with O(K) work per tuple."""
@@ -935,6 +950,38 @@ class NoESStrategy(ReplacementStrategy):
             self._sim_cache = self._rebuild_matrix()
             self._rsp_cache = self._sim_cache.sum(axis=1)
         return self._rsp_cache
+
+    def inject_reservoir(self, points: np.ndarray,
+                         source_ids: np.ndarray) -> None:
+        """Warm-start fills without the per-fill O(K²) recompute.
+
+        The per-tuple fill's ``recompute()`` is No-ES's *measured*
+        inefficiency; injection is warm-start machinery outside the
+        measured scan, so the recompute runs once after the pure-fill
+        prefix.  ``recompute()`` is a pure function of the final point
+        set, so the end state is byte-equal to per-fill recomputes.
+        Rows beyond capacity fall through to :meth:`process`.
+        """
+        cs = self.set
+        n = len(points)
+        pos = 0
+        filled = False
+        while pos < n and not cs.is_full:
+            sid = int(source_ids[pos])
+            self.processed += 1
+            if not cs.has_source(sid):
+                self._rsp_cache = None
+                self._sim_cache = None
+                self.last_replaced_slot = len(cs)
+                cs.fill(sid, points[pos])
+                self.replacements += 1
+                filled = True
+            pos += 1
+        if filled:
+            cs.recompute()
+        while pos < n:
+            self.process(int(source_ids[pos]), points[pos])
+            pos += 1
 
 
 class ESLocStrategy(ReplacementStrategy):

@@ -43,7 +43,7 @@ from ..rng import as_generator
 from ..sampling.base import Sampler, SampleResult, iter_chunks, validate_sample_size
 from .density import embed_density
 from .epsilon import select_epsilon
-from .interchange import ENGINES, InterchangeResult, run_interchange
+from .interchange import ENGINES, PILOT_MODES, InterchangeResult, run_interchange
 from .kernel import Kernel, make_kernel
 
 #: ``strategy="auto"`` switches from ES to ES+Loc at this sample size.
@@ -90,6 +90,14 @@ class VASSampler(Sampler):
         explicit ``shards > 1`` engages the shard-and-merge path even
         at ``workers=1`` (executed serially), so a fixed ``(seed,
         shards)`` pair reproduces the same sample on any pool size.
+    pilot:
+        ``"auto"`` (default) warm-starts every shard of a sharded run
+        from a cheap pilot VAS over a strided subsample, collapsing
+        the per-shard accept inflation; ``"off"`` keeps cold shards.
+        In-process runs never pilot, so this cannot change a
+        ``workers=1``/``shards=1`` sample.
+    pilot_size:
+        Pilot subsample row count override (default ``n // shards``).
     """
 
     name = "vas"
@@ -108,6 +116,8 @@ class VASSampler(Sampler):
         engine: str = "batched",
         workers: int = 1,
         shards: int | None = None,
+        pilot: str = "auto",
+        pilot_size: int | None = None,
     ) -> None:
         if strategy not in ("auto", "es", "es+loc", "no-es"):
             raise ConfigurationError(
@@ -125,9 +135,19 @@ class VASSampler(Sampler):
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if shards is not None and shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if pilot not in PILOT_MODES:
+            raise ConfigurationError(
+                f"pilot must be one of {PILOT_MODES}, got {pilot!r}"
+            )
+        if pilot_size is not None and pilot_size < 1:
+            raise ConfigurationError(
+                f"pilot_size must be >= 1, got {pilot_size}"
+            )
         self.engine = engine
         self.workers = int(workers)
         self.shards = None if shards is None else int(shards)
+        self.pilot = pilot
+        self.pilot_size = None if pilot_size is None else int(pilot_size)
         self._kernel_spec = kernel
         self.epsilon = epsilon
         self.strategy = strategy
@@ -199,6 +219,8 @@ class VASSampler(Sampler):
             workers=self.workers,
             shards=self.shards,
             parallel_chunk_size=self.chunk_size,
+            pilot=self.pilot,
+            pilot_size=self.pilot_size,
         )
         self.last_run = run
         order = np.argsort(run.source_ids)
@@ -216,6 +238,7 @@ class VASSampler(Sampler):
                 "kernel": kernel.name,
                 "workers": run.workers,
                 "shards": run.shards,
+                "pilot": run.pilot,
             },
         )
 

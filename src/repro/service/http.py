@@ -256,6 +256,17 @@ ROUTES: tuple[Route, ...] = (
                   "seed": {"type": "integer"},
                   "engine": {"type": "string"},
                   "workers": {"type": "integer"},
+                  "pilot": {"type": "string",
+                            "enum": ["auto", "off"],
+                            "description":
+                                "sharded sample/splom builds only: "
+                                "'auto' (default) warm-starts shards "
+                                "from a pilot sample, 'off' keeps "
+                                "cold shards"},
+                  "pilot_size": {"type": "integer",
+                                 "description":
+                                     "pilot subsample rows (default "
+                                     "min(n/shards, 8k))"},
                   "x": {"type": "string"}, "y": {"type": "string"},
               },
           }),
@@ -817,6 +828,9 @@ class VasRequestHandler(BaseHTTPRequestHandler):
                 seed=int(body.get("seed", 0)),
                 engine=body.get("engine", "batched"),
                 workers=int(body.get("workers", 1)),
+                pilot=body.get("pilot", "auto"),
+                pilot_size=(int(body["pilot_size"])
+                            if body.get("pilot_size") is not None else None),
             )
             stats = {"size": len(outcome.result)}
         elif kind == "splom":
@@ -828,6 +842,9 @@ class VasRequestHandler(BaseHTTPRequestHandler):
                 seed=int(body.get("seed", 0)),
                 engine=body.get("engine", "batched"),
                 workers=int(body.get("workers", 1)),
+                pilot=body.get("pilot", "auto"),
+                pilot_size=(int(body["pilot_size"])
+                            if body.get("pilot_size") is not None else None),
             )
             return {
                 "kind": "splom",

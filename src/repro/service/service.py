@@ -452,16 +452,21 @@ class VasService:
     def build_sample(self, table_name: str, k: int,
                      x: str | None = None, y: str | None = None,
                      method: str = "vas", seed: int = 0,
-                     engine: str = "batched", workers: int = 1) -> BuildOutcome:
+                     engine: str = "batched", workers: int = 1,
+                     pilot: str = "auto",
+                     pilot_size: int | None = None) -> BuildOutcome:
         """Build-or-reuse one flat sample.
 
         The cache key covers everything that determines the *output*:
-        data content hash, columns, method, k, seed, and the shard
-        count (``workers > 1`` changes the sample).  The engine does
-        **not** enter the key — all engines are bit-identical (the
-        parity suite enforces it), so a sample built with one engine is
-        a valid cache hit for any other.  The engine that actually ran
-        is recorded in the manifest for provenance.
+        data content hash, columns, method, k, seed, the shard count
+        (``workers > 1`` changes the sample) and — for sharded builds
+        only — the pilot configuration (a warm-started sample differs
+        from a cold one).  The engine does **not** enter the key — all
+        engines are bit-identical (the parity suite enforces it), so a
+        sample built with one engine is a valid cache hit for any
+        other; likewise ``pilot`` stays out of the key for in-process
+        builds, which never pilot.  The engine that actually ran is
+        recorded in the manifest for provenance.
         """
         self._check_writable("build")
         with self._mutating():
@@ -469,6 +474,10 @@ class VasService:
             params = {"x": x, "y": y, "method": method, "k": int(k),
                       "seed": int(seed),
                       "shards": int(workers) if workers > 1 else 1}
+            if workers > 1:
+                params["pilot"] = str(pilot)
+                if pilot_size is not None:
+                    params["pilot_size"] = int(pilot_size)
             key = self.workspace.build_key("sample", table_name, params)
             manifest = self.workspace.cached_manifest(key)
             if manifest is not None:
@@ -482,6 +491,7 @@ class VasService:
                 method, xy, int(k), seed=int(seed),
                 epsilon=epsilon_from_diameter(xy, rng=int(seed)),
                 engine=engine, workers=int(workers),
+                pilot=pilot, pilot_size=pilot_size,
             )
             # The kernel identity rides along in build.json so the
             # maintenance path can reconstruct the exact κ̃ without
@@ -1316,7 +1326,9 @@ class VasService:
 
     def build_splom(self, table_name: str, k: int, cols=None,
                     method: str = "vas", seed: int = 0,
-                    engine: str = "batched", workers: int = 1) -> dict:
+                    engine: str = "batched", workers: int = 1,
+                    pilot: str = "auto",
+                    pilot_size: int | None = None) -> dict:
         """Build-or-reuse the per-pair samples behind a SPLOM.
 
         One flat sample per unordered column pair, each cached under
@@ -1333,7 +1345,7 @@ class VasService:
                 outcome = self.build_sample(
                     table_name, k, x=names[i], y=names[j],
                     method=method, seed=seed, engine=engine,
-                    workers=workers,
+                    workers=workers, pilot=pilot, pilot_size=pilot_size,
                 )
                 pairs.append({
                     "x": names[i], "y": names[j], "key": outcome.key,

@@ -104,13 +104,17 @@ def build_method_sample(method: str, data_xy: np.ndarray, k: int,
                         stratified_grid: tuple[int, int] = (10, 10),
                         epsilon: float | None = None,
                         engine: str = "batched",
-                        workers: int = 1) -> SampleResult:
+                        workers: int = 1,
+                        pilot: str = "auto",
+                        pilot_size: int | None = None) -> SampleResult:
     """Build one method's sample, with §V weights for ``vas+density``.
 
     ``engine`` selects the Interchange engine for the VAS methods (all
     engines produce identical samples; see
     :mod:`repro.core.interchange`), and ``workers > 1`` runs the
-    sharded multiprocess path (:mod:`repro.core.parallel`).
+    sharded multiprocess path (:mod:`repro.core.parallel`), whose
+    shards are warm-started from a pilot sample unless
+    ``pilot="off"``.
     """
     pts = as_points(data_xy)
     if method == "uniform":
@@ -121,10 +125,12 @@ def build_method_sample(method: str, data_xy: np.ndarray, k: int,
     eps = epsilon if epsilon is not None else epsilon_from_diameter(pts)
     if method == "vas":
         return VASSampler(rng=seed, epsilon=eps, engine=engine,
-                          workers=workers).sample(pts, k)
+                          workers=workers, pilot=pilot,
+                          pilot_size=pilot_size).sample(pts, k)
     if method == "vas+density":
         base = VASSampler(rng=seed, epsilon=eps, engine=engine,
-                          workers=workers).sample(pts, k)
+                          workers=workers, pilot=pilot,
+                          pilot_size=pilot_size).sample(pts, k)
         return embed_density(base, iter_chunks(pts, 65536))
     raise ConfigurationError(
         f"unknown method {method!r}; expected one of "

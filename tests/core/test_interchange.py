@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import GaussianKernel, run_interchange
-from repro.errors import EmptyDatasetError
+from repro.errors import ConfigurationError, EmptyDatasetError
 from repro.sampling import iter_chunks
 
 
@@ -105,6 +105,97 @@ class TestTracing:
         for t in result.trace:
             assert np.isfinite(t.objective)
             assert t.elapsed_seconds >= 0
+
+
+class TestExactEarlyExit:
+    """Zero-replacement passes end the run without changing anything.
+
+    The exit is exact, not heuristic: a run that converged under a
+    small pass budget must be bit-identical — sample, objective,
+    pass count — to the same run under any larger budget, and the
+    trace must record the skipped passes as converged."""
+
+    def _converged_run(self, **kwargs):
+        pts = np.random.default_rng(5).normal(size=(60, 2))
+        return run_interchange(chunks_factory(pts), 6, GaussianKernel(0.5),
+                               rng=5, **kwargs)
+
+    def test_converged_flag_set(self):
+        result = self._converged_run(max_passes=60)
+        assert result.converged
+        assert result.passes < 60
+
+    def test_budget_extension_changes_nothing(self):
+        small = self._converged_run(max_passes=60)
+        large = self._converged_run(max_passes=90)
+        assert np.array_equal(small.source_ids, large.source_ids)
+        assert small.objective == large.objective
+        assert small.passes == large.passes
+        assert small.tuples_processed == large.tuples_processed
+
+    def test_exhausted_budget_not_marked_converged(self, blob_points):
+        # One cold pass always replaces (the reservoir fill counts),
+        # so a max_passes=1 run ends on budget, not convergence.
+        result = run_interchange(chunks_factory(blob_points), 25,
+                                 GaussianKernel(0.3), rng=0, max_passes=1)
+        assert not result.converged
+
+    def test_trace_marks_final_point_converged(self):
+        result = self._converged_run(max_passes=60, trace_every=20)
+        assert result.trace[-1].converged
+        assert not any(t.converged for t in result.trace[:-1])
+
+    def test_work_seconds_recorded(self, blob_points):
+        result = run_interchange(chunks_factory(blob_points), 10,
+                                 GaussianKernel(0.3), rng=0)
+        assert result.work_seconds > 0
+        assert result.work_breakdown == {}
+
+
+class TestInitialSample:
+    """``initial_sample=`` warm starts the reservoir before pass 1."""
+
+    def test_warm_start_from_fixpoint_is_a_noop_pass(self):
+        """Re-injecting a converged sample converges in one pass with
+        the sample unchanged — the invariant the pilot relies on."""
+        pts = np.random.default_rng(5).normal(size=(60, 2))
+        kernel = GaussianKernel(0.5)
+        cold = run_interchange(chunks_factory(pts), 6, kernel,
+                               max_passes=60, rng=5)
+        assert cold.converged
+        warm = run_interchange(
+            chunks_factory(pts), 6, kernel, max_passes=1, rng=99,
+            initial_sample=(cold.points, cold.source_ids))
+        assert warm.converged
+        assert warm.passes == 1
+        assert np.array_equal(warm.source_ids, cold.source_ids)
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-9)
+
+    def test_warm_start_changes_cold_result(self, blob_points):
+        kernel = GaussianKernel(0.3)
+        donor = run_interchange(chunks_factory(blob_points), 20, kernel,
+                                rng=7, max_passes=1)
+        cold = run_interchange(chunks_factory(blob_points), 20, kernel,
+                               rng=8, max_passes=1)
+        warm = run_interchange(
+            chunks_factory(blob_points), 20, kernel, rng=8, max_passes=1,
+            initial_sample=(donor.points, donor.source_ids))
+        assert len(set(warm.source_ids.tolist())) == 20
+        assert not np.array_equal(warm.source_ids, cold.source_ids)
+
+    def test_mismatched_lengths_rejected(self, blob_points):
+        with pytest.raises(ConfigurationError):
+            run_interchange(
+                chunks_factory(blob_points), 10, GaussianKernel(0.3),
+                rng=0, initial_sample=(blob_points[:5],
+                                       np.arange(4, dtype=np.int64)))
+
+    def test_rejected_with_sharded_run(self, blob_points):
+        init = (blob_points[:10], np.arange(10, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            run_interchange(chunks_factory(blob_points), 10,
+                            GaussianKernel(0.3), rng=0, workers=2,
+                            initial_sample=init)
 
 
 class TestDeterminism:

@@ -108,6 +108,118 @@ class TestParallelDeterminism:
         assert not np.array_equal(a.indices, b.indices)
 
 
+class TestPilotWarmStart:
+    """The pilot (PR 10) warm-starts shards; determinism must hold in
+    both pilot modes and ``workers=1`` must stay bit-identical to the
+    in-process path whatever the pilot setting."""
+
+    def test_pilot_defaults_to_auto_on_sharded_runs(self, data):
+        result = ParallelInterchangeRunner(workers=2, shards=4).run(
+            data, K, GaussianKernel(0.25), rng=0)
+        assert result.pilot == "auto"
+
+    def test_pilot_off_restores_cold_shards(self, data):
+        auto = ParallelInterchangeRunner(workers=2, shards=4).run(
+            data, K, GaussianKernel(0.25), rng=0)
+        off = ParallelInterchangeRunner(workers=2, shards=4,
+                                        pilot="off").run(
+            data, K, GaussianKernel(0.25), rng=0)
+        assert off.pilot == "off"
+        # The pilot genuinely engages: warm and cold runs differ.
+        assert not np.array_equal(auto.source_ids, off.source_ids)
+
+    @pytest.mark.parametrize("pilot", ["auto", "off"])
+    def test_serial_matches_pool_in_both_modes(self, data, pilot):
+        serial = VASSampler(rng=0, epsilon=0.25, workers=1, shards=4,
+                            pilot=pilot).sample(data, K)
+        pooled = VASSampler(rng=0, epsilon=0.25, workers=4, shards=4,
+                            pilot=pilot).sample(data, K)
+        assert np.array_equal(serial.indices, pooled.indices)
+        assert serial.metadata["objective"] == pooled.metadata["objective"]
+
+    @pytest.mark.parametrize("pilot", ["auto", "off"])
+    def test_stable_across_runs(self, data, pilot):
+        runs = [VASSampler(rng=0, epsilon=0.25, workers=2, shards=4,
+                           pilot=pilot).sample(data, K) for _ in range(2)]
+        assert np.array_equal(runs[0].indices, runs[1].indices)
+
+    @pytest.mark.parametrize("pilot", ["auto", "off"])
+    def test_workers_one_bit_identical_to_in_process(self, data, pilot):
+        """workers=1/shards=1 never pilots: bit-identity with the plain
+        engine holds in every pilot mode."""
+        kernel = GaussianKernel(0.25)
+        plain = run_interchange(lambda: iter_chunks(data, 512), K, kernel,
+                                rng=0, max_passes=2, engine="batched")
+        w1 = run_interchange(lambda: iter_chunks(data, 512), K, kernel,
+                             rng=0, max_passes=2, engine="batched",
+                             workers=1, pilot=pilot)
+        assert np.array_equal(plain.source_ids, w1.source_ids)
+        assert plain.objective == w1.objective
+        assert w1.pilot == "off"
+
+    def test_pilot_size_override_is_deterministic(self, data):
+        a = VASSampler(rng=0, epsilon=0.25, workers=1, shards=4,
+                       pilot_size=200).sample(data, K)
+        b = VASSampler(rng=0, epsilon=0.25, workers=2, shards=4,
+                       pilot_size=200).sample(data, K)
+        default = VASSampler(rng=0, epsilon=0.25, workers=2,
+                             shards=4).sample(data, K)
+        assert np.array_equal(a.indices, b.indices)
+        # The override reaches the pilot: a different subsample size
+        # warm-starts the shards differently.
+        assert not np.array_equal(a.indices, default.indices)
+
+    def test_metadata_records_pilot(self, data):
+        auto = VASSampler(rng=0, epsilon=0.25, workers=2,
+                          shards=4).sample(data, K)
+        off = VASSampler(rng=0, epsilon=0.25, workers=2, shards=4,
+                         pilot="off").sample(data, K)
+        in_proc = VASSampler(rng=0, epsilon=0.25).sample(data, K)
+        assert auto.metadata["pilot"] == "auto"
+        assert off.metadata["pilot"] == "off"
+        assert in_proc.metadata["pilot"] == "off"
+
+    def test_work_accounting(self, data):
+        result = ParallelInterchangeRunner(workers=2, shards=4).run(
+            data, K, GaussianKernel(0.25), rng=0)
+        bd = result.work_breakdown
+        assert set(bd) == {"pilot", "shards", "merges", "root"}
+        assert bd["pilot"] > 0 and bd["shards"] > 0
+        assert result.work_seconds == pytest.approx(sum(bd.values()))
+        cold = ParallelInterchangeRunner(workers=2, shards=4,
+                                         pilot="off").run(
+            data, K, GaussianKernel(0.25), rng=0)
+        assert cold.work_breakdown["pilot"] == 0.0
+        assert cold.work_breakdown["merges"] > 0
+
+    def test_single_shard_skips_pilot(self, data):
+        result = ParallelInterchangeRunner(workers=2, shards=1).run(
+            data, K, GaussianKernel(0.25), rng=0)
+        assert result.pilot == "off"
+        assert result.work_breakdown["pilot"] == 0.0
+
+    def test_invalid_pilot_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            ParallelInterchangeRunner(workers=2, pilot="maybe")
+        with pytest.raises(ConfigurationError):
+            VASSampler(workers=2, pilot="maybe")
+        with pytest.raises(ConfigurationError):
+            run_interchange(lambda: iter_chunks(data, 512), K,
+                            GaussianKernel(0.25), workers=2, pilot="maybe")
+        with pytest.raises(ConfigurationError):
+            ParallelInterchangeRunner(workers=2, pilot_size=0)
+        with pytest.raises(ConfigurationError):
+            VASSampler(workers=2, pilot_size=-5)
+
+    def test_strategy_survives_merge_substitution(self, data):
+        """no-es merges run the decision-identical ES strategy for
+        cost; the reported strategy must stay the caller's."""
+        result = ParallelInterchangeRunner(
+            workers=2, shards=4, strategy="no-es").run(
+            data, K, GaussianKernel(0.25), rng=0)
+        assert result.strategy == "no-es"
+
+
 class TestParallelSampleValidity:
     def test_sample_is_subset_of_rows(self, data):
         result = VASSampler(rng=3, epsilon=0.25, workers=3,

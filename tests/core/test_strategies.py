@@ -103,6 +103,56 @@ class TestNoESEquivalence:
         assert np.array_equal(cs.responsibilities, strat._rsp_cache)
 
 
+class TestInjectReservoir:
+    """``inject_reservoir`` (the pilot warm start) must land in the
+    same state as feeding the rows through ``process`` one by one —
+    the No-ES bulk-fill shortcut included."""
+
+    @pytest.mark.parametrize("name", ["es", "no-es", "es+loc"])
+    def test_inject_equals_process_loop(self, name):
+        gen = np.random.default_rng(7)
+        pts = gen.normal(size=(60, 2))
+        ids = np.arange(60, dtype=np.int64)
+
+        cs_a = CandidateSet(20, GaussianKernel(0.5))
+        strat_a = make_strategy(name, cs_a)
+        strat_a.inject_reservoir(pts, ids)
+        strat_a.finalize()
+
+        cs_b = CandidateSet(20, GaussianKernel(0.5))
+        strat_b = make_strategy(name, cs_b)
+        for i, pt in zip(ids, pts):
+            strat_b.process(int(i), pt)
+        strat_b.finalize()
+
+        assert np.array_equal(cs_a.source_ids, cs_b.source_ids)
+        assert np.array_equal(cs_a.points, cs_b.points)
+        assert np.array_equal(cs_a.responsibilities, cs_b.responsibilities)
+
+    def test_no_es_maintained_matrix_valid_after_inject(self):
+        """The bulk fill defers recompute; the maintained κ̃ matrix
+        must still be byte-equal to a rebuild afterwards."""
+        gen = np.random.default_rng(8)
+        pts = gen.normal(size=(90, 2))
+        cs = CandidateSet(15, GaussianKernel(0.5))
+        strat = NoESStrategy(cs)
+        strat.inject_reservoir(pts[:40], np.arange(40, dtype=np.int64))
+        for i in range(40, 90):
+            strat.process(i, pts[i])
+        strat.finalize()
+        fresh = strat._rebuild_matrix()
+        assert np.array_equal(strat._sim_cache, fresh)
+        assert np.array_equal(cs.responsibilities, strat._rsp_cache)
+
+    def test_inject_skips_rows_already_present(self):
+        cs = CandidateSet(10, GaussianKernel(0.5))
+        strat = ESStrategy(cs)
+        pts = np.random.default_rng(9).normal(size=(6, 2))
+        ids = np.array([0, 1, 2, 0, 1, 3], dtype=np.int64)
+        strat.inject_reservoir(pts, ids)
+        assert sorted(cs.source_ids.tolist()) == [0, 1, 2, 3]
+
+
 class TestESLoc:
     @pytest.mark.parametrize("index_kind", ["rtree", "grid"])
     def test_close_to_exact_objective(self, index_kind):

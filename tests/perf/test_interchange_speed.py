@@ -48,6 +48,11 @@ K = 500
 #: with fewer CPUs available.
 GATE_WORKERS = 4
 PARALLEL_SPEEDUP_GATES = {"no-es": 2.5, "es+loc": 1.5}
+#: Total-work ceiling for the pilot-seeded sharded run, as a multiple
+#: of the single-process time.  Unlike the speedup gates this needs no
+#: multi-core host: total work is measured on the serial sharded path
+#: (workers=1, shards=4), which is contention-free on any box.
+WORK_INFLATION_GATES = {"no-es": 1.5, "es+loc": 1.5}
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +133,31 @@ def test_no_es_pruned_under_floor(bench_setup):
     assert t_no_es < NO_ES_BUDGET_SECONDS, (
         f"no-es pruned took {t_no_es:.1f}s on {N_ROWS}/{K} "
         f"(budget {NO_ES_BUDGET_SECONDS}s)"
+    )
+
+
+@pytest.mark.parametrize("strategy", sorted(WORK_INFLATION_GATES))
+def test_sharded_work_inflation_under_gate(bench_setup, strategy):
+    """The pilot-seeded warm start (PR 10) must keep sharded total
+    work near the single-process cost: shards=4 at benchmark size may
+    inflate Σ(stage seconds) by at most 1.5× over one pruned run.
+    Before the pilot, cold shards paid ~2-3× — every shard rediscovered
+    the same coarse structure from scratch."""
+    data, kernel = bench_setup
+    _, t_single = run_engine(data, kernel, "pruned", strategy=strategy)
+    par = run_interchange(
+        lambda: iter_chunks(data, 8192), K, kernel,
+        max_passes=2, rng=0, engine="pruned", strategy=strategy,
+        workers=1, shards=GATE_WORKERS,
+    )
+    assert len(par.source_ids) == K
+    assert par.pilot == "auto"
+    inflation = par.work_seconds / t_single
+    assert inflation <= WORK_INFLATION_GATES[strategy], (
+        f"{strategy} shards={GATE_WORKERS} total work "
+        f"{par.work_seconds:.2f}s is {inflation:.2f}x the single-process "
+        f"{t_single:.2f}s (gate {WORK_INFLATION_GATES[strategy]}x); "
+        f"breakdown={par.work_breakdown}"
     )
 
 

@@ -564,6 +564,19 @@ class TestV1Routes:
         assert code == 404
         assert error["code"] == "unknown_table"
 
+    def test_build_accepts_pilot_knobs(self, server_url):
+        """The pilot knobs ride the build body end to end; on the
+        in-process path they are accepted and do not fork the cache
+        key (workers=1 builds never pilot)."""
+        plain = post_json(f"{server_url}/v1/build", {
+            "table": "demo", "kind": "sample", "method": "uniform",
+            "k": 25})
+        piloted = post_json(f"{server_url}/v1/build", {
+            "table": "demo", "kind": "sample", "method": "uniform",
+            "k": 25, "pilot": "off", "pilot_size": 64})
+        assert piloted["cached"] is True
+        assert piloted["key"] == plain["key"]
+
 
 class TestOpenApi:
     def test_spec_served(self, server_url):
@@ -583,6 +596,13 @@ class TestOpenApi:
                       for method in operations}
         routed = {(route.method, route.path) for route in ROUTES}
         assert documented == routed
+
+    def test_spec_documents_pilot_knobs(self, server_url):
+        spec = get_json(f"{server_url}/v1/openapi.json")
+        body = spec["paths"]["/v1/build"]["post"]["requestBody"]
+        props = body["content"]["application/json"]["schema"]["properties"]
+        assert props["pilot"]["enum"] == ["auto", "off"]
+        assert props["pilot_size"]["type"] == "integer"
 
     def test_spec_covers_every_error_code(self, server_url):
         from repro.service import ERROR_STATUS

@@ -161,6 +161,29 @@ class TestZoomCommands:
         # The sharded run is seed-stable run to run.
         assert np.array_equal(a, b)
 
+    def test_sample_pilot_flags(self, demo_csv, tmp_path):
+        """--no-pilot and --pilot-size must reach the sharded runner:
+        all three variants are valid samples, the warm-started default
+        differs from the cold --no-pilot run, and --no-pilot is
+        accepted (if ignored) on the in-process path."""
+        outs = {}
+        variants = {
+            "auto": ["--workers", "2"],
+            "off": ["--workers", "2", "--no-pilot"],
+            "sized": ["--workers", "2", "--pilot-size", "120"],
+        }
+        for name, extra in variants.items():
+            out = tmp_path / f"{name}.csv"
+            code = main(["sample", str(demo_csv), "-k", "80",
+                         "--out", str(out), *extra])
+            assert code == 0
+            outs[name] = np.loadtxt(out, delimiter=",", skiprows=1)
+        assert all(v.shape == (80, 2) for v in outs.values())
+        assert not np.array_equal(outs["auto"], outs["off"])
+        out = tmp_path / "inproc.csv"
+        assert main(["sample", str(demo_csv), "-k", "80", "--no-pilot",
+                     "--out", str(out)]) == 0
+
 
 class TestWorkspaceRoundTrip:
     """demo → ingest → zoom-build → zoom-query, all inside tmp_path."""
